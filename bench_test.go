@@ -1,0 +1,99 @@
+// Package reflex's root benchmark suite regenerates every table and figure
+// of the paper's evaluation (one testing.B benchmark per exhibit, as
+// DESIGN.md's per-experiment index maps them), plus the ablation benches
+// for the design choices DESIGN.md calls out.
+//
+// Each benchmark iteration runs the full experiment at a reduced scale and
+// reports simulated-events-per-second style metrics through ns/op; the
+// tables themselves are printed by cmd/reflex-bench, which is the intended
+// way to inspect the reproduced numbers.
+package reflex
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/experiments"
+)
+
+// benchScale keeps each exhibit's regeneration affordable inside `go test
+// -bench`. cmd/reflex-bench runs at scale 1.0.
+const benchScale experiments.Scale = 0.12
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := experiments.Run(id, benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+// BenchmarkFig1Interference regenerates Figure 1 (read/write interference
+// on local Flash).
+func BenchmarkFig1Interference(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig3CostModelDeviceA regenerates Figure 3a (device A cost model).
+func BenchmarkFig3CostModelDeviceA(b *testing.B) { benchExperiment(b, "fig3a") }
+
+// BenchmarkFig3CostModelDeviceB regenerates Figure 3b (device B cost model).
+func BenchmarkFig3CostModelDeviceB(b *testing.B) { benchExperiment(b, "fig3b") }
+
+// BenchmarkFig3CostModelDeviceC regenerates Figure 3c (device C cost model).
+func BenchmarkFig3CostModelDeviceC(b *testing.B) { benchExperiment(b, "fig3c") }
+
+// BenchmarkTable2UnloadedLatency regenerates Table 2 (unloaded latency of
+// local and remote access paths).
+func BenchmarkTable2UnloadedLatency(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkFig4Throughput regenerates Figure 4 (latency vs throughput for
+// 1KB reads; local, ReFlex, libaio at 1 and 2 threads).
+func BenchmarkFig4Throughput(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkFig5QoS regenerates Figure 5 (QoS isolation scenarios).
+func BenchmarkFig5QoS(b *testing.B) { benchExperiment(b, "fig5") }
+
+// BenchmarkFig6aCoreScaling regenerates Figure 6a (multi-core scaling).
+func BenchmarkFig6aCoreScaling(b *testing.B) { benchExperiment(b, "fig6a") }
+
+// BenchmarkFig6bTenantScaling regenerates Figure 6b (tenant scaling).
+func BenchmarkFig6bTenantScaling(b *testing.B) { benchExperiment(b, "fig6b") }
+
+// BenchmarkFig6cConnScaling regenerates Figure 6c (connection scaling).
+func BenchmarkFig6cConnScaling(b *testing.B) { benchExperiment(b, "fig6c") }
+
+// BenchmarkFig7aFIO regenerates Figure 7a (FIO over the block drivers).
+func BenchmarkFig7aFIO(b *testing.B) { benchExperiment(b, "fig7a") }
+
+// BenchmarkFig7bFlashX regenerates Figure 7b (graph analytics slowdowns).
+func BenchmarkFig7bFlashX(b *testing.B) { benchExperiment(b, "fig7b") }
+
+// BenchmarkFig7cKV regenerates Figure 7c (LSM key-value store slowdowns).
+func BenchmarkFig7cKV(b *testing.B) { benchExperiment(b, "fig7c") }
+
+// BenchmarkAblationBatching sweeps the adaptive batching cap (§3.1).
+func BenchmarkAblationBatching(b *testing.B) { benchExperiment(b, "ablation-batching") }
+
+// BenchmarkAblationTwoStep compares the two-step model against blocking on
+// Flash accesses (§4.1).
+func BenchmarkAblationTwoStep(b *testing.B) { benchExperiment(b, "ablation-twostep") }
+
+// BenchmarkAblationCostModel compares the calibrated cost model against a
+// naive unit-cost model (§3.2.1).
+func BenchmarkAblationCostModel(b *testing.B) { benchExperiment(b, "ablation-costmodel") }
+
+// BenchmarkAblationNegLimit sweeps the LC burst deficit floor (§3.2.2).
+func BenchmarkAblationNegLimit(b *testing.B) { benchExperiment(b, "ablation-neglimit") }
+
+// BenchmarkAblationFraction sweeps the POS_LIMIT donation fraction (§3.2.2).
+func BenchmarkAblationFraction(b *testing.B) { benchExperiment(b, "ablation-fraction") }
+
+// BenchmarkExtRightsizing runs the dynamic thread-rightsizing extension
+// experiment (§4.3 control plane).
+func BenchmarkExtRightsizing(b *testing.B) { benchExperiment(b, "ext-rightsizing") }
+
+// BenchmarkExtProjection runs the §5.3 projection (4 devices on 100GbE).
+func BenchmarkExtProjection(b *testing.B) { benchExperiment(b, "ext-100gbe") }

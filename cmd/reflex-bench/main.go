@@ -1,0 +1,54 @@
+// Command reflex-bench regenerates the paper's tables and figures from the
+// simulated system. Each experiment prints the rows/series the paper
+// reports; EXPERIMENTS.md records the comparison against the published
+// numbers.
+//
+// Usage:
+//
+//	reflex-bench -list
+//	reflex-bench [-scale 1.0] fig1 tab2 fig5 ...
+//	reflex-bench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	all := flag.Bool("all", false, "run every experiment")
+	scale := flag.Float64("scale", 1.0, "measurement-window scale factor (smaller = faster, noisier)")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if *all {
+		ids = experiments.IDs()
+	}
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: reflex-bench [-scale S] <experiment-id>... | -all | -list")
+		os.Exit(2)
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		tbl, err := experiments.Run(id, experiments.Scale(*scale))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(tbl.Format())
+		fmt.Printf("(%s in %.1fs wall clock)\n\n", id, time.Since(start).Seconds())
+	}
+}

@@ -1,0 +1,71 @@
+// Command reflex-calibrate derives a device's request cost model the way
+// the paper's control plane does (§3.2.1): it sweeps tail latency versus
+// throughput at several read/write ratios on the (simulated) device, fits
+// the write cost and the read-only read cost by least squares, and prints
+// the token rates available at common latency SLOs.
+//
+// Usage:
+//
+//	reflex-calibrate -device deviceA
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/ctrl"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+func main() {
+	device := flag.String("device", "deviceA", "device profile to calibrate")
+	verbose := flag.Bool("v", false, "print the raw sweep curves")
+	flag.Parse()
+
+	profiles := flashsim.Profiles()
+	spec, ok := profiles[*device]
+	if !ok {
+		names := make([]string, 0, len(profiles))
+		for n := range profiles {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		log.Fatalf("unknown device %q (have %v)", *device, names)
+	}
+
+	fmt.Printf("calibrating %s: %d channels, %.0fK tokens/s raw capacity\n",
+		spec.Name, spec.Channels, spec.TokenCapacityPerSec()/1000)
+
+	cal := ctrl.DefaultCalibrator(spec)
+	res, err := cal.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *verbose {
+		for _, curve := range res.Curves {
+			fmt.Printf("\n%d%% read sweep:\n", curve.ReadPercent)
+			for _, pt := range curve.Points {
+				fmt.Printf("  %8.0f IOPS  p95 %6dus\n", pt.IOPS, pt.P95/sim.Microsecond)
+			}
+		}
+		fmt.Println()
+	}
+
+	fmt.Printf("fitted write cost:      %.2f tokens (rounded to %d)\n",
+		res.WriteCostFit, res.Model.WriteCost/core.TokenUnit)
+	fmt.Printf("fitted read-only cost:  %.2f tokens (snapped to %.1f)\n",
+		res.ReadOnlyCostFit, float64(res.Model.ReadOnlyReadCost)/float64(core.TokenUnit))
+
+	fmt.Println("token rate by p95 latency SLO:")
+	for _, slo := range []sim.Time{300 * sim.Microsecond, 500 * sim.Microsecond,
+		sim.Millisecond, 2 * sim.Millisecond} {
+		rate := res.TokenRateForP95(slo)
+		fmt.Printf("  %6dus: %7.0fK tokens/s\n", slo/sim.Microsecond,
+			float64(rate)/float64(core.TokenUnit)/1000)
+	}
+}

@@ -1,0 +1,223 @@
+// Command reflex-cli is a small client for a running reflex-server:
+// register tenants, read and write blocks, and run a quick latency probe.
+//
+// Examples:
+//
+//	reflex-cli -addr 127.0.0.1:7700 register -best-effort -writable
+//	reflex-cli -addr 127.0.0.1:7700 write -handle 1 -lba 0 -data "hello flash"
+//	reflex-cli -addr 127.0.0.1:7700 read -handle 1 -lba 0 -len 512
+//	reflex-cli -addr 127.0.0.1:7700 bench -handle 1 -n 10000 -depth 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "server address")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench} [flags]")
+		os.Exit(2)
+	}
+
+	cl, err := client.Dial(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cl.Close()
+
+	cmd := flag.Arg(0)
+	args := flag.Args()[1:]
+	switch cmd {
+	case "register":
+		cmdRegister(cl, args)
+	case "unregister":
+		cmdUnregister(cl, args)
+	case "read":
+		cmdRead(cl, args)
+	case "write":
+		cmdWrite(cl, args)
+	case "bench":
+		cmdBench(cl, args)
+	case "barrier":
+		cmdBarrier(cl, args)
+	case "stats":
+		cmdStats(cl, args)
+	default:
+		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+func cmdBarrier(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("barrier", flag.ExitOnError)
+	handle := fs.Uint("handle", 0, "tenant handle")
+	fs.Parse(args)
+	start := time.Now()
+	if err := cl.Barrier(uint16(*handle)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("barrier completed in %v (all prior I/O ordered before it)\n",
+		time.Since(start).Round(time.Microsecond))
+}
+
+func cmdStats(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	handle := fs.Uint("handle", 0, "tenant handle")
+	fs.Parse(args)
+	st, err := cl.Stats(uint16(*handle))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tenant %d:\n", *handle)
+	fmt.Printf("  enqueued:         %d\n", st.Enqueued)
+	fmt.Printf("  submitted:        %d\n", st.Submitted)
+	fmt.Printf("  submitted tokens: %.1f\n", float64(st.SubmittedTokens)/1000)
+	fmt.Printf("  queue length:     %d\n", st.QueueLen)
+	fmt.Printf("  token balance:    %.1f\n", float64(st.Tokens)/1000)
+	fmt.Printf("  neg-limit hits:   %d\n", st.NegLimitHits)
+	fmt.Printf("  donated tokens:   %.1f\n", float64(st.Donated)/1000)
+	fmt.Printf("  claimed tokens:   %.1f\n", float64(st.Claimed)/1000)
+}
+
+func cmdRegister(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("register", flag.ExitOnError)
+	be := fs.Bool("best-effort", false, "best-effort tenant (no SLO)")
+	iops := fs.Int("iops", 10000, "LC tenant IOPS SLO")
+	readPct := fs.Int("read-pct", 100, "LC tenant read percentage")
+	latency := fs.Duration("latency", 500*time.Microsecond, "LC p95 latency SLO")
+	writable := fs.Bool("writable", false, "grant write permission")
+	first := fs.Uint64("first-lba", 0, "namespace start LBA (512B units)")
+	count := fs.Uint64("lba-count", 0, "namespace length in LBAs (0 = whole device)")
+	fs.Parse(args)
+
+	h, err := cl.Register(protocol.Registration{
+		BestEffort:  *be,
+		ReadPercent: uint8(*readPct),
+		IOPS:        uint32(*iops),
+		LatencyP95:  uint64(latency.Nanoseconds()),
+		FirstLBA:    uint32(*first),
+		LBACount:    uint32(*count),
+		Writable:    *writable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered tenant handle=%d\n", h)
+}
+
+func cmdUnregister(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("unregister", flag.ExitOnError)
+	handle := fs.Uint("handle", 0, "tenant handle")
+	fs.Parse(args)
+	if err := cl.Unregister(uint16(*handle)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("unregistered")
+}
+
+func cmdRead(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("read", flag.ExitOnError)
+	handle := fs.Uint("handle", 0, "tenant handle")
+	lba := fs.Uint64("lba", 0, "logical block address (512B units)")
+	n := fs.Int("len", 512, "bytes to read")
+	raw := fs.Bool("raw", false, "write raw bytes to stdout")
+	fs.Parse(args)
+
+	data, err := cl.Read(uint16(*handle), uint32(*lba), *n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *raw {
+		os.Stdout.Write(data)
+		return
+	}
+	fmt.Printf("%d bytes @ lba %d:\n%q\n", len(data), *lba, string(trimZeros(data)))
+}
+
+func trimZeros(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == 0 {
+		end--
+	}
+	return b[:end]
+}
+
+func cmdWrite(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("write", flag.ExitOnError)
+	handle := fs.Uint("handle", 0, "tenant handle")
+	lba := fs.Uint64("lba", 0, "logical block address (512B units)")
+	data := fs.String("data", "", "data to write (padded to a 512B block)")
+	fs.Parse(args)
+
+	buf := make([]byte, (len(*data)+511)/512*512)
+	if len(buf) == 0 {
+		buf = make([]byte, 512)
+	}
+	copy(buf, *data)
+	if err := cl.Write(uint16(*handle), uint32(*lba), buf); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d bytes @ lba %d\n", len(buf), *lba)
+}
+
+func cmdBench(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	handle := fs.Uint("handle", 0, "tenant handle")
+	n := fs.Int("n", 10000, "operations")
+	depth := fs.Int("depth", 8, "queue depth")
+	size := fs.Int("size", 4096, "I/O size")
+	writePct := fs.Int("write-pct", 0, "write percentage")
+	span := fs.Uint64("span", 1<<16, "LBA span")
+	fs.Parse(args)
+
+	lat := make([]time.Duration, 0, *n)
+	start := time.Now()
+	sem := make(chan struct{}, *depth)
+	done := make(chan time.Duration, *depth)
+	issued, completed := 0, 0
+	for completed < *n {
+		for issued < *n && len(sem) < cap(sem) {
+			sem <- struct{}{}
+			lba := uint32(uint64(issued*8) % *span)
+			t0 := time.Now()
+			var call *client.Call
+			var err error
+			if issued%100 < *writePct {
+				call, err = cl.GoWrite(uint16(*handle), lba, make([]byte, *size))
+			} else {
+				call, err = cl.GoRead(uint16(*handle), lba, *size)
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
+			go func() {
+				<-call.Done
+				if call.Err != nil {
+					log.Fatal(call.Err)
+				}
+				done <- time.Since(t0)
+			}()
+			issued++
+		}
+		lat = append(lat, <-done)
+		<-sem
+		completed++
+	}
+	elapsed := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	fmt.Printf("%d ops in %v: %.0f IOPS\n", *n, elapsed.Round(time.Millisecond),
+		float64(*n)/elapsed.Seconds())
+	fmt.Printf("latency p50=%v p95=%v p99=%v max=%v\n",
+		p(0.50).Round(time.Microsecond), p(0.95).Round(time.Microsecond),
+		p(0.99).Round(time.Microsecond), lat[len(lat)-1].Round(time.Microsecond))
+}

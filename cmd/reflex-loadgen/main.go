@@ -1,0 +1,200 @@
+// Command reflex-loadgen drives a running reflex-server the way the
+// paper's extended mutilate does (§5.1): a set of load connections offers
+// a fixed open-loop request rate, while one separate, unloaded probe
+// connection issues one request at a time to measure latency unpolluted by
+// client-side queueing.
+//
+// Example:
+//
+//	reflex-server -addr :7700 &
+//	reflex-loadgen -addr 127.0.0.1:7700 -rate 50000 -conns 8 -read-pct 90 -duration 10s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "server address")
+	rate := flag.Float64("rate", 10_000, "offered load in IOPS across all connections")
+	conns := flag.Int("conns", 4, "load connections")
+	readPct := flag.Int("read-pct", 100, "read percentage")
+	size := flag.Int("size", 4096, "I/O size in bytes")
+	span := flag.Int64("span", 1<<17, "LBA span (512B units)")
+	duration := flag.Duration("duration", 5*time.Second, "measurement duration")
+	warmup := flag.Duration("warmup", time.Second, "warmup before measuring")
+	udp := flag.Bool("udp", false, "use the UDP transport")
+	bestEffort := flag.Bool("best-effort", true, "register a best-effort tenant")
+	iopsSLO := flag.Int("slo-iops", 0, "register a latency-critical tenant with this IOPS SLO")
+	sloLatency := flag.Duration("slo-latency", 500*time.Microsecond, "LC tenant p95 SLO")
+	flag.Parse()
+
+	dial := func() *client.Client {
+		var cl *client.Client
+		var err error
+		if *udp {
+			cl, err = client.DialUDP(*addr)
+		} else {
+			cl, err = client.Dial(*addr)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		return cl
+	}
+
+	// Register one tenant shared by every connection, as in §3.2.
+	admin := dial()
+	defer admin.Close()
+	reg := protocol.Registration{Writable: true, BestEffort: *bestEffort}
+	if *iopsSLO > 0 {
+		reg.BestEffort = false
+		reg.IOPS = uint32(*iopsSLO)
+		reg.ReadPercent = uint8(*readPct)
+		reg.LatencyP95 = uint64(sloLatency.Nanoseconds())
+	}
+	handle, err := admin.Register(reg)
+	if err != nil {
+		log.Fatalf("register: %v", err)
+	}
+	fmt.Printf("tenant handle %d (%s)\n", handle, map[bool]string{true: "best-effort", false: "latency-critical"}[reg.BestEffort])
+
+	// Preload the address span so reads return real data.
+	buf := make([]byte, *size)
+	for lba := int64(0); lba < *span; lba += int64(*size / 512) {
+		if err := admin.Write(handle, uint32(lba), buf); err != nil {
+			log.Fatalf("preload: %v", err)
+		}
+	}
+
+	var issued, completed, errs atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Load connections: open-loop, evenly paced.
+	perConn := *rate / float64(*conns)
+	for i := 0; i < *conns; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := dial()
+			defer cl.Close()
+			rng := rand.New(rand.NewSource(int64(i) * 7919))
+			// Accumulator pacing: issue however many requests the elapsed
+			// time calls for each 1ms tick (sub-millisecond tickers
+			// coalesce and would undershoot the offered rate).
+			ticker := time.NewTicker(time.Millisecond)
+			defer ticker.Stop()
+			begin := time.Now()
+			sent := 0.0
+			for {
+				select {
+				case <-stop:
+					return
+				case <-ticker.C:
+				}
+				due := perConn * time.Since(begin).Seconds()
+				for ; sent < due; sent++ {
+					lba := uint32(rng.Int63n(*span) / int64(*size/512) * int64(*size/512))
+					issued.Add(1)
+					var call *client.Call
+					var err error
+					if rng.Intn(100) < *readPct {
+						call, err = cl.GoRead(handle, lba, *size)
+					} else {
+						call, err = cl.GoWrite(handle, lba, buf)
+					}
+					if err != nil {
+						errs.Add(1)
+						continue
+					}
+					go func() {
+						<-call.Done
+						if call.Err != nil {
+							select {
+							case <-stop: // teardown races are not errors
+							default:
+								errs.Add(1)
+							}
+						} else {
+							completed.Add(1)
+						}
+					}()
+				}
+			}
+		}()
+	}
+
+	// The unloaded latency probe: one request at a time.
+	var lat []time.Duration
+	var latMu sync.Mutex
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		cl := dial()
+		defer cl.Close()
+		rng := rand.New(rand.NewSource(4242))
+		measureFrom := time.Now().Add(*warmup)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			lba := uint32(rng.Int63n(*span) / int64(*size/512) * int64(*size/512))
+			t0 := time.Now()
+			_, err := cl.Read(handle, lba, *size)
+			if err != nil {
+				return
+			}
+			if time.Now().After(measureFrom) {
+				latMu.Lock()
+				lat = append(lat, time.Since(t0))
+				latMu.Unlock()
+			}
+			time.Sleep(200 * time.Microsecond) // stay unloaded
+		}
+	}()
+
+	time.Sleep(*warmup)
+	issued.Store(0)
+	completed.Store(0)
+	start := time.Now()
+	time.Sleep(*duration)
+	elapsed := time.Since(start)
+	close(stop)
+	wg.Wait()
+
+	fmt.Printf("offered %.0f IOPS for %v\n", *rate, elapsed.Round(time.Millisecond))
+	fmt.Printf("issued %d, completed %d (%.0f IOPS), errors %d\n",
+		issued.Load(), completed.Load(),
+		float64(completed.Load())/elapsed.Seconds(), errs.Load())
+
+	latMu.Lock()
+	defer latMu.Unlock()
+	if len(lat) == 0 {
+		fmt.Println("no probe samples")
+		return
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	p := func(q float64) time.Duration { return lat[int(q*float64(len(lat)-1))] }
+	var sum time.Duration
+	for _, l := range lat {
+		sum += l
+	}
+	fmt.Printf("probe latency (%d samples): avg %v p50 %v p95 %v p99 %v\n",
+		len(lat), (sum / time.Duration(len(lat))).Round(time.Microsecond),
+		p(0.50).Round(time.Microsecond), p(0.95).Round(time.Microsecond),
+		p(0.99).Round(time.Microsecond))
+}

@@ -1,0 +1,100 @@
+// Command reflex-server runs the real TCP ReFlex server over an in-memory
+// or file-backed flash store. Clients connect with the user-level library
+// (internal/client, exercised by cmd/reflex-cli and the examples).
+//
+// Example:
+//
+//	reflex-server -addr :7700 -size 1GiB -threads 4 -token-rate 420000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/server"
+	"github.com/reflex-go/reflex/internal/storage"
+)
+
+// parseSize parses "64MiB"/"1GiB"/"4096" into bytes.
+func parseSize(s string) (int64, error) {
+	mult := int64(1)
+	upper := strings.ToUpper(s)
+	switch {
+	case strings.HasSuffix(upper, "GIB"):
+		mult, upper = 1<<30, strings.TrimSuffix(upper, "GIB")
+	case strings.HasSuffix(upper, "MIB"):
+		mult, upper = 1<<20, strings.TrimSuffix(upper, "MIB")
+	case strings.HasSuffix(upper, "KIB"):
+		mult, upper = 1<<10, strings.TrimSuffix(upper, "KIB")
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(upper), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad size %q: %w", s, err)
+	}
+	return n * mult, nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:7700", "TCP listen address")
+	udpAddr := flag.String("udp", "", "optional UDP listen address (e.g. :7701)")
+	size := flag.String("size", "256MiB", "device size (e.g. 64MiB, 1GiB)")
+	file := flag.String("file", "", "optional backing file (default: in-memory)")
+	threads := flag.Int("threads", 2, "scheduler threads")
+	tokenRate := flag.Int64("token-rate", 420_000, "token rate (tokens/s) at the strictest SLO")
+	writeCost := flag.Int64("write-cost", 10, "write cost in tokens (device calibration)")
+	readLat := flag.Duration("read-latency", 0, "simulated device read latency (demos)")
+	writeLat := flag.Duration("write-latency", 0, "simulated device write latency (demos)")
+	flag.Parse()
+
+	bytes, err := parseSize(*size)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var backend storage.Backend
+	if *file != "" {
+		backend, err = storage.OpenFile(*file, bytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		backend = storage.NewMem(bytes)
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:    *addr,
+		UDPAddr: *udpAddr,
+		Threads: *threads,
+		Model: core.CostModel{
+			ReadCost:         core.TokenUnit,
+			ReadOnlyReadCost: core.TokenUnit / 2,
+			WriteCost:        core.Tokens(*writeCost) * core.TokenUnit,
+		},
+		TokenRate:      core.Tokens(*tokenRate) * core.TokenUnit,
+		ReadLatency:    *readLat,
+		WriteLatency:   *writeLat,
+		ReadOnlyWindow: 10 * time.Millisecond,
+	}, backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("reflex-server listening on %s (%s device, %d threads, %d tokens/s)",
+		srv.Addr(), *size, *threads, *tokenRate)
+	if u := srv.UDPAddr(); u != "" {
+		log.Printf("udp endpoint on %s", u)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("shutting down")
+	srv.Close()
+	backend.Close()
+}

@@ -1,0 +1,16 @@
+// Package reflex is the root of ReFlex-Go, a from-scratch Go reproduction
+// of "ReFlex: Remote Flash ≈ Local Flash" (Klimovic, Litz, Kozyrakis —
+// ASPLOS 2017).
+//
+// The repository contains two complete implementations of the paper's
+// design sharing one QoS scheduler (internal/core): a real TCP/UDP server
+// and client library (internal/server, internal/client), and a
+// discrete-event simulated cluster (internal/sim and friends) that
+// regenerates every table and figure of the paper's evaluation. See
+// README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-versus-measured results.
+//
+// The root package holds only the benchmark suite (bench_test.go): one
+// testing.B benchmark per table and figure, dispatched through
+// internal/experiments.
+package reflex

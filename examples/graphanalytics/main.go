@@ -1,0 +1,70 @@
+// Graphanalytics: run the FlashX-style out-of-core graph engine on a
+// remote flash block device and compare against local flash — the §5.6
+// legacy-application story. BFS, PageRank, WCC and SCC run as real
+// algorithms over a paged CSR graph; only I/O timing is simulated.
+package main
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/apps/flashx"
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/dataplane"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func main() {
+	const (
+		vertices = 50_000
+		avgDeg   = 12
+	)
+	g := flashx.GenPowerLaw(vertices, avgDeg, 7)
+	fmt.Printf("synthetic power-law graph: %d vertices, %d edges, %d flash pages\n",
+		g.N, g.NumEdges(), g.TotalPages())
+	cachePages := int(g.TotalPages() / 4)
+	fmt.Printf("page cache: %d pages (25%% of the graph)\n\n", cachePages)
+
+	mkLocal := func(eng *sim.Engine) blockdev.Device {
+		dev := flashsim.New(eng, flashsim.DeviceA(), 1)
+		return blockdev.NewLocal(eng, workload.DeviceTarget(eng, dev))
+	}
+	mkRemote := func(eng *sim.Engine) blockdev.Device {
+		net := netsim.New(eng, netsim.TenGbE())
+		dev := flashsim.New(eng, flashsim.DeviceA(), 1)
+		srv := dataplane.NewServer(eng, net, dev,
+			dataplane.DefaultConfig(2, 1_200_000*core.TokenUnit))
+		conns := make([]workload.Target, 6)
+		for i := range conns {
+			tn, err := core.NewTenant(i+1, "graph", core.BestEffort, core.SLO{})
+			if err != nil {
+				panic(err)
+			}
+			srv.RegisterTenant(tn)
+			client := net.NewEndpoint("client", netsim.LinuxClientStack(), int64(i))
+			conns[i] = srv.Connect(client, tn)
+		}
+		return blockdev.NewRemote(eng, conns)
+	}
+
+	fmt.Printf("%-10s %14s %14s %10s\n", "algorithm", "local flash", "ReFlex remote", "slowdown")
+	for _, algo := range []flashx.Algo{flashx.AlgoBFS, flashx.AlgoPR, flashx.AlgoWCC, flashx.AlgoSCC} {
+		engL := sim.NewEngine()
+		localTime, sumL := flashx.Run(engL, flashx.NewPaged(g, mkLocal(engL), cachePages), algo)
+
+		engR := sim.NewEngine()
+		remoteTime, sumR := flashx.Run(engR, flashx.NewPaged(g, mkRemote(engR), cachePages), algo)
+
+		if sumL != sumR {
+			panic(fmt.Sprintf("%s: results differ between local and remote!", algo))
+		}
+		fmt.Printf("%-10s %12dms %12dms %9.2fx\n", algo,
+			localTime/sim.Millisecond, remoteTime/sim.Millisecond,
+			float64(remoteTime)/float64(localTime))
+	}
+	fmt.Println("\nRemote flash through ReFlex costs only a few percent — the paper's")
+	fmt.Println("'remote flash ~= local flash' claim for legacy applications.")
+}

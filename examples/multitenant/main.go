@@ -1,0 +1,99 @@
+// Multitenant: the paper's headline capability — latency-critical tenants
+// with SLOs sharing a flash device with best-effort tenants, the QoS
+// scheduler keeping them isolated (Figure 5 in miniature, on the simulated
+// dataplane).
+//
+// Two latency-critical tenants (A: 120K IOPS read-only, B: 70K IOPS at 80%
+// reads) and two best-effort tenants (C: 95% reads, D: 25% reads) share a
+// single ReFlex thread in front of device A. Run once with the scheduler
+// and once without to see the difference.
+package main
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/dataplane"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func runScenario(disableQoS bool) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 42)
+
+	cfg := dataplane.DefaultConfig(1, 420_000*core.TokenUnit)
+	cfg.DisableQoS = disableQoS
+	srv := dataplane.NewServer(eng, net, dev, cfg)
+
+	mk := func(id int, class core.Class, slo core.SLO) *core.Tenant {
+		t, err := core.NewTenant(id, fmt.Sprintf("tenant-%c", 'A'+id-1), class, slo)
+		if err != nil {
+			panic(err)
+		}
+		srv.RegisterTenant(t)
+		return t
+	}
+	a := mk(1, core.LatencyCritical, core.SLO{IOPS: 120_000, ReadPercent: 100, LatencyP95: 500 * sim.Microsecond})
+	b := mk(2, core.LatencyCritical, core.SLO{IOPS: 70_000, ReadPercent: 80, LatencyP95: 500 * sim.Microsecond})
+	c := mk(3, core.BestEffort, core.SLO{})
+	d := mk(4, core.BestEffort, core.SLO{})
+
+	type row struct {
+		name    string
+		tenant  *core.Tenant
+		iops    float64
+		readPct int
+		res     *workload.Result
+	}
+	rows := []*row{
+		{"A (LC 120K@100%r)", a, 117_500, 100, nil},
+		{"B (LC  70K@ 80%r)", b, 68_500, 80, nil},
+		{"C (BE      95%r)", c, 80_000, 95, nil},
+		{"D (BE      25%r)", d, 80_000, 25, nil},
+	}
+	for i, r := range rows {
+		client := net.NewEndpoint("client", netsim.IXClientStack(), int64(i))
+		conn := srv.Connect(client, r.tenant)
+		// LC clients pace at their target rate with an even op pattern
+		// (mutilate's fixed-rate mode); BE clients offer bursty Poisson
+		// load they expect to be throttled.
+		lc := r.tenant.Class == core.LatencyCritical
+		r.res = workload.OpenLoop{
+			IOPS:     r.iops,
+			Mix:      workload.Mix{ReadPercent: r.readPct, Size: 4096, Blocks: 1 << 22},
+			Uniform:  lc,
+			EvenMix:  lc,
+			Warmup:   30 * sim.Millisecond,
+			Duration: 300 * sim.Millisecond,
+			Seed:     int64(100 + i),
+		}.Start(eng, conn)
+	}
+	// Bound the horizon: saturated BE queues would otherwise keep the
+	// scheduler ticking long after the measurement window.
+	eng.RunUntil(350 * sim.Millisecond)
+
+	label := "QoS scheduler ENABLED"
+	if disableQoS {
+		label = "QoS scheduler DISABLED"
+	}
+	fmt.Printf("\n--- %s ---\n", label)
+	fmt.Printf("%-20s %12s %12s\n", "tenant", "p95 read", "achieved")
+	for _, r := range rows {
+		fmt.Printf("%-20s %10dus %9.0f/s\n", r.name,
+			r.res.ReadLat.Quantile(0.95)/sim.Microsecond, r.res.IOPS())
+	}
+}
+
+func main() {
+	fmt.Println("Four tenants share one ReFlex thread on NVMe device A")
+	fmt.Println("LC SLOs: 500us p95 read latency (device supports 420K tokens/s at that SLO)")
+	runScenario(true)
+	runScenario(false)
+	fmt.Println("\nWithout the scheduler, write interference from tenant D destroys")
+	fmt.Println("everyone's tail latency; with it, A and B meet their SLOs and C/D")
+	fmt.Println("fairly share the leftover tokens (writes cost 10x reads).")
+}

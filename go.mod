@@ -1,0 +1,3 @@
+module github.com/reflex-go/reflex
+
+go 1.22

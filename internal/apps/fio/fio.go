@@ -1,0 +1,141 @@
+// Package fio is a flexible I/O tester in the mold of the FIO tool used in
+// §5.6: multiple jobs (threads), each keeping a fixed queue depth of
+// random or sequential I/Os against a block device, reporting latency
+// percentiles and bandwidth.
+package fio
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/hist"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// Config describes one fio run.
+type Config struct {
+	// Jobs is the number of worker threads. Each job drives its own
+	// device view (e.g. its own blk-mq context).
+	Jobs int
+	// Depth is the per-job I/O queue depth.
+	Depth int
+	// ReadPercent of operations are reads.
+	ReadPercent int
+	// BlockSize is the I/O size in bytes.
+	BlockSize int
+	// Blocks is the device address range in 4KB units.
+	Blocks uint64
+	// Sequential makes each job scan its own disjoint region in order
+	// instead of issuing uniform random I/O.
+	Sequential bool
+	// Warmup is discarded; Runtime is the measurement window.
+	Warmup, Runtime sim.Time
+	Seed            int64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Jobs <= 0:
+		return fmt.Errorf("fio: Jobs must be positive")
+	case c.Depth <= 0:
+		return fmt.Errorf("fio: Depth must be positive")
+	case c.BlockSize <= 0:
+		return fmt.Errorf("fio: BlockSize must be positive")
+	case c.Blocks == 0:
+		return fmt.Errorf("fio: Blocks must be positive")
+	case c.Runtime <= 0:
+		return fmt.Errorf("fio: Runtime must be positive")
+	}
+	return nil
+}
+
+// Result aggregates measurements across jobs.
+type Result struct {
+	ReadLat  *hist.Hist
+	WriteLat *hist.Hist
+	// Completed counts in-window completions.
+	Completed uint64
+	// Window is the measurement duration.
+	Window sim.Time
+	// Bytes is the in-window completed volume.
+	Bytes uint64
+}
+
+// IOPS returns completed operations per second.
+func (r *Result) IOPS() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Completed) * float64(sim.Second) / float64(r.Window)
+}
+
+// MBps returns completed megabytes per second.
+func (r *Result) MBps() float64 {
+	if r.Window <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1e6 * float64(sim.Second) / float64(r.Window)
+}
+
+// Run schedules the tester on eng. devices supplies one Device per job
+// (job i uses devices[i%len(devices)]). The result is complete after the
+// engine drains.
+func Run(eng *sim.Engine, devices []blockdev.Device, cfg Config) *Result {
+	if err := cfg.validate(); err != nil {
+		panic(err)
+	}
+	if len(devices) == 0 {
+		panic("fio: need at least one device")
+	}
+	res := &Result{ReadLat: hist.New(), WriteLat: hist.New(), Window: cfg.Runtime}
+	measureFrom := eng.Now() + cfg.Warmup
+	stopAt := measureFrom + cfg.Runtime
+	blocksPerIO := uint64((cfg.BlockSize + 4095) / 4096)
+
+	for j := 0; j < cfg.Jobs; j++ {
+		dev := devices[j%len(devices)]
+		rng := sim.NewRNG(cfg.Seed + int64(j)*7919)
+		// Sequential jobs scan disjoint regions.
+		regionSize := cfg.Blocks / uint64(cfg.Jobs)
+		cursor := uint64(j) * regionSize
+
+		var issue func()
+		issue = func() {
+			if eng.Now() >= stopAt {
+				return
+			}
+			op := core.OpRead
+			if rng.Intn(100) >= cfg.ReadPercent {
+				op = core.OpWrite
+			}
+			var block uint64
+			if cfg.Sequential {
+				block = cursor
+				cursor += blocksPerIO
+				if regionSize > 0 && cursor >= uint64(j+1)*regionSize {
+					cursor = uint64(j) * regionSize
+				}
+			} else {
+				block = uint64(rng.Int63n(int64(cfg.Blocks)))
+			}
+			arrival := eng.Now()
+			dev.Submit(op, block, cfg.BlockSize, func(lat sim.Time) {
+				if arrival >= measureFrom && eng.Now() <= stopAt {
+					res.Completed++
+					res.Bytes += uint64(cfg.BlockSize)
+					if op == core.OpRead {
+						res.ReadLat.Record(lat)
+					} else {
+						res.WriteLat.Record(lat)
+					}
+				}
+				eng.After(0, issue)
+			})
+		}
+		for d := 0; d < cfg.Depth; d++ {
+			eng.After(0, issue)
+		}
+	}
+	return res
+}

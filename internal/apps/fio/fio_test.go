@@ -1,0 +1,163 @@
+package fio
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func fixedDev(eng *sim.Engine, service sim.Time) blockdev.Device {
+	l := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			eng.After(service, func() { done(service) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+func TestQD1Throughput(t *testing.T) {
+	eng := sim.NewEngine()
+	res := Run(eng, []blockdev.Device{fixedDev(eng, 100*sim.Microsecond)}, Config{
+		Jobs: 1, Depth: 1, ReadPercent: 100, BlockSize: 4096, Blocks: 1 << 20,
+		Runtime: sim.Second, Seed: 1,
+	})
+	eng.Run()
+	if iops := res.IOPS(); iops < 9_800 || iops > 10_200 {
+		t.Fatalf("QD1 IOPS = %.0f, want ~10000", iops)
+	}
+	if res.ReadLat.Max() != 100*sim.Microsecond {
+		t.Fatalf("latency = %d", res.ReadLat.Max())
+	}
+}
+
+func TestDepthScaling(t *testing.T) {
+	run := func(depth int) float64 {
+		eng := sim.NewEngine()
+		res := Run(eng, []blockdev.Device{fixedDev(eng, 100*sim.Microsecond)}, Config{
+			Jobs: 1, Depth: depth, ReadPercent: 100, BlockSize: 4096, Blocks: 1 << 20,
+			Runtime: 500 * sim.Millisecond, Seed: 2,
+		})
+		eng.Run()
+		return res.IOPS()
+	}
+	if q8, q1 := run(8), run(1); q8 < 7*q1 {
+		t.Fatalf("QD8 (%.0f) not ~8x QD1 (%.0f) on unlimited device", q8, q1)
+	}
+}
+
+func TestJobsSpreadAcrossDevices(t *testing.T) {
+	eng := sim.NewEngine()
+	devs := []blockdev.Device{fixedDev(eng, 50*sim.Microsecond), fixedDev(eng, 50*sim.Microsecond)}
+	res := Run(eng, devs, Config{
+		Jobs: 2, Depth: 1, ReadPercent: 100, BlockSize: 4096, Blocks: 1 << 20,
+		Runtime: 200 * sim.Millisecond, Seed: 3,
+	})
+	eng.Run()
+	// Two QD1 jobs at 50us service = 40K IOPS.
+	if iops := res.IOPS(); iops < 39_000 || iops > 41_000 {
+		t.Fatalf("2-job IOPS = %.0f, want ~40000", iops)
+	}
+}
+
+func TestMixedWorkload(t *testing.T) {
+	eng := sim.NewEngine()
+	res := Run(eng, []blockdev.Device{fixedDev(eng, 10*sim.Microsecond)}, Config{
+		Jobs: 1, Depth: 4, ReadPercent: 70, BlockSize: 4096, Blocks: 1 << 20,
+		Runtime: 200 * sim.Millisecond, Seed: 4,
+	})
+	eng.Run()
+	reads := float64(res.ReadLat.Count())
+	total := reads + float64(res.WriteLat.Count())
+	if ratio := reads / total; ratio < 0.67 || ratio > 0.73 {
+		t.Fatalf("read ratio %.2f, want ~0.70", ratio)
+	}
+}
+
+func TestSequentialScansRegion(t *testing.T) {
+	eng := sim.NewEngine()
+	var seen []uint64
+	dev := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			seen = append(seen, b)
+			eng.After(sim.Microsecond, func() { done(sim.Microsecond) })
+		}))
+	dev.Overhead = 0
+	Run(eng, []blockdev.Device{dev}, Config{
+		Jobs: 1, Depth: 1, ReadPercent: 100, BlockSize: 4096, Blocks: 1024,
+		Sequential: true, Runtime: sim.Millisecond, Seed: 5,
+	})
+	eng.Run()
+	if len(seen) < 10 {
+		t.Fatalf("only %d IOs", len(seen))
+	}
+	for i := 1; i < len(seen) && i < 100; i++ {
+		if seen[i] != seen[i-1]+1 && seen[i] != 0 { // wraps to region start
+			t.Fatalf("not sequential at %d: %d after %d", i, seen[i], seen[i-1])
+		}
+	}
+}
+
+func TestMBps(t *testing.T) {
+	eng := sim.NewEngine()
+	res := Run(eng, []blockdev.Device{fixedDev(eng, 100*sim.Microsecond)}, Config{
+		Jobs: 1, Depth: 1, ReadPercent: 100, BlockSize: 8192, Blocks: 1 << 20,
+		Runtime: sim.Second, Seed: 6,
+	})
+	eng.Run()
+	// 10K IOPS x 8KB ~= 82 MB/s.
+	if mbps := res.MBps(); mbps < 78 || mbps > 86 {
+		t.Fatalf("MBps = %.1f, want ~82", mbps)
+	}
+}
+
+func TestAgainstRealDeviceModel(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, flashsim.DeviceA(), 61)
+	local := blockdev.NewLocal(eng, workload.DeviceTarget(eng, dev))
+	res := Run(eng, []blockdev.Device{local}, Config{
+		Jobs: 4, Depth: 16, ReadPercent: 100, BlockSize: 4096, Blocks: 1 << 20,
+		Warmup: 10 * sim.Millisecond, Runtime: 100 * sim.Millisecond, Seed: 7,
+	})
+	eng.Run()
+	if res.Completed == 0 {
+		t.Fatal("no IO completed")
+	}
+	// QD64 against device A should push several hundred K IOPS.
+	if iops := res.IOPS(); iops < 200_000 {
+		t.Fatalf("IOPS = %.0f, want device-class throughput", iops)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := fixedDev(eng, 1)
+	bad := []Config{
+		{Depth: 1, BlockSize: 1, Blocks: 1, Runtime: 1},
+		{Jobs: 1, BlockSize: 1, Blocks: 1, Runtime: 1},
+		{Jobs: 1, Depth: 1, Blocks: 1, Runtime: 1},
+		{Jobs: 1, Depth: 1, BlockSize: 1, Runtime: 1},
+		{Jobs: 1, Depth: 1, BlockSize: 1, Blocks: 1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad config %d accepted", i)
+				}
+			}()
+			Run(eng, []blockdev.Device{dev}, cfg)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("empty device list accepted")
+			}
+		}()
+		Run(eng, nil, Config{Jobs: 1, Depth: 1, BlockSize: 1, Blocks: 1, Runtime: 1})
+	}()
+}

@@ -1,0 +1,239 @@
+package flashx
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// BFS computes breadth-first levels from src (-1 = unreached). Like
+// FlashGraph's vertex-centric engine, each level issues the page faults
+// for the whole frontier at once (asynchronous I/O overlapped across the
+// level) before traversing — random access, but massively parallel.
+func BFS(p *sim.Proc, pg *PagedGraph, src int) []int32 {
+	levels := make([]int32, pg.G.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	frontier := []int32{int32(src)}
+	for depth := int32(1); len(frontier) > 0; depth++ {
+		var next []int32
+		pg.ForEachBatched(p, frontier, false, func(v int32, nbrs []int32) {
+			for _, t := range nbrs {
+				if levels[t] < 0 {
+					levels[t] = depth
+					next = append(next, t)
+				}
+			}
+		})
+		frontier = next
+	}
+	pg.FlushCPU(p)
+	return levels
+}
+
+// PageRank runs the standard damped power iteration for iters rounds using
+// sequential scans over out-edges (push style) — the streaming pattern
+// that makes PR bandwidth-bound.
+func PageRank(p *sim.Proc, pg *PagedGraph, iters int) []float64 {
+	n := pg.G.N
+	const damping = 0.85
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = 1
+	}
+	for it := 0; it < iters; it++ {
+		base := 1 - damping
+		// Dangling mass is redistributed uniformly.
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if pg.G.OutDegree(v) == 0 {
+				dangling += rank[v]
+			}
+		}
+		base += damping * dangling / float64(n)
+		for i := range next {
+			next[i] = base
+		}
+		for v := 0; v < n; v++ {
+			outs := pg.ScanNeighbors(p, v)
+			if len(outs) == 0 {
+				continue
+			}
+			share := damping * rank[v] / float64(len(outs))
+			for _, t := range outs {
+				next[t] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	pg.FlushCPU(p)
+	return rank
+}
+
+// WCC computes weakly connected component labels by label propagation over
+// both edge directions, scanning sequentially until a fixpoint.
+func WCC(p *sim.Proc, pg *PagedGraph) []int32 {
+	n := pg.G.N
+	labels := make([]int32, n)
+	for i := range labels {
+		labels[i] = int32(i)
+	}
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < n; v++ {
+			m := labels[v]
+			for _, t := range pg.ScanNeighbors(p, v) {
+				if labels[t] < m {
+					m = labels[t]
+				}
+			}
+			for _, t := range pg.ScanInNeighbors(p, v) {
+				if labels[t] < m {
+					m = labels[t]
+				}
+			}
+			if m < labels[v] {
+				labels[v] = m
+				changed = true
+			}
+			// Push the minimum outward so propagation converges in few
+			// sweeps.
+			for _, t := range pg.G.Edges[pg.G.Offsets[v]:pg.G.Offsets[v+1]] {
+				if labels[t] > m {
+					labels[t] = m
+					changed = true
+				}
+			}
+		}
+	}
+	pg.FlushCPU(p)
+	return labels
+}
+
+// SCC computes strongly connected components with the forward-backward
+// algorithm FlashGraph-class engines use: trim trivial components, then
+// repeatedly take a pivot and intersect its forward- and backward-reachable
+// sets, each computed with level-parallel (batched-I/O) BFS. Two heavy
+// random-access sweeps per pivot — the benchmark iSCSI slows by 40% on in
+// Fig. 7b.
+func SCC(p *sim.Proc, pg *PagedGraph) []int32 {
+	n := pg.G.N
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	nextComp := int32(0)
+
+	// Trim: a vertex with no out-edges or no in-edges at all is its own
+	// SCC (degree arrays are in memory; no I/O needed).
+	for v := 0; v < n; v++ {
+		if pg.G.Offsets[v+1] == pg.G.Offsets[v] || pg.G.ROffsets[v+1] == pg.G.ROffsets[v] {
+			comp[v] = nextComp
+			nextComp++
+		}
+	}
+
+	// reach marks all active vertices reachable from pivot in the chosen
+	// direction, with frontier-batched page faults.
+	mark := make([]int32, n) // generation stamps
+	gen := int32(0)
+	reach := func(pivot int32, reverse bool) []int32 {
+		gen++
+		out := []int32{pivot}
+		mark[pivot] = gen
+		frontier := []int32{pivot}
+		for len(frontier) > 0 {
+			var next []int32
+			pg.ForEachBatched(p, frontier, reverse, func(v int32, nbrs []int32) {
+				for _, t := range nbrs {
+					if comp[t] < 0 && mark[t] != gen {
+						mark[t] = gen
+						next = append(next, t)
+						out = append(out, t)
+					}
+				}
+			})
+			frontier = next
+		}
+		return out
+	}
+
+	for s := 0; s < n; s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		pivot := int32(s)
+		fwd := reach(pivot, false)
+		fwdMark := make(map[int32]bool, len(fwd))
+		for _, v := range fwd {
+			fwdMark[v] = true
+		}
+		bwd := reach(pivot, true)
+		for _, v := range bwd {
+			if fwdMark[v] {
+				comp[v] = nextComp
+			}
+		}
+		nextComp++
+	}
+	pg.FlushCPU(p)
+	return comp
+}
+
+// Algo names a benchmark algorithm.
+type Algo string
+
+// The four §5.6 benchmarks.
+const (
+	AlgoWCC Algo = "WCC"
+	AlgoPR  Algo = "PR"
+	AlgoBFS Algo = "BFS"
+	AlgoSCC Algo = "SCC"
+)
+
+// Run executes one algorithm over the paged graph in a fresh process and
+// returns the elapsed virtual time plus a result summary value (reached
+// vertices for BFS, component count for WCC/SCC, scaled rank mass for PR)
+// for cross-configuration consistency checks.
+func Run(eng *sim.Engine, pg *PagedGraph, algo Algo) (elapsed sim.Time, summary int64) {
+	var start sim.Time
+	eng.Spawn(string(algo), func(p *sim.Proc) {
+		start = p.Now()
+		switch algo {
+		case AlgoBFS:
+			levels := BFS(p, pg, 0)
+			for _, l := range levels {
+				if l >= 0 {
+					summary++
+				}
+			}
+		case AlgoPR:
+			ranks := PageRank(p, pg, 10)
+			var sum float64
+			for _, r := range ranks {
+				sum += r
+			}
+			summary = int64(sum)
+		case AlgoWCC:
+			summary = int64(countDistinct(WCC(p, pg)))
+		case AlgoSCC:
+			summary = int64(countDistinct(SCC(p, pg)))
+		default:
+			panic(fmt.Sprintf("flashx: unknown algorithm %q", algo))
+		}
+		elapsed = p.Now() - start
+	})
+	eng.Run()
+	return elapsed, summary
+}
+
+func countDistinct(labels []int32) int {
+	seen := make(map[int32]bool)
+	for _, l := range labels {
+		seen[l] = true
+	}
+	return len(seen)
+}

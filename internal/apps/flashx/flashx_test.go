@@ -1,0 +1,491 @@
+package flashx
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// instantDev completes I/O with zero latency.
+func instantDev(eng *sim.Engine) blockdev.Device {
+	l := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			eng.After(0, func() { done(0) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+// slowDev completes I/O after a fixed latency.
+func slowDev(eng *sim.Engine, lat sim.Time) blockdev.Device {
+	l := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			eng.After(lat, func() { done(lat) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+func pagedOn(eng *sim.Engine, g *Graph, dev blockdev.Device) *PagedGraph {
+	cache := int(g.TotalPages()/4) + 2
+	return NewPaged(g, dev, cache)
+}
+
+func ring(n int) *Graph {
+	edges := make([][2]int32, n)
+	for i := 0; i < n; i++ {
+		edges[i] = [2]int32{int32(i), int32((i + 1) % n)}
+	}
+	return Build(n, edges)
+}
+
+func TestBuildCSR(t *testing.T) {
+	g := Build(3, [][2]int32{{0, 1}, {0, 2}, {1, 2}})
+	if g.OutDegree(0) != 2 || g.OutDegree(1) != 1 || g.OutDegree(2) != 0 {
+		t.Fatalf("degrees wrong: %v", g.Offsets)
+	}
+	// Reverse graph: in-neighbors of 2 are {0, 1}.
+	lo, hi := g.ROffsets[2], g.ROffsets[3]
+	if hi-lo != 2 {
+		t.Fatalf("in-degree of 2 = %d", hi-lo)
+	}
+}
+
+func TestBFSOnRing(t *testing.T) {
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, ring(50), instantDev(eng))
+	var levels []int32
+	eng.Spawn("t", func(p *sim.Proc) { levels = BFS(p, pg, 0) })
+	eng.Run()
+	for v, l := range levels {
+		if l != int32(v) {
+			t.Fatalf("ring BFS level[%d] = %d", v, l)
+		}
+	}
+}
+
+// refBFS is an in-memory reference.
+func refBFS(g *Graph, src int) []int32 {
+	levels := make([]int32, g.N)
+	for i := range levels {
+		levels[i] = -1
+	}
+	levels[src] = 0
+	frontier := []int32{int32(src)}
+	for d := int32(1); len(frontier) > 0; d++ {
+		var next []int32
+		for _, v := range frontier {
+			for _, t := range g.Edges[g.Offsets[v]:g.Offsets[v+1]] {
+				if levels[t] < 0 {
+					levels[t] = d
+					next = append(next, t)
+				}
+			}
+		}
+		frontier = next
+	}
+	return levels
+}
+
+func TestBFSMatchesReference(t *testing.T) {
+	g := GenPowerLaw(500, 6, 42)
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, g, instantDev(eng))
+	var levels []int32
+	eng.Spawn("t", func(p *sim.Proc) { levels = BFS(p, pg, 0) })
+	eng.Run()
+	want := refBFS(g, 0)
+	for v := range want {
+		if levels[v] != want[v] {
+			t.Fatalf("BFS level[%d] = %d, want %d", v, levels[v], want[v])
+		}
+	}
+}
+
+// refWCCCount counts weakly connected components with union-find.
+func refWCCCount(g *Graph) int {
+	parent := make([]int32, g.N)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for v := 0; v < g.N; v++ {
+		for _, tgt := range g.Edges[g.Offsets[v]:g.Offsets[v+1]] {
+			a, b := find(int32(v)), find(tgt)
+			if a != b {
+				parent[a] = b
+			}
+		}
+	}
+	seen := map[int32]bool{}
+	for i := range parent {
+		seen[find(int32(i))] = true
+	}
+	return len(seen)
+}
+
+func TestWCCTwoRings(t *testing.T) {
+	// Two disjoint 10-rings: 2 components.
+	var edges [][2]int32
+	for i := 0; i < 10; i++ {
+		edges = append(edges, [2]int32{int32(i), int32((i + 1) % 10)})
+		edges = append(edges, [2]int32{int32(10 + i), int32(10 + (i+1)%10)})
+	}
+	g := Build(20, edges)
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, g, instantDev(eng))
+	var labels []int32
+	eng.Spawn("t", func(p *sim.Proc) { labels = WCC(p, pg) })
+	eng.Run()
+	if n := countDistinct(labels); n != 2 {
+		t.Fatalf("WCC components = %d, want 2", n)
+	}
+}
+
+func TestWCCMatchesUnionFindProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(80)
+		var edges [][2]int32
+		for i := 0; i < n; i++ {
+			edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		g := Build(n, edges)
+		eng := sim.NewEngine()
+		pg := pagedOn(eng, g, instantDev(eng))
+		var labels []int32
+		eng.Spawn("t", func(p *sim.Proc) { labels = WCC(p, pg) })
+		eng.Run()
+		return countDistinct(labels) == refWCCCount(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSCCKnownGraph(t *testing.T) {
+	// Cycle {0,1,2}, cycle {3,4}, bridge 2->3, isolated 5.
+	g := Build(6, [][2]int32{{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 3}, {2, 3}})
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, g, instantDev(eng))
+	var comp []int32
+	eng.Spawn("t", func(p *sim.Proc) { comp = SCC(p, pg) })
+	eng.Run()
+	if n := countDistinct(comp); n != 3 {
+		t.Fatalf("SCC components = %d, want 3 (comp=%v)", n, comp)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatalf("cycle {0,1,2} split: %v", comp)
+	}
+	if comp[3] != comp[4] {
+		t.Fatalf("cycle {3,4} split: %v", comp)
+	}
+	if comp[0] == comp[3] || comp[0] == comp[5] || comp[3] == comp[5] {
+		t.Fatalf("distinct SCCs merged: %v", comp)
+	}
+}
+
+func TestSCCRingIsOneComponent(t *testing.T) {
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, ring(30), instantDev(eng))
+	var comp []int32
+	eng.Spawn("t", func(p *sim.Proc) { comp = SCC(p, pg) })
+	eng.Run()
+	if countDistinct(comp) != 1 {
+		t.Fatal("directed ring must be one SCC")
+	}
+}
+
+func TestPageRankProperties(t *testing.T) {
+	g := GenPowerLaw(300, 5, 9)
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, g, instantDev(eng))
+	var ranks []float64
+	eng.Spawn("t", func(p *sim.Proc) { ranks = PageRank(p, pg, 10) })
+	eng.Run()
+	var sum float64
+	for _, r := range ranks {
+		if r <= 0 {
+			t.Fatal("non-positive rank")
+		}
+		sum += r
+	}
+	if sum < 0.97*float64(g.N) || sum > 1.03*float64(g.N) {
+		t.Fatalf("rank mass = %.1f, want ~%d", sum, g.N)
+	}
+	// Vertex 0 is the biggest hub target in the power-law generator.
+	if ranks[0] < ranks[g.N-1] {
+		t.Fatal("low-ID hub does not out-rank tail vertex")
+	}
+}
+
+func TestPageRankUniformOnRing(t *testing.T) {
+	eng := sim.NewEngine()
+	pg := pagedOn(eng, ring(40), instantDev(eng))
+	var ranks []float64
+	eng.Spawn("t", func(p *sim.Proc) { ranks = PageRank(p, pg, 20) })
+	eng.Run()
+	for _, r := range ranks {
+		if r < 0.99 || r > 1.01 {
+			t.Fatalf("ring ranks not uniform: %v", r)
+		}
+	}
+}
+
+func TestSlowerDeviceSlowsAlgorithms(t *testing.T) {
+	g := GenPowerLaw(2000, 8, 5)
+	run := func(lat sim.Time) sim.Time {
+		eng := sim.NewEngine()
+		pg := pagedOn(eng, g, slowDev(eng, lat))
+		elapsed, _ := Run(eng, pg, AlgoBFS)
+		return elapsed
+	}
+	fast := run(90 * sim.Microsecond)
+	slow := run(250 * sim.Microsecond)
+	if slow <= fast {
+		t.Fatalf("250us device (%d) not slower than 90us device (%d)", slow, fast)
+	}
+}
+
+func TestRunSummariesConsistentAcrossDevices(t *testing.T) {
+	// The algorithm result must not depend on device speed.
+	g := GenPowerLaw(1000, 6, 3)
+	for _, algo := range []Algo{AlgoBFS, AlgoWCC, AlgoSCC, AlgoPR} {
+		eng1 := sim.NewEngine()
+		_, s1 := Run(eng1, pagedOn(eng1, g, instantDev(eng1)), algo)
+		eng2 := sim.NewEngine()
+		_, s2 := Run(eng2, pagedOn(eng2, g, slowDev(eng2, 200*sim.Microsecond)), algo)
+		if s1 != s2 {
+			t.Fatalf("%s summary differs across devices: %d vs %d", algo, s1, s2)
+		}
+	}
+}
+
+func TestCacheEvictionAndStats(t *testing.T) {
+	eng := sim.NewEngine()
+	c := blockdev.NewPageCache(instantDev(eng), 4)
+	eng.Spawn("t", func(p *sim.Proc) {
+		c.Ensure(p, []uint64{0, 1, 2, 3})
+		if c.Misses != 4 || c.Hits != 0 || c.Len() != 4 {
+			t.Errorf("after fill: misses=%d hits=%d len=%d", c.Misses, c.Hits, c.Len())
+		}
+		c.Ensure(p, []uint64{0, 1})
+		if c.Hits != 2 {
+			t.Errorf("hits = %d, want 2", c.Hits)
+		}
+		c.Ensure(p, []uint64{4}) // evicts LRU (page 2 or 3)
+		if c.Evictions != 1 || c.Len() != 4 {
+			t.Errorf("evictions=%d len=%d", c.Evictions, c.Len())
+		}
+		// Pages 0 and 1 were touched recently; still resident.
+		c.Ensure(p, []uint64{0, 1})
+		if c.Hits != 4 {
+			t.Errorf("LRU did not protect recent pages: hits=%d", c.Hits)
+		}
+	})
+	eng.Run()
+}
+
+func TestCacheSingleFlight(t *testing.T) {
+	eng := sim.NewEngine()
+	issued := 0
+	dev := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			issued++
+			eng.After(100*sim.Microsecond, func() { done(0) })
+		}))
+	dev.Overhead = 0
+	c := blockdev.NewPageCache(dev, 8)
+	finished := 0
+	for i := 0; i < 3; i++ {
+		eng.Spawn("t", func(p *sim.Proc) {
+			c.Ensure(p, []uint64{7})
+			finished++
+		})
+	}
+	eng.Run()
+	if issued != 1 {
+		t.Fatalf("single-flight violated: %d device reads for one page", issued)
+	}
+	if finished != 3 {
+		t.Fatalf("only %d waiters finished", finished)
+	}
+	if c.Waits != 2 {
+		t.Fatalf("Waits = %d, want 2", c.Waits)
+	}
+}
+
+func TestCachePrefetchAvoidsBlocking(t *testing.T) {
+	eng := sim.NewEngine()
+	c := blockdev.NewPageCache(slowDev(eng, 100*sim.Microsecond), 64)
+	var elapsed sim.Time
+	eng.Spawn("t", func(p *sim.Proc) {
+		c.Prefetch([]uint64{1, 2, 3, 4})
+		p.Sleep(150 * sim.Microsecond) // prefetches land meanwhile
+		start := p.Now()
+		c.Ensure(p, []uint64{1, 2, 3, 4})
+		elapsed = p.Now() - start
+	})
+	eng.Run()
+	if elapsed != 0 {
+		t.Fatalf("Ensure after prefetch blocked %dus", elapsed/1000)
+	}
+	if c.Hits != 4 {
+		t.Fatalf("hits = %d", c.Hits)
+	}
+}
+
+func TestGenPowerLawDeterministicAndShaped(t *testing.T) {
+	g1 := GenPowerLaw(1000, 8, 77)
+	g2 := GenPowerLaw(1000, 8, 77)
+	if len(g1.Edges) != len(g2.Edges) {
+		t.Fatal("generation not deterministic")
+	}
+	for i := range g1.Edges {
+		if g1.Edges[i] != g2.Edges[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+	// Low-ID vertices receive far more in-edges than high-ID ones.
+	lowIn := g1.ROffsets[100] - g1.ROffsets[0]
+	highIn := g1.ROffsets[1000] - g1.ROffsets[900]
+	if lowIn < 3*highIn {
+		t.Fatalf("degree distribution not skewed: low=%d high=%d", lowIn, highIn)
+	}
+	if g1.TotalPages() == 0 {
+		t.Fatal("no pages")
+	}
+}
+
+func TestGenValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad size accepted")
+		}
+	}()
+	GenPowerLaw(1, 0, 1)
+}
+
+func TestCacheValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	blockdev.NewPageCache(instantDev(sim.NewEngine()), 0)
+}
+
+// refSCC is an in-memory Kosaraju reference.
+func refSCC(g *Graph) []int32 {
+	n := g.N
+	visited := make([]bool, n)
+	order := make([]int32, 0, n)
+	type frame struct {
+		v    int32
+		next int
+	}
+	var stack []frame
+	for s := 0; s < n; s++ {
+		if visited[s] {
+			continue
+		}
+		visited[s] = true
+		stack = append(stack[:0], frame{v: int32(s)})
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			lo, hi := g.Offsets[f.v], g.Offsets[f.v+1]
+			advanced := false
+			for f.next < int(hi-lo) {
+				t := g.Edges[lo+int64(f.next)]
+				f.next++
+				if !visited[t] {
+					visited[t] = true
+					stack = append(stack, frame{v: t})
+					advanced = true
+					break
+				}
+			}
+			if !advanced {
+				order = append(order, f.v)
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	var dfs []int32
+	next := int32(0)
+	for i := len(order) - 1; i >= 0; i-- {
+		root := order[i]
+		if comp[root] >= 0 {
+			continue
+		}
+		comp[root] = next
+		dfs = append(dfs[:0], root)
+		for len(dfs) > 0 {
+			v := dfs[len(dfs)-1]
+			dfs = dfs[:len(dfs)-1]
+			for _, t := range g.REdges[g.ROffsets[v]:g.ROffsets[v+1]] {
+				if comp[t] < 0 {
+					comp[t] = next
+					dfs = append(dfs, t)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// samePartition checks two labelings induce the same partition.
+func samePartition(a, b []int32) bool {
+	fwd := map[int32]int32{}
+	rev := map[int32]int32{}
+	for i := range a {
+		if x, ok := fwd[a[i]]; ok && x != b[i] {
+			return false
+		}
+		if x, ok := rev[b[i]]; ok && x != a[i] {
+			return false
+		}
+		fwd[a[i]] = b[i]
+		rev[b[i]] = a[i]
+	}
+	return true
+}
+
+func TestSCCMatchesKosarajuProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(60)
+		var edges [][2]int32
+		m := rng.Intn(3 * n)
+		for i := 0; i < m; i++ {
+			edges = append(edges, [2]int32{int32(rng.Intn(n)), int32(rng.Intn(n))})
+		}
+		g := Build(n, edges)
+		eng := sim.NewEngine()
+		pg := pagedOn(eng, g, instantDev(eng))
+		var comp []int32
+		eng.Spawn("t", func(p *sim.Proc) { comp = SCC(p, pg) })
+		eng.Run()
+		return samePartition(comp, refSCC(g))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

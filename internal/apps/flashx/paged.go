@@ -1,0 +1,205 @@
+package flashx
+
+import (
+	"sort"
+
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// PagedGraph serves adjacency lists through a page cache, charging modeled
+// CPU time per traversed edge so compute and I/O overlap realistically.
+type PagedGraph struct {
+	G     *Graph
+	cache *blockdev.PageCache
+
+	// EdgeCPU is the modeled compute per traversed edge.
+	EdgeCPU sim.Time
+	// VertexCPU is the modeled compute per processed vertex.
+	VertexCPU sim.Time
+	// MissCPU is the initiator-side CPU stolen from the application core
+	// per missed page: the kernel block/iSCSI/TCP processing that runs on
+	// the same CPU as the vertex program. Backends set it (an iSCSI
+	// initiator with its data copies costs far more than the local NVMe
+	// path).
+	MissCPU sim.Time
+	// Readahead is how many pages ahead sequential scans prefetch.
+	Readahead int
+
+	cpuDebt    sim.Time
+	seenMisses uint64
+}
+
+// NewPaged wraps a graph over a device with a cache of cachePages pages.
+func NewPaged(g *Graph, dev blockdev.Device, cachePages int) *PagedGraph {
+	return &PagedGraph{
+		G:     g,
+		cache: blockdev.NewPageCache(dev, cachePages),
+		// Per-edge/vertex costs approximate FlashGraph's vertex-program
+		// overhead scaled to our page sizes: compute and I/O bandwidth
+		// demand are comparable, so a slow remote path shows up without
+		// drowning out batching effects.
+		EdgeCPU:   30,
+		VertexCPU: 100,
+		MissCPU:   sim.Microsecond,
+		Readahead: 32,
+	}
+}
+
+// Cache exposes cache statistics.
+func (pg *PagedGraph) Cache() *blockdev.PageCache { return pg.cache }
+
+// charge accumulates modeled CPU and sleeps in batches to keep the event
+// count low.
+func (pg *PagedGraph) charge(p *sim.Proc, d sim.Time) {
+	pg.cpuDebt += d
+	if pg.cpuDebt >= 20*sim.Microsecond {
+		p.Sleep(pg.cpuDebt)
+		pg.cpuDebt = 0
+	}
+}
+
+// FlushCPU settles any remaining modeled CPU debt.
+func (pg *PagedGraph) FlushCPU(p *sim.Proc) {
+	pg.chargeMisses(p)
+	if pg.cpuDebt > 0 {
+		p.Sleep(pg.cpuDebt)
+		pg.cpuDebt = 0
+	}
+}
+
+// chargeMisses bills the application core for initiator CPU of any page
+// misses since the last call.
+func (pg *PagedGraph) chargeMisses(p *sim.Proc) {
+	if cur := pg.cache.Misses; cur > pg.seenMisses {
+		pg.charge(p, sim.Time(cur-pg.seenMisses)*pg.MissCPU)
+		pg.seenMisses = cur
+	}
+}
+
+// pageRange lists the pages covering edge indices [lo, hi) mapped by pageOf.
+func pageRange(lo, hi int64, pageOf func(int64) uint64) []uint64 {
+	if hi <= lo {
+		return nil
+	}
+	first, last := pageOf(lo), pageOf(hi-1)
+	pages := make([]uint64, 0, last-first+1)
+	for pp := first; pp <= last; pp++ {
+		pages = append(pages, pp)
+	}
+	return pages
+}
+
+// Neighbors returns v's out-neighbors, faulting in their pages.
+func (pg *PagedGraph) Neighbors(p *sim.Proc, v int) []int32 {
+	lo, hi := pg.G.Offsets[v], pg.G.Offsets[v+1]
+	pg.cache.Ensure(p, pageRange(lo, hi, pg.G.fwdPage))
+	pg.chargeMisses(p)
+	pg.charge(p, pg.VertexCPU+sim.Time(hi-lo)*pg.EdgeCPU)
+	return pg.G.Edges[lo:hi]
+}
+
+// InNeighbors returns v's in-neighbors, faulting in their pages.
+func (pg *PagedGraph) InNeighbors(p *sim.Proc, v int) []int32 {
+	lo, hi := pg.G.ROffsets[v], pg.G.ROffsets[v+1]
+	pg.cache.Ensure(p, pageRange(lo, hi, pg.G.revPage))
+	pg.chargeMisses(p)
+	pg.charge(p, pg.VertexCPU+sim.Time(hi-lo)*pg.EdgeCPU)
+	return pg.G.REdges[lo:hi]
+}
+
+// prefetchAround issues readahead for a sequential scan position.
+func (pg *PagedGraph) prefetchAround(edgeIdx int64, total int64, pageOf func(int64) uint64) {
+	if pg.Readahead <= 0 {
+		return
+	}
+	basePage := pageOf(edgeIdx)
+	lastPage := pageOf(maxI64(total-1, 0))
+	pages := make([]uint64, 0, pg.Readahead)
+	for i := 1; i <= pg.Readahead; i++ {
+		next := basePage + uint64(i)
+		if next > lastPage {
+			break
+		}
+		pages = append(pages, next)
+	}
+	pg.cache.Prefetch(pages)
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ForEachBatched visits the adjacency lists of a set of vertices with the
+// asynchronous vertex-centric I/O pattern of FlashGraph: it faults the
+// vertices' edge pages in cache-bounded chunks (all misses of a chunk in
+// flight at once) and then hands each vertex's neighbor slice to fn. The
+// chunk bound keeps a large frontier from evicting its own pages before
+// they are consumed.
+func (pg *PagedGraph) ForEachBatched(p *sim.Proc, vertices []int32, reverse bool, fn func(v int32, nbrs []int32)) {
+	offsets, pageOf := pg.G.Offsets, pg.G.fwdPage
+	edges := pg.G.Edges
+	if reverse {
+		offsets, pageOf = pg.G.ROffsets, pg.G.revPage
+		edges = pg.G.REdges
+	}
+	// Sort the batch by vertex ID (equivalently, by edge-page order) so
+	// chunks touch contiguous pages and each page is fetched once —
+	// FlashGraph merges active-vertex I/O the same way.
+	vertices = append([]int32(nil), vertices...)
+	sort.Slice(vertices, func(i, j int) bool { return vertices[i] < vertices[j] })
+	budget := pg.cache.Cap() / 3
+	if budget < 1 {
+		budget = 1
+	}
+	// Split the batch into cache-bounded chunks up front so chunk k+1 can
+	// be prefetched while chunk k computes (FlashGraph's compute/I/O
+	// overlap).
+	type chunk struct {
+		lo, hi int
+		pages  []uint64
+	}
+	var chunks []chunk
+	for start := 0; start < len(vertices); {
+		var pages []uint64
+		end := start
+		for end < len(vertices) && (len(pages) < budget || end == start) {
+			v := vertices[end]
+			pages = append(pages, pageRange(offsets[v], offsets[v+1], pageOf)...)
+			end++
+		}
+		chunks = append(chunks, chunk{lo: start, hi: end, pages: pages})
+		start = end
+	}
+	for i, ch := range chunks {
+		pg.cache.Ensure(p, ch.pages)
+		if i+1 < len(chunks) {
+			// Fetch the next chunk while this one computes.
+			pg.cache.Prefetch(chunks[i+1].pages)
+		}
+		pg.chargeMisses(p)
+		for _, v := range vertices[ch.lo:ch.hi] {
+			lo, hi := offsets[v], offsets[v+1]
+			pg.charge(p, pg.VertexCPU+sim.Time(hi-lo)*pg.EdgeCPU)
+			fn(v, edges[lo:hi])
+		}
+	}
+}
+
+// ScanNeighbors returns v's out-neighbors during a sequential
+// vertex-ordered scan, with readahead.
+func (pg *PagedGraph) ScanNeighbors(p *sim.Proc, v int) []int32 {
+	lo := pg.G.Offsets[v]
+	pg.prefetchAround(lo, int64(len(pg.G.Edges)), pg.G.fwdPage)
+	return pg.Neighbors(p, v)
+}
+
+// ScanInNeighbors is ScanNeighbors for the reverse graph.
+func (pg *PagedGraph) ScanInNeighbors(p *sim.Proc, v int) []int32 {
+	lo := pg.G.ROffsets[v]
+	pg.prefetchAround(lo, int64(len(pg.G.REdges)), pg.G.revPage)
+	return pg.InNeighbors(p, v)
+}

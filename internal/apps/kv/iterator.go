@@ -1,0 +1,143 @@
+package kv
+
+import (
+	"container/heap"
+	"sort"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// Range scans: a merging iterator over the memtable, immutable memtables
+// and every SSTable, newest source winning on duplicate keys and
+// tombstones suppressing older values — the standard LSM read path for
+// db_bench's seekrandom-style workloads.
+
+// KV is one key/value pair returned by a scan.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// source is one sorted input to the merge.
+type source struct {
+	entries []entry
+	pos     int
+	// priority breaks key ties: lower wins (newer source).
+	priority int
+}
+
+func (s *source) head() entry { return s.entries[s.pos] }
+func (s *source) done() bool  { return s.pos >= len(s.entries) }
+
+// mergeHeap orders sources by (head key, priority).
+type mergeHeap []*source
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	if h[i].head().key != h[j].head().key {
+		return h[i].head().key < h[j].head().key
+	}
+	return h[i].priority < h[j].priority
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(*source)) }
+func (h *mergeHeap) Pop() any {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}
+
+// sortedRange extracts [start, end) from a map as sorted entries.
+func sortedRange(m map[string][]byte, start, end string) []entry {
+	out := make([]entry, 0, 16)
+	for k, v := range m {
+		if k >= start && (end == "" || k < end) {
+			out = append(out, entry{key: k, value: v})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}
+
+// tableRange reads the blocks of t covering [start, end) through the block
+// cache and decodes the in-range entries.
+func (db *DB) tableRange(p *sim.Proc, t *sstable, start, end string) []entry {
+	if t.entries == 0 || (end != "" && t.minKey >= end) || t.maxKey < start {
+		return nil
+	}
+	first := t.findBlock(start)
+	if first < 0 {
+		first = 0
+	}
+	var out []entry
+	for bi := first; bi < len(t.blocks); bi++ {
+		if end != "" && t.firstKeys[bi] >= end {
+			break
+		}
+		db.readBlock(p, t, bi)
+		for _, e := range decodeBlock(t.blocks[bi]) {
+			if e.key < start {
+				continue
+			}
+			if end != "" && e.key >= end {
+				return out
+			}
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Scan returns up to limit live key/value pairs in [start, end), in key
+// order (end == "" means unbounded; limit <= 0 means unlimited). Newest
+// versions win; tombstones hide older values and are not returned.
+func (db *DB) Scan(p *sim.Proc, start, end string, limit int) []KV {
+	var h mergeHeap
+	add := func(entries []entry, priority int) {
+		if len(entries) > 0 {
+			h = append(h, &source{entries: entries, priority: priority})
+		}
+	}
+	prio := 0
+	add(sortedRange(db.mem, start, end), prio)
+	prio++
+	for _, snap := range db.imm {
+		add(sortedRange(snap.m, start, end), prio)
+		prio++
+	}
+	for _, t := range db.tables { // newest first
+		add(db.tableRange(p, t, start, end), prio)
+		prio++
+	}
+	heap.Init(&h)
+
+	var out []KV
+	lastKey := ""
+	haveLast := false
+	for h.Len() > 0 {
+		if limit > 0 && len(out) >= limit {
+			break
+		}
+		s := h[0]
+		e := s.head()
+		s.pos++
+		if s.done() {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+		if haveLast && e.key == lastKey {
+			continue // older version shadowed by a newer source
+		}
+		lastKey, haveLast = e.key, true
+		if e.value == nil {
+			continue // tombstone
+		}
+		val := make([]byte, len(e.value))
+		copy(val, e.value)
+		out = append(out, KV{Key: e.key, Value: val})
+	}
+	return out
+}

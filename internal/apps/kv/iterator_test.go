@@ -1,0 +1,165 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+func TestScanBasic(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), smallOpts())
+	run(eng, func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			db.Put(p, fmt.Sprintf("k%03d", i), []byte(fmt.Sprintf("v%d", i)))
+		}
+		got := db.Scan(p, "k010", "k020", 0)
+		if len(got) != 10 {
+			t.Fatalf("scan returned %d entries, want 10", len(got))
+		}
+		for i, kv := range got {
+			want := fmt.Sprintf("k%03d", 10+i)
+			if kv.Key != want || string(kv.Value) != fmt.Sprintf("v%d", 10+i) {
+				t.Fatalf("entry %d = %s=%s", i, kv.Key, kv.Value)
+			}
+		}
+		// Unbounded with limit.
+		got = db.Scan(p, "", "", 5)
+		if len(got) != 5 || got[0].Key != "k000" {
+			t.Fatalf("limited scan = %d entries starting %s", len(got), got[0].Key)
+		}
+	})
+}
+
+func TestScanAcrossMemtableAndTables(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), smallOpts())
+	run(eng, func(p *sim.Proc) {
+		// Old versions in a table, new versions in the memtable.
+		for i := 0; i < 20; i++ {
+			db.Put(p, fmt.Sprintf("k%02d", i), []byte("old"))
+		}
+		db.Flush(p)
+		for i := 0; i < 20; i += 2 {
+			db.Put(p, fmt.Sprintf("k%02d", i), []byte("new"))
+		}
+		got := db.Scan(p, "", "", 0)
+		if len(got) != 20 {
+			t.Fatalf("scan = %d entries, want 20", len(got))
+		}
+		for i, kv := range got {
+			want := "old"
+			if i%2 == 0 {
+				want = "new"
+			}
+			if string(kv.Value) != want {
+				t.Fatalf("%s = %s, want %s (newest version must win)", kv.Key, kv.Value, want)
+			}
+		}
+	})
+}
+
+func TestScanSkipsTombstones(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), smallOpts())
+	run(eng, func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			db.Put(p, fmt.Sprintf("k%d", i), []byte("v"))
+		}
+		db.Flush(p)
+		db.Delete(p, "k3")
+		db.Delete(p, "k7")
+		got := db.Scan(p, "", "", 0)
+		if len(got) != 8 {
+			t.Fatalf("scan = %d entries, want 8 (two tombstoned)", len(got))
+		}
+		for _, kv := range got {
+			if kv.Key == "k3" || kv.Key == "k7" {
+				t.Fatalf("tombstoned key %s surfaced", kv.Key)
+			}
+		}
+	})
+}
+
+func TestScanMatchesReferenceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		opt := smallOpts()
+		opt.CompactAt = 4
+		db := Open(instantDev(eng), opt)
+		ref := map[string]string{}
+		ok := true
+		run(eng, func(p *sim.Proc) {
+			for op := 0; op < 300; op++ {
+				k := fmt.Sprintf("key%02d", rng.Intn(50))
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := fmt.Sprintf("v%d", op)
+					db.Put(p, k, []byte(v))
+					ref[k] = v
+				case 2:
+					db.Delete(p, k)
+					delete(ref, k)
+				}
+				if rng.Intn(40) == 0 {
+					db.Flush(p)
+				}
+			}
+			// Compare a random range scan to the reference map.
+			start := fmt.Sprintf("key%02d", rng.Intn(50))
+			end := fmt.Sprintf("key%02d", rng.Intn(50))
+			if end != "" && end < start {
+				start, end = end, start
+			}
+			got := db.Scan(p, start, end, 0)
+			var want []string
+			for k := range ref {
+				if k >= start && (end == "" || k < end) {
+					want = append(want, k)
+				}
+			}
+			sort.Strings(want)
+			if len(got) != len(want) {
+				ok = false
+				return
+			}
+			for i, kv := range got {
+				if kv.Key != want[i] || string(kv.Value) != ref[kv.Key] {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanChargesIO(t *testing.T) {
+	// A scan over flushed tables must read blocks through the device.
+	eng := sim.NewEngine()
+	db := Open(slowDev(eng, 100*sim.Microsecond, 10*sim.Microsecond), smallOpts())
+	var elapsed sim.Time
+	run(eng, func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			db.Put(p, fmt.Sprintf("k%04d", i), make([]byte, 100))
+		}
+		db.Flush(p)
+		start := p.Now()
+		got := db.Scan(p, "", "", 0)
+		elapsed = p.Now() - start
+		if len(got) != 500 {
+			t.Fatalf("scan = %d", len(got))
+		}
+	})
+	if elapsed == 0 {
+		t.Fatal("scan over tables cost no simulated time")
+	}
+}

@@ -1,0 +1,322 @@
+// Package kv is an LSM-tree key-value store in the mold of RocksDB, used
+// for the §5.6 key-value benchmarks (Figure 7c: bulkload, randomread,
+// readwhilewriting). It is a real store — a write-ahead log, a memtable,
+// bloom-filtered SSTables, tiered compaction and an LRU block cache — whose
+// block I/O timing flows through a simulated block device, so end-to-end
+// run time reflects the storage architecture underneath.
+package kv
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// Options tune the store.
+type Options struct {
+	// MemtableBytes triggers a flush when the memtable grows past it.
+	MemtableBytes int
+	// BlockBytes is the SSTable block size (4KB, the flash page size).
+	BlockBytes int
+	// CacheBlocks is the block cache capacity (cgroup-limited memory in
+	// the paper's setup, §5.6).
+	CacheBlocks int
+	// BloomBitsPerKey sizes per-table bloom filters.
+	BloomBitsPerKey int
+	// CompactAt merges all tables into one when the table count reaches
+	// it (tiered compaction).
+	CompactAt int
+	// PutCPU/GetCPU model per-operation compute.
+	PutCPU, GetCPU sim.Time
+	// ClientCPU, when set, is a shared CPU pool the per-operation compute
+	// is charged on, so concurrent reader processes contend for cores the
+	// way db_bench threads do. Nil charges compute on each process's own
+	// virtual time instead.
+	ClientCPU *sim.Resource
+}
+
+// DefaultOptions returns sensible defaults for the benchmarks.
+func DefaultOptions() Options {
+	return Options{
+		MemtableBytes:   1 << 20,
+		BlockBytes:      4096,
+		CacheBlocks:     2048,
+		BloomBitsPerKey: 10,
+		CompactAt:       8,
+		PutCPU:          600,
+		GetCPU:          600,
+	}
+}
+
+// Stats count store activity.
+type Stats struct {
+	Puts, Gets, Deletes    uint64
+	Flushes, Compactions   uint64
+	BloomSkips             uint64
+	BlocksRead             uint64
+	BlocksWritten          uint64
+	WALWrites              uint64
+	TablesNow, EntriesDisk int
+}
+
+// DB is an LSM store over a block device. One writer process and any
+// number of reader processes may use it concurrently (the simulator's
+// cooperative scheduling means methods never truly race, but state is kept
+// consistent across the blocking points inside Flush and compaction).
+type DB struct {
+	dev   blockdev.Device
+	opt   Options
+	cache *blockdev.PageCache
+
+	mem      map[string][]byte
+	memBytes int
+	// imm holds memtables being flushed, newest first; still readable.
+	imm []*memSnapshot
+
+	tables []*sstable // newest first
+
+	nextBlock uint64 // device allocation cursor
+	walBuf    int    // bytes accumulated toward the next WAL page
+	walBlock  uint64 // dedicated WAL page, rewritten in place
+
+	cpuDebt sim.Time
+	stats   Stats
+}
+
+// Open creates an empty store on the device.
+func Open(dev blockdev.Device, opt Options) *DB {
+	if opt.BlockBytes <= 0 || opt.MemtableBytes <= 0 || opt.CacheBlocks <= 0 || opt.CompactAt < 2 {
+		panic(fmt.Sprintf("kv: invalid options %+v", opt))
+	}
+	return &DB{
+		dev:       dev,
+		opt:       opt,
+		cache:     blockdev.NewPageCache(dev, opt.CacheBlocks),
+		mem:       make(map[string][]byte),
+		nextBlock: 1, // block 0 is the WAL page
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (db *DB) Stats() Stats {
+	s := db.stats
+	s.TablesNow = len(db.tables)
+	for _, t := range db.tables {
+		s.EntriesDisk += t.entries
+	}
+	return s
+}
+
+// charge accounts modeled per-operation CPU: on the shared pool when one
+// is configured (readers contend), otherwise batched into occasional
+// sleeps on the calling process.
+func (db *DB) charge(p *sim.Proc, d sim.Time) {
+	if db.opt.ClientCPU != nil {
+		c := p.NewCompletion()
+		db.opt.ClientCPU.Schedule(d, func(sim.Time) { c.Complete() })
+		c.Wait()
+		return
+	}
+	db.cpuDebt += d
+	if db.cpuDebt >= 20*sim.Microsecond {
+		p.Sleep(db.cpuDebt)
+		db.cpuDebt = 0
+	}
+}
+
+// wal accounts write-ahead-log bytes and issues a device write per filled
+// page (the paper places the WAL on Flash too). Writes are asynchronous —
+// group commit without fsync-per-put, as db_bench runs by default — so the
+// WAL adds device load but does not serialize the writer.
+func (db *DB) wal(p *sim.Proc, n int) {
+	db.walBuf += n
+	for db.walBuf >= db.opt.BlockBytes {
+		db.walBuf -= db.opt.BlockBytes
+		db.stats.WALWrites++
+		db.dev.Submit(core.OpWrite, db.walBlock, db.opt.BlockBytes, nil)
+	}
+}
+
+// Put inserts or overwrites a key.
+func (db *DB) Put(p *sim.Proc, key string, value []byte) {
+	if value == nil {
+		value = []byte{}
+	}
+	db.putInternal(p, key, value)
+}
+
+// Delete removes a key (tombstone).
+func (db *DB) Delete(p *sim.Proc, key string) {
+	db.stats.Deletes++
+	db.putInternal(p, key, nil)
+}
+
+func (db *DB) putInternal(p *sim.Proc, key string, value []byte) {
+	db.stats.Puts++
+	db.charge(p, db.opt.PutCPU)
+	db.wal(p, 6+len(key)+len(value))
+	if old, ok := db.mem[key]; ok {
+		db.memBytes -= len(key) + len(old)
+	}
+	db.mem[key] = value
+	db.memBytes += len(key) + len(value)
+	if db.memBytes >= db.opt.MemtableBytes {
+		db.Flush(p)
+	}
+}
+
+// Get returns the value for key. Lookup order: memtable, immutable
+// memtables, then tables newest to oldest with bloom filters and the block
+// cache short-circuiting device reads.
+func (db *DB) Get(p *sim.Proc, key string) ([]byte, bool) {
+	db.stats.Gets++
+	db.charge(p, db.opt.GetCPU)
+	if v, ok := db.mem[key]; ok {
+		return v, v != nil
+	}
+	for _, snap := range db.imm {
+		if v, ok := snap.m[key]; ok {
+			return v, v != nil
+		}
+	}
+	for _, t := range db.tables {
+		if !t.filter.mayContain(key) {
+			db.stats.BloomSkips++
+			continue
+		}
+		bi := t.findBlock(key)
+		if bi < 0 || bi >= len(t.blocks) {
+			continue
+		}
+		db.readBlock(p, t, bi)
+		if e, ok := searchBlock(decodeBlock(t.blocks[bi]), key); ok {
+			return e.value, e.value != nil
+		}
+	}
+	return nil, false
+}
+
+// readBlock accounts a timed, cached device read of table block bi.
+func (db *DB) readBlock(p *sim.Proc, t *sstable, bi int) {
+	db.stats.BlocksRead++
+	db.cache.Ensure(p, []uint64{t.baseBlock + uint64(bi)})
+}
+
+// Flush turns the memtable into an SSTable.
+func (db *DB) Flush(p *sim.Proc) {
+	if len(db.mem) == 0 {
+		return
+	}
+	db.stats.Flushes++
+	snapshot := &memSnapshot{m: db.mem}
+	db.mem = make(map[string][]byte)
+	db.memBytes = 0
+	db.imm = append([]*memSnapshot{snapshot}, db.imm...)
+
+	entries := make([]entry, 0, len(snapshot.m))
+	for k, v := range snapshot.m {
+		entries = append(entries, entry{key: k, value: v})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	t := db.writeTable(p, entries)
+
+	// Publish: the new table is visible, the immutable memtable retires.
+	db.tables = append([]*sstable{t}, db.tables...)
+	for i, snap := range db.imm {
+		if snap == snapshot {
+			db.imm = append(db.imm[:i], db.imm[i+1:]...)
+			break
+		}
+	}
+	if len(db.tables) >= db.opt.CompactAt && db.anyOverlap() {
+		db.compact(p)
+	}
+}
+
+// anyOverlap reports whether any two live tables have intersecting key
+// ranges. Sequentially filled tables are disjoint and need no compaction —
+// which is what makes bulkload Flash-bound rather than compaction-bound,
+// as RocksDB's bulkload mode arranges.
+func (db *DB) anyOverlap() bool {
+	byMin := append([]*sstable{}, db.tables...)
+	sort.Slice(byMin, func(i, j int) bool { return byMin[i].minKey < byMin[j].minKey })
+	for i := 1; i < len(byMin); i++ {
+		if byMin[i-1].overlaps(byMin[i]) {
+			return true
+		}
+	}
+	return false
+}
+
+// memSnapshot wraps an immutable memtable so flushes can identify their
+// own snapshot by pointer when retiring it.
+type memSnapshot struct {
+	m map[string][]byte
+}
+
+// writeTable builds an sstable and writes its blocks to the device.
+func (db *DB) writeTable(p *sim.Proc, entries []entry) *sstable {
+	t := buildSSTable(entries, db.opt.BlockBytes, db.opt.BloomBitsPerKey, db.nextBlock)
+	db.nextBlock += uint64(len(t.blocks))
+	// Sequential writes, issued in parallel batches (the device write
+	// buffer absorbs them).
+	wg := p.NewWaitGroup()
+	for i := range t.blocks {
+		wg.Add(1)
+		db.stats.BlocksWritten++
+		db.dev.Submit(core.OpWrite, t.baseBlock+uint64(i), db.opt.BlockBytes,
+			func(sim.Time) { wg.Done() })
+	}
+	wg.Wait()
+	return t
+}
+
+// compact merges every table into one, dropping shadowed versions and
+// tombstones (a full merge is the only time tombstones can be discarded
+// safely).
+func (db *DB) compact(p *sim.Proc) {
+	db.stats.Compactions++
+	old := db.tables
+
+	// Read every block of every table through the device, a batch at a
+	// time (compaction streams with deep queues; its I/O is what makes
+	// bulkload device-bound in Fig. 7c).
+	merged := make(map[string]entry)
+	for i := len(old) - 1; i >= 0; i-- { // oldest first; newer overwrite
+		t := old[i]
+		for lo := 0; lo < len(t.blocks); lo += 64 {
+			hi := lo + 64
+			if hi > len(t.blocks) {
+				hi = len(t.blocks)
+			}
+			pages := make([]uint64, 0, hi-lo)
+			for bi := lo; bi < hi; bi++ {
+				pages = append(pages, t.baseBlock+uint64(bi))
+			}
+			db.stats.BlocksRead += uint64(hi - lo)
+			db.cache.Ensure(p, pages)
+			for bi := lo; bi < hi; bi++ {
+				for _, e := range decodeBlock(t.blocks[bi]) {
+					merged[e.key] = e
+				}
+			}
+		}
+	}
+	entries := make([]entry, 0, len(merged))
+	for _, e := range merged {
+		if e.value == nil {
+			continue // tombstone fully compacted away
+		}
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].key < entries[j].key })
+	t := db.writeTable(p, entries)
+
+	// Replace exactly the tables we merged; tables flushed while we were
+	// blocked (by another process) stay in front.
+	keep := db.tables[:len(db.tables)-len(old)]
+	db.tables = append(append([]*sstable{}, keep...), t)
+}

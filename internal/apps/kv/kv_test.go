@@ -1,0 +1,441 @@
+package kv
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func instantDev(eng *sim.Engine) blockdev.Device {
+	l := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			eng.After(0, func() { done(0) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+func slowDev(eng *sim.Engine, read, write sim.Time) blockdev.Device {
+	l := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			d := read
+			if op == core.OpWrite {
+				d = write
+			}
+			eng.After(d, func() { done(d) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+// run executes fn in a process and drains the engine.
+func run(eng *sim.Engine, fn func(p *sim.Proc)) {
+	eng.Spawn("test", fn)
+	eng.Run()
+}
+
+func smallOpts() Options {
+	o := DefaultOptions()
+	o.MemtableBytes = 4 << 10 // flush often to exercise tables
+	o.CacheBlocks = 64
+	return o
+}
+
+func TestPutGetMemtable(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), DefaultOptions())
+	run(eng, func(p *sim.Proc) {
+		db.Put(p, "alpha", []byte("1"))
+		db.Put(p, "beta", []byte("2"))
+		if v, ok := db.Get(p, "alpha"); !ok || string(v) != "1" {
+			t.Errorf("Get(alpha) = %q, %v", v, ok)
+		}
+		if _, ok := db.Get(p, "missing"); ok {
+			t.Error("missing key found")
+		}
+		// Overwrite.
+		db.Put(p, "alpha", []byte("1b"))
+		if v, _ := db.Get(p, "alpha"); string(v) != "1b" {
+			t.Errorf("overwrite lost: %q", v)
+		}
+	})
+}
+
+func TestFlushAndGetFromTable(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), smallOpts())
+	run(eng, func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			db.Put(p, fmt.Sprintf("key%04d", i), []byte(fmt.Sprintf("val%d", i)))
+		}
+		db.Flush(p)
+		if db.Stats().Flushes == 0 {
+			t.Fatal("no flush happened")
+		}
+		for i := 0; i < 100; i++ {
+			v, ok := db.Get(p, fmt.Sprintf("key%04d", i))
+			if !ok || string(v) != fmt.Sprintf("val%d", i) {
+				t.Fatalf("key%04d = %q, %v", i, v, ok)
+			}
+		}
+	})
+}
+
+func TestNewestVersionWinsAcrossTables(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), smallOpts())
+	run(eng, func(p *sim.Proc) {
+		db.Put(p, "k", []byte("v1"))
+		db.Flush(p)
+		db.Put(p, "k", []byte("v2"))
+		db.Flush(p)
+		db.Put(p, "k", []byte("v3")) // memtable
+		if v, _ := db.Get(p, "k"); string(v) != "v3" {
+			t.Fatalf("got %q, want v3 (memtable)", v)
+		}
+		db.Flush(p)
+		if v, _ := db.Get(p, "k"); string(v) != "v3" {
+			t.Fatalf("got %q, want v3 (newest table)", v)
+		}
+	})
+}
+
+func TestDeleteTombstones(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), smallOpts())
+	run(eng, func(p *sim.Proc) {
+		db.Put(p, "gone", []byte("x"))
+		db.Flush(p)
+		db.Delete(p, "gone")
+		if _, ok := db.Get(p, "gone"); ok {
+			t.Fatal("deleted key visible from memtable tombstone")
+		}
+		db.Flush(p)
+		if _, ok := db.Get(p, "gone"); ok {
+			t.Fatal("deleted key visible from table tombstone")
+		}
+	})
+}
+
+func TestCompactionMergesAndDropsTombstones(t *testing.T) {
+	eng := sim.NewEngine()
+	opt := smallOpts()
+	opt.CompactAt = 3
+	db := Open(instantDev(eng), opt)
+	run(eng, func(p *sim.Proc) {
+		db.Put(p, "dead", []byte("x"))
+		db.Flush(p)
+		db.Delete(p, "dead")
+		db.Put(p, "live", []byte("y"))
+		db.Flush(p)
+		db.Put(p, "live", []byte("z"))
+		db.Flush(p) // triggers compaction at 3 tables
+		st := db.Stats()
+		if st.Compactions == 0 {
+			t.Fatal("no compaction")
+		}
+		if st.TablesNow != 1 {
+			t.Fatalf("tables after compaction = %d, want 1", st.TablesNow)
+		}
+		if _, ok := db.Get(p, "dead"); ok {
+			t.Fatal("tombstoned key resurrected by compaction")
+		}
+		if v, _ := db.Get(p, "live"); string(v) != "z" {
+			t.Fatalf("live = %q, want z", v)
+		}
+		// The compacted table holds exactly one live entry.
+		if st.EntriesDisk != 1 {
+			t.Fatalf("entries on disk = %d, want 1", st.EntriesDisk)
+		}
+	})
+}
+
+func TestBloomFilterSkipsTables(t *testing.T) {
+	eng := sim.NewEngine()
+	opt := smallOpts()
+	opt.CompactAt = 100 // keep many tables
+	db := Open(instantDev(eng), opt)
+	run(eng, func(p *sim.Proc) {
+		for tbl := 0; tbl < 5; tbl++ {
+			for i := 0; i < 50; i++ {
+				db.Put(p, fmt.Sprintf("t%d-k%04d", tbl, i), []byte("v"))
+			}
+			db.Flush(p)
+		}
+		before := db.Stats().BlocksRead
+		for i := 0; i < 200; i++ {
+			db.Get(p, fmt.Sprintf("absent-%d", i))
+		}
+		st := db.Stats()
+		if st.BloomSkips < 800 { // ~5 tables x 200 gets, minus false positives
+			t.Errorf("bloom skips = %d, want ~1000", st.BloomSkips)
+		}
+		if extra := st.BlocksRead - before; extra > 100 {
+			t.Errorf("absent-key gets read %d blocks; bloom ineffective", extra)
+		}
+	})
+}
+
+func TestBlockCacheReducesDeviceReads(t *testing.T) {
+	eng := sim.NewEngine()
+	issued := 0
+	dev := blockdev.NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			if op == core.OpRead {
+				issued++
+			}
+			eng.After(0, func() { done(0) })
+		}))
+	dev.Overhead = 0
+	opt := smallOpts()
+	db := Open(dev, opt)
+	run(eng, func(p *sim.Proc) {
+		for i := 0; i < 200; i++ {
+			db.Put(p, fmt.Sprintf("k%04d", i), make([]byte, 64))
+		}
+		db.Flush(p)
+		for rep := 0; rep < 10; rep++ {
+			for i := 0; i < 200; i++ {
+				db.Get(p, fmt.Sprintf("k%04d", i))
+			}
+		}
+	})
+	st := db.Stats()
+	if st.BlocksRead < 1000 {
+		t.Fatalf("logical block reads = %d, want ~2000", st.BlocksRead)
+	}
+	if issued > int(st.BlocksRead)/5 {
+		t.Fatalf("device reads %d vs logical %d: cache not effective", issued, st.BlocksRead)
+	}
+}
+
+func TestWALWritesAccrue(t *testing.T) {
+	eng := sim.NewEngine()
+	db := Open(instantDev(eng), DefaultOptions())
+	run(eng, func(p *sim.Proc) {
+		for i := 0; i < 100; i++ {
+			db.Put(p, fmt.Sprintf("k%d", i), make([]byte, 200))
+		}
+	})
+	if db.Stats().WALWrites < 4 {
+		t.Fatalf("WAL writes = %d, want ~5 (100 x ~210B / 4KB)", db.Stats().WALWrites)
+	}
+}
+
+func TestReadersDuringWriterFlushes(t *testing.T) {
+	// One writer continuously inserting (forcing flushes and compactions)
+	// while readers query known-stable keys: readers must always see them.
+	eng := sim.NewEngine()
+	opt := smallOpts()
+	opt.CompactAt = 3
+	db := Open(slowDev(eng, 50*sim.Microsecond, 20*sim.Microsecond), opt)
+	stable := map[string]string{}
+	eng.Spawn("init", func(p *sim.Proc) {
+		for i := 0; i < 50; i++ {
+			k, v := fmt.Sprintf("stable%03d", i), fmt.Sprintf("sv%d", i)
+			db.Put(p, k, []byte(v))
+			stable[k] = v
+		}
+		db.Flush(p)
+
+		eng.Spawn("writer", func(p *sim.Proc) {
+			rng := sim.NewRNG(77)
+			for i := 0; i < 2000; i++ {
+				// Random keys so table ranges overlap and compaction runs.
+				db.Put(p, fmt.Sprintf("churn%06d", rng.Intn(1<<20)), make([]byte, 128))
+			}
+		})
+		for r := 0; r < 3; r++ {
+			r := r
+			eng.Spawn("reader", func(p *sim.Proc) {
+				rng := sim.NewRNG(int64(r))
+				for i := 0; i < 500; i++ {
+					k := fmt.Sprintf("stable%03d", rng.Intn(50))
+					v, ok := db.Get(p, k)
+					if !ok || string(v) != stable[k] {
+						t.Errorf("reader %d: %s = %q, %v", r, k, v, ok)
+						return
+					}
+					p.Sleep(10 * sim.Microsecond)
+				}
+			})
+		}
+	})
+	eng.Run()
+	if db.Stats().Compactions == 0 {
+		t.Fatal("test did not exercise compaction")
+	}
+}
+
+func TestRandomOpsMatchReferenceMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eng := sim.NewEngine()
+		opt := smallOpts()
+		opt.CompactAt = 4
+		db := Open(instantDev(eng), opt)
+		ref := map[string]string{}
+		ok := true
+		run(eng, func(p *sim.Proc) {
+			for op := 0; op < 400; op++ {
+				k := fmt.Sprintf("k%02d", rng.Intn(40))
+				switch rng.Intn(4) {
+				case 0, 1: // put
+					v := fmt.Sprintf("v%d", op)
+					db.Put(p, k, []byte(v))
+					ref[k] = v
+				case 2: // delete
+					db.Delete(p, k)
+					delete(ref, k)
+				case 3: // get
+					got, found := db.Get(p, k)
+					want, wantFound := ref[k]
+					if found != wantFound || (found && string(got) != want) {
+						ok = false
+						return
+					}
+				}
+				if rng.Intn(50) == 0 {
+					db.Flush(p)
+				}
+			}
+			// Final verification of every key.
+			for k, want := range ref {
+				got, found := db.Get(p, k)
+				if !found || string(got) != want {
+					ok = false
+					return
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSlowerDeviceSlowsWorkload(t *testing.T) {
+	load := func(read, write sim.Time) sim.Time {
+		eng := sim.NewEngine()
+		db := Open(slowDev(eng, read, write), smallOpts())
+		var elapsed sim.Time
+		run(eng, func(p *sim.Proc) {
+			start := p.Now()
+			for i := 0; i < 2000; i++ {
+				db.Put(p, fmt.Sprintf("key%06d", i), make([]byte, 100))
+			}
+			rng := sim.NewRNG(1)
+			for i := 0; i < 2000; i++ {
+				db.Get(p, fmt.Sprintf("key%06d", rng.Intn(2000)))
+			}
+			elapsed = p.Now() - start
+		})
+		return elapsed
+	}
+	fast := load(90*sim.Microsecond, 11*sim.Microsecond)
+	slow := load(250*sim.Microsecond, 160*sim.Microsecond)
+	if slow <= fast {
+		t.Fatalf("slow device (%d) not slower than fast (%d)", slow, fast)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	bad := []Options{
+		{BlockBytes: 0, MemtableBytes: 1, CacheBlocks: 1, CompactAt: 2},
+		{BlockBytes: 1, MemtableBytes: 0, CacheBlocks: 1, CompactAt: 2},
+		{BlockBytes: 1, MemtableBytes: 1, CacheBlocks: 0, CompactAt: 2},
+		{BlockBytes: 1, MemtableBytes: 1, CacheBlocks: 1, CompactAt: 1},
+	}
+	for i, o := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("bad options %d accepted", i)
+				}
+			}()
+			Open(instantDev(eng), o)
+		}()
+	}
+}
+
+func TestBloomUnit(t *testing.T) {
+	b := newBloom(1000, 10)
+	for i := 0; i < 1000; i++ {
+		b.add(fmt.Sprintf("present-%d", i))
+	}
+	for i := 0; i < 1000; i++ {
+		if !b.mayContain(fmt.Sprintf("present-%d", i)) {
+			t.Fatal("bloom false negative")
+		}
+	}
+	fp := 0
+	for i := 0; i < 10000; i++ {
+		if b.mayContain(fmt.Sprintf("absent-%d", i)) {
+			fp++
+		}
+	}
+	// 10 bits/key with k=4 should be ~2-3% false positives.
+	if fp > 800 {
+		t.Fatalf("false positive rate %d/10000 too high", fp)
+	}
+}
+
+func TestBlockCodecRoundTrip(t *testing.T) {
+	entries := []entry{
+		{key: "a", value: []byte("1")},
+		{key: "bb", value: nil}, // tombstone
+		{key: "ccc", value: []byte{}},
+		{key: "dddd", value: make([]byte, 1000)},
+	}
+	var b []byte
+	for _, e := range entries {
+		b = appendRecord(b, e)
+	}
+	got := decodeBlock(b)
+	if len(got) != len(entries) {
+		t.Fatalf("decoded %d entries, want %d", len(got), len(entries))
+	}
+	for i, e := range entries {
+		if got[i].key != e.key {
+			t.Fatalf("entry %d key %q != %q", i, got[i].key, e.key)
+		}
+		if (got[i].value == nil) != (e.value == nil) {
+			t.Fatalf("entry %d tombstone mismatch", i)
+		}
+		if len(got[i].value) != len(e.value) {
+			t.Fatalf("entry %d length mismatch", i)
+		}
+	}
+}
+
+func TestSSTableFindBlock(t *testing.T) {
+	var entries []entry
+	for i := 0; i < 300; i++ {
+		entries = append(entries, entry{key: fmt.Sprintf("k%04d", i), value: make([]byte, 50)})
+	}
+	tbl := buildSSTable(entries, 512, 10, 0)
+	if len(tbl.blocks) < 10 {
+		t.Fatalf("only %d blocks; block splitting broken", len(tbl.blocks))
+	}
+	for i := 0; i < 300; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		bi := tbl.findBlock(k)
+		if bi < 0 || bi >= len(tbl.blocks) {
+			t.Fatalf("findBlock(%s) = %d", k, bi)
+		}
+		if _, ok := searchBlock(decodeBlock(tbl.blocks[bi]), k); !ok {
+			t.Fatalf("key %s not in its block %d", k, bi)
+		}
+	}
+	if bi := tbl.findBlock("a"); bi != -1 { // before all keys
+		t.Fatalf("findBlock below range = %d, want -1", bi)
+	}
+}

@@ -1,0 +1,191 @@
+package kv
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// entry is one key/value pair; a nil value is a tombstone.
+type entry struct {
+	key   string
+	value []byte // nil = deletion marker
+}
+
+// bloom is a simple split-hash Bloom filter.
+type bloom struct {
+	bits []uint64
+	k    int
+}
+
+func newBloom(n, bitsPerKey int) *bloom {
+	if n < 1 {
+		n = 1
+	}
+	nbits := n * bitsPerKey
+	if nbits < 64 {
+		nbits = 64
+	}
+	return &bloom{bits: make([]uint64, (nbits+63)/64), k: 4}
+}
+
+func bloomHashes(key string) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	h1 := h.Sum64()
+	h2 := h1>>33 | h1<<31
+	if h2 == 0 {
+		h2 = 0x9E3779B97F4A7C15
+	}
+	return h1, h2
+}
+
+func (b *bloom) add(key string) {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		b.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+func (b *bloom) mayContain(key string) bool {
+	h1, h2 := bloomHashes(key)
+	n := uint64(len(b.bits) * 64)
+	for i := 0; i < b.k; i++ {
+		bit := (h1 + uint64(i)*h2) % n
+		if b.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Block encoding: repeated records of
+//
+//	u16 keyLen | u32 valueLen (0xFFFFFFFF = tombstone) | key | value
+//
+// packed into blockBytes-sized blocks.
+const tombstoneLen = ^uint32(0)
+
+func appendRecord(dst []byte, e entry) []byte {
+	var tmp [6]byte
+	binary.BigEndian.PutUint16(tmp[0:], uint16(len(e.key)))
+	vlen := tombstoneLen
+	if e.value != nil {
+		vlen = uint32(len(e.value))
+	}
+	binary.BigEndian.PutUint32(tmp[2:], vlen)
+	dst = append(dst, tmp[:]...)
+	dst = append(dst, e.key...)
+	if e.value != nil {
+		dst = append(dst, e.value...)
+	}
+	return dst
+}
+
+// decodeBlock parses every record in a block.
+func decodeBlock(b []byte) []entry {
+	var out []entry
+	for len(b) >= 6 {
+		klen := int(binary.BigEndian.Uint16(b[0:]))
+		vlen := binary.BigEndian.Uint32(b[2:])
+		b = b[6:]
+		if klen == 0 || len(b) < klen {
+			break
+		}
+		key := string(b[:klen])
+		b = b[klen:]
+		if vlen == tombstoneLen {
+			out = append(out, entry{key: key})
+			continue
+		}
+		if len(b) < int(vlen) {
+			break
+		}
+		val := make([]byte, vlen)
+		copy(val, b[:vlen])
+		b = b[vlen:]
+		out = append(out, entry{key: key, value: val})
+	}
+	return out
+}
+
+// sstable is one immutable sorted table. Block payloads live in memory
+// (they are "the device contents"); block I/O timing goes through the DB's
+// block device at baseBlock+i.
+type sstable struct {
+	blocks    [][]byte
+	firstKeys []string // first key per block
+	filter    *bloom
+	baseBlock uint64
+	entries   int
+	// minKey/maxKey bound the table's key range (compaction gating).
+	minKey, maxKey string
+}
+
+// overlaps reports whether two tables' key ranges intersect.
+func (t *sstable) overlaps(o *sstable) bool {
+	if t.entries == 0 || o.entries == 0 {
+		return false
+	}
+	return t.minKey <= o.maxKey && o.minKey <= t.maxKey
+}
+
+// buildSSTable packs sorted entries into blocks.
+func buildSSTable(entries []entry, blockBytes, bloomBitsPerKey int, baseBlock uint64) *sstable {
+	t := &sstable{
+		filter:    newBloom(len(entries), bloomBitsPerKey),
+		baseBlock: baseBlock,
+		entries:   len(entries),
+	}
+	var cur []byte
+	var first string
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		block := make([]byte, len(cur))
+		copy(block, cur)
+		t.blocks = append(t.blocks, block)
+		t.firstKeys = append(t.firstKeys, first)
+		cur = cur[:0]
+	}
+	if len(entries) > 0 {
+		t.minKey = entries[0].key
+		t.maxKey = entries[len(entries)-1].key
+	}
+	for _, e := range entries {
+		t.filter.add(e.key)
+		rec := appendRecord(nil, e)
+		if len(cur) > 0 && len(cur)+len(rec) > blockBytes {
+			flush()
+		}
+		if len(cur) == 0 {
+			first = e.key
+		}
+		cur = append(cur, rec...)
+	}
+	flush()
+	return t
+}
+
+// findBlock returns the index of the block that may hold key, or -1.
+func (t *sstable) findBlock(key string) int {
+	// First block whose firstKey > key, minus one.
+	i := sort.SearchStrings(t.firstKeys, key)
+	if i < len(t.firstKeys) && t.firstKeys[i] == key {
+		return i
+	}
+	return i - 1
+}
+
+// searchBlock scans a decoded block for key.
+func searchBlock(entries []entry, key string) (entry, bool) {
+	for _, e := range entries {
+		if e.key == key {
+			return e, true
+		}
+	}
+	return entry{}, false
+}

@@ -1,0 +1,178 @@
+package baseline
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func qd1Read(t *testing.T, target workload.Target, eng *sim.Engine) *workload.Result {
+	t.Helper()
+	res := workload.ClosedLoop{
+		Depth:    1,
+		Mix:      workload.Mix{ReadPercent: 100, Size: 4096, Blocks: 1 << 20},
+		Duration: 200 * sim.Millisecond,
+		Seed:     1,
+	}.Start(eng, target)
+	eng.Run()
+	return res
+}
+
+func TestLocalSPDKUnloadedLatency(t *testing.T) {
+	// Table 2 "Local (SPDK)": reads avg 78us p95 90us.
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, flashsim.DeviceA(), 21)
+	node := NewLocalNode(eng, dev, 1)
+	res := qd1Read(t, node.Core(0), eng)
+	avg := res.ReadLat.Mean() / 1000
+	p95 := float64(res.ReadLat.Quantile(0.95)) / 1000
+	if avg < 72 || avg > 88 {
+		t.Errorf("local read avg = %.1fus, want ~79us", avg)
+	}
+	if p95 < 82 || p95 > 100 {
+		t.Errorf("local read p95 = %.1fus, want ~91us", p95)
+	}
+}
+
+func TestLocalSPDKPerCoreCeiling(t *testing.T) {
+	// §5.3: "A single core can support up to 870K IOPS on local Flash."
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, flashsim.DeviceA(), 22)
+	node := NewLocalNode(eng, dev, 1)
+	res := workload.OpenLoop{
+		IOPS:     1_200_000,
+		Mix:      workload.Mix{ReadPercent: 100, Size: 1024, Blocks: 1 << 20},
+		Warmup:   10 * sim.Millisecond,
+		Duration: 200 * sim.Millisecond,
+		Seed:     2,
+	}.Start(eng, node.Core(0))
+	eng.Run()
+	if iops := res.IOPS(); iops < 780_000 || iops > 960_000 {
+		t.Errorf("local 1-core IOPS = %.0f, want ~870K", iops)
+	}
+}
+
+func remoteRig(t *testing.T, prof ServerProfile, stack netsim.StackProfile) (*sim.Engine, *Conn) {
+	t.Helper()
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 23)
+	srv := NewServer(eng, net, dev, prof)
+	client := net.NewEndpoint("client", stack, 5)
+	return eng, srv.Connect(client)
+}
+
+func TestLibaioUnloadedLatency(t *testing.T) {
+	// Table 2 "Libaio (IX Client)": reads avg 121us.
+	eng, conn := remoteRig(t, LibaioProfile(1), netsim.IXClientStack())
+	res := qd1Read(t, conn, eng)
+	avg := res.ReadLat.Mean() / 1000
+	if avg < 110 || avg > 132 {
+		t.Errorf("libaio/IX read avg = %.1fus, want ~121us", avg)
+	}
+}
+
+func TestISCSIUnloadedLatency(t *testing.T) {
+	// Table 2 "iSCSI" (Linux client): reads avg 211us, p95 251us.
+	eng, conn := remoteRig(t, ISCSIProfile(1), netsim.LinuxClientStack())
+	res := qd1Read(t, conn, eng)
+	avg := res.ReadLat.Mean() / 1000
+	if avg < 190 || avg > 232 {
+		t.Errorf("iSCSI read avg = %.1fus, want ~211us", avg)
+	}
+}
+
+func TestISCSIWriteLatency(t *testing.T) {
+	// Table 2 "iSCSI" writes: avg 155us — far above local's 11us.
+	eng, conn := remoteRig(t, ISCSIProfile(1), netsim.LinuxClientStack())
+	res := workload.ClosedLoop{
+		Depth:    1,
+		Mix:      workload.Mix{ReadPercent: 0, Size: 4096, Blocks: 1 << 20},
+		Duration: 200 * sim.Millisecond,
+		Seed:     3,
+	}.Start(eng, conn)
+	eng.Run()
+	avg := res.WriteLat.Mean() / 1000
+	if avg < 120 || avg > 175 {
+		t.Errorf("iSCSI write avg = %.1fus, want ~155us", avg)
+	}
+}
+
+func TestLibaioPerCoreCeiling(t *testing.T) {
+	// §5.3: "the libaio-libevent server achieves only 75K IOPS/core".
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 24)
+	srv := NewServer(eng, net, dev, LibaioProfile(1))
+	var results []*workload.Result
+	for i := 0; i < 4; i++ {
+		conn := srv.Connect(net.NewEndpoint("client", netsim.IXClientStack(), int64(30+i)))
+		results = append(results, workload.OpenLoop{
+			IOPS:     40_000,
+			Mix:      workload.Mix{ReadPercent: 100, Size: 1024, Blocks: 1 << 20},
+			Warmup:   20 * sim.Millisecond,
+			Duration: 300 * sim.Millisecond,
+			Seed:     int64(40 + i),
+		}.Start(eng, conn))
+	}
+	eng.Run()
+	total := 0.0
+	for _, r := range results {
+		total += r.IOPS()
+	}
+	if total < 65_000 || total > 85_000 {
+		t.Errorf("libaio 1-core IOPS = %.0f, want ~75K", total)
+	}
+}
+
+func TestOrderingOfArchitectures(t *testing.T) {
+	// The qualitative Table 2 result: local < ReFlex-class < libaio < iSCSI.
+	eng1, libaio := remoteRig(t, LibaioProfile(1), netsim.IXClientStack())
+	r1 := qd1Read(t, libaio, eng1)
+	eng2, iscsi := remoteRig(t, ISCSIProfile(1), netsim.IXClientStack())
+	r2 := qd1Read(t, iscsi, eng2)
+	if !(r2.ReadLat.Mean() > r1.ReadLat.Mean()) {
+		t.Errorf("iSCSI (%.0fus) not slower than libaio (%.0fus)",
+			r2.ReadLat.Mean()/1000, r1.ReadLat.Mean()/1000)
+	}
+}
+
+func TestConnectionsRoundRobinAcrossThreads(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 25)
+	srv := NewServer(eng, net, dev, LibaioProfile(3))
+	seen := map[*bthread]int{}
+	for i := 0; i < 6; i++ {
+		c := srv.Connect(net.NewEndpoint("c", netsim.IXClientStack(), int64(i)))
+		seen[c.thread]++
+	}
+	if len(seen) != 3 {
+		t.Fatalf("connections spread over %d threads, want 3", len(seen))
+	}
+	for th, n := range seen {
+		if n != 2 {
+			t.Errorf("thread %p got %d conns, want 2", th, n)
+		}
+	}
+}
+
+func TestProfileValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 26)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("zero threads", func() { NewServer(eng, net, dev, ServerProfile{MaxBatch: 1}) })
+	mustPanic("zero batch", func() { NewServer(eng, net, dev, ServerProfile{Threads: 1}) })
+	mustPanic("local zero cores", func() { NewLocalNode(eng, dev, 0) })
+}

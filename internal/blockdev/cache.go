@@ -1,0 +1,121 @@
+package blockdev
+
+import (
+	"container/list"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// PageCache is an LRU cache of device pages with single-flight fetches:
+// concurrent requests for the same missing page issue one device read.
+// It serves as the SAFS-style page cache of the flashx engine and the block cache of the kv store.
+type PageCache struct {
+	dev Device
+	cap int
+
+	lru      *list.List               // of uint64 page numbers, front = MRU
+	resident map[uint64]*list.Element // page -> lru node
+	inflight map[uint64]*fetch
+
+	// Stats.
+	Hits, Misses, Waits, Evictions uint64
+}
+
+type fetch struct {
+	waiters []func()
+}
+
+// NewPageCache creates a cache holding up to capacity pages.
+func NewPageCache(dev Device, capacity int) *PageCache {
+	if capacity <= 0 {
+		panic("blockdev: cache capacity must be positive")
+	}
+	return &PageCache{
+		dev:      dev,
+		cap:      capacity,
+		lru:      list.New(),
+		resident: make(map[uint64]*list.Element),
+		inflight: make(map[uint64]*fetch),
+	}
+}
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int { return len(c.resident) }
+
+// Cap returns the cache capacity in pages.
+func (c *PageCache) Cap() int { return c.cap }
+
+// insert marks a page resident, evicting the LRU page if needed.
+func (c *PageCache) insert(page uint64) {
+	if el, ok := c.resident[page]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	if len(c.resident) >= c.cap {
+		tail := c.lru.Back()
+		if tail != nil {
+			c.lru.Remove(tail)
+			delete(c.resident, tail.Value.(uint64))
+			c.Evictions++
+		}
+	}
+	c.resident[page] = c.lru.PushFront(page)
+}
+
+// startFetch issues the device read for a missing page.
+func (c *PageCache) startFetch(page uint64) *fetch {
+	f := &fetch{}
+	c.inflight[page] = f
+	c.dev.Submit(core.OpRead, page, 4096, func(sim.Time) {
+		delete(c.inflight, page)
+		c.insert(page)
+		for _, w := range f.waiters {
+			w()
+		}
+	})
+	return f
+}
+
+// Ensure blocks the process until every listed page is resident. Duplicate
+// page numbers are fine.
+func (c *PageCache) Ensure(p *sim.Proc, pages []uint64) {
+	wg := p.NewWaitGroup()
+	seen := make(map[uint64]bool, len(pages))
+	for _, page := range pages {
+		if seen[page] {
+			continue
+		}
+		seen[page] = true
+		if el, ok := c.resident[page]; ok {
+			c.Hits++
+			c.lru.MoveToFront(el)
+			continue
+		}
+		var f *fetch
+		if inf, ok := c.inflight[page]; ok {
+			c.Waits++
+			f = inf
+		} else {
+			c.Misses++
+			f = c.startFetch(page)
+		}
+		wg.Add(1)
+		f.waiters = append(f.waiters, wg.Done)
+	}
+	wg.Wait()
+}
+
+// Prefetch starts fetching pages without waiting (readahead).
+func (c *PageCache) Prefetch(pages []uint64) {
+	for _, page := range pages {
+		if _, ok := c.resident[page]; ok {
+			continue
+		}
+		if _, ok := c.inflight[page]; ok {
+			continue
+		}
+		c.Misses++
+		c.startFetch(page)
+	}
+}

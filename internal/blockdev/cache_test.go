@@ -1,0 +1,162 @@
+package blockdev
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func instantDevice(eng *sim.Engine) Device {
+	l := NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			eng.After(0, func() { done(0) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+func countingDevice(eng *sim.Engine, lat sim.Time, reads *int) Device {
+	l := NewLocal(eng, workload.TargetFunc(
+		func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+			if op == core.OpRead {
+				*reads++
+			}
+			eng.After(lat, func() { done(lat) })
+		}))
+	l.Overhead = 0
+	return l
+}
+
+func TestPageCacheHitMissEvict(t *testing.T) {
+	eng := sim.NewEngine()
+	c := NewPageCache(instantDevice(eng), 3)
+	if c.Cap() != 3 {
+		t.Fatal("Cap")
+	}
+	eng.Spawn("t", func(p *sim.Proc) {
+		c.Ensure(p, []uint64{1, 2, 3})
+		if c.Misses != 3 || c.Len() != 3 {
+			t.Errorf("fill: misses=%d len=%d", c.Misses, c.Len())
+		}
+		c.Ensure(p, []uint64{1, 1, 1}) // duplicates collapse
+		if c.Hits != 1 {
+			t.Errorf("duplicate hits counted: %d", c.Hits)
+		}
+		c.Ensure(p, []uint64{4}) // evicts LRU page 2
+		if c.Evictions != 1 {
+			t.Errorf("evictions=%d", c.Evictions)
+		}
+		c.Ensure(p, []uint64{1}) // still resident (recently touched)
+		if c.Hits != 2 {
+			t.Errorf("LRU recency lost: hits=%d", c.Hits)
+		}
+	})
+	eng.Run()
+}
+
+func TestPageCacheSingleFlightAcrossProcs(t *testing.T) {
+	eng := sim.NewEngine()
+	reads := 0
+	c := NewPageCache(countingDevice(eng, 200*sim.Microsecond, &reads), 8)
+	finished := 0
+	for i := 0; i < 5; i++ {
+		eng.Spawn("t", func(p *sim.Proc) {
+			c.Ensure(p, []uint64{42})
+			finished++
+		})
+	}
+	eng.Run()
+	if reads != 1 {
+		t.Fatalf("single-flight violated: %d device reads", reads)
+	}
+	if finished != 5 {
+		t.Fatalf("%d waiters finished", finished)
+	}
+	if c.Waits != 4 {
+		t.Fatalf("Waits=%d, want 4", c.Waits)
+	}
+}
+
+func TestPageCachePrefetchDedup(t *testing.T) {
+	eng := sim.NewEngine()
+	reads := 0
+	c := NewPageCache(countingDevice(eng, 100*sim.Microsecond, &reads), 8)
+	eng.Spawn("t", func(p *sim.Proc) {
+		c.Prefetch([]uint64{1, 2})
+		c.Prefetch([]uint64{1, 2}) // already inflight: no new reads
+		p.Sleep(150 * sim.Microsecond)
+		c.Prefetch([]uint64{1, 2}) // already resident: no new reads
+		c.Ensure(p, []uint64{1, 2})
+	})
+	eng.Run()
+	if reads != 2 {
+		t.Fatalf("prefetch issued %d reads, want 2", reads)
+	}
+	if c.Hits != 2 {
+		t.Fatalf("hits=%d", c.Hits)
+	}
+}
+
+func TestPageCacheCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewPageCache(instantDevice(sim.NewEngine()), 0)
+}
+
+func TestLocalMQContextsAndValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := workload.TargetFunc(func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+		eng.After(0, func() { done(0) })
+	})
+	mq := NewLocalMQ(eng, tgt, 3)
+	if mq.Contexts() != 3 {
+		t.Fatal("contexts")
+	}
+	n := 0
+	eng.At(0, func() {
+		for i := 0; i < 30; i++ {
+			mq.Issue(core.OpRead, uint64(i), 4096, func(sim.Time) { n++ })
+		}
+	})
+	eng.Run()
+	if n != 30 {
+		t.Fatalf("completed %d", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero contexts accepted")
+		}
+	}()
+	NewLocalMQ(eng, tgt, 0)
+}
+
+func TestWriteHelperAndPinnedIssue(t *testing.T) {
+	eng := sim.NewEngine()
+	var ops []core.OpType
+	tgt := workload.TargetFunc(func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+		ops = append(ops, op)
+		eng.After(sim.Microsecond, func() { done(sim.Microsecond) })
+	})
+	r := NewRemote(eng, []workload.Target{tgt, tgt})
+	pinned := r.Context(1)
+	eng.Spawn("t", func(p *sim.Proc) {
+		Write(p, r, 0, 4096)
+		done := false
+		pinned.(interface {
+			Issue(core.OpType, uint64, int, func(sim.Time))
+		}).Issue(core.OpWrite, 1, 4096, func(sim.Time) { done = true })
+		p.Sleep(sim.Millisecond)
+		if !done {
+			t.Error("pinned Issue never completed")
+		}
+	})
+	eng.Run()
+	if len(ops) != 2 || ops[0] != core.OpWrite || ops[1] != core.OpWrite {
+		t.Fatalf("ops = %v", ops)
+	}
+}

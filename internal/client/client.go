@@ -1,0 +1,353 @@
+// Package client is the user-level ReFlex client library (§4.2): it opens
+// TCP connections to a ReFlex server and issues register/unregister and
+// logical-block read/write requests, bypassing any client-side filesystem
+// or block layer. Both synchronous and asynchronous (callback-free,
+// net/rpc-style future) interfaces are provided; many requests may be in
+// flight on one connection, matched by cookie.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// Errors mapped from response statuses.
+var (
+	// ErrBadRequest is a malformed or out-of-range request.
+	ErrBadRequest = errors.New("reflex: bad request")
+	// ErrNoTenant means the handle is not registered.
+	ErrNoTenant = errors.New("reflex: unknown tenant handle")
+	// ErrDenied means the tenant's ACL rejects the operation.
+	ErrDenied = errors.New("reflex: permission denied")
+	// ErrNoCapacity means the SLO was not admissible.
+	ErrNoCapacity = errors.New("reflex: tenant SLO not admissible")
+	// ErrServer is an internal server failure.
+	ErrServer = errors.New("reflex: server error")
+	// ErrClosed means the connection is gone.
+	ErrClosed = errors.New("reflex: connection closed")
+)
+
+func statusErr(s protocol.Status) error {
+	switch s {
+	case protocol.StatusOK:
+		return nil
+	case protocol.StatusBadRequest:
+		return ErrBadRequest
+	case protocol.StatusNoTenant:
+		return ErrNoTenant
+	case protocol.StatusDenied:
+		return ErrDenied
+	case protocol.StatusNoCapacity:
+		return ErrNoCapacity
+	default:
+		return ErrServer
+	}
+}
+
+// Call is an in-flight asynchronous request. Wait on Done, then read Err
+// and Data.
+type Call struct {
+	// Done is closed when the response arrives or the connection fails.
+	Done chan struct{}
+	// Data is the read payload (reads only).
+	Data []byte
+	// Err is the outcome.
+	Err error
+
+	handle uint16
+	status protocol.Status
+}
+
+// transport frames protocol messages over some connection type.
+type transport interface {
+	writeMessage(hdr *protocol.Header, payload []byte) error
+	readMessage() (*protocol.Message, error)
+	close() error
+}
+
+// tcpTransport streams framed messages over TCP.
+type tcpTransport struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+}
+
+func (t *tcpTransport) writeMessage(hdr *protocol.Header, payload []byte) error {
+	if err := protocol.WriteMessage(t.bw, hdr, payload); err != nil {
+		return err
+	}
+	return t.bw.Flush()
+}
+
+func (t *tcpTransport) readMessage() (*protocol.Message, error) {
+	return protocol.ReadMessage(t.br)
+}
+
+func (t *tcpTransport) close() error { return t.c.Close() }
+
+// udpTransport carries one message per datagram (§4.1: TCP is the
+// conservative choice; UDP is the lighter-weight transport the paper
+// anticipates). Datagram transports are lossy in general: a dropped
+// request or response leaves its Call pending forever, so callers on
+// unreliable networks should impose their own deadlines and retries. Only
+// I/Os that fit one datagram are allowed.
+type udpTransport struct {
+	c *net.UDPConn
+}
+
+// MaxUDPPayload bounds a single UDP I/O.
+const MaxUDPPayload = 32 << 10
+
+func (t *udpTransport) writeMessage(hdr *protocol.Header, payload []byte) error {
+	if len(payload) > MaxUDPPayload || hdr.Count > MaxUDPPayload {
+		return ErrBadRequest
+	}
+	var buf bytes.Buffer
+	if err := protocol.WriteMessage(&buf, hdr, payload); err != nil {
+		return err
+	}
+	_, err := t.c.Write(buf.Bytes())
+	return err
+}
+
+func (t *udpTransport) readMessage() (*protocol.Message, error) {
+	buf := make([]byte, 64<<10)
+	n, err := t.c.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return protocol.ReadMessage(bytes.NewReader(buf[:n]))
+}
+
+func (t *udpTransport) close() error { return t.c.Close() }
+
+// Client is a connection to a ReFlex server. It is safe for concurrent use
+// by multiple goroutines.
+type Client struct {
+	t transport
+
+	wmu sync.Mutex
+
+	mu      sync.Mutex
+	pending map[uint64]*Call
+	closed  bool
+
+	cookie atomic.Uint64
+}
+
+// Dial connects to a ReFlex server over TCP.
+func Dial(addr string) (*Client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// The paper's driver sends each request immediately without
+		// coalescing (§4.2); disable Nagle for the same reason.
+		tc.SetNoDelay(true)
+	}
+	return newClient(&tcpTransport{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}), nil
+}
+
+// DialUDP connects to a ReFlex server's UDP endpoint.
+func DialUDP(addr string) (*Client, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c, err := net.DialUDP("udp", nil, ua)
+	if err != nil {
+		return nil, err
+	}
+	return newClient(&udpTransport{c: c}), nil
+}
+
+func newClient(t transport) *Client {
+	cl := &Client{t: t, pending: make(map[uint64]*Call)}
+	go cl.readLoop()
+	return cl
+}
+
+// Close tears the connection down; in-flight calls fail with ErrClosed.
+func (cl *Client) Close() error {
+	return cl.t.close()
+}
+
+func (cl *Client) readLoop() {
+	for {
+		m, err := cl.t.readMessage()
+		if err != nil {
+			cl.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		cl.mu.Lock()
+		call := cl.pending[m.Header.Cookie]
+		delete(cl.pending, m.Header.Cookie)
+		cl.mu.Unlock()
+		if call == nil {
+			continue // response to an abandoned call
+		}
+		call.status = m.Header.Status
+		call.handle = m.Header.Handle
+		call.Data = m.Payload
+		call.Err = statusErr(m.Header.Status)
+		close(call.Done)
+	}
+}
+
+func (cl *Client) fail(err error) {
+	cl.mu.Lock()
+	cl.closed = true
+	pending := cl.pending
+	cl.pending = make(map[uint64]*Call)
+	cl.mu.Unlock()
+	for _, call := range pending {
+		call.Err = err
+		close(call.Done)
+	}
+	cl.t.close()
+}
+
+// send registers the call and writes the request.
+func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
+	call := &Call{Done: make(chan struct{})}
+	hdr.Cookie = cl.cookie.Add(1)
+
+	cl.mu.Lock()
+	if cl.closed {
+		cl.mu.Unlock()
+		return nil, ErrClosed
+	}
+	cl.pending[hdr.Cookie] = call
+	cl.mu.Unlock()
+
+	cl.wmu.Lock()
+	err := cl.t.writeMessage(hdr, payload)
+	cl.wmu.Unlock()
+	if err != nil {
+		cl.mu.Lock()
+		delete(cl.pending, hdr.Cookie)
+		cl.mu.Unlock()
+		if errors.Is(err, ErrBadRequest) {
+			return nil, err // transport-level size limit, not a dead link
+		}
+		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
+	}
+	return call, nil
+}
+
+func (cl *Client) wait(call *Call) error {
+	<-call.Done
+	return call.Err
+}
+
+// Register registers a tenant and returns its handle.
+func (cl *Client) Register(reg protocol.Registration) (uint16, error) {
+	call, err := cl.send(&protocol.Header{Opcode: protocol.OpRegister}, reg.Marshal())
+	if err != nil {
+		return 0, err
+	}
+	if err := cl.wait(call); err != nil {
+		return 0, err
+	}
+	return call.handle, nil
+}
+
+// Unregister removes a tenant.
+func (cl *Client) Unregister(handle uint16) error {
+	call, err := cl.send(&protocol.Header{Opcode: protocol.OpUnregister, Handle: handle}, nil)
+	if err != nil {
+		return err
+	}
+	return cl.wait(call)
+}
+
+// GoRead starts an asynchronous read of n bytes at lba (512-byte units).
+func (cl *Client) GoRead(handle uint16, lba uint32, n int) (*Call, error) {
+	if n <= 0 || n > protocol.MaxPayload {
+		return nil, ErrBadRequest
+	}
+	return cl.send(&protocol.Header{
+		Opcode: protocol.OpRead,
+		Handle: handle,
+		LBA:    lba,
+		Count:  uint32(n),
+	}, nil)
+}
+
+// GoWrite starts an asynchronous write of data at lba (512-byte units).
+func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error) {
+	if len(data) == 0 || len(data) > protocol.MaxPayload {
+		return nil, ErrBadRequest
+	}
+	return cl.send(&protocol.Header{
+		Opcode: protocol.OpWrite,
+		Handle: handle,
+		LBA:    lba,
+		Count:  uint32(len(data)),
+	}, data)
+}
+
+// GoBarrier starts an asynchronous ordering barrier on the tenant: it
+// completes after every I/O submitted before it has completed, and I/O
+// submitted after it waits for it.
+func (cl *Client) GoBarrier(handle uint16) (*Call, error) {
+	return cl.send(&protocol.Header{Opcode: protocol.OpBarrier, Handle: handle}, nil)
+}
+
+// Barrier issues a synchronous ordering barrier.
+func (cl *Client) Barrier(handle uint16) error {
+	call, err := cl.GoBarrier(handle)
+	if err != nil {
+		return err
+	}
+	return cl.wait(call)
+}
+
+// Stats fetches the tenant's scheduler counters.
+func (cl *Client) Stats(handle uint16) (protocol.TenantStats, error) {
+	var out protocol.TenantStats
+	call, err := cl.send(&protocol.Header{Opcode: protocol.OpStats, Handle: handle}, nil)
+	if err != nil {
+		return out, err
+	}
+	if err := cl.wait(call); err != nil {
+		return out, err
+	}
+	if err := out.Unmarshal(call.Data); err != nil {
+		return out, err
+	}
+	return out, nil
+}
+
+// Read reads n bytes at lba synchronously.
+func (cl *Client) Read(handle uint16, lba uint32, n int) ([]byte, error) {
+	call, err := cl.GoRead(handle, lba, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := cl.wait(call); err != nil {
+		return nil, err
+	}
+	return call.Data, nil
+}
+
+// Write writes data at lba synchronously.
+func (cl *Client) Write(handle uint16, lba uint32, data []byte) error {
+	call, err := cl.GoWrite(handle, lba, data)
+	if err != nil {
+		return err
+	}
+	return cl.wait(call)
+}

@@ -1,0 +1,351 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// fakeServer answers protocol messages over one TCP connection with a
+// caller-provided handler.
+func fakeServer(t *testing.T, handle func(m *protocol.Message, reply func(*protocol.Header, []byte))) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				br := bufio.NewReader(c)
+				var wmu sync.Mutex
+				for {
+					m, err := protocol.ReadMessage(br)
+					if err != nil {
+						return
+					}
+					handle(m, func(h *protocol.Header, payload []byte) {
+						wmu.Lock()
+						defer wmu.Unlock()
+						protocol.WriteMessage(c, h, payload)
+					})
+				}
+			}()
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// echoHandler implements just enough of the server to satisfy the client.
+func echoHandler(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+	h := protocol.Header{
+		Opcode: m.Header.Opcode,
+		Flags:  protocol.FlagResponse,
+		Handle: 1,
+		Cookie: m.Header.Cookie,
+	}
+	switch m.Header.Opcode {
+	case protocol.OpRead:
+		reply(&h, bytes.Repeat([]byte{0xEE}, int(m.Header.Count)))
+	default:
+		reply(&h, nil)
+	}
+}
+
+func TestClientMatchesResponsesByCookie(t *testing.T) {
+	// Responses delivered out of order still resolve the right calls.
+	var mu sync.Mutex
+	var pendingReplies []func()
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		h := protocol.Header{
+			Opcode: m.Header.Opcode, Flags: protocol.FlagResponse,
+			Cookie: m.Header.Cookie, Handle: 1,
+		}
+		payload := []byte{byte(m.Header.LBA)} // echo which request this is
+		mu.Lock()
+		pendingReplies = append(pendingReplies, func() { reply(&h, payload) })
+		if len(pendingReplies) == 3 {
+			// Reply in reverse order.
+			for i := len(pendingReplies) - 1; i >= 0; i-- {
+				pendingReplies[i]()
+			}
+			pendingReplies = nil
+		}
+		mu.Unlock()
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	var calls []*Call
+	for i := 0; i < 3; i++ {
+		call, err := cl.GoRead(1, uint32(i), 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, call)
+	}
+	for i, c := range calls {
+		<-c.Done
+		if c.Err != nil {
+			t.Fatal(c.Err)
+		}
+		if c.Data[0] != byte(i) {
+			t.Fatalf("call %d got reply for request %d", i, c.Data[0])
+		}
+	}
+}
+
+func TestClientUnknownCookieIgnored(t *testing.T) {
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		// Send a spurious response first, then the real one.
+		reply(&protocol.Header{
+			Opcode: m.Header.Opcode, Flags: protocol.FlagResponse, Cookie: 999_999,
+		}, nil)
+		echoHandler(m, reply)
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Read(1, 0, 512); err != nil {
+		t.Fatalf("spurious response broke the client: %v", err)
+	}
+}
+
+func TestClientServerDisconnectFailsPending(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan net.Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err == nil {
+			accepted <- c
+		}
+	}()
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	call, err := cl.GoRead(1, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	(<-accepted).Close() // server dies with the call pending
+	select {
+	case <-call.Done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("pending call not failed after disconnect")
+	}
+	if !errors.Is(call.Err, ErrClosed) {
+		t.Fatalf("call error = %v, want ErrClosed", call.Err)
+	}
+	// New sends fail immediately.
+	if _, err := cl.GoRead(1, 0, 512); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after disconnect: %v, want ErrClosed", err)
+	}
+}
+
+func TestClientStatusMapping(t *testing.T) {
+	statuses := map[protocol.Status]error{
+		protocol.StatusBadRequest: ErrBadRequest,
+		protocol.StatusNoTenant:   ErrNoTenant,
+		protocol.StatusDenied:     ErrDenied,
+		protocol.StatusNoCapacity: ErrNoCapacity,
+		protocol.StatusError:      ErrServer,
+	}
+	var next protocol.Status
+	var mu sync.Mutex
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		mu.Lock()
+		st := next
+		mu.Unlock()
+		reply(&protocol.Header{
+			Opcode: m.Header.Opcode, Flags: protocol.FlagResponse,
+			Cookie: m.Header.Cookie, Status: st,
+		}, nil)
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for st, want := range statuses {
+		mu.Lock()
+		next = st
+		mu.Unlock()
+		_, err := cl.Read(1, 0, 512)
+		if !errors.Is(err, want) {
+			t.Errorf("status %v mapped to %v, want %v", st, err, want)
+		}
+	}
+}
+
+func TestUDPTransportSizeCaps(t *testing.T) {
+	// Pure transport-level checks, no server needed.
+	tr := &udpTransport{}
+	if err := tr.writeMessage(&protocol.Header{Count: MaxUDPPayload + 1}, nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversize Count: %v", err)
+	}
+	if err := tr.writeMessage(&protocol.Header{}, make([]byte, MaxUDPPayload+1)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("oversize payload: %v", err)
+	}
+}
+
+func TestDialFailures(t *testing.T) {
+	if _, err := Dial("127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+	if _, err := DialUDP("not-an-address"); err == nil {
+		t.Error("bad UDP address accepted")
+	}
+}
+
+func TestClientControlOps(t *testing.T) {
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		h := protocol.Header{
+			Opcode: m.Header.Opcode, Flags: protocol.FlagResponse,
+			Cookie: m.Header.Cookie, Handle: 7,
+		}
+		switch m.Header.Opcode {
+		case protocol.OpRegister:
+			var reg protocol.Registration
+			if err := reg.Unmarshal(m.Payload); err != nil || reg.ReadPercent != 80 {
+				h.Status = protocol.StatusBadRequest
+			}
+			reply(&h, nil)
+		case protocol.OpStats:
+			st := protocol.TenantStats{Submitted: 123, Tokens: -5}
+			reply(&h, st.Marshal())
+		default:
+			reply(&h, nil)
+		}
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	h, err := cl.Register(protocol.Registration{ReadPercent: 80, IOPS: 1, LatencyP95: 1})
+	if err != nil || h != 7 {
+		t.Fatalf("register: handle=%d err=%v", h, err)
+	}
+	if err := cl.Unregister(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Barrier(h); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cl.Stats(h)
+	if err != nil || st.Submitted != 123 || st.Tokens != -5 {
+		t.Fatalf("stats = %+v, err=%v", st, err)
+	}
+	if err := cl.Write(h, 4, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientStatsShortPayload(t *testing.T) {
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		reply(&protocol.Header{
+			Opcode: m.Header.Opcode, Flags: protocol.FlagResponse, Cookie: m.Header.Cookie,
+		}, []byte{1, 2, 3}) // truncated stats
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Stats(1); err == nil {
+		t.Fatal("truncated stats accepted")
+	}
+}
+
+func TestClientUDPLoopbackEcho(t *testing.T) {
+	// A minimal datagram echo server driving the udpTransport directly.
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	go func() {
+		buf := make([]byte, 64<<10)
+		for {
+			n, from, err := pc.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			m, err := protocol.ReadMessage(bytes.NewReader(buf[:n]))
+			if err != nil {
+				continue
+			}
+			h := protocol.Header{
+				Opcode: m.Header.Opcode, Flags: protocol.FlagResponse,
+				Cookie: m.Header.Cookie, Handle: 2,
+			}
+			var out bytes.Buffer
+			payload := []byte(nil)
+			if m.Header.Opcode == protocol.OpRead {
+				payload = bytes.Repeat([]byte{0x5F}, int(m.Header.Count))
+			}
+			protocol.WriteMessage(&out, &h, payload)
+			pc.WriteToUDP(out.Bytes(), from)
+		}
+	}()
+
+	cl, err := DialUDP(pc.LocalAddr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	got, err := cl.Read(2, 0, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1024 || got[0] != 0x5F {
+		t.Fatalf("udp echo data wrong: %d bytes", len(got))
+	}
+	if err := cl.Write(2, 0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientInputBounds(t *testing.T) {
+	addr := fakeServer(t, echoHandler)
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.GoRead(1, 0, 0); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("zero read: %v", err)
+	}
+	if _, err := cl.GoRead(1, 0, protocol.MaxPayload+1); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("huge read: %v", err)
+	}
+	if _, err := cl.GoWrite(1, 0, nil); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("nil write: %v", err)
+	}
+	if _, err := cl.GoWrite(1, 0, make([]byte, protocol.MaxPayload+1)); !errors.Is(err, ErrBadRequest) {
+		t.Fatalf("huge write: %v", err)
+	}
+}

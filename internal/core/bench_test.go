@@ -1,0 +1,67 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkScheduleRound measures one Algorithm-1 round over a populated
+// scheduler — the cost charged on every dataplane pass.
+func BenchmarkScheduleRound(b *testing.B) {
+	for _, tenants := range []int{1, 10, 100, 1000} {
+		b.Run(fmt.Sprintf("tenants-%d", tenants), func(b *testing.B) {
+			shared := NewSharedState(1, 1_000_000*TokenUnit)
+			s := NewScheduler(modelA(), 0, shared)
+			for i := 0; i < tenants; i++ {
+				t, err := NewTenant(i, "lc", LatencyCritical,
+					SLO{IOPS: 1000, ReadPercent: 90, LatencyP95: 1e6})
+				if err != nil {
+					b.Fatal(err)
+				}
+				s.Register(t)
+			}
+			lc, _ := s.Tenants()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Enqueue(lc[i%tenants], &Request{Op: OpRead, Size: 4096})
+				s.Schedule(int64(i)*1000, func(*Request) {})
+			}
+		})
+	}
+}
+
+// BenchmarkEnqueue measures the per-request queueing cost.
+func BenchmarkEnqueue(b *testing.B) {
+	shared := NewSharedState(1, 1_000_000*TokenUnit)
+	s := NewScheduler(modelA(), 0, shared)
+	t, _ := NewTenant(1, "be", BestEffort, SLO{})
+	s.Register(t)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Enqueue(t, &Request{Op: OpRead, Size: 4096})
+		if i%1024 == 1023 {
+			s.Schedule(int64(i)*100_000, func(*Request) {}) // drain
+		}
+	}
+}
+
+// BenchmarkGlobalBucket measures the cross-thread token exchange.
+func BenchmarkGlobalBucket(b *testing.B) {
+	g := NewGlobalBucket(8)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			g.Add(10)
+			g.TryTake(10)
+		}
+	})
+}
+
+// BenchmarkCost measures the cost-model lookup on the submission path.
+func BenchmarkCost(b *testing.B) {
+	m := modelA()
+	var sink Tokens
+	for i := 0; i < b.N; i++ {
+		sink += m.Cost(OpType(i&1), 4096, i&2 == 0)
+	}
+	_ = sink
+}

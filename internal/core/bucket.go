@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// DefaultBucketResetInterval is the minimum time between global bucket
+// resets. The paper resets the bucket "periodically" to stop best-effort
+// tenants from hoarding donated tokens into uncontrolled bursts (§3.2.2);
+// the period must be much longer than a scheduling round (0.5-100us) or
+// donations would be destroyed before any tenant could claim them.
+const DefaultBucketResetInterval int64 = 5_000_000 // 5ms
+
+// GlobalBucket is the cross-thread pool of spare tokens: LC tenants with
+// excess accumulation donate into it and BE tenants claim from it
+// (§3.2.2). Threads use atomic read-modify-write operations so that QoS
+// scheduling stays decoupled across threads; the bucket is drained once
+// all threads have completed at least one scheduling round since the
+// previous reset AND the reset interval has elapsed, with the last thread
+// performing the reset (§4.1).
+type GlobalBucket struct {
+	tokens atomic.Int64
+	// roundMask tracks which threads completed a round since the last
+	// reset (bit per thread).
+	roundMask atomic.Uint64
+	allMask   uint64
+	threads   int
+	resets    atomic.Uint64
+
+	// ResetInterval is the minimum nanoseconds between drains; 0 drains
+	// on every completed mark cycle.
+	ResetInterval int64
+	lastReset     atomic.Int64
+}
+
+// NewGlobalBucket creates a bucket shared by the given number of scheduler
+// threads (at most 64, far above the paper's 12-core deployment).
+func NewGlobalBucket(threads int) *GlobalBucket {
+	if threads <= 0 || threads > 64 {
+		panic(fmt.Sprintf("core: GlobalBucket supports 1..64 threads, got %d", threads))
+	}
+	g := &GlobalBucket{threads: threads, ResetInterval: DefaultBucketResetInterval}
+	if threads == 64 {
+		g.allMask = ^uint64(0)
+	} else {
+		g.allMask = (1 << uint(threads)) - 1
+	}
+	return g
+}
+
+// Tokens returns the current bucket balance in millitokens.
+func (g *GlobalBucket) Tokens() Tokens { return g.tokens.Load() }
+
+// Resets returns how many times the bucket has been reset.
+func (g *GlobalBucket) Resets() uint64 { return g.resets.Load() }
+
+// Add donates n millitokens to the bucket. Non-positive n is a no-op.
+func (g *GlobalBucket) Add(n Tokens) {
+	if n <= 0 {
+		return
+	}
+	g.tokens.Add(n)
+}
+
+// TryTake removes up to n millitokens and returns the amount taken.
+func (g *GlobalBucket) TryTake(n Tokens) Tokens {
+	if n <= 0 {
+		return 0
+	}
+	for {
+		cur := g.tokens.Load()
+		if cur <= 0 {
+			return 0
+		}
+		take := n
+		if take > cur {
+			take = cur
+		}
+		if g.tokens.CompareAndSwap(cur, cur-take) {
+			return take
+		}
+	}
+}
+
+// MarkRound records that thread completed a scheduling round at time now
+// (nanoseconds). When every thread has marked a round since the last drain
+// and ResetInterval has elapsed, the bucket is drained to zero (the
+// periodic reset preventing uncontrolled BE bursts, §3.2.2). The calling
+// thread index is 0-based.
+func (g *GlobalBucket) MarkRound(thread int, now int64) {
+	if thread < 0 || thread >= g.threads {
+		panic(fmt.Sprintf("core: MarkRound thread %d out of range [0,%d)", thread, g.threads))
+	}
+	bit := uint64(1) << uint(thread)
+	for {
+		old := g.roundMask.Load()
+		merged := old | bit
+		if merged == g.allMask {
+			if now-g.lastReset.Load() < g.ResetInterval {
+				// Too soon: leave the mask complete; a later mark drains.
+				if old == merged || g.roundMask.CompareAndSwap(old, merged) {
+					return
+				}
+				continue
+			}
+			// This thread completes the set: reset mask and drain bucket.
+			if g.roundMask.CompareAndSwap(old, 0) {
+				g.lastReset.Store(now)
+				g.tokens.Store(0)
+				g.resets.Add(1)
+				return
+			}
+			continue
+		}
+		if g.roundMask.CompareAndSwap(old, merged) {
+			return
+		}
+	}
+}
+
+// SharedState is the scheduler configuration shared by all threads of one
+// ReFlex server (one instance per NVMe device, §3.2.2). The control plane
+// updates rates as tenants register and unregister; scheduler threads read
+// them each round. All fields are atomics so updates never block the
+// dataplane.
+type SharedState struct {
+	// Bucket is the global spare-token pool.
+	Bucket *GlobalBucket
+
+	// tokenRate is the total generation rate (mt/s): the maximum weighted
+	// IOPS the device supports at the strictest LC latency SLO.
+	tokenRate atomic.Int64
+	// lcReserved is the sum of LC tenant rates (mt/s).
+	lcReserved atomic.Int64
+	// beCount is the number of registered BE tenants across all threads.
+	beCount atomic.Int64
+}
+
+// NewSharedState creates shared scheduler state for the given thread count
+// and total token rate (millitokens/second).
+func NewSharedState(threads int, tokenRate Tokens) *SharedState {
+	s := &SharedState{Bucket: NewGlobalBucket(threads)}
+	s.tokenRate.Store(tokenRate)
+	return s
+}
+
+// TokenRate returns the total token generation rate in mt/s.
+func (s *SharedState) TokenRate() Tokens { return s.tokenRate.Load() }
+
+// SetTokenRate updates the total token generation rate (control plane:
+// strictest-SLO recalculation, §4.3).
+func (s *SharedState) SetTokenRate(r Tokens) { s.tokenRate.Store(r) }
+
+// LCReserved returns the total rate reserved by LC tenants in mt/s.
+func (s *SharedState) LCReserved() Tokens { return s.lcReserved.Load() }
+
+// BECount returns the number of registered best-effort tenants.
+func (s *SharedState) BECount() int64 { return s.beCount.Load() }
+
+// ReserveLC accounts a newly registered LC tenant's rate.
+func (s *SharedState) ReserveLC(rate Tokens) { s.lcReserved.Add(rate) }
+
+// ReleaseLC returns an unregistered LC tenant's rate.
+func (s *SharedState) ReleaseLC(rate Tokens) { s.lcReserved.Add(-rate) }
+
+// AddBE accounts a newly registered BE tenant.
+func (s *SharedState) AddBE() { s.beCount.Add(1) }
+
+// RemoveBE accounts an unregistered BE tenant.
+func (s *SharedState) RemoveBE() { s.beCount.Add(-1) }
+
+// UnallocatedRate returns the token rate not reserved by LC tenants
+// (mt/s), floored at zero. This is the pool BE tenants share fairly.
+func (s *SharedState) UnallocatedRate() Tokens {
+	u := s.tokenRate.Load() - s.lcReserved.Load()
+	if u < 0 {
+		return 0
+	}
+	return u
+}
+
+// BEFairRate returns one BE tenant's fair share of the unallocated rate
+// (mt/s): 1/Nth of the unallocated throughput (§3.2.2).
+func (s *SharedState) BEFairRate() Tokens {
+	n := s.beCount.Load()
+	if n <= 0 {
+		return 0
+	}
+	return s.UnallocatedRate() / n
+}

@@ -1,0 +1,200 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestGlobalBucketAddTake(t *testing.T) {
+	g := NewGlobalBucket(1)
+	g.Add(1000)
+	g.Add(-5) // no-op
+	g.Add(0)  // no-op
+	if g.Tokens() != 1000 {
+		t.Fatalf("tokens = %d, want 1000", g.Tokens())
+	}
+	if got := g.TryTake(300); got != 300 {
+		t.Fatalf("TryTake(300) = %d", got)
+	}
+	if got := g.TryTake(5000); got != 700 {
+		t.Fatalf("TryTake beyond balance = %d, want 700", got)
+	}
+	if got := g.TryTake(1); got != 0 {
+		t.Fatalf("TryTake on empty = %d, want 0", got)
+	}
+	if got := g.TryTake(-1); got != 0 {
+		t.Fatalf("TryTake(-1) = %d, want 0", got)
+	}
+}
+
+func TestGlobalBucketMarkRoundReset(t *testing.T) {
+	g := NewGlobalBucket(3)
+	g.ResetInterval = 0 // drain on every completed cycle
+	g.Add(500)
+	g.MarkRound(0, 1)
+	g.MarkRound(1, 2)
+	if g.Tokens() != 500 {
+		t.Fatal("bucket reset before all threads marked")
+	}
+	g.MarkRound(2, 3) // completes the set
+	if g.Tokens() != 0 {
+		t.Fatalf("bucket not reset: %d", g.Tokens())
+	}
+	if g.Resets() != 1 {
+		t.Fatalf("resets = %d, want 1", g.Resets())
+	}
+	// Next cycle works again.
+	g.Add(100)
+	g.MarkRound(1, 4)
+	g.MarkRound(0, 5)
+	g.MarkRound(2, 6)
+	if g.Tokens() != 0 || g.Resets() != 2 {
+		t.Fatalf("second cycle: tokens=%d resets=%d", g.Tokens(), g.Resets())
+	}
+}
+
+func TestGlobalBucketSingleThreadResetsEveryRound(t *testing.T) {
+	g := NewGlobalBucket(1)
+	g.ResetInterval = 0
+	g.Add(100)
+	g.MarkRound(0, 1)
+	if g.Tokens() != 0 {
+		t.Fatal("single-thread bucket must reset every round")
+	}
+}
+
+func TestGlobalBucketResetIntervalGates(t *testing.T) {
+	// Donations survive until the reset interval elapses, even with every
+	// thread marking rounds continuously — otherwise a donor thread's own
+	// round-completion would destroy its donation before anyone claims it.
+	g := NewGlobalBucket(2)
+	g.ResetInterval = 1_000_000 // 1ms
+	g.Add(100)
+	for now := int64(1); now < 900_000; now += 100_000 {
+		g.MarkRound(0, now)
+		g.MarkRound(1, now+1)
+	}
+	if g.Tokens() != 100 {
+		t.Fatalf("bucket drained before interval: %d", g.Tokens())
+	}
+	g.MarkRound(0, 1_500_000)
+	g.MarkRound(1, 1_500_001)
+	if g.Tokens() != 0 {
+		t.Fatalf("bucket not drained after interval: %d", g.Tokens())
+	}
+	if g.Resets() != 1 {
+		t.Fatalf("resets = %d, want 1", g.Resets())
+	}
+}
+
+func TestGlobalBucketBounds(t *testing.T) {
+	for _, n := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewGlobalBucket(%d) did not panic", n)
+				}
+			}()
+			NewGlobalBucket(n)
+		}()
+	}
+	NewGlobalBucket(64) // max allowed
+	g := NewGlobalBucket(2)
+	defer func() {
+		if recover() == nil {
+			t.Error("MarkRound out of range did not panic")
+		}
+	}()
+	g.MarkRound(2, 0)
+}
+
+func TestGlobalBucketConcurrent(t *testing.T) {
+	// Donors and claimants race; conservation must hold: total taken never
+	// exceeds total added, and the balance never goes negative.
+	g := NewGlobalBucket(8)
+	const donors, perDonor = 8, 10000
+	var taken [8]int64
+	var wg sync.WaitGroup
+	for i := 0; i < donors; i++ {
+		i := i
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perDonor; j++ {
+				g.Add(10)
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perDonor; j++ {
+				taken[i] += g.TryTake(7)
+			}
+		}()
+	}
+	wg.Wait()
+	var total int64
+	for _, v := range taken {
+		total += v
+	}
+	remaining := g.Tokens()
+	if remaining < 0 {
+		t.Fatalf("bucket went negative: %d", remaining)
+	}
+	if total+remaining != donors*perDonor*10 {
+		t.Fatalf("conservation violated: taken %d + left %d != added %d",
+			total, remaining, donors*perDonor*10)
+	}
+}
+
+func TestSharedStateRates(t *testing.T) {
+	s := NewSharedState(2, 420_000*TokenUnit)
+	if s.TokenRate() != 420_000*TokenUnit {
+		t.Fatal("token rate not stored")
+	}
+	// §5.4 Scenario 1: A reserves 120K, B reserves 196K -> 104K unallocated.
+	s.ReserveLC(120_000 * TokenUnit)
+	s.ReserveLC(196_000 * TokenUnit)
+	if got := s.UnallocatedRate(); got != 104_000*TokenUnit {
+		t.Fatalf("unallocated = %d, want 104M mt/s", got)
+	}
+	s.AddBE()
+	s.AddBE()
+	// "BE tenants C and D receive a fair share of unallocated tokens (52K
+	// tokens/sec each)".
+	if got := s.BEFairRate(); got != 52_000*TokenUnit {
+		t.Fatalf("BE fair rate = %d, want 52M mt/s", got)
+	}
+	s.RemoveBE()
+	if got := s.BEFairRate(); got != 104_000*TokenUnit {
+		t.Fatalf("single BE rate = %d, want 104M", got)
+	}
+	s.ReleaseLC(196_000 * TokenUnit)
+	if got := s.UnallocatedRate(); got != 300_000*TokenUnit {
+		t.Fatalf("after release unallocated = %d, want 300M", got)
+	}
+	if s.LCReserved() != 120_000*TokenUnit {
+		t.Fatal("LCReserved wrong after release")
+	}
+	if s.BECount() != 1 {
+		t.Fatal("BECount wrong")
+	}
+}
+
+func TestSharedStateOversubscribedFloorsAtZero(t *testing.T) {
+	s := NewSharedState(1, 100*TokenUnit)
+	s.ReserveLC(500 * TokenUnit)
+	if got := s.UnallocatedRate(); got != 0 {
+		t.Fatalf("oversubscribed unallocated = %d, want 0", got)
+	}
+	s.AddBE()
+	if got := s.BEFairRate(); got != 0 {
+		t.Fatalf("oversubscribed BE rate = %d, want 0", got)
+	}
+}
+
+func TestSharedStateBEFairRateNoBE(t *testing.T) {
+	s := NewSharedState(1, 1000)
+	if s.BEFairRate() != 0 {
+		t.Fatal("BEFairRate with zero BE tenants must be 0")
+	}
+}

@@ -1,0 +1,119 @@
+// Package core implements the primary contribution of the ReFlex paper:
+// the request cost model (§3.2.1) and the QoS scheduling algorithm
+// (§3.2.2, Algorithm 1) that together enforce tail-latency and throughput
+// SLOs for latency-critical tenants while letting best-effort tenants
+// consume all remaining Flash bandwidth.
+//
+// The package is deliberately substrate-agnostic: it knows nothing about
+// simulated versus real time, networks, or flash devices. The simulated
+// dataplane (internal/dataplane) and the real TCP server (internal/server)
+// both embed this scheduler unchanged.
+//
+// Token arithmetic uses fixed-point "millitokens" (1 token = 1000 mt) so
+// that fractional costs — such as the 1/2-token read on a read-only device
+// — and sub-token-per-round generation rates are exact in integer math.
+package core
+
+import "fmt"
+
+// Tokens is a fixed-point token quantity in millitokens. One token
+// (1000 mt) is defined as the cost of one 4KB random read at a read/write
+// mix below 100% reads.
+type Tokens = int64
+
+// TokenUnit is one whole token in millitokens.
+const TokenUnit Tokens = 1000
+
+// OpType distinguishes reads from writes for costing purposes.
+type OpType uint8
+
+const (
+	// OpRead is a logical block read.
+	OpRead OpType = iota
+	// OpWrite is a logical block write.
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o OpType) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// pageSize is the costing granularity (§3.2.1: devices operate at 4KB).
+const pageSize = 4096
+
+// CostModel is the calibrated request cost model of one Flash device:
+//
+//	cost(I/O) = ceil(size / 4KB) × C(type, r)
+//
+// where r is the device-wide read ratio. The paper's devices only
+// distinguish r = 100% from r < 100% (the read-only fast mode), so the
+// model carries two read costs.
+type CostModel struct {
+	// ReadCost is C(read, r < 100%) in millitokens; 1000 by definition.
+	ReadCost Tokens
+	// ReadOnlyReadCost is C(read, r = 100%) in millitokens (500 on the
+	// paper's device A, 1000 on devices without a read-only fast mode).
+	ReadOnlyReadCost Tokens
+	// WriteCost is C(write, r < 100%) in millitokens (10000, 20000 and
+	// 16000 for the paper's devices A, B and C).
+	WriteCost Tokens
+}
+
+// Validate reports configuration errors.
+func (m CostModel) Validate() error {
+	switch {
+	case m.ReadCost <= 0:
+		return fmt.Errorf("core: ReadCost must be positive")
+	case m.ReadOnlyReadCost <= 0 || m.ReadOnlyReadCost > m.ReadCost:
+		return fmt.Errorf("core: ReadOnlyReadCost must be in (0, ReadCost]")
+	case m.WriteCost < m.ReadCost:
+		return fmt.Errorf("core: WriteCost below ReadCost is not a Flash device")
+	}
+	return nil
+}
+
+// Cost returns the cost of one I/O in millitokens. readOnly selects
+// C(read, r=100%); it has no effect on writes.
+func (m CostModel) Cost(op OpType, sizeBytes int, readOnly bool) Tokens {
+	pages := Tokens(1)
+	if sizeBytes > pageSize {
+		pages = Tokens((sizeBytes + pageSize - 1) / pageSize)
+	}
+	switch op {
+	case OpWrite:
+		return pages * m.WriteCost
+	default:
+		if readOnly {
+			return pages * m.ReadOnlyReadCost
+		}
+		return pages * m.ReadCost
+	}
+}
+
+// RateForSLO returns the token generation rate (millitokens/second) that
+// guarantees an SLO of the given IOPS at the given read percentage,
+// assuming 4KB requests — the paper's §3.2.2 example: 100K IOPS at 80%
+// reads with a write cost of 10 tokens reserves 280K tokens/s.
+func (m CostModel) RateForSLO(iops int, readPercent int) Tokens {
+	if iops < 0 {
+		iops = 0
+	}
+	r := clampPercent(readPercent)
+	reads := int64(iops) * int64(r)
+	writes := int64(iops) * int64(100-r)
+	return (reads*m.ReadCost + writes*m.WriteCost) / 100
+}
+
+func clampPercent(p int) int {
+	if p < 0 {
+		return 0
+	}
+	if p > 100 {
+		return 100
+	}
+	return p
+}

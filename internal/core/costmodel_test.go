@@ -1,0 +1,93 @@
+package core
+
+import "testing"
+
+func modelA() CostModel {
+	return CostModel{ReadCost: TokenUnit, ReadOnlyReadCost: TokenUnit / 2, WriteCost: 10 * TokenUnit}
+}
+
+func TestCostPageMath(t *testing.T) {
+	m := modelA()
+	cases := []struct {
+		op       OpType
+		size     int
+		readOnly bool
+		want     Tokens
+	}{
+		{OpRead, 4096, false, 1000},        // 1 token
+		{OpRead, 512, false, 1000},         // <=4KB costs a full page
+		{OpRead, 0, false, 1000},           // zero size = one page
+		{OpRead, 4097, false, 2000},        // rounds up
+		{OpRead, 32 * 1024, false, 8000},   // 8 back-to-back 4KB (§3.2.1)
+		{OpRead, 4096, true, 500},          // C(read, r=100%) = 1/2 token
+		{OpRead, 32 * 1024, true, 4000},    // scales with size in read-only too
+		{OpWrite, 4096, false, 10000},      // write cost 10 tokens (device A)
+		{OpWrite, 4096, true, 10000},       // read-only flag irrelevant for writes
+		{OpWrite, 16 * 1024, false, 40000}, // 4 pages
+	}
+	for _, c := range cases {
+		if got := m.Cost(c.op, c.size, c.readOnly); got != c.want {
+			t.Errorf("Cost(%v, %d, %v) = %d, want %d", c.op, c.size, c.readOnly, got, c.want)
+		}
+	}
+}
+
+func TestRateForSLOPaperExamples(t *testing.T) {
+	m := modelA()
+	// §3.2.2: "a tenant registering an SLO of 100K IOPS with an 80% read
+	// ratio is guaranteed to receive tokens at a rate of ... 280K tokens/sec"
+	if got := m.RateForSLO(100_000, 80); got != 280_000*TokenUnit {
+		t.Errorf("RateForSLO(100K, 80%%) = %d mt/s, want 280M", got)
+	}
+	// §5.4 Scenario 1: tenant B requires 70K IOPS at 80% read -> 196K
+	// tokens/sec; tenant A 120K IOPS at 100% read -> 120K tokens/sec.
+	if got := m.RateForSLO(70_000, 80); got != 196_000*TokenUnit {
+		t.Errorf("RateForSLO(70K, 80%%) = %d mt/s, want 196M", got)
+	}
+	if got := m.RateForSLO(120_000, 100); got != 120_000*TokenUnit {
+		t.Errorf("RateForSLO(120K, 100%%) = %d mt/s, want 120M", got)
+	}
+}
+
+func TestRateForSLOClamps(t *testing.T) {
+	m := modelA()
+	if got := m.RateForSLO(-5, 80); got != 0 {
+		t.Errorf("negative IOPS rate = %d, want 0", got)
+	}
+	if got := m.RateForSLO(1000, -10); got != m.RateForSLO(1000, 0) {
+		t.Error("ReadPercent < 0 not clamped to 0")
+	}
+	if got := m.RateForSLO(1000, 200); got != m.RateForSLO(1000, 100) {
+		t.Error("ReadPercent > 100 not clamped to 100")
+	}
+}
+
+func TestCostModelValidate(t *testing.T) {
+	good := modelA()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid model rejected: %v", err)
+	}
+	bad := []CostModel{
+		{ReadCost: 0, ReadOnlyReadCost: 1, WriteCost: 10},
+		{ReadCost: 1000, ReadOnlyReadCost: 0, WriteCost: 10000},
+		{ReadCost: 1000, ReadOnlyReadCost: 2000, WriteCost: 10000}, // RO > read
+		{ReadCost: 1000, ReadOnlyReadCost: 1000, WriteCost: 500},   // write < read
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad model %d passed validation", i)
+		}
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("OpType.String wrong")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if LatencyCritical.String() != "LC" || BestEffort.String() != "BE" {
+		t.Fatal("Class.String wrong")
+	}
+}

@@ -1,0 +1,56 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/core"
+)
+
+// Example_schedulerRound walks one tenant mix through Algorithm 1: a
+// latency-critical tenant with a guaranteed SLO and a best-effort tenant
+// that may only spend unallocated tokens.
+func Example_schedulerRound() {
+	model := core.CostModel{
+		ReadCost:         core.TokenUnit,
+		ReadOnlyReadCost: core.TokenUnit / 2,
+		WriteCost:        10 * core.TokenUnit, // device A: writes cost 10x
+	}
+	// The device sustains 420K tokens/s at the strictest latency SLO.
+	shared := core.NewSharedState(1, 420_000*core.TokenUnit)
+	sched := core.NewScheduler(model, 0, shared)
+
+	lc, _ := core.NewTenant(1, "database", core.LatencyCritical, core.SLO{
+		IOPS:        100_000,
+		ReadPercent: 80,
+		LatencyP95:  500_000, // 500us
+	})
+	be, _ := core.NewTenant(2, "backup", core.BestEffort, core.SLO{})
+	sched.Register(lc)
+	sched.Register(be)
+
+	// The LC tenant's reservation follows §3.2.2's arithmetic:
+	// 0.8*100K*1 + 0.2*100K*10 = 280K tokens/s.
+	fmt.Printf("LC reservation: %dK tokens/s\n", lc.Rate()/core.TokenUnit/1000)
+	fmt.Printf("unallocated for BE: %dK tokens/s\n",
+		shared.UnallocatedRate()/core.TokenUnit/1000)
+
+	// Enqueue work and run scheduling rounds covering one millisecond.
+	for i := 0; i < 300; i++ {
+		sched.Enqueue(lc, &core.Request{Op: core.OpRead, Size: 4096})
+		sched.Enqueue(be, &core.Request{Op: core.OpWrite, Size: 4096})
+	}
+	submitted := map[*core.Tenant]int{}
+	for now := int64(0); now <= 1_000_000; now += 100_000 {
+		sched.Schedule(now, func(r *core.Request) { submitted[r.Tenant]++ })
+	}
+	// Per millisecond: LC gets ~280 tokens (~100 of its 4KB requests at
+	// the 80/20 mix enqueued here would cost 2.8 each; pure reads cost 1,
+	// so ~280 submit, plus the 50-token burst floor), and the BE tenant's
+	// expensive writes are rate limited to ~140 tokens = 14 writes.
+	fmt.Printf("LC submitted ~%d00 reads, BE submitted ~%d0 writes\n",
+		submitted[lc]/100, submitted[be]/10)
+	// Output:
+	// LC reservation: 280K tokens/s
+	// unallocated for BE: 140K tokens/s
+	// LC submitted ~300 reads, BE submitted ~10 writes
+}

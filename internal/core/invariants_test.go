@@ -1,0 +1,205 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Randomized invariant checks over Algorithm 1: whatever the tenant mix,
+// offered load and round cadence, the scheduler must maintain its
+// token-accounting invariants.
+
+type invariantWorld struct {
+	s       *Scheduler
+	shared  *SharedState
+	lc, be  []*Tenant
+	rng     *rand.Rand
+	elapsed int64
+}
+
+func buildWorld(seed int64, threads int) *invariantWorld {
+	rng := rand.New(rand.NewSource(seed))
+	shared := NewSharedState(threads, Tokens(100_000+rng.Intn(500_000))*TokenUnit)
+	s := NewScheduler(modelA(), 0, shared)
+	w := &invariantWorld{s: s, shared: shared, rng: rng}
+	nLC := rng.Intn(4)
+	nBE := 1 + rng.Intn(4)
+	for i := 0; i < nLC; i++ {
+		t, err := NewTenant(i, "lc", LatencyCritical, SLO{
+			IOPS:        1000 + rng.Intn(100_000),
+			ReadPercent: rng.Intn(101),
+			LatencyP95:  1_000_000,
+		})
+		if err != nil {
+			panic(err)
+		}
+		s.Register(t)
+		w.lc = append(w.lc, t)
+	}
+	for i := 0; i < nBE; i++ {
+		t, err := NewTenant(100+i, "be", BestEffort, SLO{})
+		if err != nil {
+			panic(err)
+		}
+		s.Register(t)
+		w.be = append(w.be, t)
+	}
+	return w
+}
+
+// step runs one random round: random enqueues, random time advance.
+func (w *invariantWorld) step(submit func(*Request)) {
+	for _, t := range append(append([]*Tenant{}, w.lc...), w.be...) {
+		n := w.rng.Intn(20)
+		for i := 0; i < n; i++ {
+			op := OpRead
+			if w.rng.Intn(100) < 30 {
+				op = OpWrite
+			}
+			size := []int{512, 4096, 32 * 1024}[w.rng.Intn(3)]
+			w.s.Enqueue(t, &Request{Op: op, Size: size})
+		}
+	}
+	w.elapsed += int64(w.rng.Intn(200_000)) // up to 200us per round
+	w.s.Schedule(w.elapsed, submit)
+}
+
+func TestInvariantBENeverNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		w := buildWorld(seed, 1)
+		for i := 0; i < 300; i++ {
+			w.step(func(*Request) {})
+			for _, tn := range w.be {
+				if tn.Tokens() < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantLCRespectsNegLimit(t *testing.T) {
+	// LC balances may dip below NEG_LIMIT only by the cost of the single
+	// request that crossed the floor (a 32KB write: 80 tokens).
+	floorSlack := 80 * TokenUnit
+	f := func(seed int64) bool {
+		w := buildWorld(seed, 1)
+		for i := 0; i < 300; i++ {
+			w.step(func(*Request) {})
+			for _, tn := range w.lc {
+				if tn.Tokens() < DefaultNegLimit-floorSlack {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantDemandMatchesQueue(t *testing.T) {
+	// A tenant's demand counter equals the sum of its queued request costs.
+	f := func(seed int64) bool {
+		w := buildWorld(seed, 1)
+		for i := 0; i < 200; i++ {
+			w.step(func(*Request) {})
+			for _, tn := range append(append([]*Tenant{}, w.lc...), w.be...) {
+				var sum Tokens
+				for j := 0; j < tn.queue.n; j++ {
+					sum += tn.queue.buf[(tn.queue.head+j)%len(tn.queue.buf)].cost
+				}
+				if sum != tn.Demand() {
+					return false
+				}
+				if (tn.QueueLen() == 0) != (tn.Demand() == 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantTokenConservation(t *testing.T) {
+	// Over any run: tokens spent on submissions never exceed tokens
+	// generated (grants) plus bucket claims, minus donations, plus the
+	// bounded LC deficit allowance.
+	f := func(seed int64) bool {
+		w := buildWorld(seed, 1)
+		submitted := Tokens(0)
+		for i := 0; i < 300; i++ {
+			w.step(func(r *Request) { submitted += r.Cost() })
+		}
+		var balance, donated, claimed Tokens
+		all := append(append([]*Tenant{}, w.lc...), w.be...)
+		for _, tn := range all {
+			balance += tn.Tokens()
+			donated += tn.Stats().Donated
+			claimed += tn.Stats().Claimed
+		}
+		// generated = submitted + balance + donated - claimed. The maximum
+		// legitimate generation is elapsed * (sum of LC rates + BE fair
+		// rate * nBE) <= elapsed * tokenRate', where tokenRate' accounts
+		// for LC rates possibly exceeding the device rate (oversubscribed
+		// worlds are admissible here since we bypass admission control).
+		var lcRates Tokens
+		for _, tn := range w.lc {
+			lcRates += tn.Rate()
+		}
+		maxRate := lcRates + w.shared.UnallocatedRate()
+		maxGenerated := (maxRate/1000)*(w.elapsed/1000) + 100*TokenUnit // rounding slack
+		generated := submitted + balance + donated - claimed
+		return generated <= maxGenerated+Tokens(len(w.lc)+len(w.be))*TokenUnit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvariantFIFOWithinTenant(t *testing.T) {
+	// Requests of one tenant are submitted in arrival order.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		shared := NewSharedState(1, 200_000*TokenUnit)
+		s := NewScheduler(modelA(), 0, shared)
+		be, _ := NewTenant(1, "be", BestEffort, SLO{})
+		s.Register(be)
+		next := uint64(0)
+		var lastSubmitted uint64
+		first := true
+		ok := true
+		elapsed := int64(0)
+		for i := 0; i < 200; i++ {
+			for j := 0; j < rng.Intn(10); j++ {
+				next++
+				op := OpRead
+				if rng.Intn(4) == 0 {
+					op = OpWrite
+				}
+				s.Enqueue(be, &Request{Op: op, Size: 4096, Cookie: next})
+			}
+			elapsed += int64(rng.Intn(300_000))
+			s.Schedule(elapsed, func(r *Request) {
+				if !first && r.Cookie <= lastSubmitted {
+					ok = false
+				}
+				first = false
+				lastSubmitted = r.Cookie
+			})
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package core
+
+// Request is one tenant I/O held in a per-tenant software queue until the
+// QoS scheduler admits it to the device (§3.2.2: "Each ReFlex thread
+// enqueues Flash requests in per-tenant, software queues").
+type Request struct {
+	// Tenant owning the request; set by Scheduler.Enqueue.
+	Tenant *Tenant
+	Op     OpType
+	// Block is the logical block address in 4KB units.
+	Block uint64
+	// Size is the transfer size in bytes.
+	Size int
+	// Cookie is an opaque caller value carried through scheduling
+	// (Table 1: lets server code retrieve request context on completion).
+	Cookie uint64
+	// Context optionally carries the embedding server's own request state
+	// through the scheduler, the pointer analogue of Cookie.
+	Context any
+	// Arrival is the enqueue timestamp in nanoseconds, used by callers to
+	// account queueing delay into end-to-end latency.
+	Arrival int64
+
+	// cost is the millitoken cost charged for the request, fixed at
+	// enqueue time from the then-current device mode.
+	cost Tokens
+}
+
+// Cost returns the millitoken cost charged for this request.
+func (r *Request) Cost() Tokens { return r.cost }
+
+// reqQueue is an allocation-friendly FIFO of requests (ring buffer).
+type reqQueue struct {
+	buf  []*Request
+	head int
+	n    int
+}
+
+func (q *reqQueue) len() int { return q.n }
+
+func (q *reqQueue) push(r *Request) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)%len(q.buf)] = r
+	q.n++
+}
+
+func (q *reqQueue) grow() {
+	next := make([]*Request, max(8, 2*len(q.buf)))
+	for i := 0; i < q.n; i++ {
+		next[i] = q.buf[(q.head+i)%len(q.buf)]
+	}
+	q.buf = next
+	q.head = 0
+}
+
+// peek returns the oldest request without removing it, or nil.
+func (q *reqQueue) peek() *Request {
+	if q.n == 0 {
+		return nil
+	}
+	return q.buf[q.head]
+}
+
+// pop removes and returns the oldest request, or nil.
+func (q *reqQueue) pop() *Request {
+	if q.n == 0 {
+		return nil
+	}
+	r := q.buf[q.head]
+	q.buf[q.head] = nil
+	q.head = (q.head + 1) % len(q.buf)
+	q.n--
+	return r
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

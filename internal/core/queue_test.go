@@ -1,0 +1,103 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestReqQueueFIFO(t *testing.T) {
+	var q reqQueue
+	if q.pop() != nil || q.peek() != nil || q.len() != 0 {
+		t.Fatal("empty queue misbehaves")
+	}
+	rs := make([]*Request, 20)
+	for i := range rs {
+		rs[i] = &Request{Cookie: uint64(i)}
+		q.push(rs[i])
+	}
+	if q.len() != 20 {
+		t.Fatalf("len = %d, want 20", q.len())
+	}
+	if q.peek() != rs[0] {
+		t.Fatal("peek != first pushed")
+	}
+	for i := range rs {
+		if got := q.pop(); got != rs[i] {
+			t.Fatalf("pop %d returned cookie %d", i, got.Cookie)
+		}
+	}
+	if q.pop() != nil {
+		t.Fatal("pop on drained queue != nil")
+	}
+}
+
+func TestReqQueueWraparound(t *testing.T) {
+	var q reqQueue
+	// Interleave pushes and pops to force the ring to wrap.
+	next := uint64(0)
+	want := uint64(0)
+	for round := 0; round < 100; round++ {
+		for i := 0; i < 5; i++ {
+			q.push(&Request{Cookie: next})
+			next++
+		}
+		for i := 0; i < 3; i++ {
+			r := q.pop()
+			if r.Cookie != want {
+				t.Fatalf("round %d: popped %d, want %d", round, r.Cookie, want)
+			}
+			want++
+		}
+	}
+	for q.len() > 0 {
+		r := q.pop()
+		if r.Cookie != want {
+			t.Fatalf("drain: popped %d, want %d", r.Cookie, want)
+		}
+		want++
+	}
+	if want != next {
+		t.Fatalf("drained %d items, pushed %d", want, next)
+	}
+}
+
+// Property: reqQueue behaves exactly like a slice-based FIFO under a random
+// sequence of operations.
+func TestReqQueueMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q reqQueue
+		var ref []*Request
+		for op := 0; op < 500; op++ {
+			if rng.Intn(2) == 0 {
+				r := &Request{Cookie: uint64(op)}
+				q.push(r)
+				ref = append(ref, r)
+			} else {
+				got := q.pop()
+				if len(ref) == 0 {
+					if got != nil {
+						return false
+					}
+				} else {
+					want := ref[0]
+					ref = ref[1:]
+					if got != want {
+						return false
+					}
+				}
+			}
+			if q.len() != len(ref) {
+				return false
+			}
+			if len(ref) > 0 && q.peek() != ref[0] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

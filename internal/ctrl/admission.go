@@ -1,0 +1,144 @@
+package ctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// AdmissionController decides whether a new latency-critical tenant's SLO
+// can be met without violating existing tenants' SLOs, and keeps the shared
+// token rate pinned to the strictest admitted latency SLO (§4.3).
+type AdmissionController struct {
+	calib  *Result
+	shared *core.SharedState
+
+	admitted map[*core.Tenant]core.Tokens // LC tenant -> reserved rate
+}
+
+// NewAdmissionController creates a controller bound to a calibration result
+// and the scheduler shared state it governs. It initializes the token rate
+// to the device's rate at an effectively unconstrained latency.
+func NewAdmissionController(calib *Result, shared *core.SharedState) *AdmissionController {
+	ac := &AdmissionController{
+		calib:    calib,
+		shared:   shared,
+		admitted: make(map[*core.Tenant]core.Tokens),
+	}
+	shared.SetTokenRate(calib.TokenRateForP95(1 << 62))
+	return ac
+}
+
+// strictest returns the tightest latency SLO among admitted tenants, or a
+// huge value when none.
+func (ac *AdmissionController) strictest() sim.Time {
+	best := sim.Time(1) << 62
+	for t := range ac.admitted {
+		if t.SLO.LatencyP95 < best {
+			best = t.SLO.LatencyP95
+		}
+	}
+	return best
+}
+
+// Admit checks and registers a latency-critical tenant. On success the
+// shared token rate reflects the (possibly stricter) new latency SLO and
+// the tenant's rate is expected to be reserved by scheduler registration.
+// The caller still registers the tenant with a scheduler thread.
+func (ac *AdmissionController) Admit(t *core.Tenant) error {
+	if t.Class != core.LatencyCritical {
+		return fmt.Errorf("ctrl: Admit is for latency-critical tenants")
+	}
+	if err := t.SLO.Validate(); err != nil {
+		return err
+	}
+	if _, dup := ac.admitted[t]; dup {
+		return fmt.Errorf("ctrl: tenant %q already admitted", t.Name)
+	}
+	limit := t.SLO.LatencyP95
+	if s := ac.strictest(); s < limit {
+		limit = s
+	}
+	rate := ac.calib.TokenRateForP95(limit)
+	if rate <= 0 {
+		return fmt.Errorf("ctrl: latency SLO %dus is unattainable on this device",
+			limit/sim.Microsecond)
+	}
+	need := ac.calib.Model.RateForSLO(t.SLO.IOPS, t.SLO.ReadPercent)
+	var reserved core.Tokens
+	for _, r := range ac.admitted {
+		reserved += r
+	}
+	if reserved+need > rate {
+		return fmt.Errorf("ctrl: SLO not admissible: %d mt/s reserved + %d needed > %d available at %dus p95",
+			reserved, need, rate, limit/sim.Microsecond)
+	}
+	ac.admitted[t] = need
+	ac.shared.SetTokenRate(rate)
+	return nil
+}
+
+// Release removes a tenant and relaxes the token rate if it held the
+// strictest SLO.
+func (ac *AdmissionController) Release(t *core.Tenant) {
+	if _, ok := ac.admitted[t]; !ok {
+		return
+	}
+	delete(ac.admitted, t)
+	ac.shared.SetTokenRate(ac.calib.TokenRateForP95(ac.strictest()))
+}
+
+// Admitted returns the admitted tenants sorted by ID (deterministic).
+func (ac *AdmissionController) Admitted() []*core.Tenant {
+	out := make([]*core.Tenant, 0, len(ac.admitted))
+	for t := range ac.admitted {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ThreadScaler recommends dataplane thread counts from utilization samples
+// with hysteresis, the §4.3 "allocate resources for additional threads /
+// deallocate threads" policy. The actual thread migration is performed by
+// the embedding server.
+type ThreadScaler struct {
+	// Min and Max bound the recommendation.
+	Min, Max int
+	// HighWater adds a thread when mean utilization exceeds it.
+	HighWater float64
+	// LowWater removes a thread when utilization (rescaled to one fewer
+	// thread) would stay below it.
+	LowWater float64
+
+	current int
+}
+
+// NewThreadScaler creates a scaler starting at min threads.
+func NewThreadScaler(min, max int) *ThreadScaler {
+	if min <= 0 || max < min {
+		panic("ctrl: invalid thread bounds")
+	}
+	return &ThreadScaler{Min: min, Max: max, HighWater: 0.85, LowWater: 0.6, current: min}
+}
+
+// Current returns the current recommendation.
+func (s *ThreadScaler) Current() int { return s.current }
+
+// Observe feeds a mean-utilization sample (0..1 across current threads)
+// and returns the updated recommendation.
+func (s *ThreadScaler) Observe(util float64) int {
+	switch {
+	case util > s.HighWater && s.current < s.Max:
+		s.current++
+	case s.current > s.Min:
+		// Would the remaining threads stay under the low watermark?
+		rescaled := util * float64(s.current) / float64(s.current-1)
+		if rescaled < s.LowWater {
+			s.current--
+		}
+	}
+	return s.current
+}

@@ -1,0 +1,319 @@
+// Package ctrl implements the local control plane of §4.3: calibrating the
+// request cost model for a device (curve fitting latency-versus-throughput
+// sweeps, §3.2.1), deriving the token generation rate for the strictest
+// tenant latency SLO, admission control for new latency-critical tenants,
+// and thread-count recommendations.
+package ctrl
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// CurvePoint is one measured point of a latency-throughput sweep.
+type CurvePoint struct {
+	IOPS float64
+	P95  sim.Time
+}
+
+// RatioCurve is the measured p95-read-latency-versus-IOPS curve for one
+// read/write ratio (one line of Figure 1).
+type RatioCurve struct {
+	ReadPercent int
+	Points      []CurvePoint
+}
+
+// maxIOPSAt returns the largest measured IOPS whose p95 is at or below
+// limit, interpolating linearly between bracketing points. Returns 0 when
+// even the lightest point violates the limit.
+func (c *RatioCurve) maxIOPSAt(limit sim.Time) float64 {
+	best := 0.0
+	for i, p := range c.Points {
+		if p.P95 <= limit {
+			if p.IOPS > best {
+				best = p.IOPS
+			}
+			continue
+		}
+		// p violates; interpolate from the previous point if it did not.
+		if i > 0 && c.Points[i-1].P95 <= limit {
+			prev := c.Points[i-1]
+			dl := float64(p.P95 - prev.P95)
+			if dl > 0 {
+				frac := float64(limit-prev.P95) / dl
+				cand := prev.IOPS + frac*(p.IOPS-prev.IOPS)
+				if cand > best {
+					best = cand
+				}
+			}
+		}
+	}
+	return best
+}
+
+// Calibrator measures a device and fits its cost model. The paper
+// calibrates with local-Flash sweeps at several read/write ratios using
+// random writes for the worst case (§3.2.1); this does exactly that
+// against the simulated device.
+type Calibrator struct {
+	Spec flashsim.Spec
+	// Ratios are the read percentages to sweep. The 100% ratio is required
+	// to fit the read-only read cost.
+	Ratios []int
+	// LatencyGrid is the set of p95 limits used for fitting.
+	LatencyGrid []sim.Time
+	// Warmup and Window control each measurement.
+	Warmup, Window sim.Time
+	Seed           int64
+}
+
+// DefaultCalibrator returns the configuration used by cmd/reflex-calibrate.
+func DefaultCalibrator(spec flashsim.Spec) Calibrator {
+	return Calibrator{
+		Spec:        spec,
+		Ratios:      []int{100, 99, 95, 90, 75, 50},
+		LatencyGrid: []sim.Time{500 * sim.Microsecond, sim.Millisecond, 2 * sim.Millisecond},
+		Warmup:      20 * sim.Millisecond,
+		Window:      300 * sim.Millisecond,
+		Seed:        424242,
+	}
+}
+
+// Result is a fitted cost model plus the raw curves it came from.
+type Result struct {
+	// Model is the fitted cost model with the write cost rounded to whole
+	// tokens and the read-only cost snapped to 1/2 or 1 (the granularity
+	// the paper's devices exhibit).
+	Model core.CostModel
+	// WriteCostFit is the unrounded least-squares write cost in tokens.
+	WriteCostFit float64
+	// ReadOnlyCostFit is the unrounded read-only read cost in tokens.
+	ReadOnlyCostFit float64
+	// TokenCurve maps weighted load (tokens/s) to p95 read latency,
+	// averaged across the mixed-ratio sweeps (Figure 3).
+	TokenCurve []TokenPoint
+	// Curves are the raw per-ratio sweeps (Figure 1).
+	Curves []RatioCurve
+}
+
+// TokenPoint is one point of the tokens/s-versus-p95 characteristic.
+type TokenPoint struct {
+	TokensPerSec float64
+	P95          sim.Time
+}
+
+// TokenRateForP95 returns the token generation rate (mt/s) the device
+// supports at the given p95 read-latency limit — the quantity the control
+// plane sets from the strictest LC SLO (§3.2.2). Returns 0 when the limit
+// is unattainable.
+func (r *Result) TokenRateForP95(limit sim.Time) core.Tokens {
+	best := 0.0
+	for i, p := range r.TokenCurve {
+		if p.P95 <= limit {
+			if p.TokensPerSec > best {
+				best = p.TokensPerSec
+			}
+			continue
+		}
+		if i > 0 && r.TokenCurve[i-1].P95 <= limit {
+			prev := r.TokenCurve[i-1]
+			dl := float64(p.P95 - prev.P95)
+			if dl > 0 {
+				frac := float64(limit-prev.P95) / dl
+				cand := prev.TokensPerSec + frac*(p.TokensPerSec-prev.TokensPerSec)
+				if cand > best {
+					best = cand
+				}
+			}
+		}
+	}
+	return core.Tokens(best * float64(core.TokenUnit))
+}
+
+// measure runs one open-loop point on a fresh device and returns the p95
+// read latency.
+func (c *Calibrator) measure(readPct int, iops float64, seed int64) sim.Time {
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, c.Spec, seed)
+	res := workload.OpenLoop{
+		IOPS:     iops,
+		Mix:      workload.Mix{ReadPercent: readPct, Size: 4096, Blocks: c.Spec.Blocks},
+		Warmup:   c.Warmup,
+		Duration: c.Window,
+		Seed:     seed + 1,
+	}.Start(eng, workload.DeviceTarget(eng, dev))
+	eng.Run()
+	return res.ReadLat.Quantile(0.95)
+}
+
+// sweep measures one ratio curve with a geometric IOPS grid that stops
+// once the p95 explodes.
+func (c *Calibrator) sweep(readPct int) RatioCurve {
+	const explode = 4 * sim.Millisecond
+	curve := RatioCurve{ReadPercent: readPct}
+	iops := 10_000.0
+	for step := 0; step < 24; step++ {
+		p95 := c.measure(readPct, iops, c.Seed+int64(readPct)*100+int64(step))
+		curve.Points = append(curve.Points, CurvePoint{IOPS: iops, P95: p95})
+		if p95 > explode {
+			break
+		}
+		iops *= 1.3
+	}
+	return curve
+}
+
+// Run performs the full calibration.
+func (c *Calibrator) Run() (*Result, error) {
+	if len(c.Ratios) < 3 {
+		return nil, fmt.Errorf("ctrl: need at least 3 ratios (have %d)", len(c.Ratios))
+	}
+	has100 := false
+	mixed := 0
+	for _, r := range c.Ratios {
+		if r == 100 {
+			has100 = true
+		} else {
+			mixed++
+		}
+	}
+	if !has100 || mixed < 2 {
+		return nil, fmt.Errorf("ctrl: ratios must include 100%% and at least two mixed ratios")
+	}
+
+	res := &Result{}
+	for _, r := range c.Ratios {
+		res.Curves = append(res.Curves, c.sweep(r))
+	}
+
+	// Fit the write cost: for each latency limit L, the weighted load
+	// M_r(L) * (r + (1-r)*c_w) should be one number T(L) across mixed
+	// ratios. Least squares over c_w and the per-limit T values reduces,
+	// for each L, to a 2-variable normal equation; we average the c_w
+	// estimates across limits.
+	var cwEstimates []float64
+	for _, limit := range c.LatencyGrid {
+		type obs struct{ a, b float64 } // T = a + c_w*b per ratio
+		var o []obs
+		for _, curve := range res.Curves {
+			if curve.ReadPercent == 100 {
+				continue
+			}
+			m := curve.maxIOPSAt(limit)
+			if m <= 0 {
+				continue
+			}
+			r := float64(curve.ReadPercent) / 100
+			o = append(o, obs{a: m * r, b: m * (1 - r)})
+		}
+		if len(o) < 2 {
+			continue
+		}
+		// Minimize sum_i (a_i + c*b_i - T)^2 over c and T:
+		// T = mean(a) + c*mean(b); substitute and solve for c.
+		var ma, mb float64
+		for _, x := range o {
+			ma += x.a
+			mb += x.b
+		}
+		ma /= float64(len(o))
+		mb /= float64(len(o))
+		var num, den float64
+		for _, x := range o {
+			num += (x.b - mb) * (x.a - ma)
+			den += (x.b - mb) * (x.b - mb)
+		}
+		if den == 0 {
+			continue
+		}
+		cw := -num / den
+		if cw > 0 && !math.IsInf(cw, 0) && !math.IsNaN(cw) {
+			cwEstimates = append(cwEstimates, cw)
+		}
+	}
+	if len(cwEstimates) == 0 {
+		return nil, fmt.Errorf("ctrl: write-cost fit failed: no usable observations")
+	}
+	var cw float64
+	for _, v := range cwEstimates {
+		cw += v
+	}
+	cw /= float64(len(cwEstimates))
+	res.WriteCostFit = cw
+
+	// Fit the read-only read cost: T(L) from mixed curves versus the
+	// 100%-read curve's IOPS at the same limit.
+	var roEstimates []float64
+	for _, limit := range c.LatencyGrid {
+		var t float64
+		n := 0
+		var m100 float64
+		for _, curve := range res.Curves {
+			m := curve.maxIOPSAt(limit)
+			if m <= 0 {
+				continue
+			}
+			if curve.ReadPercent == 100 {
+				m100 = m
+				continue
+			}
+			r := float64(curve.ReadPercent) / 100
+			t += m * (r + (1-r)*cw)
+			n++
+		}
+		if n == 0 || m100 <= 0 {
+			continue
+		}
+		roEstimates = append(roEstimates, (t/float64(n))/m100)
+	}
+	ro := 1.0
+	if len(roEstimates) > 0 {
+		ro = 0
+		for _, v := range roEstimates {
+			ro += v
+		}
+		ro /= float64(len(roEstimates))
+	}
+	res.ReadOnlyCostFit = ro
+
+	// Snap to the granularity the paper reports: whole-token write cost,
+	// read-only cost of either 1/2 or 1.
+	wc := core.Tokens(math.Round(cw)) * core.TokenUnit
+	if wc < core.TokenUnit {
+		wc = core.TokenUnit
+	}
+	roTok := core.TokenUnit
+	if ro < 0.75 {
+		roTok = core.TokenUnit / 2
+	}
+	res.Model = core.CostModel{ReadCost: core.TokenUnit, ReadOnlyReadCost: roTok, WriteCost: wc}
+	if err := res.Model.Validate(); err != nil {
+		return nil, fmt.Errorf("ctrl: fitted model invalid: %w", err)
+	}
+
+	// Build the token curve from the mixed-ratio sweeps using the fitted
+	// write cost, merging all (tokens/s, p95) observations sorted by load.
+	for _, curve := range res.Curves {
+		if curve.ReadPercent == 100 {
+			continue
+		}
+		r := float64(curve.ReadPercent) / 100
+		w := r + (1-r)*cw
+		for _, p := range curve.Points {
+			res.TokenCurve = append(res.TokenCurve, TokenPoint{
+				TokensPerSec: p.IOPS * w,
+				P95:          p.P95,
+			})
+		}
+	}
+	sort.Slice(res.TokenCurve, func(i, j int) bool {
+		return res.TokenCurve[i].TokensPerSec < res.TokenCurve[j].TokensPerSec
+	})
+	return res, nil
+}

@@ -1,0 +1,277 @@
+package ctrl
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// quickCalibrator trades accuracy for test speed.
+func quickCalibrator(spec flashsim.Spec) Calibrator {
+	return Calibrator{
+		Spec:        spec,
+		Ratios:      []int{100, 95, 75, 50},
+		LatencyGrid: []sim.Time{500 * sim.Microsecond, sim.Millisecond, 2 * sim.Millisecond},
+		Warmup:      10 * sim.Millisecond,
+		Window:      150 * sim.Millisecond,
+		Seed:        7,
+	}
+}
+
+// calibrateA is computed once; calibration sweeps are the slowest tests in
+// the package.
+var calibA *Result
+
+func calibrateDeviceA(t *testing.T) *Result {
+	t.Helper()
+	if calibA != nil {
+		return calibA
+	}
+	c := quickCalibrator(flashsim.DeviceA())
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	calibA = res
+	return res
+}
+
+func TestCalibrationRecoversWriteCost(t *testing.T) {
+	// §3.2.1: device A's write cost is 10 tokens. The fit must recover it
+	// from latency sweeps alone (the calibrator never reads
+	// Spec.WriteCost).
+	res := calibrateDeviceA(t)
+	if res.WriteCostFit < 7 || res.WriteCostFit > 13 {
+		t.Errorf("fitted write cost = %.2f tokens, want ~10", res.WriteCostFit)
+	}
+	if res.Model.WriteCost < 7*core.TokenUnit || res.Model.WriteCost > 13*core.TokenUnit {
+		t.Errorf("model write cost = %d mt, want ~10000", res.Model.WriteCost)
+	}
+}
+
+func TestCalibrationRecoversReadOnlyHalf(t *testing.T) {
+	// Device A serves ~2x IOPS read-only: C(read, 100%) must fit to 1/2.
+	res := calibrateDeviceA(t)
+	if res.ReadOnlyCostFit > 0.75 {
+		t.Errorf("fitted read-only cost = %.2f, want ~0.5", res.ReadOnlyCostFit)
+	}
+	if res.Model.ReadOnlyReadCost != core.TokenUnit/2 {
+		t.Errorf("model read-only cost = %d, want 500", res.Model.ReadOnlyReadCost)
+	}
+}
+
+func TestTokenCurveMonotoneEnough(t *testing.T) {
+	res := calibrateDeviceA(t)
+	if len(res.TokenCurve) < 10 {
+		t.Fatalf("token curve has %d points", len(res.TokenCurve))
+	}
+	// The rate at a loose SLO must be at least the rate at a strict SLO.
+	strict := res.TokenRateForP95(500 * sim.Microsecond)
+	loose := res.TokenRateForP95(2 * sim.Millisecond)
+	if strict <= 0 {
+		t.Fatal("no rate at 500us")
+	}
+	if loose < strict {
+		t.Errorf("rate at 2ms (%d) below rate at 500us (%d)", loose, strict)
+	}
+	// §5.4: the paper's device A supports ~420K tokens/s at a 500us p95.
+	// Our model should land in the same regime.
+	if strict < 250_000*core.TokenUnit || strict > 650_000*core.TokenUnit {
+		t.Errorf("rate at 500us = %d mt/s, want a few hundred K tokens/s", strict)
+	}
+}
+
+func TestTokenRateUnattainableSLO(t *testing.T) {
+	res := calibrateDeviceA(t)
+	if got := res.TokenRateForP95(1 * sim.Microsecond); got != 0 {
+		t.Errorf("1us SLO returned rate %d, want 0", got)
+	}
+}
+
+func TestCalibratorValidation(t *testing.T) {
+	c := quickCalibrator(flashsim.DeviceA())
+	c.Ratios = []int{100, 99}
+	if _, err := c.Run(); err == nil {
+		t.Error("too few ratios accepted")
+	}
+	c.Ratios = []int{99, 95, 75}
+	if _, err := c.Run(); err == nil {
+		t.Error("missing 100% ratio accepted")
+	}
+}
+
+func newLC(t *testing.T, id, iops, readPct int, lat sim.Time) *core.Tenant {
+	t.Helper()
+	tn, err := core.NewTenant(id, "t", core.LatencyCritical,
+		core.SLO{IOPS: iops, ReadPercent: readPct, LatencyP95: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tn
+}
+
+func TestAdmissionScenario1(t *testing.T) {
+	// §5.4 Scenario 1: tenants A (120K IOPS, 100% read) and B (70K IOPS,
+	// 80% read) at 500us p95 reserve 316K tokens/s — admissible on a
+	// device with ~420K tokens/s at that SLO.
+	res := calibrateDeviceA(t)
+	shared := core.NewSharedState(1, 0)
+	ac := NewAdmissionController(res, shared)
+	a := newLC(t, 1, 120_000, 100, 500*sim.Microsecond)
+	b := newLC(t, 2, 70_000, 80, 500*sim.Microsecond)
+	if err := ac.Admit(a); err != nil {
+		t.Fatalf("tenant A rejected: %v", err)
+	}
+	if err := ac.Admit(b); err != nil {
+		t.Fatalf("tenant B rejected: %v", err)
+	}
+	if got := shared.TokenRate(); got < 250_000*core.TokenUnit {
+		t.Errorf("token rate after admission = %d, want the 500us rate", got)
+	}
+	if len(ac.Admitted()) != 2 {
+		t.Error("admitted list wrong")
+	}
+	// A duplicate admit must fail.
+	if err := ac.Admit(a); err == nil {
+		t.Error("duplicate admit accepted")
+	}
+}
+
+func TestAdmissionRejectsOversubscription(t *testing.T) {
+	res := calibrateDeviceA(t)
+	shared := core.NewSharedState(1, 0)
+	ac := NewAdmissionController(res, shared)
+	// 80% read at 500us: each 100K IOPS costs 280K tokens/s. Two of them
+	// exceed any plausible 500us capacity.
+	if err := ac.Admit(newLC(t, 1, 100_000, 80, 500*sim.Microsecond)); err != nil {
+		t.Fatalf("first tenant rejected: %v", err)
+	}
+	if err := ac.Admit(newLC(t, 2, 100_000, 80, 500*sim.Microsecond)); err == nil {
+		t.Error("oversubscribed tenant admitted")
+	}
+}
+
+func TestAdmissionStrictestSLOGoverns(t *testing.T) {
+	res := calibrateDeviceA(t)
+	shared := core.NewSharedState(1, 0)
+	ac := NewAdmissionController(res, shared)
+	loose := newLC(t, 1, 20_000, 90, 2*sim.Millisecond)
+	if err := ac.Admit(loose); err != nil {
+		t.Fatal(err)
+	}
+	rateLoose := shared.TokenRate()
+	strict := newLC(t, 2, 20_000, 90, 500*sim.Microsecond)
+	if err := ac.Admit(strict); err != nil {
+		t.Fatal(err)
+	}
+	rateStrict := shared.TokenRate()
+	if rateStrict > rateLoose {
+		t.Errorf("token rate rose (%d -> %d) when a stricter SLO arrived",
+			rateLoose, rateStrict)
+	}
+	// Releasing the strict tenant relaxes the rate again.
+	ac.Release(strict)
+	if got := shared.TokenRate(); got != rateLoose {
+		t.Errorf("rate after release = %d, want %d", got, rateLoose)
+	}
+	// Releasing an unknown tenant is a no-op.
+	ac.Release(strict)
+}
+
+func TestAdmitRejectsBadInput(t *testing.T) {
+	res := calibrateDeviceA(t)
+	ac := NewAdmissionController(res, core.NewSharedState(1, 0))
+	be, _ := core.NewTenant(9, "be", core.BestEffort, core.SLO{})
+	if err := ac.Admit(be); err == nil {
+		t.Error("BE tenant admitted through LC admission")
+	}
+	bad := &core.Tenant{ID: 1, Class: core.LatencyCritical} // zero SLO
+	if err := ac.Admit(bad); err == nil {
+		t.Error("invalid SLO admitted")
+	}
+	impossible := newLC(t, 3, 1000, 90, 2*sim.Microsecond)
+	if err := ac.Admit(impossible); err == nil {
+		t.Error("unattainable latency SLO admitted")
+	}
+}
+
+func TestThreadScaler(t *testing.T) {
+	s := NewThreadScaler(1, 12)
+	if s.Current() != 1 {
+		t.Fatal("start != min")
+	}
+	// Sustained high load scales up.
+	for i := 0; i < 5; i++ {
+		s.Observe(0.95)
+	}
+	if s.Current() != 6 {
+		t.Errorf("after 5 high samples: %d threads, want 6", s.Current())
+	}
+	// Never exceeds max.
+	for i := 0; i < 20; i++ {
+		s.Observe(0.99)
+	}
+	if s.Current() != 12 {
+		t.Errorf("capped at %d, want 12", s.Current())
+	}
+	// Low load scales down, never below min.
+	for i := 0; i < 40; i++ {
+		s.Observe(0.05)
+	}
+	if s.Current() != 1 {
+		t.Errorf("scaled down to %d, want 1", s.Current())
+	}
+	// Mid-range utilization holds steady (hysteresis).
+	s2 := NewThreadScaler(2, 8)
+	s2.Observe(0.95)
+	at := s2.Current()
+	for i := 0; i < 10; i++ {
+		s2.Observe(0.7)
+	}
+	if s2.Current() != at {
+		t.Errorf("hysteresis violated: %d -> %d at 0.7 util", at, s2.Current())
+	}
+}
+
+func TestThreadScalerValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewThreadScaler(0, 4) },
+		func() { NewThreadScaler(4, 2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid bounds accepted")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRecalibrationAfterWear(t *testing.T) {
+	// §3.2.1: "The model can be re-calibrated after deployment to account
+	// for performance degradation due to Flash wear-out." A worn device
+	// supports a lower token rate at the same SLO; the relative write
+	// cost is a property of the flash and survives aging.
+	fresh := calibrateDeviceA(t)
+	worn := flashsim.DeviceA()
+	worn.WearPagesScale = 1 << 24
+	worn.PreAgedPages = 1 << 24 // 2x service-time inflation
+	c := quickCalibrator(worn)
+	c.Seed = 99
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshRate := fresh.TokenRateForP95(sim.Millisecond)
+	wornRate := res.TokenRateForP95(sim.Millisecond)
+	if wornRate >= freshRate*3/4 {
+		t.Errorf("worn rate %d not well below fresh %d", wornRate, freshRate)
+	}
+	if res.WriteCostFit < 7 || res.WriteCostFit > 13 {
+		t.Errorf("worn write-cost fit = %.2f, want ~10 (ratio survives wear)", res.WriteCostFit)
+	}
+}

@@ -1,0 +1,160 @@
+package dataplane
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+func TestMoveTenantPreservesService(t *testing.T) {
+	// A tenant moved mid-run keeps completing every request: no loss.
+	r := newRig(t, 2, 1_200_000*core.TokenUnit)
+	tn := beTenant(t, 1)
+	r.srv.RegisterTenantOn(tn, 0)
+	conn := r.srv.Connect(r.client(t, netsim.IXClientStack(), 1), tn)
+	res := workload.OpenLoop{
+		IOPS: 100_000, Mix: workload.Mix{ReadPercent: 100, Size: 4096, Blocks: 1 << 20},
+		Warmup: 10 * sim.Millisecond, Duration: 100 * sim.Millisecond, Seed: 5,
+	}.Start(r.eng, conn)
+	moved := false
+	r.eng.At(50*sim.Millisecond, func() {
+		r.srv.MoveTenant(tn, 1)
+		moved = true
+	})
+	r.eng.Run()
+	if !moved {
+		t.Fatal("move never ran")
+	}
+	if r.srv.threadOf(tn) != 1 {
+		t.Fatal("tenant not on thread 1")
+	}
+	// ~100K IOPS delivered across the move, no cliff.
+	if iops := res.IOPS(); iops < 95_000 {
+		t.Fatalf("IOPS across move = %.0f, want ~100K (no loss)", iops)
+	}
+	// Post-move traffic runs on thread 1.
+	if loads := r.srv.ThreadLoads(); loads[1] <= 0 {
+		t.Fatal("destination thread did no work after the move")
+	}
+}
+
+func TestMoveTenantCarriesQueueAndConns(t *testing.T) {
+	r := newRig(t, 2, 600_000*core.TokenUnit)
+	tn := beTenant(t, 1)
+	r.srv.RegisterTenantOn(tn, 0)
+	c1 := r.srv.Connect(r.client(t, netsim.IXClientStack(), 1), tn)
+	c2 := r.srv.Connect(r.client(t, netsim.IXClientStack(), 2), tn)
+	_ = c2
+	done := 0
+	r.eng.At(0, func() {
+		// Queue work, then immediately move before it completes.
+		for i := 0; i < 50; i++ {
+			c1.Read(uint64(i), 4096, func(sim.Time) { done++ })
+		}
+	})
+	r.eng.At(sim.Millisecond, func() {
+		if got := r.srv.threads[0].conns; got != 2 {
+			t.Errorf("thread 0 conns = %d before move, want 2", got)
+		}
+		r.srv.MoveTenant(tn, 1)
+		if got := r.srv.threads[1].conns; got != 2 {
+			t.Errorf("thread 1 conns = %d after move, want 2", got)
+		}
+		if got := r.srv.threads[0].conns; got != 0 {
+			t.Errorf("thread 0 conns = %d after move, want 0", got)
+		}
+	})
+	r.eng.Run()
+	if done != 50 {
+		t.Fatalf("completed %d of 50 requests across a move", done)
+	}
+}
+
+func TestMoveTenantNoOpAndValidation(t *testing.T) {
+	r := newRig(t, 2, 600_000*core.TokenUnit)
+	tn := beTenant(t, 1)
+	r.srv.RegisterTenantOn(tn, 1)
+	r.eng.At(0, func() {
+		r.srv.MoveTenant(tn, 1) // same thread: no-op
+		if r.srv.threadOf(tn) != 1 {
+			t.Error("no-op move changed placement")
+		}
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("out-of-range move did not panic")
+				}
+			}()
+			r.srv.MoveTenant(tn, 5)
+		}()
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("moving unregistered tenant did not panic")
+				}
+			}()
+			r.srv.MoveTenant(beTenant(t, 99), 0)
+		}()
+	})
+	r.eng.Run()
+}
+
+func TestRebalanceEvensLoad(t *testing.T) {
+	// All tenants start on thread 0 (the degenerate placement after a
+	// thread-count change); Rebalance spreads them and throughput of an
+	// overloaded server improves.
+	run := func(rebalance bool) float64 {
+		r := newRig(t, 4, 4_000_000*core.TokenUnit)
+		var results []*workload.Result
+		for i := 0; i < 8; i++ {
+			tn := beTenant(t, i+1)
+			r.srv.RegisterTenantOn(tn, 0) // everything piled on thread 0
+			conn := r.srv.Connect(r.client(t, netsim.IXClientStack(), int64(i)), tn)
+			// 512B reads keep the 10GbE TX link out of the picture so the
+			// comparison isolates CPU placement.
+			results = append(results, workload.OpenLoop{
+				IOPS: 200_000, Mix: workload.Mix{ReadPercent: 100, Size: 512, Blocks: 1 << 20},
+				Warmup: 20 * sim.Millisecond, Duration: 150 * sim.Millisecond, Seed: int64(i),
+			}.Start(r.eng, conn))
+		}
+		if rebalance {
+			r.eng.At(5*sim.Millisecond, func() {
+				if moves := r.srv.Rebalance(); moves != 6 {
+					t.Errorf("Rebalance moved %d tenants, want 6 (8 over 4 threads)", moves)
+				}
+			})
+		}
+		r.eng.RunUntil(200 * sim.Millisecond)
+		var total float64
+		for _, res := range results {
+			total += res.IOPS()
+		}
+		return total
+	}
+	piled := run(false)
+	balanced := run(true)
+	// One thread caps near 850K; four threads take the offered 1.6M to
+	// the device's ~1.2M read-only ceiling.
+	if piled > 1_000_000 {
+		t.Fatalf("piled-up placement delivered %.0f; expected single-core ceiling", piled)
+	}
+	if balanced < 1.3*piled {
+		t.Fatalf("rebalance did not relieve the hot thread: %.0f vs %.0f", balanced, piled)
+	}
+}
+
+func TestRebalanceAlreadyBalanced(t *testing.T) {
+	r := newRig(t, 2, 600_000*core.TokenUnit)
+	for i := 0; i < 4; i++ {
+		r.srv.RegisterTenant(beTenant(t, i+1)) // auto-balanced 2/2
+	}
+	r.eng.At(0, func() {
+		if moves := r.srv.Rebalance(); moves != 0 {
+			t.Errorf("balanced server moved %d tenants", moves)
+		}
+	})
+	r.eng.Run()
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/baseline"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/dataplane"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// Scale shrinks measurement windows for quick runs. 1.0 is the full
+// experiment; tests use smaller values.
+type Scale float64
+
+func (s Scale) dur(d sim.Time) sim.Time {
+	if s <= 0 {
+		s = 1
+	}
+	out := sim.Time(float64(d) * float64(s))
+	if out < 10*sim.Millisecond {
+		out = 10 * sim.Millisecond
+	}
+	return out
+}
+
+// us formats nanoseconds as microseconds.
+func us(t int64) string { return fmt.Sprintf("%d", t/1000) }
+
+// k formats a float as thousands.
+func k(v float64) string { return fmt.Sprintf("%.0fK", v/1000) }
+
+// rig is a simulated cluster: engine, network, device A, and optionally a
+// ReFlex server.
+type rig struct {
+	eng *sim.Engine
+	net *netsim.Network
+	dev *flashsim.Device
+	// stopAt is the latest workload window end started on this rig; see
+	// finish.
+	stopAt sim.Time
+}
+
+// finish runs the simulation to just past the last measurement window. It
+// deliberately does not drain every pending event: a starved best-effort
+// queue (zero fair rate, nothing donating) re-arms scheduler ticks forever
+// — exactly as a real polling dataplane would spin — so experiments bound
+// their horizon instead.
+func (r *rig) finish() {
+	if r.stopAt == 0 {
+		r.eng.Run()
+		return
+	}
+	r.eng.RunUntil(r.stopAt + 5*sim.Millisecond)
+}
+
+func newRig(seed int64) *rig {
+	eng := sim.NewEngine()
+	return &rig{
+		eng: eng,
+		net: netsim.New(eng, netsim.TenGbE()),
+		dev: flashsim.New(eng, flashsim.DeviceA(), seed),
+	}
+}
+
+func newRigOn(spec flashsim.Spec, seed int64) *rig {
+	eng := sim.NewEngine()
+	return &rig{
+		eng: eng,
+		net: netsim.New(eng, netsim.TenGbE()),
+		dev: flashsim.New(eng, spec, seed),
+	}
+}
+
+// reflexServer builds a ReFlex dataplane server on the rig.
+func (r *rig) reflexServer(threads int, tokenRate core.Tokens) *dataplane.Server {
+	return dataplane.NewServer(r.eng, r.net, r.dev, dataplane.DefaultConfig(threads, tokenRate))
+}
+
+// beTenant registers a fresh best-effort tenant.
+func beTenant(srv *dataplane.Server, id int) *core.Tenant {
+	t, err := core.NewTenant(id, fmt.Sprintf("be%d", id), core.BestEffort, core.SLO{})
+	if err != nil {
+		panic(err)
+	}
+	srv.RegisterTenant(t)
+	return t
+}
+
+// lcTenant registers a latency-critical tenant.
+func lcTenant(srv *dataplane.Server, id, iops, readPct int, p95 sim.Time) *core.Tenant {
+	t, err := core.NewTenant(id, fmt.Sprintf("lc%d", id), core.LatencyCritical,
+		core.SLO{IOPS: iops, ReadPercent: readPct, LatencyP95: p95})
+	if err != nil {
+		panic(err)
+	}
+	srv.RegisterTenant(t)
+	return t
+}
+
+// ixClient creates an IX-stack client endpoint.
+func (r *rig) ixClient(seed int64) *netsim.Endpoint {
+	return r.net.NewEndpoint("ix-client", netsim.IXClientStack(), seed)
+}
+
+// linuxClient creates a Linux-stack client endpoint.
+func (r *rig) linuxClient(seed int64) *netsim.Endpoint {
+	return r.net.NewEndpoint("linux-client", netsim.LinuxClientStack(), seed)
+}
+
+// deviceTokenRate is the calibrated token rate of device A at the given
+// p95 SLO. The constants mirror cmd/reflex-calibrate output on the
+// simulated device (§3.2.2's 420K tokens/s at 500us, 570K at 2ms).
+func deviceTokenRate(p95 sim.Time) core.Tokens {
+	switch {
+	case p95 <= 500*sim.Microsecond:
+		return 420_000 * core.TokenUnit
+	case p95 <= sim.Millisecond:
+		return 500_000 * core.TokenUnit
+	default:
+		return 570_000 * core.TokenUnit
+	}
+}
+
+// openLoop runs a Poisson open-loop generator against a target on the rig.
+func (r *rig) openLoop(tgt workload.Target, iops float64, readPct, size int, warm, dur sim.Time, seed int64) *workload.Result {
+	return r.openLoopOpt(tgt, iops, readPct, size, warm, dur, seed, false)
+}
+
+// pacedLoop runs a uniformly paced, evenly mixed open-loop generator
+// (mutilate's fixed-rate mode with a fixed op pattern), used for LC
+// tenants driven at their SLO rate.
+func (r *rig) pacedLoop(tgt workload.Target, iops float64, readPct, size int, warm, dur sim.Time, seed int64) *workload.Result {
+	return r.openLoopOpt(tgt, iops, readPct, size, warm, dur, seed, true)
+}
+
+func (r *rig) openLoopOpt(tgt workload.Target, iops float64, readPct, size int, warm, dur sim.Time, seed int64, paced bool) *workload.Result {
+	if end := r.eng.Now() + warm + dur; end > r.stopAt {
+		r.stopAt = end
+	}
+	return workload.OpenLoop{
+		IOPS:     iops,
+		Mix:      workload.Mix{ReadPercent: readPct, Size: size, Blocks: 1 << 24},
+		Uniform:  paced,
+		EvenMix:  paced,
+		Warmup:   warm,
+		Duration: dur,
+		Seed:     seed,
+	}.Start(r.eng, tgt)
+}
+
+// qd1 runs a queue-depth-1 closed loop against a target.
+func (r *rig) qd1(tgt workload.Target, readPct, size int, dur sim.Time, seed int64) *workload.Result {
+	if end := r.eng.Now() + dur; end > r.stopAt {
+		r.stopAt = end
+	}
+	return workload.ClosedLoop{
+		Depth:    1,
+		Mix:      workload.Mix{ReadPercent: readPct, Size: size, Blocks: 1 << 24},
+		Duration: dur,
+		Seed:     seed,
+	}.Start(r.eng, tgt)
+}
+
+// libaioServer builds the libaio baseline on the rig.
+func (r *rig) libaioServer(threads int) *baseline.Server {
+	return baseline.NewServer(r.eng, r.net, r.dev, baseline.LibaioProfile(threads))
+}
+
+// iscsiServer builds the iSCSI baseline on the rig.
+func (r *rig) iscsiServer(threads int) *baseline.Server {
+	return baseline.NewServer(r.eng, r.net, r.dev, baseline.ISCSIProfile(threads))
+}

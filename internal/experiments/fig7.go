@@ -1,0 +1,273 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/apps/fio"
+	"github.com/reflex-go/reflex/internal/apps/flashx"
+	"github.com/reflex-go/reflex/internal/apps/kv"
+	"github.com/reflex-go/reflex/internal/blockdev"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// blockBackend names a block-device path of §5.6.
+type blockBackend string
+
+// The three block device paths compared in Figure 7.
+const (
+	backendLocal  blockBackend = "Local"
+	backendISCSI  blockBackend = "iSCSI"
+	backendReflex blockBackend = "ReFlex"
+)
+
+// mkBlockDevice assembles the client-side block device for a backend with
+// the given number of blk-mq contexts.
+func mkBlockDevice(r *rig, backend blockBackend, contexts int) blockdev.Device {
+	switch backend {
+	case backendLocal:
+		return blockdev.NewLocalMQ(r.eng, workload.DeviceTarget(r.eng, r.dev), contexts)
+	case backendISCSI:
+		// The Linux iSCSI target serializes around one service thread;
+		// Fig. 7a's "ReFlex provides 4x higher throughput than iSCSI"
+		// pins the whole target near 70K IOPS.
+		srv := r.iscsiServer(1)
+		conns := make([]workload.Target, contexts)
+		for i := range conns {
+			conns[i] = srv.Connect(r.linuxClient(int64(70 + i)))
+		}
+		return blockdev.NewRemote(r.eng, conns)
+	case backendReflex:
+		srv := r.reflexServer(2, 1_200_000*core.TokenUnit)
+		conns := make([]workload.Target, contexts)
+		for i := range conns {
+			conns[i] = srv.Connect(r.linuxClient(int64(80+i)), beTenant(srv, i+1))
+		}
+		return blockdev.NewRemote(r.eng, conns)
+	default:
+		panic(fmt.Sprintf("experiments: unknown backend %q", backend))
+	}
+}
+
+// mkJobDevices returns per-job device views (pinned contexts for remote
+// backends; the shared local device otherwise).
+func mkJobDevices(r *rig, backend blockBackend, jobs int) []blockdev.Device {
+	dev := mkBlockDevice(r, backend, jobs)
+	if remote, ok := dev.(*blockdev.Remote); ok {
+		out := make([]blockdev.Device, jobs)
+		for i := range out {
+			out[i] = remote.Context(i)
+		}
+		return out
+	}
+	return []blockdev.Device{dev}
+}
+
+// Fig7a reproduces Figure 7a: FIO 4KB random reads at queue depth 64 per
+// job, sweeping thread (job) counts for the local driver, iSCSI and the
+// ReFlex block driver. Reported as p95 latency versus throughput.
+func Fig7a(scale Scale) *Table {
+	t := &Table{
+		ID:      "fig7a",
+		Title:   "FIO 4KB randread: p95 latency vs throughput per backend and thread count",
+		Columns: []string{"backend", "jobs", "MBps", "IOPS", "p95_us"},
+		Notes:   "QD 64 per job; ReFlex/iSCSI through the remote block driver on Linux clients",
+	}
+	warm := scale.dur(20 * sim.Millisecond)
+	dur := scale.dur(150 * sim.Millisecond)
+
+	jobCounts := map[blockBackend][]int{
+		backendLocal:  {1, 2, 3, 5},
+		backendISCSI:  {1, 2, 3},
+		backendReflex: {1, 2, 4, 6},
+	}
+	for _, backend := range []blockBackend{backendLocal, backendISCSI, backendReflex} {
+		for _, jobs := range jobCounts[backend] {
+			r := newRig(7000 + int64(jobs))
+			devs := mkJobDevices(r, backend, jobs)
+			res := fio.Run(r.eng, devs, fio.Config{
+				Jobs: jobs, Depth: 64, ReadPercent: 100, BlockSize: 4096,
+				Blocks: 1 << 22, Warmup: warm, Runtime: dur, Seed: int64(jobs),
+			})
+			r.stopAt = warm + dur
+			r.finish()
+			t.Add(string(backend), jobs, fmt.Sprintf("%.0f", res.MBps()),
+				k(res.IOPS()), us(res.ReadLat.Quantile(0.95)))
+		}
+	}
+	return t
+}
+
+// flashxScale holds the scaled-down graph parameters (the paper uses
+// SOC-LiveJournal1: 4.8M vertices, 68.9M edges; see EXPERIMENTS.md).
+const (
+	flashxVertices = 60_000
+	flashxAvgDeg   = 14
+)
+
+// Fig7b reproduces Figure 7b: FlashX graph benchmarks (WCC, PR, BFS, SCC)
+// on local flash versus remote flash through iSCSI and ReFlex, reported as
+// slowdown over local.
+func Fig7b(scale Scale) *Table {
+	t := &Table{
+		ID:      "fig7b",
+		Title:   "FlashX graph analytics: slowdown over local Flash",
+		Columns: []string{"algorithm", "backend", "runtime_ms", "slowdown", "check"},
+		Notes: fmt.Sprintf("synthetic power-law graph, %d vertices, ~%d edges (scaled from LiveJournal)",
+			flashxVertices, flashxVertices*flashxAvgDeg),
+	}
+	_ = scale // graph size fixes the runtime; scale is accepted for interface symmetry
+	g := flashx.GenPowerLaw(flashxVertices, flashxAvgDeg, 12345)
+	cachePages := int(g.TotalPages() / 4)
+
+	// Initiator CPU per missed page, stolen from the application core: the
+	// local NVMe path is cheap, the ReFlex driver adds TCP processing, and
+	// the iSCSI initiator additionally copies data between socket, SCSI
+	// and application buffers (§2.1).
+	missCPU := map[blockBackend]sim.Time{
+		backendLocal:  1 * sim.Microsecond,
+		backendReflex: 5 * sim.Microsecond / 2,
+		backendISCSI:  8 * sim.Microsecond,
+	}
+	for _, algo := range []flashx.Algo{flashx.AlgoWCC, flashx.AlgoPR, flashx.AlgoBFS, flashx.AlgoSCC} {
+		var localTime sim.Time
+		for _, backend := range []blockBackend{backendLocal, backendISCSI, backendReflex} {
+			r := newRig(7100)
+			dev := mkBlockDevice(r, backend, 6)
+			pg := flashx.NewPaged(g, dev, cachePages)
+			pg.MissCPU = missCPU[backend]
+			elapsed, summary := flashx.Run(r.eng, pg, algo)
+			if backend == backendLocal {
+				localTime = elapsed
+			}
+			slow := float64(elapsed) / float64(localTime)
+			t.Add(string(algo), string(backend), elapsed/sim.Millisecond,
+				fmt.Sprintf("%.2fx", slow), summary)
+		}
+	}
+	return t
+}
+
+// kvWorkload names a Figure 7c benchmark.
+type kvWorkload string
+
+// The db_bench workloads of §5.6.
+const (
+	kvBulkLoad   kvWorkload = "BL"
+	kvRandomRead kvWorkload = "RR"
+	kvReadWrite  kvWorkload = "RwW"
+)
+
+// kv workload scale: the paper uses a 43GB database under a cgroup memory
+// limit with multi-threaded db_bench clients; we scale database, cache and
+// client cores proportionally.
+const (
+	kvKeys       = 30_000
+	kvValueBytes = 400
+	kvReaders    = 16 // db_bench reader threads
+	kvCores      = 2  // client CPU cores the readers contend for
+	kvGets       = kvKeys * 2
+)
+
+// runKV executes one KV benchmark and returns its duration.
+func runKV(r *rig, dev blockdev.Device, w kvWorkload, seed int64) sim.Time {
+	opt := kv.DefaultOptions()
+	opt.MemtableBytes = 256 << 10
+	opt.CacheBlocks = 2600 // ~10MB cache vs ~13MB working set (cgroup limit)
+	// kvCores of client compute modeled on one serial resource: per-op
+	// service is divided by the core count.
+	opt.GetCPU = 6 * sim.Microsecond / kvCores
+	opt.ClientCPU = sim.NewResource(r.eng, "dbbench-cpu")
+	db := kv.Open(dev, opt)
+	var elapsed sim.Time
+
+	key := func(i int) string { return fmt.Sprintf("user%08d", i) }
+	val := make([]byte, kvValueBytes)
+
+	// readPhase fans kvGets point lookups over kvReaders processes that
+	// contend for the shared client CPU (kvCores of service in parallel
+	// is approximated by scaling per-op CPU by 1/kvCores on the shared
+	// serial resource).
+	readPhase := func(p *sim.Proc, requireHit bool) {
+		done := 0
+		wg := p.NewWaitGroup()
+		wg.Add(kvReaders)
+		for t := 0; t < kvReaders; t++ {
+			t := t
+			r.eng.Spawn("reader", func(rp *sim.Proc) {
+				rng := sim.NewRNG(seed + int64(t))
+				for i := 0; i < kvGets/kvReaders; i++ {
+					if _, ok := db.Get(rp, key(rng.Intn(kvKeys))); !ok && requireHit {
+						panic("kv: loaded key missing")
+					}
+					done++
+				}
+				wg.Done()
+			})
+		}
+		wg.Wait()
+		if done != kvGets/kvReaders*kvReaders {
+			panic("kv: reader accounting broken")
+		}
+	}
+
+	r.eng.Spawn("kv", func(p *sim.Proc) {
+		// Bulkload always runs first to populate the database.
+		start := p.Now()
+		for i := 0; i < kvKeys; i++ {
+			db.Put(p, key(i), val)
+		}
+		db.Flush(p)
+		if w == kvBulkLoad {
+			elapsed = p.Now() - start
+			return
+		}
+
+		switch w {
+		case kvRandomRead:
+			start = p.Now()
+			readPhase(p, true)
+			elapsed = p.Now() - start
+		case kvReadWrite:
+			start = p.Now()
+			r.eng.Spawn("writer", func(wp *sim.Proc) {
+				for i := 0; i < kvKeys/2; i++ {
+					db.Put(wp, key(kvKeys+i), val)
+				}
+			})
+			readPhase(p, false)
+			elapsed = p.Now() - start
+		}
+	})
+	r.eng.Run()
+	return elapsed
+}
+
+// Fig7c reproduces Figure 7c: the RocksDB-style benchmarks (bulkload,
+// randomread, readwhilewriting) over local, iSCSI and ReFlex block
+// devices, as slowdown over local.
+func Fig7c(scale Scale) *Table {
+	t := &Table{
+		ID:      "fig7c",
+		Title:   "LSM KV store (RocksDB-style): slowdown over local Flash",
+		Columns: []string{"benchmark", "backend", "runtime_ms", "slowdown"},
+		Notes: fmt.Sprintf("%d keys x %dB values, cache-limited block cache (scaled from 43GB)",
+			kvKeys, kvValueBytes),
+	}
+	_ = scale
+	for _, w := range []kvWorkload{kvBulkLoad, kvRandomRead, kvReadWrite} {
+		var localTime sim.Time
+		for _, backend := range []blockBackend{backendLocal, backendISCSI, backendReflex} {
+			r := newRig(7200)
+			dev := mkBlockDevice(r, backend, 6)
+			elapsed := runKV(r, dev, w, 99)
+			if backend == backendLocal {
+				localTime = elapsed
+			}
+			t.Add(string(w), string(backend), elapsed/sim.Millisecond,
+				fmt.Sprintf("%.2fx", float64(elapsed)/float64(localTime)))
+		}
+	}
+	return t
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner produces one experiment table at the given scale.
+type Runner func(scale Scale) *Table
+
+// Registry maps experiment IDs to their drivers. cmd/reflex-bench and the
+// root benchmark suite both dispatch through it.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"fig1":  Fig1,
+		"fig3a": func(s Scale) *Table { return Fig3("deviceA", s) },
+		"fig3b": func(s Scale) *Table { return Fig3("deviceB", s) },
+		"fig3c": func(s Scale) *Table { return Fig3("deviceC", s) },
+		"tab2":  Table2,
+		"fig4":  Fig4,
+		"fig5":  Fig5,
+		"fig6a": func(s Scale) *Table { return Fig6a(s, 12) },
+		"fig6b": func(s Scale) *Table { return Fig6b(s, nil) },
+		"fig6c": Fig6c,
+		"fig7a": Fig7a,
+		"fig7b": Fig7b,
+		"fig7c": Fig7c,
+
+		"ext-rightsizing": ExtRightsizing,
+		"ext-100gbe":      ExtProjection,
+
+		"ablation-batching":  AblationBatching,
+		"ablation-twostep":   AblationTwoStep,
+		"ablation-costmodel": AblationCostModel,
+		"ablation-neglimit":  AblationNegLimit,
+		"ablation-fraction":  AblationFraction,
+	}
+}
+
+// IDs returns all experiment IDs in sorted order.
+func IDs() []string {
+	reg := Registry()
+	out := make([]string, 0, len(reg))
+	for id := range reg {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes one experiment by ID.
+func Run(id string, scale Scale) (*Table, error) {
+	fn, ok := Registry()[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown id %q (known: %v)", id, IDs())
+	}
+	return fn(scale), nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/ctrl"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// ExtRightsizing demonstrates the §4.3 local control plane dynamically
+// rightsizing the dataplane: offered load ramps up and back down over
+// three phases while a control loop samples per-thread utilization every
+// few milliseconds, feeds it to ctrl.ThreadScaler, and repacks tenants
+// onto the recommended number of active threads. Idle threads would be
+// returned to Linux in the real system; here they simply go quiet.
+func ExtRightsizing(scale Scale) *Table {
+	t := &Table{
+		ID:    "ext-rightsizing",
+		Title: "Dynamic thread rightsizing under a load ramp (8 threads available)",
+		Columns: []string{
+			"phase", "offered_IOPS", "achieved_IOPS", "threads_at_end", "p95_us",
+		},
+		Notes: "control loop: 2ms utilization samples -> ThreadScaler -> Repack",
+	}
+	const (
+		maxThreads = 8
+		tenants    = 8
+	)
+	phaseDur := scale.dur(120 * sim.Millisecond)
+
+	r := newRig(8500)
+	srv := r.reflexServer(maxThreads, 1_500_000*core.TokenUnit)
+	scaler := ctrl.NewThreadScaler(1, maxThreads)
+
+	var tens []*core.Tenant
+	var conns []workload.Target
+	for i := 0; i < tenants; i++ {
+		tn, err := core.NewTenant(i+1, fmt.Sprintf("t%d", i), core.BestEffort, core.SLO{})
+		if err != nil {
+			panic(err)
+		}
+		// Everyone starts packed on thread 0 (the 1-thread configuration).
+		srv.RegisterTenantOn(tn, 0)
+		tens = append(tens, tn)
+		conns = append(conns, srv.Connect(r.ixClient(int64(i)), tn))
+	}
+
+	// Control loop: windowed utilization over the active threads.
+	active := 1
+	prevBusy := srv.ThreadBusy()
+	const tick = 2 * sim.Millisecond
+	var control func()
+	stop := 3 * phaseDur
+	control = func() {
+		if r.eng.Now() >= stop {
+			return
+		}
+		busy := srv.ThreadBusy()
+		var used sim.Time
+		for i := 0; i < active; i++ {
+			used += busy[i] - prevBusy[i]
+		}
+		prevBusy = busy
+		util := float64(used) / float64(tick) / float64(active)
+		if rec := scaler.Observe(util); rec != active {
+			active = rec
+			srv.Repack(active)
+		}
+		r.eng.After(tick, control)
+	}
+	r.eng.After(tick, control)
+
+	// Three load phases per tenant: light, heavy, light.
+	type phase struct {
+		name    string
+		perTen  float64
+		startAt sim.Time
+	}
+	// The heavy phase needs two or three cores but stays under the device
+	// and NIC ceilings, so no phase leaves a backlog behind.
+	phases := []phase{
+		{"light", 20_000, 0},
+		{"heavy", 140_000, phaseDur},
+		{"light-again", 20_000, 2 * phaseDur},
+	}
+	results := make([][]*workload.Result, len(phases))
+	threadsAtEnd := make([]int, len(phases))
+	for pi, ph := range phases {
+		pi, ph := pi, ph
+		r.eng.At(ph.startAt, func() {
+			for ci, conn := range conns {
+				results[pi] = append(results[pi], workload.OpenLoop{
+					IOPS:     ph.perTen,
+					Mix:      workload.Mix{ReadPercent: 100, Size: 512, Blocks: 1 << 22},
+					Duration: phaseDur,
+					Seed:     int64(pi*100 + ci),
+				}.Start(r.eng, conn))
+			}
+		})
+		r.eng.At(ph.startAt+phaseDur-sim.Millisecond, func() {
+			threadsAtEnd[pi] = active
+		})
+	}
+	r.stopAt = stop
+	r.finish()
+
+	for pi, ph := range phases {
+		var iops float64
+		lat := results[pi][0].ReadLat
+		for i, res := range results[pi] {
+			iops += res.IOPS()
+			if i > 0 {
+				lat.Merge(res.ReadLat)
+			}
+		}
+		t.Add(ph.name, k(ph.perTen*float64(tenants)), k(iops),
+			threadsAtEnd[pi], us(lat.Quantile(0.95)))
+	}
+	return t
+}

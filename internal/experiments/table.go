@@ -1,0 +1,96 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§5), plus ablations of the design choices called out
+// in DESIGN.md. Each driver assembles the simulated cluster it needs,
+// runs the workload, and returns a Table whose rows mirror what the paper
+// plots or tabulates. EXPERIMENTS.md records paper-versus-measured values.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	// Notes documents scaling or substitutions applied.
+	Notes string
+}
+
+// Add appends a row, formatting each cell with %v.
+func (t *Table) Add(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.1f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Cell looks up a cell by row predicate and column name (test helper and
+// programmatic consumer API).
+func (t *Table) Cell(col string, match func(row []string) bool) (string, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == col {
+			ci = i
+		}
+	}
+	if ci < 0 {
+		return "", false
+	}
+	for _, row := range t.Rows {
+		if match(row) && ci < len(row) {
+			return row[ci], true
+		}
+	}
+	return "", false
+}

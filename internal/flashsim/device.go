@@ -1,0 +1,349 @@
+// Package flashsim simulates NVMe Flash devices in virtual time.
+//
+// The model reproduces the phenomena that motivate ReFlex's QoS scheduler
+// (paper §2.2, Figures 1 and 3):
+//
+//   - Tail read latency is a function of total weighted load (IOPS weighted
+//     by request cost) and of the read/write ratio.
+//   - Writes complete quickly to a DRAM buffer but consume large amounts of
+//     device bandwidth in the background (program + amortized garbage
+//     collection), which is what delays concurrently queued reads.
+//   - Occasional erase/GC pulses block a channel for milliseconds, producing
+//     the long tail at write-heavy mixes.
+//   - Some devices serve read-only loads at roughly double the IOPS
+//     (C(read, r=100%) = 1/2 token on device A).
+//
+// Internally a device is a set of independent channels, each a FIFO serial
+// resource. A request is split into 4KB pages striped across channels by
+// logical block address; cost therefore scales linearly with request size
+// above 4KB and is constant at or below 4KB, matching §3.2.1.
+//
+// The simulator models time only; it stores no data. Data placement is the
+// concern of the storage backends in the real server.
+package flashsim
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// Op is the I/O operation type.
+type Op uint8
+
+const (
+	// OpRead is a logical block read.
+	OpRead Op = iota
+	// OpWrite is a logical block write.
+	OpWrite
+)
+
+// String returns "read" or "write".
+func (o Op) String() string {
+	if o == OpWrite {
+		return "write"
+	}
+	return "read"
+}
+
+// PageSize is the device's internal access granularity. Requests smaller
+// than a page cost a full page (§3.2.1: "Cost is constant for requests 4KB
+// and smaller").
+const PageSize = 4096
+
+// Request is one I/O submitted to a device.
+type Request struct {
+	Op Op
+	// Block is the logical block address in PageSize units.
+	Block uint64
+	// Size is the transfer size in bytes; 0 is treated as one page.
+	Size int
+	// OnComplete fires in engine context when the device completes the I/O
+	// (for writes: when the write is acknowledged from the DRAM buffer).
+	OnComplete func(completeAt sim.Time)
+
+	submitAt sim.Time
+}
+
+// Pages returns the number of device pages the request touches.
+func (r *Request) Pages() int {
+	if r.Size <= PageSize {
+		return 1
+	}
+	return (r.Size + PageSize - 1) / PageSize
+}
+
+// Spec describes the performance characteristics of a device model. All
+// durations are in nanoseconds.
+type Spec struct {
+	Name     string
+	Channels int
+	// Blocks is the device capacity in PageSize units.
+	Blocks uint64
+
+	// UnitService is the channel occupancy of one token (one 4KB read at
+	// the normal read cost). Token capacity = Channels / UnitService.
+	UnitService sim.Time
+	// ReadArray is the flash array access latency pipelined off-channel;
+	// it sets the unloaded read latency floor together with UnitService.
+	ReadArray sim.Time
+	// ReadArrayJitterMean adds an exponential jitter to ReadArray,
+	// producing the measured gap between average and p95 unloaded latency.
+	ReadArrayJitterMean sim.Time
+
+	// WriteBuffer is the host-visible write latency (DRAM buffer hit).
+	WriteBuffer sim.Time
+	// WriteBufferJitterMean adds exponential jitter to WriteBuffer.
+	WriteBufferJitterMean sim.Time
+	// WriteBufferSlack is how much background program work (per channel)
+	// the DRAM write buffer absorbs before host write completions are
+	// delayed to the program rate — sustained write floods become
+	// device-throughput-bound instead of completing at buffer speed.
+	// Zero disables backpressure.
+	WriteBufferSlack sim.Time
+
+	// WriteCost is the cost of a 4KB write in tokens (§3.2.1: 10, 20 and 16
+	// for devices A, B and C).
+	WriteCost int
+	// EraseProb is the per-written-page probability of a GC/erase pulse.
+	EraseProb float64
+	// EraseDuration is the channel occupancy of one erase pulse. The
+	// steady-state background cost of a write page is kept equal to
+	// WriteCost tokens: the per-page program occupancy is reduced by the
+	// expected erase contribution.
+	EraseDuration sim.Time
+
+	// WearPagesScale models flash wear-out: every WearPagesScale pages
+	// written slow the device's service times by another 100% (§3.2.1:
+	// "the model can be re-calibrated after deployment to account for
+	// performance degradation due to Flash wear-out"). Zero disables
+	// aging. PreAgedPages starts the device with write history, for
+	// calibrating a worn device.
+	WearPagesScale uint64
+	PreAgedPages   uint64
+
+	// ProgramChunkTokens splits a page's background program occupancy into
+	// chunks of this many tokens, submitted back-to-back as each chunk
+	// finishes. Reads arriving between chunks are served in between
+	// (program suspend/resume), which bounds how long one write blocks
+	// queued reads. Zero means the program occupies the channel in one
+	// piece.
+	ProgramChunkTokens int
+
+	// ReadOnlyHalf halves the read cost when the device has seen no write
+	// within ReadOnlyWindow (C(read, r=100%) = 1/2, device A).
+	ReadOnlyHalf   bool
+	ReadOnlyWindow sim.Time
+}
+
+// TokenCapacityPerSec returns the device's service capacity in tokens per
+// second at the normal (r < 100%) read cost.
+func (s *Spec) TokenCapacityPerSec() float64 {
+	return float64(s.Channels) * float64(sim.Second) / float64(s.UnitService)
+}
+
+// programOccupancy returns the background channel occupancy of one written
+// page, net of the expected erase-pulse contribution.
+func (s *Spec) programOccupancy() sim.Time {
+	total := sim.Time(s.WriteCost) * s.UnitService
+	erase := sim.Time(s.EraseProb * float64(s.EraseDuration))
+	if erase >= total {
+		return 0
+	}
+	return total - erase
+}
+
+// Validate reports configuration errors.
+func (s *Spec) Validate() error {
+	switch {
+	case s.Channels <= 0:
+		return fmt.Errorf("flashsim: %s: Channels must be positive", s.Name)
+	case s.UnitService <= 0:
+		return fmt.Errorf("flashsim: %s: UnitService must be positive", s.Name)
+	case s.WriteCost <= 0:
+		return fmt.Errorf("flashsim: %s: WriteCost must be positive", s.Name)
+	case s.EraseProb < 0 || s.EraseProb > 1:
+		return fmt.Errorf("flashsim: %s: EraseProb out of range", s.Name)
+	case s.Blocks == 0:
+		return fmt.Errorf("flashsim: %s: Blocks must be positive", s.Name)
+	}
+	return nil
+}
+
+// Stats are cumulative device counters.
+type Stats struct {
+	Reads      uint64
+	Writes     uint64
+	ReadPages  uint64
+	WritePages uint64
+	Erases     uint64
+}
+
+// Device is a simulated NVMe Flash device.
+type Device struct {
+	eng      *sim.Engine
+	spec     Spec
+	channels []*sim.Resource
+	rng      *sim.RNG
+
+	lastWrite sim.Time // most recent write arrival; -1 when none ever
+	// pendingProg is the background program work scheduled but not yet
+	// performed, summed across channels (drives write backpressure).
+	pendingProg sim.Time
+	stats       Stats
+}
+
+// New creates a device from spec. It panics on an invalid spec; device
+// specs are program constants, not user input.
+func New(eng *sim.Engine, spec Spec, seed int64) *Device {
+	if err := spec.Validate(); err != nil {
+		panic(err)
+	}
+	d := &Device{
+		eng:       eng,
+		spec:      spec,
+		rng:       sim.NewRNG(seed),
+		lastWrite: -1,
+	}
+	d.stats.WritePages = spec.PreAgedPages
+	for i := 0; i < spec.Channels; i++ {
+		d.channels = append(d.channels, sim.NewResource(eng, fmt.Sprintf("%s/ch%d", spec.Name, i)))
+	}
+	return d
+}
+
+// Spec returns the device's spec.
+func (d *Device) Spec() Spec { return d.spec }
+
+// Stats returns a copy of the cumulative counters.
+func (d *Device) Stats() Stats { return d.stats }
+
+// ReadOnlyMode reports whether the device is currently in the read-only
+// fast mode (no writes within the configured window).
+func (d *Device) ReadOnlyMode() bool {
+	if !d.spec.ReadOnlyHalf {
+		return false
+	}
+	return d.lastWrite < 0 || d.eng.Now()-d.lastWrite > d.spec.ReadOnlyWindow
+}
+
+// wearMultiplier returns the current service-time inflation from
+// accumulated writes (1.0 on a fresh device or when aging is disabled).
+func (d *Device) wearMultiplier() float64 {
+	if d.spec.WearPagesScale == 0 {
+		return 1
+	}
+	return 1 + float64(d.stats.WritePages)/float64(d.spec.WearPagesScale)
+}
+
+// WearMultiplier exposes the device's current wear factor.
+func (d *Device) WearMultiplier() float64 { return d.wearMultiplier() }
+
+// channelOf maps a device page to its channel (LBA striping).
+func (d *Device) channelOf(block uint64) *sim.Resource {
+	return d.channels[block%uint64(len(d.channels))]
+}
+
+// Submit issues a request. The completion callback fires in engine context.
+func (d *Device) Submit(r *Request) {
+	r.submitAt = d.eng.Now()
+	switch r.Op {
+	case OpRead:
+		d.submitRead(r)
+	case OpWrite:
+		d.submitWrite(r)
+	default:
+		panic(fmt.Sprintf("flashsim: unknown op %d", r.Op))
+	}
+}
+
+func (d *Device) submitRead(r *Request) {
+	pages := r.Pages()
+	d.stats.Reads++
+	d.stats.ReadPages += uint64(pages)
+
+	service := sim.Time(float64(d.spec.UnitService) * d.wearMultiplier())
+	if d.ReadOnlyMode() {
+		service /= 2
+	}
+
+	// Each page occupies its channel for the service time; the array access
+	// completes off-channel afterwards. The request completes when its last
+	// page does.
+	var last sim.Time
+	for p := 0; p < pages; p++ {
+		ch := d.channelOf(r.Block + uint64(p))
+		_, end := ch.Schedule(service, nil)
+		array := d.spec.ReadArray
+		if d.spec.ReadArrayJitterMean > 0 {
+			array += d.rng.Exp(d.spec.ReadArrayJitterMean)
+		}
+		doneAt := end + array
+		if doneAt > last {
+			last = doneAt
+		}
+	}
+	if r.OnComplete != nil {
+		d.eng.At(last, func() { r.OnComplete(last) })
+	}
+}
+
+func (d *Device) submitWrite(r *Request) {
+	pages := r.Pages()
+	d.stats.Writes++
+	d.stats.WritePages += uint64(pages)
+	d.lastWrite = d.eng.Now()
+
+	// Host-visible completion: DRAM buffer, plus backpressure once the
+	// buffered program backlog exceeds the buffer's slack.
+	lat := d.spec.WriteBuffer
+	if d.spec.WriteBufferJitterMean > 0 {
+		lat += d.rng.Exp(d.spec.WriteBufferJitterMean)
+	}
+	if d.spec.WriteBufferSlack > 0 {
+		backlog := d.pendingProg / sim.Time(len(d.channels))
+		if over := backlog - d.spec.WriteBufferSlack; over > 0 {
+			lat += over
+		}
+	}
+	if r.OnComplete != nil {
+		d.eng.After(lat, func() { r.OnComplete(d.eng.Now()) })
+	}
+
+	// Background program work per page, plus occasional erase pulses.
+	occ := sim.Time(float64(d.spec.programOccupancy()) * d.wearMultiplier())
+	for p := 0; p < pages; p++ {
+		ch := d.channelOf(r.Block + uint64(p))
+		d.pendingProg += occ
+		d.program(ch, occ)
+		if d.spec.EraseProb > 0 && d.rng.Float64() < d.spec.EraseProb {
+			d.stats.Erases++
+			ch.Occupy(d.spec.EraseDuration)
+		}
+	}
+}
+
+// program occupies the channel for total background work, in chunks chained
+// completion-to-submission so that concurrently queued reads interleave.
+func (d *Device) program(ch *sim.Resource, remaining sim.Time) {
+	if remaining <= 0 {
+		return
+	}
+	chunk := sim.Time(d.spec.ProgramChunkTokens) * d.spec.UnitService
+	if chunk <= 0 || chunk >= remaining {
+		chunk = remaining
+	}
+	ch.Schedule(chunk, func(sim.Time) {
+		d.pendingProg -= chunk
+		d.program(ch, remaining-chunk)
+	})
+}
+
+// Utilization returns the mean channel utilization since simulation start.
+func (d *Device) Utilization() float64 {
+	var u float64
+	for _, ch := range d.channels {
+		u += ch.Utilization()
+	}
+	return u / float64(len(d.channels))
+}

@@ -1,0 +1,380 @@
+package flashsim
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/hist"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// runQD1 issues n back-to-back (queue depth 1) ops spaced by gap and returns
+// the latency histogram.
+func runQD1(t *testing.T, spec Spec, op Op, n int, gap sim.Time) *hist.Hist {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := New(eng, spec, 42)
+	h := hist.New()
+	var issue func(i int)
+	issue = func(i int) {
+		if i >= n {
+			return
+		}
+		start := eng.Now()
+		dev.Submit(&Request{
+			Op:    op,
+			Block: uint64(i*7919) % spec.Blocks,
+			Size:  PageSize,
+			OnComplete: func(at sim.Time) {
+				h.Record(at - start)
+				eng.After(gap, func() { issue(i + 1) })
+			},
+		})
+	}
+	eng.At(0, func() { issue(0) })
+	eng.Run()
+	return h
+}
+
+func TestUnloadedReadLatencyDeviceA(t *testing.T) {
+	// Table 2, "Local (SPDK)" row: 4KB random reads, QD1: avg 78us, p95 90us.
+	h := runQD1(t, DeviceA(), OpRead, 2000, 20*sim.Microsecond)
+	avg := h.Mean() / 1000
+	p95 := float64(h.Quantile(0.95)) / 1000
+	if avg < 70 || avg > 86 {
+		t.Errorf("unloaded read avg = %.1fus, want ~78us", avg)
+	}
+	if p95 < 80 || p95 > 100 {
+		t.Errorf("unloaded read p95 = %.1fus, want ~90us", p95)
+	}
+}
+
+func TestUnloadedWriteLatencyDeviceA(t *testing.T) {
+	// Table 2: local write avg 11us, p95 17us (DRAM buffered).
+	h := runQD1(t, DeviceA(), OpWrite, 2000, 50*sim.Microsecond)
+	avg := h.Mean() / 1000
+	p95 := float64(h.Quantile(0.95)) / 1000
+	if avg < 8 || avg > 14 {
+		t.Errorf("unloaded write avg = %.1fus, want ~11us", avg)
+	}
+	if p95 < 13 || p95 > 22 {
+		t.Errorf("unloaded write p95 = %.1fus, want ~17us", p95)
+	}
+}
+
+func TestWriteMuchCheaperLatencyThanRead(t *testing.T) {
+	r := runQD1(t, DeviceA(), OpRead, 500, 20*sim.Microsecond)
+	w := runQD1(t, DeviceA(), OpWrite, 500, 50*sim.Microsecond)
+	if w.Mean() >= r.Mean() {
+		t.Errorf("write avg %.1fus not below read avg %.1fus", w.Mean()/1000, r.Mean()/1000)
+	}
+}
+
+// runOpenLoop drives the device with Poisson arrivals at the given total
+// IOPS and read ratio for dur, returning the read-latency histogram.
+func runOpenLoop(spec Spec, iops float64, readPct int, size int, dur sim.Time, seed int64) *hist.Hist {
+	eng := sim.NewEngine()
+	dev := New(eng, spec, seed)
+	rng := sim.NewRNG(seed + 1)
+	h := hist.New()
+	mean := sim.Time(float64(sim.Second) / iops)
+	var arrive func()
+	arrive = func() {
+		if eng.Now() >= dur {
+			return
+		}
+		op := OpRead
+		if rng.Intn(100) >= readPct {
+			op = OpWrite
+		}
+		start := eng.Now()
+		dev.Submit(&Request{
+			Op:    op,
+			Block: uint64(rng.Int63n(int64(spec.Blocks))),
+			Size:  size,
+			OnComplete: func(at sim.Time) {
+				if op == OpRead {
+					h.Record(at - start)
+				}
+			},
+		})
+		eng.After(rng.Exp(mean), arrive)
+	}
+	eng.At(0, arrive)
+	eng.Run()
+	return h
+}
+
+func TestTailLatencyGrowsWithLoad(t *testing.T) {
+	// Figure 1 shape: p95 read latency is monotonically non-decreasing in
+	// IOPS (beyond noise) at a fixed mix.
+	spec := DeviceA()
+	var prev float64
+	for i, iops := range []float64{50_000, 150_000, 250_000} {
+		h := runOpenLoop(spec, iops, 90, PageSize, 300*sim.Millisecond, 7)
+		p95 := float64(h.Quantile(0.95))
+		if i > 0 && p95 < prev*0.8 {
+			t.Errorf("p95 dropped sharply with load: %.0f -> %.0f at %v IOPS", prev, p95, iops)
+		}
+		prev = p95
+	}
+}
+
+func TestTailLatencyGrowsWithWriteFraction(t *testing.T) {
+	// Figure 1 shape: at the same total IOPS, more writes => higher p95
+	// read latency.
+	spec := DeviceA()
+	p95at := func(readPct int) float64 {
+		h := runOpenLoop(spec, 150_000, readPct, PageSize, 300*sim.Millisecond, 11)
+		return float64(h.Quantile(0.95))
+	}
+	ro := p95at(100)
+	w10 := p95at(90)
+	w50 := p95at(50)
+	if !(ro < w10 && w10 < w50) {
+		t.Errorf("p95 not increasing with write fraction: 100%%=%.0f 90%%=%.0f 50%%=%.0f",
+			ro, w10, w50)
+	}
+}
+
+func TestReadOnlyModeDoublesCapacity(t *testing.T) {
+	// Device A serves ~1.2M read-only IOPS but saturates near 600K IOPS
+	// when even 1% writes are present (cost 1 vs 1/2 per read).
+	spec := DeviceA()
+	hro := runOpenLoop(spec, 800_000, 100, PageSize, 200*sim.Millisecond, 3)
+	hmix := runOpenLoop(spec, 800_000, 99, PageSize, 200*sim.Millisecond, 3)
+	ro95 := float64(hro.Quantile(0.95))
+	mix95 := float64(hmix.Quantile(0.95))
+	// 800K IOPS: comfortable read-only (util ~0.66), far beyond saturation
+	// with 1% writes (0.99 + 0.1 = 1.09 tokens -> 872K tokens/s > 601K).
+	if ro95 > 500_000 {
+		t.Errorf("read-only p95 at 800K IOPS = %.0fus, want moderate (<500us)", ro95/1000)
+	}
+	if mix95 < 4*ro95 {
+		t.Errorf("99%%-read p95 (%.0fus) should blow up vs read-only (%.0fus)",
+			mix95/1000, ro95/1000)
+	}
+}
+
+func TestReadOnlyModeToggles(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := New(eng, DeviceA(), 1)
+	eng.At(0, func() {
+		if !dev.ReadOnlyMode() {
+			t.Error("fresh device should start in read-only mode")
+		}
+		dev.Submit(&Request{Op: OpWrite, Block: 1, Size: PageSize})
+		if dev.ReadOnlyMode() {
+			t.Error("device in read-only mode right after a write")
+		}
+	})
+	eng.At(DeviceA().ReadOnlyWindow+2*sim.Millisecond, func() {
+		if !dev.ReadOnlyMode() {
+			t.Error("device not back in read-only mode after the window")
+		}
+	})
+	eng.Run()
+}
+
+func TestLargeRequestCostScalesLinearly(t *testing.T) {
+	// §3.2.1: a 32KB request costs as much as 8 back-to-back 4KB requests.
+	// Verify through channel busy time.
+	eng := sim.NewEngine()
+	spec := DeviceA()
+	spec.EraseProb = 0 // determinism
+	dev := New(eng, spec, 1)
+	eng.At(0, func() {
+		dev.Submit(&Request{Op: OpRead, Block: 0, Size: 32 * 1024})
+	})
+	eng.Run()
+	var busy sim.Time
+	for _, ch := range dev.channels {
+		busy += ch.BusyTime()
+	}
+	// Read-only mode: 8 pages x UnitService/2.
+	want := 8 * spec.UnitService / 2
+	if busy != want {
+		t.Errorf("32KB read busy time = %d, want %d", busy, want)
+	}
+}
+
+func TestSubPageRequestCostsFullPage(t *testing.T) {
+	r := &Request{Op: OpRead, Block: 0, Size: 512}
+	if r.Pages() != 1 {
+		t.Errorf("512B request pages = %d, want 1", r.Pages())
+	}
+	r.Size = 0
+	if r.Pages() != 1 {
+		t.Errorf("0B request pages = %d, want 1", r.Pages())
+	}
+	r.Size = PageSize + 1
+	if r.Pages() != 2 {
+		t.Errorf("4097B request pages = %d, want 2", r.Pages())
+	}
+}
+
+func TestStats(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := DeviceA()
+	spec.EraseProb = 1 // every write page erases
+	dev := New(eng, spec, 1)
+	eng.At(0, func() {
+		dev.Submit(&Request{Op: OpRead, Block: 0, Size: 8 * 1024})
+		dev.Submit(&Request{Op: OpWrite, Block: 9, Size: PageSize})
+	})
+	eng.Run()
+	s := dev.Stats()
+	if s.Reads != 1 || s.ReadPages != 2 {
+		t.Errorf("reads=%d readPages=%d, want 1, 2", s.Reads, s.ReadPages)
+	}
+	if s.Writes != 1 || s.WritePages != 1 {
+		t.Errorf("writes=%d writePages=%d, want 1, 1", s.Writes, s.WritePages)
+	}
+	if s.Erases != 1 {
+		t.Errorf("erases=%d, want 1", s.Erases)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.Channels = 0 },
+		func(s *Spec) { s.UnitService = 0 },
+		func(s *Spec) { s.WriteCost = 0 },
+		func(s *Spec) { s.EraseProb = 1.5 },
+		func(s *Spec) { s.Blocks = 0 },
+	}
+	for i, mutate := range cases {
+		spec := DeviceA()
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid spec passed validation", i)
+		}
+	}
+	spec := DeviceA()
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid spec rejected: %v", err)
+	}
+}
+
+func TestNewPanicsOnInvalidSpec(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with invalid spec did not panic")
+		}
+	}()
+	spec := DeviceA()
+	spec.Channels = 0
+	New(sim.NewEngine(), spec, 1)
+}
+
+func TestSubmitUnknownOpPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := New(eng, DeviceA(), 1)
+	eng.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("unknown op did not panic")
+			}
+		}()
+		dev.Submit(&Request{Op: Op(99), Block: 0, Size: PageSize})
+	})
+	eng.Run()
+}
+
+func TestTokenCapacities(t *testing.T) {
+	for name, want := range map[string]float64{
+		"deviceA": 601_503, // 8 / 13.3us
+		"deviceB": 320_000,
+		"deviceC": 640_000,
+	} {
+		spec := Profiles()[name]
+		got := spec.TokenCapacityPerSec()
+		if got < want*0.99 || got > want*1.01 {
+			t.Errorf("%s capacity = %.0f tokens/s, want ~%.0f", name, got, want)
+		}
+	}
+}
+
+func TestWriteCostsPerProfile(t *testing.T) {
+	// §3.2.1: C(write) is 10, 20, 16 tokens for devices A, B, C.
+	want := map[string]int{"deviceA": 10, "deviceB": 20, "deviceC": 16}
+	for name, w := range want {
+		if got := Profiles()[name].WriteCost; got != w {
+			t.Errorf("%s write cost = %d, want %d", name, got, w)
+		}
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" {
+		t.Fatal("Op.String wrong")
+	}
+}
+
+func TestUtilizationBounded(t *testing.T) {
+	spec := DeviceA()
+	eng := sim.NewEngine()
+	dev := New(eng, spec, 5)
+	rng := sim.NewRNG(6)
+	var arrive func()
+	n := 0
+	arrive = func() {
+		if n >= 20000 {
+			return
+		}
+		n++
+		dev.Submit(&Request{Op: OpRead, Block: uint64(rng.Int63n(1000)), Size: PageSize})
+		eng.After(rng.Exp(3*sim.Microsecond), arrive) // heavy overload
+	}
+	eng.At(0, arrive)
+	eng.Run()
+	if u := dev.Utilization(); u < 0 || u > 1 {
+		t.Errorf("utilization = %v out of [0,1]", u)
+	}
+}
+
+func TestWearSlowsDevice(t *testing.T) {
+	fresh := DeviceA()
+	worn := DeviceA()
+	worn.WearPagesScale = 1 << 20
+	worn.PreAgedPages = 1 << 20 // 2x service inflation
+	hf := runQD1(t, fresh, OpRead, 1000, 20*sim.Microsecond)
+	hw := runQD1(t, worn, OpRead, 1000, 20*sim.Microsecond)
+	// Worn read-only service doubles: 6.65us -> 13.3us extra on the floor.
+	if hw.Mean() < hf.Mean()+5000 {
+		t.Fatalf("worn device read avg %.1fus not slower than fresh %.1fus",
+			hw.Mean()/1000, hf.Mean()/1000)
+	}
+}
+
+func TestWearAccumulatesFromWrites(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := DeviceA()
+	spec.WearPagesScale = 1000
+	dev := New(eng, spec, 1)
+	if dev.WearMultiplier() != 1 {
+		t.Fatalf("fresh multiplier = %v", dev.WearMultiplier())
+	}
+	eng.At(0, func() {
+		for i := 0; i < 500; i++ {
+			dev.Submit(&Request{Op: OpWrite, Block: uint64(i), Size: PageSize})
+		}
+	})
+	eng.Run()
+	if m := dev.WearMultiplier(); m < 1.49 || m > 1.51 {
+		t.Fatalf("multiplier after 500/1000 pages = %v, want 1.5", m)
+	}
+}
+
+func TestWearDisabledByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := New(eng, DeviceA(), 1)
+	eng.At(0, func() {
+		for i := 0; i < 1000; i++ {
+			dev.Submit(&Request{Op: OpWrite, Block: uint64(i), Size: PageSize})
+		}
+	})
+	eng.Run()
+	if dev.WearMultiplier() != 1 {
+		t.Fatal("default profile must not age")
+	}
+}

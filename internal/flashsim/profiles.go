@@ -1,0 +1,97 @@
+package flashsim
+
+import "github.com/reflex-go/reflex/internal/sim"
+
+// The three device profiles correspond to the three NVMe devices the paper
+// characterizes in Figure 3. Absolute constants are calibrated so that:
+//
+//   - Device A: ~600K tokens/s capacity, ~1.2M read-only IOPS, 4KB write
+//     cost 10 tokens, unloaded 4KB read ~78us (p95 ~90us) and write ~11us
+//     (p95 ~17us), matching Figure 1 and Table 2 (local SPDK row).
+//   - Device B: ~320K tokens/s, write cost 20 (Figure 3b).
+//   - Device C: ~640K tokens/s, write cost 16 (Figure 3c).
+//
+// The shapes (knee positions per read ratio, 10-20x write cost, read-only
+// doubling on A) are what the reproduction preserves; absolute numbers are
+// a calibrated fit, re-derivable with cmd/reflex-calibrate.
+
+// DeviceA returns the profile of the paper's device A (the highest-IOPS
+// device, used for all headline experiments).
+func DeviceA() Spec {
+	return Spec{
+		Name:     "deviceA",
+		Channels: 8,
+		Blocks:   1 << 26, // 256 GiB of 4KB pages
+
+		UnitService:           13300,               // 13.3us -> ~601K tokens/s
+		ReadArray:             65350,               // + jitter mean 6us + unit/2 = 78us avg
+		ReadArrayJitterMean:   6000,                // p95 ~= 90us
+		WriteBuffer:           8 * sim.Microsecond, // + jitter mean 3us = 11us avg
+		WriteBufferJitterMean: 3000,                // p95 ~= 17us
+		WriteBufferSlack:      2 * sim.Millisecond,
+
+		// Erase pulses are rare enough to shape the p99, not the p95: the
+		// paper's device A sustains 420K tokens/s under a 500us p95 SLO,
+		// while "stricter SLOs, such as 99th ... are difficult to enforce"
+		// (§6).
+		WriteCost:          10,
+		ProgramChunkTokens: 2,
+		EraseProb:          0.002,
+		EraseDuration:      2 * sim.Millisecond,
+
+		ReadOnlyHalf:   true,
+		ReadOnlyWindow: 10 * sim.Millisecond,
+	}
+}
+
+// DeviceB returns the profile of the paper's device B (lowest capacity,
+// most expensive writes).
+func DeviceB() Spec {
+	return Spec{
+		Name:     "deviceB",
+		Channels: 8,
+		Blocks:   1 << 25, // 128 GiB
+
+		UnitService:           25000, // ~320K tokens/s
+		ReadArray:             72000,
+		ReadArrayJitterMean:   8000,
+		WriteBuffer:           10 * sim.Microsecond,
+		WriteBufferJitterMean: 4000,
+		WriteBufferSlack:      2 * sim.Millisecond,
+
+		WriteCost:          20,
+		ProgramChunkTokens: 2,
+		EraseProb:          0.003,
+		EraseDuration:      3 * sim.Millisecond,
+	}
+}
+
+// DeviceC returns the profile of the paper's device C.
+func DeviceC() Spec {
+	return Spec{
+		Name:     "deviceC",
+		Channels: 8,
+		Blocks:   1 << 26,
+
+		UnitService:           12500, // ~640K tokens/s
+		ReadArray:             78000,
+		ReadArrayJitterMean:   7000,
+		WriteBuffer:           9 * sim.Microsecond,
+		WriteBufferJitterMean: 3000,
+		WriteBufferSlack:      2 * sim.Millisecond,
+
+		WriteCost:          16,
+		ProgramChunkTokens: 2,
+		EraseProb:          0.0025,
+		EraseDuration:      2500 * sim.Microsecond,
+	}
+}
+
+// Profiles returns all built-in device profiles keyed by name.
+func Profiles() map[string]Spec {
+	return map[string]Spec{
+		"deviceA": DeviceA(),
+		"deviceB": DeviceB(),
+		"deviceC": DeviceC(),
+	}
+}

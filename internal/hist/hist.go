@@ -1,0 +1,281 @@
+// Package hist provides a fixed-memory, log-bucketed latency histogram in
+// the spirit of HDR histograms. Recording is O(1) and allocation-free;
+// quantiles are approximate with a relative error bounded by the sub-bucket
+// resolution (<2% with the default 64 sub-buckets per power of two), which
+// is far below the run-to-run variance of the experiments that use it.
+//
+// All values are durations in nanoseconds, matching the sim package.
+package hist
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+const (
+	subBits    = 6 // sub-buckets per power of two: 64
+	subBuckets = 1 << subBits
+	majors     = 40 // covers up to ~2^(40+6) ns ≈ 19 hours
+)
+
+// Hist is a latency histogram. The zero value is ready to use.
+type Hist struct {
+	counts [majors * subBuckets]uint32
+	count  uint64
+	sum    int64
+	min    int64
+	max    int64
+}
+
+// New returns an empty histogram.
+func New() *Hist {
+	return &Hist{}
+}
+
+func bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < subBuckets {
+		return int(v)
+	}
+	// major = position of the highest set bit above the sub-bucket field.
+	major := bits.Len64(uint64(v)) - 1 - subBits
+	sub := int(v >> uint(major) & (subBuckets - 1))
+	idx := (major+1)*subBuckets + sub
+	if idx >= majors*subBuckets {
+		idx = majors*subBuckets - 1
+	}
+	return idx
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)]++
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+}
+
+// RecordN adds n identical samples.
+func (h *Hist) RecordN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[bucketOf(v)] += uint32(n)
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+	h.count += n
+	h.sum += v * int64(n)
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() uint64 { return h.count }
+
+// Sum returns the sum of all recorded samples.
+func (h *Hist) Sum() int64 { return h.sum }
+
+// Min returns the smallest recorded sample (0 if empty).
+func (h *Hist) Min() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded sample (0 if empty).
+func (h *Hist) Max() int64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.max
+}
+
+// Mean returns the arithmetic mean of recorded samples (0 if empty).
+func (h *Hist) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Quantile returns an upper-bound estimate for quantile q in [0, 1].
+// Quantile(0.95) is the p95. Returns 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) int64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(h.count))
+	if target >= h.count {
+		target = h.count - 1
+	}
+	var cum uint64
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += uint64(c)
+		if cum > target {
+			u := upperValue(idx)
+			if u > h.max {
+				u = h.max
+			}
+			if u < h.min {
+				u = h.min
+			}
+			return u
+		}
+	}
+	return h.max
+}
+
+// upperValue returns the largest value that maps into bucket idx.
+func upperValue(idx int) int64 {
+	if idx < subBuckets {
+		return int64(idx)
+	}
+	major := idx/subBuckets - 1
+	sub := int64(idx % subBuckets)
+	lo := (sub | subBuckets) << uint(major)
+	hi := lo + (int64(1) << uint(major)) - 1
+	return hi
+}
+
+// Merge adds all samples of other into h.
+func (h *Hist) Merge(other *Hist) {
+	if other == nil || other.count == 0 {
+		return
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	if h.count == 0 || other.min < h.min {
+		h.min = other.min
+	}
+	if other.max > h.max {
+		h.max = other.max
+	}
+	h.count += other.count
+	h.sum += other.sum
+}
+
+// Reset clears all recorded samples.
+func (h *Hist) Reset() {
+	*h = Hist{}
+}
+
+// Snapshot is a compact summary of a histogram.
+type Snapshot struct {
+	Count uint64
+	Mean  float64
+	Min   int64
+	P50   int64
+	P95   int64
+	P99   int64
+	P999  int64
+	Max   int64
+}
+
+// Snapshot returns the standard summary.
+func (h *Hist) Snapshot() Snapshot {
+	return Snapshot{
+		Count: h.count,
+		Mean:  h.Mean(),
+		Min:   h.Min(),
+		P50:   h.Quantile(0.50),
+		P95:   h.Quantile(0.95),
+		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
+		Max:   h.Max(),
+	}
+}
+
+// String formats the snapshot with microsecond units, the natural scale for
+// flash latencies.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("n=%d mean=%.1fus p50=%.1fus p95=%.1fus p99=%.1fus max=%.1fus",
+		s.Count, s.Mean/1000, float64(s.P50)/1000, float64(s.P95)/1000,
+		float64(s.P99)/1000, float64(s.Max)/1000)
+}
+
+// Quantiles returns estimates for several quantiles at once, more cheaply
+// than repeated Quantile calls. qs must be sorted ascending.
+func (h *Hist) Quantiles(qs []float64) []int64 {
+	if !sort.Float64sAreSorted(qs) {
+		panic("hist: Quantiles requires sorted input")
+	}
+	out := make([]int64, len(qs))
+	if h.count == 0 {
+		return out
+	}
+	var cum uint64
+	qi := 0
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		cum += uint64(c)
+		for qi < len(qs) {
+			target := uint64(qs[qi] * float64(h.count))
+			if target >= h.count {
+				target = h.count - 1
+			}
+			if cum > target {
+				u := upperValue(idx)
+				if u > h.max {
+					u = h.max
+				}
+				if u < h.min {
+					u = h.min
+				}
+				out[qi] = u
+				qi++
+			} else {
+				break
+			}
+		}
+		if qi == len(qs) {
+			break
+		}
+	}
+	for ; qi < len(qs); qi++ {
+		out[qi] = h.max
+	}
+	return out
+}
+
+// Dump renders a human-readable bucket listing for debugging, with one line
+// per non-empty bucket.
+func (h *Hist) Dump() string {
+	var b strings.Builder
+	for idx, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "<=%dns: %d\n", upperValue(idx), c)
+	}
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package hist
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	h := New()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.95) != 0 ||
+		h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+}
+
+func TestSingleSample(t *testing.T) {
+	h := New()
+	h.Record(12345)
+	if h.Count() != 1 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		got := h.Quantile(q)
+		if got != 12345 {
+			t.Fatalf("Quantile(%v) = %d, want 12345 (min/max clamp)", q, got)
+		}
+	}
+	if h.Mean() != 12345 {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+}
+
+func TestExactSmallValues(t *testing.T) {
+	// Values below 64 are recorded exactly.
+	h := New()
+	for v := int64(0); v < 64; v++ {
+		h.Record(v)
+	}
+	if got := h.Quantile(0.5); got != 32 {
+		t.Fatalf("p50 = %d, want 32", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Fatalf("p0 = %d, want 0", got)
+	}
+	if got := h.Quantile(1); got != 63 {
+		t.Fatalf("p100 = %d, want 63", got)
+	}
+}
+
+func TestQuantileAccuracy(t *testing.T) {
+	// Relative error of any quantile must be below the bucket resolution.
+	rng := rand.New(rand.NewSource(7))
+	h := New()
+	var vals []int64
+	for i := 0; i < 50000; i++ {
+		// Log-uniform over 1us..10ms, the range of flash latencies.
+		v := int64(1000 * (1 << uint(rng.Intn(14))))
+		v += rng.Int63n(v)
+		vals = append(vals, v)
+		h.Record(v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		exact := vals[int(q*float64(len(vals)))]
+		got := h.Quantile(q)
+		relErr := float64(got-exact) / float64(exact)
+		if relErr < -0.001 || relErr > 0.04 {
+			t.Errorf("Quantile(%v) = %d, exact %d, relErr %.3f", q, got, exact, relErr)
+		}
+	}
+}
+
+func TestMeanSumMinMax(t *testing.T) {
+	h := New()
+	for _, v := range []int64{10, 20, 30, 40} {
+		h.Record(v)
+	}
+	if h.Sum() != 100 || h.Mean() != 25 || h.Min() != 10 || h.Max() != 40 {
+		t.Fatalf("sum=%d mean=%v min=%d max=%d", h.Sum(), h.Mean(), h.Min(), h.Max())
+	}
+}
+
+func TestNegativeClamped(t *testing.T) {
+	h := New()
+	h.Record(-5)
+	if h.Min() != 0 || h.Max() != 0 || h.Count() != 1 {
+		t.Fatal("negative sample must clamp to 0")
+	}
+}
+
+func TestRecordN(t *testing.T) {
+	a, b := New(), New()
+	for i := 0; i < 10; i++ {
+		a.Record(777)
+	}
+	b.RecordN(777, 10)
+	if a.Count() != b.Count() || a.Sum() != b.Sum() ||
+		a.Quantile(0.95) != b.Quantile(0.95) {
+		t.Fatal("RecordN(v,10) must equal 10x Record(v)")
+	}
+	b.RecordN(5, 0) // no-op
+	if b.Count() != 10 {
+		t.Fatal("RecordN with n=0 must be a no-op")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a, b, both := New(), New(), New()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 10000; i++ {
+		v := rng.Int63n(1_000_000)
+		if i%2 == 0 {
+			a.Record(v)
+		} else {
+			b.Record(v)
+		}
+		both.Record(v)
+	}
+	a.Merge(b)
+	if a.Count() != both.Count() || a.Sum() != both.Sum() ||
+		a.Min() != both.Min() || a.Max() != both.Max() {
+		t.Fatal("merge must preserve count/sum/min/max")
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if a.Quantile(q) != both.Quantile(q) {
+			t.Fatalf("merge changed Quantile(%v)", q)
+		}
+	}
+	a.Merge(nil)   // no-op
+	a.Merge(New()) // no-op
+	if a.Count() != both.Count() {
+		t.Fatal("merging empty/nil changed count")
+	}
+}
+
+func TestReset(t *testing.T) {
+	h := New()
+	h.Record(123)
+	h.Reset()
+	if h.Count() != 0 || h.Quantile(0.95) != 0 {
+		t.Fatal("Reset did not clear histogram")
+	}
+}
+
+func TestQuantilesBatch(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 20000; i++ {
+		h.Record(rng.Int63n(10_000_000))
+	}
+	qs := []float64{0.1, 0.5, 0.9, 0.95, 0.99, 0.999}
+	batch := h.Quantiles(qs)
+	for i, q := range qs {
+		if single := h.Quantile(q); batch[i] != single {
+			t.Errorf("Quantiles[%v] = %d, Quantile = %d", q, batch[i], single)
+		}
+	}
+}
+
+func TestQuantilesUnsortedPanics(t *testing.T) {
+	h := New()
+	h.Record(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("unsorted Quantiles input did not panic")
+		}
+	}()
+	h.Quantiles([]float64{0.9, 0.5})
+}
+
+func TestSnapshotString(t *testing.T) {
+	h := New()
+	h.Record(100_000) // 100us
+	s := h.Snapshot()
+	if s.Count != 1 || s.P95 != 100_000 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if str := s.String(); str == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestDump(t *testing.T) {
+	h := New()
+	h.Record(10)
+	h.Record(1000)
+	if h.Dump() == "" {
+		t.Fatal("Dump of non-empty histogram is empty")
+	}
+}
+
+// Property: quantile estimates never undercut the true value's bucket lower
+// bound and are monotone in q.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h := New()
+		n := 100 + rng.Intn(1000)
+		for i := 0; i < n; i++ {
+			h.Record(rng.Int63n(1 << 30))
+		}
+		prev := int64(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: recorded value v is bucketed such that Quantile over a single
+// sample returns a value within 2% of v (or exact below 64).
+func TestBucketResolutionProperty(t *testing.T) {
+	f := func(raw int64) bool {
+		v := raw
+		if v < 0 {
+			v = -v
+		}
+		v %= 1 << 40
+		h := New()
+		h.Record(v)
+		got := h.Quantile(0.5)
+		if v < 64 {
+			return got == v
+		}
+		return got == v // single sample: clamped to max, always exact
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	h := New()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i) % 1_000_000)
+	}
+}
+
+func BenchmarkQuantile(b *testing.B) {
+	h := New()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(rng.Int63n(1_000_000))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quantile(0.95)
+	}
+}

@@ -1,0 +1,218 @@
+// Package netsim is a message-level network simulator: 10GbE links modeled
+// as serial byte-rate resources, a fixed wire/switch latency, and per-host
+// protocol-stack latency profiles (a fast kernel-bypass IX stack versus the
+// Linux socket stack, §5.1-§5.2 of the paper).
+//
+// Packets are not modeled individually; a message (one ReFlex request or
+// response) is the unit of transfer. This captures what the paper's
+// evaluation depends on — per-message latency adders per stack type, NIC
+// byte-rate saturation, and serialization delay of 4KB payloads — without a
+// full TCP implementation. The real TCP path is exercised by the
+// internal/server and internal/client packages instead.
+package netsim
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// Config describes the fabric between hosts.
+type Config struct {
+	// WireLatency is the one-way propagation plus switch latency.
+	WireLatency sim.Time
+	// LinkBytesPerSec is the per-port line rate in bytes/second.
+	LinkBytesPerSec int64
+	// PerMessageOverheadBytes models framing (Ethernet/IP/TCP headers and
+	// inter-frame gaps) added to every message on the wire.
+	PerMessageOverheadBytes int
+}
+
+// TenGbE returns the paper's network fabric: Intel 82599ES 10GbE through an
+// Arista 7050S switch. The effective byte rate accounts for framing
+// efficiency with jumbo frames enabled (§5.1).
+func TenGbE() Config {
+	return Config{
+		WireLatency:             2 * sim.Microsecond,
+		LinkBytesPerSec:         1_170_000_000, // ~1.17 GB/s effective
+		PerMessageOverheadBytes: 78,            // headers + CRC + IFG
+	}
+}
+
+// HundredGbE returns a next-generation fabric (§5.3's projection: "future
+// datacenters will likely deploy 100GbE ... Both technologies will remove
+// this bottleneck").
+func HundredGbE() Config {
+	return Config{
+		WireLatency:             1 * sim.Microsecond,
+		LinkBytesPerSec:         11_700_000_000,
+		PerMessageOverheadBytes: 78,
+	}
+}
+
+// Network is a set of ports connected through one fabric.
+type Network struct {
+	eng *sim.Engine
+	cfg Config
+}
+
+// New creates a network. It panics on a non-positive line rate; fabric
+// configs are program constants.
+func New(eng *sim.Engine, cfg Config) *Network {
+	if cfg.LinkBytesPerSec <= 0 {
+		panic("netsim: LinkBytesPerSec must be positive")
+	}
+	return &Network{eng: eng, cfg: cfg}
+}
+
+// Engine returns the simulation engine.
+func (n *Network) Engine() *sim.Engine { return n.eng }
+
+// Config returns the fabric configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Port is one host NIC: independent TX and RX serial resources at the line
+// rate.
+type Port struct {
+	net *Network
+	tx  *sim.Resource
+	rx  *sim.Resource
+}
+
+// NewPort creates a NIC port on the network.
+func (n *Network) NewPort(name string) *Port {
+	return &Port{
+		net: n,
+		tx:  sim.NewResource(n.eng, name+"/tx"),
+		rx:  sim.NewResource(n.eng, name+"/rx"),
+	}
+}
+
+// serialization returns the time to put size payload bytes on the wire.
+func (n *Network) serialization(size int) sim.Time {
+	bytes := int64(size + n.cfg.PerMessageOverheadBytes)
+	return sim.Time(bytes * int64(sim.Second) / n.cfg.LinkBytesPerSec)
+}
+
+// TxUtilization returns the port's transmit-side utilization.
+func (p *Port) TxUtilization() float64 { return p.tx.Utilization() }
+
+// RxUtilization returns the port's receive-side utilization.
+func (p *Port) RxUtilization() float64 { return p.rx.Utilization() }
+
+// Transfer moves size bytes from port src to port dst: serialization on the
+// sender's TX link, wire latency, serialization on the receiver's RX link,
+// then deliver fires in engine context. Queueing arises naturally when
+// either link is saturated.
+func (n *Network) Transfer(src, dst *Port, size int, deliver func(at sim.Time)) {
+	if src == nil || dst == nil {
+		panic("netsim: Transfer with nil port")
+	}
+	ser := n.serialization(size)
+	src.tx.Schedule(ser, func(sim.Time) {
+		n.eng.After(n.cfg.WireLatency, func() {
+			dst.rx.Schedule(ser, func(at sim.Time) {
+				if deliver != nil {
+					deliver(at)
+				}
+			})
+		})
+	})
+}
+
+// StackProfile is a host protocol-stack latency profile applied around the
+// NIC: the cost of pushing a message through (or receiving it from) the
+// host's networking stack.
+type StackProfile struct {
+	Name string
+	// SendLatency/RecvLatency are fixed per-message stack latencies.
+	SendLatency sim.Time
+	RecvLatency sim.Time
+	// JitterMean adds exponential jitter to each traversal — the "Linux
+	// performance unpredictability" of §2.1. Zero disables jitter.
+	JitterMean sim.Time
+}
+
+// IXClientStack models the paper's IX dataplane client: kernel-bypass
+// polling, low and predictable latency (§5.2 "ReFlex (IX Client)").
+func IXClientStack() StackProfile {
+	return StackProfile{
+		Name:        "ix",
+		SendLatency: 4300,
+		RecvLatency: 4300,
+		JitterMean:  500,
+	}
+}
+
+// LinuxClientStack models a conventional Linux sockets client: interrupt
+// driven, higher latency and more jitter (§5.2 "ReFlex (Linux Client)").
+func LinuxClientStack() StackProfile {
+	return StackProfile{
+		Name:        "linux",
+		SendLatency: 13300,
+		RecvLatency: 13300,
+		JitterMean:  2000,
+	}
+}
+
+// NullStack has zero stack cost. Dataplane servers use it because their
+// network processing is charged explicitly on the dataplane core.
+func NullStack() StackProfile {
+	return StackProfile{Name: "null"}
+}
+
+// Endpoint is a host on the network: a port plus a stack profile.
+type Endpoint struct {
+	net   *Network
+	port  *Port
+	stack StackProfile
+	rng   *sim.RNG
+}
+
+// NewEndpoint creates a host endpoint with its own NIC port.
+func (n *Network) NewEndpoint(name string, stack StackProfile, seed int64) *Endpoint {
+	return &Endpoint{
+		net:   n,
+		port:  n.NewPort(name),
+		stack: stack,
+		rng:   sim.NewRNG(seed),
+	}
+}
+
+// Port returns the endpoint's NIC port.
+func (e *Endpoint) Port() *Port { return e.port }
+
+// Stack returns the endpoint's stack profile.
+func (e *Endpoint) Stack() StackProfile { return e.stack }
+
+func (e *Endpoint) stackDelay(base sim.Time) sim.Time {
+	d := base
+	if e.stack.JitterMean > 0 {
+		d += e.rng.Exp(e.stack.JitterMean)
+	}
+	return d
+}
+
+// Send pushes a message of size bytes through this endpoint's send stack,
+// across the network, and up through the receiver's receive stack. deliver
+// fires in engine context when the message reaches the receiving
+// application.
+func (e *Endpoint) Send(to *Endpoint, size int, deliver func(at sim.Time)) {
+	if to == nil {
+		panic("netsim: Send to nil endpoint")
+	}
+	e.net.eng.After(e.stackDelay(e.stack.SendLatency), func() {
+		e.net.Transfer(e.port, to.port, size, func(sim.Time) {
+			to.net.eng.After(to.stackDelay(to.stack.RecvLatency), func() {
+				if deliver != nil {
+					deliver(to.net.eng.Now())
+				}
+			})
+		})
+	})
+}
+
+// String identifies the endpoint's stack for debugging.
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("endpoint(%s)", e.stack.Name)
+}

@@ -1,0 +1,188 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/hist"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+func TestSerializationTime(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: 0, LinkBytesPerSec: 1_000_000_000, PerMessageOverheadBytes: 0})
+	// 4000 bytes at 1 GB/s = 4us.
+	if got := n.serialization(4000); got != 4*sim.Microsecond {
+		t.Fatalf("serialization(4000) = %d, want 4000ns", got)
+	}
+}
+
+func TestTransferLatencyComponents(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: 10 * sim.Microsecond, LinkBytesPerSec: 1_000_000_000, PerMessageOverheadBytes: 0})
+	a, b := n.NewPort("a"), n.NewPort("b")
+	var at sim.Time
+	eng.At(0, func() {
+		n.Transfer(a, b, 1000, func(t2 sim.Time) { at = t2 })
+	})
+	eng.Run()
+	// 1us tx + 10us wire + 1us rx = 12us.
+	if at != 12*sim.Microsecond {
+		t.Fatalf("delivered at %d, want 12us", at)
+	}
+}
+
+func TestLinkSaturationQueues(t *testing.T) {
+	// Ten back-to-back 4KB messages serialize on the sender's TX link.
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: 0, LinkBytesPerSec: 1_000_000_000, PerMessageOverheadBytes: 0})
+	a, b := n.NewPort("a"), n.NewPort("b")
+	var last sim.Time
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			n.Transfer(a, b, 4000, func(t2 sim.Time) { last = t2 })
+		}
+	})
+	eng.Run()
+	// TX drains at 4us per message; the final message leaves TX at 40us and
+	// needs 4us on RX: 44us.
+	if last != 44*sim.Microsecond {
+		t.Fatalf("last delivery at %d, want 44us", last)
+	}
+}
+
+func TestThroughputCapped(t *testing.T) {
+	// Offered load of 2 GB/s through a 1 GB/s link delivers ~1 GB/s.
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: sim.Microsecond, LinkBytesPerSec: 1_000_000_000, PerMessageOverheadBytes: 0})
+	a, b := n.NewPort("a"), n.NewPort("b")
+	delivered := 0
+	msg := 4096
+	interval := sim.Time(2 * sim.Microsecond) // 2 GB/s offered
+	var send func()
+	deadline := sim.Time(100 * sim.Millisecond)
+	send = func() {
+		if eng.Now() >= deadline {
+			return
+		}
+		n.Transfer(a, b, msg, func(at sim.Time) {
+			if at <= deadline {
+				delivered += msg
+			}
+		})
+		eng.After(interval, send)
+	}
+	eng.At(0, send)
+	eng.Run()
+	rate := float64(delivered) / 0.1 // bytes/s delivered within the window
+	if rate < 0.9e9 || rate > 1.15e9 {
+		t.Fatalf("delivered %.2g B/s through 1 GB/s link", rate)
+	}
+	if u := a.TxUtilization(); u < 0.5 {
+		t.Fatalf("tx utilization = %v, want saturated-ish", u)
+	}
+	if u := b.RxUtilization(); u < 0.5 {
+		t.Fatalf("rx utilization = %v", u)
+	}
+}
+
+func TestEndpointStackLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: 2 * sim.Microsecond, LinkBytesPerSec: 1_170_000_000, PerMessageOverheadBytes: 0})
+	client := n.NewEndpoint("client", StackProfile{Name: "fixed", SendLatency: 5 * sim.Microsecond, RecvLatency: 7 * sim.Microsecond}, 1)
+	server := n.NewEndpoint("server", NullStack(), 2)
+	var at sim.Time
+	eng.At(0, func() {
+		client.Send(server, 0, func(t2 sim.Time) { at = t2 })
+	})
+	eng.Run()
+	// 5us send stack + 2us wire + zero-byte serialization + 0 recv stack.
+	want := 5*sim.Microsecond + 2*sim.Microsecond
+	if at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+	// Reverse direction picks up the 7us receive stack.
+	at = 0
+	eng.At(eng.Now()+1000, func() {
+		server.Send(client, 0, func(t2 sim.Time) { at = t2 })
+	})
+	start := eng.Now() + 1000
+	eng.Run()
+	if got := at - start; got != 2*sim.Microsecond+7*sim.Microsecond {
+		t.Fatalf("reverse latency = %d", got)
+	}
+}
+
+func TestLinuxSlowerThanIX(t *testing.T) {
+	// Round-trip latency with a Linux client must exceed the IX client by
+	// roughly the stack difference (~18us), mirroring Table 2.
+	rtt := func(stack StackProfile) float64 {
+		eng := sim.NewEngine()
+		n := New(eng, TenGbE())
+		client := n.NewEndpoint("client", stack, 3)
+		server := n.NewEndpoint("server", NullStack(), 4)
+		h := hist.New()
+		var ping func(i int)
+		ping = func(i int) {
+			if i >= 2000 {
+				return
+			}
+			start := eng.Now()
+			client.Send(server, 24, func(sim.Time) {
+				server.Send(client, 4096+24, func(sim.Time) {
+					h.Record(eng.Now() - start)
+					ping(i + 1)
+				})
+			})
+		}
+		eng.At(0, func() { ping(0) })
+		eng.Run()
+		return h.Mean() / 1000 // us
+	}
+	ix := rtt(IXClientStack())
+	linux := rtt(LinuxClientStack())
+	diff := linux - ix
+	if diff < 14 || diff > 24 {
+		t.Fatalf("linux - ix RTT = %.1fus, want ~18us (Table 2)", diff)
+	}
+	// IX round trip without server processing: ~16us (stacks ~9.6 + wire 4
+	// + serialization ~7.3 of the 4KB response and headers).
+	if ix < 12 || ix > 24 {
+		t.Fatalf("ix RTT = %.1fus, want ~16us", ix)
+	}
+}
+
+func TestNilArguments(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, TenGbE())
+	a := n.NewPort("a")
+	e := n.NewEndpoint("e", NullStack(), 1)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("Transfer nil", func() { n.Transfer(a, nil, 1, nil) })
+	mustPanic("Send nil", func() { e.Send(nil, 1, nil) })
+	mustPanic("bad config", func() { New(eng, Config{}) })
+}
+
+func TestEndpointString(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, TenGbE())
+	e := n.NewEndpoint("e", IXClientStack(), 1)
+	if e.String() != "endpoint(ix)" {
+		t.Fatalf("String = %q", e.String())
+	}
+	if e.Stack().Name != "ix" || e.Port() == nil {
+		t.Fatal("accessors broken")
+	}
+	if n.Engine() != eng {
+		t.Fatal("Engine accessor broken")
+	}
+	if n.Config().LinkBytesPerSec != TenGbE().LinkBytesPerSec {
+		t.Fatal("Config accessor broken")
+	}
+}

@@ -1,0 +1,44 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// BenchmarkHeaderMarshal measures request-header encoding, once per wire
+// message on the hot path.
+func BenchmarkHeaderMarshal(b *testing.B) {
+	h := Header{Opcode: OpRead, Handle: 7, Cookie: 42, LBA: 4096, Count: 4096}
+	buf := make([]byte, HeaderSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.MarshalTo(buf)
+	}
+}
+
+// BenchmarkHeaderUnmarshal measures header decoding.
+func BenchmarkHeaderUnmarshal(b *testing.B) {
+	buf := (&Header{Opcode: OpWrite, Handle: 7, Cookie: 42, LBA: 4096, Count: 4096, Len: 4096}).Marshal()
+	var h Header
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := h.Unmarshal(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMessageRoundTrip measures framing a 4KB write and decoding it.
+func BenchmarkMessageRoundTrip(b *testing.B) {
+	payload := make([]byte, 4096)
+	b.SetBytes(int64(HeaderSize + len(payload)))
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteMessage(&buf, &Header{Opcode: OpWrite, LBA: 8, Count: 4096}, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadMessage(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

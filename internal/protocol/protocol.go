@@ -1,0 +1,361 @@
+// Package protocol defines the ReFlex binary wire protocol: the remote
+// analogue of the dataplane system calls and event conditions of Table 1
+// (register, unregister, read, write and their completions).
+//
+// Every message is a fixed 28-byte header optionally followed by a payload
+// of Len bytes (write data, read response data, or a registration record).
+// The cookie field is opaque to the server and echoed on completions so
+// clients can match responses to outstanding requests — the same mechanism
+// the paper uses between dataplane and server code.
+//
+// All integers are big-endian.
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Magic identifies ReFlex protocol messages ("RF").
+const Magic uint16 = 0x5246
+
+// HeaderSize is the fixed message header size in bytes.
+const HeaderSize = 32
+
+// MaxPayload bounds a single message's payload (one I/O). Larger I/Os span
+// multiple messages, as in §3.1.
+const MaxPayload = 1 << 20
+
+// BlockSize is the logical block size; LBA is in these units.
+const BlockSize = 512
+
+// Opcode identifies the operation.
+type Opcode uint16
+
+const (
+	// OpRead reads Len bytes at LBA.
+	OpRead Opcode = 0x00
+	// OpWrite writes the Len-byte payload at LBA.
+	OpWrite Opcode = 0x01
+	// OpRegister registers a tenant; payload is a Registration.
+	OpRegister Opcode = 0x02
+	// OpUnregister unregisters the tenant in Handle.
+	OpUnregister Opcode = 0x03
+	// OpBarrier orders a tenant's I/O: it completes only after every I/O
+	// submitted before it on the tenant has completed, and no I/O
+	// submitted after it starts until it completes (§4.1 future work:
+	// "barrier operations that can be used to force ordering and build
+	// high-level abstractions like atomic transactions").
+	OpBarrier Opcode = 0x04
+	// OpStats returns the tenant's scheduler counters (a TenantStats
+	// payload) — the accounting the control plane watches for SLO
+	// renegotiation (§4.3).
+	OpStats Opcode = 0x05
+)
+
+// String names the opcode.
+func (o Opcode) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpRegister:
+		return "register"
+	case OpUnregister:
+		return "unregister"
+	case OpBarrier:
+		return "barrier"
+	case OpStats:
+		return "stats"
+	default:
+		return fmt.Sprintf("opcode(%d)", uint16(o))
+	}
+}
+
+// Flag bits.
+const (
+	// FlagResponse marks a message as a completion event.
+	FlagResponse uint16 = 1 << 0
+)
+
+// Status codes carried in responses (in the Handle field's place meaning
+// stays: Status uses its own field).
+type Status uint16
+
+const (
+	// StatusOK means success.
+	StatusOK Status = 0
+	// StatusBadRequest means a malformed or out-of-range request.
+	StatusBadRequest Status = 1
+	// StatusNoTenant means the handle does not name a registered tenant.
+	StatusNoTenant Status = 2
+	// StatusDenied means the ACL rejects the operation.
+	StatusDenied Status = 3
+	// StatusNoCapacity means tenant admission failed (SLO not admissible,
+	// the "out of resources error" of Table 1).
+	StatusNoCapacity Status = 4
+	// StatusError is an internal server error.
+	StatusError Status = 5
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusNoTenant:
+		return "no-tenant"
+	case StatusDenied:
+		return "denied"
+	case StatusNoCapacity:
+		return "no-capacity"
+	case StatusError:
+		return "error"
+	default:
+		return fmt.Sprintf("status(%d)", uint16(s))
+	}
+}
+
+// Header is the fixed message header.
+//
+// Layout (32 bytes):
+//
+//	off size field
+//	  0    2 magic
+//	  2    2 opcode
+//	  4    2 flags
+//	  6    2 handle (tenant handle)
+//	  8    2 status
+//	 10    2 reserved
+//	 12    8 cookie
+//	 20    4 lba   (BlockSize units)
+//	 24    4 count (bytes requested: read length; echoed on responses)
+//	 28    4 len   (payload bytes that follow this header)
+type Header struct {
+	Opcode Opcode
+	Flags  uint16
+	Handle uint16
+	Status Status
+	Cookie uint64
+	LBA    uint32
+	// Count is the I/O length in bytes: what a read requests, and what a
+	// write intends (equal to Len for writes).
+	Count uint32
+	// Len is the payload size framed after the header; WriteMessage sets
+	// it from the payload.
+	Len uint32
+}
+
+// IsResponse reports whether the message is a completion event.
+func (h *Header) IsResponse() bool { return h.Flags&FlagResponse != 0 }
+
+// Marshal encodes the header into a fresh HeaderSize-byte slice.
+func (h *Header) Marshal() []byte {
+	b := make([]byte, HeaderSize)
+	h.MarshalTo(b)
+	return b
+}
+
+// MarshalTo encodes the header into b, which must be >= HeaderSize bytes.
+func (h *Header) MarshalTo(b []byte) {
+	binary.BigEndian.PutUint16(b[0:], Magic)
+	binary.BigEndian.PutUint16(b[2:], uint16(h.Opcode))
+	binary.BigEndian.PutUint16(b[4:], h.Flags)
+	binary.BigEndian.PutUint16(b[6:], h.Handle)
+	binary.BigEndian.PutUint16(b[8:], uint16(h.Status))
+	binary.BigEndian.PutUint16(b[10:], 0)
+	binary.BigEndian.PutUint64(b[12:], h.Cookie)
+	binary.BigEndian.PutUint32(b[20:], h.LBA)
+	binary.BigEndian.PutUint32(b[24:], h.Count)
+	binary.BigEndian.PutUint32(b[28:], h.Len)
+}
+
+// Unmarshal decodes a header from b.
+func (h *Header) Unmarshal(b []byte) error {
+	if len(b) < HeaderSize {
+		return fmt.Errorf("protocol: short header: %d bytes", len(b))
+	}
+	if m := binary.BigEndian.Uint16(b[0:]); m != Magic {
+		return fmt.Errorf("protocol: bad magic 0x%04x", m)
+	}
+	h.Opcode = Opcode(binary.BigEndian.Uint16(b[2:]))
+	h.Flags = binary.BigEndian.Uint16(b[4:])
+	h.Handle = binary.BigEndian.Uint16(b[6:])
+	h.Status = Status(binary.BigEndian.Uint16(b[8:]))
+	h.Cookie = binary.BigEndian.Uint64(b[12:])
+	h.LBA = binary.BigEndian.Uint32(b[20:])
+	h.Count = binary.BigEndian.Uint32(b[24:])
+	h.Len = binary.BigEndian.Uint32(b[28:])
+	if h.Len > MaxPayload {
+		return fmt.Errorf("protocol: payload %d exceeds max %d", h.Len, MaxPayload)
+	}
+	return nil
+}
+
+// Registration is the OpRegister payload: the wire form of a tenant SLO
+// (Table 1 register parameters: id, latency, IOPS, rw_ratio, cookie).
+//
+// Layout (24 bytes):
+//
+//	off size field
+//	  0    1 class (0 = latency-critical, 1 = best-effort)
+//	  1    1 readPercent
+//	  2    1 device (NVMe device index on multi-device servers)
+//	  3    1 reserved
+//	  4    4 iops
+//	  8    8 latencyP95 (ns)
+//	 16    4 firstLBA   (ACL range start, BlockSize units)
+//	 20    3 lbaCount   (ACL range length, 0 = whole device) + 1 writable
+type Registration struct {
+	BestEffort  bool
+	ReadPercent uint8
+	// Device selects the NVMe device on a multi-device server; each
+	// device runs its own scheduler instance (§3.2.2).
+	Device     uint8
+	IOPS       uint32
+	LatencyP95 uint64
+	// FirstLBA and LBACount define the namespace (logical block range)
+	// the tenant may access; LBACount 0 means the whole device.
+	FirstLBA uint32
+	LBACount uint32
+	// Writable grants write permission (the paper's per-namespace ACL).
+	Writable bool
+}
+
+// RegistrationSize is the encoded size of a Registration.
+const RegistrationSize = 24
+
+// Marshal encodes the registration.
+func (r *Registration) Marshal() []byte {
+	b := make([]byte, RegistrationSize)
+	if r.BestEffort {
+		b[0] = 1
+	}
+	b[1] = r.ReadPercent
+	b[2] = r.Device
+	binary.BigEndian.PutUint32(b[4:], r.IOPS)
+	binary.BigEndian.PutUint64(b[8:], r.LatencyP95)
+	binary.BigEndian.PutUint32(b[16:], r.FirstLBA)
+	cnt := r.LBACount & 0xFFFFFF
+	flags := uint32(0)
+	if r.Writable {
+		flags = 1
+	}
+	binary.BigEndian.PutUint32(b[20:], cnt<<8|flags)
+	return b
+}
+
+// Unmarshal decodes a registration.
+func (r *Registration) Unmarshal(b []byte) error {
+	if len(b) < RegistrationSize {
+		return fmt.Errorf("protocol: short registration: %d bytes", len(b))
+	}
+	r.BestEffort = b[0] == 1
+	r.ReadPercent = b[1]
+	r.Device = b[2]
+	r.IOPS = binary.BigEndian.Uint32(b[4:])
+	r.LatencyP95 = binary.BigEndian.Uint64(b[8:])
+	r.FirstLBA = binary.BigEndian.Uint32(b[16:])
+	v := binary.BigEndian.Uint32(b[20:])
+	r.LBACount = v >> 8
+	r.Writable = v&1 == 1
+	if r.ReadPercent > 100 {
+		return fmt.Errorf("protocol: read percent %d out of range", r.ReadPercent)
+	}
+	return nil
+}
+
+// TenantStats is the OpStats response payload: the per-tenant accounting
+// counters of the QoS scheduler.
+//
+// Layout (64 bytes): eight big-endian 64-bit fields in declaration order.
+type TenantStats struct {
+	// Enqueued and Submitted count requests through the tenant's queue.
+	Enqueued  uint64
+	Submitted uint64
+	// SubmittedTokens is the total admitted cost in millitokens.
+	SubmittedTokens uint64
+	// NegLimitHits counts rounds ended at the burst deficit floor.
+	NegLimitHits uint64
+	// Donated/Claimed are global-bucket traffic in millitokens.
+	Donated uint64
+	Claimed uint64
+	// QueueLen is the current software queue length.
+	QueueLen uint64
+	// Tokens is the current balance in millitokens (two's complement; LC
+	// balances may be negative).
+	Tokens int64
+}
+
+// TenantStatsSize is the encoded size of TenantStats.
+const TenantStatsSize = 64
+
+// Marshal encodes the stats.
+func (t *TenantStats) Marshal() []byte {
+	b := make([]byte, TenantStatsSize)
+	for i, v := range []uint64{
+		t.Enqueued, t.Submitted, t.SubmittedTokens, t.NegLimitHits,
+		t.Donated, t.Claimed, t.QueueLen, uint64(t.Tokens),
+	} {
+		binary.BigEndian.PutUint64(b[i*8:], v)
+	}
+	return b
+}
+
+// Unmarshal decodes the stats.
+func (t *TenantStats) Unmarshal(b []byte) error {
+	if len(b) < TenantStatsSize {
+		return fmt.Errorf("protocol: short tenant stats: %d bytes", len(b))
+	}
+	t.Enqueued = binary.BigEndian.Uint64(b[0:])
+	t.Submitted = binary.BigEndian.Uint64(b[8:])
+	t.SubmittedTokens = binary.BigEndian.Uint64(b[16:])
+	t.NegLimitHits = binary.BigEndian.Uint64(b[24:])
+	t.Donated = binary.BigEndian.Uint64(b[32:])
+	t.Claimed = binary.BigEndian.Uint64(b[40:])
+	t.QueueLen = binary.BigEndian.Uint64(b[48:])
+	t.Tokens = int64(binary.BigEndian.Uint64(b[56:]))
+	return nil
+}
+
+// Message is a decoded header plus payload.
+type Message struct {
+	Header  Header
+	Payload []byte
+}
+
+// ReadMessage reads one framed message.
+func ReadMessage(r io.Reader) (*Message, error) {
+	var hb [HeaderSize]byte
+	if _, err := io.ReadFull(r, hb[:]); err != nil {
+		return nil, err
+	}
+	m := &Message{}
+	if err := m.Header.Unmarshal(hb[:]); err != nil {
+		return nil, err
+	}
+	if m.Header.Len > 0 {
+		m.Payload = make([]byte, m.Header.Len)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, fmt.Errorf("protocol: truncated payload: %w", err)
+		}
+	}
+	return m, nil
+}
+
+// WriteMessage writes a framed message. hdr.Len is forced to len(payload).
+func WriteMessage(w io.Writer, hdr *Header, payload []byte) error {
+	hdr.Len = uint32(len(payload))
+	if hdr.Len > MaxPayload {
+		return fmt.Errorf("protocol: payload %d exceeds max %d", hdr.Len, MaxPayload)
+	}
+	buf := make([]byte, HeaderSize+len(payload))
+	hdr.MarshalTo(buf)
+	copy(buf[HeaderSize:], payload)
+	_, err := w.Write(buf)
+	return err
+}

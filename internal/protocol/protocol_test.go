@@ -1,0 +1,285 @@
+package protocol
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	in := Header{
+		Opcode: OpWrite,
+		Flags:  FlagResponse,
+		Handle: 0xBEEF,
+		Status: StatusDenied,
+		Cookie: 0x0123456789ABCDEF,
+		LBA:    0xCAFE0000,
+		Count:  8192,
+		Len:    4096,
+	}
+	var out Header
+	if err := out.Unmarshal(in.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if !out.IsResponse() {
+		t.Fatal("FlagResponse lost")
+	}
+}
+
+func TestHeaderRoundTripProperty(t *testing.T) {
+	f := func(op uint16, flags, handle, status uint16, cookie uint64, lba, count uint32, length uint32) bool {
+		in := Header{
+			Opcode: Opcode(op),
+			Flags:  flags,
+			Handle: handle,
+			Status: Status(status),
+			Cookie: cookie,
+			LBA:    lba,
+			Count:  count,
+			Len:    length % (MaxPayload + 1),
+		}
+		var out Header
+		if err := out.Unmarshal(in.Marshal()); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderBadMagic(t *testing.T) {
+	b := (&Header{Opcode: OpRead}).Marshal()
+	b[0] = 0x00
+	var h Header
+	if err := h.Unmarshal(b); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestHeaderShort(t *testing.T) {
+	var h Header
+	if err := h.Unmarshal(make([]byte, HeaderSize-1)); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestHeaderOversizePayloadRejected(t *testing.T) {
+	in := Header{Opcode: OpRead, Len: MaxPayload + 1}
+	var out Header
+	if err := out.Unmarshal(in.Marshal()); err == nil {
+		t.Fatal("oversize Len accepted")
+	}
+}
+
+func TestRegistrationRoundTrip(t *testing.T) {
+	in := Registration{
+		BestEffort:  false,
+		ReadPercent: 80,
+		Device:      3,
+		IOPS:        125_000,
+		LatencyP95:  500_000,
+		FirstLBA:    4096,
+		LBACount:    1 << 20,
+		Writable:    true,
+	}
+	var out Registration
+	if err := out.Unmarshal(in.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func TestRegistrationRoundTripProperty(t *testing.T) {
+	f := func(be bool, readPct, dev uint8, iops uint32, lat uint64, first uint32, count uint32, w bool) bool {
+		in := Registration{
+			BestEffort:  be,
+			ReadPercent: readPct % 101,
+			Device:      dev,
+			IOPS:        iops,
+			LatencyP95:  lat,
+			FirstLBA:    first,
+			LBACount:    count & 0xFFFFFF,
+			Writable:    w,
+		}
+		var out Registration
+		if err := out.Unmarshal(in.Marshal()); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegistrationValidation(t *testing.T) {
+	var r Registration
+	if err := r.Unmarshal(make([]byte, 3)); err == nil {
+		t.Fatal("short registration accepted")
+	}
+	bad := Registration{ReadPercent: 150}
+	if err := r.Unmarshal(bad.Marshal()); err == nil {
+		t.Fatal("read percent > 100 accepted")
+	}
+}
+
+func TestMessageRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := bytes.Repeat([]byte{0xAB}, 4096)
+	hdr := Header{Opcode: OpWrite, Handle: 3, Cookie: 99, LBA: 8}
+	if err := WriteMessage(&buf, &hdr, payload); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Opcode != OpWrite || m.Header.Cookie != 99 || m.Header.LBA != 8 {
+		t.Fatalf("header = %+v", m.Header)
+	}
+	if !bytes.Equal(m.Payload, payload) {
+		t.Fatal("payload corrupted")
+	}
+}
+
+func TestMessageNoPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Header{Opcode: OpRead, Len: 777}, nil); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Header.Len != 0 || m.Payload != nil {
+		t.Fatal("Len not forced to payload length")
+	}
+}
+
+func TestMessageStreamOfSeveral(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		payload := bytes.Repeat([]byte{byte(i)}, i*100)
+		if err := WriteMessage(&buf, &Header{Opcode: OpWrite, Cookie: uint64(i)}, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("message %d: %v", i, err)
+		}
+		if m.Header.Cookie != uint64(i) || len(m.Payload) != i*100 {
+			t.Fatalf("message %d corrupted: %+v", i, m.Header)
+		}
+	}
+	if _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestMessageTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteMessage(&buf, &Header{Opcode: OpWrite}, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:HeaderSize+50]
+	if _, err := ReadMessage(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestWriteMessageOversize(t *testing.T) {
+	err := WriteMessage(io.Discard, &Header{Opcode: OpWrite}, make([]byte, MaxPayload+1))
+	if err == nil || !strings.Contains(err.Error(), "exceeds") {
+		t.Fatalf("oversize write: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if OpRead.String() != "read" || OpWrite.String() != "write" ||
+		OpRegister.String() != "register" || OpUnregister.String() != "unregister" {
+		t.Fatal("opcode names")
+	}
+	if Opcode(200).String() == "" {
+		t.Fatal("unknown opcode empty")
+	}
+	for s, want := range map[Status]string{
+		StatusOK: "ok", StatusBadRequest: "bad-request", StatusNoTenant: "no-tenant",
+		StatusDenied: "denied", StatusNoCapacity: "no-capacity", StatusError: "error",
+	} {
+		if s.String() != want {
+			t.Fatalf("status %d = %q, want %q", s, s.String(), want)
+		}
+	}
+	if Status(99).String() == "" {
+		t.Fatal("unknown status empty")
+	}
+}
+
+func TestTenantStatsRoundTrip(t *testing.T) {
+	in := TenantStats{
+		Enqueued:        100,
+		Submitted:       90,
+		SubmittedTokens: 123_456,
+		NegLimitHits:    3,
+		Donated:         777,
+		Claimed:         888,
+		QueueLen:        10,
+		Tokens:          -50_000, // negative balances survive
+	}
+	var out TenantStats
+	if err := out.Unmarshal(in.Marshal()); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+	if err := out.Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("short stats accepted")
+	}
+}
+
+func TestTenantStatsRoundTripProperty(t *testing.T) {
+	f := func(a, b, c, d, e, g, h uint64, tok int64) bool {
+		in := TenantStats{
+			Enqueued: a, Submitted: b, SubmittedTokens: c, NegLimitHits: d,
+			Donated: e, Claimed: g, QueueLen: h, Tokens: tok,
+		}
+		var out TenantStats
+		if err := out.Unmarshal(in.Marshal()); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: arbitrary bytes never panic the decoders; they either parse or
+// return an error.
+func TestDecodersNeverPanicOnGarbage(t *testing.T) {
+	f := func(raw []byte) bool {
+		var h Header
+		_ = h.Unmarshal(raw)
+		var r Registration
+		_ = r.Unmarshal(raw)
+		var s TenantStats
+		_ = s.Unmarshal(raw)
+		_, _ = ReadMessage(bytes.NewReader(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}

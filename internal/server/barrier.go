@@ -1,0 +1,99 @@
+package server
+
+import (
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// Per-tenant ordering barriers (the §4.1 future-work extension): a barrier
+// completes only after every I/O submitted before it on the tenant has
+// completed, and I/O submitted after it is held until it completes. ReFlex
+// otherwise serves requests without ordering guarantees beyond those of
+// the transport.
+//
+// The sequencer keeps a FIFO that is only populated while a barrier is
+// pending, so the unordered fast path costs one mutex acquisition.
+
+// seqItem is either a held I/O (io != nil) or a pending barrier.
+type seqItem struct {
+	io    *enqueued
+	bconn responder
+	bhdr  protocol.Header
+}
+
+// submitIO routes an I/O through the tenant's ordering sequencer: straight
+// to the scheduler thread when no barrier is pending, held otherwise.
+func (st *stenant) submitIO(s *Server, e enqueued) {
+	st.mu.Lock()
+	if len(st.seq) > 0 {
+		st.seq = append(st.seq, seqItem{io: &e})
+		st.mu.Unlock()
+		return
+	}
+	st.outstanding++
+	st.mu.Unlock()
+	s.threads[st.thread].enqueue(e)
+}
+
+// submitBarrier registers a barrier; it completes immediately when the
+// tenant has nothing in flight.
+func (st *stenant) submitBarrier(conn responder, hdr protocol.Header) {
+	st.mu.Lock()
+	if st.outstanding == 0 && len(st.seq) == 0 {
+		st.mu.Unlock()
+		conn.send(&protocol.Header{
+			Opcode: protocol.OpBarrier,
+			Flags:  protocol.FlagResponse,
+			Handle: hdr.Handle,
+			Cookie: hdr.Cookie,
+		}, nil)
+		return
+	}
+	st.seq = append(st.seq, seqItem{bconn: conn, bhdr: hdr})
+	st.mu.Unlock()
+}
+
+// ioDone retires one in-flight I/O and pumps the sequencer: barriers at
+// the front complete once the tenant drains; held I/Os behind a completed
+// barrier are released to the scheduler.
+func (st *stenant) ioDone(s *Server) {
+	var release []enqueued
+	var replies []seqItem
+
+	st.mu.Lock()
+	st.outstanding--
+	for len(st.seq) > 0 {
+		head := st.seq[0]
+		if head.io == nil {
+			if st.outstanding != 0 || len(release) > 0 {
+				break
+			}
+			replies = append(replies, head)
+			st.seq = st.seq[1:]
+			continue
+		}
+		st.outstanding++
+		release = append(release, *head.io)
+		st.seq = st.seq[1:]
+	}
+	st.mu.Unlock()
+
+	for _, b := range replies {
+		b.bconn.send(&protocol.Header{
+			Opcode: protocol.OpBarrier,
+			Flags:  protocol.FlagResponse,
+			Handle: b.bhdr.Handle,
+			Cookie: b.bhdr.Cookie,
+		}, nil)
+	}
+	if len(release) == 0 {
+		return
+	}
+	// Release off the caller's goroutine: ioDone may run on the scheduler
+	// thread itself, and enqueue blocks when the thread's queue is full.
+	th := s.threads[st.thread]
+	go func() {
+		for _, e := range release {
+			th.enqueue(e)
+		}
+	}()
+}

@@ -1,0 +1,227 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/core"
+)
+
+func TestBarrierNoInflightCompletesImmediately(t *testing.T) {
+	_, cl := startServer(t, nil)
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := cl.Barrier(h); err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Fatal("idle barrier took far too long")
+	}
+}
+
+func TestBarrierOrdersReadAfterSlowWrite(t *testing.T) {
+	// Writes take 30ms at the "device"; reads are instant. Without a
+	// barrier a read overtakes the write and sees stale data; with one it
+	// must see the new data.
+	_, cl := startServer(t, func(c *Config) {
+		c.WriteLatency = 30 * time.Millisecond
+	})
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xEE}, 512)
+
+	// Unordered: the read overtakes the 30ms write.
+	wcall, err := cl.GoWrite(h, 0, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stale, err := cl.Read(h, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(stale, data) {
+		t.Fatal("read did not overtake the slow write; the race this test needs is gone")
+	}
+	<-wcall.Done
+
+	// Ordered: write, barrier, read — the read must see the write.
+	data2 := bytes.Repeat([]byte{0xDD}, 512)
+	if _, err := cl.GoWrite(h, 8, data2); err != nil {
+		t.Fatal(err)
+	}
+	bcall, err := cl.GoBarrier(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(h, 8, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data2) {
+		t.Fatal("read after barrier returned stale data")
+	}
+	<-bcall.Done
+	if bcall.Err != nil {
+		t.Fatal(bcall.Err)
+	}
+}
+
+func TestBarrierWaitsForAllPriorIOs(t *testing.T) {
+	_, cl := startServer(t, func(c *Config) {
+		c.WriteLatency = 20 * time.Millisecond
+	})
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var calls []*client.Call
+	for i := 0; i < 8; i++ {
+		call, err := cl.GoWrite(h, uint32(i*8), make([]byte, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, call)
+	}
+	if err := cl.Barrier(h); err != nil {
+		t.Fatal(err)
+	}
+	// The barrier cannot complete before the 20ms writes do.
+	if el := time.Since(start); el < 20*time.Millisecond {
+		t.Fatalf("barrier completed in %v, before the writes", el)
+	}
+	for _, c := range calls {
+		select {
+		case <-c.Done:
+		default:
+			t.Fatal("barrier completed while a prior write was still in flight")
+		}
+	}
+}
+
+func TestMultipleBarriersChain(t *testing.T) {
+	_, cl := startServer(t, func(c *Config) {
+		c.WriteLatency = 10 * time.Millisecond
+	})
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// w1, B1, w2, B2, w3 — every barrier and write must complete, in order.
+	v1 := bytes.Repeat([]byte{1}, 512)
+	v2 := bytes.Repeat([]byte{2}, 512)
+	v3 := bytes.Repeat([]byte{3}, 512)
+	if _, err := cl.GoWrite(h, 0, v1); err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := cl.GoBarrier(h)
+	if _, err := cl.GoWrite(h, 0, v2); err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := cl.GoBarrier(h)
+	if _, err := cl.GoWrite(h, 0, v3); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Barrier(h); err != nil {
+		t.Fatal(err)
+	}
+	<-b1.Done
+	<-b2.Done
+	got, err := cl.Read(h, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, v3) {
+		t.Fatalf("final value = %v, want v3", got[0])
+	}
+}
+
+func TestBarrierIsolatedPerTenant(t *testing.T) {
+	// One tenant's barrier must not hold another tenant's I/O.
+	_, cl := startServer(t, func(c *Config) {
+		c.WriteLatency = 50 * time.Millisecond
+	})
+	h1, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 1: slow write + barrier.
+	if _, err := cl.GoWrite(h1, 0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.GoBarrier(h1); err != nil {
+		t.Fatal(err)
+	}
+	// Tenant 2's read completes immediately despite tenant 1's barrier.
+	start := time.Now()
+	if _, err := cl.Read(h2, 0, 512); err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el > 30*time.Millisecond {
+		t.Fatalf("tenant 2 read stalled %v behind tenant 1's barrier", el)
+	}
+}
+
+func TestBarrierUnknownTenant(t *testing.T) {
+	_, cl := startServer(t, nil)
+	if err := cl.Barrier(4242); !errors.Is(err, client.ErrNoTenant) {
+		t.Fatalf("barrier on unknown tenant: %v, want ErrNoTenant", err)
+	}
+}
+
+func TestBarrierHeavyPipelineStress(t *testing.T) {
+	// Many interleaved writes and barriers on a throttled server: all must
+	// complete and the final value must be the last write.
+	_, cl := startServer(t, func(c *Config) {
+		c.TokenRate = 200_000 * core.TokenUnit
+	})
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last byte
+	var calls []*client.Call
+	for i := 0; i < 200; i++ {
+		last = byte(i)
+		call, err := cl.GoWrite(h, 0, bytes.Repeat([]byte{last}, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls = append(calls, call)
+		if i%10 == 9 {
+			bcall, err := cl.GoBarrier(h)
+			if err != nil {
+				t.Fatal(err)
+			}
+			calls = append(calls, bcall)
+		}
+	}
+	if err := cl.Barrier(h); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range calls {
+		<-c.Done
+		if c.Err != nil {
+			t.Fatalf("call %d: %v", i, c.Err)
+		}
+	}
+	got, err := cl.Read(h, 0, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != last {
+		t.Fatalf("final value %d, want %d", got[0], last)
+	}
+}

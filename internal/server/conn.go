@@ -1,0 +1,186 @@
+package server
+
+import (
+	"bufio"
+	"sync"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// responder delivers response messages back to a client over whatever
+// transport the request arrived on.
+type responder interface {
+	send(hdr *protocol.Header, payload []byte)
+}
+
+// srvConn is one client TCP connection.
+type srvConn struct {
+	srv *Server
+	c   netConn
+
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+// netConn is the subset of net.Conn the server uses (test seam).
+type netConn interface {
+	Read(p []byte) (int, error)
+	Write(p []byte) (int, error)
+	Close() error
+}
+
+// send writes one response message. Responses may originate from scheduler
+// threads and timer goroutines concurrently, so writes are serialized.
+func (sc *srvConn) send(hdr *protocol.Header, payload []byte) {
+	sc.wmu.Lock()
+	defer sc.wmu.Unlock()
+	if sc.bw == nil {
+		sc.bw = bufio.NewWriterSize(writerOnly{sc.c}, 64<<10)
+	}
+	if err := protocol.WriteMessage(sc.bw, hdr, payload); err != nil {
+		sc.c.Close()
+		return
+	}
+	if err := sc.bw.Flush(); err != nil {
+		sc.c.Close()
+	}
+}
+
+type writerOnly struct{ c netConn }
+
+func (w writerOnly) Write(p []byte) (int, error) { return w.c.Write(p) }
+
+// readLoop decodes requests until the connection dies.
+func (sc *srvConn) readLoop() {
+	defer func() {
+		sc.c.Close()
+		sc.srv.mu.Lock()
+		delete(sc.srv.conns, sc)
+		sc.srv.mu.Unlock()
+		sc.srv.wg.Done()
+	}()
+	br := bufio.NewReaderSize(sc.c, 64<<10)
+	for {
+		m, err := protocol.ReadMessage(br)
+		if err != nil {
+			return
+		}
+		sc.srv.dispatch(sc, m)
+	}
+}
+
+// dispatch routes one decoded request from any transport.
+func (s *Server) dispatch(rsp responder, m *protocol.Message) {
+	hdr := m.Header
+	// Transports with bounded response sizes (UDP) cap the I/O length.
+	if lim, ok := rsp.(interface{ maxIO() uint32 }); ok && hdr.Count > lim.maxIO() {
+		reject(rsp, &hdr, protocol.StatusBadRequest)
+		return
+	}
+	switch hdr.Opcode {
+	case protocol.OpRegister:
+		var reg protocol.Registration
+		resp := protocol.Header{
+			Opcode: protocol.OpRegister,
+			Flags:  protocol.FlagResponse,
+			Cookie: hdr.Cookie,
+		}
+		if err := reg.Unmarshal(m.Payload); err != nil {
+			resp.Status = protocol.StatusBadRequest
+		} else {
+			resp.Handle, resp.Status = s.registerTenant(reg)
+		}
+		rsp.send(&resp, nil)
+
+	case protocol.OpUnregister:
+		resp := protocol.Header{
+			Opcode: protocol.OpUnregister,
+			Flags:  protocol.FlagResponse,
+			Handle: hdr.Handle,
+			Cookie: hdr.Cookie,
+			Status: s.unregisterTenant(hdr.Handle),
+		}
+		rsp.send(&resp, nil)
+
+	case protocol.OpRead, protocol.OpWrite:
+		ten, ok := s.lookup(hdr.Handle)
+		if !ok {
+			reject(rsp, &hdr, protocol.StatusNoTenant)
+			return
+		}
+		if st := checkACL(&ten.reg, &hdr, s.devices[ten.device].backend.Size()); st != protocol.StatusOK {
+			reject(rsp, &hdr, st)
+			return
+		}
+		op := core.OpRead
+		if hdr.Opcode == protocol.OpWrite {
+			op = core.OpWrite
+		}
+		req := &core.Request{
+			Op:      op,
+			Block:   uint64(hdr.LBA) * protocol.BlockSize / 4096,
+			Size:    int(hdr.Count),
+			Cookie:  hdr.Cookie,
+			Arrival: s.now(),
+			Context: &reqCtx{conn: rsp, ten: ten, hdr: hdr, payload: m.Payload},
+		}
+		ten.submitIO(s, enqueued{ten: ten, req: req})
+
+	case protocol.OpBarrier:
+		ten, ok := s.lookup(hdr.Handle)
+		if !ok {
+			reject(rsp, &hdr, protocol.StatusNoTenant)
+			return
+		}
+		ten.submitBarrier(rsp, hdr)
+
+	case protocol.OpStats:
+		ten, ok := s.lookup(hdr.Handle)
+		if !ok {
+			reject(rsp, &hdr, protocol.StatusNoTenant)
+			return
+		}
+		// Tenant scheduler state is owned by its thread; read it there.
+		th := s.threads[ten.thread]
+		done := make(chan protocol.TenantStats, 1)
+		th.do(func() {
+			st := ten.t.Stats()
+			done <- protocol.TenantStats{
+				Enqueued:        st.Enqueued,
+				Submitted:       st.Submitted,
+				SubmittedTokens: uint64(st.SubmittedTokens),
+				NegLimitHits:    st.NegLimitHits,
+				Donated:         uint64(st.Donated),
+				Claimed:         uint64(st.Claimed),
+				QueueLen:        uint64(ten.t.QueueLen()),
+				Tokens:          ten.t.Tokens(),
+			}
+		})
+		select {
+		case stats := <-done:
+			rsp.send(&protocol.Header{
+				Opcode: protocol.OpStats,
+				Flags:  protocol.FlagResponse,
+				Handle: hdr.Handle,
+				Cookie: hdr.Cookie,
+			}, stats.Marshal())
+		case <-s.done:
+		}
+
+	default:
+		reject(rsp, &hdr, protocol.StatusBadRequest)
+	}
+}
+
+// reject replies with an error status without scheduling.
+func reject(rsp responder, hdr *protocol.Header, st protocol.Status) {
+	rsp.send(&protocol.Header{
+		Opcode: hdr.Opcode,
+		Flags:  protocol.FlagResponse,
+		Handle: hdr.Handle,
+		Cookie: hdr.Cookie,
+		LBA:    hdr.LBA,
+		Status: st,
+	}, nil)
+}

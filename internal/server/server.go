@@ -1,0 +1,428 @@
+// Package server implements a real TCP/UDP ReFlex server: the
+// production-path counterpart of the simulated dataplane. It speaks the
+// internal/protocol wire format, enforces per-tenant ACLs (§4.1 "Security
+// model"), supports ordering barriers, and runs the same QoS scheduler as
+// the simulator (internal/core) on a set of scheduler threads, one tenant
+// per thread (§4.1). A server may front several devices; each device gets
+// an independent scheduler instance with its own token accounting
+// (§3.2.2).
+//
+// Go's runtime cannot dedicate spinning cores with exclusive NIC/NVMe
+// queues the way the paper's IX dataplane does, so this server is the
+// faithful *functional* implementation — protocol, tenants, ACLs, token
+// accounting, rate limiting — while the performance experiments run on the
+// simulated dataplane (see DESIGN.md §1).
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/storage"
+)
+
+// DeviceConfig describes one flash device behind the server.
+type DeviceConfig struct {
+	// Backend stores the device's bytes.
+	Backend storage.Backend
+	// Model is the device's calibrated cost model.
+	Model core.CostModel
+	// TokenRate is the token generation rate (mt/s) at the strictest
+	// latency SLO this device accepts.
+	TokenRate core.Tokens
+	// ReadOnlyWindow is how long after the last write the cost model
+	// treats the device as read-only (0 disables the discount).
+	ReadOnlyWindow time.Duration
+}
+
+func (d *DeviceConfig) validate(i int) error {
+	if d.Backend == nil {
+		return fmt.Errorf("server: device %d: nil backend", i)
+	}
+	if d.TokenRate <= 0 {
+		return fmt.Errorf("server: device %d: TokenRate must be positive", i)
+	}
+	if err := d.Model.Validate(); err != nil {
+		return fmt.Errorf("server: device %d: %w", i, err)
+	}
+	return nil
+}
+
+// Config configures a server.
+type Config struct {
+	// Addr is the TCP listen address (e.g. "127.0.0.1:0").
+	Addr string
+	// UDPAddr optionally enables the datagram endpoint on this address.
+	UDPAddr string
+	// Threads is the number of scheduler threads (1..64).
+	Threads int
+	// SchedInterval bounds the time between scheduling rounds.
+	SchedInterval time.Duration
+	// ReadLatency/WriteLatency optionally delay the device operation to
+	// emulate flash on fast in-memory backends (useful in examples,
+	// demos, and the barrier tests).
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+
+	// Model, TokenRate and ReadOnlyWindow describe device 0 when the
+	// single-device New constructor is used.
+	Model          core.CostModel
+	TokenRate      core.Tokens
+	ReadOnlyWindow time.Duration
+}
+
+func (c *Config) fill() error {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Threads > 64 {
+		return fmt.Errorf("server: at most 64 threads")
+	}
+	if c.SchedInterval <= 0 {
+		c.SchedInterval = 200 * time.Microsecond
+	}
+	return nil
+}
+
+// sdevice is one device's runtime state.
+type sdevice struct {
+	idx     int
+	backend storage.Backend
+	cfg     DeviceConfig
+	shared  *core.SharedState
+	// lcReserved is guarded by Server.mu.
+	lcReserved core.Tokens
+	lastWrite  atomic.Int64
+}
+
+// Server is a running ReFlex server.
+type Server struct {
+	cfg     Config
+	devices []*sdevice
+	ln      net.Listener
+	udp     *net.UDPConn
+	threads []*sthread
+	start   time.Time
+
+	mu         sync.Mutex
+	tenants    map[uint16]*stenant
+	nextHandle uint16
+	conns      map[*srvConn]struct{}
+
+	wg        sync.WaitGroup
+	done      chan struct{}
+	closeOnce sync.Once
+}
+
+// stenant couples a scheduler tenant with its wire registration (the ACL),
+// device binding, and barrier sequencer state.
+type stenant struct {
+	t      *core.Tenant
+	reg    protocol.Registration
+	thread int
+	device int
+	rate   core.Tokens
+
+	mu          sync.Mutex
+	outstanding int
+	seq         []seqItem
+}
+
+// enqueued is a request handed from a connection reader to its scheduler
+// thread.
+type enqueued struct {
+	ten *stenant
+	req *core.Request
+}
+
+// reqCtx travels through the scheduler as core.Request.Context.
+type reqCtx struct {
+	conn    responder
+	ten     *stenant
+	hdr     protocol.Header
+	payload []byte
+}
+
+// New starts a single-device server listening on cfg.Addr over backend,
+// with the device described by cfg.Model/TokenRate/ReadOnlyWindow.
+func New(cfg Config, backend storage.Backend) (*Server, error) {
+	return NewMulti(cfg, []DeviceConfig{{
+		Backend:        backend,
+		Model:          cfg.Model,
+		TokenRate:      cfg.TokenRate,
+		ReadOnlyWindow: cfg.ReadOnlyWindow,
+	}})
+}
+
+// NewMulti starts a server fronting several devices. Registration selects
+// a device by index; each device runs an independent scheduler instance
+// with its own token rate (§3.2.2).
+func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	if len(devices) == 0 || len(devices) > 256 {
+		return nil, fmt.Errorf("server: need 1..256 devices, have %d", len(devices))
+	}
+	for i := range devices {
+		if err := devices[i].validate(i); err != nil {
+			return nil, err
+		}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		start:   time.Now(),
+		tenants: make(map[uint16]*stenant),
+		conns:   make(map[*srvConn]struct{}),
+		done:    make(chan struct{}),
+	}
+	for i, dc := range devices {
+		s.devices = append(s.devices, &sdevice{
+			idx:     i,
+			backend: dc.Backend,
+			cfg:     dc,
+			shared:  core.NewSharedState(cfg.Threads, dc.TokenRate),
+		})
+	}
+	for i := 0; i < cfg.Threads; i++ {
+		th := &sthread{
+			id:    i,
+			srv:   s,
+			reqCh: make(chan enqueued, 4096),
+			cmdCh: make(chan func(), 64),
+		}
+		for _, d := range s.devices {
+			d := d
+			sched := core.NewScheduler(d.cfg.Model, i, d.shared)
+			sched.ReadOnlyProbe = func() bool { return s.readOnlyProbe(d) }
+			th.scheds = append(th.scheds, sched)
+		}
+		s.threads = append(s.threads, th)
+		s.wg.Add(1)
+		go th.loop()
+	}
+	if cfg.UDPAddr != "" {
+		ua, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		pc, err := net.ListenUDP("udp", ua)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.udp = pc
+		s.wg.Add(1)
+		go s.serveUDP(pc)
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound TCP listen address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// UDPAddr returns the bound UDP address, or "" when UDP is disabled.
+func (s *Server) UDPAddr() string {
+	if s.udp == nil {
+		return ""
+	}
+	return s.udp.LocalAddr().String()
+}
+
+// Devices returns the number of devices this server fronts.
+func (s *Server) Devices() int { return len(s.devices) }
+
+// Shared exposes a device's scheduler shared state (tests and stats).
+func (s *Server) Shared(device int) *core.SharedState {
+	return s.devices[device].shared
+}
+
+// now returns monotonic nanoseconds since server start.
+func (s *Server) now() int64 { return int64(time.Since(s.start)) }
+
+func (s *Server) readOnlyProbe(d *sdevice) bool {
+	if d.cfg.ReadOnlyWindow <= 0 {
+		return false
+	}
+	last := d.lastWrite.Load()
+	return last == 0 || s.now()-last > int64(d.cfg.ReadOnlyWindow)
+}
+
+// Close shuts the server down: stops accepting, closes connections, stops
+// scheduler threads, and waits for all goroutines.
+func (s *Server) Close() error {
+	s.closeOnce.Do(func() {
+		close(s.done)
+		s.ln.Close()
+		if s.udp != nil {
+			s.udp.Close()
+		}
+		s.mu.Lock()
+		for c := range s.conns {
+			c.c.Close()
+		}
+		s.mu.Unlock()
+	})
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return
+		}
+		sc := &srvConn{srv: s, c: c}
+		s.mu.Lock()
+		s.conns[sc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go sc.readLoop()
+	}
+}
+
+// registerTenant performs admission control and registration.
+func (s *Server) registerTenant(reg protocol.Registration) (uint16, protocol.Status) {
+	if int(reg.Device) >= len(s.devices) {
+		return 0, protocol.StatusBadRequest
+	}
+	dev := s.devices[reg.Device]
+
+	class := core.LatencyCritical
+	slo := core.SLO{
+		IOPS:        int(reg.IOPS),
+		ReadPercent: int(reg.ReadPercent),
+		LatencyP95:  int64(reg.LatencyP95),
+	}
+	if reg.BestEffort {
+		class = core.BestEffort
+		slo = core.SLO{}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	var rate core.Tokens
+	if class == core.LatencyCritical {
+		if slo.Validate() != nil {
+			return 0, protocol.StatusBadRequest
+		}
+		rate = dev.cfg.Model.RateForSLO(slo.IOPS, slo.ReadPercent)
+		if dev.lcReserved+rate > dev.cfg.TokenRate {
+			// Table 1: "Registered tenant, or out of resources error".
+			return 0, protocol.StatusNoCapacity
+		}
+	}
+	if reg.LBACount != 0 {
+		end := int64(reg.FirstLBA) + int64(reg.LBACount)
+		if end*protocol.BlockSize > dev.backend.Size() {
+			return 0, protocol.StatusBadRequest
+		}
+	}
+
+	s.nextHandle++
+	if s.nextHandle == 0 { // wrapped; 0 is reserved as invalid
+		s.nextHandle = 1
+	}
+	h := s.nextHandle
+	if _, taken := s.tenants[h]; taken {
+		return 0, protocol.StatusNoCapacity // 65K live tenants exhausted
+	}
+	t, err := core.NewTenant(int(h), fmt.Sprintf("tenant-%d", h), class, slo)
+	if err != nil {
+		return 0, protocol.StatusBadRequest
+	}
+
+	// Place on the thread with the fewest tenants.
+	best := 0
+	counts := make([]int, len(s.threads))
+	for _, st := range s.tenants {
+		counts[st.thread]++
+	}
+	for i, n := range counts {
+		if n < counts[best] {
+			best = i
+		}
+	}
+	st := &stenant{t: t, reg: reg, thread: best, device: int(reg.Device), rate: rate}
+	s.tenants[h] = st
+	dev.lcReserved += rate
+	s.threads[best].do(func() { s.threads[best].scheds[st.device].Register(t) })
+	return h, protocol.StatusOK
+}
+
+func (s *Server) unregisterTenant(h uint16) protocol.Status {
+	s.mu.Lock()
+	st, ok := s.tenants[h]
+	if ok {
+		delete(s.tenants, h)
+		s.devices[st.device].lcReserved -= st.rate
+	}
+	s.mu.Unlock()
+	if !ok {
+		return protocol.StatusNoTenant
+	}
+	th := s.threads[st.thread]
+	th.do(func() { th.scheds[st.device].Unregister(st.t) })
+	return protocol.StatusOK
+}
+
+// lookup returns the tenant for a handle.
+func (s *Server) lookup(h uint16) (*stenant, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.tenants[h]
+	return st, ok
+}
+
+// checkACL validates an I/O against the tenant's namespace permissions.
+// hdr.Count must already be normalized to the I/O length.
+func checkACL(reg *protocol.Registration, hdr *protocol.Header, backendSize int64) protocol.Status {
+	if hdr.Count == 0 || hdr.Count > protocol.MaxPayload {
+		return protocol.StatusBadRequest
+	}
+	if hdr.Opcode == protocol.OpWrite && hdr.Count != hdr.Len {
+		return protocol.StatusBadRequest
+	}
+	off := int64(hdr.LBA) * protocol.BlockSize
+	end := off + int64(hdr.Count)
+	if end > backendSize {
+		return protocol.StatusBadRequest
+	}
+	if hdr.Opcode == protocol.OpWrite && !reg.Writable {
+		return protocol.StatusDenied
+	}
+	if reg.LBACount != 0 {
+		first := int64(reg.FirstLBA) * protocol.BlockSize
+		limit := first + int64(reg.LBACount)*protocol.BlockSize
+		if off < first || end > limit {
+			return protocol.StatusDenied
+		}
+	}
+	return protocol.StatusOK
+}

@@ -1,0 +1,118 @@
+package server
+
+import (
+	"time"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// sthread owns one QoS scheduler instance per device ("we run an
+// independent instance of the scheduling algorithm for each device",
+// §3.2.2). All scheduler and tenant state is confined to the thread
+// goroutine; connections communicate through channels, mirroring the
+// paper's share-nothing threads whose only cross-thread interaction is the
+// atomic global token bucket.
+type sthread struct {
+	id     int
+	srv    *Server
+	scheds []*core.Scheduler // one per device
+	reqCh  chan enqueued
+	cmdCh  chan func()
+}
+
+// do runs fn on the thread goroutine (tenant register/unregister).
+func (th *sthread) do(fn func()) {
+	select {
+	case th.cmdCh <- fn:
+	case <-th.srv.done:
+	}
+}
+
+// enqueue hands an I/O to the thread. It blocks if the thread is severely
+// backlogged, providing natural backpressure to the connection reader.
+func (th *sthread) enqueue(e enqueued) {
+	select {
+	case th.reqCh <- e:
+	case <-th.srv.done:
+	}
+}
+
+func (th *sthread) loop() {
+	defer th.srv.wg.Done()
+	ticker := time.NewTicker(th.srv.cfg.SchedInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-th.srv.done:
+			return
+		case fn := <-th.cmdCh:
+			fn()
+		case e := <-th.reqCh:
+			th.scheds[e.ten.device].Enqueue(e.ten.t, e.req)
+			// Drain whatever else arrived; one scheduling round covers
+			// the batch (adaptive batching in spirit).
+		drain:
+			for {
+				select {
+				case e := <-th.reqCh:
+					th.scheds[e.ten.device].Enqueue(e.ten.t, e.req)
+				default:
+					break drain
+				}
+			}
+		case <-ticker.C:
+			// Periodic round: token accrual for queued requests.
+		}
+		now := th.srv.now()
+		for _, sched := range th.scheds {
+			sched.Schedule(now, th.submit)
+		}
+	}
+}
+
+// submit performs the admitted I/O against the backend and sends the
+// response. With a configured simulated device latency, the backend
+// operation itself happens after the delay — a later request really can
+// overtake it, which is exactly what barriers exist to prevent.
+func (th *sthread) submit(req *core.Request) {
+	ctx := req.Context.(*reqCtx)
+	delay := th.srv.cfg.ReadLatency
+	if ctx.hdr.Opcode == protocol.OpWrite {
+		delay = th.srv.cfg.WriteLatency
+	}
+	dev := th.srv.devices[ctx.ten.device]
+	work := func() {
+		resp := protocol.Header{
+			Opcode: ctx.hdr.Opcode,
+			Flags:  protocol.FlagResponse,
+			Handle: ctx.hdr.Handle,
+			Cookie: ctx.hdr.Cookie,
+			LBA:    ctx.hdr.LBA,
+			Count:  ctx.hdr.Count,
+		}
+		off := int64(ctx.hdr.LBA) * protocol.BlockSize
+		var payload []byte
+		switch ctx.hdr.Opcode {
+		case protocol.OpRead:
+			buf := make([]byte, ctx.hdr.Count)
+			if _, err := dev.backend.ReadAt(buf, off); err != nil {
+				resp.Status = protocol.StatusError
+			} else {
+				payload = buf
+			}
+		case protocol.OpWrite:
+			dev.lastWrite.Store(th.srv.now())
+			if _, err := dev.backend.WriteAt(ctx.payload, off); err != nil {
+				resp.Status = protocol.StatusError
+			}
+		}
+		ctx.conn.send(&resp, payload)
+		ctx.ten.ioDone(th.srv)
+	}
+	if delay > 0 {
+		time.AfterFunc(delay, work)
+		return
+	}
+	work()
+}

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"bytes"
+	"net"
+	"sync"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// UDP endpoint: the lighter-weight transport the paper anticipates
+// alongside TCP (§4.1: "Both tail latency and throughput will improve
+// when we implement UDP or other, lighter-weight transport protocols").
+// One datagram carries one protocol message; I/O sizes are capped so a
+// response always fits a datagram. Delivery is best-effort — a lost
+// datagram surfaces as a client-side timeout, never as corruption.
+
+// MaxUDPIO bounds a single I/O over the UDP transport.
+const MaxUDPIO = 32 << 10
+
+// udpResponder replies to the datagram's source address.
+type udpResponder struct {
+	pc   *net.UDPConn
+	addr *net.UDPAddr
+	wmu  *sync.Mutex
+}
+
+func (u udpResponder) maxIO() uint32 { return MaxUDPIO }
+
+func (u udpResponder) send(hdr *protocol.Header, payload []byte) {
+	var buf bytes.Buffer
+	if err := protocol.WriteMessage(&buf, hdr, payload); err != nil {
+		return
+	}
+	u.wmu.Lock()
+	u.pc.WriteToUDP(buf.Bytes(), u.addr)
+	u.wmu.Unlock()
+}
+
+// serveUDP reads datagrams until the socket closes.
+func (s *Server) serveUDP(pc *net.UDPConn) {
+	defer s.wg.Done()
+	var wmu sync.Mutex
+	buf := make([]byte, 64<<10)
+	for {
+		n, addr, err := pc.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+			default:
+			}
+			return
+		}
+		m, err := protocol.ReadMessage(bytes.NewReader(buf[:n]))
+		if err != nil {
+			continue // malformed datagram: drop, as a NIC would a bad frame
+		}
+		s.dispatch(udpResponder{pc: pc, addr: addr, wmu: &wmu}, m)
+	}
+}

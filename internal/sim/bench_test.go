@@ -1,0 +1,59 @@
+package sim
+
+import "testing"
+
+// BenchmarkEngineEvents measures raw event throughput: the budget every
+// simulated experiment spends.
+func BenchmarkEngineEvents(b *testing.B) {
+	e := NewEngine()
+	var pump func()
+	n := 0
+	pump = func() {
+		n++
+		if n < b.N {
+			e.After(10, pump)
+		}
+	}
+	e.After(0, pump)
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkEngineHeap measures scheduling with a deep pending heap.
+func BenchmarkEngineHeap(b *testing.B) {
+	e := NewEngine()
+	rng := NewRNG(1)
+	for i := 0; i < 10_000; i++ {
+		e.At(rng.Int63n(1<<40), func() {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := e.At(rng.Int63n(1<<40), func() {})
+		e.Cancel(ev)
+	}
+}
+
+// BenchmarkResource measures FIFO resource scheduling.
+func BenchmarkResource(b *testing.B) {
+	e := NewEngine()
+	r := NewResource(e, "core")
+	e.At(0, func() {
+		for i := 0; i < b.N; i++ {
+			r.Occupy(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}
+
+// BenchmarkProcSwitch measures the engine<->process handoff.
+func BenchmarkProcSwitch(b *testing.B) {
+	e := NewEngine()
+	e.Spawn("bench", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(10)
+		}
+	})
+	b.ResetTimer()
+	e.Run()
+}

@@ -1,0 +1,172 @@
+package sim
+
+import "fmt"
+
+// Proc is a sequential process running in virtual time. A Proc executes on
+// its own goroutine but is strictly interleaved with the engine: control is
+// handed back and forth so that exactly one of {engine, some proc} runs at a
+// time. This keeps simulations deterministic while letting application code
+// (the FIO tester, the graph engine, the KV store) be written in ordinary
+// blocking style.
+//
+// All Proc methods must be called from the proc's own goroutine, except
+// Wake, which must be called from engine context (inside an event callback).
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	parked chan struct{}
+	done   bool
+	waking bool
+}
+
+// Spawn starts fn as a process at the current virtual time. fn begins
+// executing when the engine reaches the spawning instant.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{
+		eng:    e,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	e.procs++
+	e.After(0, func() {
+		go func() {
+			defer func() {
+				p.done = true
+				p.eng.procs--
+				p.parked <- struct{}{}
+			}()
+			fn(p)
+		}()
+		<-p.parked
+	})
+	return p
+}
+
+// Engine returns the engine the process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.eng.Now() }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }
+
+// park hands control back to the engine and blocks until woken.
+func (p *Proc) park() {
+	p.parked <- struct{}{}
+	<-p.resume
+}
+
+// wake transfers control to the process and blocks the engine until the
+// process parks again (or finishes).
+func (p *Proc) wake() {
+	if p.done {
+		panic(fmt.Sprintf("sim: waking finished proc %q", p.name))
+	}
+	p.waking = false
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// Sleep suspends the process for d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	p.eng.After(d, func() { p.wake() })
+	p.park()
+}
+
+// Park suspends the process until another component calls Wake from engine
+// context. Calling Park with no pending Wake source deadlocks the simulation
+// exactly as a real lost wakeup would; models must guarantee a future Wake.
+func (p *Proc) Park() { p.park() }
+
+// Wake resumes a process suspended in Park. It must be called from engine
+// context (an event callback), never from another process directly. If the
+// target might not be parked yet (the waking event raced ahead), use a
+// Completion instead.
+func (p *Proc) Wake() { p.wake() }
+
+// Completion is a one-shot synchronization point between an event callback
+// and a process. The producer calls Complete from engine context; the
+// consumer calls Wait from process context. Either order works, and Wait
+// returns immediately if Complete already happened.
+type Completion struct {
+	p    *Proc
+	done bool
+	wait bool
+}
+
+// NewCompletion returns a completion owned by process p.
+func (p *Proc) NewCompletion() *Completion {
+	return &Completion{p: p}
+}
+
+// Complete marks the completion done and wakes the owner if it is waiting.
+// Must be called from engine context. Completing twice panics.
+func (c *Completion) Complete() {
+	if c.done {
+		panic("sim: Completion completed twice")
+	}
+	c.done = true
+	if c.wait {
+		c.wait = false
+		c.p.wake()
+	}
+}
+
+// Completed reports whether Complete has been called.
+func (c *Completion) Completed() bool { return c.done }
+
+// Wait blocks the owning process until Complete is called. Must be called
+// from the owning process.
+func (c *Completion) Wait() {
+	if c.done {
+		return
+	}
+	c.wait = true
+	c.p.park()
+}
+
+// WaitGroup waits for a set of completions. It lets a process issue several
+// asynchronous operations and block until all finish.
+type WaitGroup struct {
+	p       *Proc
+	pending int
+	waiting bool
+}
+
+// NewWaitGroup returns a wait group owned by process p.
+func (p *Proc) NewWaitGroup() *WaitGroup {
+	return &WaitGroup{p: p}
+}
+
+// Add registers n more operations that must call Done.
+func (w *WaitGroup) Add(n int) { w.pending += n }
+
+// Done marks one operation finished. Must be called from engine context.
+func (w *WaitGroup) Done() {
+	w.pending--
+	if w.pending < 0 {
+		panic("sim: WaitGroup Done without Add")
+	}
+	if w.pending == 0 && w.waiting {
+		w.waiting = false
+		w.p.wake()
+	}
+}
+
+// Pending returns the number of outstanding operations.
+func (w *WaitGroup) Pending() int { return w.pending }
+
+// Wait blocks the owning process until all registered operations are done.
+func (w *WaitGroup) Wait() {
+	if w.pending == 0 {
+		return
+	}
+	w.waiting = true
+	w.p.park()
+}

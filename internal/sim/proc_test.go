@@ -1,0 +1,202 @@
+package sim
+
+import "testing"
+
+func TestProcSleep(t *testing.T) {
+	e := NewEngine()
+	var times []Time
+	e.Spawn("sleeper", func(p *Proc) {
+		times = append(times, p.Now())
+		p.Sleep(100)
+		times = append(times, p.Now())
+		p.Sleep(50)
+		times = append(times, p.Now())
+	})
+	e.Run()
+	want := []Time{0, 100, 150}
+	if len(times) != 3 {
+		t.Fatalf("times = %v, want %v", times, want)
+	}
+	for i, w := range want {
+		if times[i] != w {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestProcInterleaving(t *testing.T) {
+	e := NewEngine()
+	var order []string
+	e.Spawn("a", func(p *Proc) {
+		order = append(order, "a0")
+		p.Sleep(10)
+		order = append(order, "a10")
+		p.Sleep(20)
+		order = append(order, "a30")
+	})
+	e.Spawn("b", func(p *Proc) {
+		order = append(order, "b0")
+		p.Sleep(15)
+		order = append(order, "b15")
+	})
+	e.Run()
+	want := []string{"a0", "b0", "a10", "b15", "a30"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i, w := range want {
+		if order[i] != w {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestProcParkWake(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	var p *Proc
+	p = e.Spawn("waiter", func(p *Proc) {
+		p.Park()
+		woke = p.Now()
+	})
+	e.At(500, func() { p.Wake() })
+	e.Run()
+	if woke != 500 {
+		t.Fatalf("woke at %d, want 500", woke)
+	}
+	if !p.Done() {
+		t.Fatal("proc not done after Run")
+	}
+}
+
+func TestCompletionWaitThenComplete(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Spawn("waiter", func(p *Proc) {
+		c := p.NewCompletion()
+		e.At(300, func() { c.Complete() })
+		c.Wait()
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 300 {
+		t.Fatalf("woke at %d, want 300", woke)
+	}
+}
+
+func TestCompletionCompleteBeforeWait(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Spawn("waiter", func(p *Proc) {
+		c := p.NewCompletion()
+		e.After(10, func() { c.Complete() })
+		p.Sleep(100) // completion fires while we sleep
+		if !c.Completed() {
+			t.Error("completion not done after it fired")
+		}
+		c.Wait() // must return immediately
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 100 {
+		t.Fatalf("woke at %d, want 100 (Wait should not block)", woke)
+	}
+}
+
+func TestCompletionDoubleCompletePanics(t *testing.T) {
+	e := NewEngine()
+	e.Spawn("waiter", func(p *Proc) {
+		c := p.NewCompletion()
+		e.After(1, func() {
+			c.Complete()
+			defer func() {
+				if recover() == nil {
+					t.Error("double Complete did not panic")
+				}
+			}()
+			c.Complete()
+		})
+		p.Sleep(10)
+	})
+	e.Run()
+}
+
+func TestWaitGroup(t *testing.T) {
+	e := NewEngine()
+	var woke Time
+	e.Spawn("fanout", func(p *Proc) {
+		wg := p.NewWaitGroup()
+		wg.Add(3)
+		e.At(10, func() { wg.Done() })
+		e.At(30, func() { wg.Done() })
+		e.At(20, func() { wg.Done() })
+		wg.Wait()
+		woke = p.Now()
+	})
+	e.Run()
+	if woke != 30 {
+		t.Fatalf("woke at %d, want 30 (last Done)", woke)
+	}
+}
+
+func TestWaitGroupAlreadyDone(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.Spawn("fanout", func(p *Proc) {
+		wg := p.NewWaitGroup()
+		wg.Add(1)
+		e.After(1, func() { wg.Done() })
+		p.Sleep(10)
+		if wg.Pending() != 0 {
+			t.Error("Pending != 0 after Done")
+		}
+		wg.Wait() // must not block
+		ran = true
+	})
+	e.Run()
+	if !ran {
+		t.Fatal("proc did not finish")
+	}
+}
+
+func TestProcsAndEventsMix(t *testing.T) {
+	// A proc feeding work to a resource and waiting for each completion.
+	e := NewEngine()
+	r := NewResource(e, "dev")
+	var latencies []Time
+	e.Spawn("client", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			start := p.Now()
+			c := p.NewCompletion()
+			r.Schedule(25, func(Time) { c.Complete() })
+			c.Wait()
+			latencies = append(latencies, p.Now()-start)
+			p.Sleep(5)
+		}
+	})
+	e.Run()
+	if len(latencies) != 5 {
+		t.Fatalf("got %d latencies, want 5", len(latencies))
+	}
+	for i, l := range latencies {
+		if l != 25 {
+			t.Fatalf("latency[%d] = %d, want 25 (closed loop, no queueing)", i, l)
+		}
+	}
+}
+
+func TestManyProcs(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	for i := 0; i < 200; i++ {
+		i := i
+		e.Spawn("p", func(p *Proc) {
+			p.Sleep(Time(i))
+			n++
+		})
+	}
+	e.Run()
+	if n != 200 {
+		t.Fatalf("finished %d procs, want 200", n)
+	}
+}

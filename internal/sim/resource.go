@@ -1,0 +1,87 @@
+package sim
+
+// Resource models a serial FIFO server: a CPU core, a flash channel, or a
+// network link. Work submitted to a Resource starts when all previously
+// submitted work has finished, so queueing delay emerges naturally from
+// submission order.
+//
+// A Resource does not keep an explicit queue; it tracks the time at which it
+// becomes free and schedules each completion directly on the engine. This is
+// exact for FIFO service.
+type Resource struct {
+	eng *Engine
+
+	// Name identifies the resource in stats output.
+	Name string
+
+	busyUntil Time
+	busyTime  Time // total service time ever scheduled
+	jobs      uint64
+}
+
+// NewResource returns an idle resource bound to eng.
+func NewResource(eng *Engine, name string) *Resource {
+	return &Resource{eng: eng, Name: name}
+}
+
+// Schedule enqueues a job with the given service time and invokes done (if
+// non-nil) when the job completes. It returns the job's start and end times.
+func (r *Resource) Schedule(service Time, done func(end Time)) (start, end Time) {
+	if service < 0 {
+		service = 0
+	}
+	start = r.eng.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	end = start + service
+	r.busyUntil = end
+	r.busyTime += service
+	r.jobs++
+	if done != nil {
+		r.eng.At(end, func() { done(end) })
+	}
+	return start, end
+}
+
+// Occupy extends the resource's busy period by service time without
+// scheduling a completion callback. It is used for background work whose
+// completion nobody observes (e.g. flash program operations behind a DRAM
+// write buffer).
+func (r *Resource) Occupy(service Time) (start, end Time) {
+	return r.Schedule(service, nil)
+}
+
+// FreeAt returns the earliest time at which newly submitted work would start.
+func (r *Resource) FreeAt() Time {
+	if r.busyUntil < r.eng.Now() {
+		return r.eng.Now()
+	}
+	return r.busyUntil
+}
+
+// Backlog returns how far ahead of the clock the resource is booked.
+func (r *Resource) Backlog() Time { return r.FreeAt() - r.eng.Now() }
+
+// Idle reports whether the resource has no queued or running work.
+func (r *Resource) Idle() bool { return r.busyUntil <= r.eng.Now() }
+
+// BusyTime returns the total service time scheduled on the resource.
+func (r *Resource) BusyTime() Time { return r.busyTime }
+
+// Jobs returns the number of jobs ever scheduled on the resource.
+func (r *Resource) Jobs() uint64 { return r.jobs }
+
+// Utilization returns busy time divided by elapsed time since the start of
+// the simulation, capped at 1.
+func (r *Resource) Utilization() float64 {
+	now := r.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	u := float64(r.busyTime) / float64(now)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

@@ -1,0 +1,104 @@
+package sim
+
+import "testing"
+
+func TestResourceFIFO(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "core")
+	var ends []Time
+	e.At(0, func() {
+		r.Schedule(10, func(end Time) { ends = append(ends, end) })
+		r.Schedule(10, func(end Time) { ends = append(ends, end) })
+		r.Schedule(10, func(end Time) { ends = append(ends, end) })
+	})
+	e.Run()
+	want := []Time{10, 20, 30}
+	for i, w := range want {
+		if ends[i] != w {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "core")
+	var end2 Time
+	e.At(0, func() { r.Schedule(10, nil) })
+	// Submitted at t=50, long after the first job finished: starts at 50.
+	e.At(50, func() { r.Schedule(10, func(end Time) { end2 = end }) })
+	e.Run()
+	if end2 != 60 {
+		t.Fatalf("second job ended at %d, want 60", end2)
+	}
+}
+
+func TestResourceBacklogAndIdle(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "ch")
+	e.At(0, func() {
+		if !r.Idle() {
+			t.Error("new resource not idle")
+		}
+		r.Schedule(100, nil)
+		if r.Backlog() != 100 {
+			t.Errorf("Backlog = %d, want 100", r.Backlog())
+		}
+		if r.Idle() {
+			t.Error("busy resource reported idle")
+		}
+	})
+	e.At(200, func() {
+		if !r.Idle() {
+			t.Error("resource not idle after work drained")
+		}
+		if r.Backlog() != 0 {
+			t.Errorf("Backlog = %d, want 0", r.Backlog())
+		}
+	})
+	e.Run()
+}
+
+func TestResourceUtilization(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "ch")
+	e.At(0, func() { r.Schedule(50, nil) })
+	e.At(100, func() {
+		if got := r.Utilization(); got != 0.5 {
+			t.Errorf("Utilization = %v, want 0.5", got)
+		}
+	})
+	e.Run()
+	if r.Jobs() != 1 {
+		t.Fatalf("Jobs = %d, want 1", r.Jobs())
+	}
+	if r.BusyTime() != 50 {
+		t.Fatalf("BusyTime = %d, want 50", r.BusyTime())
+	}
+}
+
+func TestResourceNegativeServiceClamped(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "ch")
+	e.At(0, func() {
+		start, end := r.Schedule(-10, nil)
+		if start != 0 || end != 0 {
+			t.Errorf("negative service: start=%d end=%d, want 0,0", start, end)
+		}
+	})
+	e.Run()
+}
+
+func TestResourceOccupy(t *testing.T) {
+	e := NewEngine()
+	r := NewResource(e, "ch")
+	var end Time
+	e.At(0, func() {
+		r.Occupy(30) // background work, no callback
+		r.Schedule(10, func(t2 Time) { end = t2 })
+	})
+	e.Run()
+	if end != 40 {
+		t.Fatalf("job behind Occupy ended at %d, want 40", end)
+	}
+}

@@ -1,0 +1,119 @@
+// Package storage provides the block storage backends of the real (TCP)
+// ReFlex server. The simulator models device timing; these backends hold
+// actual bytes.
+package storage
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Backend is a byte-addressed block store.
+type Backend interface {
+	// ReadAt fills p from offset off.
+	ReadAt(p []byte, off int64) (int, error)
+	// WriteAt stores p at offset off.
+	WriteAt(p []byte, off int64) (int, error)
+	// Size returns the capacity in bytes.
+	Size() int64
+	// Close releases resources.
+	Close() error
+}
+
+// Mem is an in-memory backend. It is safe for concurrent use: reads
+// proceed in parallel under the read lock; writes take the write lock so
+// a read overlapping a write sees either the old or the new bytes, never
+// a torn mixture.
+type Mem struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// NewMem allocates an in-memory backend of the given size.
+func NewMem(size int64) *Mem {
+	if size <= 0 {
+		panic("storage: Mem size must be positive")
+	}
+	return &Mem{data: make([]byte, size)}
+}
+
+// Size returns the capacity in bytes.
+func (m *Mem) Size() int64 { return int64(len(m.data)) }
+
+// ReadAt implements Backend.
+func (m *Mem) ReadAt(p []byte, off int64) (int, error) {
+	if err := m.check(len(p), off); err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return copy(p, m.data[off:]), nil
+}
+
+// WriteAt implements Backend.
+func (m *Mem) WriteAt(p []byte, off int64) (int, error) {
+	if err := m.check(len(p), off); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return copy(m.data[off:], p), nil
+}
+
+// Close implements Backend.
+func (m *Mem) Close() error { return nil }
+
+func (m *Mem) check(n int, off int64) error {
+	if off < 0 || off+int64(n) > int64(len(m.data)) {
+		return fmt.Errorf("storage: access [%d, %d) outside device of %d bytes",
+			off, off+int64(n), len(m.data))
+	}
+	return nil
+}
+
+// File is a file-backed backend, for data that must survive restarts.
+type File struct {
+	f    *os.File
+	size int64
+}
+
+// OpenFile creates or opens a file-backed store of exactly size bytes.
+func OpenFile(path string, size int64) (*File, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("storage: file size must be positive")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &File{f: f, size: size}, nil
+}
+
+// Size returns the capacity in bytes.
+func (s *File) Size() int64 { return s.size }
+
+// ReadAt implements Backend.
+func (s *File) ReadAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > s.size {
+		return 0, fmt.Errorf("storage: access [%d, %d) outside device of %d bytes",
+			off, off+int64(len(p)), s.size)
+	}
+	return s.f.ReadAt(p, off)
+}
+
+// WriteAt implements Backend.
+func (s *File) WriteAt(p []byte, off int64) (int, error) {
+	if off < 0 || off+int64(len(p)) > s.size {
+		return 0, fmt.Errorf("storage: access [%d, %d) outside device of %d bytes",
+			off, off+int64(len(p)), s.size)
+	}
+	return s.f.WriteAt(p, off)
+}
+
+// Close implements Backend.
+func (s *File) Close() error { return s.f.Close() }

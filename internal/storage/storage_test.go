@@ -1,0 +1,167 @@
+package storage
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemReadWrite(t *testing.T) {
+	m := NewMem(1 << 16)
+	defer m.Close()
+	data := bytes.Repeat([]byte{0x5A}, 4096)
+	if n, err := m.WriteAt(data, 8192); err != nil || n != 4096 {
+		t.Fatalf("write: n=%d err=%v", n, err)
+	}
+	got := make([]byte, 4096)
+	if n, err := m.ReadAt(got, 8192); err != nil || n != 4096 {
+		t.Fatalf("read: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("data corrupted")
+	}
+	// Unwritten regions read as zero.
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range got {
+		if b != 0 {
+			t.Fatal("unwritten region not zero")
+		}
+	}
+}
+
+func TestMemBounds(t *testing.T) {
+	m := NewMem(1024)
+	buf := make([]byte, 128)
+	for _, off := range []int64{-1, 1000, 1024, 1 << 40} {
+		if _, err := m.ReadAt(buf, off); err == nil {
+			t.Errorf("read at %d accepted", off)
+		}
+		if _, err := m.WriteAt(buf, off); err == nil {
+			t.Errorf("write at %d accepted", off)
+		}
+	}
+	if m.Size() != 1024 {
+		t.Fatal("size")
+	}
+}
+
+func TestMemSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero size accepted")
+		}
+	}()
+	NewMem(0)
+}
+
+func TestMemConcurrentDisjoint(t *testing.T) {
+	m := NewMem(1 << 20)
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			region := int64(i) * 65536
+			data := bytes.Repeat([]byte{byte(i + 1)}, 65536)
+			for rep := 0; rep < 20; rep++ {
+				if _, err := m.WriteAt(data, region); err != nil {
+					t.Error(err)
+					return
+				}
+				got := make([]byte, 65536)
+				if _, err := m.ReadAt(got, region); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(got, data) {
+					t.Error("cross-region corruption")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestMemRoundTripProperty(t *testing.T) {
+	m := NewMem(1 << 16)
+	f := func(data []byte, off uint16) bool {
+		if len(data) == 0 {
+			return true
+		}
+		o := int64(off) % (m.Size() - int64(len(data)))
+		if o < 0 {
+			o = 0
+		}
+		if _, err := m.WriteAt(data, o); err != nil {
+			return false
+		}
+		got := make([]byte, len(data))
+		if _, err := m.ReadAt(got, o); err != nil {
+			return false
+		}
+		return bytes.Equal(got, data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileBackend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "flash.img")
+	f, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := bytes.Repeat([]byte{0xCD}, 4096)
+	if _, err := f.WriteAt(data, 4096); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 4096)
+	if _, err := f.ReadAt(got, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file data corrupted")
+	}
+	if f.Size() != 1<<20 {
+		t.Fatal("size")
+	}
+	if _, err := f.ReadAt(got, 1<<20); err == nil {
+		t.Fatal("out of bounds read accepted")
+	}
+	if _, err := f.WriteAt(got, -1); err == nil {
+		t.Fatal("negative write accepted")
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: data persists.
+	f2, err := OpenFile(path, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	got2 := make([]byte, 4096)
+	if _, err := f2.ReadAt(got2, 4096); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, data) {
+		t.Fatal("data lost across reopen")
+	}
+}
+
+func TestFileValidation(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "x"), 0); err == nil {
+		t.Fatal("zero-size file accepted")
+	}
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nodir", "deeper", "x"), 1024); err == nil {
+		t.Fatal("unreachable path accepted")
+	}
+}

@@ -1,0 +1,249 @@
+package workload
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// fixedTarget completes every op after a fixed service time, unlimited
+// parallelism.
+func fixedTarget(eng *sim.Engine, service sim.Time) Target {
+	return TargetFunc(func(op core.OpType, block uint64, size int, done func(sim.Time)) {
+		eng.After(service, func() { done(service) })
+	})
+}
+
+func TestOpenLoopOfferedRate(t *testing.T) {
+	eng := sim.NewEngine()
+	res := OpenLoop{
+		IOPS:     100_000,
+		Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 1000},
+		Warmup:   10 * sim.Millisecond,
+		Duration: 1 * sim.Second,
+		Seed:     1,
+	}.Start(eng, fixedTarget(eng, 50*sim.Microsecond))
+	eng.Run()
+	iops := res.IOPS()
+	if iops < 97_000 || iops > 103_000 {
+		t.Fatalf("achieved %.0f IOPS, offered 100000", iops)
+	}
+	if res.ReadLat.Count() == 0 || res.WriteLat.Count() != 0 {
+		t.Fatalf("read-only mix recorded %d reads, %d writes",
+			res.ReadLat.Count(), res.WriteLat.Count())
+	}
+	if res.ReadLat.Quantile(0.95) != 50*sim.Microsecond {
+		t.Fatalf("latency = %d, want exactly the service time", res.ReadLat.Quantile(0.95))
+	}
+	if res.Issued <= res.Completed {
+		t.Fatal("warmup arrivals must be issued but not counted")
+	}
+}
+
+func TestOpenLoopMixRatio(t *testing.T) {
+	eng := sim.NewEngine()
+	res := OpenLoop{
+		IOPS:     50_000,
+		Mix:      Mix{ReadPercent: 80, Size: 4096, Blocks: 1000},
+		Duration: 1 * sim.Second,
+		Seed:     2,
+	}.Start(eng, fixedTarget(eng, 10*sim.Microsecond))
+	eng.Run()
+	reads := float64(res.ReadLat.Count())
+	total := float64(res.ReadLat.Count() + res.WriteLat.Count())
+	ratio := reads / total
+	if ratio < 0.78 || ratio > 0.82 {
+		t.Fatalf("read ratio = %.3f, want ~0.80", ratio)
+	}
+}
+
+func TestOpenLoopMBps(t *testing.T) {
+	eng := sim.NewEngine()
+	res := OpenLoop{
+		IOPS:     10_000,
+		Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 10},
+		Duration: 1 * sim.Second,
+		Seed:     3,
+	}.Start(eng, fixedTarget(eng, sim.Microsecond))
+	eng.Run()
+	// 10K IOPS x 4KB ~= 41 MB/s.
+	if got := res.MBps(); got < 39 || got > 43 {
+		t.Fatalf("MBps = %.1f, want ~41", got)
+	}
+}
+
+func TestClosedLoopQueueDepthOne(t *testing.T) {
+	// With QD1 and a 100us service time, throughput is exactly 10K IOPS
+	// and latency exactly the service time.
+	eng := sim.NewEngine()
+	res := ClosedLoop{
+		Depth:    1,
+		Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 100},
+		Duration: 1 * sim.Second,
+		Seed:     4,
+	}.Start(eng, fixedTarget(eng, 100*sim.Microsecond))
+	eng.Run()
+	if iops := res.IOPS(); iops < 9_900 || iops > 10_100 {
+		t.Fatalf("QD1 IOPS = %.0f, want ~10000", iops)
+	}
+	if res.ReadLat.Max() != 100*sim.Microsecond {
+		t.Fatalf("QD1 latency = %d, want 100us", res.ReadLat.Max())
+	}
+}
+
+func TestClosedLoopDepthScalesThroughput(t *testing.T) {
+	run := func(depth int) float64 {
+		eng := sim.NewEngine()
+		res := ClosedLoop{
+			Depth:    depth,
+			Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 100},
+			Duration: 500 * sim.Millisecond,
+			Seed:     5,
+		}.Start(eng, fixedTarget(eng, 100*sim.Microsecond))
+		eng.Run()
+		return res.IOPS()
+	}
+	if q4, q1 := run(4), run(1); q4 < 3.8*q1 {
+		t.Fatalf("QD4 (%.0f) not ~4x QD1 (%.0f) on an unlimited target", q4, q1)
+	}
+}
+
+func TestClosedLoopThinkTime(t *testing.T) {
+	eng := sim.NewEngine()
+	res := ClosedLoop{
+		Depth:     1,
+		ThinkTime: 900 * sim.Microsecond,
+		Mix:       Mix{ReadPercent: 100, Size: 4096, Blocks: 100},
+		Duration:  1 * sim.Second,
+		Seed:      6,
+	}.Start(eng, fixedTarget(eng, 100*sim.Microsecond))
+	eng.Run()
+	// One op per 1ms cycle.
+	if iops := res.IOPS(); iops < 950 || iops > 1050 {
+		t.Fatalf("think-time IOPS = %.0f, want ~1000", iops)
+	}
+}
+
+func TestDeviceTargetRecordsLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, flashsim.DeviceA(), 9)
+	res := ClosedLoop{
+		Depth:    1,
+		Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 1 << 20},
+		Duration: 100 * sim.Millisecond,
+		Seed:     7,
+	}.Start(eng, DeviceTarget(eng, dev))
+	eng.Run()
+	avg := res.ReadLat.Mean() / 1000
+	if avg < 60 || avg > 100 {
+		t.Fatalf("device QD1 read avg = %.1fus, want ~78us", avg)
+	}
+	if dev.Stats().Reads != res.Issued {
+		t.Fatalf("device saw %d reads, generator issued %d", dev.Stats().Reads, res.Issued)
+	}
+}
+
+func TestResultMerge(t *testing.T) {
+	a, b := newResult(sim.Second), newResult(sim.Second)
+	a.Completed, b.Completed = 10, 20
+	a.CompletedBytes, b.CompletedBytes = 100, 200
+	a.Issued, b.Issued = 15, 25
+	a.ReadLat.Record(5)
+	b.ReadLat.Record(7)
+	b.WriteLat.Record(9)
+	a.Merge(b)
+	if a.Completed != 30 || a.CompletedBytes != 300 || a.Issued != 40 {
+		t.Fatalf("merge counts wrong: %+v", a)
+	}
+	if a.ReadLat.Count() != 2 || a.WriteLat.Count() != 1 {
+		t.Fatal("merge histograms wrong")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	tgt := fixedTarget(eng, 1)
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("openloop iops", func() {
+		OpenLoop{Mix: Mix{Blocks: 1}}.Start(eng, tgt)
+	})
+	mustPanic("openloop blocks", func() {
+		OpenLoop{IOPS: 1}.Start(eng, tgt)
+	})
+	mustPanic("closedloop depth", func() {
+		ClosedLoop{Mix: Mix{Blocks: 1}}.Start(eng, tgt)
+	})
+	mustPanic("closedloop blocks", func() {
+		ClosedLoop{Depth: 1}.Start(eng, tgt)
+	})
+}
+
+func TestZeroWindowResult(t *testing.T) {
+	r := newResult(0)
+	if r.IOPS() != 0 || r.MBps() != 0 {
+		t.Fatal("zero window must report zero rates")
+	}
+}
+
+func TestZipfSkewConcentratesAccesses(t *testing.T) {
+	counts := map[uint64]int{}
+	eng := sim.NewEngine()
+	tgt := TargetFunc(func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+		counts[b]++
+		eng.After(0, func() { done(0) })
+	})
+	OpenLoop{
+		IOPS:     100_000,
+		Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 100_000, ZipfSkew: 1.2},
+		Duration: 500 * sim.Millisecond,
+		Seed:     1,
+	}.Start(eng, tgt)
+	eng.Run()
+	total := 0
+	hot := 0 // accesses to the 10 hottest of 100K blocks
+	for b, n := range counts {
+		total += n
+		if b < 10 {
+			hot += n
+		}
+	}
+	if total < 40_000 {
+		t.Fatalf("only %d accesses", total)
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.10 {
+		t.Fatalf("top-10 blocks got %.1f%% of zipf accesses, want heavy concentration", frac*100)
+	}
+	// Uniform control: the same 10 blocks get ~0.01%.
+	counts = map[uint64]int{}
+	eng2 := sim.NewEngine()
+	tgt2 := TargetFunc(func(op core.OpType, b uint64, s int, done func(sim.Time)) {
+		counts[b]++
+		eng2.After(0, func() { done(0) })
+	})
+	OpenLoop{
+		IOPS:     100_000,
+		Mix:      Mix{ReadPercent: 100, Size: 4096, Blocks: 100_000},
+		Duration: 500 * sim.Millisecond,
+		Seed:     1,
+	}.Start(eng2, tgt2)
+	eng2.Run()
+	hot = 0
+	for b, n := range counts {
+		if b < 10 {
+			hot += n
+		}
+	}
+	if float64(hot)/float64(total) > 0.01 {
+		t.Fatalf("uniform control concentrated too: %d hot accesses", hot)
+	}
+}
