@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/reflex-go/reflex/internal/experiments"
@@ -23,6 +24,7 @@ func main() {
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Float64("scale", 1.0, "measurement-window scale factor (smaller = faster, noisier)")
+	csvDir := flag.String("csv-dir", "", "also write each experiment's table as <dir>/<id>.csv")
 	flag.Parse()
 
 	if *list {
@@ -50,5 +52,29 @@ func main() {
 		}
 		fmt.Print(tbl.Format())
 		fmt.Printf("(%s in %.1fs wall clock)\n\n", id, time.Since(start).Seconds())
+		if *csvDir != "" {
+			if err := writeCSV(*csvDir, id, tbl); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
 	}
+}
+
+// writeCSV writes one experiment table to <dir>/<id>.csv, creating the
+// directory if needed.
+func writeCSV(dir, id string, tbl *experiments.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, id+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tbl.WriteCSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/server"
 	"github.com/reflex-go/reflex/internal/storage"
 )
@@ -52,6 +53,9 @@ func main() {
 	writeCost := flag.Int64("write-cost", 10, "write cost in tokens (device calibration)")
 	readLat := flag.Duration("read-latency", 0, "simulated device read latency (demos)")
 	writeLat := flag.Duration("write-latency", 0, "simulated device write latency (demos)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP telemetry address serving /metrics (Prometheus), /snapshot, /slow, /traces, /debug/vars, /debug/pprof (e.g. :9090)")
+	sampleEvery := flag.Duration("sample-interval", time.Second, "SLO time-series sampling period")
+	sampleCSV := flag.String("sample-csv", "", "write the sampled time series to this CSV file on shutdown")
 	flag.Parse()
 
 	bytes, err := parseSize(*size)
@@ -91,10 +95,48 @@ func main() {
 		log.Printf("udp endpoint on %s", u)
 	}
 
+	// Live exposition: Prometheus text format, JSON snapshots, the top-K
+	// slow-request log, expvar and pprof.
+	if *metricsAddr != "" {
+		obs.PublishExpvar("reflex", srv.Metrics())
+		ms, err := obs.Serve(*metricsAddr, srv.Metrics(), srv.TraceRing())
+		if err != nil {
+			log.Fatalf("metrics endpoint: %v", err)
+		}
+		defer ms.Close()
+		log.Printf("telemetry on http://%s/metrics (also /snapshot /slow /traces /debug/pprof)", ms.Addr())
+	}
+
+	// SLO time-series sampler (per-op interval p95, IOPS, queue depths,
+	// token-bucket levels), dumped as CSV on shutdown when requested.
+	series, stopSampler := srv.StartSampler(*sampleEvery)
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	log.Printf("shutting down")
+	stopSampler()
+	if *sampleCSV != "" {
+		if f, err := os.Create(*sampleCSV); err != nil {
+			log.Printf("sample csv: %v", err)
+		} else {
+			if err := series.WriteCSV(f); err != nil {
+				log.Printf("sample csv: %v", err)
+			}
+			f.Close()
+			log.Printf("wrote %d samples to %s", series.Len(), *sampleCSV)
+		}
+	}
+
+	// Final metrics snapshot: one last look at the counters and latency
+	// summaries, plus the slow-request breakdowns.
+	fmt.Fprintln(os.Stderr, "=== final metrics snapshot ===")
+	srv.Metrics().WritePrometheus(os.Stderr)
+	if slow := srv.TraceRing().Slowest(); len(slow) > 0 {
+		fmt.Fprintln(os.Stderr, "=== slow-request log (top-K by total latency) ===")
+		srv.TraceRing().WriteSlowLog(os.Stderr)
+	}
+
 	srv.Close()
 	backend.Close()
 }

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+	}{
+		{"4096", 4096},
+		{"0", 0},
+		{"1KiB", 1 << 10},
+		{"64MiB", 64 << 20},
+		{"1GiB", 1 << 30},
+		{"2gib", 2 << 30},     // case-insensitive
+		{"16 MiB", 16 << 20},  // inner whitespace tolerated
+		{" 512 ", 512},        // surrounding whitespace
+	}
+	for _, c := range cases {
+		got, err := parseSize(c.in)
+		if err != nil {
+			t.Errorf("parseSize(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("parseSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "12XB", "MiB", "1.5GiB"} {
+		if _, err := parseSize(bad); err == nil {
+			t.Errorf("parseSize(%q) did not fail", bad)
+		}
+	}
+}

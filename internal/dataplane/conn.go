@@ -3,6 +3,7 @@ package dataplane
 import (
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -86,6 +87,11 @@ func (c *Conn) issue(op core.OpType, block uint64, size int, done func(lat sim.T
 		panic("dataplane: I/O on closed connection")
 	}
 	r := &ioRequest{conn: c, op: op, blk: block, size: size}
+	c.srv.reqSeq++
+	r.span.ID = c.srv.reqSeq
+	r.span.Tenant = c.tenant.ID
+	r.span.Write = op == core.OpWrite
+	r.span.Size = size
 	if done != nil {
 		c.inflight[r] = done
 	}
@@ -101,6 +107,8 @@ func (c *Conn) issue(op core.OpType, block uint64, size int, done func(lat sim.T
 
 // respond sends the response back to the client (server side).
 func (c *Conn) respond(r *ioRequest) {
+	r.span.Mark(obs.StageTx, c.srv.eng.Now())
+	c.srv.ring.Push(r.span)
 	wire := RespHeaderBytes
 	if r.op == core.OpRead {
 		wire += r.size

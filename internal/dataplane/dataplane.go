@@ -16,6 +16,7 @@ import (
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/flashsim"
 	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -124,6 +125,13 @@ type Server struct {
 	tenantAt map[*core.Tenant]int
 	conns    map[*Conn]struct{}
 	nextConn uint64
+
+	// reg/ring are the unified telemetry layer (internal/obs): a
+	// virtual-time metrics registry over every layer's stats and the
+	// per-request span trace ring. reqSeq numbers spans.
+	reg    *obs.Registry
+	ring   *obs.Ring
+	reqSeq uint64
 }
 
 // ModelForDevice derives the cost model from a simulated device's spec.
@@ -171,6 +179,7 @@ func NewServerOn(eng *sim.Engine, net *netsim.Network, endpoint *netsim.Endpoint
 		th.sched.ReadOnlyProbe = dev.ReadOnlyMode
 		s.threads = append(s.threads, th)
 	}
+	s.initTelemetry()
 	return s
 }
 
@@ -272,6 +281,16 @@ func (s *Server) SubmittedTokens() core.Tokens {
 		}
 	}
 	return total
+}
+
+// Pending returns the number of requests waiting in scheduler queues
+// across all threads (time-series "queue depth" column).
+func (s *Server) Pending() int {
+	var n int
+	for _, th := range s.threads {
+		n += th.sched.Pending()
+	}
+	return n
 }
 
 // CoreUtilization returns the mean dataplane core utilization.

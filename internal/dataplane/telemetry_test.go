@@ -1,0 +1,103 @@
+package dataplane
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/obs"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// TestTelemetryMatchesStats runs a workload and cross-checks the registry
+// against the server's native Stats(), then verifies spans landed in the
+// trace ring with the full two-step lifecycle stamped.
+func TestTelemetryMatchesStats(t *testing.T) {
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 1)
+	srv := NewServer(eng, net, dev, DefaultConfig(2, 600_000*core.TokenUnit))
+
+	tn, err := core.NewTenant(1, "lc0", core.LatencyCritical,
+		core.SLO{IOPS: 20_000, ReadPercent: 90, LatencyP95: 2 * sim.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RegisterTenant(tn)
+	client := net.NewEndpoint("client", netsim.IXClientStack(), 11)
+	conn := srv.Connect(client, tn)
+	res := workload.OpenLoop{
+		IOPS:     10_000,
+		Mix:      workload.Mix{ReadPercent: 90, Size: 4096, Blocks: 1 << 20},
+		Warmup:   10 * sim.Millisecond,
+		Duration: 50 * sim.Millisecond,
+		Seed:     3,
+	}.Start(eng, conn)
+	eng.RunUntil(70 * sim.Millisecond)
+
+	if res.Completed == 0 {
+		t.Fatal("workload completed nothing")
+	}
+	st := srv.Stats()
+	reg := srv.Obs()
+
+	// Per-thread dp_requests_total must sum to Stats().Requests.
+	var total float64
+	for i := 0; i < srv.Threads(); i++ {
+		v, ok := reg.LookupValue("dp_requests_total", obs.L("thread", strconv.Itoa(i)))
+		if !ok {
+			t.Fatalf("dp_requests_total{thread=%d} missing", i)
+		}
+		total += v
+	}
+	if total != float64(st.Requests) {
+		t.Errorf("dp_requests_total sum = %v, Stats().Requests = %d", total, st.Requests)
+	}
+
+	// Device counters flow through flashsim's read-side metrics.
+	devLbl := obs.L("device", dev.Spec().Name)
+	if v, ok := reg.LookupValue("flash_reads_total", devLbl); !ok || v != float64(dev.Stats().Reads) {
+		t.Errorf("flash_reads_total = %v (ok=%v), want %d", v, ok, dev.Stats().Reads)
+	}
+
+	// Shared scheduler state is exposed from atomics.
+	if v, ok := reg.LookupValue("token_rate"); !ok || v != float64(600_000*core.TokenUnit) {
+		t.Errorf("token_rate = %v (ok=%v)", v, ok)
+	}
+
+	// The trace ring recorded one span per completed request, with every
+	// stage of the two-step model stamped.
+	ring := srv.TraceRing()
+	if ring.Count() < res.Completed {
+		t.Fatalf("ring has %d spans, workload completed %d", ring.Count(), res.Completed)
+	}
+	for _, sp := range ring.Recent(32) {
+		if sp.Total() <= 0 {
+			t.Fatalf("span %d has non-positive total", sp.ID)
+		}
+		for st := obs.StageArrival; st <= obs.StageTx; st++ {
+			if sp.Stamps[st] == 0 {
+				t.Fatalf("span %d missing stage %v: %s", sp.ID, st, sp.Breakdown())
+			}
+		}
+	}
+	if slow := ring.Slowest(); len(slow) == 0 || !strings.Contains(slow[0].Breakdown(), "devdone=") {
+		t.Error("slow log empty or missing device stage")
+	}
+
+	// Prometheus text renders from virtual time without touching hot state.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "dp_requests_total{thread=\"0\"}") {
+		t.Error("scrape missing per-thread requests counter")
+	}
+	if snap := reg.Snapshot(); snap.Time != eng.Now() {
+		t.Errorf("snapshot time %d != engine now %d", snap.Time, eng.Now())
+	}
+}

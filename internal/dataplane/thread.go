@@ -3,6 +3,7 @@ package dataplane
 import (
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/flashsim"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -12,6 +13,10 @@ type ioRequest struct {
 	op   core.OpType
 	blk  uint64
 	size int
+	// span is the request's lifecycle record (embedded by value: stamping
+	// stages allocates nothing). It is copied into the server's trace ring
+	// when the response is transmitted.
+	span obs.Span
 }
 
 // thread is one dataplane core with exclusive network and NVMe queues.
@@ -54,12 +59,14 @@ func (th *thread) cpuFactor() float64 {
 
 // arrive enqueues an incoming request and kicks the polling loop.
 func (th *thread) arrive(r *ioRequest) {
+	r.span.Mark(obs.StageArrival, th.srv.eng.Now())
 	th.rxQ = append(th.rxQ, r)
 	th.kick()
 }
 
 // complete enqueues a flash completion and kicks the polling loop.
 func (th *thread) complete(r *ioRequest) {
+	r.span.Mark(obs.StageDevDone, th.srv.eng.Now())
 	th.blocked = false
 	th.cqQ = append(th.cqQ, r)
 	th.kick()
@@ -111,6 +118,7 @@ func (th *thread) pass() {
 			r := r
 			th.core.Schedule(cost(cfg.RxCost), func(sim.Time) {
 				th.requests++
+				r.span.Mark(obs.StageParse, th.srv.eng.Now())
 				if cfg.DisableQoS {
 					if cfg.BlockingModel {
 						// Park until the single outstanding Flash slot
@@ -155,6 +163,7 @@ func (th *thread) pass() {
 		th.core.Schedule(cost(roundCost), func(end sim.Time) {
 			th.sched.Schedule(th.srv.eng.Now(), func(cr *core.Request) {
 				r := cr.Context.(*ioRequest)
+				r.span.Mark(obs.StageAdmit, th.srv.eng.Now())
 				th.core.Schedule(cost(cfg.SubmitCost+cfg.SchedPerReq), func(sim.Time) {
 					th.submit(r)
 				})
@@ -208,6 +217,7 @@ func (th *thread) armTick() {
 
 // submit issues the I/O to the NVMe device.
 func (th *thread) submit(r *ioRequest) {
+	r.span.Mark(obs.StageSubmit, th.srv.eng.Now())
 	if th.srv.cfg.BlockingModel {
 		th.blocked = true
 	}

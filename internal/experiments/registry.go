@@ -20,6 +20,11 @@ func Registry() map[string]Runner {
 		"fig4":  Fig4,
 		"fig5":  Fig5,
 		"fig6a": func(s Scale) *Table { return Fig6a(s, 12) },
+		"fig6a-series": func(s Scale) *Table {
+			return SeriesTable("fig6a-series",
+				"Fig. 6a time series: per-tenant p95 vs SLO, IOPS, token usage, queues",
+				Fig6aSeries(s, 2))
+		},
 		"fig6b": func(s Scale) *Table { return Fig6b(s, nil) },
 		"fig6c": Fig6c,
 		"fig7a": Fig7a,

@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"strings"
 )
 
@@ -73,6 +74,21 @@ func (t *Table) Format() string {
 		fmt.Fprintf(&b, "note: %s\n", t.Notes)
 	}
 	return b.String()
+}
+
+// WriteCSV renders the table as a plain CSV file (header row then data
+// rows). Cells are written as-is; the formatting applied by Add is already
+// plot-friendly.
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Columns, ","))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
 }
 
 // Cell looks up a cell by row predicate and column name (test helper and

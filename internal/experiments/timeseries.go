@@ -1,0 +1,123 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// seriesPeriod is the sampling interval for time-series experiments: fine
+// enough to resolve SLO excursions, coarse enough that windowed quantiles
+// see a few hundred samples per tick at the paper's rates.
+const seriesPeriod = 2 * sim.Millisecond
+
+// Fig6aSeries ports the Figure 6a workload into a time-series run on one
+// server: per-core LC tenants driven at their SLO rate plus two
+// best-effort tenants soaking spare bandwidth. Instead of one summary row
+// per core count, it samples the live system every few milliseconds and
+// reports, per tick:
+//
+//   - per-LC-tenant windowed read p95 (interval, not cumulative) next to
+//     the tenant's SLO target, so compliance is visible over time
+//   - per-tenant achieved IOPS and the aggregate BE IOPS
+//   - the token usage rate and the global spare-token bucket level
+//   - scheduler queue depth, busy flash channels and the GC erase rate
+//
+// The columns are the raw material for an SLO-compliance plot; see
+// SeriesTable and cmd/reflex-bench's -csv-dir for CSV output.
+func Fig6aSeries(scale Scale, cores int) *obs.Series {
+	if cores <= 0 {
+		cores = 2
+	}
+	warm := scale.dur(30 * sim.Millisecond)
+	dur := scale.dur(200 * sim.Millisecond)
+
+	r := newRig(4300 + int64(cores))
+	srv := r.reflexServer(cores, deviceTokenRate(2*sim.Millisecond))
+	clock := func() int64 { return int64(r.eng.Now()) }
+
+	series := obs.NewSeries("fig6a-series")
+
+	const sloP95 = 2 * sim.Millisecond
+	for i := 0; i < cores; i++ {
+		tn, err := core.NewTenant(i+1, fmt.Sprintf("lc%d", i), core.LatencyCritical,
+			core.SLO{IOPS: 20_000, ReadPercent: 90, LatencyP95: sloP95})
+		if err != nil {
+			panic(err)
+		}
+		srv.RegisterTenantOn(tn, i)
+		conn := srv.Connect(r.ixClient(int64(i)), tn)
+		res := r.pacedLoop(conn, 19_600, 90, 4096, warm, dur, int64(cores*100+i))
+		series.AddColumn(fmt.Sprintf("lc%d_p95_us", i), obs.WindowedQuantile(res.ReadLat, 0.95))
+		series.AddColumn(fmt.Sprintf("lc%d_slo_us", i), func() float64 {
+			return float64(sloP95) / 1000
+		})
+		series.AddColumn(fmt.Sprintf("lc%d_iops", i), obs.WindowedRate(func() float64 {
+			return float64(res.Completed)
+		}, clock))
+	}
+
+	var beCompleted []func() float64
+	for i := 0; i < 2; i++ {
+		tn, err := core.NewTenant(100+i, fmt.Sprintf("be%d", i), core.BestEffort, core.SLO{})
+		if err != nil {
+			panic(err)
+		}
+		srv.RegisterTenantOn(tn, i%cores)
+		conn := srv.Connect(r.ixClient(int64(50+i)), tn)
+		res := r.openLoop(conn, 300_000, 80, 4096, warm, dur, int64(cores*100+50+i))
+		beCompleted = append(beCompleted, func() float64 { return float64(res.Completed) })
+	}
+	series.AddColumn("be_iops", obs.WindowedRate(func() float64 {
+		var total float64
+		for _, fn := range beCompleted {
+			total += fn()
+		}
+		return total
+	}, clock))
+
+	series.AddColumn("ktokens_per_s", obs.WindowedRate(func() float64 {
+		return float64(srv.SubmittedTokens()) / float64(core.TokenUnit) / 1000
+	}, clock))
+	series.AddColumn("bucket_ktokens", func() float64 {
+		return float64(srv.Shared().Bucket.Tokens()) / float64(core.TokenUnit) / 1000
+	})
+	series.AddColumn("queue_depth", func() float64 { return float64(srv.Pending()) })
+	series.AddColumn("busy_channels", func() float64 {
+		return float64(srv.Device().BusyChannels())
+	})
+	series.AddColumn("erases_per_s", obs.WindowedRate(func() float64 {
+		return float64(srv.Device().Stats().Erases)
+	}, clock))
+
+	obs.SampleSim(r.eng, series, seriesPeriod, r.stopAt)
+	r.finish()
+	return series
+}
+
+// SeriesTable converts a sampled series into the Table shape the bench
+// driver prints and writes as CSV: a time_us column followed by every
+// series column, one row per tick.
+func SeriesTable(id, title string, s *obs.Series) *Table {
+	t := &Table{
+		ID:      id,
+		Title:   title,
+		Columns: append([]string{"time_us"}, s.Columns()...),
+	}
+	times, rows := s.Rows()
+	for i, row := range rows {
+		cells := make([]any, 0, len(row)+1)
+		cells = append(cells, times[i]/1000)
+		for _, v := range row {
+			if v == float64(int64(v)) {
+				cells = append(cells, int64(v))
+			} else {
+				cells = append(cells, v)
+			}
+		}
+		t.Add(cells...)
+	}
+	return t
+}

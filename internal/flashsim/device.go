@@ -339,6 +339,37 @@ func (d *Device) program(ch *sim.Resource, remaining sim.Time) {
 	})
 }
 
+// BusyChannels returns how many channels are occupied right now — the
+// instantaneous channel occupancy a time-series sampler records.
+func (d *Device) BusyChannels() int {
+	n := 0
+	for _, ch := range d.channels {
+		if !ch.Idle() {
+			n++
+		}
+	}
+	return n
+}
+
+// Channels returns the number of channels.
+func (d *Device) Channels() int { return len(d.channels) }
+
+// PendingProgram returns the background program backlog in nanoseconds of
+// channel occupancy, summed across channels (the write-buffer pressure).
+func (d *Device) PendingProgram() sim.Time { return d.pendingProg }
+
+// MaxChannelBacklog returns the largest per-channel booking horizon — how
+// far ahead of the clock the busiest channel is committed.
+func (d *Device) MaxChannelBacklog() sim.Time {
+	var m sim.Time
+	for _, ch := range d.channels {
+		if b := ch.Backlog(); b > m {
+			m = b
+		}
+	}
+	return m
+}
+
 // Utilization returns the mean channel utilization since simulation start.
 func (d *Device) Utilization() float64 {
 	var u float64

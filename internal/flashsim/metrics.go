@@ -1,0 +1,38 @@
+package flashsim
+
+import "github.com/reflex-go/reflex/internal/obs"
+
+// RegisterMetrics exposes the device's counters and instantaneous state on
+// a telemetry registry. All values are read-side functions evaluated at
+// scrape/sample time; the device hot path is untouched. The device is
+// single-writer (engine context), so the registry must be scraped from
+// engine context or after the simulation stops.
+func (d *Device) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.CounterFunc("flash_reads_total", "read requests submitted to the device",
+		func() float64 { return float64(d.stats.Reads) }, labels...)
+	reg.CounterFunc("flash_writes_total", "write requests submitted to the device",
+		func() float64 { return float64(d.stats.Writes) }, labels...)
+	reg.CounterFunc("flash_read_pages_total", "4KB pages read",
+		func() float64 { return float64(d.stats.ReadPages) }, labels...)
+	reg.CounterFunc("flash_write_pages_total", "4KB pages written",
+		func() float64 { return float64(d.stats.WritePages) }, labels...)
+	reg.CounterFunc("flash_erases_total", "GC/erase pulses (channel-blocking, §2.2)",
+		func() float64 { return float64(d.stats.Erases) }, labels...)
+	reg.GaugeFunc("flash_busy_channels", "channels currently occupied",
+		func() float64 { return float64(d.BusyChannels()) }, labels...)
+	reg.GaugeFunc("flash_pending_program_ns", "background program backlog (write buffer pressure)",
+		func() float64 { return float64(d.pendingProg) }, labels...)
+	reg.GaugeFunc("flash_max_channel_backlog_ns", "booking horizon of the busiest channel",
+		func() float64 { return float64(d.MaxChannelBacklog()) }, labels...)
+	reg.GaugeFunc("flash_utilization", "mean channel utilization since start",
+		d.Utilization, labels...)
+	reg.GaugeFunc("flash_wear_multiplier", "service-time inflation from wear-out (§3.2.1)",
+		d.WearMultiplier, labels...)
+	reg.GaugeFunc("flash_readonly_mode", "1 when serving the read-only fast mode",
+		func() float64 {
+			if d.ReadOnlyMode() {
+				return 1
+			}
+			return 0
+		}, labels...)
+}

@@ -267,6 +267,78 @@ func (h *Hist) Quantiles(qs []float64) []int64 {
 	return out
 }
 
+// Percentiles returns estimates for several percentiles given on the
+// [0, 100] scale, in the input's order. Unlike Quantiles, the input need
+// not be sorted; the result for Percentiles([]float64{50, 95, 99}) matches
+// Quantile(0.50), Quantile(0.95), Quantile(0.99).
+func (h *Hist) Percentiles(ps []float64) []int64 {
+	qs := make([]float64, len(ps))
+	order := make([]int, len(ps))
+	for i, p := range ps {
+		qs[i] = p / 100
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return qs[order[a]] < qs[order[b]] })
+	sorted := make([]float64, len(ps))
+	for i, oi := range order {
+		sorted[i] = qs[oi]
+	}
+	vals := h.Quantiles(sorted)
+	out := make([]int64, len(ps))
+	for i, oi := range order {
+		out[oi] = vals[i]
+	}
+	return out
+}
+
+// Clone returns an independent copy of the histogram.
+func (h *Hist) Clone() *Hist {
+	c := *h
+	return &c
+}
+
+// Delta returns a histogram holding the samples recorded in h since prev
+// was captured. prev must be an earlier snapshot (Clone) of the same
+// histogram; a nil prev returns a copy of h. Min/max of the delta are
+// bounded by the cumulative min/max, which is the best a bucketed
+// histogram can reconstruct; quantiles of the interval are exact to bucket
+// resolution.
+func (h *Hist) Delta(prev *Hist) *Hist {
+	if prev == nil || prev.count == 0 {
+		return h.Clone()
+	}
+	d := &Hist{}
+	var lo, hi int64 = -1, 0
+	for i := range h.counts {
+		c := h.counts[i] - prev.counts[i]
+		if c == 0 {
+			continue
+		}
+		d.counts[i] = c
+		u := upperValue(i)
+		if lo < 0 {
+			lo = u
+		}
+		hi = u
+	}
+	d.count = h.count - prev.count
+	d.sum = h.sum - prev.sum
+	if d.count > 0 {
+		d.min = lo
+		if d.min < h.min {
+			d.min = h.min
+		}
+		d.max = hi
+		if d.max > h.max {
+			d.max = h.max
+		}
+		if d.min > d.max {
+			d.min = d.max
+		}
+	}
+	return d
+}
+
 // Dump renders a human-readable bucket listing for debugging, with one line
 // per non-empty bucket.
 func (h *Hist) Dump() string {

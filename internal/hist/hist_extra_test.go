@@ -1,0 +1,124 @@
+package hist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPercentiles checks the percent-scale batch helper: unsorted input is
+// accepted, results come back in input order, and each value matches the
+// corresponding Quantile call.
+func TestPercentiles(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(21))
+	for i := 0; i < 20000; i++ {
+		h.Record(rng.Int63n(5_000_000))
+	}
+	ps := []float64{99, 50, 95, 99.9, 10} // deliberately unsorted
+	got := h.Percentiles(ps)
+	if len(got) != len(ps) {
+		t.Fatalf("len = %d, want %d", len(got), len(ps))
+	}
+	for i, p := range ps {
+		if want := h.Quantile(p / 100); got[i] != want {
+			t.Errorf("Percentiles[%v] = %d, Quantile(%v) = %d", p, got[i], p/100, want)
+		}
+	}
+	// The input slice must not be reordered.
+	want := []float64{99, 50, 95, 99.9, 10}
+	for i := range ps {
+		if ps[i] != want[i] {
+			t.Fatalf("input slice reordered: %v", ps)
+		}
+	}
+	if out := New().Percentiles([]float64{50}); len(out) != 1 || out[0] != 0 {
+		t.Fatalf("empty histogram Percentiles = %v", out)
+	}
+}
+
+// TestMergeShardsThenQuantile simulates the per-thread shard pattern: N
+// shards recording disjoint streams must merge into a histogram whose
+// quantiles equal a single histogram that saw everything.
+func TestMergeShardsThenQuantile(t *testing.T) {
+	const shards = 4
+	whole := New()
+	parts := make([]*Hist, shards)
+	for i := range parts {
+		parts[i] = New()
+	}
+	rng := rand.New(rand.NewSource(33))
+	for i := 0; i < 40000; i++ {
+		v := rng.Int63n(10_000_000)
+		parts[i%shards].Record(v)
+		whole.Record(v)
+	}
+	merged := New()
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Count() != whole.Count() || merged.Sum() != whole.Sum() {
+		t.Fatalf("count/sum mismatch after shard merge")
+	}
+	for _, q := range []float64{0.5, 0.9, 0.95, 0.99, 0.999} {
+		if merged.Quantile(q) != whole.Quantile(q) {
+			t.Errorf("Quantile(%v): merged %d != whole %d", q, merged.Quantile(q), whole.Quantile(q))
+		}
+	}
+}
+
+// TestClone checks that Clone is a deep, independent copy.
+func TestClone(t *testing.T) {
+	h := New()
+	h.Record(100)
+	h.Record(1000)
+	c := h.Clone()
+	if c.Count() != 2 || c.Quantile(0.95) != h.Quantile(0.95) {
+		t.Fatal("clone does not match source")
+	}
+	h.Record(1 << 20)
+	if c.Count() != 2 {
+		t.Fatal("clone shares state with source")
+	}
+	c.Record(5)
+	if h.Count() != 3 {
+		t.Fatal("source affected by clone mutation")
+	}
+}
+
+// TestDelta checks interval extraction: cur.Delta(prev) must contain
+// exactly the samples recorded between the two snapshots.
+func TestDelta(t *testing.T) {
+	h := New()
+	rng := rand.New(rand.NewSource(55))
+	for i := 0; i < 10000; i++ {
+		h.Record(rng.Int63n(1_000_000))
+	}
+	prev := h.Clone()
+
+	interval := New()
+	for i := 0; i < 5000; i++ {
+		v := 2_000_000 + rng.Int63n(1_000_000) // distinct range for clarity
+		h.Record(v)
+		interval.Record(v)
+	}
+	d := h.Clone().Delta(prev)
+	if d.Count() != interval.Count() {
+		t.Fatalf("delta count = %d, want %d", d.Count(), interval.Count())
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if d.Quantile(q) != interval.Quantile(q) {
+			t.Errorf("delta Quantile(%v) = %d, interval %d", q, d.Quantile(q), interval.Quantile(q))
+		}
+	}
+
+	// Delta against nil is the whole histogram.
+	whole := h.Clone().Delta(nil)
+	if whole.Count() != h.Count() {
+		t.Fatalf("Delta(nil) count = %d, want %d", whole.Count(), h.Count())
+	}
+	// Delta with no new samples is empty.
+	same := h.Clone().Delta(h.Clone())
+	if same.Count() != 0 || same.Quantile(0.95) != 0 {
+		t.Fatalf("empty delta not empty: count=%d", same.Count())
+	}
+}

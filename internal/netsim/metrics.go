@@ -1,0 +1,20 @@
+package netsim
+
+import "github.com/reflex-go/reflex/internal/obs"
+
+// RegisterMetrics exposes an endpoint's NIC-port state on a telemetry
+// registry (read-side functions; evaluate from engine context).
+func (e *Endpoint) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.GaugeFunc("net_tx_utilization", "transmit link utilization since start",
+		e.port.TxUtilization, labels...)
+	reg.GaugeFunc("net_rx_utilization", "receive link utilization since start",
+		e.port.RxUtilization, labels...)
+	reg.CounterFunc("net_tx_messages_total", "messages serialized onto the TX link",
+		func() float64 { return float64(e.port.tx.Jobs()) }, labels...)
+	reg.CounterFunc("net_rx_messages_total", "messages serialized off the RX link",
+		func() float64 { return float64(e.port.rx.Jobs()) }, labels...)
+	reg.GaugeFunc("net_tx_backlog_ns", "TX link booking horizon",
+		func() float64 { return float64(e.port.tx.Backlog()) }, labels...)
+	reg.GaugeFunc("net_rx_backlog_ns", "RX link booking horizon",
+		func() float64 { return float64(e.port.rx.Backlog()) }, labels...)
+}

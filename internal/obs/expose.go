@@ -1,0 +1,147 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/reflex-go/reflex/internal/hist"
+)
+
+// quantiles exposed for histogram families, matching the paper's reporting
+// (p95 is the SLO percentile; p50/p99/p999 bracket the tail).
+var exposedQuantiles = []float64{0.50, 0.95, 0.99, 0.999}
+
+// writeLabels renders {k="v",...} including an optional extra pair.
+func writeLabels(b *strings.Builder, ls []Label, extraK, extraV string) {
+	if len(ls) == 0 && extraK == "" {
+		return
+	}
+	b.WriteByte('{')
+	first := true
+	for _, l := range sortedLabels(ls) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(b, "%s=%q", l.Key, l.Value)
+	}
+	if extraK != "" {
+		if !first {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(b, "%s=%q", extraK, extraV)
+	}
+	b.WriteByte('}')
+}
+
+func writeValue(b *strings.Builder, v float64) {
+	if v == float64(int64(v)) {
+		fmt.Fprintf(b, " %d\n", int64(v))
+		return
+	}
+	fmt.Fprintf(b, " %g\n", v)
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (histograms as summaries with quantile children).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	r.visit(func(f *family) {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, c := range f.counters {
+			b.WriteString(f.name)
+			writeLabels(&b, c.labels, "", "")
+			writeValue(&b, c.Value())
+		}
+		for _, g := range f.gauges {
+			b.WriteString(f.name)
+			writeLabels(&b, g.labels, "", "")
+			writeValue(&b, g.Value())
+		}
+		for _, h := range f.hists {
+			h.mu.Lock()
+			qs := h.h.Quantiles(exposedQuantiles)
+			count := h.h.Count()
+			sum := h.h.Sum()
+			h.mu.Unlock()
+			for i, q := range exposedQuantiles {
+				b.WriteString(f.name)
+				writeLabels(&b, h.labels, "quantile", fmt.Sprintf("%g", q))
+				writeValue(&b, float64(qs[i]))
+			}
+			b.WriteString(f.name + "_sum")
+			writeLabels(&b, h.labels, "", "")
+			writeValue(&b, float64(sum))
+			b.WriteString(f.name + "_count")
+			writeLabels(&b, h.labels, "", "")
+			writeValue(&b, float64(count))
+		}
+	})
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// SnapshotMetric is one metric in a JSON snapshot.
+type SnapshotMetric struct {
+	Name   string            `json:"name"`
+	Kind   string            `json:"kind"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+	Hist   *hist.Snapshot    `json:"hist,omitempty"`
+}
+
+// SnapshotDump is the full JSON-able state of a registry at one instant.
+type SnapshotDump struct {
+	// Time is the registry clock in nanoseconds (virtual time for sim
+	// registries, time since start for the real server).
+	Time    int64            `json:"time_ns"`
+	Metrics []SnapshotMetric `json:"metrics"`
+}
+
+func labelMap(ls []Label) map[string]string {
+	if len(ls) == 0 {
+		return nil
+	}
+	m := make(map[string]string, len(ls))
+	for _, l := range ls {
+		m[l.Key] = l.Value
+	}
+	return m
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() SnapshotDump {
+	dump := SnapshotDump{Time: r.Now()}
+	r.visit(func(f *family) {
+		for _, c := range f.counters {
+			dump.Metrics = append(dump.Metrics, SnapshotMetric{
+				Name: f.name, Kind: f.kind.String(), Labels: labelMap(c.labels), Value: c.Value(),
+			})
+		}
+		for _, g := range f.gauges {
+			dump.Metrics = append(dump.Metrics, SnapshotMetric{
+				Name: f.name, Kind: f.kind.String(), Labels: labelMap(g.labels), Value: g.Value(),
+			})
+		}
+		for _, h := range f.hists {
+			s := h.Snapshot()
+			dump.Metrics = append(dump.Metrics, SnapshotMetric{
+				Name: f.name, Kind: f.kind.String(), Labels: labelMap(h.labels),
+				Value: float64(s.Count), Hist: &s,
+			})
+		}
+	})
+	return dump
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -1,0 +1,97 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("reqs_total", "requests served", L("op", "read"))
+	c.Add(12)
+	g := r.Gauge("depth", "queue depth")
+	g.Set(3)
+	h := r.Histogram("lat_ns", "latency", L("op", "read"))
+	for i := int64(1); i <= 1000; i++ {
+		h.Record(i * 1000)
+	}
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP reqs_total requests served",
+		"# TYPE reqs_total counter",
+		`reqs_total{op="read"} 12`,
+		"# TYPE depth gauge",
+		"depth 3",
+		"# TYPE lat_ns summary",
+		`lat_ns{op="read",quantile="0.5"}`,
+		`lat_ns{op="read",quantile="0.95"}`,
+		`lat_ns{op="read",quantile="0.99"}`,
+		`lat_ns{op="read",quantile="0.999"}`,
+		`lat_ns_sum{op="read"}`,
+		`lat_ns_count{op="read"} 1000`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePrometheusSortsLabels(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("multi_total", "", L("zone", "a"), L("app", "x")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `multi_total{app="x",zone="a"} 1`) {
+		t.Fatalf("labels not sorted:\n%s", b.String())
+	}
+}
+
+func TestSnapshotJSON(t *testing.T) {
+	r := NewRegistry()
+	r.SetClock(func() int64 { return 99 })
+	r.Counter("snap_total", "").Add(5)
+	h := r.Histogram("snap_lat_ns", "")
+	h.Record(777)
+
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Time    int64 `json:"time_ns"`
+		Metrics []struct {
+			Name  string  `json:"name"`
+			Kind  string  `json:"kind"`
+			Value float64 `json:"value"`
+			Hist  *struct {
+				Count int64 `json:"Count"`
+			} `json:"hist"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(b.String()), &dump); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if dump.Time != 99 {
+		t.Fatalf("time = %d", dump.Time)
+	}
+	byName := map[string]float64{}
+	kinds := map[string]string{}
+	for _, m := range dump.Metrics {
+		byName[m.Name] = m.Value
+		kinds[m.Name] = m.Kind
+	}
+	if byName["snap_total"] != 5 || kinds["snap_total"] != "counter" {
+		t.Fatalf("snap_total = %v (%s)", byName["snap_total"], kinds["snap_total"])
+	}
+	if kinds["snap_lat_ns"] != "summary" {
+		t.Fatalf("snap_lat_ns kind = %s", kinds["snap_lat_ns"])
+	}
+}

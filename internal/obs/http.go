@@ -1,0 +1,115 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Handler returns the registry's Prometheus text-format scrape handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Mux builds the exposition mux:
+//
+//	/metrics      Prometheus text format
+//	/snapshot     registry JSON snapshot
+//	/slow         top-K slow-request log (text breakdowns)
+//	/traces       recent spans as JSON
+//	/debug/vars   expvar
+//	/debug/pprof  runtime profiling
+//
+// ring may be nil, which disables /slow and /traces.
+func Mux(reg *Registry, ring *Ring) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = reg.WriteJSON(w)
+	})
+	if ring != nil {
+		mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			_ = ring.WriteSlowLog(w)
+		})
+		mux.HandleFunc("/traces", func(w http.ResponseWriter, rq *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			writeRecentJSON(w, ring, 64)
+		})
+	}
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeRecentJSON(w http.ResponseWriter, ring *Ring, n int) {
+	spans := ring.Recent(n)
+	w.Write([]byte("[\n"))
+	for i, sp := range spans {
+		if i > 0 {
+			w.Write([]byte(",\n"))
+		}
+		b, err := sp.MarshalJSON()
+		if err != nil {
+			continue
+		}
+		w.Write(b)
+	}
+	w.Write([]byte("\n]\n"))
+}
+
+// MetricsServer is a live exposition HTTP server.
+type MetricsServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// Serve starts an HTTP server on addr exposing the registry (and
+// optionally a trace ring) via Mux. It returns once the listener is bound;
+// serving proceeds in a background goroutine.
+func Serve(addr string, reg *Registry, ring *Ring) (*MetricsServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: Mux(reg, ring)}}
+	go func() { _ = ms.srv.Serve(ln) }()
+	return ms, nil
+}
+
+// Addr returns the bound listen address.
+func (ms *MetricsServer) Addr() string { return ms.ln.Addr().String() }
+
+// Close stops the exposition server.
+func (ms *MetricsServer) Close() error {
+	ms.mu.Lock()
+	defer ms.mu.Unlock()
+	if ms.closed {
+		return nil
+	}
+	ms.closed = true
+	return ms.srv.Close()
+}
+
+// PublishExpvar publishes the registry snapshot under the given expvar
+// name. Publishing the same name twice panics in expvar, so this is
+// guarded: later calls with a taken name are no-ops.
+func PublishExpvar(name string, reg *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return reg.Snapshot() }))
+}

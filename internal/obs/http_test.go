@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("http_test_total", "").Add(3)
+	ring := NewRing(8, 4)
+	sp := Span{ID: 1, Size: 512}
+	sp.Mark(StageArrival, 100)
+	sp.Mark(StageTx, 600)
+	ring.Push(sp)
+
+	srv := httptest.NewServer(Mux(reg, ring))
+	defer srv.Close()
+
+	get := func(path string) (string, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s", path, resp.Status)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	body, ct := get("/metrics")
+	if !strings.Contains(body, "http_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("/metrics content-type = %q", ct)
+	}
+
+	body, ct = get("/snapshot")
+	if !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("/snapshot content-type = %q", ct)
+	}
+	var dump SnapshotDump
+	if err := json.Unmarshal([]byte(body), &dump); err != nil {
+		t.Errorf("/snapshot invalid JSON: %v", err)
+	}
+
+	body, _ = get("/slow")
+	if !strings.Contains(body, "req=1") {
+		t.Errorf("/slow missing span: %q", body)
+	}
+
+	body, _ = get("/traces")
+	var spans []map[string]any
+	if err := json.Unmarshal([]byte(body), &spans); err != nil {
+		t.Fatalf("/traces invalid JSON: %v\n%s", err, body)
+	}
+	if len(spans) != 1 || spans[0]["id"].(float64) != 1 {
+		t.Errorf("/traces = %v", spans)
+	}
+
+	if body, _ = get("/debug/vars"); !strings.Contains(body, "{") {
+		t.Errorf("/debug/vars = %q", body)
+	}
+	get("/debug/pprof/cmdline")
+}
+
+func TestServeAndClose(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("serve_total", "").Inc()
+	ms, err := Serve("127.0.0.1:0", reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + ms.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "serve_total 1") {
+		t.Fatalf("metrics body = %q", body)
+	}
+	if err := ms.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ms.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+}
+
+func TestPublishExpvarGuard(t *testing.T) {
+	reg := NewRegistry()
+	PublishExpvar("obs_test_guard", reg)
+	PublishExpvar("obs_test_guard", reg) // must not panic
+}

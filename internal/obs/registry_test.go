@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeHistogram(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %v, want 5", c.Value())
+	}
+
+	g := r.Gauge("g", "a gauge")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %v, want 5", g.Value())
+	}
+
+	h := r.Histogram("h_ns", "a histogram")
+	for i := int64(1); i <= 100; i++ {
+		h.Record(i * 1000)
+	}
+	if got := h.Snapshot().Count; got != 100 {
+		t.Fatalf("hist count = %d", got)
+	}
+	if q := h.Quantile(0.5); q < 40_000 || q > 60_000 {
+		t.Fatalf("hist p50 = %d, want ~50us", q)
+	}
+}
+
+func TestReadSideFuncs(t *testing.T) {
+	// CounterFunc/GaugeFunc expose existing single-writer state without a
+	// write path: the closure is evaluated at read time.
+	r := NewRegistry()
+	var backing uint64
+	c := r.CounterFunc("sim_ops_total", "", func() float64 { return float64(backing) })
+	g := r.GaugeFunc("sim_depth", "", func() float64 { return float64(backing) / 2 })
+	backing = 42
+	if c.Value() != 42 || g.Value() != 21 {
+		t.Fatalf("read-side values = %v, %v", c.Value(), g.Value())
+	}
+}
+
+func TestLabelsAndLookup(t *testing.T) {
+	r := NewRegistry()
+	reads := r.Counter("ops_total", "ops", L("op", "read"))
+	writes := r.Counter("ops_total", "", L("op", "write"))
+	reads.Add(3)
+	writes.Add(9)
+	if v, ok := r.LookupValue("ops_total", L("op", "read")); !ok || v != 3 {
+		t.Fatalf("lookup read = %v, %v", v, ok)
+	}
+	if v, ok := r.LookupValue("ops_total", L("op", "write")); !ok || v != 9 {
+		t.Fatalf("lookup write = %v, %v", v, ok)
+	}
+	if _, ok := r.LookupValue("missing"); ok {
+		t.Fatal("lookup of missing metric succeeded")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("x", "")
+}
+
+func TestDuplicatePanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "", L("a", "1"))
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate name+labels did not panic")
+		}
+	}()
+	r.Counter("dup_total", "", L("a", "1"))
+}
+
+func TestClock(t *testing.T) {
+	r := NewRegistry()
+	if r.Now() != 0 {
+		t.Fatal("default clock must report 0")
+	}
+	var now int64 = 12345
+	r.SetClock(func() int64 { return now })
+	if r.Now() != 12345 {
+		t.Fatalf("Now = %d", r.Now())
+	}
+	if snap := r.Snapshot(); snap.Time != 12345 {
+		t.Fatalf("snapshot time = %d", snap.Time)
+	}
+}
+
+// TestHotPathAllocs proves the hot-path operations are allocation-free, as
+// required for the request path (satellite: testing.AllocsPerRun guards).
+func TestHotPathAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("allocs_c_total", "")
+	g := r.Gauge("allocs_g", "")
+	h := r.Histogram("allocs_h_ns", "")
+	h.Record(1) // warm any lazy bucket allocation
+
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Errorf("Counter.Add allocates %v per op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(9) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v per op", n)
+	}
+	var v int64
+	if n := testing.AllocsPerRun(1000, func() { v += 1000; h.Record(v) }); n != 0 {
+		t.Errorf("Histogram.Record allocates %v per op", n)
+	}
+}
+
+// TestConcurrentScrape hammers write handles from many goroutines while
+// scraping Prometheus text and JSON snapshots — the race detector verifies
+// the hot path against the exposition path.
+func TestConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_depth", "")
+	h := r.Histogram("conc_lat_ns", "")
+
+	const workers, iters = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Set(int64(i))
+				h.Record(int64(w*1000 + i))
+			}
+		}(w)
+	}
+	// Scrape concurrently with the writers.
+	for i := 0; i < 50; i++ {
+		var b strings.Builder
+		if err := r.WritePrometheus(&b); err != nil {
+			t.Fatal(err)
+		}
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	if c.Value() != workers*iters {
+		t.Fatalf("counter = %v, want %d", c.Value(), workers*iters)
+	}
+	if got := h.Snapshot().Count; got != workers*iters {
+		t.Fatalf("hist count = %d, want %d", got, workers*iters)
+	}
+}

@@ -1,0 +1,250 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/hist"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// Column is one time-series column: a name and a sampling function
+// evaluated at each tick.
+type Column struct {
+	Name string
+	Fn   func() float64
+}
+
+// Series is a sampled multi-column time series. Safe for concurrent
+// sampling and reading (the real server samples from a ticker goroutine).
+type Series struct {
+	Name string
+
+	mu   sync.Mutex
+	cols []Column
+	// times holds the sample timestamps in nanoseconds.
+	times []int64
+	rows  [][]float64
+}
+
+// NewSeries creates an empty series.
+func NewSeries(name string, cols ...Column) *Series {
+	return &Series{Name: name, cols: cols}
+}
+
+// AddColumn appends a column. Must be called before the first Sample.
+func (s *Series) AddColumn(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.rows) > 0 {
+		panic("obs: AddColumn after sampling started")
+	}
+	s.cols = append(s.cols, Column{Name: name, Fn: fn})
+}
+
+// Sample evaluates every column at time now and appends a row.
+func (s *Series) Sample(now int64) {
+	s.mu.Lock()
+	cols := s.cols
+	s.mu.Unlock()
+	// Evaluate outside the lock: column functions may take other locks.
+	row := make([]float64, len(cols))
+	for i, c := range cols {
+		row[i] = c.Fn()
+	}
+	s.mu.Lock()
+	s.times = append(s.times, now)
+	s.rows = append(s.rows, row)
+	s.mu.Unlock()
+}
+
+// Len returns the number of samples taken.
+func (s *Series) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.rows)
+}
+
+// Columns returns the column names (without the leading time column).
+func (s *Series) Columns() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, len(s.cols))
+	for i, c := range s.cols {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Rows returns copies of the timestamps and sampled rows.
+func (s *Series) Rows() ([]int64, [][]float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	times := append([]int64(nil), s.times...)
+	rows := make([][]float64, len(s.rows))
+	for i, r := range s.rows {
+		rows[i] = append([]float64(nil), r...)
+	}
+	return times, rows
+}
+
+// Column returns one column's samples by name, or false.
+func (s *Series) Column(name string) ([]float64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, c := range s.cols {
+		if c.Name == name {
+			out := make([]float64, len(s.rows))
+			for j, r := range s.rows {
+				out[j] = r[i]
+			}
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// WriteCSV renders the series with a time_us first column.
+func (s *Series) WriteCSV(w io.Writer) error {
+	times, rows := s.Rows()
+	cols := s.Columns()
+	var b strings.Builder
+	b.WriteString("time_us")
+	for _, c := range cols {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for i, row := range rows {
+		fmt.Fprintf(&b, "%d", times[i]/1000)
+		for _, v := range row {
+			if v == float64(int64(v)) {
+				fmt.Fprintf(&b, ",%d", int64(v))
+			} else {
+				fmt.Fprintf(&b, ",%.3f", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteJSON renders the series as {name, columns, times_ns, rows}.
+func (s *Series) WriteJSON(w io.Writer) error {
+	times, rows := s.Rows()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Name    string      `json:"name"`
+		Columns []string    `json:"columns"`
+		TimesNS []int64     `json:"times_ns"`
+		Rows    [][]float64 `json:"rows"`
+	}{s.Name, s.Columns(), times, rows})
+}
+
+// SampleSim schedules periodic sampling of the series on a simulation
+// engine from the current time until the given horizon (inclusive of the
+// first tick one period from now).
+func SampleSim(eng *sim.Engine, s *Series, period, until sim.Time) {
+	if period <= 0 {
+		panic("obs: SampleSim period must be positive")
+	}
+	var tick func()
+	tick = func() {
+		s.Sample(eng.Now())
+		if eng.Now()+period <= until {
+			eng.After(period, tick)
+		}
+	}
+	eng.After(period, tick)
+}
+
+// StartTicker samples the series from a goroutine every period of wall
+// time, timestamping rows with the supplied clock (nanoseconds). The
+// returned stop function halts sampling and takes one final sample.
+func (s *Series) StartTicker(period time.Duration, clock func() int64) (stop func()) {
+	if period <= 0 {
+		period = time.Second
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				s.Sample(clock())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			close(done)
+			wg.Wait()
+			s.Sample(clock())
+		})
+	}
+}
+
+// WindowedQuantile returns a column function that reports the given
+// quantile (microseconds) of the samples recorded into h since the
+// previous tick — interval tail latency rather than cumulative, which is
+// what SLO-compliance series need.
+func WindowedQuantile(h *hist.Hist, q float64) func() float64 {
+	var prev *hist.Hist
+	return func() float64 {
+		cur := h.Clone()
+		d := cur.Delta(prev)
+		prev = cur
+		return float64(d.Quantile(q)) / 1000
+	}
+}
+
+// WindowedHistQuantile is WindowedQuantile over a registry Histogram.
+func WindowedHistQuantile(h *Histogram, q float64) func() float64 {
+	var prev *hist.Hist
+	var mu sync.Mutex
+	return func() float64 {
+		cur := h.Clone()
+		mu.Lock()
+		d := cur.Delta(prev)
+		prev = cur
+		mu.Unlock()
+		return float64(d.Quantile(q)) / 1000
+	}
+}
+
+// WindowedRate returns a column function reporting the per-second rate of
+// a monotonically increasing value since the previous tick, using the
+// given clock for elapsed time.
+func WindowedRate(value func() float64, clock func() int64) func() float64 {
+	var prevV float64
+	var prevT int64
+	var started bool
+	return func() float64 {
+		v, t := value(), clock()
+		if !started {
+			started = true
+			prevV, prevT = v, t
+			return 0
+		}
+		dt := t - prevT
+		dv := v - prevV
+		prevV, prevT = v, t
+		if dt <= 0 {
+			return 0
+		}
+		return dv * float64(sim.Second) / float64(dt)
+	}
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/hist"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+func TestSeriesSampleAndCSV(t *testing.T) {
+	s := NewSeries("test")
+	var x float64
+	s.AddColumn("x", func() float64 { return x })
+	s.AddColumn("twice_x", func() float64 { return 2 * x })
+	for i := 1; i <= 3; i++ {
+		x = float64(i)
+		s.Sample(int64(i) * 1000_000) // 1ms, 2ms, 3ms
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	col, ok := s.Column("twice_x")
+	if !ok || len(col) != 3 || col[2] != 6 {
+		t.Fatalf("twice_x = %v, %v", col, ok)
+	}
+	var b strings.Builder
+	if err := s.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if lines[0] != "time_us,x,twice_x" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != "1000,1,2" || lines[3] != "3000,3,6" {
+		t.Fatalf("rows = %q", lines[1:])
+	}
+}
+
+func TestAddColumnAfterSamplePanics(t *testing.T) {
+	s := NewSeries("test")
+	s.AddColumn("a", func() float64 { return 0 })
+	s.Sample(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("AddColumn after Sample did not panic")
+		}
+	}()
+	s.AddColumn("b", func() float64 { return 0 })
+}
+
+func TestSampleSim(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewSeries("sim")
+	s.AddColumn("now_ms", func() float64 { return float64(eng.Now()) / float64(sim.Millisecond) })
+	SampleSim(eng, s, sim.Millisecond, 10*sim.Millisecond)
+	eng.Run()
+	if s.Len() != 10 {
+		t.Fatalf("samples = %d, want 10", s.Len())
+	}
+	times, rows := s.Rows()
+	for i := range times {
+		if times[i] != int64(i+1)*int64(sim.Millisecond) {
+			t.Fatalf("times[%d] = %d", i, times[i])
+		}
+		if rows[i][0] != float64(i+1) {
+			t.Fatalf("rows[%d] = %v", i, rows[i])
+		}
+	}
+}
+
+func TestStartTickerStop(t *testing.T) {
+	s := NewSeries("wall")
+	s.AddColumn("one", func() float64 { return 1 })
+	stop := s.StartTicker(time.Millisecond, func() int64 { return time.Now().UnixNano() })
+	time.Sleep(20 * time.Millisecond)
+	stop()
+	n := s.Len()
+	if n < 2 {
+		t.Fatalf("expected at least a couple of samples, got %d", n)
+	}
+	stop() // idempotent
+	time.Sleep(5 * time.Millisecond)
+	if s.Len() != n {
+		t.Fatal("sampling continued after stop")
+	}
+}
+
+func TestWindowedQuantile(t *testing.T) {
+	h := hist.New()
+	col := WindowedQuantile(h, 0.95)
+
+	// First window: everything around 100us.
+	for i := 0; i < 1000; i++ {
+		h.Record(100_000)
+	}
+	if v := col(); v < 95 || v > 105 {
+		t.Fatalf("window 1 p95 = %vus, want ~100us", v)
+	}
+	// Second window: a different regime; cumulative would blend the two,
+	// windowed must see only the new samples.
+	for i := 0; i < 1000; i++ {
+		h.Record(1_000_000)
+	}
+	if v := col(); v < 950 || v > 1050 {
+		t.Fatalf("window 2 p95 = %vus, want ~1000us", v)
+	}
+	// Empty window reports zero.
+	if v := col(); v != 0 {
+		t.Fatalf("empty window p95 = %v", v)
+	}
+}
+
+func TestWindowedRate(t *testing.T) {
+	var v float64
+	var now int64
+	rate := WindowedRate(func() float64 { return v }, func() int64 { return now })
+	if got := rate(); got != 0 {
+		t.Fatalf("first tick = %v, want 0", got)
+	}
+	v, now = 500, int64(sim.Second)
+	if got := rate(); got != 500 {
+		t.Fatalf("rate = %v, want 500/s", got)
+	}
+	v, now = 750, int64(sim.Second)+int64(500*sim.Millisecond)
+	if got := rate(); got != 500 {
+		t.Fatalf("rate = %v, want 500/s", got)
+	}
+}

@@ -1,0 +1,231 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Stage is one point in a request's lifecycle. Stages mirror the two-step
+// run-to-completion pipeline (§3.1): reception, protocol parse, QoS
+// admission, device submission, device completion, response transmission.
+type Stage uint8
+
+const (
+	// StageArrival is when the request reached the server (post network).
+	StageArrival Stage = iota
+	// StageParse is when protocol parsing and access control finished.
+	StageParse
+	// StageAdmit is when the QoS scheduler admitted the request (token
+	// grant). The Parse→Admit gap is time spent queued for tokens.
+	StageAdmit
+	// StageSubmit is when the request was submitted to the device.
+	StageSubmit
+	// StageDevDone is when the device completed the I/O.
+	StageDevDone
+	// StageTx is when the response was handed to transmission.
+	StageTx
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"arrival", "parse", "admit", "submit", "devdone", "tx",
+}
+
+// String returns the stage's short name.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("stage%d", int(s))
+}
+
+// Span is one request's lifecycle record. It is embedded by value in
+// server request structs, so recording stamps allocates nothing; the span
+// is copied into the trace ring on completion.
+type Span struct {
+	// ID is a server-assigned request sequence number.
+	ID uint64
+	// Tenant is the owning tenant's ID.
+	Tenant int
+	// Write distinguishes writes from reads.
+	Write bool
+	// Size is the transfer size in bytes.
+	Size int
+	// Stamps holds per-stage timestamps in nanoseconds; zero (except for
+	// a stage legitimately at t=0) means the stage was skipped — e.g.
+	// Admit is unset when QoS is disabled.
+	Stamps [int(numStages)]int64
+}
+
+// Mark records the timestamp for a stage.
+func (sp *Span) Mark(st Stage, now int64) { sp.Stamps[st] = now }
+
+// Total returns the arrival-to-TX latency (0 if incomplete).
+func (sp *Span) Total() int64 {
+	t := sp.Stamps[StageTx] - sp.Stamps[StageArrival]
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// Breakdown renders the per-stage latency decomposition, skipping stages
+// that were not stamped: "total=812us parse=1us sched=640us flash=120us
+// tx=51us".
+func (sp *Span) Breakdown() string {
+	var b strings.Builder
+	op := "read"
+	if sp.Write {
+		op = "write"
+	}
+	fmt.Fprintf(&b, "req=%d tenant=%d op=%s size=%d total=%.1fus",
+		sp.ID, sp.Tenant, op, sp.Size, float64(sp.Total())/1000)
+	prev := sp.Stamps[StageArrival]
+	for st := StageParse; st < numStages; st++ {
+		at := sp.Stamps[st]
+		if at == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, " %s=%.1fus", st, float64(at-prev)/1000)
+		prev = at
+	}
+	return b.String()
+}
+
+// MarshalJSON renders the span with named stage timestamps.
+func (sp Span) MarshalJSON() ([]byte, error) {
+	stamps := make(map[string]int64, int(numStages))
+	for st := StageArrival; st < numStages; st++ {
+		if sp.Stamps[st] != 0 {
+			stamps[st.String()] = sp.Stamps[st]
+		}
+	}
+	op := "read"
+	if sp.Write {
+		op = "write"
+	}
+	return json.Marshal(struct {
+		ID      uint64           `json:"id"`
+		Tenant  int              `json:"tenant"`
+		Op      string           `json:"op"`
+		Size    int              `json:"size"`
+		TotalNS int64            `json:"total_ns"`
+		Stamps  map[string]int64 `json:"stamps_ns"`
+	}{sp.ID, sp.Tenant, op, sp.Size, sp.Total(), stamps})
+}
+
+// Ring is a bounded ring buffer of completed request spans plus a top-K
+// slow-request log ordered by total latency. Safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	buf  []Span
+	next uint64 // total pushes; buf[next%len] is the next slot
+	topK int
+	slow []Span // min-heap on Total()
+}
+
+// NewRing creates a ring holding the most recent capacity spans and the
+// slowest topK spans seen overall.
+func NewRing(capacity, topK int) *Ring {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	if topK <= 0 {
+		topK = 16
+	}
+	return &Ring{buf: make([]Span, capacity), topK: topK}
+}
+
+// Push records a completed span.
+func (r *Ring) Push(sp Span) {
+	r.mu.Lock()
+	r.buf[r.next%uint64(len(r.buf))] = sp
+	r.next++
+	// Maintain the top-K min-heap keyed on total latency.
+	if len(r.slow) < r.topK {
+		r.slow = append(r.slow, sp)
+		r.siftUp(len(r.slow) - 1)
+	} else if sp.Total() > r.slow[0].Total() {
+		r.slow[0] = sp
+		r.siftDown(0)
+	}
+	r.mu.Unlock()
+}
+
+func (r *Ring) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if r.slow[p].Total() <= r.slow[i].Total() {
+			return
+		}
+		r.slow[p], r.slow[i] = r.slow[i], r.slow[p]
+		i = p
+	}
+}
+
+func (r *Ring) siftDown(i int) {
+	n := len(r.slow)
+	for {
+		l, rr := 2*i+1, 2*i+2
+		small := i
+		if l < n && r.slow[l].Total() < r.slow[small].Total() {
+			small = l
+		}
+		if rr < n && r.slow[rr].Total() < r.slow[small].Total() {
+			small = rr
+		}
+		if small == i {
+			return
+		}
+		r.slow[i], r.slow[small] = r.slow[small], r.slow[i]
+		i = small
+	}
+}
+
+// Count returns the total number of spans pushed.
+func (r *Ring) Count() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.next
+}
+
+// Recent returns up to n most recent spans, newest first.
+func (r *Ring) Recent(n int) []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := int(r.next)
+	if have > len(r.buf) {
+		have = len(r.buf)
+	}
+	if n > have {
+		n = have
+	}
+	out := make([]Span, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// Slowest returns the top-K slowest spans, slowest first.
+func (r *Ring) Slowest() []Span {
+	r.mu.Lock()
+	out := append([]Span(nil), r.slow...)
+	r.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Total() > out[j].Total() })
+	return out
+}
+
+// WriteSlowLog renders the slow-request log with one breakdown per line.
+func (r *Ring) WriteSlowLog(w io.Writer) error {
+	var b strings.Builder
+	for i, sp := range r.Slowest() {
+		fmt.Fprintf(&b, "#%d %s\n", i+1, sp.Breakdown())
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func stampedSpan(id uint64, total int64) Span {
+	sp := Span{ID: id, Tenant: 1, Size: 4096}
+	sp.Mark(StageArrival, 1000)
+	sp.Mark(StageParse, 1200)
+	sp.Mark(StageAdmit, 1500)
+	sp.Mark(StageSubmit, 1600)
+	sp.Mark(StageDevDone, 900+total)
+	sp.Mark(StageTx, 1000+total)
+	return sp
+}
+
+func TestSpanTotalAndBreakdown(t *testing.T) {
+	sp := stampedSpan(7, 100_000) // 100us total
+	if sp.Total() != 100_000 {
+		t.Fatalf("Total = %d", sp.Total())
+	}
+	bd := sp.Breakdown()
+	for _, want := range []string{"req=7", "tenant=1", "op=read", "size=4096", "total=100.0us", "parse=", "admit=", "tx="} {
+		if !strings.Contains(bd, want) {
+			t.Errorf("breakdown missing %q: %s", want, bd)
+		}
+	}
+	// Skipped stages (zero stamps) are omitted.
+	var bare Span
+	bare.Mark(StageArrival, 100)
+	bare.Mark(StageTx, 300)
+	if bd := bare.Breakdown(); strings.Contains(bd, "admit=") {
+		t.Errorf("unstamped stage rendered: %s", bd)
+	}
+	if (&Span{}).Total() != 0 {
+		t.Fatal("incomplete span must report 0 total")
+	}
+}
+
+func TestSpanJSON(t *testing.T) {
+	sp := stampedSpan(9, 50_000)
+	sp.Write = true
+	b, err := sp.MarshalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id":9`, `"op":"write"`, `"total_ns":50000`, `"arrival"`} {
+		if !strings.Contains(string(b), want) {
+			t.Errorf("JSON missing %q: %s", want, b)
+		}
+	}
+}
+
+func TestRingRecent(t *testing.T) {
+	r := NewRing(4, 2)
+	for i := uint64(1); i <= 6; i++ {
+		r.Push(stampedSpan(i, int64(i)*1000))
+	}
+	if r.Count() != 6 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	recent := r.Recent(10) // capped at capacity
+	if len(recent) != 4 {
+		t.Fatalf("Recent len = %d", len(recent))
+	}
+	// Newest first: 6, 5, 4, 3.
+	for i, want := range []uint64{6, 5, 4, 3} {
+		if recent[i].ID != want {
+			t.Fatalf("recent[%d].ID = %d, want %d", i, recent[i].ID, want)
+		}
+	}
+}
+
+// TestRingSlowest compares the top-K heap against a brute-force sort over a
+// random push sequence.
+func TestRingSlowest(t *testing.T) {
+	const k = 8
+	r := NewRing(64, k)
+	rng := rand.New(rand.NewSource(17))
+	var totals []int64
+	for i := uint64(1); i <= 500; i++ {
+		total := 1000 + rng.Int63n(10_000_000)
+		totals = append(totals, total)
+		r.Push(stampedSpan(i, total))
+	}
+	sort.Slice(totals, func(i, j int) bool { return totals[i] > totals[j] })
+	slow := r.Slowest()
+	if len(slow) != k {
+		t.Fatalf("Slowest len = %d, want %d", len(slow), k)
+	}
+	for i, sp := range slow {
+		if sp.Total() != totals[i] {
+			t.Fatalf("slow[%d].Total = %d, want %d", i, sp.Total(), totals[i])
+		}
+	}
+}
+
+func TestWriteSlowLog(t *testing.T) {
+	r := NewRing(16, 4)
+	for i := uint64(1); i <= 10; i++ {
+		r.Push(stampedSpan(i, int64(i)*100_000))
+	}
+	var b strings.Builder
+	if err := r.WriteSlowLog(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("slow log lines = %d, want 4", len(lines))
+	}
+	// Slowest first, with per-span breakdowns.
+	if !strings.HasPrefix(lines[0], "#1 req=10") || !strings.Contains(lines[0], "total=1000.0us") {
+		t.Fatalf("line 1 = %q", lines[0])
+	}
+}
+
+func TestStageString(t *testing.T) {
+	if StageAdmit.String() != "admit" || StageTx.String() != "tx" {
+		t.Fatal("stage names wrong")
+	}
+	if Stage(200).String() != "stage200" {
+		t.Fatal("out-of-range stage name wrong")
+	}
+}

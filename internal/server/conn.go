@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -90,6 +91,9 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 			resp.Status = protocol.StatusBadRequest
 		} else {
 			resp.Handle, resp.Status = s.registerTenant(reg)
+			if resp.Status == protocol.StatusOK {
+				s.m.registered.Inc()
+			}
 		}
 		rsp.send(&resp, nil)
 
@@ -101,15 +105,26 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 			Cookie: hdr.Cookie,
 			Status: s.unregisterTenant(hdr.Handle),
 		}
+		if resp.Status == protocol.StatusOK {
+			s.m.removed.Inc()
+		}
 		rsp.send(&resp, nil)
 
 	case protocol.OpRead, protocol.OpWrite:
+		arrival := s.now()
+		if hdr.Opcode == protocol.OpWrite {
+			s.m.writes.Inc()
+		} else {
+			s.m.reads.Inc()
+		}
 		ten, ok := s.lookup(hdr.Handle)
 		if !ok {
+			s.m.rejected.Inc()
 			reject(rsp, &hdr, protocol.StatusNoTenant)
 			return
 		}
 		if st := checkACL(&ten.reg, &hdr, s.devices[ten.device].backend.Size()); st != protocol.StatusOK {
+			s.m.rejected.Inc()
 			reject(rsp, &hdr, st)
 			return
 		}
@@ -117,17 +132,25 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 		if hdr.Opcode == protocol.OpWrite {
 			op = core.OpWrite
 		}
+		ctx := &reqCtx{conn: rsp, ten: ten, hdr: hdr, payload: m.Payload}
+		ctx.span.ID = s.m.seq.Add(1)
+		ctx.span.Tenant = ten.t.ID
+		ctx.span.Write = op == core.OpWrite
+		ctx.span.Size = int(hdr.Count)
+		ctx.span.Mark(obs.StageArrival, arrival)
+		ctx.span.Mark(obs.StageParse, s.now())
 		req := &core.Request{
 			Op:      op,
 			Block:   uint64(hdr.LBA) * protocol.BlockSize / 4096,
 			Size:    int(hdr.Count),
 			Cookie:  hdr.Cookie,
-			Arrival: s.now(),
-			Context: &reqCtx{conn: rsp, ten: ten, hdr: hdr, payload: m.Payload},
+			Arrival: arrival,
+			Context: ctx,
 		}
 		ten.submitIO(s, enqueued{ten: ten, req: req})
 
 	case protocol.OpBarrier:
+		s.m.barriers.Inc()
 		ten, ok := s.lookup(hdr.Handle)
 		if !ok {
 			reject(rsp, &hdr, protocol.StatusNoTenant)

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
+)
+
+// metrics is the real server's telemetry: atomic counters and histograms
+// on the request path (allocation-free, safe across connection reader
+// goroutines and scheduler threads), read-side gauges over atomics and
+// channel lengths, plus the per-request span trace ring.
+//
+// Scheduler and tenant internals are goroutine-confined to their thread,
+// so none of the functions registered here touch them; cross-goroutine
+// stats reads go through atomics only — this is what keeps the stats path
+// race-free under `go test -race`.
+type metrics struct {
+	reg  *obs.Registry
+	ring *obs.Ring
+
+	reads      *obs.Counter
+	writes     *obs.Counter
+	responses  *obs.Counter
+	rejected   *obs.Counter
+	errored    *obs.Counter
+	barriers   *obs.Counter
+	registered *obs.Counter
+	removed    *obs.Counter
+	bytesRead  *obs.Counter
+	bytesWrite *obs.Counter
+
+	readLat  *obs.Histogram
+	writeLat *obs.Histogram
+
+	spans *obs.Counter  // spans recorded into the ring
+	seq   atomic.Uint64 // span ID allocator
+}
+
+func newMetrics(s *Server) *metrics {
+	reg := obs.NewRegistry()
+	reg.SetClock(s.now)
+	m := &metrics{
+		reg:  reg,
+		ring: obs.NewRing(4096, 16),
+	}
+	m.reads = reg.Counter("srv_requests_total", "I/O requests received", obs.L("op", "read"))
+	m.writes = reg.Counter("srv_requests_total", "", obs.L("op", "write"))
+	m.responses = reg.Counter("srv_responses_total", "I/O responses sent")
+	m.rejected = reg.Counter("srv_rejected_total", "requests rejected before scheduling (ACL, bad request)")
+	m.errored = reg.Counter("srv_errors_total", "backend I/O errors")
+	m.barriers = reg.Counter("srv_barriers_total", "barrier operations received")
+	m.registered = reg.Counter("srv_tenants_registered_total", "successful tenant registrations")
+	m.removed = reg.Counter("srv_tenants_unregistered_total", "tenant unregistrations")
+	m.bytesRead = reg.Counter("srv_bytes_total", "payload bytes served", obs.L("op", "read"))
+	m.bytesWrite = reg.Counter("srv_bytes_total", "", obs.L("op", "write"))
+	m.readLat = reg.Histogram("srv_request_latency_ns", "arrival-to-response latency", obs.L("op", "read"))
+	m.writeLat = reg.Histogram("srv_request_latency_ns", "", obs.L("op", "write"))
+	m.spans = reg.Counter("srv_spans_total", "request spans recorded")
+
+	reg.GaugeFunc("srv_tenants", "live tenants", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.tenants))
+	})
+	reg.GaugeFunc("srv_conns", "live TCP connections", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.conns))
+	})
+	for _, th := range s.threads {
+		th := th
+		reg.GaugeFunc("srv_thread_queue_depth", "requests waiting in the thread's channel",
+			func() float64 { return float64(len(th.reqCh)) },
+			obs.L("thread", strconv.Itoa(th.id)))
+	}
+	for _, d := range s.devices {
+		lbl := obs.L("device", strconv.Itoa(d.idx))
+		core.RegisterSharedMetrics(reg, d.shared, lbl)
+		d := d
+		reg.GaugeFunc("srv_device_readonly_mode", "1 when the cost model is in read-only fast mode",
+			func() float64 {
+				if s.readOnlyProbe(d) {
+					return 1
+				}
+				return 0
+			}, lbl)
+	}
+	return m
+}
+
+// Metrics returns the server's telemetry registry. Every exported value is
+// safe to scrape from any goroutine while the server runs.
+func (s *Server) Metrics() *obs.Registry { return s.m.reg }
+
+// TraceRing returns the per-request span ring and slow-request log.
+func (s *Server) TraceRing() *obs.Ring { return s.m.ring }
+
+// StartSampler begins periodic wall-clock sampling of SLO-relevant server
+// state: per-op interval p95, throughput, queue depths and per-device
+// token-bucket levels. The returned stop function halts the ticker (taking
+// one final sample) and returns the series; it is safe to call once.
+func (s *Server) StartSampler(period time.Duration) (*obs.Series, func()) {
+	series := obs.NewSeries("server")
+	series.AddColumn("read_p95_us", obs.WindowedHistQuantile(s.m.readLat, 0.95))
+	series.AddColumn("write_p95_us", obs.WindowedHistQuantile(s.m.writeLat, 0.95))
+	series.AddColumn("iops", obs.WindowedRate(s.m.responses.Value, s.now))
+	series.AddColumn("requests_total", func() float64 {
+		return s.m.reads.Value() + s.m.writes.Value()
+	})
+	for _, th := range s.threads {
+		th := th
+		series.AddColumn("q"+strconv.Itoa(th.id),
+			func() float64 { return float64(len(th.reqCh)) })
+	}
+	for _, d := range s.devices {
+		d := d
+		series.AddColumn("bucket"+strconv.Itoa(d.idx)+"_tokens",
+			func() float64 { return float64(d.shared.Bucket.Tokens()) })
+	}
+	stop := series.StartTicker(period, s.now)
+	return series, stop
+}

@@ -1,0 +1,175 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/obs"
+)
+
+// waitCounter polls an eventually consistent counter (responses and spans
+// are recorded just after the reply is transmitted, so a client can observe
+// completion a hair before the counter moves).
+func waitCounter(t *testing.T, fn func() float64, want float64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if fn() >= want {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("counter stuck at %v, want %v", fn(), want)
+}
+
+// TestPrometheusCountersMatchClient is the acceptance check: run a known
+// number of operations through the client and require the scraped
+// Prometheus text to report exactly those counts.
+func TestPrometheusCountersMatchClient(t *testing.T) {
+	srv, cl := startServer(t, nil)
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const writes, reads = 7, 11
+	buf := make([]byte, 4096)
+	for i := 0; i < writes; i++ {
+		if err := cl.Write(h, uint32(i*8), buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < reads; i++ {
+		if _, err := cl.Read(h, uint32(i*8), 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	reg := srv.Metrics()
+	lookup := func(name string, labels ...obs.Label) float64 {
+		v, ok := reg.LookupValue(name, labels...)
+		if !ok {
+			t.Fatalf("metric %s%v not registered", name, labels)
+		}
+		return v
+	}
+	if got := lookup("srv_requests_total", obs.L("op", "read")); got != reads {
+		t.Errorf("read requests = %v, want %d", got, reads)
+	}
+	if got := lookup("srv_requests_total", obs.L("op", "write")); got != writes {
+		t.Errorf("write requests = %v, want %d", got, writes)
+	}
+	waitCounter(t, func() float64 { return lookup("srv_responses_total") }, writes+reads)
+	if got := lookup("srv_tenants_registered_total"); got != 1 {
+		t.Errorf("registrations = %v", got)
+	}
+	if got := lookup("srv_bytes_total", obs.L("op", "write")); got != writes*4096 {
+		t.Errorf("write bytes = %v", got)
+	}
+
+	// The same numbers must appear in the Prometheus text scrape.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		fmt.Sprintf(`srv_requests_total{op="read"} %d`, reads),
+		fmt.Sprintf(`srv_requests_total{op="write"} %d`, writes),
+		fmt.Sprintf("srv_responses_total %d", writes+reads),
+		`srv_request_latency_ns{op="read",quantile="0.95"}`,
+		"srv_conns 1",
+		"srv_tenants 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}
+
+// TestSlowLogBreakdowns injects device latency and requires the top-K
+// slow-request log to carry per-stage breakdowns dominated by the device.
+func TestSlowLogBreakdowns(t *testing.T) {
+	srv, cl := startServer(t, func(c *Config) {
+		c.ReadLatency = 3 * time.Millisecond
+	})
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const reads = 5
+	for i := 0; i < reads; i++ {
+		if _, err := cl.Read(h, uint32(i*8), 4096); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCounter(t, func() float64 { return float64(srv.TraceRing().Count()) }, reads)
+
+	slow := srv.TraceRing().Slowest()
+	if len(slow) != reads {
+		t.Fatalf("slow log has %d spans, want %d", len(slow), reads)
+	}
+	for _, sp := range slow {
+		if sp.Total() < int64(3*time.Millisecond) {
+			t.Errorf("span %d total %v < injected 3ms", sp.ID, sp.Total())
+		}
+		bd := sp.Breakdown()
+		for _, stage := range []string{"parse=", "admit=", "submit=", "devdone=", "tx="} {
+			if !strings.Contains(bd, stage) {
+				t.Errorf("breakdown missing %s: %s", stage, bd)
+			}
+		}
+	}
+	var b strings.Builder
+	if err := srv.TraceRing().WriteSlowLog(&b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(b.String(), "\n"); lines != reads {
+		t.Errorf("slow log lines = %d, want %d", lines, reads)
+	}
+}
+
+// TestStartSampler exercises the wall-clock SLO sampler end to end.
+func TestStartSampler(t *testing.T) {
+	srv, cl := startServer(t, nil)
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	series, stop := srv.StartSampler(5 * time.Millisecond)
+	for i := 0; i < 20; i++ {
+		if _, err := cl.Read(h, uint32(i*8), 4096); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	stop()
+	if series.Len() < 2 {
+		t.Fatalf("sampler took %d samples", series.Len())
+	}
+	cols := series.Columns()
+	for _, want := range []string{"read_p95_us", "write_p95_us", "iops", "requests_total", "q0", "q1", "bucket0_tokens"} {
+		found := false
+		for _, c := range cols {
+			if c == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("missing sampler column %q (have %v)", want, cols)
+		}
+	}
+	reqs, _ := series.Column("requests_total")
+	if final := reqs[len(reqs)-1]; final != 20 {
+		t.Errorf("final requests_total sample = %v, want 20", final)
+	}
+	var b strings.Builder
+	if err := series.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(b.String(), "time_us,read_p95_us") {
+		t.Errorf("CSV header = %q", strings.SplitN(b.String(), "\n", 2)[0])
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 	"github.com/reflex-go/reflex/internal/storage"
 )
@@ -109,6 +110,9 @@ type Server struct {
 	udp     *net.UDPConn
 	threads []*sthread
 	start   time.Time
+	// m is the unified telemetry layer (internal/obs): wall-clock metrics
+	// registry plus the per-request span trace ring.
+	m *metrics
 
 	mu         sync.Mutex
 	tenants    map[uint16]*stenant
@@ -147,6 +151,9 @@ type reqCtx struct {
 	ten     *stenant
 	hdr     protocol.Header
 	payload []byte
+	// span is the request's lifecycle record; stamped along the pipeline
+	// and pushed into the trace ring when the response is sent.
+	span obs.Span
 }
 
 // New starts a single-device server listening on cfg.Addr over backend,
@@ -209,6 +216,11 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 			th.scheds = append(th.scheds, sched)
 		}
 		s.threads = append(s.threads, th)
+	}
+	// Telemetry wires gauge functions over threads and devices, so it is
+	// built after both exist and before any goroutine can serve a request.
+	s.m = newMetrics(s)
+	for _, th := range s.threads {
 		s.wg.Add(1)
 		go th.loop()
 	}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -77,11 +78,13 @@ func (th *sthread) loop() {
 // overtake it, which is exactly what barriers exist to prevent.
 func (th *sthread) submit(req *core.Request) {
 	ctx := req.Context.(*reqCtx)
+	ctx.span.Mark(obs.StageAdmit, th.srv.now())
 	delay := th.srv.cfg.ReadLatency
 	if ctx.hdr.Opcode == protocol.OpWrite {
 		delay = th.srv.cfg.WriteLatency
 	}
 	dev := th.srv.devices[ctx.ten.device]
+	m := th.srv.m
 	work := func() {
 		resp := protocol.Header{
 			Opcode: ctx.hdr.Opcode,
@@ -98,18 +101,37 @@ func (th *sthread) submit(req *core.Request) {
 			buf := make([]byte, ctx.hdr.Count)
 			if _, err := dev.backend.ReadAt(buf, off); err != nil {
 				resp.Status = protocol.StatusError
+				m.errored.Inc()
 			} else {
 				payload = buf
+				m.bytesRead.Add(uint64(len(buf)))
 			}
 		case protocol.OpWrite:
 			dev.lastWrite.Store(th.srv.now())
 			if _, err := dev.backend.WriteAt(ctx.payload, off); err != nil {
 				resp.Status = protocol.StatusError
+				m.errored.Inc()
+			} else {
+				m.bytesWrite.Add(uint64(ctx.hdr.Count))
 			}
 		}
+		ctx.span.Mark(obs.StageDevDone, th.srv.now())
 		ctx.conn.send(&resp, payload)
+		now := th.srv.now()
+		ctx.span.Mark(obs.StageTx, now)
+		if ctx.hdr.Opcode == protocol.OpWrite {
+			m.writeLat.Record(now - req.Arrival)
+		} else {
+			m.readLat.Record(now - req.Arrival)
+		}
+		m.responses.Inc()
+		m.spans.Inc()
+		m.ring.Push(ctx.span)
 		ctx.ten.ioDone(th.srv)
 	}
+	// Submission happens now; a configured latency models device service
+	// time, so the Submit→DevDone span delta carries it.
+	ctx.span.Mark(obs.StageSubmit, th.srv.now())
 	if delay > 0 {
 		time.AfterFunc(delay, work)
 		return
