@@ -8,6 +8,14 @@
 //
 //	reflex-server -addr :7700 &
 //	reflex-loadgen -addr 127.0.0.1:7700 -rate 50000 -conns 8 -read-pct 90 -duration 10s
+//
+// With -chaos the load generator becomes a soak harness: every load
+// connection dials through a client-side fault injector (drops, stalls,
+// partial I/O, resets), uses request timeouts and transparent reconnect,
+// registers its own best-effort tenant, and classifies every outcome.
+// A latency-critical probe runs alongside to verify LC work is never shed.
+// The soak fails if any request ends unresolved (hung) or the LC probe is
+// ever refused with an overload status.
 package main
 
 import (
@@ -15,6 +23,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -37,7 +46,24 @@ func main() {
 	bestEffort := flag.Bool("best-effort", true, "register a best-effort tenant")
 	iopsSLO := flag.Int("slo-iops", 0, "register a latency-critical tenant with this IOPS SLO")
 	sloLatency := flag.Duration("slo-latency", 500*time.Microsecond, "LC tenant p95 SLO")
+	chaos := flag.Bool("chaos", false, "chaos soak mode: client-side fault injection, per-connection tenants, outcome accounting")
+	chaosSeed := flag.Int64("chaos-seed", 1, "client-side fault-injection seed")
+	reqTimeout := flag.Duration("req-timeout", 2*time.Second, "per-request timeout in chaos mode")
 	flag.Parse()
+
+	if *chaos {
+		os.Exit(runChaos(chaosConfig{
+			addr:    *addr,
+			rate:    *rate,
+			conns:   *conns,
+			readPct: *readPct,
+			size:    *size,
+			span:    *span,
+			dur:     *duration,
+			seed:    *chaosSeed,
+			timeout: *reqTimeout,
+		}))
+	}
 
 	dial := func() *client.Client {
 		var cl *client.Client

@@ -19,6 +19,8 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/ctrl"
+	"github.com/reflex-go/reflex/internal/faults"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/server"
 	"github.com/reflex-go/reflex/internal/storage"
@@ -56,6 +58,10 @@ func main() {
 	metricsAddr := flag.String("metrics-addr", "", "HTTP telemetry address serving /metrics (Prometheus), /snapshot, /slow, /traces, /debug/vars, /debug/pprof (e.g. :9090)")
 	sampleEvery := flag.Duration("sample-interval", time.Second, "SLO time-series sampling period")
 	sampleCSV := flag.String("sample-csv", "", "write the sampled time series to this CSV file on shutdown")
+	chaos := flag.Bool("chaos", false, "inject faults on every accepted connection and on the device path (soak testing)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (reproducible chaos runs)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = default 2m, negative = never)")
+	connLimit := flag.Int("conn-limit", 0, "shed best-effort work while connections exceed this (0 = unlimited)")
 	flag.Parse()
 
 	bytes, err := parseSize(*size)
@@ -72,6 +78,10 @@ func main() {
 		backend = storage.NewMem(bytes)
 	}
 
+	var inj *faults.Injector
+	if *chaos {
+		inj = faults.New(faults.Chaos(*chaosSeed))
+	}
 	srv, err := server.New(server.Config{
 		Addr:    *addr,
 		UDPAddr: *udpAddr,
@@ -85,12 +95,18 @@ func main() {
 		ReadLatency:    *readLat,
 		WriteLatency:   *writeLat,
 		ReadOnlyWindow: 10 * time.Millisecond,
+		IdleTimeout:    *idleTimeout,
+		Faults:         inj,
+		Shed:           ctrl.ShedConfig{ConnLimit: *connLimit},
 	}, backend)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("reflex-server listening on %s (%s device, %d threads, %d tokens/s)",
 		srv.Addr(), *size, *threads, *tokenRate)
+	if inj != nil {
+		log.Printf("chaos mode: fault injection armed (seed %d)", *chaosSeed)
+	}
 	if u := srv.UDPAddr(); u != "" {
 		log.Printf("udp endpoint on %s", u)
 	}

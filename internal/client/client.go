@@ -4,6 +4,14 @@
 // or block layer. Both synchronous and asynchronous (callback-free,
 // net/rpc-style future) interfaces are provided; many requests may be in
 // flight on one connection, matched by cookie.
+//
+// Failure hardening: DialOptions enables per-request timeouts (no call
+// ever hangs forever) and transparent reconnection with bounded
+// exponential backoff. On reconnect the client re-registers its tenants
+// (the server unregisters a dead connection's tenants) and transparently
+// remaps handles, replays idempotent in-flight requests (reads, writes,
+// barriers, stats) and cancels non-idempotent ones (register/unregister)
+// with a typed error.
 package client
 
 import (
@@ -12,8 +20,10 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/reflex-go/reflex/internal/protocol"
 )
@@ -30,8 +40,19 @@ var (
 	ErrNoCapacity = errors.New("reflex: tenant SLO not admissible")
 	// ErrServer is an internal server failure.
 	ErrServer = errors.New("reflex: server error")
+	// ErrDevice means the device failed this I/O; the operation is safe
+	// to retry on the same connection.
+	ErrDevice = errors.New("reflex: device I/O error")
+	// ErrOverloaded means the server shed this best-effort request; back
+	// off and retry.
+	ErrOverloaded = errors.New("reflex: server overloaded, request shed")
+	// ErrTruncated means a datagram transport truncated the request.
+	ErrTruncated = errors.New("reflex: datagram truncated")
 	// ErrClosed means the connection is gone.
 	ErrClosed = errors.New("reflex: connection closed")
+	// ErrTimeout means the per-request timeout expired before a response
+	// arrived (the request may still execute on the server).
+	ErrTimeout = errors.New("reflex: request timed out")
 )
 
 func statusErr(s protocol.Status) error {
@@ -46,6 +67,12 @@ func statusErr(s protocol.Status) error {
 		return ErrDenied
 	case protocol.StatusNoCapacity:
 		return ErrNoCapacity
+	case protocol.StatusDeviceError:
+		return ErrDevice
+	case protocol.StatusOverloaded:
+		return ErrOverloaded
+	case protocol.StatusTruncated:
+		return ErrTruncated
 	default:
 		return ErrServer
 	}
@@ -63,6 +90,25 @@ type Call struct {
 
 	handle uint16
 	status protocol.Status
+
+	// hdr is the request as submitted (user-space handles) and payload
+	// its body, kept for replay after reconnect.
+	hdr     protocol.Header
+	payload []byte
+	timer   *time.Timer
+}
+
+// replayable reports whether the call is safe to re-issue on a fresh
+// connection: reads, writes (idempotent at fixed LBA), barriers and stats
+// are; register/unregister are not (their effects are not idempotent and
+// a lost response loses the handle).
+func (c *Call) replayable() bool {
+	switch c.hdr.Opcode {
+	case protocol.OpRead, protocol.OpWrite, protocol.OpBarrier, protocol.OpStats:
+		return true
+	default:
+		return false
+	}
 }
 
 // transport frames protocol messages over some connection type.
@@ -95,9 +141,9 @@ func (t *tcpTransport) close() error { return t.c.Close() }
 // udpTransport carries one message per datagram (§4.1: TCP is the
 // conservative choice; UDP is the lighter-weight transport the paper
 // anticipates). Datagram transports are lossy in general: a dropped
-// request or response leaves its Call pending forever, so callers on
-// unreliable networks should impose their own deadlines and retries. Only
-// I/Os that fit one datagram are allowed.
+// request or response leaves its Call pending until the per-request
+// timeout fires, so callers on unreliable networks should set
+// Options.Timeout. Only I/Os that fit one datagram are allowed.
 type udpTransport struct {
 	c *net.UDPConn
 }
@@ -128,40 +174,124 @@ func (t *udpTransport) readMessage() (*protocol.Message, error) {
 
 func (t *udpTransport) close() error { return t.c.Close() }
 
+// Options harden a client connection against failures.
+type Options struct {
+	// Timeout bounds every request: a call whose response has not arrived
+	// within Timeout completes with ErrTimeout. 0 disables (a lost
+	// response then leaves the call pending until the connection dies).
+	Timeout time.Duration
+	// Reconnect enables transparent reconnection with bounded exponential
+	// backoff when the connection dies. Tenants registered through this
+	// client are re-registered on the new connection (handles are remapped
+	// internally; callers keep using the handle Register returned), and
+	// in-flight idempotent requests are replayed.
+	Reconnect bool
+	// MaxAttempts bounds dial attempts per outage (default 8).
+	MaxAttempts int
+	// BackoffBase and BackoffMax bound the exponential backoff between
+	// dial attempts (defaults 10ms and 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Dialer optionally replaces net.Dial — chaos harnesses wrap the
+	// returned conn with fault injection.
+	Dialer func() (net.Conn, error)
+}
+
+func (o *Options) fill() {
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 8
+	}
+	if o.BackoffBase <= 0 {
+		o.BackoffBase = 10 * time.Millisecond
+	}
+	if o.BackoffMax <= 0 {
+		o.BackoffMax = time.Second
+	}
+}
+
 // Client is a connection to a ReFlex server. It is safe for concurrent use
 // by multiple goroutines.
 type Client struct {
-	t transport
+	opts Options
+	dial func() (transport, error) // nil: no reconnect (UDP, plain Dial)
 
+	// wmu serializes writes and is held across an entire reconnect, so
+	// senders block (bounded by the backoff budget) instead of writing
+	// into a dead transport.
 	wmu sync.Mutex
 
 	mu      sync.Mutex
+	t       transport
 	pending map[uint64]*Call
-	closed  bool
+	// regs and handleMap implement reconnect handle continuity: regs
+	// remembers every live registration by the user-visible handle (the
+	// one Register returned); handleMap maps it to the server's current
+	// handle for that tenant, which changes across reconnects.
+	regs      map[uint16]protocol.Registration
+	handleMap map[uint16]uint16
+	closed    bool
 
-	cookie atomic.Uint64
+	cookie     atomic.Uint64
+	reconnects atomic.Uint64
+	replayed   atomic.Uint64
 }
 
-// Dial connects to a ReFlex server over TCP.
+func tcpDialer(addr string, o Options) func() (transport, error) {
+	return func() (transport, error) {
+		var c net.Conn
+		var err error
+		if o.Dialer != nil {
+			c, err = o.Dialer()
+		} else {
+			c, err = net.Dial("tcp", addr)
+		}
+		if err != nil {
+			return nil, err
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			// The paper's driver sends each request immediately without
+			// coalescing (§4.2); disable Nagle for the same reason.
+			tc.SetNoDelay(true)
+		}
+		return &tcpTransport{
+			c:  c,
+			br: bufio.NewReaderSize(c, 64<<10),
+			bw: bufio.NewWriterSize(c, 64<<10),
+		}, nil
+	}
+}
+
+// Dial connects to a ReFlex server over TCP with default options (no
+// timeout, no reconnection).
 func Dial(addr string) (*Client, error) {
-	c, err := net.Dial("tcp", addr)
+	return DialOptions(addr, Options{})
+}
+
+// DialOptions connects to a ReFlex server over TCP with failure-hardening
+// options.
+func DialOptions(addr string, o Options) (*Client, error) {
+	o.fill()
+	dial := tcpDialer(addr, o)
+	t, err := dial()
 	if err != nil {
 		return nil, err
 	}
-	if tc, ok := c.(*net.TCPConn); ok {
-		// The paper's driver sends each request immediately without
-		// coalescing (§4.2); disable Nagle for the same reason.
-		tc.SetNoDelay(true)
+	cl := newClient(t, o)
+	if o.Reconnect {
+		cl.dial = dial
 	}
-	return newClient(&tcpTransport{
-		c:  c,
-		br: bufio.NewReaderSize(c, 64<<10),
-		bw: bufio.NewWriterSize(c, 64<<10),
-	}), nil
+	return cl, nil
 }
 
 // DialUDP connects to a ReFlex server's UDP endpoint.
 func DialUDP(addr string) (*Client, error) {
+	return DialUDPOptions(addr, Options{})
+}
+
+// DialUDPOptions connects over UDP with options. Reconnect is ignored
+// (datagram sockets do not die); Timeout is the defense against loss.
+func DialUDPOptions(addr string, o Options) (*Client, error) {
+	o.fill()
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, err
@@ -170,59 +300,270 @@ func DialUDP(addr string) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newClient(&udpTransport{c: c}), nil
+	return newClient(&udpTransport{c: c}, o), nil
 }
 
-func newClient(t transport) *Client {
-	cl := &Client{t: t, pending: make(map[uint64]*Call)}
+func newClient(t transport, o Options) *Client {
+	cl := &Client{
+		opts:      o,
+		t:         t,
+		pending:   make(map[uint64]*Call),
+		regs:      make(map[uint16]protocol.Registration),
+		handleMap: make(map[uint16]uint16),
+	}
 	go cl.readLoop()
 	return cl
 }
 
+// Reconnects returns how many times the client has reconnected.
+func (cl *Client) Reconnects() uint64 { return cl.reconnects.Load() }
+
+// Replayed returns how many in-flight requests were replayed across
+// reconnects.
+func (cl *Client) Replayed() uint64 { return cl.replayed.Load() }
+
 // Close tears the connection down; in-flight calls fail with ErrClosed.
 func (cl *Client) Close() error {
-	return cl.t.close()
+	cl.mu.Lock()
+	cl.closed = true
+	t := cl.t
+	cl.mu.Unlock()
+	if t != nil {
+		return t.close()
+	}
+	return nil
+}
+
+func (cl *Client) isClosed() bool {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.closed
 }
 
 func (cl *Client) readLoop() {
 	for {
-		m, err := cl.t.readMessage()
-		if err != nil {
-			cl.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+		cl.mu.Lock()
+		t := cl.t
+		cl.mu.Unlock()
+		if t == nil {
+			cl.fail(ErrClosed)
 			return
 		}
-		cl.mu.Lock()
-		call := cl.pending[m.Header.Cookie]
-		delete(cl.pending, m.Header.Cookie)
-		cl.mu.Unlock()
-		if call == nil {
-			continue // response to an abandoned call
+		m, err := t.readMessage()
+		if err != nil {
+			if cl.reconnect(err) {
+				continue
+			}
+			return
 		}
-		call.status = m.Header.Status
-		call.handle = m.Header.Handle
-		call.Data = m.Payload
-		call.Err = statusErr(m.Header.Status)
-		close(call.Done)
+		cl.deliver(m)
 	}
 }
 
+// deliver completes the pending call matching a response.
+func (cl *Client) deliver(m *protocol.Message) {
+	cl.mu.Lock()
+	call := cl.pending[m.Header.Cookie]
+	delete(cl.pending, m.Header.Cookie)
+	cl.mu.Unlock()
+	if call == nil {
+		return // response to an abandoned, timed-out or duplicated call
+	}
+	if call.timer != nil {
+		call.timer.Stop()
+	}
+	call.status = m.Header.Status
+	call.handle = m.Header.Handle
+	call.Data = m.Payload
+	call.Err = statusErr(m.Header.Status)
+	close(call.Done)
+}
+
+// expire completes a call with ErrTimeout when its deadline passes.
+func (cl *Client) expire(call *Call) {
+	cl.mu.Lock()
+	cur, ok := cl.pending[call.hdr.Cookie]
+	if !ok || cur != call {
+		cl.mu.Unlock()
+		return // already completed
+	}
+	delete(cl.pending, call.hdr.Cookie)
+	cl.mu.Unlock()
+	call.Err = ErrTimeout
+	close(call.Done)
+}
+
+// drop removes a never-sent call.
+func (cl *Client) drop(call *Call) {
+	cl.mu.Lock()
+	delete(cl.pending, call.hdr.Cookie)
+	cl.mu.Unlock()
+	if call.timer != nil {
+		call.timer.Stop()
+	}
+}
+
+// fail completes every pending call with err and closes the transport.
 func (cl *Client) fail(err error) {
 	cl.mu.Lock()
 	cl.closed = true
 	pending := cl.pending
 	cl.pending = make(map[uint64]*Call)
+	t := cl.t
 	cl.mu.Unlock()
 	for _, call := range pending {
+		if call.timer != nil {
+			call.timer.Stop()
+		}
 		call.Err = err
 		close(call.Done)
 	}
-	cl.t.close()
+	if t != nil {
+		t.close()
+	}
+}
+
+// reconnect re-dials with bounded exponential backoff, re-registers
+// tenants and replays idempotent in-flight requests. It returns true when
+// the read loop should continue on the fresh transport. Senders block on
+// wmu for the duration, bounded by the backoff budget.
+func (cl *Client) reconnect(cause error) bool {
+	if cl.dial == nil || cl.isClosed() {
+		cl.fail(fmt.Errorf("%w: %v", ErrClosed, cause))
+		return false
+	}
+	cl.wmu.Lock()
+	defer cl.wmu.Unlock()
+	cl.mu.Lock()
+	if cl.t != nil {
+		cl.t.close()
+	}
+	cl.mu.Unlock()
+
+	backoff := cl.opts.BackoffBase
+	for attempt := 0; attempt < cl.opts.MaxAttempts; attempt++ {
+		if cl.isClosed() {
+			cl.fail(ErrClosed)
+			return false
+		}
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > cl.opts.BackoffMax {
+				backoff = cl.opts.BackoffMax
+			}
+		}
+		nt, err := cl.dial()
+		if err != nil {
+			continue
+		}
+		if cl.resume(nt) {
+			cl.reconnects.Add(1)
+			return true
+		}
+		nt.close()
+	}
+	cl.fail(fmt.Errorf("%w: reconnect gave up: %v", ErrClosed, cause))
+	return false
+}
+
+// resume re-registers tenants on a fresh transport, rebuilds the handle
+// map, replays replayable in-flight calls and cancels the rest. Called
+// with wmu held by the read loop, which is also the only reader of nt.
+func (cl *Client) resume(nt transport) bool {
+	cl.mu.Lock()
+	users := make([]uint16, 0, len(cl.regs))
+	for h := range cl.regs {
+		users = append(users, h)
+	}
+	cl.mu.Unlock()
+	sort.Slice(users, func(i, j int) bool { return users[i] < users[j] })
+
+	// Re-register each tenant synchronously: writes and reads on nt are
+	// exclusively ours until the read loop resumes.
+	for _, uh := range users {
+		cl.mu.Lock()
+		reg, ok := cl.regs[uh]
+		cl.mu.Unlock()
+		if !ok {
+			continue
+		}
+		hdr := protocol.Header{Opcode: protocol.OpRegister, Cookie: cl.cookie.Add(1)}
+		if err := nt.writeMessage(&hdr, reg.Marshal()); err != nil {
+			return false
+		}
+		m, err := nt.readMessage()
+		if err != nil {
+			return false
+		}
+		cl.mu.Lock()
+		if m.Header.Status == protocol.StatusOK {
+			cl.handleMap[uh] = m.Header.Handle
+		} else {
+			// The server no longer admits this tenant (capacity was
+			// re-allocated). Later calls on the handle get NoTenant.
+			delete(cl.regs, uh)
+			delete(cl.handleMap, uh)
+		}
+		cl.mu.Unlock()
+	}
+
+	// Partition in-flight calls: replay the idempotent ones, cancel the
+	// rest with a typed error.
+	cl.mu.Lock()
+	calls := make([]*Call, 0, len(cl.pending))
+	for _, c := range cl.pending {
+		calls = append(calls, c)
+	}
+	sort.Slice(calls, func(i, j int) bool { return calls[i].hdr.Cookie < calls[j].hdr.Cookie })
+	var cancel []*Call
+	replay := calls[:0]
+	for _, c := range calls {
+		if c.replayable() {
+			replay = append(replay, c)
+		} else {
+			delete(cl.pending, c.hdr.Cookie)
+			cancel = append(cancel, c)
+		}
+	}
+	cl.mu.Unlock()
+	for _, c := range cancel {
+		if c.timer != nil {
+			c.timer.Stop()
+		}
+		c.Err = fmt.Errorf("%w: connection reset during reconnect", ErrClosed)
+		close(c.Done)
+	}
+	for _, c := range replay {
+		w := c.hdr
+		w.Handle = cl.mapHandle(c.hdr.Handle)
+		if err := nt.writeMessage(&w, c.payload); err != nil {
+			return false
+		}
+		cl.replayed.Add(1)
+	}
+
+	cl.mu.Lock()
+	cl.t = nt
+	cl.mu.Unlock()
+	return true
+}
+
+// mapHandle translates a user-visible handle to the server's current one.
+func (cl *Client) mapHandle(h uint16) uint16 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if sh, ok := cl.handleMap[h]; ok {
+		return sh
+	}
+	return h
 }
 
 // send registers the call and writes the request.
 func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
-	call := &Call{Done: make(chan struct{})}
+	call := &Call{Done: make(chan struct{}), payload: payload}
 	hdr.Cookie = cl.cookie.Add(1)
+	call.hdr = *hdr
 
 	cl.mu.Lock()
 	if cl.closed {
@@ -230,18 +571,33 @@ func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
 		return nil, ErrClosed
 	}
 	cl.pending[hdr.Cookie] = call
+	if cl.opts.Timeout > 0 {
+		call.timer = time.AfterFunc(cl.opts.Timeout, func() { cl.expire(call) })
+	}
 	cl.mu.Unlock()
 
+	w := *hdr
+	w.Handle = cl.mapHandle(hdr.Handle)
 	cl.wmu.Lock()
-	err := cl.t.writeMessage(hdr, payload)
+	t := cl.t
+	var err error
+	if t == nil {
+		err = ErrClosed
+	} else {
+		err = t.writeMessage(&w, payload)
+	}
 	cl.wmu.Unlock()
 	if err != nil {
-		cl.mu.Lock()
-		delete(cl.pending, hdr.Cookie)
-		cl.mu.Unlock()
 		if errors.Is(err, ErrBadRequest) {
+			cl.drop(call)
 			return nil, err // transport-level size limit, not a dead link
 		}
+		if cl.dial != nil && !cl.isClosed() && call.replayable() {
+			// The read loop will detect the dead transport and replay
+			// this call after reconnecting; the caller just waits.
+			return call, nil
+		}
+		cl.drop(call)
 		return nil, fmt.Errorf("%w: %v", ErrClosed, err)
 	}
 	return call, nil
@@ -252,7 +608,9 @@ func (cl *Client) wait(call *Call) error {
 	return call.Err
 }
 
-// Register registers a tenant and returns its handle.
+// Register registers a tenant and returns its handle. The handle stays
+// valid across reconnects: the client re-registers the tenant and remaps
+// internally.
 func (cl *Client) Register(reg protocol.Registration) (uint16, error) {
 	call, err := cl.send(&protocol.Header{Opcode: protocol.OpRegister}, reg.Marshal())
 	if err != nil {
@@ -261,7 +619,12 @@ func (cl *Client) Register(reg protocol.Registration) (uint16, error) {
 	if err := cl.wait(call); err != nil {
 		return 0, err
 	}
-	return call.handle, nil
+	h := call.handle
+	cl.mu.Lock()
+	cl.regs[h] = reg
+	cl.handleMap[h] = h
+	cl.mu.Unlock()
+	return h, nil
 }
 
 // Unregister removes a tenant.
@@ -270,7 +633,14 @@ func (cl *Client) Unregister(handle uint16) error {
 	if err != nil {
 		return err
 	}
-	return cl.wait(call)
+	err = cl.wait(call)
+	if err == nil {
+		cl.mu.Lock()
+		delete(cl.regs, handle)
+		delete(cl.handleMap, handle)
+		cl.mu.Unlock()
+	}
+	return err
 }
 
 // GoRead starts an asynchronous read of n bytes at lba (512-byte units).

@@ -1,0 +1,234 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// TestRequestTimeout: a request whose response never arrives completes
+// with ErrTimeout after Options.Timeout — and the connection itself stays
+// usable for later calls (a lost response is not a dead transport).
+func TestRequestTimeout(t *testing.T) {
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		if m.Header.Opcode == protocol.OpRead {
+			return // swallow: the response is "lost in the network"
+		}
+		echoHandler(m, reply)
+	})
+	cl, err := DialOptions(addr, Options{Timeout: 100 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(protocol.Registration{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now()
+	_, err = cl.Read(h, 0, 512)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("swallowed read: %v, want ErrTimeout", err)
+	}
+	if d := time.Since(t0); d < 90*time.Millisecond || d > 5*time.Second {
+		t.Fatalf("timeout fired after %v, want ~100ms", d)
+	}
+	// The transport survives: control traffic still flows.
+	if err := cl.Barrier(h); err != nil {
+		t.Fatalf("connection dead after a request timeout: %v", err)
+	}
+}
+
+// remapServer is a server whose first connection assigns one handle and
+// then drops dead mid-read; every later connection assigns a different
+// handle. It exercises the full reconnect path: re-register, handle
+// remap, replay.
+type remapServer struct {
+	ln    net.Listener
+	conns atomic.Int64
+}
+
+const (
+	remapHandleFirst  = 100
+	remapHandleSecond = 200
+)
+
+func startRemapServer(t *testing.T) *remapServer {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := &remapServer{ln: ln}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			n := rs.conns.Add(1)
+			go rs.serve(c, n)
+		}
+	}()
+	return rs
+}
+
+func (rs *remapServer) serve(c net.Conn, n int64) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	handle := uint16(remapHandleSecond)
+	if n == 1 {
+		handle = remapHandleFirst
+	}
+	for {
+		m, err := protocol.ReadMessage(br)
+		if err != nil {
+			return
+		}
+		hdr := protocol.Header{
+			Opcode: m.Header.Opcode,
+			Flags:  protocol.FlagResponse,
+			Cookie: m.Header.Cookie,
+		}
+		switch m.Header.Opcode {
+		case protocol.OpRegister:
+			hdr.Handle = handle
+			protocol.WriteMessage(c, &hdr, nil)
+		case protocol.OpRead:
+			if n == 1 {
+				return // die mid-request: the client must reconnect
+			}
+			if m.Header.Handle != handle {
+				// A replay that was not remapped would still carry the
+				// first connection's handle — refuse it loudly.
+				hdr.Status = protocol.StatusNoTenant
+				protocol.WriteMessage(c, &hdr, nil)
+				continue
+			}
+			hdr.Count = m.Header.Count
+			protocol.WriteMessage(c, &hdr, bytes.Repeat([]byte{0xAB}, int(m.Header.Count)))
+		default:
+			protocol.WriteMessage(c, &hdr, nil)
+		}
+	}
+}
+
+// TestReconnectRemapsHandlesAndReplays: the server dies mid-read and comes
+// back assigning a different handle. The client must reconnect with
+// backoff, re-register its tenants, remap the user-visible handle to the
+// new server handle, and replay the in-flight read — which then succeeds
+// transparently. The caller keeps using the original handle throughout.
+func TestReconnectRemapsHandlesAndReplays(t *testing.T) {
+	rs := startRemapServer(t)
+	cl, err := DialOptions(rs.ln.Addr().String(), Options{
+		Reconnect:   true,
+		BackoffBase: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	h, err := cl.Register(protocol.Registration{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h != remapHandleFirst {
+		t.Fatalf("first handle = %d, want %d", h, remapHandleFirst)
+	}
+
+	// This read hits connection 1, which dies. The reconnect machinery
+	// must resolve it against connection 2 without caller involvement.
+	data, err := cl.Read(h, 0, 512)
+	if err != nil {
+		t.Fatalf("read across server death: %v", err)
+	}
+	if len(data) != 512 || data[0] != 0xAB {
+		t.Fatalf("replayed read returned wrong payload (%d bytes)", len(data))
+	}
+	if got := cl.Reconnects(); got != 1 {
+		t.Fatalf("Reconnects() = %d, want 1", got)
+	}
+	if got := cl.Replayed(); got < 1 {
+		t.Fatalf("Replayed() = %d, want >= 1", got)
+	}
+
+	// Handle continuity: the original user handle keeps working on the
+	// new connection (it maps to the second server handle internally).
+	if _, err := cl.Read(h, 8, 512); err != nil {
+		t.Fatalf("read on remapped handle: %v", err)
+	}
+}
+
+// TestReconnectGivesUpBounded: when the server never comes back, the
+// reconnect loop stops after MaxAttempts and fails pending calls with
+// ErrClosed — it must not retry forever.
+func TestReconnectGivesUpBounded(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var accepted sync.WaitGroup
+	accepted.Add(1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Serve exactly one register, then vanish for good.
+		br := bufio.NewReader(c)
+		m, err := protocol.ReadMessage(br)
+		if err == nil && m.Header.Opcode == protocol.OpRegister {
+			protocol.WriteMessage(c, &protocol.Header{
+				Opcode: protocol.OpRegister,
+				Flags:  protocol.FlagResponse,
+				Handle: 7,
+				Cookie: m.Header.Cookie,
+			}, nil)
+		}
+		protocol.ReadMessage(br) // wait for the next request…
+		c.Close()                // …then drop dead
+		ln.Close()               // and take the listener with us
+		accepted.Done()
+	}()
+
+	cl, err := DialOptions(ln.Addr().String(), Options{
+		Reconnect:   true,
+		MaxAttempts: 3,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(protocol.Registration{Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t0 := time.Now()
+	_, err = cl.Read(h, 0, 512)
+	accepted.Wait()
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("read against a gone server: %v, want ErrClosed", err)
+	}
+	// 3 attempts with 1ms..5ms backoff: failure must be prompt, proving
+	// the loop is bounded rather than infinite.
+	if d := time.Since(t0); d > 10*time.Second {
+		t.Fatalf("reconnect gave up after %v — backoff not bounded", d)
+	}
+	// Later calls fail fast on the closed client.
+	if _, err := cl.Read(h, 0, 512); !errors.Is(err, ErrClosed) {
+		t.Fatalf("read after give-up: %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,79 @@
+package ctrl
+
+import (
+	"sync/atomic"
+
+	"github.com/reflex-go/reflex/internal/core"
+)
+
+// Shedder is the graceful load-shed signal shared by the real server and
+// the simulated dataplane: it turns overload indicators (scheduler queue
+// depth, token debt, connection count) into a boolean "refuse new
+// best-effort work" decision with hysteresis, so shedding does not
+// flap around the threshold. Latency-critical tenants are never shed —
+// their admission control already guaranteed them capacity (§3.2.2); the
+// shedder only protects that guarantee by refusing best-effort work that
+// would push the scheduler into unbounded debt.
+//
+// Observe is safe for concurrent use: state is a single atomic. The
+// decision is intentionally conservative — any single indicator over its
+// high watermark activates shedding; shedding deactivates only when all
+// indicators are back under their low watermarks.
+type Shedder struct {
+	cfg    ShedConfig
+	active atomic.Bool
+}
+
+// ShedConfig bounds the overload indicators. Zero-valued limits disable
+// that indicator.
+type ShedConfig struct {
+	// QueueHigh activates shedding when the observed scheduler backlog
+	// (queued requests) crosses it; QueueLow deactivates when the backlog
+	// falls back below it. QueueLow defaults to QueueHigh/2.
+	QueueHigh int
+	QueueLow  int
+	// ConnLimit activates shedding while the connection count exceeds it.
+	ConnLimit int
+	// DebtHigh activates shedding when aggregate scheduler token debt
+	// (sum of negative tenant balances, in millitokens) exceeds it;
+	// DebtLow deactivates below it. DebtLow defaults to DebtHigh/2.
+	DebtHigh core.Tokens
+	DebtLow  core.Tokens
+}
+
+// NewShedder creates a shedder, filling hysteresis low watermarks.
+func NewShedder(cfg ShedConfig) *Shedder {
+	if cfg.QueueLow <= 0 {
+		cfg.QueueLow = cfg.QueueHigh / 2
+	}
+	if cfg.DebtLow <= 0 {
+		cfg.DebtLow = cfg.DebtHigh / 2
+	}
+	return &Shedder{cfg: cfg}
+}
+
+// Observe feeds the current overload indicators and returns whether
+// best-effort work should be shed right now.
+func (s *Shedder) Observe(queueDepth, conns int, debt core.Tokens) bool {
+	over := (s.cfg.QueueHigh > 0 && queueDepth > s.cfg.QueueHigh) ||
+		(s.cfg.ConnLimit > 0 && conns > s.cfg.ConnLimit) ||
+		(s.cfg.DebtHigh > 0 && debt > s.cfg.DebtHigh)
+	if over {
+		s.active.Store(true)
+		return true
+	}
+	if s.active.Load() {
+		under := (s.cfg.QueueHigh == 0 || queueDepth <= s.cfg.QueueLow) &&
+			(s.cfg.ConnLimit == 0 || conns <= s.cfg.ConnLimit) &&
+			(s.cfg.DebtHigh == 0 || debt <= s.cfg.DebtLow)
+		if under {
+			s.active.Store(false)
+			return false
+		}
+		return true
+	}
+	return false
+}
+
+// Active returns the current shed state without feeding a sample.
+func (s *Shedder) Active() bool { return s.active.Load() }

@@ -110,8 +110,8 @@ func (c *Conn) respond(r *ioRequest) {
 	r.span.Mark(obs.StageTx, c.srv.eng.Now())
 	c.srv.ring.Push(r.span)
 	wire := RespHeaderBytes
-	if r.op == core.OpRead {
-		wire += r.size
+	if r.op == core.OpRead && !r.shed {
+		wire += r.size // shed responses carry no payload
 	}
 	c.srv.endpoint.Send(c.client, wire, func(at sim.Time) {
 		start := c.issued[r]

@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/ctrl"
 	"github.com/reflex-go/reflex/internal/flashsim"
 	"github.com/reflex-go/reflex/internal/netsim"
 	"github.com/reflex-go/reflex/internal/obs"
@@ -76,6 +77,14 @@ type Config struct {
 	// instead of overlapping it with other requests. Requires DisableQoS
 	// (it exists only for the two-step ablation).
 	BlockingModel bool
+
+	// Shed configures graceful load shedding (internal/ctrl): when a
+	// thread's scheduler backlog, connection count or aggregate token debt
+	// crosses the configured high watermark, best-effort requests are
+	// answered immediately with a shed response instead of queueing
+	// without bound. Latency-critical requests are never shed. The zero
+	// value disables shedding.
+	Shed ctrl.ShedConfig
 }
 
 // DefaultConfig returns the calibrated ReFlex dataplane profile: ~1.18us of
@@ -126,6 +135,11 @@ type Server struct {
 	conns    map[*Conn]struct{}
 	nextConn uint64
 
+	// shedder is the graceful-overload signal (nil when Config.Shed is
+	// zero). Threads feed it their backlog each pass and consult it at
+	// parse time for best-effort requests.
+	shedder *ctrl.Shedder
+
 	// reg/ring are the unified telemetry layer (internal/obs): a
 	// virtual-time metrics registry over every layer's stats and the
 	// per-request span trace ring. reqSeq numbers spans.
@@ -168,6 +182,9 @@ func NewServerOn(eng *sim.Engine, net *netsim.Network, endpoint *netsim.Endpoint
 		model:    ModelForDevice(dev.Spec()),
 		cfg:      cfg,
 		shared:   core.NewSharedState(cfg.Threads, cfg.TokenRate),
+	}
+	if cfg.Shed != (ctrl.ShedConfig{}) {
+		s.shedder = ctrl.NewShedder(cfg.Shed)
 	}
 	for i := 0; i < cfg.Threads; i++ {
 		th := &thread{
@@ -309,6 +326,7 @@ type Stats struct {
 	MaxBatch   int
 	SchedRuns  uint64
 	TickPasses uint64
+	Shed       uint64
 }
 
 // Stats returns aggregate server counters.
@@ -319,9 +337,16 @@ func (s *Server) Stats() Stats {
 		st.Batches += th.batches
 		st.SchedRuns += th.sched.Rounds()
 		st.TickPasses += th.ticks
+		st.Shed += th.shed
 		if th.maxBatch > st.MaxBatch {
 			st.MaxBatch = th.maxBatch
 		}
 	}
 	return st
+}
+
+// ShedActive reports whether the graceful-overload signal is currently
+// refusing best-effort work.
+func (s *Server) ShedActive() bool {
+	return s.shedder != nil && s.shedder.Active()
 }

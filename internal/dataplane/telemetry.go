@@ -36,6 +36,8 @@ func (s *Server) initTelemetry() {
 			func() float64 { return float64(th.batches) }, lbl)
 		reg.CounterFunc("dp_tick_passes_total", "scheduler ticks fired for token accrual",
 			func() float64 { return float64(th.ticks) }, lbl)
+		reg.CounterFunc("requests_shed", "best-effort requests refused under overload (LC is never shed)",
+			func() float64 { return float64(th.shed) }, lbl)
 		reg.GaugeFunc("dp_max_batch", "largest receive batch observed (cap 64)",
 			func() float64 { return float64(th.maxBatch) }, lbl)
 		reg.GaugeFunc("dp_conns", "connections bound to the thread",

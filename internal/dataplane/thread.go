@@ -13,6 +13,10 @@ type ioRequest struct {
 	op   core.OpType
 	blk  uint64
 	size int
+	// shed marks a request refused by the graceful-overload signal: it is
+	// answered immediately (header only, no payload) without touching the
+	// scheduler or the device.
+	shed bool
 	// span is the request's lifecycle record (embedded by value: stamping
 	// stages allocates nothing). It is copied into the server's trace ring
 	// when the response is transmitted.
@@ -45,6 +49,26 @@ type thread struct {
 	batches  uint64
 	maxBatch int
 	ticks    uint64
+	shed     uint64
+}
+
+// debt sums the thread's tenants' negative token balances — the overload
+// indicator the shedder watches (a growing aggregate debt means admission
+// is outrunning token generation).
+func (th *thread) debt() core.Tokens {
+	var d core.Tokens
+	lc, be := th.sched.Tenants()
+	for _, t := range lc {
+		if b := t.Tokens(); b < 0 {
+			d -= b
+		}
+	}
+	for _, t := range be {
+		if b := t.Tokens(); b < 0 {
+			d -= b
+		}
+	}
+	return d
 }
 
 // cpuFactor inflates per-request CPU cost with connection count, modeling
@@ -99,6 +123,12 @@ func (th *thread) pass() {
 		return
 	}
 
+	// Feed the graceful-overload signal once per pass (hysteresis lives in
+	// the shedder, so per-pass sampling cannot flap it).
+	if sh := th.srv.shedder; sh != nil {
+		sh.Observe(th.sched.Pending()+len(th.rxQ), th.conns, th.debt())
+	}
+
 	// Step 1: network receive -> tenant queues.
 	nrx := len(th.rxQ)
 	if nrx > cfg.MaxBatch {
@@ -119,6 +149,18 @@ func (th *thread) pass() {
 			th.core.Schedule(cost(cfg.RxCost), func(sim.Time) {
 				th.requests++
 				r.span.Mark(obs.StageParse, th.srv.eng.Now())
+				if sh := th.srv.shedder; sh != nil && sh.Active() &&
+					r.conn.tenant.Class == core.BestEffort {
+					// Graceful shed: refuse the best-effort request with an
+					// immediate header-only response. LC requests are never
+					// shed — admission control reserved their capacity.
+					r.shed = true
+					th.shed++
+					th.core.Schedule(cost(cfg.TxCost), func(sim.Time) {
+						r.conn.respond(r)
+					})
+					return
+				}
 				if cfg.DisableQoS {
 					if cfg.BlockingModel {
 						// Park until the single outstanding Flash slot

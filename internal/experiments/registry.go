@@ -33,6 +33,7 @@ func Registry() map[string]Runner {
 
 		"ext-rightsizing": ExtRightsizing,
 		"ext-100gbe":      ExtProjection,
+		"ext-faults":      ExtFaults,
 
 		"ablation-batching":  AblationBatching,
 		"ablation-twostep":   AblationTwoStep,

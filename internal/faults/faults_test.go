@@ -1,0 +1,242 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"os"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// TestNilInjectorInjectsNothing: every method must be callable on a nil
+// *Injector — call sites carry no guards.
+func TestNilInjectorInjectsNothing(t *testing.T) {
+	var in *Injector
+	if in.DeviceError() {
+		t.Fatal("nil injector injected a device error")
+	}
+	if d := in.DeviceStall(); d != 0 {
+		t.Fatalf("nil injector stalled %v", d)
+	}
+	if d := in.DeviceStallSim(); d != 0 {
+		t.Fatalf("nil injector sim-stalled %v", d)
+	}
+	if drop, dup, delay := in.MessageFate(); drop || dup || delay != 0 {
+		t.Fatalf("nil injector decided a message fate: %v %v %v", drop, dup, delay)
+	}
+	if in.Injected() != 0 || in.Count(KindDrop) != 0 {
+		t.Fatal("nil injector counted faults")
+	}
+	in.SetObserver(func(string) {})
+	if cfg := in.Config(); cfg != (Config{}) {
+		t.Fatalf("nil injector config: %+v", cfg)
+	}
+}
+
+// TestDeterministicFromSeed: two injectors with the same seed make the
+// same decision sequence; a different seed diverges.
+func TestDeterministicFromSeed(t *testing.T) {
+	cfg := Config{Seed: 42, DeviceErrProb: 0.3, MsgLossProb: 0.2, MsgDupProb: 0.2}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 500; i++ {
+		if a.DeviceError() != b.DeviceError() {
+			t.Fatalf("decision %d diverged under the same seed", i)
+		}
+		ad, au, _ := a.MessageFate()
+		bd, bu, _ := b.MessageFate()
+		if ad != bd || au != bu {
+			t.Fatalf("message fate %d diverged under the same seed", i)
+		}
+	}
+	if a.Injected() != b.Injected() {
+		t.Fatalf("counts diverged: %d vs %d", a.Injected(), b.Injected())
+	}
+	if a.Injected() == 0 {
+		t.Fatal("expected some injections at these probabilities")
+	}
+	var diverged bool
+	d := New(Config{Seed: 42, DeviceErrProb: 0.3})
+	e := New(Config{Seed: 1042, DeviceErrProb: 0.3})
+	for i := 0; i < 500; i++ {
+		if d.DeviceError() != e.DeviceError() {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical decision sequences")
+	}
+}
+
+// TestCountsAndObserver: per-kind counts and the observer both see every
+// injected fault; jitter is background noise and never counted.
+func TestCountsAndObserver(t *testing.T) {
+	in := New(Config{Seed: 7, DeviceErrProb: 1})
+	var observed int
+	in.SetObserver(func(kind string) {
+		if kind != KindDeviceErr {
+			t.Fatalf("observer got kind %q", kind)
+		}
+		observed++
+	})
+	for i := 0; i < 10; i++ {
+		if !in.DeviceError() {
+			t.Fatal("p=1 device error did not fire")
+		}
+	}
+	if in.Injected() != 10 || in.Count(KindDeviceErr) != 10 || observed != 10 {
+		t.Fatalf("counts: total %d kind %d observed %d, want 10/10/10",
+			in.Injected(), in.Count(KindDeviceErr), observed)
+	}
+}
+
+// TestDeviceStallBounded: stalls are in [dur/2, dur).
+func TestDeviceStallBounded(t *testing.T) {
+	in := New(Config{Seed: 1, DeviceStallProb: 1, DeviceStallDur: 10 * time.Millisecond})
+	for i := 0; i < 50; i++ {
+		d := in.DeviceStall()
+		if d < 5*time.Millisecond || d >= 10*time.Millisecond+time.Millisecond {
+			t.Fatalf("stall %v outside [5ms, ~10ms]", d)
+		}
+	}
+}
+
+// TestMessageFateDropWins: at p(loss)=1 a message is dropped and never
+// also duplicated or delayed.
+func TestMessageFateDropWins(t *testing.T) {
+	in := New(Config{Seed: 3, MsgLossProb: 1, MsgDupProb: 1, MsgDelayProb: 1, MsgDelayMax: sim.Millisecond})
+	drop, dup, delay := in.MessageFate()
+	if !drop || dup || delay != 0 {
+		t.Fatalf("fate = %v %v %v, want drop only", drop, dup, delay)
+	}
+}
+
+// pipeConns returns a connected TCP pair so deadline semantics are real.
+func pipeConns(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		server, err = ln.Accept()
+	}()
+	client, cerr := net.Dial("tcp", ln.Addr().String())
+	<-done
+	if cerr != nil || err != nil {
+		t.Fatalf("dial %v accept %v", cerr, err)
+	}
+	t.Cleanup(func() { client.Close(); server.Close() })
+	return client, server
+}
+
+// TestWrapConnNil: a nil injector must return the conn unchanged.
+func TestWrapConnNil(t *testing.T) {
+	c, _ := pipeConns(t)
+	if WrapConn(c, nil) != c {
+		t.Fatal("nil injector wrapped the conn")
+	}
+}
+
+// TestConnPartialWrite: with p(partial)=1, writes are short — the raw
+// material for bufio flush errors on the server path.
+func TestConnPartialWrite(t *testing.T) {
+	c, s := pipeConns(t)
+	fc := WrapConn(c, New(Config{Seed: 5, PartialProb: 1}))
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			if _, err := s.Read(buf); err != nil {
+				return
+			}
+		}
+	}()
+	n, err := fc.Write(make([]byte, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= 64 {
+		t.Fatalf("wrote %d bytes, want a short write", n)
+	}
+}
+
+// TestConnReset: with p(reset)=1, the first operation fails with
+// net.ErrClosed and the connection is gone.
+func TestConnReset(t *testing.T) {
+	c, _ := pipeConns(t)
+	fc := WrapConn(c, New(Config{Seed: 5, ResetProb: 1}))
+	if _, err := fc.Write([]byte("x")); !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("write on reset conn: %v, want net.ErrClosed", err)
+	}
+	if _, err := fc.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read on reset conn succeeded")
+	}
+}
+
+// TestConnBlackholeHonorsDeadline: a dropped (half-open) connection's
+// reads hang and then surface os.ErrDeadlineExceeded — exactly what the
+// server's idle reaper needs to observe.
+func TestConnBlackholeHonorsDeadline(t *testing.T) {
+	c, s := pipeConns(t)
+	fc := WrapConn(c, New(Config{Seed: 5, DropProb: 1}))
+	fc.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	// The peer writes, but the blackhole swallows delivery client-side.
+	s.Write([]byte("hello"))
+	t0 := time.Now()
+	_, err := fc.Read(make([]byte, 16))
+	if !errors.Is(err, os.ErrDeadlineExceeded) {
+		t.Fatalf("blackholed read: %v, want deadline exceeded", err)
+	}
+	if d := time.Since(t0); d < 40*time.Millisecond {
+		t.Fatalf("deadline fired after %v, want ~50ms", d)
+	}
+	// Writes vanish rather than erroring: a half-open peer ACKs nothing
+	// but the local stack accepts the bytes.
+	if n, err := fc.Write([]byte("gone")); err != nil || n != 4 {
+		t.Fatalf("blackholed write: n=%d err=%v", n, err)
+	}
+	// Close unblocks a reader with no deadline.
+	fc.SetReadDeadline(time.Time{})
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := fc.Read(make([]byte, 1))
+		errCh <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	fc.Close()
+	select {
+	case err := <-errCh:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("read after close: %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("blackholed read not unblocked by Close")
+	}
+}
+
+// TestListenerWraps: accepted connections carry injection.
+func TestListenerWraps(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl := WrapListener(ln, New(Config{Seed: 9, ResetProb: 1}))
+	defer fl.Close()
+	go net.Dial("tcp", ln.Addr().String())
+	c, err := fl.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, ok := c.(*Conn); !ok {
+		t.Fatalf("accepted conn is %T, want *faults.Conn", c)
+	}
+	if WrapListener(ln, nil) != ln {
+		t.Fatal("nil injector wrapped the listener")
+	}
+}

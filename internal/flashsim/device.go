@@ -25,6 +25,7 @@ package flashsim
 import (
 	"fmt"
 
+	"github.com/reflex-go/reflex/internal/faults"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -61,8 +62,15 @@ type Request struct {
 	// OnComplete fires in engine context when the device completes the I/O
 	// (for writes: when the write is acknowledged from the DRAM buffer).
 	OnComplete func(completeAt sim.Time)
+	// OnError fires instead of OnComplete when a fault injector fails the
+	// request (media error / controller reset pulse). When nil, injected
+	// errors fall back to OnComplete so legacy callers never hang.
+	OnError func(at sim.Time)
 
 	submitAt sim.Time
+	// extra is injected per-request stall (timeout pulse), added to the
+	// host-visible completion latency.
+	extra sim.Time
 }
 
 // Pages returns the number of device pages the request touches.
@@ -177,6 +185,10 @@ type Stats struct {
 	ReadPages  uint64
 	WritePages uint64
 	Erases     uint64
+	// Errors counts requests failed by the fault injector.
+	Errors uint64
+	// Stalls counts requests delayed by an injected timeout pulse.
+	Stalls uint64
 }
 
 // Device is a simulated NVMe Flash device.
@@ -191,7 +203,13 @@ type Device struct {
 	// performed, summed across channels (drives write backpressure).
 	pendingProg sim.Time
 	stats       Stats
+	// inj optionally injects per-request I/O errors and timeout pulses.
+	inj *faults.Injector
 }
+
+// SetFaults installs a fault injector: per-request I/O errors (OnError)
+// and timeout pulses (extra completion latency). Pass nil to disable.
+func (d *Device) SetFaults(in *faults.Injector) { d.inj = in }
 
 // New creates a device from spec. It panics on an invalid spec; device
 // specs are program constants, not user input.
@@ -247,6 +265,28 @@ func (d *Device) channelOf(block uint64) *sim.Resource {
 // Submit issues a request. The completion callback fires in engine context.
 func (d *Device) Submit(r *Request) {
 	r.submitAt = d.eng.Now()
+	if d.inj.DeviceError() {
+		// Injected media error / controller reset: fail after the
+		// unloaded access latency (errors are not free), without touching
+		// channel state.
+		d.stats.Errors++
+		lat := d.spec.ReadArray
+		if r.Op == OpWrite {
+			lat = d.spec.WriteBuffer
+		}
+		cb := r.OnError
+		if cb == nil {
+			cb = r.OnComplete
+		}
+		if cb != nil {
+			d.eng.After(lat, func() { cb(d.eng.Now()) })
+		}
+		return
+	}
+	if extra := d.inj.DeviceStallSim(); extra > 0 {
+		d.stats.Stalls++
+		r.extra = extra
+	}
 	switch r.Op {
 	case OpRead:
 		d.submitRead(r)
@@ -283,6 +323,7 @@ func (d *Device) submitRead(r *Request) {
 			last = doneAt
 		}
 	}
+	last += r.extra // injected timeout pulse
 	if r.OnComplete != nil {
 		d.eng.At(last, func() { r.OnComplete(last) })
 	}
@@ -296,7 +337,7 @@ func (d *Device) submitWrite(r *Request) {
 
 	// Host-visible completion: DRAM buffer, plus backpressure once the
 	// buffered program backlog exceeds the buffer's slack.
-	lat := d.spec.WriteBuffer
+	lat := d.spec.WriteBuffer + r.extra // extra: injected timeout pulse
 	if d.spec.WriteBufferJitterMean > 0 {
 		lat += d.rng.Exp(d.spec.WriteBufferJitterMean)
 	}

@@ -1,0 +1,72 @@
+package flashsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/faults"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// TestFaultsDeviceError: with p(err)=1 every request fails through
+// OnError (or OnComplete when no error callback is set), after the
+// unloaded access latency — errors are not free.
+func TestFaultsDeviceError(t *testing.T) {
+	eng := sim.NewEngine()
+	d := New(eng, DeviceA(), 1)
+	d.SetFaults(faults.New(faults.Config{Seed: 1, DeviceErrProb: 1}))
+	var failed, completed int
+	var at sim.Time
+	eng.At(0, func() {
+		d.Submit(&Request{
+			Op: OpRead, Block: 0, Size: 4096,
+			OnComplete: func(sim.Time) { completed++ },
+			OnError:    func(t2 sim.Time) { failed++; at = t2 },
+		})
+		// No OnError: the failure must still resolve via OnComplete so no
+		// caller ever hangs.
+		d.Submit(&Request{
+			Op: OpWrite, Block: 8, Size: 4096,
+			OnComplete: func(sim.Time) { completed++ },
+		})
+	})
+	eng.Run()
+	if failed != 1 || completed != 1 {
+		t.Fatalf("failed=%d completed=%d, want 1/1", failed, completed)
+	}
+	if at == 0 {
+		t.Fatal("error completion must take nonzero service time")
+	}
+	if st := d.Stats(); st.Errors != 2 {
+		t.Fatalf("Stats.Errors = %d, want 2", st.Errors)
+	}
+}
+
+// TestFaultsDeviceStall: an injected timeout pulse delays completion
+// beyond the fault-free latency but the request still completes.
+func TestFaultsDeviceStall(t *testing.T) {
+	run := func(in *faults.Injector) sim.Time {
+		eng := sim.NewEngine()
+		d := New(eng, DeviceA(), 1)
+		d.SetFaults(in)
+		var at sim.Time
+		eng.At(0, func() {
+			d.Submit(&Request{
+				Op: OpRead, Block: 0, Size: 4096,
+				OnComplete: func(t2 sim.Time) { at = t2 },
+			})
+		})
+		eng.Run()
+		return at
+	}
+	clean := run(nil)
+	stalled := run(faults.New(faults.Config{
+		Seed: 1, DeviceStallProb: 1, DeviceStallDur: 5 * time.Millisecond,
+	}))
+	if clean == 0 || stalled == 0 {
+		t.Fatal("request did not complete")
+	}
+	if stalled <= clean {
+		t.Fatalf("stalled completion %d not after clean completion %d", stalled, clean)
+	}
+}

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/faults"
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// TestFaultsMessageLoss: with p(loss)=1 every transfer burns TX
+// serialization but never delivers.
+func TestFaultsMessageLoss(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: 0, LinkBytesPerSec: 1_000_000_000})
+	n.SetFaults(faults.New(faults.Config{Seed: 1, MsgLossProb: 1}))
+	a, b := n.NewPort("a"), n.NewPort("b")
+	delivered := 0
+	eng.At(0, func() {
+		for i := 0; i < 10; i++ {
+			n.Transfer(a, b, 4000, func(sim.Time) { delivered++ })
+		}
+	})
+	eng.Run()
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages through a total-loss fabric", delivered)
+	}
+	if a.tx.BusyTime() == 0 {
+		t.Fatal("lost messages must still occupy the sender's TX link")
+	}
+}
+
+// TestFaultsMessageDup: with p(dup)=1 every transfer delivers twice.
+func TestFaultsMessageDup(t *testing.T) {
+	eng := sim.NewEngine()
+	n := New(eng, Config{WireLatency: 0, LinkBytesPerSec: 1_000_000_000})
+	n.SetFaults(faults.New(faults.Config{Seed: 1, MsgDupProb: 1}))
+	a, b := n.NewPort("a"), n.NewPort("b")
+	delivered := 0
+	eng.At(0, func() {
+		for i := 0; i < 5; i++ {
+			n.Transfer(a, b, 1000, func(sim.Time) { delivered++ })
+		}
+	})
+	eng.Run()
+	if delivered != 10 {
+		t.Fatalf("delivered %d, want 10 (every message duplicated)", delivered)
+	}
+}
+
+// TestFaultsMessageDelay: injected delay pushes delivery past the
+// fault-free arrival time.
+func TestFaultsMessageDelay(t *testing.T) {
+	baseline := func(in *faults.Injector) sim.Time {
+		eng := sim.NewEngine()
+		n := New(eng, Config{WireLatency: 10 * sim.Microsecond, LinkBytesPerSec: 1_000_000_000})
+		n.SetFaults(in)
+		a, b := n.NewPort("a"), n.NewPort("b")
+		var at sim.Time
+		eng.At(0, func() {
+			n.Transfer(a, b, 1000, func(t2 sim.Time) { at = t2 })
+		})
+		eng.Run()
+		return at
+	}
+	clean := baseline(nil)
+	delayed := baseline(faults.New(faults.Config{
+		Seed: 1, MsgDelayProb: 1, MsgDelayMax: 100 * sim.Microsecond,
+	}))
+	if delayed <= clean {
+		t.Fatalf("delayed delivery %d not after clean delivery %d", delayed, clean)
+	}
+}

@@ -14,6 +14,7 @@ package netsim
 import (
 	"fmt"
 
+	"github.com/reflex-go/reflex/internal/faults"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -54,7 +55,14 @@ func HundredGbE() Config {
 type Network struct {
 	eng *sim.Engine
 	cfg Config
+	inj *faults.Injector
 }
+
+// SetFaults installs a fault injector on the fabric: every message
+// transfer consults it for loss, duplication and extra delay. Pass nil to
+// disable. The injector's PRNG draws happen in engine context, so runs
+// stay deterministic for a given seed.
+func (n *Network) SetFaults(in *faults.Injector) { n.inj = in }
 
 // New creates a network. It panics on a non-positive line rate; fabric
 // configs are program constants.
@@ -108,9 +116,29 @@ func (n *Network) Transfer(src, dst *Port, size int, deliver func(at sim.Time)) 
 	if src == nil || dst == nil {
 		panic("netsim: Transfer with nil port")
 	}
+	if n.inj != nil {
+		drop, dup, delay := n.inj.MessageFate()
+		if drop {
+			// The message still burns the sender's TX serialization time;
+			// it just never arrives (lost in the fabric).
+			src.tx.Schedule(n.serialization(size), nil)
+			return
+		}
+		if dup {
+			n.transfer1(src, dst, size, 0, deliver)
+		}
+		n.transfer1(src, dst, size, delay, deliver)
+		return
+	}
+	n.transfer1(src, dst, size, 0, deliver)
+}
+
+// transfer1 performs one fault-free transfer with an optional extra
+// fabric delay.
+func (n *Network) transfer1(src, dst *Port, size int, extra sim.Time, deliver func(at sim.Time)) {
 	ser := n.serialization(size)
 	src.tx.Schedule(ser, func(sim.Time) {
-		n.eng.After(n.cfg.WireLatency, func() {
+		n.eng.After(n.cfg.WireLatency+extra, func() {
 			dst.rx.Schedule(ser, func(at sim.Time) {
 				if deliver != nil {
 					deliver(at)

@@ -98,6 +98,17 @@ const (
 	StatusNoCapacity Status = 4
 	// StatusError is an internal server error.
 	StatusError Status = 5
+	// StatusDeviceError means the device failed this I/O (media error,
+	// controller reset, injected fault). The tenant and connection stay
+	// registered; the operation is safe to retry.
+	StatusDeviceError Status = 6
+	// StatusOverloaded means the server shed this best-effort request
+	// under load (admission refuse); retry after backing off.
+	// Latency-critical tenants are never shed.
+	StatusOverloaded Status = 7
+	// StatusTruncated means a datagram transport truncated the request
+	// (it exceeded the receive buffer); resend over TCP or smaller.
+	StatusTruncated Status = 8
 )
 
 // String names the status.
@@ -115,6 +126,12 @@ func (s Status) String() string {
 		return "no-capacity"
 	case StatusError:
 		return "error"
+	case StatusDeviceError:
+		return "device-error"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusTruncated:
+		return "truncated"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}

@@ -12,6 +12,12 @@ import (
 //
 // The sequencer keeps a FIFO that is only populated while a barrier is
 // pending, so the unordered fast path costs one mutex acquisition.
+//
+// Failure handling: when a tenant dies mid-barrier (client disconnect,
+// idle reap, explicit unregister), kill drains the FIFO — held I/Os and
+// pending barriers are dropped, and later submissions are refused — so no
+// waiter is ever stuck on a dead tenant. Surviving tenants have
+// independent sequencers and are unaffected.
 
 // seqItem is either a held I/O (io != nil) or a pending barrier.
 type seqItem struct {
@@ -21,23 +27,34 @@ type seqItem struct {
 }
 
 // submitIO routes an I/O through the tenant's ordering sequencer: straight
-// to the scheduler thread when no barrier is pending, held otherwise.
-func (st *stenant) submitIO(s *Server, e enqueued) {
+// to the scheduler thread when no barrier is pending, held otherwise. It
+// reports false when the tenant is already torn down.
+func (st *stenant) submitIO(s *Server, e enqueued) bool {
 	st.mu.Lock()
+	if st.dead {
+		st.mu.Unlock()
+		return false
+	}
 	if len(st.seq) > 0 {
 		st.seq = append(st.seq, seqItem{io: &e})
 		st.mu.Unlock()
-		return
+		return true
 	}
 	st.outstanding++
 	st.mu.Unlock()
 	s.threads[st.thread].enqueue(e)
+	return true
 }
 
 // submitBarrier registers a barrier; it completes immediately when the
-// tenant has nothing in flight.
-func (st *stenant) submitBarrier(conn responder, hdr protocol.Header) {
+// tenant has nothing in flight. It reports false when the tenant is
+// already torn down.
+func (st *stenant) submitBarrier(conn responder, hdr protocol.Header) bool {
 	st.mu.Lock()
+	if st.dead {
+		st.mu.Unlock()
+		return false
+	}
 	if st.outstanding == 0 && len(st.seq) == 0 {
 		st.mu.Unlock()
 		conn.send(&protocol.Header{
@@ -46,10 +63,37 @@ func (st *stenant) submitBarrier(conn responder, hdr protocol.Header) {
 			Handle: hdr.Handle,
 			Cookie: hdr.Cookie,
 		}, nil)
-		return
+		return true
 	}
 	st.seq = append(st.seq, seqItem{bconn: conn, bhdr: hdr})
 	st.mu.Unlock()
+	return true
+}
+
+// kill tears the sequencer down: pending barriers are answered with
+// StatusNoTenant (their submitter may be a different live connection) and
+// held I/Os are dropped. Subsequent submissions are refused. Idempotent.
+func (st *stenant) kill() {
+	st.mu.Lock()
+	if st.dead {
+		st.mu.Unlock()
+		return
+	}
+	st.dead = true
+	seq := st.seq
+	st.seq = nil
+	st.mu.Unlock()
+	for _, it := range seq {
+		if it.io == nil && it.bconn != nil {
+			it.bconn.send(&protocol.Header{
+				Opcode: protocol.OpBarrier,
+				Flags:  protocol.FlagResponse,
+				Handle: it.bhdr.Handle,
+				Cookie: it.bhdr.Cookie,
+				Status: protocol.StatusNoTenant,
+			}, nil)
+		}
+	}
 }
 
 // ioDone retires one in-flight I/O and pumps the sequencer: barriers at

@@ -2,7 +2,11 @@ package server
 
 import (
 	"bufio"
+	"errors"
+	"net"
+	"os"
 	"sync"
+	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/obs"
@@ -22,6 +26,14 @@ type srvConn struct {
 
 	wmu sync.Mutex
 	bw  *bufio.Writer
+
+	// owned tracks tenant handles registered over this connection; they
+	// are unregistered when the connection tears down, so a dead peer no
+	// longer leaks its registrations (and their token reservations).
+	omu   sync.Mutex
+	owned map[uint16]struct{}
+
+	downOnce sync.Once
 }
 
 // netConn is the subset of net.Conn the server uses (test seam).
@@ -29,22 +41,31 @@ type netConn interface {
 	Read(p []byte) (int, error)
 	Write(p []byte) (int, error)
 	Close() error
+	SetReadDeadline(t time.Time) error
+	SetWriteDeadline(t time.Time) error
 }
 
 // send writes one response message. Responses may originate from scheduler
 // threads and timer goroutines concurrently, so writes are serialized.
+// A write or flush failure means the client can no longer be served:
+// the connection tears down fully — closed, deregistered, its tenants
+// unregistered and their unspent tokens returned to the scheduler —
+// instead of lingering half-dead.
 func (sc *srvConn) send(hdr *protocol.Header, payload []byte) {
 	sc.wmu.Lock()
-	defer sc.wmu.Unlock()
 	if sc.bw == nil {
 		sc.bw = bufio.NewWriterSize(writerOnly{sc.c}, 64<<10)
 	}
-	if err := protocol.WriteMessage(sc.bw, hdr, payload); err != nil {
-		sc.c.Close()
-		return
+	if wt := sc.srv.cfg.WriteTimeout; wt > 0 {
+		sc.c.SetWriteDeadline(time.Now().Add(wt))
 	}
-	if err := sc.bw.Flush(); err != nil {
-		sc.c.Close()
+	err := protocol.WriteMessage(sc.bw, hdr, payload)
+	if err == nil {
+		err = sc.bw.Flush()
+	}
+	sc.wmu.Unlock()
+	if err != nil {
+		sc.teardown(false)
 	}
 }
 
@@ -52,19 +73,95 @@ type writerOnly struct{ c netConn }
 
 func (w writerOnly) Write(p []byte) (int, error) { return w.c.Write(p) }
 
-// readLoop decodes requests until the connection dies.
-func (sc *srvConn) readLoop() {
-	defer func() {
+// teardown closes the connection, removes it from the server's conn set
+// and unregisters every tenant registered over it (dropping held
+// sequencer work and returning unspent token reservations to the
+// scheduler). Idempotent: send-side flush failures and the read loop's
+// exit may both arrive here.
+func (sc *srvConn) teardown(reaped bool) {
+	sc.downOnce.Do(func() {
 		sc.c.Close()
 		sc.srv.mu.Lock()
 		delete(sc.srv.conns, sc)
 		sc.srv.mu.Unlock()
+		if reaped {
+			sc.srv.m.reaped.Inc()
+		}
+		sc.omu.Lock()
+		owned := make([]uint16, 0, len(sc.owned))
+		for h := range sc.owned {
+			owned = append(owned, h)
+		}
+		sc.owned = nil
+		sc.omu.Unlock()
+		if len(owned) == 0 {
+			return
+		}
+		// Unregister off this goroutine: teardown can run on a scheduler
+		// thread (flush failure inside a response callback), and
+		// unregistration round-trips through that same thread's command
+		// channel. The goroutine never blocks indefinitely — thread
+		// commands select on server shutdown.
+		srv := sc.srv
+		go func() {
+			for _, h := range owned {
+				if srv.unregisterTenant(h) == protocol.StatusOK {
+					srv.m.removed.Inc()
+				}
+			}
+		}()
+	})
+}
+
+// addOwned records a tenant registered over this connection. If the
+// connection already tore down (the registration raced teardown), the
+// tenant is unregistered immediately instead of leaking.
+func (sc *srvConn) addOwned(h uint16) {
+	sc.omu.Lock()
+	if sc.owned != nil {
+		sc.owned[h] = struct{}{}
+		sc.omu.Unlock()
+		return
+	}
+	sc.omu.Unlock()
+	sc.srv.unregisterTenant(h)
+}
+
+// dropOwned forgets a tenant explicitly unregistered by the client.
+func (sc *srvConn) dropOwned(h uint16) {
+	sc.omu.Lock()
+	delete(sc.owned, h)
+	sc.omu.Unlock()
+}
+
+// isTimeout reports whether err is a deadline expiry.
+func isTimeout(err error) bool {
+	if errors.Is(err, os.ErrDeadlineExceeded) {
+		return true
+	}
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// readLoop decodes requests until the connection dies. The read deadline
+// is re-armed before every message, so a half-open peer (one that will
+// never send again) is reaped after IdleTimeout instead of pinning a
+// goroutine and its tenant registrations forever.
+func (sc *srvConn) readLoop() {
+	reaped := false
+	defer func() {
+		sc.teardown(reaped)
 		sc.srv.wg.Done()
 	}()
+	idle := sc.srv.cfg.IdleTimeout
 	br := bufio.NewReaderSize(sc.c, 64<<10)
 	for {
+		if idle > 0 {
+			sc.c.SetReadDeadline(time.Now().Add(idle))
+		}
 		m, err := protocol.ReadMessage(br)
 		if err != nil {
+			reaped = isTimeout(err)
 			return
 		}
 		sc.srv.dispatch(sc, m)
@@ -93,6 +190,9 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 			resp.Handle, resp.Status = s.registerTenant(reg)
 			if resp.Status == protocol.StatusOK {
 				s.m.registered.Inc()
+				if sc, ok := rsp.(*srvConn); ok {
+					sc.addOwned(resp.Handle)
+				}
 			}
 		}
 		rsp.send(&resp, nil)
@@ -107,6 +207,9 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 		}
 		if resp.Status == protocol.StatusOK {
 			s.m.removed.Inc()
+			if sc, ok := rsp.(*srvConn); ok {
+				sc.dropOwned(hdr.Handle)
+			}
 		}
 		rsp.send(&resp, nil)
 
@@ -121,6 +224,14 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 		if !ok {
 			s.m.rejected.Inc()
 			reject(rsp, &hdr, protocol.StatusNoTenant)
+			return
+		}
+		// Graceful shed: refuse best-effort work under overload instead
+		// of letting readers block on a saturated scheduler queue. LC
+		// tenants are never shed.
+		if s.shedNow(ten) {
+			s.m.shed.Inc()
+			reject(rsp, &hdr, protocol.StatusOverloaded)
 			return
 		}
 		if st := checkACL(&ten.reg, &hdr, s.devices[ten.device].backend.Size()); st != protocol.StatusOK {
@@ -147,7 +258,10 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 			Arrival: arrival,
 			Context: ctx,
 		}
-		ten.submitIO(s, enqueued{ten: ten, req: req})
+		if !ten.submitIO(s, enqueued{ten: ten, req: req}) {
+			s.m.rejected.Inc()
+			reject(rsp, &hdr, protocol.StatusNoTenant)
+		}
 
 	case protocol.OpBarrier:
 		s.m.barriers.Inc()
@@ -156,7 +270,9 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 			reject(rsp, &hdr, protocol.StatusNoTenant)
 			return
 		}
-		ten.submitBarrier(rsp, hdr)
+		if !ten.submitBarrier(rsp, hdr) {
+			reject(rsp, &hdr, protocol.StatusNoTenant)
+		}
 
 	case protocol.OpStats:
 		ten, ok := s.lookup(hdr.Handle)

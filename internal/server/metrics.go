@@ -38,6 +38,11 @@ type metrics struct {
 
 	spans *obs.Counter  // spans recorded into the ring
 	seq   atomic.Uint64 // span ID allocator
+
+	// Failure-hardening counters (the chaos-soak acceptance trio).
+	faults *obs.Counter // faults injected by the configured injector
+	shed   *obs.Counter // best-effort requests refused under overload
+	reaped *obs.Counter // connections reaped on idle timeout
 }
 
 func newMetrics(s *Server) *metrics {
@@ -60,6 +65,14 @@ func newMetrics(s *Server) *metrics {
 	m.readLat = reg.Histogram("srv_request_latency_ns", "arrival-to-response latency", obs.L("op", "read"))
 	m.writeLat = reg.Histogram("srv_request_latency_ns", "", obs.L("op", "write"))
 	m.spans = reg.Counter("srv_spans_total", "request spans recorded")
+	if inj := s.cfg.Faults; inj != nil {
+		m.faults = reg.CounterFunc("faults_injected", "faults injected by the chaos injector",
+			func() float64 { return float64(inj.Injected()) })
+	} else {
+		m.faults = reg.Counter("faults_injected", "faults injected by the chaos injector")
+	}
+	m.shed = reg.Counter("requests_shed", "best-effort requests refused under overload (LC is never shed)")
+	m.reaped = reg.Counter("conns_reaped", "connections reaped on idle timeout")
 
 	reg.GaugeFunc("srv_tenants", "live tenants", func() float64 {
 		s.mu.Lock()

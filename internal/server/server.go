@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/ctrl"
+	"github.com/reflex-go/reflex/internal/faults"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 	"github.com/reflex-go/reflex/internal/storage"
@@ -76,7 +78,40 @@ type Config struct {
 	Model          core.CostModel
 	TokenRate      core.Tokens
 	ReadOnlyWindow time.Duration
+
+	// IdleTimeout reaps TCP connections with no inbound traffic: the
+	// reader's deadline is re-armed before every message, so a half-open
+	// peer can no longer leak a goroutine and its tenant registrations
+	// forever. 0 selects the 2-minute default; negative disables reaping.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds each response write; a peer that stops reading
+	// tears the connection down instead of wedging a scheduler callback.
+	// 0 selects the 10-second default; negative disables the deadline.
+	WriteTimeout time.Duration
+
+	// Faults optionally injects faults on the real path: accepted
+	// connections are wrapped (drops/stalls/partial I/O/resets/jitter)
+	// and the device path injects per-request I/O errors and timeout
+	// pulses. Injections surface as the faults_injected metric.
+	Faults *faults.Injector
+
+	// Shed configures graceful load shedding: when the scheduler backlog,
+	// aggregate token debt or connection count crosses its limit, new
+	// best-effort I/O is refused with StatusOverloaded. Latency-critical
+	// tenants are never shed. Zero-valued fields pick defaults (queue
+	// high watermark at 3/4 of the thread queue); set ShedDisabled to
+	// turn shedding off entirely.
+	Shed         ctrl.ShedConfig
+	ShedDisabled bool
 }
+
+// Default failure-hardening parameters.
+const (
+	// DefaultIdleTimeout reaps connections idle longer than this.
+	DefaultIdleTimeout = 2 * time.Minute
+	// DefaultWriteTimeout bounds one response write.
+	DefaultWriteTimeout = 10 * time.Second
+)
 
 func (c *Config) fill() error {
 	if c.Threads <= 0 {
@@ -88,8 +123,22 @@ func (c *Config) fill() error {
 	if c.SchedInterval <= 0 {
 		c.SchedInterval = 200 * time.Microsecond
 	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = DefaultIdleTimeout
+	}
+	if c.WriteTimeout == 0 {
+		c.WriteTimeout = DefaultWriteTimeout
+	}
+	if c.Shed.QueueHigh == 0 {
+		c.Shed.QueueHigh = 3 * reqChCapacity / 4
+	}
 	return nil
 }
+
+// reqChCapacity is the per-thread request channel capacity; the default
+// shed high watermark sits at 3/4 of it so backpressure turns into
+// explicit refusal before readers block.
+const reqChCapacity = 4096
 
 // sdevice is one device's runtime state.
 type sdevice struct {
@@ -113,6 +162,9 @@ type Server struct {
 	// m is the unified telemetry layer (internal/obs): wall-clock metrics
 	// registry plus the per-request span trace ring.
 	m *metrics
+	// shed is the graceful load-shed signal consulted on every
+	// best-effort I/O; nil when shedding is disabled.
+	shed *ctrl.Shedder
 
 	mu         sync.Mutex
 	tenants    map[uint16]*stenant
@@ -136,6 +188,9 @@ type stenant struct {
 	mu          sync.Mutex
 	outstanding int
 	seq         []seqItem
+	// dead marks a tenant torn down (unregistered or its connection
+	// reaped); the sequencer drops held work instead of leaking waiters.
+	dead bool
 }
 
 // enqueued is a request handed from a connection reader to its scheduler
@@ -194,6 +249,9 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		conns:   make(map[*srvConn]struct{}),
 		done:    make(chan struct{}),
 	}
+	if !cfg.ShedDisabled {
+		s.shed = ctrl.NewShedder(cfg.Shed)
+	}
 	for i, dc := range devices {
 		s.devices = append(s.devices, &sdevice{
 			idx:     i,
@@ -206,7 +264,7 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		th := &sthread{
 			id:    i,
 			srv:   s,
-			reqCh: make(chan enqueued, 4096),
+			reqCh: make(chan enqueued, reqChCapacity),
 			cmdCh: make(chan func(), 64),
 		}
 		for _, d := range s.devices {
@@ -309,13 +367,37 @@ func (s *Server) acceptLoop() {
 			}
 			return
 		}
-		sc := &srvConn{srv: s, c: c}
+		// Chaos mode: wrap the accepted connection so the server's own
+		// hardening (deadlines, reaping, flush-failure teardown) is
+		// exercised by injected drops, stalls, partial I/O and resets.
+		c = faults.WrapConn(c, s.cfg.Faults)
+		sc := &srvConn{srv: s, c: c, owned: make(map[uint16]struct{})}
 		s.mu.Lock()
 		s.conns[sc] = struct{}{}
 		s.mu.Unlock()
 		s.wg.Add(1)
 		go sc.readLoop()
 	}
+}
+
+// shedNow reports whether a best-effort request for ten should be refused
+// right now. Latency-critical tenants are never shed: their SLO was
+// admitted against reserved capacity. The overload indicators are the
+// tenant thread's queue backlog, the aggregate scheduler token debt
+// (published by the threads after each round), and the live connection
+// count.
+func (s *Server) shedNow(ten *stenant) bool {
+	if s.shed == nil || ten.t.Class != core.BestEffort {
+		return false
+	}
+	var debt core.Tokens
+	for _, th := range s.threads {
+		debt += core.Tokens(th.debt.Load())
+	}
+	s.mu.Lock()
+	conns := len(s.conns)
+	s.mu.Unlock()
+	return s.shed.Observe(len(s.threads[ten.thread].reqCh), conns, debt)
 }
 
 // registerTenant performs admission control and registration.
@@ -399,6 +481,10 @@ func (s *Server) unregisterTenant(h uint16) protocol.Status {
 	if !ok {
 		return protocol.StatusNoTenant
 	}
+	// Drop the sequencer's held work so no barrier waiter outlives the
+	// tenant, then return the tenant's unspent token reservation to the
+	// scheduler (Unregister releases the LC rate / BE share).
+	st.kill()
 	th := s.threads[st.thread]
 	th.do(func() { th.scheds[st.device].Unregister(st.t) })
 	return protocol.StatusOK

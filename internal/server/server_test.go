@@ -562,7 +562,7 @@ func TestCloseDuringTraffic(t *testing.T) {
 	close(stop)
 }
 
-// failingBackend errors on every access, to exercise StatusError paths.
+// failingBackend errors on every access, to exercise device-error paths.
 type failingBackend struct{ size int64 }
 
 func (f failingBackend) ReadAt(p []byte, off int64) (int, error) {
@@ -574,7 +574,7 @@ func (f failingBackend) WriteAt(p []byte, off int64) (int, error) {
 func (f failingBackend) Size() int64  { return f.size }
 func (f failingBackend) Close() error { return nil }
 
-func TestBackendErrorsSurfaceAsServerError(t *testing.T) {
+func TestBackendErrorsSurfaceAsDeviceError(t *testing.T) {
 	srv, err := New(Config{
 		Addr: "127.0.0.1:0", Threads: 1, Model: modelA(),
 		TokenRate: 1_000_000 * core.TokenUnit,
@@ -592,10 +592,10 @@ func TestBackendErrorsSurfaceAsServerError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := cl.Read(h, 0, 512); !errors.Is(err, client.ErrServer) {
-		t.Fatalf("read on failing media: %v, want ErrServer", err)
+	if _, err := cl.Read(h, 0, 512); !errors.Is(err, client.ErrDevice) {
+		t.Fatalf("read on failing media: %v, want ErrDevice", err)
 	}
-	if err := cl.Write(h, 0, make([]byte, 512)); !errors.Is(err, client.ErrServer) {
-		t.Fatalf("write on failing media: %v, want ErrServer", err)
+	if err := cl.Write(h, 0, make([]byte, 512)); !errors.Is(err, client.ErrDevice) {
+		t.Fatalf("write on failing media: %v, want ErrDevice", err)
 	}
 }

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync/atomic"
 	"time"
 
 	"github.com/reflex-go/reflex/internal/core"
@@ -20,6 +21,12 @@ type sthread struct {
 	scheds []*core.Scheduler // one per device
 	reqCh  chan enqueued
 	cmdCh  chan func()
+
+	// debt is the aggregate token debt (sum of negative tenant balances,
+	// in millitokens) across this thread's schedulers, published after
+	// each round for the load-shed signal. Written only by the thread
+	// goroutine; read by connection readers.
+	debt atomic.Int64
 }
 
 // do runs fn on the thread goroutine (tenant register/unregister).
@@ -69,7 +76,29 @@ func (th *sthread) loop() {
 		for _, sched := range th.scheds {
 			sched.Schedule(now, th.submit)
 		}
+		th.publishDebt()
 	}
+}
+
+// publishDebt sums this thread's tenants' negative token balances into
+// the atomically readable debt gauge that feeds the shed signal. Tenant
+// state is thread-confined, so the walk happens here.
+func (th *sthread) publishDebt() {
+	var debt core.Tokens
+	for _, sched := range th.scheds {
+		lc, be := sched.Tenants()
+		for _, t := range lc {
+			if b := t.Tokens(); b < 0 {
+				debt -= b
+			}
+		}
+		for _, t := range be {
+			if b := t.Tokens(); b < 0 {
+				debt -= b
+			}
+		}
+	}
+	th.debt.Store(int64(debt))
 }
 
 // submit performs the admitted I/O against the backend and sends the
@@ -82,6 +111,12 @@ func (th *sthread) submit(req *core.Request) {
 	delay := th.srv.cfg.ReadLatency
 	if ctx.hdr.Opcode == protocol.OpWrite {
 		delay = th.srv.cfg.WriteLatency
+	}
+	// Injected device timeout pulse: the device goes away for a while
+	// (GC stall, controller reset) but the request still completes.
+	inj := th.srv.cfg.Faults
+	if stall := inj.DeviceStall(); stall > 0 {
+		delay += stall
 	}
 	dev := th.srv.devices[ctx.ten.device]
 	m := th.srv.m
@@ -96,20 +131,25 @@ func (th *sthread) submit(req *core.Request) {
 		}
 		off := int64(ctx.hdr.LBA) * protocol.BlockSize
 		var payload []byte
-		switch ctx.hdr.Opcode {
-		case protocol.OpRead:
+		switch {
+		case inj.DeviceError():
+			// Injected per-request device error: the op fails with a
+			// typed, retryable status; the tenant and connection live on.
+			resp.Status = protocol.StatusDeviceError
+			m.errored.Inc()
+		case ctx.hdr.Opcode == protocol.OpRead:
 			buf := make([]byte, ctx.hdr.Count)
 			if _, err := dev.backend.ReadAt(buf, off); err != nil {
-				resp.Status = protocol.StatusError
+				resp.Status = protocol.StatusDeviceError
 				m.errored.Inc()
 			} else {
 				payload = buf
 				m.bytesRead.Add(uint64(len(buf)))
 			}
-		case protocol.OpWrite:
+		case ctx.hdr.Opcode == protocol.OpWrite:
 			dev.lastWrite.Store(th.srv.now())
 			if _, err := dev.backend.WriteAt(ctx.payload, off); err != nil {
-				resp.Status = protocol.StatusError
+				resp.Status = protocol.StatusDeviceError
 				m.errored.Inc()
 			} else {
 				m.bytesWrite.Add(uint64(ctx.hdr.Count))

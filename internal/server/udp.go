@@ -41,7 +41,10 @@ func (u udpResponder) send(hdr *protocol.Header, payload []byte) {
 func (s *Server) serveUDP(pc *net.UDPConn) {
 	defer s.wg.Done()
 	var wmu sync.Mutex
-	buf := make([]byte, 64<<10)
+	// The buffer holds the largest legal request (header + MaxUDPIO write
+	// payload) with slack; ReadFromUDP silently truncates anything larger,
+	// which the loop detects below by a completely full buffer.
+	buf := make([]byte, protocol.HeaderSize+MaxUDPIO+4096)
 	for {
 		n, addr, err := pc.ReadFromUDP(buf)
 		if err != nil {
@@ -51,10 +54,23 @@ func (s *Server) serveUDP(pc *net.UDPConn) {
 			}
 			return
 		}
+		rsp := udpResponder{pc: pc, addr: addr, wmu: &wmu}
+		if n == len(buf) {
+			// The datagram filled the receive buffer: it was (almost
+			// certainly) truncated by the kernel. Parsing the remainder
+			// would read garbage as payload — reply with a typed protocol
+			// error instead, echoing the header when it is intact.
+			s.m.rejected.Inc()
+			var hdr protocol.Header
+			if err := hdr.Unmarshal(buf[:protocol.HeaderSize]); err == nil {
+				reject(rsp, &hdr, protocol.StatusTruncated)
+			}
+			continue
+		}
 		m, err := protocol.ReadMessage(bytes.NewReader(buf[:n]))
 		if err != nil {
 			continue // malformed datagram: drop, as a NIC would a bad frame
 		}
-		s.dispatch(udpResponder{pc: pc, addr: addr, wmu: &wmu}, m)
+		s.dispatch(rsp, m)
 	}
 }
