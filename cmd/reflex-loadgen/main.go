@@ -49,7 +49,16 @@ func main() {
 	chaos := flag.Bool("chaos", false, "chaos soak mode: client-side fault injection, per-connection tenants, outcome accounting")
 	chaosSeed := flag.Int64("chaos-seed", 1, "client-side fault-injection seed")
 	reqTimeout := flag.Duration("req-timeout", 2*time.Second, "per-request timeout in chaos mode")
+	failover := flag.Bool("failover", false, "kill-the-primary soak: in-process replicated pair, acked-write ledger, zero-loss + stale-epoch-fencing checks")
 	flag.Parse()
+
+	if *failover {
+		os.Exit(runFailover(failoverConfig{
+			dur:  *duration,
+			size: *size,
+			span: *span,
+		}))
+	}
 
 	if *chaos {
 		os.Exit(runChaos(chaosConfig{

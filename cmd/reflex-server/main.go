@@ -18,6 +18,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/cluster"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/ctrl"
 	"github.com/reflex-go/reflex/internal/faults"
@@ -62,6 +63,8 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (reproducible chaos runs)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = default 2m, negative = never)")
 	connLimit := flag.Int("conn-limit", 0, "shed best-effort work while connections exceed this (0 = unlimited)")
+	backupOf := flag.String("backup-of", "", "run as replication backup of the primary at this address (refuses client writes until promoted)")
+	epoch := flag.Uint("epoch", 0, "initial cluster epoch (0 = standalone; replicated pairs start at 1)")
 	flag.Parse()
 
 	bytes, err := parseSize(*size)
@@ -83,9 +86,11 @@ func main() {
 		inj = faults.New(faults.Chaos(*chaosSeed))
 	}
 	srv, err := server.New(server.Config{
-		Addr:    *addr,
-		UDPAddr: *udpAddr,
-		Threads: *threads,
+		Addr:       *addr,
+		UDPAddr:    *udpAddr,
+		Threads:    *threads,
+		Epoch:      uint16(*epoch),
+		BackupRole: *backupOf != "",
 		Model: core.CostModel{
 			ReadCost:         core.TokenUnit,
 			ReadOnlyReadCost: core.TokenUnit / 2,
@@ -104,6 +109,20 @@ func main() {
 	}
 	log.Printf("reflex-server listening on %s (%s device, %d threads, %d tokens/s)",
 		srv.Addr(), *size, *threads, *tokenRate)
+
+	// Replicated-pair wiring: as a backup, join the primary and apply its
+	// replication stream until a failing-over client promotes us; the
+	// promotion hook stops the join loop so we don't re-join the deposed
+	// primary at a stale epoch.
+	if *backupOf != "" {
+		bk := cluster.StartBackup(*backupOf, srv, cluster.BackupOptions{Logf: log.Printf})
+		srv.SetOnPromote(func(e uint16) {
+			log.Printf("cluster: promoted to primary at epoch %d", e)
+			go bk.Stop()
+		})
+		defer bk.Stop()
+		log.Printf("cluster: backup of %s (epoch %d)", *backupOf, srv.ClusterEpoch())
+	}
 	if inj != nil {
 		log.Printf("chaos mode: fault injection armed (seed %d)", *chaosSeed)
 	}

@@ -53,6 +53,16 @@ var (
 	// ErrTimeout means the per-request timeout expired before a response
 	// arrived (the request may still execute on the server).
 	ErrTimeout = errors.New("reflex: request timed out")
+	// ErrNoReplicas means every configured replica address is down: the
+	// failover sweep dialed them all (with backoff) and none answered.
+	ErrNoReplicas = errors.New("reflex: no replicas reachable")
+	// ErrStaleEpoch means the server refused a write because the cluster
+	// epoch moved on (this client was talking to a deposed primary) and
+	// the request could not be transparently replayed.
+	ErrStaleEpoch = errors.New("reflex: stale cluster epoch")
+	// ErrChecksum means the payload CRC32C did not verify end-to-end: the
+	// data was corrupted in flight. The operation is safe to retry.
+	ErrChecksum = errors.New("reflex: payload checksum mismatch")
 )
 
 func statusErr(s protocol.Status) error {
@@ -73,6 +83,10 @@ func statusErr(s protocol.Status) error {
 		return ErrOverloaded
 	case protocol.StatusTruncated:
 		return ErrTruncated
+	case protocol.StatusStaleEpoch:
+		return ErrStaleEpoch
+	case protocol.StatusBadChecksum:
+		return ErrChecksum
 	default:
 		return ErrServer
 	}
@@ -96,6 +110,10 @@ type Call struct {
 	hdr     protocol.Header
 	payload []byte
 	timer   *time.Timer
+	// staleLeft bounds transparent re-pends after a StatusStaleEpoch
+	// response: the call is put back in flight and replayed at the new
+	// primary at most this many times before the error surfaces.
+	staleLeft int
 }
 
 // replayable reports whether the call is safe to re-issue on a fresh
@@ -193,8 +211,32 @@ type Options struct {
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
 	// Dialer optionally replaces net.Dial — chaos harnesses wrap the
-	// returned conn with fault injection.
+	// returned conn with fault injection. It always dials the client's
+	// original address; cluster clients that fail over between replicas
+	// should use DialerFor instead.
 	Dialer func() (net.Conn, error)
+	// DialerFor optionally replaces net.Dial per target address, so a
+	// failover to another replica dials the right place (and chaos
+	// harnesses can wrap every replica connection). Takes precedence over
+	// Dialer.
+	DialerFor func(addr string) (net.Conn, error)
+
+	// Checksum enables end-to-end payload integrity: write payloads are
+	// sealed with a CRC32C trailer (verified server-side before touching
+	// media) and reads request checksummed responses (verified here;
+	// mismatches surface as ErrChecksum).
+	Checksum bool
+
+	// HedgeReads enables hedged reads on a DialCluster client: when a
+	// synchronous Read has not completed after an adaptive delay (the
+	// client's windowed read p95, clamped to [HedgeMinDelay,
+	// HedgeMaxDelay]), a duplicate read is issued to a backup replica and
+	// the first response wins. Hedges run on the backup's own tenant
+	// registration, so they never double-charge the primary-side token
+	// bucket.
+	HedgeReads    bool
+	HedgeMinDelay time.Duration
+	HedgeMaxDelay time.Duration
 }
 
 func (o *Options) fill() {
@@ -207,6 +249,12 @@ func (o *Options) fill() {
 	if o.BackoffMax <= 0 {
 		o.BackoffMax = time.Second
 	}
+	if o.HedgeMinDelay <= 0 {
+		o.HedgeMinDelay = 200 * time.Microsecond
+	}
+	if o.HedgeMaxDelay <= 0 {
+		o.HedgeMaxDelay = 20 * time.Millisecond
+	}
 }
 
 // Client is a connection to a ReFlex server. It is safe for concurrent use
@@ -214,6 +262,24 @@ func (o *Options) fill() {
 type Client struct {
 	opts Options
 	dial func() (transport, error) // nil: no reconnect (UDP, plain Dial)
+
+	// targets is the replica address list; tIdx indexes the current dial
+	// target. The target lives here — not captured in a dialer closure —
+	// precisely so failover can swap it atomically while the reconnect
+	// machinery keeps working unchanged.
+	targets []string
+	tIdx    atomic.Int32
+
+	// Cluster failover state (DialCluster). epochA holds the cluster
+	// epoch stamped on every request; failovers counts promote-accepted
+	// target switches; the consec* counters feed the forced-failover
+	// triggers (a run of timeouts or device errors on one replica).
+	cluster        bool
+	epochA         atomic.Uint32
+	failovers      atomic.Uint64
+	consecTimeouts atomic.Int32
+	consecDevice   atomic.Int32
+	hedge          *hedger
 
 	// wmu serializes writes and is held across an entire reconnect, so
 	// senders block (bounded by the backoff budget) instead of writing
@@ -236,29 +302,50 @@ type Client struct {
 	replayed   atomic.Uint64
 }
 
-func tcpDialer(addr string, o Options) func() (transport, error) {
-	return func() (transport, error) {
-		var c net.Conn
-		var err error
-		if o.Dialer != nil {
-			c, err = o.Dialer()
-		} else {
-			c, err = net.Dial("tcp", addr)
-		}
-		if err != nil {
-			return nil, err
-		}
-		if tc, ok := c.(*net.TCPConn); ok {
-			// The paper's driver sends each request immediately without
-			// coalescing (§4.2); disable Nagle for the same reason.
-			tc.SetNoDelay(true)
-		}
-		return &tcpTransport{
-			c:  c,
-			br: bufio.NewReaderSize(c, 64<<10),
-			bw: bufio.NewWriterSize(c, 64<<10),
-		}, nil
+// target returns the current dial target.
+func (cl *Client) target() string {
+	return cl.targets[int(cl.tIdx.Load())%len(cl.targets)]
+}
+
+// rotateTarget atomically advances to the next replica address.
+func (cl *Client) rotateTarget() {
+	if len(cl.targets) > 1 {
+		cl.tIdx.Add(1)
 	}
+}
+
+// dialTCP opens a TCP transport to addr. The target is read from the
+// client at call time (not captured at construction), so a failover that
+// swaps cl.tIdx redirects every subsequent reconnect attempt.
+func (cl *Client) dialTCP(addr string) (transport, error) {
+	var c net.Conn
+	var err error
+	switch {
+	case cl.opts.DialerFor != nil:
+		c, err = cl.opts.DialerFor(addr)
+	case cl.opts.Dialer != nil:
+		c, err = cl.opts.Dialer()
+	default:
+		c, err = net.Dial("tcp", addr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		// The paper's driver sends each request immediately without
+		// coalescing (§4.2); disable Nagle for the same reason.
+		tc.SetNoDelay(true)
+	}
+	return &tcpTransport{
+		c:  c,
+		br: bufio.NewReaderSize(c, 64<<10),
+		bw: bufio.NewWriterSize(c, 64<<10),
+	}, nil
+}
+
+// dialCurrent dials whatever the current target is.
+func (cl *Client) dialCurrent() (transport, error) {
+	return cl.dialTCP(cl.target())
 }
 
 // Dial connects to a ReFlex server over TCP with default options (no
@@ -271,15 +358,16 @@ func Dial(addr string) (*Client, error) {
 // options.
 func DialOptions(addr string, o Options) (*Client, error) {
 	o.fill()
-	dial := tcpDialer(addr, o)
-	t, err := dial()
+	cl := newClient(nil, o, []string{addr})
+	t, err := cl.dialCurrent()
 	if err != nil {
 		return nil, err
 	}
-	cl := newClient(t, o)
+	cl.t = t
 	if o.Reconnect {
-		cl.dial = dial
+		cl.dial = cl.dialCurrent
 	}
+	go cl.readLoop()
 	return cl, nil
 }
 
@@ -300,19 +388,22 @@ func DialUDPOptions(addr string, o Options) (*Client, error) {
 	if err != nil {
 		return nil, err
 	}
-	return newClient(&udpTransport{c: c}, o), nil
+	cl := newClient(&udpTransport{c: c}, o, []string{addr})
+	go cl.readLoop()
+	return cl, nil
 }
 
-func newClient(t transport, o Options) *Client {
-	cl := &Client{
+// newClient builds the client shell; the caller installs the transport
+// and dial hook before starting the read loop.
+func newClient(t transport, o Options, targets []string) *Client {
+	return &Client{
 		opts:      o,
 		t:         t,
+		targets:   targets,
 		pending:   make(map[uint64]*Call),
 		regs:      make(map[uint16]protocol.Registration),
 		handleMap: make(map[uint16]uint16),
 	}
-	go cl.readLoop()
-	return cl
 }
 
 // Reconnects returns how many times the client has reconnected.
@@ -328,6 +419,9 @@ func (cl *Client) Close() error {
 	cl.closed = true
 	t := cl.t
 	cl.mu.Unlock()
+	if h := cl.hedge; h != nil {
+		h.close()
+	}
 	if t != nil {
 		return t.close()
 	}
@@ -369,6 +463,24 @@ func (cl *Client) deliver(m *protocol.Message) {
 	if call == nil {
 		return // response to an abandoned, timed-out or duplicated call
 	}
+	// Epoch-fenced failover: a stale-epoch refusal of an idempotent call
+	// is re-pended (bounded) and the client fails over — the reconnect
+	// handshake promotes a fresh primary and the replay machinery
+	// re-issues the call there, stamped with the new epoch.
+	if cl.cluster && m.Header.Status == protocol.StatusStaleEpoch &&
+		call.replayable() && call.staleLeft > 0 {
+		call.staleLeft--
+		cl.mu.Lock()
+		repend := !cl.closed
+		if repend {
+			cl.pending[call.hdr.Cookie] = call
+		}
+		cl.mu.Unlock()
+		if repend {
+			cl.forceFailover()
+			return
+		}
+	}
 	if call.timer != nil {
 		call.timer.Stop()
 	}
@@ -376,6 +488,22 @@ func (cl *Client) deliver(m *protocol.Message) {
 	call.handle = m.Header.Handle
 	call.Data = m.Payload
 	call.Err = statusErr(m.Header.Status)
+	// End-to-end integrity: a response whose CRC32C trailer failed
+	// verification must not be trusted, however OK its status.
+	if m.ChecksumErr && call.Err == nil {
+		call.Err = ErrChecksum
+	}
+	if cl.cluster {
+		cl.consecTimeouts.Store(0)
+		if errors.Is(call.Err, ErrDevice) {
+			if cl.consecDevice.Add(1) >= deviceFailoverRuns {
+				cl.consecDevice.Store(0)
+				cl.forceFailover()
+			}
+		} else {
+			cl.consecDevice.Store(0)
+		}
+	}
 	close(call.Done)
 }
 
@@ -390,6 +518,14 @@ func (cl *Client) expire(call *Call) {
 	delete(cl.pending, call.hdr.Cookie)
 	cl.mu.Unlock()
 	call.Err = ErrTimeout
+	if cl.cluster {
+		// A run of timeouts on one replica (blackholed or GC-wedged) is
+		// the failover trigger a half-open peer never gives us via errors.
+		if cl.consecTimeouts.Add(1) >= timeoutFailoverRuns {
+			cl.consecTimeouts.Store(0)
+			cl.forceFailover()
+		}
+	}
 	close(call.Done)
 }
 
@@ -455,6 +591,9 @@ func (cl *Client) reconnect(cause error) bool {
 		}
 		nt, err := cl.dial()
 		if err != nil {
+			// With several replicas configured, a dead target rotates to
+			// the next one — the failover sweep.
+			cl.rotateTarget()
 			continue
 		}
 		if cl.resume(nt) {
@@ -462,6 +601,12 @@ func (cl *Client) reconnect(cause error) bool {
 			return true
 		}
 		nt.close()
+		cl.rotateTarget()
+	}
+	if len(cl.targets) > 1 {
+		// The sweep dialed every replica (with backoff) and none came up.
+		cl.fail(fmt.Errorf("%w: %v", ErrNoReplicas, cause))
+		return false
 	}
 	cl.fail(fmt.Errorf("%w: reconnect gave up: %v", ErrClosed, cause))
 	return false
@@ -471,6 +616,12 @@ func (cl *Client) reconnect(cause error) bool {
 // map, replays replayable in-flight calls and cancels the rest. Called
 // with wmu held by the read loop, which is also the only reader of nt.
 func (cl *Client) resume(nt transport) bool {
+	// Cluster mode: probe the server's epoch and role first; a backup or
+	// fenced replica is promoted at a higher epoch before any traffic,
+	// and a replica whose epoch is behind ours is refused outright.
+	if cl.cluster && !cl.clusterHandshake(nt) {
+		return false
+	}
 	cl.mu.Lock()
 	users := make([]uint16, 0, len(cl.regs))
 	for h := range cl.regs {
@@ -537,6 +688,9 @@ func (cl *Client) resume(nt transport) bool {
 	for _, c := range replay {
 		w := c.hdr
 		w.Handle = cl.mapHandle(c.hdr.Handle)
+		// Re-stamp the epoch: a replay after failover must carry the new
+		// primary's epoch or it would bounce off its own fence.
+		w.Epoch = cl.Epoch()
 		if err := nt.writeMessage(&w, c.payload); err != nil {
 			return false
 		}
@@ -561,7 +715,7 @@ func (cl *Client) mapHandle(h uint16) uint16 {
 
 // send registers the call and writes the request.
 func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
-	call := &Call{Done: make(chan struct{}), payload: payload}
+	call := &Call{Done: make(chan struct{}), payload: payload, staleLeft: 2}
 	hdr.Cookie = cl.cookie.Add(1)
 	call.hdr = *hdr
 
@@ -578,6 +732,7 @@ func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
 
 	w := *hdr
 	w.Handle = cl.mapHandle(hdr.Handle)
+	w.Epoch = cl.Epoch()
 	cl.wmu.Lock()
 	t := cl.t
 	var err error
@@ -645,28 +800,48 @@ func (cl *Client) Unregister(handle uint16) error {
 
 // GoRead starts an asynchronous read of n bytes at lba (512-byte units).
 func (cl *Client) GoRead(handle uint16, lba uint32, n int) (*Call, error) {
-	if n <= 0 || n > protocol.MaxPayload {
+	max := protocol.MaxPayload
+	if cl.opts.Checksum {
+		max -= protocol.ChecksumSize // room for the response trailer
+	}
+	if n <= 0 || n > max {
 		return nil, ErrBadRequest
 	}
-	return cl.send(&protocol.Header{
+	hdr := &protocol.Header{
 		Opcode: protocol.OpRead,
 		Handle: handle,
 		LBA:    lba,
 		Count:  uint32(n),
-	}, nil)
+	}
+	if cl.opts.Checksum {
+		// Ask the server to seal the response; ReadMessage verifies and
+		// strips the trailer, and deliver maps a mismatch to ErrChecksum.
+		hdr.Flags |= protocol.FlagChecksum
+	}
+	return cl.send(hdr, nil)
 }
 
 // GoWrite starts an asynchronous write of data at lba (512-byte units).
 func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error) {
-	if len(data) == 0 || len(data) > protocol.MaxPayload {
+	max := protocol.MaxPayload
+	if cl.opts.Checksum {
+		max -= protocol.ChecksumSize
+	}
+	if len(data) == 0 || len(data) > max {
 		return nil, ErrBadRequest
 	}
-	return cl.send(&protocol.Header{
+	hdr := &protocol.Header{
 		Opcode: protocol.OpWrite,
 		Handle: handle,
 		LBA:    lba,
 		Count:  uint32(len(data)),
-	}, data)
+	}
+	payload := data
+	if cl.opts.Checksum {
+		hdr.Flags |= protocol.FlagChecksum
+		payload = protocol.SealChecksum(data)
+	}
+	return cl.send(hdr, payload)
 }
 
 // GoBarrier starts an asynchronous ordering barrier on the tenant: it
@@ -701,11 +876,16 @@ func (cl *Client) Stats(handle uint16) (protocol.TenantStats, error) {
 	return out, nil
 }
 
-// Read reads n bytes at lba synchronously.
+// Read reads n bytes at lba synchronously. On a hedging cluster client,
+// a read that outlives the adaptive hedge delay is duplicated to a backup
+// replica and the first successful response wins.
 func (cl *Client) Read(handle uint16, lba uint32, n int) ([]byte, error) {
 	call, err := cl.GoRead(handle, lba, n)
 	if err != nil {
 		return nil, err
+	}
+	if h := cl.hedge; h != nil {
+		return h.await(call, handle, lba, n)
 	}
 	if err := cl.wait(call); err != nil {
 		return nil, err

@@ -1,0 +1,180 @@
+package client
+
+import (
+	"errors"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// clusterHandler answers the cluster handshake (OpPing/OpPromote) plus the
+// basic ops, reporting a primary at the given epoch.
+func clusterHandler(epoch uint16) func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+	return func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		h := protocol.Header{
+			Opcode: m.Header.Opcode,
+			Flags:  protocol.FlagResponse,
+			Handle: 1,
+			Cookie: m.Header.Cookie,
+			Epoch:  epoch,
+		}
+		switch m.Header.Opcode {
+		case protocol.OpPing:
+			h.Count = 0 // primary role bits
+			reply(&h, nil)
+		default:
+			echoHandler(m, reply)
+		}
+	}
+}
+
+func TestDialClusterEmptyAddrs(t *testing.T) {
+	if _, err := DialCluster(nil, Options{}); !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v, want ErrNoReplicas", err)
+	}
+}
+
+func TestDialClusterAllReplicasDown(t *testing.T) {
+	// Reserve two ports and close them: both dials must be refused.
+	dead := make([]string, 2)
+	for i := range dead {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead[i] = ln.Addr().String()
+		ln.Close()
+	}
+	_, err := DialCluster(dead, Options{Timeout: 200 * time.Millisecond})
+	if !errors.Is(err, ErrNoReplicas) {
+		t.Fatalf("err = %v, want ErrNoReplicas", err)
+	}
+}
+
+// TestDialClusterSkipsDeadFirstReplica: the first listed replica is down;
+// the sweep must land on the second and adopt its epoch.
+func TestDialClusterSkipsDeadFirstReplica(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	liveAddr := fakeServer(t, clusterHandler(7))
+	cl, err := DialCluster([]string{deadAddr, liveAddr}, Options{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if cl.Epoch() != 7 {
+		t.Fatalf("epoch %d after handshake, want 7", cl.Epoch())
+	}
+}
+
+// TestDialClusterPromotesBackup: a replica that answers the handshake in
+// backup role is promoted at a strictly higher epoch before any traffic.
+func TestDialClusterPromotesBackup(t *testing.T) {
+	var promoted atomic.Bool
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		h := protocol.Header{
+			Opcode: m.Header.Opcode,
+			Flags:  protocol.FlagResponse,
+			Handle: 1,
+			Cookie: m.Header.Cookie,
+		}
+		switch m.Header.Opcode {
+		case protocol.OpPing:
+			if promoted.Load() {
+				h.Epoch, h.Count = 4, 0
+			} else {
+				h.Epoch, h.Count = 3, uint32(protocol.RoleBackupBit)
+			}
+			reply(&h, nil)
+		case protocol.OpPromote:
+			promoted.Store(true)
+			h.Epoch = m.Header.Epoch
+			reply(&h, nil)
+		default:
+			echoHandler(m, reply)
+		}
+	})
+	cl, err := DialCluster([]string{addr}, Options{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if !promoted.Load() {
+		t.Fatal("backup-role replica was not promoted during the handshake")
+	}
+	if cl.Epoch() != 4 {
+		t.Fatalf("client epoch %d after promote, want 4", cl.Epoch())
+	}
+	if cl.Failovers() != 1 {
+		t.Fatalf("failovers %d, want 1", cl.Failovers())
+	}
+}
+
+// TestClusterRequestsCarryEpoch: after the handshake, data-path requests
+// are stamped with the adopted epoch (the split-brain write fence).
+func TestClusterRequestsCarryEpoch(t *testing.T) {
+	gotEpoch := make(chan uint16, 1)
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		if m.Header.Opcode == protocol.OpWrite {
+			select {
+			case gotEpoch <- m.Header.Epoch:
+			default:
+			}
+		}
+		clusterHandler(9)(m, reply)
+	})
+	cl, err := DialCluster([]string{addr}, Options{Timeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	h, err := cl.Register(protocol.Registration{BestEffort: true, Writable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write(h, 0, make([]byte, 512)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case e := <-gotEpoch:
+		if e != 9 {
+			t.Fatalf("write stamped epoch %d, want 9", e)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("no write observed")
+	}
+}
+
+// TestPlainDialUnaffectedByClusterPaths: the non-cluster Dial path still
+// works (no handshake sent, epoch stays 0).
+func TestPlainDialUnaffectedByClusterPaths(t *testing.T) {
+	var sawPing atomic.Bool
+	addr := fakeServer(t, func(m *protocol.Message, reply func(*protocol.Header, []byte)) {
+		if m.Header.Opcode == protocol.OpPing {
+			sawPing.Store(true)
+		}
+		echoHandler(m, reply)
+	})
+	cl, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	if _, err := cl.Register(protocol.Registration{BestEffort: true}); err != nil {
+		t.Fatal(err)
+	}
+	if sawPing.Load() {
+		t.Fatal("plain Dial sent a cluster handshake")
+	}
+	if cl.Epoch() != 0 {
+		t.Fatalf("plain client epoch %d, want 0", cl.Epoch())
+	}
+}

@@ -1,0 +1,216 @@
+package cluster
+
+import (
+	"bufio"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// Applier is the backup server's replication surface: internal/server
+// implements it. Replicated writes bypass the QoS scheduler and the token
+// accounting entirely — replication is infrastructure traffic, not tenant
+// traffic, so it must not charge (or be shed against) any tenant bucket.
+type Applier interface {
+	// ApplyReplicate applies one replicated write (or catch-up chunk) to
+	// device 0 and returns the ack status. StatusStaleEpoch means this
+	// server's epoch moved past the sender's — the deposed-primary fence.
+	ApplyReplicate(lba uint32, payload []byte, epoch uint16) protocol.Status
+	// AdoptEpoch raises the server's epoch to e if higher (join
+	// handshake convergence).
+	AdoptEpoch(e uint16)
+	// ClusterEpoch returns the server's current epoch.
+	ClusterEpoch() uint16
+	// IsBackupRole reports whether the server still runs as a backup;
+	// a promotion flips it off and the join loop exits.
+	IsBackupRole() bool
+}
+
+// BackupOptions tune the backup join loop.
+type BackupOptions struct {
+	// RetryBase/RetryMax bound the reconnect backoff when the primary is
+	// unreachable (defaults 50ms / 2s).
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Dialer optionally replaces net.Dial (fault-injection harnesses).
+	Dialer func(addr string) (net.Conn, error)
+	// Logf receives join-loop events (may be nil).
+	Logf func(format string, args ...any)
+}
+
+// Backup runs the backup server's side of replication: it dials the
+// primary, sends OpJoin, applies the catch-up stream and live replicated
+// writes, and acks each one, re-joining with backoff when the connection
+// dies. The loop exits when Stop is called or the server is promoted.
+type Backup struct {
+	primary string
+	app     Applier
+	opts    BackupOptions
+
+	mu   sync.Mutex
+	conn net.Conn
+
+	applied atomic.Uint64
+	joins   atomic.Uint64
+	stopped atomic.Bool
+	done    chan struct{}
+}
+
+// StartBackup launches the join loop against the primary's address.
+func StartBackup(primaryAddr string, app Applier, opts BackupOptions) *Backup {
+	if opts.RetryBase <= 0 {
+		opts.RetryBase = 50 * time.Millisecond
+	}
+	if opts.RetryMax <= 0 {
+		opts.RetryMax = 2 * time.Second
+	}
+	b := &Backup{primary: primaryAddr, app: app, opts: opts, done: make(chan struct{})}
+	go b.loop()
+	return b
+}
+
+// Applied returns how many replicated writes (and catch-up chunks) this
+// backup has applied.
+func (b *Backup) Applied() uint64 { return b.applied.Load() }
+
+// Joins returns how many times the backup has (re)joined the primary.
+func (b *Backup) Joins() uint64 { return b.joins.Load() }
+
+// Stop halts the join loop and closes any live connection. It does not
+// block on the loop goroutine beyond closing its connection.
+func (b *Backup) Stop() {
+	if b.stopped.Swap(true) {
+		return
+	}
+	b.mu.Lock()
+	c := b.conn
+	b.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+	<-b.done
+}
+
+func (b *Backup) logf(format string, args ...any) {
+	if b.opts.Logf != nil {
+		b.opts.Logf(format, args...)
+	}
+}
+
+func (b *Backup) dial() (net.Conn, error) {
+	if b.opts.Dialer != nil {
+		return b.opts.Dialer(b.primary)
+	}
+	return net.Dial("tcp", b.primary)
+}
+
+func (b *Backup) loop() {
+	defer close(b.done)
+	backoff := b.opts.RetryBase
+	for !b.stopped.Load() && b.app.IsBackupRole() {
+		if err := b.session(); err != nil {
+			b.logf("cluster: backup session: %v", err)
+		}
+		if b.stopped.Load() || !b.app.IsBackupRole() {
+			return
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > b.opts.RetryMax {
+			backoff = b.opts.RetryMax
+		}
+	}
+}
+
+// session runs one join: handshake, then apply-and-ack until the
+// connection dies or the backup is promoted/stopped.
+func (b *Backup) session() error {
+	c, err := b.dial()
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.stopped.Load() {
+		b.mu.Unlock()
+		c.Close()
+		return nil
+	}
+	b.conn = c
+	b.mu.Unlock()
+	defer func() {
+		b.mu.Lock()
+		b.conn = nil
+		b.mu.Unlock()
+		c.Close()
+	}()
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	br := bufio.NewReaderSize(c, 256<<10)
+	bw := bufio.NewWriterSize(c, 64<<10)
+
+	// Join handshake: offer our epoch, adopt the primary's (max-merge on
+	// both sides keeps the pair converged after restarts).
+	join := protocol.Header{Opcode: protocol.OpJoin, Epoch: b.app.ClusterEpoch()}
+	if err := protocol.WriteMessage(bw, &join, nil); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	m, err := protocol.ReadMessage(br)
+	if err != nil {
+		return err
+	}
+	if m.Header.Status != protocol.StatusOK {
+		return &JoinRefusedError{Status: m.Header.Status}
+	}
+	b.app.AdoptEpoch(m.Header.Epoch)
+	b.joins.Add(1)
+	b.logf("cluster: joined primary %s at epoch %d", b.primary, b.app.ClusterEpoch())
+
+	for !b.stopped.Load() && b.app.IsBackupRole() {
+		m, err := protocol.ReadMessage(br)
+		if err != nil {
+			return err
+		}
+		if m.Header.Opcode != protocol.OpReplicate || m.Header.IsResponse() {
+			continue // tolerate anything else on the channel
+		}
+		st := b.app.ApplyReplicate(m.Header.LBA, m.Payload, m.Header.Epoch)
+		if st == protocol.StatusOK {
+			b.applied.Add(1)
+		}
+		ack := protocol.Header{
+			Opcode: protocol.OpReplicate,
+			Flags:  protocol.FlagResponse,
+			Status: st,
+			Epoch:  b.app.ClusterEpoch(),
+			Cookie: m.Header.Cookie,
+			LBA:    m.Header.LBA,
+			Count:  m.Header.Count,
+		}
+		if err := protocol.WriteMessage(bw, &ack, nil); err != nil {
+			return err
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if st == protocol.StatusStaleEpoch {
+			// We fenced the sender; it will detach. Drop the session so a
+			// genuinely newer primary can be joined (not this one).
+			return nil
+		}
+	}
+	return nil
+}
+
+// JoinRefusedError reports a primary that refused the OpJoin handshake.
+type JoinRefusedError struct{ Status protocol.Status }
+
+func (e *JoinRefusedError) Error() string {
+	return "cluster: join refused: " + e.Status.String()
+}

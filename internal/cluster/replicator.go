@@ -1,0 +1,344 @@
+// Package cluster is the robustness layer that turns a hardened single
+// ReFlex server into a replicated primary/backup pair: write replication
+// over the existing wire protocol (OpReplicate), a catch-up stream for a
+// (re)joining backup, epoch fencing against split-brain, and the backup
+// join loop. The client-side half — epoch-fenced failover and hedged
+// reads — lives in internal/client (DialCluster).
+//
+// Replication model (kept deliberately simple, in the spirit of the
+// paper's §4.3 control plane assumption that tenants can be migrated off
+// a degraded node):
+//
+//   - One primary, one backup, joined by a backup-initiated TCP
+//     connection speaking the normal protocol. The backup sends OpJoin;
+//     from then on the primary pushes OpReplicate requests (epoch-stamped
+//     acked writes) down that connection and reads acks back off it.
+//   - The primary defers each client write ack until the backup acks the
+//     replicated copy, so every acked write survives a primary kill.
+//   - On (re)join the primary streams a catch-up of the device behind the
+//     live write stream; chunk reads and sends are serialized with live
+//     forwards so a stale chunk can never overwrite a newer write.
+//   - Epochs fence a deposed primary: a backup whose epoch moved past the
+//     sender's acks with StatusStaleEpoch, and the old primary stops
+//     accepting writes.
+//
+// Replication covers device 0; multi-device replication would run one
+// replicator per device and is out of scope here.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/storage"
+)
+
+// ReplicaSender delivers one framed message to the attached backup. The
+// server adapts its connection write path to this; send failures tear the
+// connection down out-of-band (the replicator sees a Detach).
+type ReplicaSender interface {
+	SendToReplica(hdr *protocol.Header, payload []byte)
+}
+
+// ReplicatorConfig configures the primary-side replicator.
+type ReplicatorConfig struct {
+	// Backend is device 0's storage, read by the catch-up stream.
+	Backend storage.Backend
+	// Epoch returns the server's current cluster epoch, stamped on every
+	// replicated write.
+	Epoch func() uint16
+	// OnStale is called when the backup acks with StatusStaleEpoch: a
+	// higher epoch exists, this primary is deposed and must fence itself.
+	OnStale func(epoch uint16)
+	// OnForward/OnAck/OnCatchup are metrics hooks (may be nil).
+	OnForward func()
+	OnAck     func()
+	OnCatchup func(bytes int)
+	// ChunkBytes sizes catch-up chunks (default 256 KiB).
+	ChunkBytes int
+}
+
+// Replicator is the primary's half of write replication. At most one
+// backup session is attached at a time; a new Attach supersedes the old.
+// All methods are safe for concurrent use; a nil *Replicator forwards
+// nothing (Forward reports false), so standalone servers need no guards.
+type Replicator struct {
+	cfg ReplicatorConfig
+
+	mu   sync.Mutex
+	sess *session
+
+	cookie atomic.Uint64
+
+	forwarded atomic.Uint64
+	acked     atomic.Uint64
+}
+
+// session is one attached backup connection.
+type session struct {
+	r      *Replicator
+	sender ReplicaSender
+
+	// sendMu serializes every message sent to the backup — and, for
+	// catch-up chunks, the [backend read + send] pair — so a chunk read
+	// before a live write landed can never be sent after that write's
+	// forward and overwrite it on the backup.
+	sendMu sync.Mutex
+
+	pmu     sync.Mutex
+	pending map[uint64]func(protocol.Status)
+	closed  bool
+
+	caughtUp atomic.Bool
+	stop     chan struct{}
+}
+
+// NewReplicator builds a primary-side replicator.
+func NewReplicator(cfg ReplicatorConfig) *Replicator {
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 256 << 10
+	}
+	return &Replicator{cfg: cfg}
+}
+
+// Forwarded and Acked report replication traffic counters.
+func (r *Replicator) Forwarded() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.forwarded.Load()
+}
+func (r *Replicator) Acked() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.acked.Load()
+}
+
+// Live reports whether a backup session is attached (forwards are
+// happening). The backup may still be catching up; see CaughtUp.
+func (r *Replicator) Live() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.sess != nil
+}
+
+// CaughtUp reports whether the attached backup has received the full
+// catch-up stream (it is a valid failover target for all data, not just
+// writes since it joined).
+func (r *Replicator) CaughtUp() bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	s := r.sess
+	r.mu.Unlock()
+	return s != nil && s.caughtUp.Load()
+}
+
+// Attach installs sender as the backup session, superseding any previous
+// one (whose pending forwards complete with detachStatus semantics, see
+// Detach), and starts the catch-up stream. Returns the session token used
+// to detach exactly this session later.
+func (r *Replicator) Attach(sender ReplicaSender) any {
+	if r == nil {
+		return nil
+	}
+	s := &session{
+		r:       r,
+		sender:  sender,
+		pending: make(map[uint64]func(protocol.Status)),
+		stop:    make(chan struct{}),
+	}
+	r.mu.Lock()
+	old := r.sess
+	r.sess = s
+	r.mu.Unlock()
+	if old != nil {
+		old.close(protocol.StatusOK)
+	}
+	go s.catchup()
+	return s
+}
+
+// Detach removes the session identified by token (ignored if a newer
+// session already superseded it). Pending forwards complete with st:
+// StatusOK degrades the primary to standalone acks (the write is durable
+// locally and there is no backup left to lose it to), StatusStaleEpoch
+// propagates a deposition to waiting clients.
+func (r *Replicator) Detach(token any, st protocol.Status) {
+	if r == nil || token == nil {
+		return
+	}
+	s, ok := token.(*session)
+	if !ok {
+		return
+	}
+	r.mu.Lock()
+	if r.sess == s {
+		r.sess = nil
+	}
+	r.mu.Unlock()
+	s.close(st)
+}
+
+// close fails every pending forward with st and stops the catch-up
+// stream. Idempotent.
+func (s *session) close(st protocol.Status) {
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		return
+	}
+	s.closed = true
+	pending := s.pending
+	s.pending = nil
+	close(s.stop)
+	s.pmu.Unlock()
+	for _, done := range pending {
+		done(st)
+	}
+}
+
+// Forward replicates one locally applied write to the backup. It reports
+// false when no backup is attached — the caller acks the client
+// immediately (standalone/degraded mode). When it reports true, done will
+// be called exactly once with the backup's ack status (or the detach
+// status if the session dies first); the caller must defer the client ack
+// until then.
+func (r *Replicator) Forward(lba uint32, payload []byte, done func(protocol.Status)) bool {
+	if r == nil {
+		return false
+	}
+	r.mu.Lock()
+	s := r.sess
+	r.mu.Unlock()
+	if s == nil {
+		return false
+	}
+	cookie := r.cookie.Add(1)
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		return false
+	}
+	s.pending[cookie] = done
+	s.pmu.Unlock()
+
+	hdr := protocol.Header{
+		Opcode: protocol.OpReplicate,
+		Epoch:  r.cfg.Epoch(),
+		Cookie: cookie,
+		LBA:    lba,
+		Count:  uint32(len(payload)),
+	}
+	s.sendMu.Lock()
+	s.sender.SendToReplica(&hdr, payload)
+	s.sendMu.Unlock()
+	r.forwarded.Add(1)
+	if r.cfg.OnForward != nil {
+		r.cfg.OnForward()
+	}
+	return true
+}
+
+// HandleAck completes the pending forward matching a replication ack read
+// off the backup connection. A StatusStaleEpoch ack means the backup's
+// epoch moved past ours: the primary is deposed — OnStale fires and the
+// session closes, failing the remaining pending forwards the same way.
+func (r *Replicator) HandleAck(hdr *protocol.Header) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s := r.sess
+	r.mu.Unlock()
+	if s == nil {
+		return
+	}
+	s.pmu.Lock()
+	done, ok := s.pending[hdr.Cookie]
+	if ok {
+		delete(s.pending, hdr.Cookie)
+	}
+	s.pmu.Unlock()
+	if ok {
+		r.acked.Add(1)
+		if r.cfg.OnAck != nil {
+			r.cfg.OnAck()
+		}
+		done(hdr.Status)
+	}
+	if hdr.Status == protocol.StatusStaleEpoch {
+		if r.cfg.OnStale != nil {
+			r.cfg.OnStale(hdr.Epoch)
+		}
+		r.Detach(s, protocol.StatusStaleEpoch)
+	}
+}
+
+// catchup streams the device to the backup in chunks, serialized against
+// live forwards, each chunk acked before the next is read (self-pacing:
+// the stream never gets ahead of what the backup applied, and live
+// forwards interleave freely between chunks).
+func (s *session) catchup() {
+	r := s.r
+	if r.cfg.Backend == nil {
+		s.caughtUp.Store(true)
+		return
+	}
+	size := r.cfg.Backend.Size()
+	chunk := int64(r.cfg.ChunkBytes)
+	buf := make([]byte, chunk)
+	for off := int64(0); off < size; off += chunk {
+		n := chunk
+		if off+n > size {
+			n = size - off
+		}
+		ackCh := make(chan protocol.Status, 1)
+		cookie := r.cookie.Add(1)
+		s.pmu.Lock()
+		if s.closed {
+			s.pmu.Unlock()
+			return
+		}
+		s.pending[cookie] = func(st protocol.Status) { ackCh <- st }
+		s.pmu.Unlock()
+
+		// Read and send under sendMu: a live forward either lands before
+		// this chunk's read (the chunk carries it) or after its send (the
+		// backup applies it on top). Either order is correct.
+		s.sendMu.Lock()
+		if _, err := r.cfg.Backend.ReadAt(buf[:n], off); err != nil {
+			s.sendMu.Unlock()
+			s.close(protocol.StatusOK)
+			return
+		}
+		hdr := protocol.Header{
+			Opcode: protocol.OpReplicate,
+			Epoch:  r.cfg.Epoch(),
+			Cookie: cookie,
+			LBA:    uint32(off / protocol.BlockSize),
+			Count:  uint32(n),
+		}
+		s.sender.SendToReplica(&hdr, buf[:n])
+		s.sendMu.Unlock()
+
+		select {
+		case st := <-ackCh:
+			if st != protocol.StatusOK {
+				return // deposed or backup refused; session is closing
+			}
+			if r.cfg.OnCatchup != nil {
+				r.cfg.OnCatchup(int(n))
+			}
+		case <-s.stop:
+			return
+		}
+	}
+	s.caughtUp.Store(true)
+}

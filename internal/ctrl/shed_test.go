@@ -1,0 +1,108 @@
+package ctrl
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+)
+
+// TestShedderQueueHysteresisBoundaries pins the exact boundary semantics:
+// activation strictly above QueueHigh, deactivation at or below QueueLow,
+// and the whole band in between sticky in both directions.
+func TestShedderQueueHysteresisBoundaries(t *testing.T) {
+	s := NewShedder(ShedConfig{QueueHigh: 100, QueueLow: 40})
+
+	if s.Observe(100, 0, 0) {
+		t.Fatal("shedding at exactly QueueHigh; activation must be strictly above")
+	}
+	if !s.Observe(101, 0, 0) {
+		t.Fatal("not shedding one above QueueHigh")
+	}
+	// Inside the band while active: stays active (no flapping off).
+	for _, q := range []int{100, 70, 41} {
+		if !s.Observe(q, 0, 0) {
+			t.Fatalf("shedding dropped at queue=%d while above QueueLow", q)
+		}
+	}
+	if s.Observe(40, 0, 0) {
+		t.Fatal("still shedding at exactly QueueLow; deactivation is at-or-below")
+	}
+	// Inside the band while inactive: stays inactive (no flapping on).
+	for _, q := range []int{41, 99, 100} {
+		if s.Observe(q, 0, 0) {
+			t.Fatalf("shedding re-entered at queue=%d without crossing QueueHigh", q)
+		}
+	}
+	if s.Active() {
+		t.Fatal("Active() true after deactivation")
+	}
+}
+
+func TestShedderLowDefaultsToHalfHigh(t *testing.T) {
+	s := NewShedder(ShedConfig{QueueHigh: 100, DebtHigh: 1000})
+	s.Observe(101, 0, 0)
+	if !s.Active() {
+		t.Fatal("not active above high")
+	}
+	if s.Observe(51, 0, 0); !s.Active() {
+		t.Fatal("deactivated above the defaulted QueueLow of 50")
+	}
+	if s.Observe(50, 0, 0); s.Active() {
+		t.Fatal("still active at the defaulted QueueLow of 50")
+	}
+	// Debt low watermark defaults to DebtHigh/2 too.
+	s.Observe(0, 0, 1001)
+	if !s.Active() {
+		t.Fatal("not active above DebtHigh")
+	}
+	if s.Observe(0, 0, 501); !s.Active() {
+		t.Fatal("deactivated above the defaulted DebtLow of 500")
+	}
+	if s.Observe(0, 0, 500); s.Active() {
+		t.Fatal("still active at the defaulted DebtLow of 500")
+	}
+}
+
+// TestShedderAllIndicatorsMustClear: any single indicator over its high
+// watermark activates; deactivation requires all of them back under their
+// low watermarks at once.
+func TestShedderAllIndicatorsMustClear(t *testing.T) {
+	s := NewShedder(ShedConfig{
+		QueueHigh: 100, QueueLow: 40,
+		ConnLimit: 10,
+		DebtHigh:  core.Tokens(1000), DebtLow: core.Tokens(400),
+	})
+	if !s.Observe(0, 11, 0) {
+		t.Fatal("conn limit alone did not activate")
+	}
+	// Queue cleared, but debt still high: stays active.
+	if !s.Observe(10, 5, 900) {
+		t.Fatal("deactivated with debt above DebtLow")
+	}
+	// Debt cleared, conns still over: stays active.
+	if !s.Observe(10, 11, 100) {
+		t.Fatal("deactivated with conns above ConnLimit")
+	}
+	if s.Observe(10, 5, 100) {
+		t.Fatal("did not deactivate with every indicator under its low watermark")
+	}
+}
+
+func TestShedderDisabledIndicatorsNeverTrigger(t *testing.T) {
+	s := NewShedder(ShedConfig{}) // everything disabled
+	if s.Observe(1<<30, 1<<30, core.Tokens(1<<40)) {
+		t.Fatal("disabled shedder shed")
+	}
+	// Only queue configured: huge debt and conns must not matter.
+	s = NewShedder(ShedConfig{QueueHigh: 100})
+	if s.Observe(0, 1<<30, core.Tokens(1<<40)) {
+		t.Fatal("disabled indicators triggered shedding")
+	}
+	if !s.Observe(101, 1<<30, core.Tokens(1<<40)) {
+		t.Fatal("queue indicator inert")
+	}
+	// Disabled indicators must not block deactivation either.
+	if s.Observe(0, 1<<30, core.Tokens(1<<40)) {
+		t.Fatal("disabled indicators held shedding active")
+	}
+}

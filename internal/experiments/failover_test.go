@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestExtFailoverShape runs the wall-clock replication experiment at quick
+// scale and asserts its acceptance criteria:
+//
+//   - hedged p95 <= unhedged p95 during the GC pulse (the hedge rescues
+//     the tail; with a 10% x 8ms pulse the gap is enormous, so the bare
+//     inequality is a safe, non-flaky bound);
+//   - the kill phase observed at least one failover and lost zero acked
+//     writes.
+func TestExtFailoverShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment is not short")
+	}
+	tbl := ExtFailover(quick)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	cell := func(phase, col string) string {
+		v, ok := tbl.Cell(col, func(r []string) bool { return r[0] == phase })
+		if !ok {
+			t.Fatalf("missing cell %s/%s", phase, col)
+		}
+		return v
+	}
+	mustInt := func(s string) int {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			t.Fatalf("bad int cell %q: %v", s, err)
+		}
+		return v
+	}
+
+	unhedged := parseUS(t, cell("gc-pulse unhedged", "p95_us"))
+	hedged := parseUS(t, cell("gc-pulse hedged", "p95_us"))
+	if unhedged <= 0 || hedged <= 0 {
+		t.Fatalf("empty pulse phases (unhedged %v, hedged %v)", unhedged, hedged)
+	}
+	if hedged > unhedged {
+		t.Fatalf("hedged p95 %vus > unhedged p95 %vus under the GC pulse", hedged, unhedged)
+	}
+	if mustInt(cell("gc-pulse hedged", "hedge_issued")) == 0 {
+		t.Fatal("hedged phase issued no hedges")
+	}
+
+	if mustInt(cell("kill-primary", "failovers")) < 1 {
+		t.Fatal("kill phase saw no failover")
+	}
+	if lost := mustInt(cell("kill-primary", "lost_acked")); lost != 0 {
+		t.Fatalf("kill phase lost %d acked writes", lost)
+	}
+	if mustInt(cell("kill-primary", "ops")) == 0 {
+		t.Fatal("kill phase acked nothing")
+	}
+}

@@ -34,6 +34,7 @@ func Registry() map[string]Runner {
 		"ext-rightsizing": ExtRightsizing,
 		"ext-100gbe":      ExtProjection,
 		"ext-faults":      ExtFaults,
+		"ext-failover":    ExtFailover,
 
 		"ablation-batching":  AblationBatching,
 		"ablation-twostep":   AblationTwoStep,

@@ -77,16 +77,35 @@ func (c *Conn) Read(p []byte) (int, error) {
 	return c.Conn.Read(p)
 }
 
+// wireHeaderSize mirrors protocol.HeaderSize without importing the
+// protocol package: corruption must land beyond the fixed message header
+// so framing survives and the flip falls inside checksummed payload bytes.
+const wireHeaderSize = 32
+
 // Write injects faults, then writes to the wrapped connection. A
 // blackholed connection swallows writes (the peer will never see them); a
 // partial fault writes a truncated prefix and reports the short count,
-// which bufio surfaces as io.ErrShortWrite on the caller's flush path.
+// which bufio surfaces as io.ErrShortWrite on the caller's flush path. A
+// corrupt fault flips one byte past the fixed header — silent in-flight
+// data corruption that only an end-to-end checksum catches.
 func (c *Conn) Write(p []byte) (int, error) {
 	if err := c.perOp(); err != nil {
 		return 0, err
 	}
 	if c.blackholed.Load() {
 		return len(p), nil // vanishes into the half-open void
+	}
+	if len(p) > wireHeaderSize && c.inj.hit(c.inj.cfg.CorruptProb) {
+		// Copy so the caller's buffer (possibly a retained payload slice)
+		// is not mutated; corrupt only the bytes on the wire.
+		q := make([]byte, len(p))
+		copy(q, p)
+		c.inj.mu.Lock()
+		i := wireHeaderSize + c.inj.rng.Intn(len(q)-wireHeaderSize)
+		c.inj.mu.Unlock()
+		q[i] ^= 0xA5
+		c.inj.note(KindCorrupt)
+		p = q
 	}
 	if c.inj.hit(c.inj.cfg.PartialProb) && len(p) > 1 {
 		c.inj.note(KindPartial)

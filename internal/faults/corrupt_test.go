@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+)
+
+func TestCorruptPayloadFlipsOneByte(t *testing.T) {
+	in := New(Config{Seed: 3, CorruptProb: 1})
+	orig := []byte{10, 20, 30, 40, 50, 60, 70, 80}
+	p := append([]byte(nil), orig...)
+	if !in.CorruptPayload(p) {
+		t.Fatal("CorruptProb=1 did not corrupt")
+	}
+	diff := 0
+	for i := range p {
+		if p[i] != orig[i] {
+			diff++
+			if p[i] != orig[i]^0xA5 {
+				t.Fatalf("byte %d flipped to %#x, want %#x", i, p[i], orig[i]^0xA5)
+			}
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption touched %d bytes, want exactly 1", diff)
+	}
+	if in.Count(KindCorrupt) != 1 {
+		t.Fatalf("corrupt count %d, want 1", in.Count(KindCorrupt))
+	}
+}
+
+func TestCorruptPayloadNilAndEmpty(t *testing.T) {
+	var nilInj *Injector
+	if nilInj.CorruptPayload([]byte{1}) {
+		t.Fatal("nil injector corrupted")
+	}
+	in := New(Config{Seed: 1, CorruptProb: 1})
+	if in.CorruptPayload(nil) {
+		t.Fatal("empty payload corrupted")
+	}
+	in0 := New(Config{Seed: 1})
+	p := []byte{9}
+	if in0.CorruptPayload(p) || p[0] != 9 {
+		t.Fatal("zero-probability injector corrupted")
+	}
+}
+
+// TestConnWriteCorruptsCopyNotCaller verifies two properties of wire
+// corruption: the flipped byte lands past the 32-byte header (headers
+// stay parseable, so the corruption surfaces as a checksum error rather
+// than a protocol desync), and the caller's buffer — which a reconnecting
+// client retains for replay — is never mutated.
+func TestConnWriteCorruptsCopyNotCaller(t *testing.T) {
+	in := New(Config{Seed: 5, CorruptProb: 1})
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := WrapConn(a, in)
+
+	frame := make([]byte, 64) // 32B header + 32B payload
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	orig := append([]byte(nil), frame...)
+
+	got := make([]byte, len(frame))
+	done := make(chan error, 1)
+	go func() {
+		_, err := readFull(b, got)
+		done <- err
+	}()
+	if _, err := fc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	if !bytes.Equal(frame, orig) {
+		t.Fatal("Write mutated the caller's buffer")
+	}
+	if bytes.Equal(got, orig) {
+		t.Fatal("CorruptProb=1 left the wire image intact")
+	}
+	if !bytes.Equal(got[:32], orig[:32]) {
+		t.Fatal("corruption hit the header; must stay in the payload")
+	}
+	if in.Count(KindCorrupt) == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// TestConnWriteHeaderOnlyNotCorrupted: frames with no payload bytes have
+// nothing safe to flip and must pass through untouched.
+func TestConnWriteHeaderOnlyNotCorrupted(t *testing.T) {
+	in := New(Config{Seed: 5, CorruptProb: 1})
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	fc := WrapConn(a, in)
+
+	frame := make([]byte, 32)
+	for i := range frame {
+		frame[i] = byte(i)
+	}
+	got := make([]byte, len(frame))
+	done := make(chan error, 1)
+	go func() {
+		_, err := readFull(b, got)
+		done <- err
+	}()
+	if _, err := fc.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, frame) {
+		t.Fatal("header-only frame corrupted")
+	}
+}
+
+func readFull(c net.Conn, p []byte) (int, error) {
+	c.SetReadDeadline(time.Now().Add(5 * time.Second))
+	n := 0
+	for n < len(p) {
+		m, err := c.Read(p[n:])
+		n += m
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

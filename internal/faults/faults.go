@@ -42,6 +42,7 @@ const (
 	KindMsgDelay    = "msg-delay"    // simulated message delayed
 	KindDeviceErr   = "device-err"   // per-request device I/O error
 	KindDeviceStall = "device-stall" // per-request device timeout pulse
+	KindCorrupt     = "corrupt"      // payload byte flipped in flight
 )
 
 // Config holds every fault probability and bound. Zero values inject
@@ -67,6 +68,12 @@ type Config struct {
 	ResetProb float64
 	// JitterMax adds a uniform [0, JitterMax) delay to every Read/Write.
 	JitterMax time.Duration
+	// CorruptProb flips one payload byte per affected message — in the
+	// wrapped conn's Write (beyond the fixed header, so framing survives
+	// and the corruption lands in data covered by FlagChecksum), and at
+	// the server's CorruptPayload call sites. This is the fault class
+	// end-to-end checksums exist to catch.
+	CorruptProb float64
 
 	// Device faults (flashsim and the real server's backend path).
 
@@ -225,6 +232,22 @@ func (in *Injector) DeviceStall() time.Duration {
 // DeviceStallSim is DeviceStall in virtual time for the simulators.
 func (in *Injector) DeviceStallSim() sim.Time {
 	return sim.Time(in.DeviceStall())
+}
+
+// CorruptPayload flips one random byte of p with probability CorruptProb
+// and reports whether it did. Nil-safe; a nil or empty p is never touched.
+// Callers apply it to payload bytes *after* any checksum trailer has been
+// computed, so the flip is exactly what the verifier must catch.
+func (in *Injector) CorruptPayload(p []byte) bool {
+	if in == nil || len(p) == 0 || !in.hit(in.cfg.CorruptProb) {
+		return false
+	}
+	in.mu.Lock()
+	i := in.rng.Intn(len(p))
+	in.mu.Unlock()
+	p[i] ^= 0xA5
+	in.note(KindCorrupt)
+	return true
 }
 
 // MessageFate decides a simulated message's fate: dropped, duplicated,

@@ -1,0 +1,102 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestChecksumSealVerifyRoundTrip(t *testing.T) {
+	data := []byte("reflex end-to-end integrity payload")
+	sealed := SealChecksum(data)
+	if len(sealed) != len(data)+ChecksumSize {
+		t.Fatalf("sealed length %d, want %d", len(sealed), len(data)+ChecksumSize)
+	}
+	if !bytes.Equal(sealed[:len(data)], data) {
+		t.Fatal("seal mutated the data prefix")
+	}
+	if got := Checksum(sealed[:len(data)]); got != Checksum(data) {
+		t.Fatal("checksum of prefix differs from checksum of data")
+	}
+
+	// Through the wire: a checksummed message verifies and strips cleanly.
+	var buf bytes.Buffer
+	hdr := Header{Opcode: OpRead, Flags: FlagResponse | FlagChecksum, Count: uint32(len(data))}
+	if err := WriteMessage(&buf, &hdr, sealed); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.ChecksumErr {
+		t.Fatal("intact payload flagged as checksum error")
+	}
+	if !bytes.Equal(m.Payload, data) {
+		t.Fatalf("payload mismatch after verify/strip: %q", m.Payload)
+	}
+	if m.Header.Len != uint32(len(data)) {
+		t.Fatalf("Len not adjusted after strip: %d", m.Header.Len)
+	}
+}
+
+func TestChecksumDetectsEveryByteFlip(t *testing.T) {
+	data := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	sealed := SealChecksum(data)
+	for i := range sealed {
+		corrupt := append([]byte(nil), sealed...)
+		corrupt[i] ^= 0xA5
+
+		var buf bytes.Buffer
+		hdr := Header{Opcode: OpRead, Flags: FlagResponse | FlagChecksum}
+		if err := WriteMessage(&buf, &hdr, corrupt); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !m.ChecksumErr {
+			t.Errorf("flip at byte %d not detected", i)
+		}
+	}
+}
+
+func TestChecksumFlagWithoutTrailerTolerated(t *testing.T) {
+	// A checksummed message whose payload is shorter than the trailer
+	// cannot be verified; it must not panic or strip.
+	var buf bytes.Buffer
+	hdr := Header{Opcode: OpRead, Flags: FlagResponse | FlagChecksum}
+	if err := WriteMessage(&buf, &hdr, []byte{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadMessage(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Payload) != 2 {
+		t.Fatalf("short payload mangled: %v", m.Payload)
+	}
+}
+
+func TestHeaderEpochRoundTrip(t *testing.T) {
+	for _, e := range []uint16{0, 1, 2, 255, 65535} {
+		h := Header{Opcode: OpWrite, Epoch: e, Cookie: 42}
+		b := h.Marshal()
+		var out Header
+		if err := out.Unmarshal(b); err != nil {
+			t.Fatal(err)
+		}
+		if out.Epoch != e {
+			t.Fatalf("epoch %d round-tripped to %d", e, out.Epoch)
+		}
+	}
+}
+
+func TestClusterStatusStrings(t *testing.T) {
+	if StatusStaleEpoch.String() != "stale-epoch" {
+		t.Fatalf("StatusStaleEpoch = %q", StatusStaleEpoch.String())
+	}
+	if StatusBadChecksum.String() != "bad-checksum" {
+		t.Fatalf("StatusBadChecksum = %q", StatusBadChecksum.String())
+	}
+}

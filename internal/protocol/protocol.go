@@ -14,6 +14,7 @@ package protocol
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
@@ -52,6 +53,39 @@ const (
 	// payload) — the accounting the control plane watches for SLO
 	// renegotiation (§4.3).
 	OpStats Opcode = 0x05
+	// OpReplicate carries one acked write from a primary to its backup
+	// (internal/cluster): LBA/Count/payload as OpWrite, stamped with the
+	// primary's cluster epoch. The backup acks with a response whose
+	// status is StatusStaleEpoch when its epoch has moved past the
+	// sender's — the split-brain fence.
+	OpReplicate Opcode = 0x06
+	// OpJoin is sent by a backup to its primary to attach as the replica:
+	// Epoch carries the backup's current epoch; an OK response carries
+	// the primary's epoch, after which the primary streams a catch-up of
+	// the device followed by live replicated writes on this connection.
+	OpJoin Opcode = 0x07
+	// OpPromote asks a server to become primary at the given (higher)
+	// epoch — issued by a failing-over client. The response carries the
+	// server's resulting epoch; StatusStaleEpoch means the server already
+	// saw a higher epoch and refuses.
+	OpPromote Opcode = 0x08
+	// OpFence informs a server that a higher epoch exists elsewhere: if
+	// the carried epoch exceeds the server's, it marks itself deposed and
+	// rejects subsequent writes with StatusStaleEpoch.
+	OpFence Opcode = 0x09
+	// OpPing is the cluster health probe: the response carries the
+	// server's epoch and its role bits in Count (RoleBackupBit,
+	// RoleFencedBit).
+	OpPing Opcode = 0x0A
+)
+
+// Role bits carried in an OpPing response's Count field.
+const (
+	// RoleBackupBit is set while the server runs as a (non-promoted)
+	// backup.
+	RoleBackupBit uint32 = 1 << 0
+	// RoleFencedBit is set on a deposed primary that refuses writes.
+	RoleFencedBit uint32 = 1 << 1
 )
 
 // String names the opcode.
@@ -69,6 +103,16 @@ func (o Opcode) String() string {
 		return "barrier"
 	case OpStats:
 		return "stats"
+	case OpReplicate:
+		return "replicate"
+	case OpJoin:
+		return "join"
+	case OpPromote:
+		return "promote"
+	case OpFence:
+		return "fence"
+	case OpPing:
+		return "ping"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint16(o))
 	}
@@ -78,7 +122,32 @@ func (o Opcode) String() string {
 const (
 	// FlagResponse marks a message as a completion event.
 	FlagResponse uint16 = 1 << 0
+	// FlagChecksum marks a message whose payload carries a trailing
+	// CRC32C (Castagnoli) over the data bytes: the wire payload is
+	// data||crc32c(data), and Len includes the 4-byte trailer.
+	// ReadMessage verifies and strips the trailer (Message.ChecksumErr
+	// reports a mismatch). On a read *request* (no payload) the flag asks
+	// the server to checksum the response.
+	FlagChecksum uint16 = 1 << 1
 )
+
+// ChecksumSize is the length of the CRC32C payload trailer.
+const ChecksumSize = 4
+
+// castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Checksum computes the CRC32C of p.
+func Checksum(p []byte) uint32 { return crc32.Checksum(p, castagnoli) }
+
+// SealChecksum returns data||crc32c(data), the payload form of a message
+// carrying FlagChecksum.
+func SealChecksum(data []byte) []byte {
+	out := make([]byte, len(data)+ChecksumSize)
+	n := copy(out, data)
+	binary.BigEndian.PutUint32(out[n:], Checksum(data))
+	return out
+}
 
 // Status codes carried in responses (in the Handle field's place meaning
 // stays: Status uses its own field).
@@ -109,6 +178,15 @@ const (
 	// StatusTruncated means a datagram transport truncated the request
 	// (it exceeded the receive buffer); resend over TCP or smaller.
 	StatusTruncated Status = 8
+	// StatusStaleEpoch means the request carried a cluster epoch older
+	// than the server's, or the server has been fenced/deposed: the write
+	// was rejected to prevent split-brain. The client must re-probe the
+	// cluster and retry at the current primary.
+	StatusStaleEpoch Status = 9
+	// StatusBadChecksum means the payload's CRC32C trailer did not match
+	// the data: the write was discarded without touching media. Retryable
+	// (the corruption happened in flight).
+	StatusBadChecksum Status = 10
 )
 
 // String names the status.
@@ -132,6 +210,10 @@ func (s Status) String() string {
 		return "overloaded"
 	case StatusTruncated:
 		return "truncated"
+	case StatusStaleEpoch:
+		return "stale-epoch"
+	case StatusBadChecksum:
+		return "bad-checksum"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -147,7 +229,7 @@ func (s Status) String() string {
 //	  4    2 flags
 //	  6    2 handle (tenant handle)
 //	  8    2 status
-//	 10    2 reserved
+//	 10    2 epoch (cluster epoch; 0 = standalone / epoch-unaware)
 //	 12    8 cookie
 //	 20    4 lba   (BlockSize units)
 //	 24    4 count (bytes requested: read length; echoed on responses)
@@ -157,6 +239,13 @@ type Header struct {
 	Flags  uint16
 	Handle uint16
 	Status Status
+	// Epoch is the cluster epoch the sender believes is current. Zero
+	// means standalone / epoch-unaware (the pre-cluster wire format wrote
+	// zero here as "reserved", so old clients interoperate): the server
+	// skips epoch fencing for epoch-0 writes unless it has itself been
+	// fenced. Nonzero epochs are compared against the server's; a write
+	// stamped with an older epoch is rejected with StatusStaleEpoch.
+	Epoch  uint16
 	Cookie uint64
 	LBA    uint32
 	// Count is the I/O length in bytes: what a read requests, and what a
@@ -184,7 +273,7 @@ func (h *Header) MarshalTo(b []byte) {
 	binary.BigEndian.PutUint16(b[4:], h.Flags)
 	binary.BigEndian.PutUint16(b[6:], h.Handle)
 	binary.BigEndian.PutUint16(b[8:], uint16(h.Status))
-	binary.BigEndian.PutUint16(b[10:], 0)
+	binary.BigEndian.PutUint16(b[10:], h.Epoch)
 	binary.BigEndian.PutUint64(b[12:], h.Cookie)
 	binary.BigEndian.PutUint32(b[20:], h.LBA)
 	binary.BigEndian.PutUint32(b[24:], h.Count)
@@ -203,6 +292,7 @@ func (h *Header) Unmarshal(b []byte) error {
 	h.Flags = binary.BigEndian.Uint16(b[4:])
 	h.Handle = binary.BigEndian.Uint16(b[6:])
 	h.Status = Status(binary.BigEndian.Uint16(b[8:]))
+	h.Epoch = binary.BigEndian.Uint16(b[10:])
 	h.Cookie = binary.BigEndian.Uint64(b[12:])
 	h.LBA = binary.BigEndian.Uint32(b[20:])
 	h.Count = binary.BigEndian.Uint32(b[24:])
@@ -343,9 +433,17 @@ func (t *TenantStats) Unmarshal(b []byte) error {
 type Message struct {
 	Header  Header
 	Payload []byte
+	// ChecksumErr is set by ReadMessage when the message carried
+	// FlagChecksum and the CRC32C trailer did not match the payload. The
+	// (stripped) payload is still delivered so callers can count/inspect,
+	// but it must not be trusted.
+	ChecksumErr bool
 }
 
-// ReadMessage reads one framed message.
+// ReadMessage reads one framed message. When the header carries
+// FlagChecksum and a payload, the trailing CRC32C is verified and stripped
+// in place (zero extra allocation): Payload and Header.Len reflect the data
+// bytes only, and ChecksumErr reports a mismatch.
 func ReadMessage(r io.Reader) (*Message, error) {
 	var hb [HeaderSize]byte
 	if _, err := io.ReadFull(r, hb[:]); err != nil {
@@ -359,6 +457,15 @@ func ReadMessage(r io.Reader) (*Message, error) {
 		m.Payload = make([]byte, m.Header.Len)
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
 			return nil, fmt.Errorf("protocol: truncated payload: %w", err)
+		}
+	}
+	if m.Header.Flags&FlagChecksum != 0 && m.Header.Len >= ChecksumSize {
+		n := len(m.Payload) - ChecksumSize
+		want := binary.BigEndian.Uint32(m.Payload[n:])
+		m.Payload = m.Payload[:n]
+		m.Header.Len = uint32(n)
+		if Checksum(m.Payload) != want {
+			m.ChecksumErr = true
 		}
 	}
 	return m, nil

@@ -33,6 +33,12 @@ type srvConn struct {
 	omu   sync.Mutex
 	owned map[uint16]struct{}
 
+	// replica is the cluster replication session token while this
+	// connection is the backup's join channel (nil otherwise); teardown
+	// detaches it so pending forwards degrade to standalone acks.
+	rmu     sync.Mutex
+	replica any
+
 	downOnce sync.Once
 }
 
@@ -52,6 +58,9 @@ type netConn interface {
 // unregistered and their unspent tokens returned to the scheduler —
 // instead of lingering half-dead.
 func (sc *srvConn) send(hdr *protocol.Header, payload []byte) {
+	if hdr.Epoch == 0 {
+		hdr.Epoch = sc.srv.ClusterEpoch()
+	}
 	sc.wmu.Lock()
 	if sc.bw == nil {
 		sc.bw = bufio.NewWriterSize(writerOnly{sc.c}, 64<<10)
@@ -81,6 +90,7 @@ func (w writerOnly) Write(p []byte) (int, error) { return w.c.Write(p) }
 func (sc *srvConn) teardown(reaped bool) {
 	sc.downOnce.Do(func() {
 		sc.c.Close()
+		sc.detachReplica()
 		sc.srv.mu.Lock()
 		delete(sc.srv.conns, sc)
 		sc.srv.mu.Unlock()
@@ -171,6 +181,15 @@ func (sc *srvConn) readLoop() {
 // dispatch routes one decoded request from any transport.
 func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 	hdr := m.Header
+	// Responses arriving on a server connection are replication acks from
+	// an attached backup (the join channel carries requests out and acks
+	// back in); anything else is dropped.
+	if hdr.IsResponse() {
+		if hdr.Opcode == protocol.OpReplicate {
+			s.repl.HandleAck(&hdr)
+		}
+		return
+	}
 	// Transports with bounded response sizes (UDP) cap the I/O length.
 	if lim, ok := rsp.(interface{ maxIO() uint32 }); ok && hdr.Count > lim.maxIO() {
 		reject(rsp, &hdr, protocol.StatusBadRequest)
@@ -217,6 +236,20 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 		arrival := s.now()
 		if hdr.Opcode == protocol.OpWrite {
 			s.m.writes.Inc()
+			// Split-brain fence: a deposed or backup-role server refuses
+			// writes, as does one receiving a stale epoch stamp.
+			if st := s.writeAllowed(hdr.Epoch); st != protocol.StatusOK {
+				s.m.staleRejects.Inc()
+				reject(rsp, &hdr, st)
+				return
+			}
+			// End-to-end integrity: a write whose CRC32C trailer failed
+			// verification is refused before it can touch media.
+			if m.ChecksumErr {
+				s.m.checksumErrs.Inc()
+				reject(rsp, &hdr, protocol.StatusBadChecksum)
+				return
+			}
 		} else {
 			s.m.reads.Inc()
 		}
@@ -306,6 +339,62 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message) {
 			}, stats.Marshal())
 		case <-s.done:
 		}
+
+	case protocol.OpJoin:
+		// A backup attaches as the replica over this connection. TCP only:
+		// the join channel carries the ordered replication stream.
+		resp := protocol.Header{
+			Opcode: protocol.OpJoin,
+			Flags:  protocol.FlagResponse,
+			Cookie: hdr.Cookie,
+		}
+		sc, isTCP := rsp.(*srvConn)
+		if !isTCP || s.backupRole.Load() {
+			resp.Status = protocol.StatusBadRequest
+			rsp.send(&resp, nil)
+			return
+		}
+		s.AdoptEpoch(hdr.Epoch)
+		resp.Epoch = s.ClusterEpoch()
+		// The OK must be on the wire before the catch-up stream starts,
+		// or the backup would read a chunk as its handshake response.
+		rsp.send(&resp, nil)
+		s.joinReplica(sc)
+
+	case protocol.OpPromote:
+		e, st := s.Promote(hdr.Epoch)
+		rsp.send(&protocol.Header{
+			Opcode: protocol.OpPromote,
+			Flags:  protocol.FlagResponse,
+			Cookie: hdr.Cookie,
+			Epoch:  e,
+			Status: st,
+		}, nil)
+
+	case protocol.OpFence:
+		e := s.Fence(hdr.Epoch)
+		rsp.send(&protocol.Header{
+			Opcode: protocol.OpFence,
+			Flags:  protocol.FlagResponse,
+			Cookie: hdr.Cookie,
+			Epoch:  e,
+		}, nil)
+
+	case protocol.OpPing:
+		var role uint32
+		if s.backupRole.Load() {
+			role |= protocol.RoleBackupBit
+		}
+		if s.fenced.Load() {
+			role |= protocol.RoleFencedBit
+		}
+		rsp.send(&protocol.Header{
+			Opcode: protocol.OpPing,
+			Flags:  protocol.FlagResponse,
+			Cookie: hdr.Cookie,
+			Epoch:  s.ClusterEpoch(),
+			Count:  role,
+		}, nil)
 
 	default:
 		reject(rsp, &hdr, protocol.StatusBadRequest)

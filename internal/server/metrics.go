@@ -43,6 +43,16 @@ type metrics struct {
 	faults *obs.Counter // faults injected by the configured injector
 	shed   *obs.Counter // best-effort requests refused under overload
 	reaped *obs.Counter // connections reaped on idle timeout
+
+	// Cluster robustness counters (DESIGN.md §11).
+	checksumErrs  *obs.Counter // writes refused on CRC32C mismatch
+	staleRejects  *obs.Counter // writes refused on epoch fence
+	promotions    *obs.Counter // successful promotions to primary
+	fencings      *obs.Counter // times this server was deposed
+	replForwarded *obs.Counter // writes forwarded to the backup
+	replAcked     *obs.Counter // backup acks received
+	replApplied   *obs.Counter // replicated writes applied (backup side)
+	replJoins     *obs.Counter // backup join sessions accepted
 }
 
 func newMetrics(s *Server) *metrics {
@@ -73,6 +83,30 @@ func newMetrics(s *Server) *metrics {
 	}
 	m.shed = reg.Counter("requests_shed", "best-effort requests refused under overload (LC is never shed)")
 	m.reaped = reg.Counter("conns_reaped", "connections reaped on idle timeout")
+	m.checksumErrs = reg.Counter("checksum_errors", "payload CRC32C mismatches detected")
+	m.staleRejects = reg.Counter("stale_epoch_rejects", "writes refused by the epoch fence")
+	m.promotions = reg.Counter("cluster_promotions", "successful promotions to primary")
+	m.fencings = reg.Counter("cluster_fencings", "times this server was deposed")
+	m.replForwarded = reg.Counter("repl_forwarded", "acked writes forwarded to the backup")
+	m.replAcked = reg.Counter("repl_acked", "backup replication acks received")
+	m.replApplied = reg.Counter("repl_applied", "replicated writes applied (backup role)")
+	m.replJoins = reg.Counter("repl_joins", "backup join sessions accepted")
+	reg.GaugeFunc("cluster_epoch", "current cluster epoch",
+		func() float64 { return float64(s.ClusterEpoch()) })
+	reg.GaugeFunc("cluster_fenced", "1 when deposed (writes refused)",
+		func() float64 {
+			if s.fenced.Load() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("cluster_backup_role", "1 while serving as replication backup",
+		func() float64 {
+			if s.backupRole.Load() {
+				return 1
+			}
+			return 0
+		})
 
 	reg.GaugeFunc("srv_tenants", "live tenants", func() float64 {
 		s.mu.Lock()

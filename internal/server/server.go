@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/cluster"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/ctrl"
 	"github.com/reflex-go/reflex/internal/faults"
@@ -103,6 +104,15 @@ type Config struct {
 	// turn shedding off entirely.
 	Shed         ctrl.ShedConfig
 	ShedDisabled bool
+
+	// Epoch seeds the cluster epoch (0 = standalone; see internal/cluster
+	// and DESIGN.md §11).
+	Epoch uint16
+	// BackupRole starts the server as a replication backup: it refuses
+	// client writes (StatusStaleEpoch), applies the primary's replication
+	// stream to device 0, and serves client reads (the hedged-read
+	// target) until promoted.
+	BackupRole bool
 }
 
 // Default failure-hardening parameters.
@@ -165,6 +175,16 @@ type Server struct {
 	// shed is the graceful load-shed signal consulted on every
 	// best-effort I/O; nil when shedding is disabled.
 	shed *ctrl.Shedder
+
+	// Cluster robustness state (internal/cluster; DESIGN.md §11). cmu
+	// serializes epoch transitions (promote/fence) so role and epoch move
+	// together; reads go through the atomics.
+	cmu        sync.Mutex
+	epoch      atomic.Uint32 // current cluster epoch (uint16 range)
+	fenced     atomic.Bool   // deposed primary: writes refused
+	backupRole atomic.Bool   // replication backup: client writes refused
+	onPromote  atomic.Value  // func(uint16)
+	repl       *cluster.Replicator
 
 	mu         sync.Mutex
 	tenants    map[uint16]*stenant
@@ -252,6 +272,8 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 	if !cfg.ShedDisabled {
 		s.shed = ctrl.NewShedder(cfg.Shed)
 	}
+	s.epoch.Store(uint32(cfg.Epoch))
+	s.backupRole.Store(cfg.BackupRole)
 	for i, dc := range devices {
 		s.devices = append(s.devices, &sdevice{
 			idx:     i,
@@ -278,6 +300,15 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 	// Telemetry wires gauge functions over threads and devices, so it is
 	// built after both exist and before any goroutine can serve a request.
 	s.m = newMetrics(s)
+	// The primary-side replicator is always present (a standalone server's
+	// replicator simply never attaches a backup): forwards cover device 0.
+	s.repl = cluster.NewReplicator(cluster.ReplicatorConfig{
+		Backend: s.devices[0].backend,
+		Epoch:   s.ClusterEpoch,
+		OnStale: func(e uint16) { s.Fence(e) },
+		OnForward: func() { s.m.replForwarded.Inc() },
+		OnAck:     func() { s.m.replAcked.Inc() },
+	})
 	for _, th := range s.threads {
 		s.wg.Add(1)
 		go th.loop()

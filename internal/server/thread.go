@@ -131,6 +131,23 @@ func (th *sthread) submit(req *core.Request) {
 		}
 		off := int64(ctx.hdr.LBA) * protocol.BlockSize
 		var payload []byte
+		// finish sends the response and retires the request; the write
+		// path may defer it until the backup acks the replicated copy.
+		finish := func() {
+			ctx.span.Mark(obs.StageDevDone, th.srv.now())
+			ctx.conn.send(&resp, payload)
+			now := th.srv.now()
+			ctx.span.Mark(obs.StageTx, now)
+			if ctx.hdr.Opcode == protocol.OpWrite {
+				m.writeLat.Record(now - req.Arrival)
+			} else {
+				m.readLat.Record(now - req.Arrival)
+			}
+			m.responses.Inc()
+			m.spans.Inc()
+			m.ring.Push(ctx.span)
+			ctx.ten.ioDone(th.srv)
+		}
 		switch {
 		case inj.DeviceError():
 			// Injected per-request device error: the op fails with a
@@ -143,8 +160,16 @@ func (th *sthread) submit(req *core.Request) {
 				resp.Status = protocol.StatusDeviceError
 				m.errored.Inc()
 			} else {
-				payload = buf
 				m.bytesRead.Add(uint64(len(buf)))
+				if ctx.hdr.Flags&protocol.FlagChecksum != 0 {
+					// Seal first, then let the injector corrupt the wire
+					// image: the flip is exactly what the client-side
+					// verifier must catch.
+					buf = protocol.SealChecksum(buf)
+					resp.Flags |= protocol.FlagChecksum
+				}
+				inj.CorruptPayload(buf)
+				payload = buf
 			}
 		case ctx.hdr.Opcode == protocol.OpWrite:
 			dev.lastWrite.Store(th.srv.now())
@@ -153,21 +178,28 @@ func (th *sthread) submit(req *core.Request) {
 				m.errored.Inc()
 			} else {
 				m.bytesWrite.Add(uint64(ctx.hdr.Count))
+				// Replication: forward the acked write to the backup and
+				// defer the client ack until the backup acks — this is
+				// what makes "acked" mean "survives a primary kill".
+				// Replication covers device 0 (the clustered device).
+				if dev.idx == 0 {
+					forwarded := th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload,
+						func(st protocol.Status) {
+							if st == protocol.StatusStaleEpoch {
+								// Deposed mid-write: the local apply stands
+								// but the ack must tell the client to fail
+								// over (it will replay at the new primary).
+								resp.Status = protocol.StatusStaleEpoch
+							}
+							finish()
+						})
+					if forwarded {
+						return // finish runs on the backup's ack
+					}
+				}
 			}
 		}
-		ctx.span.Mark(obs.StageDevDone, th.srv.now())
-		ctx.conn.send(&resp, payload)
-		now := th.srv.now()
-		ctx.span.Mark(obs.StageTx, now)
-		if ctx.hdr.Opcode == protocol.OpWrite {
-			m.writeLat.Record(now - req.Arrival)
-		} else {
-			m.readLat.Record(now - req.Arrival)
-		}
-		m.responses.Inc()
-		m.spans.Inc()
-		m.ring.Push(ctx.span)
-		ctx.ten.ioDone(th.srv)
+		finish()
 	}
 	// Submission happens now; a configured latency models device service
 	// time, so the Submit→DevDone span delta carries it.

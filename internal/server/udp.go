@@ -20,6 +20,7 @@ const MaxUDPIO = 32 << 10
 
 // udpResponder replies to the datagram's source address.
 type udpResponder struct {
+	srv  *Server
 	pc   *net.UDPConn
 	addr *net.UDPAddr
 	wmu  *sync.Mutex
@@ -28,6 +29,9 @@ type udpResponder struct {
 func (u udpResponder) maxIO() uint32 { return MaxUDPIO }
 
 func (u udpResponder) send(hdr *protocol.Header, payload []byte) {
+	if hdr.Epoch == 0 {
+		hdr.Epoch = u.srv.ClusterEpoch()
+	}
 	var buf bytes.Buffer
 	if err := protocol.WriteMessage(&buf, hdr, payload); err != nil {
 		return
@@ -54,7 +58,7 @@ func (s *Server) serveUDP(pc *net.UDPConn) {
 			}
 			return
 		}
-		rsp := udpResponder{pc: pc, addr: addr, wmu: &wmu}
+		rsp := udpResponder{srv: s, pc: pc, addr: addr, wmu: &wmu}
 		if n == len(buf) {
 			// The datagram filled the receive buffer: it was (almost
 			// certainly) truncated by the kernel. Parsing the remainder
