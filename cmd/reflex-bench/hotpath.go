@@ -1,0 +1,237 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/bufpool"
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/server"
+	"github.com/reflex-go/reflex/internal/storage"
+)
+
+// Hot-path acceptance measurement (-hotpath <file>): drives the real
+// TCP/UDP request path over loopback exactly like the
+// BenchmarkHotPathTCP/UDP benchmarks, plus the deterministic
+// protocol-roundtrip allocation count, and writes BENCH_hotpath.json.
+// The baseline constants are the pre-optimization numbers (recorded on
+// the same harness before the zero-allocation + wire-batching work);
+// the JSON carries the speedup against them so the ≥2× acceptance
+// criterion is auditable from the artifact alone.
+
+// Pre-change baseline: allocating per-message framing, flush-per-response
+// writes, unpooled payloads (commit history: before the bufpool + adaptive
+// wire batching change).
+const (
+	baselineTCPMsgPerSec = 81708
+	baselineTCPAllocsOp  = 18
+	baselineUDPMsgPerSec = 50413
+	baselineUDPAllocsOp  = 28
+)
+
+type hotpathTransport struct {
+	MsgPerSec          float64 `json:"msg_per_sec"`
+	P99Us              float64 `json:"p99_us"`
+	BaselineMsgPerSec  float64 `json:"baseline_msg_per_sec"`
+	BaselineAllocsPerO float64 `json:"baseline_allocs_per_op"`
+	Speedup            float64 `json:"speedup"`
+}
+
+type hotpathResult struct {
+	Generated  string  `json:"generated"`
+	GoVersion  string  `json:"go_version"`
+	DurationS  float64 `json:"window_seconds"`
+	IOSize     int     `json:"io_size_bytes"`
+	ProtoAlloc float64 `json:"protocol_roundtrip_allocs_per_op"`
+
+	TCP hotpathTransport `json:"tcp"`
+	UDP hotpathTransport `json:"udp"`
+
+	BufpoolHits     uint64 `json:"bufpool_hits"`
+	BufpoolMisses   uint64 `json:"bufpool_misses"`
+	BufpoolUnpooled uint64 `json:"bufpool_unpooled"`
+}
+
+// runHotpath performs the measurement and writes the JSON artifact.
+func runHotpath(path string, window time.Duration) error {
+	const ioSize = 4096
+
+	protoAllocs := protoRoundtripAllocs()
+
+	tcpRate, tcpP99, err := measureLoopback(false, ioSize, 256, window)
+	if err != nil {
+		return fmt.Errorf("hotpath tcp: %w", err)
+	}
+	udpRate, udpP99, err := measureLoopback(true, ioSize, 16, window)
+	if err != nil {
+		return fmt.Errorf("hotpath udp: %w", err)
+	}
+
+	var hits, misses uint64
+	for _, cs := range bufpool.Stats() {
+		hits += cs.Hits
+		misses += cs.Misses
+	}
+	res := hotpathResult{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		DurationS:  window.Seconds(),
+		IOSize:     ioSize,
+		ProtoAlloc: protoAllocs,
+		TCP: hotpathTransport{
+			MsgPerSec:          tcpRate,
+			P99Us:              float64(tcpP99) / 1e3,
+			BaselineMsgPerSec:  baselineTCPMsgPerSec,
+			BaselineAllocsPerO: baselineTCPAllocsOp,
+			Speedup:            tcpRate / baselineTCPMsgPerSec,
+		},
+		UDP: hotpathTransport{
+			MsgPerSec:          udpRate,
+			P99Us:              float64(udpP99) / 1e3,
+			BaselineMsgPerSec:  baselineUDPMsgPerSec,
+			BaselineAllocsPerO: baselineUDPAllocsOp,
+			Speedup:            udpRate / baselineUDPMsgPerSec,
+		},
+		BufpoolHits:     hits,
+		BufpoolMisses:   misses,
+		BufpoolUnpooled: bufpool.Unpooled(),
+	}
+
+	out, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("hotpath: tcp %.0f msg/s (%.2fx baseline, p99 %.0fus), udp %.0f msg/s (%.2fx), protocol roundtrip %.1f allocs/op -> %s\n",
+		tcpRate, res.TCP.Speedup, res.TCP.P99Us, udpRate, res.UDP.Speedup, protoAllocs, path)
+	if protoAllocs > 0 {
+		return fmt.Errorf("hotpath: protocol roundtrip allocates %.1f objects/op, want 0", protoAllocs)
+	}
+	return nil
+}
+
+// protoRoundtripAllocs is the deterministic allocation count of one full
+// frame-encode + frame-decode with pooled buffers — the same harness as
+// TestProtocolRoundtripZeroAlloc.
+func protoRoundtripAllocs() float64 {
+	payload := make([]byte, 4096)
+	hdr := protocol.Header{Opcode: protocol.OpWrite, LBA: 8, Count: 4096}
+	arena := make([]byte, 0, protocol.HeaderSize+len(payload))
+	lease := bufpool.Get(4096)
+	defer lease.Release()
+	var rd bytes.Reader
+	var m protocol.Message
+	alloc := func(n int) []byte { lease.SetLen(n); return lease.Bytes() }
+	run := func() {
+		var err error
+		arena, err = protocol.AppendMessage(arena[:0], &hdr, payload)
+		if err != nil {
+			panic(err)
+		}
+		rd.Reset(arena)
+		if err := protocol.ReadMessageInto(&rd, &m, alloc); err != nil {
+			panic(err)
+		}
+	}
+	run() // warm up (arena growth, pool priming)
+	return testing.AllocsPerRun(200, run)
+}
+
+// measureLoopback runs pipelined reads against an in-process server for
+// the given wall-clock window and returns msg/s and p99 latency.
+func measureLoopback(udp bool, size, window int, dur time.Duration) (float64, time.Duration, error) {
+	cfg := server.Config{
+		Addr:      "127.0.0.1:0",
+		Threads:   2,
+		Model:     core.CostModel{ReadCost: core.TokenUnit, ReadOnlyReadCost: core.TokenUnit / 2, WriteCost: 10 * core.TokenUnit},
+		TokenRate: 100_000_000 * core.TokenUnit,
+	}
+	if udp {
+		cfg.UDPAddr = "127.0.0.1:0"
+	}
+	srv, err := server.New(cfg, storage.NewMem(64<<20))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+
+	var cl *client.Client
+	if udp {
+		cl, err = client.DialUDP(srv.UDPAddr())
+	} else {
+		cl, err = client.Dial(srv.Addr())
+	}
+	if err != nil {
+		return 0, 0, err
+	}
+	defer cl.Close()
+
+	h, err := cl.Register(protocol.Registration{Writable: true, BestEffort: true})
+	if err != nil {
+		return 0, 0, err
+	}
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := cl.Write(h, 0, data); err != nil {
+		return 0, 0, err
+	}
+
+	type inflight struct {
+		c     *client.Call
+		start time.Time
+	}
+	calls := make([]inflight, 0, window)
+	lats := make([]time.Duration, 0, 1<<18)
+	reap := func(f inflight) error {
+		<-f.c.Done
+		if f.c.Err != nil {
+			return f.c.Err
+		}
+		lats = append(lats, time.Since(f.start))
+		return nil
+	}
+
+	n := 0
+	begin := time.Now()
+	for time.Since(begin) < dur {
+		if len(calls) == window {
+			f := calls[0]
+			calls = calls[:copy(calls, calls[1:])]
+			if err := reap(f); err != nil {
+				return 0, 0, err
+			}
+		}
+		c, err := cl.GoRead(h, 0, size)
+		if err != nil {
+			return 0, 0, err
+		}
+		calls = append(calls, inflight{c: c, start: time.Now()})
+		n++
+	}
+	for _, f := range calls {
+		if err := reap(f); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(begin)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	var p99 time.Duration
+	if len(lats) > 0 {
+		p99 = lats[len(lats)*99/100]
+	}
+	return float64(n) / elapsed.Seconds(), p99, nil
+}

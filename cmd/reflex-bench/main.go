@@ -8,6 +8,7 @@
 //	reflex-bench -list
 //	reflex-bench [-scale 1.0] fig1 tab2 fig5 ...
 //	reflex-bench -all
+//	reflex-bench -hotpath BENCH_hotpath.json   (hot-path acceptance run)
 package main
 
 import (
@@ -25,7 +26,17 @@ func main() {
 	all := flag.Bool("all", false, "run every experiment")
 	scale := flag.Float64("scale", 1.0, "measurement-window scale factor (smaller = faster, noisier)")
 	csvDir := flag.String("csv-dir", "", "also write each experiment's table as <dir>/<id>.csv")
+	hotpath := flag.String("hotpath", "", "run the hot-path throughput/allocation measurement and write results JSON to this file")
+	hotWindow := flag.Duration("hotpath-window", 3*time.Second, "per-transport measurement window for -hotpath")
 	flag.Parse()
+
+	if *hotpath != "" {
+		if err := runHotpath(*hotpath, *hotWindow); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/client"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
@@ -126,6 +127,33 @@ func main() {
 			cl := dial()
 			defer cl.Close()
 			rng := rand.New(rand.NewSource(int64(i) * 7919))
+			// One reaper per connection instead of a goroutine per
+			// in-flight call: calls complete in submission order on a
+			// single connection, so a bounded FIFO drains them without
+			// per-request goroutine+closure allocations (which would
+			// pollute the zero-allocation client hot path this harness
+			// is meant to exercise). The channel bound doubles as an
+			// in-flight cap providing backpressure.
+			pendCh := make(chan *client.Call, 1024)
+			var reaper sync.WaitGroup
+			reaper.Add(1)
+			go func() {
+				defer reaper.Done()
+				for call := range pendCh {
+					<-call.Done
+					if call.Err != nil {
+						select {
+						case <-stop: // teardown races are not errors
+						default:
+							errs.Add(1)
+						}
+					} else {
+						completed.Add(1)
+					}
+				}
+			}()
+			defer reaper.Wait()
+			defer close(pendCh)
 			// Accumulator pacing: issue however many requests the elapsed
 			// time calls for each 1ms tick (sub-millisecond tickers
 			// coalesce and would undershoot the offered rate).
@@ -154,18 +182,7 @@ func main() {
 						errs.Add(1)
 						continue
 					}
-					go func() {
-						<-call.Done
-						if call.Err != nil {
-							select {
-							case <-stop: // teardown races are not errors
-							default:
-								errs.Add(1)
-							}
-						} else {
-							completed.Add(1)
-						}
-					}()
+					pendCh <- call
 				}
 			}
 		}()
@@ -215,6 +232,15 @@ func main() {
 	fmt.Printf("issued %d, completed %d (%.0f IOPS), errors %d\n",
 		issued.Load(), completed.Load(),
 		float64(completed.Load())/elapsed.Seconds(), errs.Load())
+	var hits, misses uint64
+	for _, cs := range bufpool.Stats() {
+		hits += cs.Hits
+		misses += cs.Misses
+	}
+	if hits+misses > 0 {
+		fmt.Printf("client bufpool: %d hits, %d misses (%.1f%% pooled)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
 
 	latMu.Lock()
 	defer latMu.Unlock()

@@ -1,0 +1,180 @@
+// Package bufpool is the hot-path memory discipline of the real
+// server/client path: a size-classed buffer pool with explicit,
+// ref-counted leases.
+//
+// ReFlex's per-core throughput comes from an allocation-free
+// run-to-completion loop (§3.2.1); the Go analogue is a steady state in
+// which every wire payload, response frame and datagram scratch buffer is
+// drawn from a sync.Pool instead of the garbage collector. Buffers are
+// handed out as *Buf leases. A lease starts with one reference; every
+// additional consumer that outlives the current owner (a replication
+// forward riding a client write, a batched flush holding a response
+// payload) takes Retain and the buffer returns to its class pool only
+// when the final Release lands — never earlier, no matter which consumer
+// finishes first.
+//
+// Size classes are 512B / 4KiB / 64KiB / 256KiB, matching the protocol's
+// common shapes: a bare header or registration record, one logical block
+// I/O, the UDP datagram ceiling, and the wire-batch/catch-up chunk bound.
+// Requests larger than the top class fall through to plain allocations
+// (Release then simply drops the buffer for the GC); they are off the
+// steady-state path by construction.
+//
+// Debug poisoning (SetPoison) overwrites a buffer the moment it is
+// recycled, so a use-after-release reads 0xDB garbage instead of
+// plausible stale data — the regression seam for lease-lifetime tests
+// under -race.
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Class sizes, smallest to largest.
+var classSizes = [...]int{512, 4 << 10, 64 << 10, 256 << 10}
+
+// NumClasses is the number of pooled size classes.
+const NumClasses = len(classSizes)
+
+// ClassSize returns the capacity of class c.
+func ClassSize(c int) int { return classSizes[c] }
+
+// Poison is the byte pattern written over recycled buffers when poisoning
+// is enabled.
+const Poison = 0xDB
+
+var (
+	pools  [NumClasses]sync.Pool
+	hits   [NumClasses]atomic.Uint64
+	misses [NumClasses]atomic.Uint64
+	// unpooled counts Get calls that exceeded the top class.
+	unpooled atomic.Uint64
+	poison   atomic.Bool
+)
+
+// SetPoison enables or disables recycle-time poisoning (tests only: it
+// costs a memset per recycle).
+func SetPoison(on bool) { poison.Store(on) }
+
+// Buf is one leased buffer. The zero value is not a valid lease; obtain
+// leases from Get. A Buf must not be touched after its final Release.
+type Buf struct {
+	p     []byte // full class-capacity backing array
+	n     int    // live length (Get's request size)
+	class int32  // class index, or -1 when unpooled
+	refs  atomic.Int32
+}
+
+// Get leases a buffer of length n (capacity is the class size, so
+// in-place appends up to Cap never reallocate). The lease starts with one
+// reference.
+func Get(n int) *Buf {
+	c := classFor(n)
+	if c < 0 {
+		unpooled.Add(1)
+		b := &Buf{p: make([]byte, n), n: n, class: -1}
+		b.refs.Store(1)
+		return b
+	}
+	var b *Buf
+	if v := pools[c].Get(); v != nil {
+		hits[c].Add(1)
+		b = v.(*Buf)
+	} else {
+		misses[c].Add(1)
+		b = &Buf{p: make([]byte, classSizes[c]), class: int32(c)}
+	}
+	b.n = n
+	b.refs.Store(1)
+	return b
+}
+
+// classFor picks the smallest class holding n, or -1.
+func classFor(n int) int {
+	for c, sz := range classSizes {
+		if n <= sz {
+			return c
+		}
+	}
+	return -1
+}
+
+// Bytes returns the live n-byte window of the buffer.
+func (b *Buf) Bytes() []byte { return b.p[:b.n] }
+
+// Cap returns the full backing capacity (the class size).
+func (b *Buf) Cap() int { return len(b.p) }
+
+// Len returns the live length.
+func (b *Buf) Len() int { return b.n }
+
+// SetLen resizes the live window; n must not exceed Cap. Used when a
+// frame is assembled in place (e.g. appending a checksum trailer into the
+// same backing array).
+func (b *Buf) SetLen(n int) {
+	if n < 0 || n > len(b.p) {
+		panic(fmt.Sprintf("bufpool: SetLen(%d) outside [0,%d]", n, len(b.p)))
+	}
+	b.n = n
+}
+
+// Retain adds a reference for an additional consumer; it must be paired
+// with exactly one Release. Retain on a free buffer panics.
+func (b *Buf) Retain() {
+	if b.refs.Add(1) <= 1 {
+		panic("bufpool: Retain on a released buffer")
+	}
+}
+
+// Release drops one reference; the final release recycles the buffer into
+// its class pool (poisoning it first when enabled). Releasing more times
+// than retained panics — a double release is a lifetime bug, and silently
+// recycling twice would hand the same backing array to two owners.
+func (b *Buf) Release() {
+	r := b.refs.Add(-1)
+	if r > 0 {
+		return
+	}
+	if r < 0 {
+		panic("bufpool: Release of a free buffer")
+	}
+	if b.class < 0 {
+		return // oversize one-shot: leave it to the GC
+	}
+	if poison.Load() {
+		full := b.p
+		for i := range full {
+			full[i] = Poison
+		}
+	}
+	pools[b.class].Put(b)
+}
+
+// ReleaseIf releases b when it is non-nil (sugar for optional leases).
+func ReleaseIf(b *Buf) {
+	if b != nil {
+		b.Release()
+	}
+}
+
+// ClassStats is one size class's traffic.
+type ClassStats struct {
+	Size   int
+	Hits   uint64
+	Misses uint64
+}
+
+// Stats snapshots per-class pool traffic. Hits are Gets served from the
+// pool; misses allocated fresh backing (cold pool or GC-evicted).
+func Stats() [NumClasses]ClassStats {
+	var out [NumClasses]ClassStats
+	for c := range classSizes {
+		out[c] = ClassStats{Size: classSizes[c], Hits: hits[c].Load(), Misses: misses[c].Load()}
+	}
+	return out
+}
+
+// Unpooled returns how many Gets exceeded the top class.
+func Unpooled() uint64 { return unpooled.Load() }

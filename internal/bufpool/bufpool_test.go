@@ -1,0 +1,170 @@
+package bufpool
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestClassSelection(t *testing.T) {
+	cases := []struct {
+		n    int
+		size int
+	}{
+		{1, 512}, {512, 512}, {513, 4 << 10}, {4096, 4 << 10},
+		{4097, 64 << 10}, {64 << 10, 64 << 10}, {65537, 256 << 10},
+		{256 << 10, 256 << 10},
+	}
+	for _, c := range cases {
+		b := Get(c.n)
+		if b.Cap() != c.size {
+			t.Fatalf("Get(%d): cap %d, want class %d", c.n, b.Cap(), c.size)
+		}
+		if b.Len() != c.n {
+			t.Fatalf("Get(%d): len %d", c.n, b.Len())
+		}
+		b.Release()
+	}
+}
+
+func TestOversizeUnpooled(t *testing.T) {
+	before := Unpooled()
+	b := Get((256 << 10) + 1)
+	if b.Cap() != (256<<10)+1 {
+		t.Fatalf("oversize cap %d", b.Cap())
+	}
+	if Unpooled() != before+1 {
+		t.Fatal("unpooled counter did not move")
+	}
+	b.Release() // must not panic or recycle
+}
+
+// TestRefCountLifetime is the lease rule: with two consumers holding the
+// buffer, the first Release must not recycle it.
+func TestRefCountLifetime(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	b := Get(512)
+	copy(b.Bytes(), "payload-under-lease")
+	b.Retain() // second consumer (e.g. replication forward)
+	b.Release()
+	if string(b.Bytes()[:7]) != "payload" {
+		t.Fatal("buffer recycled while a reference was live")
+	}
+	b.Release()
+}
+
+// TestPoisonOnRecycle: after the final release the recycled buffer is
+// poisoned, so a use-after-release is loud.
+func TestPoisonOnRecycle(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	b := Get(4096)
+	window := b.Bytes() // illegally retained raw slice
+	copy(window, "stale")
+	b.Release()
+	// The recycled backing is poisoned; the stale window reads 0xDB.
+	for i := 0; i < 5; i++ {
+		if window[i] != Poison {
+			t.Fatalf("recycled byte %d = %#x, want poison", i, window[i])
+		}
+	}
+}
+
+func TestDoubleReleasePanics(t *testing.T) {
+	b := Get(512)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	// The buffer may have been recycled and re-leased by another test in
+	// theory, but within this test nothing re-Gets: the refcount is 0.
+	b.Release()
+}
+
+func TestRetainAfterFreePanics(t *testing.T) {
+	b := Get(512)
+	b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("retain-after-free did not panic")
+		}
+	}()
+	b.Retain()
+}
+
+func TestSetLenBounds(t *testing.T) {
+	b := Get(100)
+	b.SetLen(512) // up to class capacity is fine
+	if b.Len() != 512 {
+		t.Fatal("SetLen did not take")
+	}
+	defer b.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SetLen beyond cap did not panic")
+		}
+	}()
+	b.SetLen(513)
+}
+
+// TestConcurrentLeases hammers Retain/Release from many goroutines under
+// -race: the recycle must happen exactly once, after the last reference.
+func TestConcurrentLeases(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	for iter := 0; iter < 200; iter++ {
+		b := Get(4096)
+		payload := b.Bytes()
+		for i := range payload {
+			payload[i] = byte(iter)
+		}
+		const consumers = 8
+		b.refs.Store(consumers)
+		var wg sync.WaitGroup
+		errs := make(chan string, consumers)
+		for g := 0; g < consumers; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// Every consumer must see intact data right up to its own
+				// release.
+				for i := 0; i < 64; i++ {
+					if payload[i*8] != byte(iter) {
+						errs <- "consumer saw recycled bytes while holding a reference"
+						break
+					}
+				}
+				b.Release()
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		if msg, ok := <-errs; ok {
+			t.Fatal(msg)
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	a := Get(4096)
+	a.Release()
+	c := Get(4096)
+	c.Release()
+	st := Stats()
+	if st[1].Size != 4<<10 {
+		t.Fatalf("class 1 size %d", st[1].Size)
+	}
+	if st[1].Hits+st[1].Misses < 2 {
+		t.Fatal("stats did not count gets")
+	}
+}
+
+func BenchmarkGetRelease4K(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf := Get(4096)
+		buf.Release()
+	}
+}

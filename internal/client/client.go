@@ -16,7 +16,6 @@ package client
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"net"
@@ -25,6 +24,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -110,10 +110,26 @@ type Call struct {
 	hdr     protocol.Header
 	payload []byte
 	timer   *time.Timer
+	// lease is the pooled buffer backing payload (checksum-sealed write
+	// frames). It is released exactly once, at the call's completion
+	// point; stale-epoch re-pends keep it alive because the payload is
+	// replayed at the new primary.
+	lease *bufpool.Buf
 	// staleLeft bounds transparent re-pends after a StatusStaleEpoch
 	// response: the call is put back in flight and replayed at the new
 	// primary at most this many times before the error surfaces.
 	staleLeft int
+}
+
+// release returns the call's pooled payload lease. Every completion path
+// (deliver, expire, fail, reconnect-cancel, drop) funnels through exactly
+// one of the mutually exclusive pending-map removals, so release runs
+// once per call.
+func (c *Call) release() {
+	if c.lease != nil {
+		c.lease.Release()
+		c.lease = nil
+	}
 }
 
 // replayable reports whether the call is safe to re-issue on a fresh
@@ -141,17 +157,54 @@ type tcpTransport struct {
 	c  net.Conn
 	br *bufio.Reader
 	bw *bufio.Writer
+
+	// hb is the header marshal scratch; writes are serialized by the
+	// client's wmu, so one scratch per transport suffices and the write
+	// path stays allocation-free.
+	hb [protocol.HeaderSize]byte
+	// msg is reused across readMessage calls: the read loop consumes each
+	// message fully (only Payload, freshly allocated per message, escapes
+	// into user hands via Call.Data) before reading the next.
+	msg protocol.Message
 }
 
+// writeMessageBuffered frames hdr+payload into the buffered writer
+// without flushing; the client's flusher goroutine coalesces one Flush
+// across a submission burst (the client-side mirror of the server's
+// adaptive response batching). A bufio write error is sticky, so a dead
+// socket surfaces on the next call even if the failing flush happened on
+// the flusher goroutine.
+func (t *tcpTransport) writeMessageBuffered(hdr *protocol.Header, payload []byte) error {
+	hdr.Len = uint32(len(payload))
+	if hdr.Len > protocol.MaxPayload {
+		return fmt.Errorf("protocol: payload %d exceeds max %d", hdr.Len, protocol.MaxPayload)
+	}
+	hdr.MarshalTo(t.hb[:])
+	if _, err := t.bw.Write(t.hb[:]); err != nil {
+		return err
+	}
+	if len(payload) > 0 {
+		if _, err := t.bw.Write(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *tcpTransport) flush() error { return t.bw.Flush() }
+
 func (t *tcpTransport) writeMessage(hdr *protocol.Header, payload []byte) error {
-	if err := protocol.WriteMessage(t.bw, hdr, payload); err != nil {
+	if err := t.writeMessageBuffered(hdr, payload); err != nil {
 		return err
 	}
 	return t.bw.Flush()
 }
 
 func (t *tcpTransport) readMessage() (*protocol.Message, error) {
-	return protocol.ReadMessage(t.br)
+	if err := protocol.ReadMessageInto(t.br, &t.msg, nil); err != nil {
+		return nil, err
+	}
+	return &t.msg, nil
 }
 
 func (t *tcpTransport) close() error { return t.c.Close() }
@@ -164,6 +217,8 @@ func (t *tcpTransport) close() error { return t.c.Close() }
 // Options.Timeout. Only I/Os that fit one datagram are allowed.
 type udpTransport struct {
 	c *net.UDPConn
+	// msg is reused across readMessage calls (see tcpTransport.msg).
+	msg protocol.Message
 }
 
 // MaxUDPPayload bounds a single UDP I/O.
@@ -173,21 +228,36 @@ func (t *udpTransport) writeMessage(hdr *protocol.Header, payload []byte) error 
 	if len(payload) > MaxUDPPayload || hdr.Count > MaxUDPPayload {
 		return ErrBadRequest
 	}
-	var buf bytes.Buffer
-	if err := protocol.WriteMessage(&buf, hdr, payload); err != nil {
+	// Frame into a pooled arena and send one datagram: no per-message
+	// buffer allocation.
+	frame := bufpool.Get(protocol.HeaderSize + len(payload))
+	defer frame.Release()
+	b, err := protocol.AppendMessage(frame.Bytes()[:0], hdr, payload)
+	if err != nil {
 		return err
 	}
-	_, err := t.c.Write(buf.Bytes())
+	_, err = t.c.Write(b)
 	return err
 }
 
 func (t *udpTransport) readMessage() (*protocol.Message, error) {
-	buf := make([]byte, 64<<10)
+	// Pooled receive scratch: the datagram is parsed in place and only the
+	// payload — which becomes the user-owned Call.Data — is copied out
+	// before the scratch returns to the pool.
+	lease := bufpool.Get(64 << 10)
+	defer lease.Release()
+	buf := lease.Bytes()
 	n, err := t.c.Read(buf)
 	if err != nil {
 		return nil, err
 	}
-	return protocol.ReadMessage(bytes.NewReader(buf[:n]))
+	if err := t.msg.UnmarshalFrame(buf[:n]); err != nil {
+		return nil, err
+	}
+	if len(t.msg.Payload) > 0 {
+		t.msg.Payload = append([]byte(nil), t.msg.Payload...)
+	}
+	return &t.msg, nil
 }
 
 func (t *udpTransport) close() error { return t.c.Close() }
@@ -285,6 +355,13 @@ type Client struct {
 	// senders block (bounded by the backoff budget) instead of writing
 	// into a dead transport.
 	wmu sync.Mutex
+	// dirty (guarded by wmu) marks frames buffered in the TCP transport's
+	// writer but not yet flushed; the flusher goroutine clears it with one
+	// Flush per kick, so a pipelined submission burst shares one syscall.
+	dirty     bool
+	flushKick chan struct{} // cap 1: a pending kick covers any later ones
+	flushStop chan struct{}
+	flushOnce sync.Once
 
 	mu      sync.Mutex
 	t       transport
@@ -396,14 +473,61 @@ func DialUDPOptions(addr string, o Options) (*Client, error) {
 // newClient builds the client shell; the caller installs the transport
 // and dial hook before starting the read loop.
 func newClient(t transport, o Options, targets []string) *Client {
-	return &Client{
+	cl := &Client{
 		opts:      o,
 		t:         t,
 		targets:   targets,
 		pending:   make(map[uint64]*Call),
 		regs:      make(map[uint16]protocol.Registration),
 		handleMap: make(map[uint16]uint16),
+		flushKick: make(chan struct{}, 1),
+		flushStop: make(chan struct{}),
 	}
+	go cl.flushLoop()
+	return cl
+}
+
+// kickFlush wakes the flusher; a kick already pending covers this one
+// (the flusher re-checks dirty under wmu after every wake).
+func (cl *Client) kickFlush() {
+	select {
+	case cl.flushKick <- struct{}{}:
+	default:
+	}
+}
+
+// flushLoop coalesces submission flushes: send() frames requests into the
+// TCP transport's buffered writer, marks it dirty and kicks; one Flush
+// here covers every frame buffered up to that point. Under light load the
+// kick fires per request (one goroutine wake of added latency); under a
+// pipelined burst many submissions share a single flush and syscall —
+// the client-side counterpart of the server's §3.2.1 adaptive batching.
+func (cl *Client) flushLoop() {
+	for {
+		select {
+		case <-cl.flushStop:
+			return
+		case <-cl.flushKick:
+		}
+		cl.wmu.Lock()
+		if cl.dirty {
+			cl.dirty = false
+			if tt, ok := cl.t.(*tcpTransport); ok {
+				if err := tt.flush(); err != nil {
+					// Dead socket: close it so the read loop notices now
+					// rather than at the next response. The sticky bufio
+					// error also surfaces on the next send.
+					tt.close()
+				}
+			}
+		}
+		cl.wmu.Unlock()
+	}
+}
+
+// stopFlusher halts the flush goroutine (Close and permanent failure).
+func (cl *Client) stopFlusher() {
+	cl.flushOnce.Do(func() { close(cl.flushStop) })
 }
 
 // Reconnects returns how many times the client has reconnected.
@@ -419,6 +543,7 @@ func (cl *Client) Close() error {
 	cl.closed = true
 	t := cl.t
 	cl.mu.Unlock()
+	cl.stopFlusher()
 	if h := cl.hedge; h != nil {
 		h.close()
 	}
@@ -484,6 +609,7 @@ func (cl *Client) deliver(m *protocol.Message) {
 	if call.timer != nil {
 		call.timer.Stop()
 	}
+	call.release()
 	call.status = m.Header.Status
 	call.handle = m.Header.Handle
 	call.Data = m.Payload
@@ -517,6 +643,7 @@ func (cl *Client) expire(call *Call) {
 	}
 	delete(cl.pending, call.hdr.Cookie)
 	cl.mu.Unlock()
+	call.release()
 	call.Err = ErrTimeout
 	if cl.cluster {
 		// A run of timeouts on one replica (blackholed or GC-wedged) is
@@ -529,13 +656,18 @@ func (cl *Client) expire(call *Call) {
 	close(call.Done)
 }
 
-// drop removes a never-sent call.
+// drop removes a never-sent call. The pending-map check keeps the lease
+// release exclusive with a concurrently firing expire timer.
 func (cl *Client) drop(call *Call) {
 	cl.mu.Lock()
+	_, mine := cl.pending[call.hdr.Cookie]
 	delete(cl.pending, call.hdr.Cookie)
 	cl.mu.Unlock()
 	if call.timer != nil {
 		call.timer.Stop()
+	}
+	if mine {
+		call.release()
 	}
 }
 
@@ -547,11 +679,13 @@ func (cl *Client) fail(err error) {
 	cl.pending = make(map[uint64]*Call)
 	t := cl.t
 	cl.mu.Unlock()
+	cl.stopFlusher()
 	for _, call := range pending {
 		if call.timer != nil {
 			call.timer.Stop()
 		}
 		call.Err = err
+		call.release()
 		close(call.Done)
 	}
 	if t != nil {
@@ -668,10 +802,26 @@ func (cl *Client) resume(nt transport) bool {
 	}
 	sort.Slice(calls, func(i, j int) bool { return calls[i].hdr.Cookie < calls[j].hdr.Cookie })
 	var cancel []*Call
-	replay := calls[:0]
+	var pins []*bufpool.Buf
+	type replayReq struct {
+		hdr     protocol.Header
+		payload []byte
+	}
+	var replay []replayReq
 	for _, c := range calls {
 		if c.replayable() {
-			replay = append(replay, c)
+			// Snapshot the request and pin its pooled payload for the
+			// replay write: an expire timer may complete (and release) the
+			// call between this snapshot and the write below. The retain —
+			// and the payload capture — happen in the same critical section
+			// that saw the call still pending, so neither can race the
+			// timer's release (which runs strictly after its own
+			// pending-map removal).
+			if c.lease != nil {
+				c.lease.Retain()
+				pins = append(pins, c.lease)
+			}
+			replay = append(replay, replayReq{hdr: c.hdr, payload: c.payload})
 		} else {
 			delete(cl.pending, c.hdr.Cookie)
 			cancel = append(cancel, c)
@@ -683,18 +833,27 @@ func (cl *Client) resume(nt transport) bool {
 			c.timer.Stop()
 		}
 		c.Err = fmt.Errorf("%w: connection reset during reconnect", ErrClosed)
+		c.release()
 		close(c.Done)
 	}
-	for _, c := range replay {
-		w := c.hdr
-		w.Handle = cl.mapHandle(c.hdr.Handle)
+	replayErr := false
+	for _, r := range replay {
+		w := r.hdr
+		w.Handle = cl.mapHandle(r.hdr.Handle)
 		// Re-stamp the epoch: a replay after failover must carry the new
 		// primary's epoch or it would bounce off its own fence.
 		w.Epoch = cl.Epoch()
-		if err := nt.writeMessage(&w, c.payload); err != nil {
-			return false
+		if err := nt.writeMessage(&w, r.payload); err != nil {
+			replayErr = true
+			break
 		}
 		cl.replayed.Add(1)
+	}
+	for _, p := range pins {
+		p.Release() // drop the replay pin
+	}
+	if replayErr {
+		return false
 	}
 
 	cl.mu.Lock()
@@ -715,13 +874,21 @@ func (cl *Client) mapHandle(h uint16) uint16 {
 
 // send registers the call and writes the request.
 func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
-	call := &Call{Done: make(chan struct{}), payload: payload, staleLeft: 2}
+	return cl.sendLease(hdr, payload, nil)
+}
+
+// sendLease is send with a pooled payload lease attached to the call
+// (checksum-sealed write frames). Ownership of the lease transfers to the
+// call on success and is released here on every early-error path.
+func (cl *Client) sendLease(hdr *protocol.Header, payload []byte, lease *bufpool.Buf) (*Call, error) {
+	call := &Call{Done: make(chan struct{}), payload: payload, lease: lease, staleLeft: 2}
 	hdr.Cookie = cl.cookie.Add(1)
 	call.hdr = *hdr
 
 	cl.mu.Lock()
 	if cl.closed {
 		cl.mu.Unlock()
+		call.release()
 		return nil, ErrClosed
 	}
 	cl.pending[hdr.Cookie] = call
@@ -736,12 +903,22 @@ func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
 	cl.wmu.Lock()
 	t := cl.t
 	var err error
-	if t == nil {
+	switch tt := t.(type) {
+	case nil:
 		err = ErrClosed
-	} else {
+	case *tcpTransport:
+		// Buffered submission: frame into the transport's writer and let
+		// the flusher goroutine coalesce the flush across the burst.
+		if err = tt.writeMessageBuffered(&w, payload); err == nil {
+			cl.dirty = true
+		}
+	default:
 		err = t.writeMessage(&w, payload)
 	}
 	cl.wmu.Unlock()
+	if err == nil {
+		cl.kickFlush()
+	}
 	if err != nil {
 		if errors.Is(err, ErrBadRequest) {
 			cl.drop(call)
@@ -837,11 +1014,19 @@ func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error)
 		Count:  uint32(len(data)),
 	}
 	payload := data
+	var lease *bufpool.Buf
 	if cl.opts.Checksum {
 		hdr.Flags |= protocol.FlagChecksum
-		payload = protocol.SealChecksum(data)
+		// Seal into a pooled frame: one copy into a lease with trailer
+		// slack, CRC appended in place. The lease lives until the call
+		// completes — the sealed payload may be replayed across
+		// reconnects and failovers.
+		lease = bufpool.Get(len(data) + protocol.ChecksumSize)
+		buf := lease.Bytes()[:len(data)]
+		copy(buf, data)
+		payload = protocol.AppendChecksum(buf)
 	}
-	return cl.send(hdr, payload)
+	return cl.sendLease(hdr, payload, lease)
 }
 
 // GoBarrier starts an asynchronous ordering barrier on the tenant: it

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -172,15 +173,32 @@ func (b *Backup) session() error {
 	b.joins.Add(1)
 	b.logf("cluster: joined primary %s at epoch %d", b.primary, b.app.ClusterEpoch())
 
+	// Steady-state apply loop on pooled buffers: one reused Message plus a
+	// per-iteration lease sized to the incoming frame (released as soon as
+	// the write is applied). Acks coalesce adaptively — each ack is written
+	// into bw and flushed only when no further replicated frame is already
+	// buffered, so a burst of live forwards costs one flush, while the
+	// ack-paced catch-up stream (primary waits for each ack before the next
+	// chunk) still sees every ack immediately: between chunks br.Buffered()
+	// is always zero.
+	var msg protocol.Message
+	var lease *bufpool.Buf
+	alloc := func(n int) []byte {
+		lease = bufpool.Get(n)
+		return lease.Bytes()
+	}
 	for !b.stopped.Load() && b.app.IsBackupRole() {
-		m, err := protocol.ReadMessage(br)
-		if err != nil {
+		lease = nil
+		if err := protocol.ReadMessageInto(br, &msg, alloc); err != nil {
+			bufpool.ReleaseIf(lease)
 			return err
 		}
-		if m.Header.Opcode != protocol.OpReplicate || m.Header.IsResponse() {
+		if msg.Header.Opcode != protocol.OpReplicate || msg.Header.IsResponse() {
+			bufpool.ReleaseIf(lease)
 			continue // tolerate anything else on the channel
 		}
-		st := b.app.ApplyReplicate(m.Header.LBA, m.Payload, m.Header.Epoch)
+		st := b.app.ApplyReplicate(msg.Header.LBA, msg.Payload, msg.Header.Epoch)
+		bufpool.ReleaseIf(lease) // payload applied; the lease is done
 		if st == protocol.StatusOK {
 			b.applied.Add(1)
 		}
@@ -189,23 +207,29 @@ func (b *Backup) session() error {
 			Flags:  protocol.FlagResponse,
 			Status: st,
 			Epoch:  b.app.ClusterEpoch(),
-			Cookie: m.Header.Cookie,
-			LBA:    m.Header.LBA,
-			Count:  m.Header.Count,
+			Cookie: msg.Header.Cookie,
+			LBA:    msg.Header.LBA,
+			Count:  msg.Header.Count,
 		}
 		if err := protocol.WriteMessage(bw, &ack, nil); err != nil {
 			return err
 		}
-		if err := bw.Flush(); err != nil {
-			return err
+		if br.Buffered() == 0 {
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		}
 		if st == protocol.StatusStaleEpoch {
-			// We fenced the sender; it will detach. Drop the session so a
+			// We fenced the sender; it will detach. Flush the fencing ack
+			// (it may still be sitting in bw) and drop the session so a
 			// genuinely newer primary can be joined (not this one).
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 			return nil
 		}
 	}
-	return nil
+	return bw.Flush()
 }
 
 // JoinRefusedError reports a primary that refused the OpJoin handshake.

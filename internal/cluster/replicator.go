@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/protocol"
 	"github.com/reflex-go/reflex/internal/storage"
 )
@@ -37,8 +38,13 @@ import (
 // ReplicaSender delivers one framed message to the attached backup. The
 // server adapts its connection write path to this; send failures tear the
 // connection down out-of-band (the replicator sees a Detach).
+//
+// lease, when non-nil, is a reference on the pooled buffer backing
+// payload that the sender now owns: it must be released once the bytes
+// are on the wire (or the send is abandoned). Catch-up chunks pass nil —
+// their buffer is private to the catch-up goroutine.
 type ReplicaSender interface {
-	SendToReplica(hdr *protocol.Header, payload []byte)
+	SendToReplica(hdr *protocol.Header, payload []byte, lease *bufpool.Buf)
 }
 
 // ReplicatorConfig configures the primary-side replicator.
@@ -210,7 +216,13 @@ func (s *session) close(st protocol.Status) {
 // be called exactly once with the backup's ack status (or the detach
 // status if the session dies first); the caller must defer the client ack
 // until then.
-func (r *Replicator) Forward(lba uint32, payload []byte, done func(protocol.Status)) bool {
+//
+// lease, when non-nil, is the pooled buffer backing payload. Forward
+// retains its own reference before handing it to the sender (which
+// releases it after the backup-bound flush), so the caller may release
+// its reference as soon as Forward returns — regardless of the return
+// value.
+func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, done func(protocol.Status)) bool {
 	if r == nil {
 		return false
 	}
@@ -236,8 +248,11 @@ func (r *Replicator) Forward(lba uint32, payload []byte, done func(protocol.Stat
 		LBA:    lba,
 		Count:  uint32(len(payload)),
 	}
+	if lease != nil {
+		lease.Retain()
+	}
 	s.sendMu.Lock()
-	s.sender.SendToReplica(&hdr, payload)
+	s.sender.SendToReplica(&hdr, payload, lease)
 	s.sendMu.Unlock()
 	r.forwarded.Add(1)
 	if r.cfg.OnForward != nil {
@@ -325,7 +340,7 @@ func (s *session) catchup() {
 			LBA:    uint32(off / protocol.BlockSize),
 			Count:  uint32(n),
 		}
-		s.sender.SendToReplica(&hdr, buf[:n])
+		s.sender.SendToReplica(&hdr, buf[:n], nil)
 		s.sendMu.Unlock()
 
 		select {

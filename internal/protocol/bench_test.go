@@ -3,6 +3,8 @@ package protocol
 import (
 	"bytes"
 	"testing"
+
+	"github.com/reflex-go/reflex/internal/bufpool"
 )
 
 // BenchmarkHeaderMarshal measures request-header encoding, once per wire
@@ -28,7 +30,9 @@ func BenchmarkHeaderUnmarshal(b *testing.B) {
 	}
 }
 
-// BenchmarkMessageRoundTrip measures framing a 4KB write and decoding it.
+// BenchmarkMessageRoundTrip measures framing a 4KB write and decoding it
+// through the allocating convenience path (the pre-pooling shape, kept as
+// the comparison point for BenchmarkProtocolRoundtrip).
 func BenchmarkMessageRoundTrip(b *testing.B) {
 	payload := make([]byte, 4096)
 	b.SetBytes(int64(HeaderSize + len(payload)))
@@ -40,5 +44,76 @@ func BenchmarkMessageRoundTrip(b *testing.B) {
 		if _, err := ReadMessage(&buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// protocolRoundtrip frames one 4KB write into a reused arena via
+// AppendMessage and decodes it via ReadMessageInto with a pooled payload
+// buffer and a reused Message — the steady-state hot-path shape. It is
+// shared by the benchmark and the zero-alloc guard test.
+func protocolRoundtrip(b *bufpool.Buf, arena []byte, rd *bytes.Reader, m *Message, hdr *Header, payload []byte) ([]byte, error) {
+	arena = arena[:0]
+	arena, err := AppendMessage(arena, hdr, payload)
+	if err != nil {
+		return arena, err
+	}
+	rd.Reset(arena)
+	alloc := func(n int) []byte { b.SetLen(n); return b.Bytes() }
+	return arena, ReadMessageInto(rd, m, alloc)
+}
+
+// BenchmarkProtocolRoundtrip is the acceptance benchmark: one full
+// frame-encode + frame-decode of a 4KB write with pooled buffers must run
+// allocation-free at steady state (the CI bench-hotpath job fails on >0
+// allocs/op; TestProtocolRoundtripZeroAlloc guards it deterministically).
+func BenchmarkProtocolRoundtrip(b *testing.B) {
+	payload := make([]byte, 4096)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	hdr := Header{Opcode: OpWrite, LBA: 8, Count: 4096}
+	arena := make([]byte, 0, HeaderSize+len(payload))
+	lease := bufpool.Get(4096)
+	defer lease.Release()
+	var rd bytes.Reader
+	var m Message
+	b.SetBytes(int64(HeaderSize + len(payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		arena, err = protocolRoundtrip(lease, arena, &rd, &m, &hdr, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if !bytes.Equal(m.Payload, payload) {
+		b.Fatal("roundtrip corrupted payload")
+	}
+}
+
+// TestProtocolRoundtripZeroAlloc pins the hot-path contract: after
+// warm-up, the pooled protocol roundtrip performs zero heap allocations
+// per operation. This is the deterministic form of the CI rule "fail on
+// >0 allocs/op in the protocol roundtrip bench".
+func TestProtocolRoundtripZeroAlloc(t *testing.T) {
+	payload := make([]byte, 4096)
+	hdr := Header{Opcode: OpWrite, LBA: 8, Count: 4096}
+	arena := make([]byte, 0, HeaderSize+len(payload))
+	lease := bufpool.Get(4096)
+	defer lease.Release()
+	var rd bytes.Reader
+	var m Message
+	run := func() {
+		var err error
+		arena, err = protocolRoundtrip(lease, arena, &rd, &m, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm up (arena growth, pool priming)
+	if allocs := testing.AllocsPerRun(200, run); allocs > 0 {
+		t.Fatalf("protocol roundtrip allocates %.1f objects/op, want 0", allocs)
 	}
 }

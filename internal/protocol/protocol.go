@@ -149,6 +149,16 @@ func SealChecksum(data []byte) []byte {
 	return out
 }
 
+// AppendChecksum appends the CRC32C trailer to data in place and returns
+// the extended slice. When cap(data) >= len(data)+ChecksumSize — the
+// bufpool contract: every pooled class leaves trailer slack — no copy or
+// allocation happens: the frame is sealed inside its own backing array.
+func AppendChecksum(data []byte) []byte {
+	var tr [ChecksumSize]byte
+	binary.BigEndian.PutUint32(tr[:], Checksum(data))
+	return append(data, tr[:]...)
+}
+
 // Status codes carried in responses (in the Handle field's place meaning
 // stays: Status uses its own field).
 type Status uint16
@@ -438,27 +448,82 @@ type Message struct {
 	// (stripped) payload is still delivered so callers can count/inspect,
 	// but it must not be trusted.
 	ChecksumErr bool
+
+	// hb is the header read scratch, kept inside the (reusable) Message so
+	// a steady-state read loop performs zero heap allocations: a local
+	// [HeaderSize]byte array would escape through the io.Reader interface
+	// call and be re-allocated on every message.
+	hb [HeaderSize]byte
 }
 
-// ReadMessage reads one framed message. When the header carries
-// FlagChecksum and a payload, the trailing CRC32C is verified and stripped
-// in place (zero extra allocation): Payload and Header.Len reflect the data
-// bytes only, and ChecksumErr reports a mismatch.
+// Allocator provides payload storage to ReadMessageInto. The returned
+// slice must have length n (capacity may exceed it, e.g. a bufpool class).
+// A nil Allocator falls back to make.
+type Allocator func(n int) []byte
+
+// ReadMessage reads one framed message into a fresh Message with a fresh
+// payload allocation. Hot paths should prefer ReadMessageInto with a
+// reused Message and a pooled Allocator.
 func ReadMessage(r io.Reader) (*Message, error) {
-	var hb [HeaderSize]byte
-	if _, err := io.ReadFull(r, hb[:]); err != nil {
+	m := &Message{}
+	if err := ReadMessageInto(r, m, nil); err != nil {
 		return nil, err
 	}
-	m := &Message{}
-	if err := m.Header.Unmarshal(hb[:]); err != nil {
-		return nil, err
+	return m, nil
+}
+
+// ReadMessageInto reads one framed message into m, drawing payload storage
+// from alloc (make when nil). m is fully overwritten; reusing one Message
+// per read loop plus a pooled Allocator makes the steady-state read path
+// allocation-free. When the header carries FlagChecksum and a payload, the
+// trailing CRC32C is verified and stripped in place (no extra copy):
+// Payload and Header.Len reflect the data bytes only, and ChecksumErr
+// reports a mismatch.
+func ReadMessageInto(r io.Reader, m *Message, alloc Allocator) error {
+	if _, err := io.ReadFull(r, m.hb[:]); err != nil {
+		return err
+	}
+	m.Payload = nil
+	m.ChecksumErr = false
+	if err := m.Header.Unmarshal(m.hb[:]); err != nil {
+		return err
 	}
 	if m.Header.Len > 0 {
-		m.Payload = make([]byte, m.Header.Len)
+		if alloc != nil {
+			m.Payload = alloc(int(m.Header.Len))
+		} else {
+			m.Payload = make([]byte, m.Header.Len)
+		}
 		if _, err := io.ReadFull(r, m.Payload); err != nil {
-			return nil, fmt.Errorf("protocol: truncated payload: %w", err)
+			return fmt.Errorf("protocol: truncated payload: %w", err)
 		}
 	}
+	m.verifyChecksum()
+	return nil
+}
+
+// UnmarshalFrame decodes one complete framed message from b in place: the
+// payload aliases b (no copy, no allocation). The datagram fast path —
+// the caller owns b (a pooled receive buffer) and must keep it alive as
+// long as the payload is referenced.
+func (m *Message) UnmarshalFrame(b []byte) error {
+	m.Payload = nil
+	m.ChecksumErr = false
+	if err := m.Header.Unmarshal(b); err != nil {
+		return err
+	}
+	if int(m.Header.Len) != len(b)-HeaderSize {
+		return fmt.Errorf("protocol: frame length %d, header says %d", len(b)-HeaderSize, m.Header.Len)
+	}
+	if m.Header.Len > 0 {
+		m.Payload = b[HeaderSize:]
+	}
+	m.verifyChecksum()
+	return nil
+}
+
+// verifyChecksum strips and checks the CRC32C trailer when present.
+func (m *Message) verifyChecksum() {
 	if m.Header.Flags&FlagChecksum != 0 && m.Header.Len >= ChecksumSize {
 		n := len(m.Payload) - ChecksumSize
 		want := binary.BigEndian.Uint32(m.Payload[n:])
@@ -468,7 +533,6 @@ func ReadMessage(r io.Reader) (*Message, error) {
 			m.ChecksumErr = true
 		}
 	}
-	return m, nil
 }
 
 // WriteMessage writes a framed message. hdr.Len is forced to len(payload).
@@ -483,3 +547,22 @@ func WriteMessage(w io.Writer, hdr *Header, payload []byte) error {
 	_, err := w.Write(buf)
 	return err
 }
+
+// AppendMessage appends the framed message to dst and returns the
+// extended slice. hdr.Len is forced to len(payload). With sufficient
+// capacity in dst — the batching writers size their arenas up front — no
+// allocation happens; this is the wire-batch building block that replaced
+// WriteMessage's per-call frame allocation on the hot path.
+func AppendMessage(dst []byte, hdr *Header, payload []byte) ([]byte, error) {
+	hdr.Len = uint32(len(payload))
+	if hdr.Len > MaxPayload {
+		return dst, fmt.Errorf("protocol: payload %d exceeds max %d", hdr.Len, MaxPayload)
+	}
+	off := len(dst)
+	dst = append(dst, zeroHeader[:]...)
+	hdr.MarshalTo(dst[off:])
+	return append(dst, payload...), nil
+}
+
+// zeroHeader reserves header space in AppendMessage without a make call.
+var zeroHeader [HeaderSize]byte

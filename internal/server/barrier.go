@@ -62,7 +62,7 @@ func (st *stenant) submitBarrier(conn responder, hdr protocol.Header) bool {
 			Flags:  protocol.FlagResponse,
 			Handle: hdr.Handle,
 			Cookie: hdr.Cookie,
-		}, nil)
+		}, nil, nil)
 		return true
 	}
 	st.seq = append(st.seq, seqItem{bconn: conn, bhdr: hdr})
@@ -91,7 +91,17 @@ func (st *stenant) kill() {
 				Handle: it.bhdr.Handle,
 				Cookie: it.bhdr.Cookie,
 				Status: protocol.StatusNoTenant,
-			}, nil)
+			}, nil, nil)
+			continue
+		}
+		// Dropped held I/O: its request context may hold a retained
+		// write-payload lease that will never reach submit; release it
+		// here so the pooled buffer is not leaked for the process
+		// lifetime.
+		if it.io != nil {
+			if ctx, ok := it.io.req.Context.(*reqCtx); ok {
+				ctx.releaseLease()
+			}
 		}
 	}
 }
@@ -127,7 +137,7 @@ func (st *stenant) ioDone(s *Server) {
 			Flags:  protocol.FlagResponse,
 			Handle: b.bhdr.Handle,
 			Cookie: b.bhdr.Cookie,
-		}, nil)
+		}, nil, nil)
 	}
 	if len(release) == 0 {
 		return

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -137,11 +138,16 @@ func (s *Server) ApplyReplicate(lba uint32, payload []byte, epoch uint16) protoc
 	return protocol.StatusOK
 }
 
-// replicaSender adapts a srvConn to cluster.ReplicaSender.
+// replicaSender adapts a srvConn to cluster.ReplicaSender. The lease (a
+// reference the replicator retained for the backup-bound copy) transfers
+// to send, which releases it after the flush that carries the frame.
+// Catch-up chunks arrive with a nil lease and a private buffer; their
+// reuse is safe because the catch-up stream is ack-paced — the backup can
+// only ack a chunk the writer goroutine already flushed.
 type replicaSender struct{ sc *srvConn }
 
-func (r replicaSender) SendToReplica(hdr *protocol.Header, payload []byte) {
-	r.sc.send(hdr, payload)
+func (r replicaSender) SendToReplica(hdr *protocol.Header, payload []byte, lease *bufpool.Buf) {
+	r.sc.send(hdr, payload, lease)
 }
 
 // joinReplica attaches sc as the backup session (OpJoin) and starts the

@@ -105,10 +105,7 @@ func (f *flushFailConn) SetWriteDeadline(time.Time) error { return nil }
 func TestFlushFailureTearsDownConn(t *testing.T) {
 	srv, _ := startServer(t, nil)
 	fc := &flushFailConn{closed: make(chan struct{})}
-	sc := &srvConn{srv: srv, c: fc, owned: make(map[uint16]struct{})}
-	srv.mu.Lock()
-	srv.conns[sc] = struct{}{}
-	srv.mu.Unlock()
+	sc := newSrvConn(srv, fc)
 
 	h, st := srv.registerTenant(beWritable())
 	if st != protocol.StatusOK {
@@ -116,20 +113,24 @@ func TestFlushFailureTearsDownConn(t *testing.T) {
 	}
 	sc.addOwned(h)
 
-	// Any response write fails; send must trigger full teardown.
-	sc.send(&protocol.Header{Opcode: protocol.OpRead, Flags: protocol.FlagResponse}, nil)
+	// Any response write fails; the writer goroutine's flush must trigger
+	// full teardown (asynchronously — send only enqueues now).
+	sc.send(&protocol.Header{Opcode: protocol.OpRead, Flags: protocol.FlagResponse}, nil, nil)
 
-	select {
-	case <-fc.closed:
-	default:
-		t.Fatal("flush failure did not close the connection")
-	}
-	srv.mu.Lock()
-	_, stillThere := srv.conns[sc]
-	srv.mu.Unlock()
-	if stillThere {
-		t.Fatal("torn-down connection still in the server's set")
-	}
+	waitFor(t, 5*time.Second, "flush failure closed the connection", func() bool {
+		select {
+		case <-fc.closed:
+			return true
+		default:
+			return false
+		}
+	})
+	waitFor(t, 5*time.Second, "conn removed from server set", func() bool {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		_, stillThere := srv.conns[sc]
+		return !stillThere
+	})
 	waitFor(t, 5*time.Second, "owned tenant unregistered", func() bool {
 		_, ok := srv.lookup(h)
 		return !ok

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/storage"
+)
+
+// Hot-path benchmarks: the real TCP/UDP request/response path over
+// loopback, pipelined the way the paper's clients drive a dataplane core
+// (many in-flight requests per connection, §3.2.1). These are the numbers
+// BENCH_hotpath.json tracks; the CI bench-hotpath job runs them with
+// -benchmem so allocation regressions on the steady-state path are
+// visible.
+
+// benchServer starts a loopback server tuned for throughput measurement:
+// in-memory backend, no simulated device latency, effectively unthrottled
+// token rate.
+func benchServer(b *testing.B, mutate func(*Config)) *Server {
+	b.Helper()
+	cfg := Config{
+		Addr:      "127.0.0.1:0",
+		Threads:   2,
+		Model:     modelA(),
+		TokenRate: 100_000_000 * core.TokenUnit,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	srv, err := New(cfg, storage.NewMem(64<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// benchEcho drives size-byte pipelined reads with the given in-flight
+// window and reports msg/s.
+func benchEcho(b *testing.B, cl *client.Client, size, window int) {
+	b.Helper()
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Prime the block range so reads return real data.
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := cl.Write(h, 0, data); err != nil {
+		b.Fatal(err)
+	}
+	calls := make([]*client.Call, 0, window)
+	b.SetBytes(int64(size))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(calls) == window {
+			c := calls[0]
+			calls = calls[:copy(calls, calls[1:])]
+			<-c.Done
+			if c.Err != nil {
+				b.Fatal(c.Err)
+			}
+		}
+		c, err := cl.GoRead(h, 0, size)
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls = append(calls, c)
+	}
+	for _, c := range calls {
+		<-c.Done
+		if c.Err != nil {
+			b.Fatal(c.Err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "msg/s")
+}
+
+// BenchmarkHotPathTCP measures pipelined 4KB reads over loopback TCP.
+func BenchmarkHotPathTCP(b *testing.B) {
+	srv := benchServer(b, nil)
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	benchEcho(b, cl, 4096, 256)
+}
+
+// BenchmarkHotPathUDP measures pipelined 4KB reads over loopback UDP with
+// a small window (datagram sockets have shallow kernel buffers).
+func BenchmarkHotPathUDP(b *testing.B) {
+	srv := benchServer(b, func(c *Config) { c.UDPAddr = "127.0.0.1:0" })
+	cl, err := client.DialUDP(srv.UDPAddr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	benchEcho(b, cl, 4096, 16)
+}

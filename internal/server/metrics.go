@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/obs"
 )
@@ -53,6 +54,14 @@ type metrics struct {
 	replAcked     *obs.Counter // backup acks received
 	replApplied   *obs.Counter // replicated writes applied (backup side)
 	replJoins     *obs.Counter // backup join sessions accepted
+
+	// Hot-path batching telemetry (DESIGN.md §12): how well the adaptive
+	// wire coalescer and the scheduler batch drain amortize per-message
+	// costs. flushBatch records messages per writev flush; schedBatch
+	// records requests absorbed per scheduling round.
+	flushes    *obs.Counter   // wire flushes (writev or single-write) issued
+	flushBatch *obs.Histogram // messages coalesced per wire flush
+	schedBatch *obs.Histogram // requests drained per scheduler round
 }
 
 func newMetrics(s *Server) *metrics {
@@ -91,6 +100,19 @@ func newMetrics(s *Server) *metrics {
 	m.replAcked = reg.Counter("repl_acked", "backup replication acks received")
 	m.replApplied = reg.Counter("repl_applied", "replicated writes applied (backup role)")
 	m.replJoins = reg.Counter("repl_joins", "backup join sessions accepted")
+	m.flushes = reg.Counter("srv_wire_flushes_total", "wire flushes issued by connection writers")
+	m.flushBatch = reg.Histogram("srv_flush_batch_msgs", "responses coalesced per wire flush")
+	m.schedBatch = reg.Histogram("srv_sched_batch", "requests drained per scheduler round")
+	for c := 0; c < bufpool.NumClasses; c++ {
+		c := c
+		lbl := obs.L("class", strconv.Itoa(bufpool.ClassSize(c)))
+		reg.CounterFunc("bufpool_hits", "pooled buffer gets served from the pool",
+			func() float64 { return float64(bufpool.Stats()[c].Hits) }, lbl)
+		reg.CounterFunc("bufpool_misses", "pooled buffer gets that allocated",
+			func() float64 { return float64(bufpool.Stats()[c].Misses) }, lbl)
+	}
+	reg.CounterFunc("bufpool_unpooled", "oversize buffer gets that bypassed the pool",
+		func() float64 { return float64(bufpool.Unpooled()) })
 	reg.GaugeFunc("cluster_epoch", "current cluster epoch",
 		func() float64 { return float64(s.ClusterEpoch()) })
 	reg.GaugeFunc("cluster_fenced", "1 when deposed (writes refused)",

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/cluster"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/ctrl"
@@ -191,6 +192,15 @@ type Server struct {
 	nextHandle uint16
 	conns      map[*srvConn]struct{}
 
+	// Tenant-unregistration reaper: connection teardown funnels its owned
+	// handles through one server-lifetime goroutine instead of spawning a
+	// goroutine per torn-down connection. The queue is an unbounded slice
+	// (teardown must never block a scheduler thread) with a cap-1 kick
+	// channel.
+	unregMu   sync.Mutex
+	unregPend []uint16
+	unregKick chan struct{}
+
 	wg        sync.WaitGroup
 	done      chan struct{}
 	closeOnce sync.Once
@@ -226,9 +236,23 @@ type reqCtx struct {
 	ten     *stenant
 	hdr     protocol.Header
 	payload []byte
+	// lease backs payload when the request arrived in a pooled buffer
+	// (write payloads that outlive dispatch). The completion path — or
+	// any path that drops the request — releases it exactly once via
+	// releaseLease.
+	lease *bufpool.Buf
 	// span is the request's lifecycle record; stamped along the pipeline
 	// and pushed into the trace ring when the response is sent.
 	span obs.Span
+}
+
+// releaseLease drops the request-payload lease (idempotent: the pointer
+// is cleared so drop paths and the completion path cannot double-release).
+func (ctx *reqCtx) releaseLease() {
+	if ctx.lease != nil {
+		ctx.lease.Release()
+		ctx.lease = nil
+	}
 }
 
 // New starts a single-device server listening on cfg.Addr over backend,
@@ -262,12 +286,13 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:     cfg,
-		ln:      ln,
-		start:   time.Now(),
-		tenants: make(map[uint16]*stenant),
-		conns:   make(map[*srvConn]struct{}),
-		done:    make(chan struct{}),
+		cfg:       cfg,
+		ln:        ln,
+		start:     time.Now(),
+		tenants:   make(map[uint16]*stenant),
+		conns:     make(map[*srvConn]struct{}),
+		unregKick: make(chan struct{}, 1),
+		done:      make(chan struct{}),
 	}
 	if !cfg.ShedDisabled {
 		s.shed = ctrl.NewShedder(cfg.Shed)
@@ -303,9 +328,9 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 	// The primary-side replicator is always present (a standalone server's
 	// replicator simply never attaches a backup): forwards cover device 0.
 	s.repl = cluster.NewReplicator(cluster.ReplicatorConfig{
-		Backend: s.devices[0].backend,
-		Epoch:   s.ClusterEpoch,
-		OnStale: func(e uint16) { s.Fence(e) },
+		Backend:   s.devices[0].backend,
+		Epoch:     s.ClusterEpoch,
+		OnStale:   func(e uint16) { s.Fence(e) },
 		OnForward: func() { s.m.replForwarded.Inc() },
 		OnAck:     func() { s.m.replAcked.Inc() },
 	})
@@ -313,6 +338,8 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		s.wg.Add(1)
 		go th.loop()
 	}
+	s.wg.Add(1)
+	go s.reaperLoop()
 	if cfg.UDPAddr != "" {
 		ua, err := net.ResolveUDPAddr("udp", cfg.UDPAddr)
 		if err != nil {
@@ -402,12 +429,53 @@ func (s *Server) acceptLoop() {
 		// hardening (deadlines, reaping, flush-failure teardown) is
 		// exercised by injected drops, stalls, partial I/O and resets.
 		c = faults.WrapConn(c, s.cfg.Faults)
-		sc := &srvConn{srv: s, c: c, owned: make(map[uint16]struct{})}
-		s.mu.Lock()
-		s.conns[sc] = struct{}{}
-		s.mu.Unlock()
-		s.wg.Add(1)
-		go sc.readLoop()
+		newSrvConn(s, c)
+	}
+}
+
+// queueUnregister hands a torn-down connection's owned tenant handles to
+// the reaper goroutine. Never blocks (teardown may run on a scheduler
+// thread).
+func (s *Server) queueUnregister(handles []uint16) {
+	if len(handles) == 0 {
+		return
+	}
+	s.unregMu.Lock()
+	s.unregPend = append(s.unregPend, handles...)
+	s.unregMu.Unlock()
+	select {
+	case s.unregKick <- struct{}{}:
+	default:
+	}
+}
+
+// reaperLoop is the single server-lifetime goroutine that unregisters
+// tenants owned by torn-down connections (replacing the old
+// goroutine-per-teardown pattern). Unregistration round-trips through
+// scheduler-thread command channels, which select on server shutdown, so
+// the reaper can never wedge past Close.
+func (s *Server) reaperLoop() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.done:
+			return
+		case <-s.unregKick:
+		}
+		for {
+			s.unregMu.Lock()
+			batch := s.unregPend
+			s.unregPend = nil
+			s.unregMu.Unlock()
+			if len(batch) == 0 {
+				break
+			}
+			for _, h := range batch {
+				if s.unregisterTenant(h) == protocol.StatusOK {
+					s.m.removed.Inc()
+				}
+			}
+		}
 	}
 }
 

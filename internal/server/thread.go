@@ -4,10 +4,18 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
+
+// schedBatchMax caps how many enqueued requests one select round absorbs
+// before scheduling — the same 64-request adaptive batching bound the
+// paper applies to NVMe submissions (§3.2.1). Draining in batches cuts
+// channel operations per request while the cap keeps one round from
+// starving the timer tick.
+const schedBatchMax = 64
 
 // sthread owns one QoS scheduler instance per device ("we run an
 // independent instance of the scheduling algorithm for each device",
@@ -58,17 +66,20 @@ func (th *sthread) loop() {
 			fn()
 		case e := <-th.reqCh:
 			th.scheds[e.ten.device].Enqueue(e.ten.t, e.req)
-			// Drain whatever else arrived; one scheduling round covers
-			// the batch (adaptive batching in spirit).
+			// Drain whatever else arrived, up to the adaptive batching
+			// cap; one scheduling round covers the batch.
+			n := 1
 		drain:
-			for {
+			for n < schedBatchMax {
 				select {
 				case e := <-th.reqCh:
 					th.scheds[e.ten.device].Enqueue(e.ten.t, e.req)
+					n++
 				default:
 					break drain
 				}
 			}
+			th.srv.m.schedBatch.Record(int64(n))
 		case <-ticker.C:
 			// Periodic round: token accrual for queued requests.
 		}
@@ -121,6 +132,10 @@ func (th *sthread) submit(req *core.Request) {
 	dev := th.srv.devices[ctx.ten.device]
 	m := th.srv.m
 	work := func() {
+		// The request-payload lease (write path) is done once the local
+		// apply and the replication forward hand-off complete below; the
+		// forward retains its own reference for the backup-bound flush.
+		defer ctx.releaseLease()
 		resp := protocol.Header{
 			Opcode: ctx.hdr.Opcode,
 			Flags:  protocol.FlagResponse,
@@ -131,11 +146,14 @@ func (th *sthread) submit(req *core.Request) {
 		}
 		off := int64(ctx.hdr.LBA) * protocol.BlockSize
 		var payload []byte
+		var please *bufpool.Buf // response-payload lease (read path)
 		// finish sends the response and retires the request; the write
 		// path may defer it until the backup acks the replicated copy.
+		// Ownership of please transfers to send, which releases it after
+		// the flush that carries the response.
 		finish := func() {
 			ctx.span.Mark(obs.StageDevDone, th.srv.now())
-			ctx.conn.send(&resp, payload)
+			ctx.conn.send(&resp, payload, please)
 			now := th.srv.now()
 			ctx.span.Mark(obs.StageTx, now)
 			if ctx.hdr.Opcode == protocol.OpWrite {
@@ -155,8 +173,13 @@ func (th *sthread) submit(req *core.Request) {
 			resp.Status = protocol.StatusDeviceError
 			m.errored.Inc()
 		case ctx.hdr.Opcode == protocol.OpRead:
-			buf := make([]byte, ctx.hdr.Count)
+			// Pooled response frame with trailer slack: the checksum (when
+			// requested) is appended in place into the same backing array —
+			// no second allocation, no second copy.
+			lease := bufpool.Get(int(ctx.hdr.Count) + protocol.ChecksumSize)
+			buf := lease.Bytes()[:ctx.hdr.Count]
 			if _, err := dev.backend.ReadAt(buf, off); err != nil {
+				lease.Release()
 				resp.Status = protocol.StatusDeviceError
 				m.errored.Inc()
 			} else {
@@ -165,11 +188,12 @@ func (th *sthread) submit(req *core.Request) {
 					// Seal first, then let the injector corrupt the wire
 					// image: the flip is exactly what the client-side
 					// verifier must catch.
-					buf = protocol.SealChecksum(buf)
+					buf = protocol.AppendChecksum(buf)
 					resp.Flags |= protocol.FlagChecksum
 				}
 				inj.CorruptPayload(buf)
 				payload = buf
+				please = lease
 			}
 		case ctx.hdr.Opcode == protocol.OpWrite:
 			dev.lastWrite.Store(th.srv.now())
@@ -183,7 +207,7 @@ func (th *sthread) submit(req *core.Request) {
 				// what makes "acked" mean "survives a primary kill".
 				// Replication covers device 0 (the clustered device).
 				if dev.idx == 0 {
-					forwarded := th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload,
+					forwarded := th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease,
 						func(st protocol.Status) {
 							if st == protocol.StatusStaleEpoch {
 								// Deposed mid-write: the local apply stands

@@ -1,10 +1,10 @@
 package server
 
 import (
-	"bytes"
 	"net"
 	"sync"
 
+	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -14,9 +14,20 @@ import (
 // One datagram carries one protocol message; I/O sizes are capped so a
 // response always fits a datagram. Delivery is best-effort — a lost
 // datagram surfaces as a client-side timeout, never as corruption.
+//
+// Memory discipline (DESIGN.md §12): both directions run on pooled
+// buffers. The receive loop leases a datagram-sized buffer per read and
+// releases it once dispatch returns (the write path retains its own
+// reference when it needs the payload to outlive dispatch), and send
+// frames the response into a pooled arena flushed with a single
+// WriteToUDP — steady state allocates nothing per datagram.
 
 // MaxUDPIO bounds a single I/O over the UDP transport.
 const MaxUDPIO = 32 << 10
+
+// udpRecvSize holds the largest legal request (header + MaxUDPIO write
+// payload) with slack so truncation is detectable (see serveUDP).
+const udpRecvSize = protocol.HeaderSize + MaxUDPIO + 4096
 
 // udpResponder replies to the datagram's source address.
 type udpResponder struct {
@@ -28,16 +39,23 @@ type udpResponder struct {
 
 func (u udpResponder) maxIO() uint32 { return MaxUDPIO }
 
-func (u udpResponder) send(hdr *protocol.Header, payload []byte) {
+// send frames hdr+payload into a pooled arena and writes one datagram.
+// It owns lease (the payload's pooled backing, when non-nil) and releases
+// it once the datagram is on the wire — or dropped; UDP is best-effort,
+// so a failed WriteToUDP is not a teardown event.
+func (u udpResponder) send(hdr *protocol.Header, payload []byte, lease *bufpool.Buf) {
+	defer bufpool.ReleaseIf(lease)
 	if hdr.Epoch == 0 {
 		hdr.Epoch = u.srv.ClusterEpoch()
 	}
-	var buf bytes.Buffer
-	if err := protocol.WriteMessage(&buf, hdr, payload); err != nil {
+	frame := bufpool.Get(protocol.HeaderSize + len(payload))
+	defer frame.Release()
+	b, err := protocol.AppendMessage(frame.Bytes()[:0], hdr, payload)
+	if err != nil {
 		return
 	}
 	u.wmu.Lock()
-	u.pc.WriteToUDP(buf.Bytes(), u.addr)
+	u.pc.WriteToUDP(b, u.addr)
 	u.wmu.Unlock()
 }
 
@@ -45,13 +63,19 @@ func (u udpResponder) send(hdr *protocol.Header, payload []byte) {
 func (s *Server) serveUDP(pc *net.UDPConn) {
 	defer s.wg.Done()
 	var wmu sync.Mutex
-	// The buffer holds the largest legal request (header + MaxUDPIO write
-	// payload) with slack; ReadFromUDP silently truncates anything larger,
-	// which the loop detects below by a completely full buffer.
-	buf := make([]byte, protocol.HeaderSize+MaxUDPIO+4096)
+	var msg protocol.Message
 	for {
+		// One pooled lease per datagram; ReadFromUDP silently truncates
+		// anything larger than the buffer, which the loop detects below by
+		// a completely full buffer. The parsed message's payload aliases
+		// the lease, so it stays alive across dispatch and is released
+		// right after (dispatch retains it when the write path needs it
+		// longer).
+		lease := bufpool.Get(udpRecvSize)
+		buf := lease.Bytes()
 		n, addr, err := pc.ReadFromUDP(buf)
 		if err != nil {
+			lease.Release()
 			select {
 			case <-s.done:
 			default:
@@ -69,12 +93,14 @@ func (s *Server) serveUDP(pc *net.UDPConn) {
 			if err := hdr.Unmarshal(buf[:protocol.HeaderSize]); err == nil {
 				reject(rsp, &hdr, protocol.StatusTruncated)
 			}
+			lease.Release()
 			continue
 		}
-		m, err := protocol.ReadMessage(bytes.NewReader(buf[:n]))
-		if err != nil {
+		if err := msg.UnmarshalFrame(buf[:n]); err != nil {
+			lease.Release()
 			continue // malformed datagram: drop, as a NIC would a bad frame
 		}
-		s.dispatch(rsp, m)
+		s.dispatch(rsp, &msg, lease)
+		lease.Release()
 	}
 }
