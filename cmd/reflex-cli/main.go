@@ -7,6 +7,7 @@
 //	reflex-cli -addr 127.0.0.1:7700 write -handle 1 -lba 0 -data "hello flash"
 //	reflex-cli -addr 127.0.0.1:7700 read -handle 1 -lba 0 -len 512
 //	reflex-cli -addr 127.0.0.1:7700 bench -handle 1 -n 10000 -depth 8
+//	reflex-cli -addr 127.0.0.1:7700 ring
 package main
 
 import (
@@ -15,17 +16,19 @@ import (
 	"log"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"github.com/reflex-go/reflex/internal/client"
 	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/shard"
 )
 
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "server address")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench|ring} [flags]")
 		os.Exit(2)
 	}
 
@@ -52,6 +55,8 @@ func main() {
 		cmdBarrier(cl, args)
 	case "stats":
 		cmdStats(cl, args)
+	case "ring":
+		cmdRing(cl, args)
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}
@@ -86,6 +91,95 @@ func cmdStats(cl *client.Client, args []string) {
 	fmt.Printf("  neg-limit hits:   %d\n", st.NegLimitHits)
 	fmt.Printf("  donated tokens:   %.1f\n", float64(st.Donated)/1000)
 	fmt.Printf("  claimed tokens:   %.1f\n", float64(st.Claimed)/1000)
+}
+
+// cmdRing fetches the node's installed shard map over OpShardMap and
+// prints the cluster view it encodes: map version, per-node membership
+// state and shard ownership, and any open dual-ownership migration
+// windows.
+func cmdRing(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("ring", flag.ExitOnError)
+	fs.Parse(args)
+
+	version, raw, err := cl.FetchShardMap()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if version == 0 || len(raw) == 0 {
+		fmt.Println("no shard map installed (standalone node, or coordinator has not run InstallAll)")
+		return
+	}
+	m, err := shard.Unmarshal(raw)
+	if err != nil {
+		log.Fatalf("server returned an unparseable shard map: %v", err)
+	}
+
+	fmt.Printf("shard map v%d: %d shards x %d blocks (%.1f MiB per shard)\n",
+		m.Version, m.NumShards(), m.ShardBlocks,
+		float64(m.ShardBlocks)*protocol.BlockSize/(1<<20))
+
+	owned := make([][]int, len(m.Nodes))
+	unassigned := []int{}
+	for s, o := range m.Assign {
+		if o < 0 {
+			unassigned = append(unassigned, s)
+			continue
+		}
+		owned[o] = append(owned[o], s)
+	}
+	fmt.Println("nodes:")
+	for i, n := range m.Nodes {
+		fmt.Printf("  %-12s %-8s %-3d shards  %-24s %s\n",
+			n.Name, n.State, len(owned[i]), shardRanges(owned[i]),
+			strings.Join(n.Addrs, ","))
+	}
+	if len(unassigned) > 0 {
+		fmt.Printf("  %-12s %-8s %-3d shards  %s\n",
+			"(unassigned)", "-", len(unassigned), shardRanges(unassigned))
+	}
+
+	moving := false
+	for s, dest := range m.Migrating {
+		if dest < 0 {
+			continue
+		}
+		if !moving {
+			fmt.Println("migrating (dual-ownership windows):")
+			moving = true
+		}
+		src := "(unassigned)"
+		if o := m.Assign[s]; o >= 0 {
+			src = m.Nodes[o].Name
+		}
+		fmt.Printf("  shard %d: %s -> %s\n", s, src, m.Nodes[dest].Name)
+	}
+	if !moving {
+		fmt.Println("migrating: none")
+	}
+}
+
+// shardRanges renders a sorted shard list compactly, e.g. "0-3,7,9-12".
+func shardRanges(shards []int) string {
+	if len(shards) == 0 {
+		return "-"
+	}
+	var b strings.Builder
+	for i := 0; i < len(shards); {
+		j := i
+		for j+1 < len(shards) && shards[j+1] == shards[j]+1 {
+			j++
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		if j > i {
+			fmt.Fprintf(&b, "%d-%d", shards[i], shards[j])
+		} else {
+			fmt.Fprintf(&b, "%d", shards[i])
+		}
+		i = j + 1
+	}
+	return b.String()
 }
 
 func cmdRegister(cl *client.Client, args []string) {

@@ -16,6 +16,13 @@
 // A latency-critical probe runs alongside to verify LC work is never shed.
 // The soak fails if any request ends unresolved (hung) or the LC probe is
 // ever refused with an overload status.
+//
+// With -shards the target is a sharded cluster (DESIGN.md §13): requests
+// route through the client-side shard router (fetch-on-miss map, redirect
+// chasing), and the summary breaks throughput down per shard alongside the
+// router's wrong-shard redirect and map-refresh counts:
+//
+//	reflex-loadgen -shards 127.0.0.1:7700,127.0.0.1:7701 -rate 20000 -duration 10s
 package main
 
 import (
@@ -25,6 +32,7 @@ import (
 	"math/rand"
 	"os"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -51,7 +59,21 @@ func main() {
 	chaosSeed := flag.Int64("chaos-seed", 1, "client-side fault-injection seed")
 	reqTimeout := flag.Duration("req-timeout", 2*time.Second, "per-request timeout in chaos mode")
 	failover := flag.Bool("failover", false, "kill-the-primary soak: in-process replicated pair, acked-write ledger, zero-loss + stale-epoch-fencing checks")
+	shards := flag.String("shards", "", "comma-separated seed addresses of a sharded cluster: route through the shard map and print a per-shard summary")
 	flag.Parse()
+
+	if *shards != "" {
+		os.Exit(runSharded(shardedConfig{
+			seeds:   strings.Split(*shards, ","),
+			rate:    *rate,
+			workers: *conns,
+			readPct: *readPct,
+			size:    *size,
+			dur:     *duration,
+			warmup:  *warmup,
+			timeout: *reqTimeout,
+		}))
+	}
 
 	if *failover {
 		os.Exit(runFailover(failoverConfig{

@@ -63,6 +63,11 @@ var (
 	// ErrChecksum means the payload CRC32C did not verify end-to-end: the
 	// data was corrupted in flight. The operation is safe to retry.
 	ErrChecksum = errors.New("reflex: payload checksum mismatch")
+	// ErrWrongShard means the server does not own the requested LBA range
+	// under its installed shard map: the client's routing table is stale.
+	// Refetch the map (shard.Router does this transparently) and retry at
+	// the owner.
+	ErrWrongShard = errors.New("reflex: wrong shard (stale routing table)")
 )
 
 func statusErr(s protocol.Status) error {
@@ -87,6 +92,8 @@ func statusErr(s protocol.Status) error {
 		return ErrStaleEpoch
 	case protocol.StatusBadChecksum:
 		return ErrChecksum
+	case protocol.StatusWrongShard:
+		return ErrWrongShard
 	default:
 		return ErrServer
 	}
@@ -104,6 +111,11 @@ type Call struct {
 
 	handle uint16
 	status protocol.Status
+	// respLBA/respCount echo the response header's LBA and Count fields:
+	// OpShardMap responses carry the map version in LBA, and
+	// StatusWrongShard responses carry the server's map version in Count.
+	respLBA   uint32
+	respCount uint32
 
 	// hdr is the request as submitted (user-space handles) and payload
 	// its body, kept for replay after reconnect.
@@ -377,7 +389,18 @@ type Client struct {
 	cookie     atomic.Uint64
 	reconnects atomic.Uint64
 	replayed   atomic.Uint64
+
+	// shardVer is the routing-table version stamped (low 16 bits) into
+	// the Status field of every I/O request — the map-version header echo
+	// that lets a sharded server see how stale its caller is. 0 =
+	// shard-unaware client (the pre-sharding wire image, bit for bit).
+	shardVer atomic.Uint32
 }
+
+// SetShardVersion records the client's routing-table version; subsequent
+// I/O requests carry its low 16 bits in the header Status field. The
+// shard router calls this after every map fetch.
+func (cl *Client) SetShardVersion(v uint32) { cl.shardVer.Store(v) }
 
 // target returns the current dial target.
 func (cl *Client) target() string {
@@ -612,6 +635,8 @@ func (cl *Client) deliver(m *protocol.Message) {
 	call.release()
 	call.status = m.Header.Status
 	call.handle = m.Header.Handle
+	call.respLBA = m.Header.LBA
+	call.respCount = m.Header.Count
 	call.Data = m.Payload
 	call.Err = statusErr(m.Header.Status)
 	// End-to-end integrity: a response whose CRC32C trailer failed
@@ -843,6 +868,7 @@ func (cl *Client) resume(nt transport) bool {
 		// Re-stamp the epoch: a replay after failover must carry the new
 		// primary's epoch or it would bounce off its own fence.
 		w.Epoch = cl.Epoch()
+		cl.stampShardVersion(&w)
 		if err := nt.writeMessage(&w, r.payload); err != nil {
 			replayErr = true
 			break
@@ -900,6 +926,7 @@ func (cl *Client) sendLease(hdr *protocol.Header, payload []byte, lease *bufpool
 	w := *hdr
 	w.Handle = cl.mapHandle(hdr.Handle)
 	w.Epoch = cl.Epoch()
+	cl.stampShardVersion(&w)
 	cl.wmu.Lock()
 	t := cl.t
 	var err error
@@ -1059,6 +1086,44 @@ func (cl *Client) Stats(handle uint16) (protocol.TenantStats, error) {
 		return out, err
 	}
 	return out, nil
+}
+
+// stampShardVersion writes the routing-table version echo into an I/O
+// request header (the Status field is unused on requests). Non-I/O
+// opcodes are left untouched so control traffic stays byte-identical to
+// the pre-sharding protocol.
+func (cl *Client) stampShardVersion(w *protocol.Header) {
+	if w.Opcode != protocol.OpRead && w.Opcode != protocol.OpWrite {
+		return
+	}
+	if v := cl.shardVer.Load(); v != 0 {
+		w.Status = protocol.Status(uint16(v))
+	}
+}
+
+// FetchShardMap retrieves the server's installed shard map: its version
+// (0 = none installed) and marshaled form (shard.Unmarshal decodes it).
+func (cl *Client) FetchShardMap() (uint32, []byte, error) {
+	call, err := cl.send(&protocol.Header{Opcode: protocol.OpShardMap}, nil)
+	if err != nil {
+		return 0, nil, err
+	}
+	if err := cl.wait(call); err != nil {
+		return 0, nil, err
+	}
+	return call.respLBA, call.Data, nil
+}
+
+// InstallShardMap offers a marshaled shard map to the server, which
+// adopts it iff newer. Returns the server's resulting map version; a
+// server already holding a newer map returns it with ErrStaleEpoch.
+func (cl *Client) InstallShardMap(raw []byte) (uint32, error) {
+	call, err := cl.send(&protocol.Header{Opcode: protocol.OpShardMap}, raw)
+	if err != nil {
+		return 0, err
+	}
+	err = cl.wait(call)
+	return call.respLBA, err
 }
 
 // Read reads n bytes at lba synchronously. On a hedging cluster client,

@@ -86,6 +86,14 @@ type session struct {
 	r      *Replicator
 	sender ReplicaSender
 
+	// Ranged sessions (migration sinks attached via AttachRange) only see
+	// writes and catch-up chunks intersecting [rangeStart, rangeStart+
+	// rangeBlocks) LBA blocks, and receive a non-response OpJoin marker
+	// frame when the ranged catch-up completes. rangeBlocks == 0 means the
+	// whole device (a classic backup join).
+	rangeStart  uint32
+	rangeBlocks uint32
+
 	// sendMu serializes every message sent to the backup — and, for
 	// catch-up chunks, the [backend read + send] pair — so a chunk read
 	// before a live write landed can never be sent after that write's
@@ -151,14 +159,27 @@ func (r *Replicator) CaughtUp() bool {
 // Detach), and starts the catch-up stream. Returns the session token used
 // to detach exactly this session later.
 func (r *Replicator) Attach(sender ReplicaSender) any {
+	return r.AttachRange(sender, 0, 0)
+}
+
+// AttachRange is Attach restricted to the LBA-block window [firstLBA,
+// firstLBA+blockCount): only intersecting writes are forwarded, the
+// catch-up stream covers only that window, and a non-response OpJoin
+// marker frame (echoing the window in LBA/Count) is sent when the
+// catch-up finishes — the migration sink's signal that it holds every
+// byte of the shard except what live forwards will still deliver.
+// blockCount == 0 selects the whole device and no marker (plain Attach).
+func (r *Replicator) AttachRange(sender ReplicaSender, firstLBA, blockCount uint32) any {
 	if r == nil {
 		return nil
 	}
 	s := &session{
-		r:       r,
-		sender:  sender,
-		pending: make(map[uint64]func(protocol.Status)),
-		stop:    make(chan struct{}),
+		r:           r,
+		sender:      sender,
+		rangeStart:  firstLBA,
+		rangeBlocks: blockCount,
+		pending:     make(map[uint64]func(protocol.Status)),
+		stop:        make(chan struct{}),
 	}
 	r.mu.Lock()
 	old := r.sess
@@ -232,6 +253,9 @@ func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, don
 	if s == nil {
 		return false
 	}
+	if !s.wantsWrite(lba, payload) {
+		return false
+	}
 	cookie := r.cookie.Add(1)
 	s.pmu.Lock()
 	if s.closed {
@@ -259,6 +283,37 @@ func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, don
 		r.cfg.OnForward()
 	}
 	return true
+}
+
+// wantsWrite reports whether a write at lba intersects the session's
+// range filter. Unranged sessions want everything.
+func (s *session) wantsWrite(lba uint32, payload []byte) bool {
+	if s.rangeBlocks == 0 {
+		return true
+	}
+	blocks := uint32(len(payload) / protocol.BlockSize)
+	if blocks == 0 {
+		blocks = 1
+	}
+	return lba < s.rangeStart+s.rangeBlocks && lba+blocks > s.rangeStart
+}
+
+// Pending returns the number of forwards awaiting a backup ack on the
+// current session — the migration coordinator polls this (over OpPing)
+// to know when the drain after a cutover has quiesced.
+func (r *Replicator) Pending() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	s := r.sess
+	r.mu.Unlock()
+	if s == nil {
+		return 0
+	}
+	s.pmu.Lock()
+	defer s.pmu.Unlock()
+	return len(s.pending)
 }
 
 // HandleAck completes the pending forward matching a replication ack read
@@ -304,12 +359,20 @@ func (s *session) catchup() {
 	r := s.r
 	if r.cfg.Backend == nil {
 		s.caughtUp.Store(true)
+		s.sendMarker()
 		return
 	}
 	size := r.cfg.Backend.Size()
+	start := int64(0)
+	if s.rangeBlocks != 0 {
+		start = int64(s.rangeStart) * protocol.BlockSize
+		if end := start + int64(s.rangeBlocks)*protocol.BlockSize; end < size {
+			size = end
+		}
+	}
 	chunk := int64(r.cfg.ChunkBytes)
 	buf := make([]byte, chunk)
-	for off := int64(0); off < size; off += chunk {
+	for off := start; off < size; off += chunk {
 		n := chunk
 		if off+n > size {
 			n = size - off
@@ -356,4 +419,32 @@ func (s *session) catchup() {
 		}
 	}
 	s.caughtUp.Store(true)
+	s.sendMarker()
+}
+
+// sendMarker emits the catch-up-complete marker on ranged sessions: a
+// non-response OpJoin frame echoing the window. The sink treats it as
+// "every block of the shard is now on my device except what the live
+// forward stream will still deliver" — the coordinator's green light for
+// the epoch-fenced cutover. Unranged (classic backup) sessions send
+// nothing, preserving the original join protocol.
+func (s *session) sendMarker() {
+	if s.rangeBlocks == 0 {
+		return
+	}
+	s.pmu.Lock()
+	closed := s.closed
+	s.pmu.Unlock()
+	if closed {
+		return
+	}
+	hdr := protocol.Header{
+		Opcode: protocol.OpJoin,
+		Epoch:  s.r.cfg.Epoch(),
+		LBA:    s.rangeStart,
+		Count:  s.rangeBlocks,
+	}
+	s.sendMu.Lock()
+	s.sender.SendToReplica(&hdr, nil, nil)
+	s.sendMu.Unlock()
 }

@@ -1,0 +1,102 @@
+package dataplane
+
+import (
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/netsim"
+	"github.com/reflex-go/reflex/internal/shard"
+	"github.com/reflex-go/reflex/internal/sim"
+	"github.com/reflex-go/reflex/internal/workload"
+)
+
+// TestMoveTenantInterleavedWithShardMove: tenant→thread placement
+// (dataplane.MoveTenant) and shard→node placement (the shard map's
+// dual-ownership move window) are independent coordinates — moving a
+// tenant between threads mid-run while its LBA shard is being re-homed
+// in the cluster map must neither drop requests nor corrupt either
+// placement. The sim drives a real open-loop workload across the
+// interleave; the shard map transitions exactly as a coordinator's
+// MoveShard would (v+1 Migrating set, v+2 cutover) at instants that
+// bracket the MoveTenant call.
+func TestMoveTenantInterleavedWithShardMove(t *testing.T) {
+	r := newRig(t, 2, 1_200_000*core.TokenUnit)
+	tn := beTenant(t, 1)
+	r.srv.RegisterTenantOn(tn, 0)
+	conn := r.srv.Connect(r.client(t, netsim.IXClientStack(), 1), tn)
+
+	// The cluster map this node would hold: 4 shards over two nodes, the
+	// tenant's working set inside shard 1, owned by "self".
+	nodes := []shard.Node{
+		{Name: "self", Addrs: []string{"self:1"}},
+		{Name: "peer", Addrs: []string{"peer:1"}},
+	}
+	m1 := shard.BuildMap(nodes, 4, 1<<20, 16)
+	self, peer := m1.NodeIndex("self"), m1.NodeIndex("peer")
+	m1.Assign[1] = int32(self)
+	cur := m1
+
+	res := workload.OpenLoop{
+		IOPS: 100_000, Mix: workload.Mix{ReadPercent: 100, Size: 4096, Blocks: 1 << 20},
+		Warmup: 10 * sim.Millisecond, Duration: 100 * sim.Millisecond, Seed: 9,
+	}.Start(r.eng, conn)
+
+	lbaInShard1 := uint64(1)<<20 + 4096 // well inside shard 1
+
+	// t=40ms: migration window opens (dual ownership, v+1) — the exact
+	// state a node's installed map holds mid-MoveShard.
+	r.eng.At(40*sim.Millisecond, func() {
+		nm := cur.Clone()
+		nm.Migrating[1] = int32(peer)
+		cur = nm
+		if !cur.OwnedBy("self", lbaInShard1, 8) || !cur.OwnedBy("peer", lbaInShard1, 8) {
+			t.Error("dual-ownership window: both source and destination must own the shard")
+		}
+	})
+
+	// t=50ms: the tenant moves threads in the middle of the window.
+	r.eng.At(50*sim.Millisecond, func() {
+		r.srv.MoveTenant(tn, 1)
+		// Thread placement must not perturb the map...
+		if cur.Migrating[1] != int32(peer) || cur.Assign[1] != int32(self) {
+			t.Error("MoveTenant perturbed the shard map")
+		}
+	})
+
+	// t=60ms: cutover (v+2): peer owns, the window closes, and the old
+	// owner no longer serves the range.
+	r.eng.At(60*sim.Millisecond, func() {
+		nm := cur.Clone()
+		nm.Assign[1] = int32(peer)
+		nm.Migrating[1] = shard.Unassigned
+		cur = nm
+		if cur.OwnedBy("self", lbaInShard1, 8) {
+			t.Error("post-cutover: old owner still owns the shard")
+		}
+		if !cur.OwnedBy("peer", lbaInShard1, 8) {
+			t.Error("post-cutover: new owner does not own the shard")
+		}
+		// ...and the map churn must not perturb thread placement.
+		if r.srv.threadOf(tn) != 1 {
+			t.Error("shard cutover perturbed tenant thread placement")
+		}
+	})
+
+	r.eng.Run()
+
+	// No loss across the interleave: the workload's delivered IOPS shows
+	// no cliff, and the tenant ends on the destination thread with the
+	// map at the cutover version.
+	if iops := res.IOPS(); iops < 95_000 {
+		t.Fatalf("IOPS across interleaved moves = %.0f, want ~100K (no loss)", iops)
+	}
+	if r.srv.threadOf(tn) != 1 {
+		t.Fatal("tenant not on thread 1 after the interleave")
+	}
+	if cur.Version != m1.Version+2 {
+		t.Fatalf("map at v%d, want v%d (window + cutover)", cur.Version, m1.Version+2)
+	}
+	if loads := r.srv.ThreadLoads(); loads[1] <= 0 {
+		t.Fatal("destination thread served nothing after the tenant move")
+	}
+}

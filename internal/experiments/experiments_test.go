@@ -60,6 +60,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 		"fig4": true, "fig6a": true, "fig6b": true, "fig6c": true,
 		"fig7a": true, "fig7b": true, "fig7c": true, "fig5": true,
 		"ext-failover": true, // wall-clock; has its own dedicated test
+		"ext-sharding": true, // wall-clock; has its own dedicated test
 	}
 	for _, id := range IDs() {
 		if skipHeavy[id] {

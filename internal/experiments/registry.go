@@ -35,6 +35,7 @@ func Registry() map[string]Runner {
 		"ext-100gbe":      ExtProjection,
 		"ext-faults":      ExtFaults,
 		"ext-failover":    ExtFailover,
+		"ext-sharding":    ExtSharding,
 
 		"ablation-batching":  AblationBatching,
 		"ablation-twostep":   AblationTwoStep,

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestExtShardingShape runs the wall-clock scale-out experiment at quick
+// scale and asserts its acceptance criteria:
+//
+//   - 4-node aggregate read throughput >= 3.5x the 1-node row (each node
+//     is token-capped at the same per-node budget, so anything much below
+//     4.0x means the shard map concentrated load instead of spreading it);
+//   - the live shard migration in the 4-node row completed, bumping the
+//     map by two versions (dual-ownership window + cutover);
+//   - StatusWrongShard redirects across the move stay under 1% of ops
+//     (the router's single-flight refresh converges instead of storming).
+func TestExtShardingShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment is not short")
+	}
+	tbl := ExtSharding(quick)
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(tbl.Rows))
+	}
+	cell := func(nodes, col string) string {
+		v, ok := tbl.Cell(col, func(r []string) bool { return r[0] == nodes })
+		if !ok {
+			t.Fatalf("missing cell nodes=%s col=%s", nodes, col)
+		}
+		return v
+	}
+	mustFloat := func(s string) float64 {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Fatalf("bad float cell %q: %v", s, err)
+		}
+		return v
+	}
+
+	for _, n := range []string{"1", "2", "4"} {
+		if ops := mustFloat(cell(n, "ops")); ops < 100 {
+			t.Fatalf("%s-node phase completed only %.0f ops", n, ops)
+		}
+	}
+	if speedup := mustFloat(cell("4", "speedup")); speedup < 3.5 {
+		t.Fatalf("4-node speedup = %.2fx, want >= 3.5x", speedup)
+	}
+	if moves := mustFloat(cell("4", "moves")); moves != 1 {
+		t.Fatalf("4-node phase recorded %.0f moves, want 1", moves)
+	}
+	if v := mustFloat(cell("4", "map_version")); v != 3 {
+		t.Fatalf("4-node map at v%.0f after the move, want v3 (window + cutover)", v)
+	}
+	if pct := mustFloat(cell("4", "redirect_pct")); pct >= 1.0 {
+		t.Fatalf("redirects = %.3f%% of ops across the move, want < 1%%", pct)
+	}
+}

@@ -63,6 +63,15 @@ const (
 	// Epoch carries the backup's current epoch; an OK response carries
 	// the primary's epoch, after which the primary streams a catch-up of
 	// the device followed by live replicated writes on this connection.
+	//
+	// Ranged join (shard migration, DESIGN.md §13): a join whose Count
+	// field is nonzero names an LBA window [LBA, LBA+Count) in BlockSize
+	// units. The server attaches the connection to its migration
+	// replicator instead of the backup slot: only that window is caught
+	// up and only writes intersecting it are forwarded. When the ranged
+	// catch-up completes the server emits a non-response OpJoin marker
+	// frame (echoing LBA/Count) down the stream so the migration sink
+	// knows the window is fully copied.
 	OpJoin Opcode = 0x07
 	// OpPromote asks a server to become primary at the given (higher)
 	// epoch — issued by a failing-over client. The response carries the
@@ -75,8 +84,18 @@ const (
 	OpFence Opcode = 0x09
 	// OpPing is the cluster health probe: the response carries the
 	// server's epoch and its role bits in Count (RoleBackupBit,
-	// RoleFencedBit).
+	// RoleFencedBit) and the server's migration-pending forward count in
+	// LBA (the shard-move drain signal; 0 when no migration is live).
 	OpPing Opcode = 0x0A
+	// OpShardMap fetches or installs the cluster shard map (DESIGN.md
+	// §13). A request with no payload is a fetch: the response payload is
+	// the marshaled map and LBA carries its version (no payload when the
+	// server has no map installed). A request carrying a payload is an
+	// install (coordinator-issued): the server adopts the map iff its
+	// version is newer than the installed one, answers StatusOK (LBA = the
+	// resulting installed version), or StatusStaleEpoch when the offered
+	// map is older than what it already has.
+	OpShardMap Opcode = 0x0B
 )
 
 // Role bits carried in an OpPing response's Count field.
@@ -113,6 +132,8 @@ func (o Opcode) String() string {
 		return "fence"
 	case OpPing:
 		return "ping"
+	case OpShardMap:
+		return "shard-map"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint16(o))
 	}
@@ -197,6 +218,12 @@ const (
 	// the data: the write was discarded without touching media. Retryable
 	// (the corruption happened in flight).
 	StatusBadChecksum Status = 10
+	// StatusWrongShard means the request's LBA range is not owned by this
+	// node under the server's installed shard map: the client's routing
+	// table is stale. The response's Count field carries the server's
+	// shard-map version; the client should refetch the map (OpShardMap)
+	// and retry at the owning node.
+	StatusWrongShard Status = 11
 )
 
 // String names the status.
@@ -224,6 +251,8 @@ func (s Status) String() string {
 		return "stale-epoch"
 	case StatusBadChecksum:
 		return "bad-checksum"
+	case StatusWrongShard:
+		return "wrong-shard"
 	default:
 		return fmt.Sprintf("status(%d)", uint16(s))
 	}
@@ -248,6 +277,12 @@ type Header struct {
 	Opcode Opcode
 	Flags  uint16
 	Handle uint16
+	// Status carries the response status. On *requests* the field is
+	// otherwise unused, so shard-aware clients stamp the low 16 bits of
+	// their routing-table (shard map) version into it — the map-version
+	// header echo: a server can observe how stale its callers are, and a
+	// StatusWrongShard refusal answers with the authoritative version in
+	// Count. Zero means shard-unaware (the pre-sharding wire format).
 	Status Status
 	// Epoch is the cluster epoch the sender believes is current. Zero
 	// means standalone / epoch-unaware (the pre-cluster wire format wrote

@@ -157,20 +157,26 @@ func (s *Server) joinReplica(sc *srvConn) {
 	token := s.repl.Attach(replicaSender{sc: sc})
 	sc.rmu.Lock()
 	sc.replica = token
+	sc.replicaOf = s.repl
 	sc.rmu.Unlock()
 	s.m.replJoins.Inc()
 }
 
 // detachReplica is called from connection teardown: if this connection
-// carried the backup session, pending forwards degrade to standalone
-// acks.
+// carried the backup (or migration-sink) session, pending forwards
+// degrade to standalone acks on whichever replicator owned it.
 func (sc *srvConn) detachReplica() {
 	sc.rmu.Lock()
 	token := sc.replica
+	owner := sc.replicaOf
 	sc.replica = nil
+	sc.replicaOf = nil
 	sc.rmu.Unlock()
 	if token != nil {
-		sc.srv.repl.Detach(token, protocol.StatusOK)
+		if owner == nil {
+			owner = sc.srv.repl
+		}
+		owner.Detach(token, protocol.StatusOK)
 	}
 }
 

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/bufpool"
+	"github.com/reflex-go/reflex/internal/cluster"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
@@ -65,10 +66,13 @@ type srvConn struct {
 	owned map[uint16]struct{}
 
 	// replica is the cluster replication session token while this
-	// connection is the backup's join channel (nil otherwise); teardown
-	// detaches it so pending forwards degrade to standalone acks.
-	rmu     sync.Mutex
-	replica any
+	// connection is the backup's (or a migration sink's) join channel,
+	// nil otherwise; replicaOf is the replicator owning that session
+	// (s.repl for backup joins, s.migr for ranged migration joins) so
+	// acks and teardown route to the right one.
+	rmu       sync.Mutex
+	replica   any
+	replicaOf *cluster.Replicator
 
 	downOnce sync.Once
 }
@@ -356,11 +360,20 @@ func (sc *srvConn) readLoop() {
 func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf) {
 	hdr := m.Header
 	// Responses arriving on a server connection are replication acks from
-	// an attached backup (the join channel carries requests out and acks
-	// back in); anything else is dropped.
+	// an attached backup or migration sink (the join channel carries
+	// requests out and acks back in); they route to whichever replicator
+	// owns this connection's session. Anything else is dropped.
 	if hdr.IsResponse() {
 		if hdr.Opcode == protocol.OpReplicate {
-			s.repl.HandleAck(&hdr)
+			r := s.repl
+			if sc, ok := rsp.(*srvConn); ok {
+				sc.rmu.Lock()
+				if sc.replicaOf != nil {
+					r = sc.replicaOf
+				}
+				sc.rmu.Unlock()
+			}
+			r.HandleAck(&hdr)
 		}
 		return
 	}
@@ -408,6 +421,13 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 
 	case protocol.OpRead, protocol.OpWrite:
 		arrival := s.now()
+		// Shard-map enforcement first: a request for a range this node
+		// does not own is a routing error, not an I/O — redirect before
+		// fences, tenants or QoS get a say.
+		if !s.checkShard(&hdr) {
+			s.rejectWrongShard(rsp, &hdr)
+			return
+		}
 		if hdr.Opcode == protocol.OpWrite {
 			s.m.writes.Inc()
 			// Split-brain fence: a deposed or backup-role server refuses
@@ -523,12 +543,15 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		}
 
 	case protocol.OpJoin:
-		// A backup attaches as the replica over this connection. TCP only:
-		// the join channel carries the ordered replication stream.
+		// A backup (Count == 0) or a migration sink (Count != 0, window
+		// [LBA, LBA+Count) blocks) attaches over this connection. TCP
+		// only: the join channel carries the ordered replication stream.
 		resp := protocol.Header{
 			Opcode: protocol.OpJoin,
 			Flags:  protocol.FlagResponse,
 			Cookie: hdr.Cookie,
+			LBA:    hdr.LBA,
+			Count:  hdr.Count,
 		}
 		sc, isTCP := rsp.(*srvConn)
 		if !isTCP || s.backupRole.Load() {
@@ -542,7 +565,11 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		// per-connection FIFO guarantees the backup reads it as its
 		// handshake response before the first chunk.
 		rsp.send(&resp, nil, nil)
-		s.joinReplica(sc)
+		if hdr.Count != 0 {
+			s.joinMigration(sc, hdr.LBA, hdr.Count)
+		} else {
+			s.joinReplica(sc)
+		}
 
 	case protocol.OpPromote:
 		e, st := s.Promote(hdr.Epoch)
@@ -577,7 +604,12 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 			Cookie: hdr.Cookie,
 			Epoch:  s.ClusterEpoch(),
 			Count:  role,
+			// Migration drain signal: forwards still awaiting a sink ack.
+			LBA: uint32(s.migr.Pending()),
 		}, nil, nil)
+
+	case protocol.OpShardMap:
+		s.handleShardMap(rsp, &hdr, m.Payload)
 
 	default:
 		reject(rsp, &hdr, protocol.StatusBadRequest)

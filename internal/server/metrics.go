@@ -55,6 +55,14 @@ type metrics struct {
 	replApplied   *obs.Counter // replicated writes applied (backup side)
 	replJoins     *obs.Counter // backup join sessions accepted
 
+	// Sharding counters (DESIGN.md §13).
+	wrongShard    *obs.Counter // I/Os refused with StatusWrongShard (redirects)
+	shardInstalls *obs.Counter // shard-map installs adopted
+	shardMoves    *obs.Counter // shards whose owner changed across installs
+	migrForwarded *obs.Counter // writes forwarded to a migration sink
+	migrAcked     *obs.Counter // migration sink acks received
+	migrJoins     *obs.Counter // ranged migration joins accepted
+
 	// Hot-path batching telemetry (DESIGN.md §12): how well the adaptive
 	// wire coalescer and the scheduler batch drain amortize per-message
 	// costs. flushBatch records messages per writev flush; schedBatch
@@ -100,6 +108,14 @@ func newMetrics(s *Server) *metrics {
 	m.replAcked = reg.Counter("repl_acked", "backup replication acks received")
 	m.replApplied = reg.Counter("repl_applied", "replicated writes applied (backup role)")
 	m.replJoins = reg.Counter("repl_joins", "backup join sessions accepted")
+	m.wrongShard = reg.Counter("wrong_shard_redirects", "I/Os refused with StatusWrongShard (stale client routing)")
+	m.shardInstalls = reg.Counter("shard_map_installs", "shard-map installs adopted over OpShardMap")
+	m.shardMoves = reg.Counter("shard_moves", "shards whose authoritative owner changed across map installs")
+	m.migrForwarded = reg.Counter("migr_forwarded", "acked writes forwarded to a migration sink")
+	m.migrAcked = reg.Counter("migr_acked", "migration sink acks received")
+	m.migrJoins = reg.Counter("migr_joins", "ranged migration join sessions accepted")
+	reg.GaugeFunc("shard_map_version", "version of the installed shard map (0 = none)",
+		func() float64 { return float64(s.ShardMapVersion()) })
 	m.flushes = reg.Counter("srv_wire_flushes_total", "wire flushes issued by connection writers")
 	m.flushBatch = reg.Histogram("srv_flush_batch_msgs", "responses coalesced per wire flush")
 	m.schedBatch = reg.Histogram("srv_sched_batch", "requests drained per scheduler round")

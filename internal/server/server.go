@@ -106,6 +106,12 @@ type Config struct {
 	Shed         ctrl.ShedConfig
 	ShedDisabled bool
 
+	// NodeName identifies this server (pair) in a sharded cluster's shard
+	// map (DESIGN.md §13). Empty disables shard enforcement entirely: the
+	// server serves its whole device like a pre-sharding node even if a
+	// map is installed.
+	NodeName string
+
 	// Epoch seeds the cluster epoch (0 = standalone; see internal/cluster
 	// and DESIGN.md §11).
 	Epoch uint16
@@ -186,6 +192,15 @@ type Server struct {
 	backupRole atomic.Bool   // replication backup: client writes refused
 	onPromote  atomic.Value  // func(uint16)
 	repl       *cluster.Replicator
+	// migr is the migration-source replicator: a second forward stream,
+	// attached by a ranged OpJoin, that carries one shard's catch-up and
+	// live writes to a migration sink during a live shard move
+	// (DESIGN.md §13). Independent of repl so a node can host a backup
+	// session and a migration session at once.
+	migr *cluster.Replicator
+	// shardMap holds the installed *shard.Map (nil until one arrives over
+	// OpShardMap). Immutable once stored; installs swap the pointer.
+	shardMap atomic.Value
 
 	mu         sync.Mutex
 	tenants    map[uint16]*stenant
@@ -333,6 +348,19 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		OnStale:   func(e uint16) { s.Fence(e) },
 		OnForward: func() { s.m.replForwarded.Inc() },
 		OnAck:     func() { s.m.replAcked.Inc() },
+	})
+	// Migration-source replicator (DESIGN.md §13): sends one shard's
+	// catch-up and live writes to a ranged-join sink. The sink relays
+	// chunks to the destination as ordinary OpWrites, so chunks stay well
+	// under MaxPayload. A stale ack from the sink must NOT fence this
+	// node — migration failure is the coordinator's problem, not a
+	// deposition — hence no OnStale.
+	s.migr = cluster.NewReplicator(cluster.ReplicatorConfig{
+		Backend:    s.devices[0].backend,
+		Epoch:      s.ClusterEpoch,
+		OnForward:  func() { s.m.migrForwarded.Inc() },
+		OnAck:      func() { s.m.migrAcked.Inc() },
+		ChunkBytes: 128 << 10,
 	})
 	for _, th := range s.threads {
 		s.wg.Add(1)

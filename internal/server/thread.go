@@ -112,6 +112,63 @@ func (th *sthread) publishDebt() {
 	th.debt.Store(int64(debt))
 }
 
+// forwardWrite replicates one locally applied write to the backup
+// replicator and the migration replicator (the latter filters by its
+// shard window). It reports whether any forward happened — if so, finish
+// is deferred until the last outstanding forward acks; if not, the
+// caller acks the client immediately (standalone path, unchanged).
+//
+// The counter is pre-charged with one hold per potential forward plus
+// one for the caller, so an ack racing the second Forward call cannot
+// fire finish early: holds for forwards that never happened are released
+// synchronously, and finish runs exactly once when the count hits zero
+// (possibly on this goroutine when nothing forwarded).
+func (th *sthread) forwardWrite(ctx *reqCtx, resp *protocol.Header, finish func()) bool {
+	var (
+		remaining atomic.Int32
+		stale     atomic.Bool
+	)
+	remaining.Store(3) // repl hold + migr hold + caller hold
+	release := func() bool {
+		if remaining.Add(-1) != 0 {
+			return false
+		}
+		if stale.Load() {
+			// Deposed mid-write: the local apply stands but the ack must
+			// tell the client to fail over (it will replay at the new
+			// primary).
+			resp.Status = protocol.StatusStaleEpoch
+		}
+		finish()
+		return true
+	}
+	onAck := func(st protocol.Status) {
+		if st == protocol.StatusStaleEpoch {
+			stale.Store(true)
+		}
+		release()
+	}
+	n := 0
+	if th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease, onAck) {
+		n++
+	} else {
+		release()
+	}
+	if th.srv.migr.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease, onAck) {
+		n++
+	} else {
+		release()
+	}
+	if n == 0 {
+		// Both holds already released; drop the caller hold without
+		// firing finish — the caller's synchronous path sends the ack.
+		remaining.Add(-1)
+		return false
+	}
+	release() // caller hold: finish now runs on the last ack
+	return true
+}
+
 // submit performs the admitted I/O against the backend and sends the
 // response. With a configured simulated device latency, the backend
 // operation itself happens after the delay — a later request really can
@@ -202,24 +259,14 @@ func (th *sthread) submit(req *core.Request) {
 				m.errored.Inc()
 			} else {
 				m.bytesWrite.Add(uint64(ctx.hdr.Count))
-				// Replication: forward the acked write to the backup and
-				// defer the client ack until the backup acks — this is
-				// what makes "acked" mean "survives a primary kill".
-				// Replication covers device 0 (the clustered device).
-				if dev.idx == 0 {
-					forwarded := th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease,
-						func(st protocol.Status) {
-							if st == protocol.StatusStaleEpoch {
-								// Deposed mid-write: the local apply stands
-								// but the ack must tell the client to fail
-								// over (it will replay at the new primary).
-								resp.Status = protocol.StatusStaleEpoch
-							}
-							finish()
-						})
-					if forwarded {
-						return // finish runs on the backup's ack
-					}
+				// Replication: forward the acked write to the backup (and,
+				// during a live shard move, to the migration sink) and
+				// defer the client ack until every forward acks — this is
+				// what makes "acked" mean "survives a primary kill" and
+				// "survives the cutover". Covers device 0 (the clustered
+				// device).
+				if dev.idx == 0 && th.forwardWrite(ctx, &resp, finish) {
+					return // finish runs on the last forward's ack
 				}
 			}
 		}

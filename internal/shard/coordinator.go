@@ -1,0 +1,339 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/core"
+	"github.com/reflex-go/reflex/internal/obs"
+)
+
+// CoordinatorConfig configures the cluster control plane (the paper's
+// §4.3 global controller, DESIGN.md §13).
+type CoordinatorConfig struct {
+	// Nodes lists the replica pairs under management (primary address
+	// first by convention).
+	Nodes []Node
+	// NumShards and ShardBlocks define the sharded LBA space: NumShards
+	// contiguous ranges of ShardBlocks 512-byte blocks each.
+	NumShards   int
+	ShardBlocks uint32
+	// VNodes is the consistent-hash virtual-node count (0 = default).
+	VNodes int
+	// InstallTimeout bounds each control-plane exchange (default 5s).
+	InstallTimeout time.Duration
+	// Probe tunes the SWIM-lite failure detector.
+	Probe MembershipConfig
+	// AutoHeal reacts to dead nodes: promote the pair's backup when one
+	// answers, otherwise reassign the dead node's shards over the
+	// survivors and reinstall the map.
+	AutoHeal bool
+	// Reg optionally receives the coordinator's metrics: per-node
+	// membership-state gauges, the map-version gauge and the shard_moves
+	// counter.
+	Reg *obs.Registry
+	// Logf receives control-plane decisions (nil = silent).
+	Logf func(format string, args ...any)
+	// Dialer is the control-plane dial seam (nil: net.DialTimeout).
+	Dialer dialFunc
+}
+
+func (c *CoordinatorConfig) fill() error {
+	if len(c.Nodes) == 0 {
+		return fmt.Errorf("shard: coordinator needs at least one node")
+	}
+	if c.NumShards <= 0 || c.ShardBlocks == 0 {
+		return fmt.Errorf("shard: NumShards and ShardBlocks must be positive")
+	}
+	if c.InstallTimeout <= 0 {
+		c.InstallTimeout = 5 * time.Second
+	}
+	seen := map[string]bool{}
+	for _, n := range c.Nodes {
+		if n.Name == "" || seen[n.Name] {
+			return fmt.Errorf("shard: node names must be unique and non-empty")
+		}
+		seen[n.Name] = true
+		if len(n.Addrs) == 0 {
+			return fmt.Errorf("shard: node %s has no addresses", n.Name)
+		}
+	}
+	return nil
+}
+
+// Coordinator owns the authoritative shard map: placement over the
+// consistent-hash ring, map installation on every node, failure
+// reaction (pair promotion / shard reassignment), per-node SLO rate
+// splits, and live shard migration (MoveShard, migrate.go).
+type Coordinator struct {
+	cfg CoordinatorConfig
+	mem *Membership
+
+	mu  sync.Mutex
+	cur *Map
+
+	// moveMu serializes live shard migrations (one MoveShard at a time).
+	moveMu sync.Mutex
+
+	moves     atomic.Uint64
+	promoted  atomic.Uint64
+	reassigns atomic.Uint64
+
+	memStarted bool
+}
+
+// NewCoordinator builds the coordinator and its version-1 map (ring
+// placement over all configured nodes). Nothing is installed yet; call
+// InstallAll, then StartMembership.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	nodes := make([]Node, len(cfg.Nodes))
+	for i, n := range cfg.Nodes {
+		nodes[i] = Node{Name: n.Name, Addrs: append([]string(nil), n.Addrs...), State: StateAlive}
+	}
+	c := &Coordinator{cfg: cfg}
+	c.cur = BuildMap(nodes, cfg.NumShards, cfg.ShardBlocks, cfg.VNodes)
+	probe := cfg.Probe
+	probe.Dialer = firstDialer(probe.Dialer, cfg.Dialer)
+	probe.OnTransition = c.onTransition
+	c.mem = NewMembership(nodes, probe)
+	if cfg.Reg != nil {
+		c.registerMetrics(cfg.Reg)
+	}
+	return c, nil
+}
+
+func firstDialer(ds ...dialFunc) dialFunc {
+	for _, d := range ds {
+		if d != nil {
+			return d
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.cfg.Logf != nil {
+		c.cfg.Logf(format, args...)
+	}
+}
+
+// Map returns the current authoritative map (immutable).
+func (c *Coordinator) Map() *Map {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.cur
+}
+
+// Membership exposes the failure detector (gauges, reflex-cli).
+func (c *Coordinator) Membership() *Membership { return c.mem }
+
+// Moves returns how many shard ownership changes the coordinator has
+// pushed (map-diff accumulated across installs).
+func (c *Coordinator) Moves() uint64 { return c.moves.Load() }
+
+// swap installs nm as the coordinator's authoritative map, accounting
+// the ownership diff.
+func (c *Coordinator) swap(nm *Map) {
+	c.mu.Lock()
+	c.moves.Add(uint64(nm.DiffMoves(c.cur)))
+	c.cur = nm
+	c.mu.Unlock()
+}
+
+// installOn pushes the current map to every address of the named nodes
+// (every member of a pair holds the map: a promoted backup must enforce
+// it immediately). A node counts as installed when at least one of its
+// addresses accepted; errors on the rest are expected during failures.
+func (c *Coordinator) installOn(m *Map, names ...string) error {
+	raw := m.Marshal()
+	var firstErr error
+	for _, name := range names {
+		ok := false
+		var lastErr error
+		for _, n := range m.Nodes {
+			if n.Name != name {
+				continue
+			}
+			for _, addr := range n.Addrs {
+				if _, err := installMap(c.cfg.Dialer, addr, c.cfg.InstallTimeout, raw); err != nil {
+					lastErr = err
+					continue
+				}
+				ok = true
+			}
+		}
+		if !ok && firstErr == nil {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("shard: node %s not in map", name)
+			}
+			firstErr = fmt.Errorf("shard: install on %s failed: %w", name, lastErr)
+		}
+	}
+	return firstErr
+}
+
+// InstallAll pushes the current map to every node. Returns the first
+// hard failure (a node none of whose addresses accepted) but installs
+// on everyone regardless.
+func (c *Coordinator) InstallAll() error {
+	m := c.Map()
+	names := make([]string, len(m.Nodes))
+	for i, n := range m.Nodes {
+		names[i] = n.Name
+	}
+	return c.installOn(m, names...)
+}
+
+// StartMembership launches the probe loop (Stop tears it down).
+func (c *Coordinator) StartMembership() {
+	c.mu.Lock()
+	started := c.memStarted
+	c.memStarted = true
+	c.mu.Unlock()
+	if !started {
+		go c.mem.Run()
+	}
+}
+
+// Stop halts the probe loop.
+func (c *Coordinator) Stop() {
+	c.mu.Lock()
+	started := c.memStarted
+	c.mu.Unlock()
+	if started {
+		c.mem.Stop()
+	}
+}
+
+// onTransition is the failure-reaction policy, fired by the detector.
+func (c *Coordinator) onTransition(name string, from, to MemberState) {
+	c.logf("shard: node %s: %s -> %s", name, from, to)
+	c.noteState(name, to)
+	if !c.cfg.AutoHeal || to != StateDead {
+		return
+	}
+	// The pair is unreachable as a whole — but an address that answered
+	// recently with the backup role may still come back; try promotion
+	// first (the cheap save), reassignment second (the real failover).
+	if addr, epoch, ok := c.mem.AliveBackup(name); ok {
+		if e, err := promote(c.cfg.Dialer, addr, c.cfg.InstallTimeout, epoch+1); err == nil {
+			c.promoted.Add(1)
+			c.logf("shard: promoted %s (%s) to primary at epoch %d", name, addr, e)
+			c.fencePeers(name, addr, e)
+			return
+		}
+	}
+	c.reassignDead(name)
+}
+
+// noteState mirrors a node's membership state into the current map's
+// node list (a Clone at same version is not pushed — the state bits ride
+// along with the next install).
+func (c *Coordinator) noteState(name string, st MemberState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := c.cur.NodeIndex(name)
+	if idx < 0 {
+		return
+	}
+	nm := *c.cur // shallow copy, then fresh node slice: keep Map immutable
+	nm.Nodes = make([]Node, len(c.cur.Nodes))
+	copy(nm.Nodes, c.cur.Nodes)
+	nm.Nodes[idx].State = st
+	c.cur = &nm
+}
+
+// fencePeers sends a best-effort OpFence at epoch e to every other
+// address of the named pair (the possibly-alive-but-slow old primary).
+func (c *Coordinator) fencePeers(name, keep string, e uint16) {
+	m := c.Map()
+	for _, n := range m.Nodes {
+		if n.Name != name {
+			continue
+		}
+		for _, addr := range n.Addrs {
+			if addr != keep {
+				fence(c.cfg.Dialer, addr, c.cfg.InstallTimeout, e)
+			}
+		}
+	}
+}
+
+// reassignDead moves a dead node's shards to their ring successors and
+// reinstalls the map on the survivors. Consistent hashing means only
+// the dead node's shards move.
+func (c *Coordinator) reassignDead(name string) {
+	c.mu.Lock()
+	idx := c.cur.NodeIndex(name)
+	if idx < 0 {
+		c.mu.Unlock()
+		return
+	}
+	nm := c.cur.Reassign(idx, c.cfg.VNodes)
+	moved := nm.DiffMoves(c.cur)
+	c.mu.Unlock()
+	c.swap(nm)
+	c.reassigns.Add(1)
+	c.logf("shard: reassigned %d shards off dead node %s (map v%d)",
+		moved, name, nm.Version)
+	survivors := make([]string, 0, len(nm.Nodes))
+	for i, n := range nm.Nodes {
+		if i != idx && n.State != StateDead {
+			survivors = append(survivors, n.Name)
+		}
+	}
+	if err := c.installOn(nm, survivors...); err != nil {
+		c.logf("shard: reassign install: %v", err)
+	}
+}
+
+// RatesForSLO splits a cluster-wide latency-critical SLO into per-node
+// token rates: each node's share of the cluster IOPS is proportional to
+// the fraction of shards it owns (uniform key distribution — the ring's
+// virtual nodes keep the split tight), then converted to a token rate
+// through the device cost model exactly like single-node admission
+// (§3.2.2). The result is what each node's operator passes as the
+// tenant's rate when admitting the cluster tenant locally.
+func (c *Coordinator) RatesForSLO(model core.CostModel, iops, readPercent int) map[string]core.Tokens {
+	m := c.Map()
+	owned := make(map[string]int)
+	for _, o := range m.Assign {
+		if o >= 0 {
+			owned[m.Nodes[o].Name]++
+		}
+	}
+	out := make(map[string]core.Tokens, len(owned))
+	total := len(m.Assign)
+	if total == 0 {
+		return out
+	}
+	for name, k := range owned {
+		nodeIOPS := (iops*k + total - 1) / total // ceil: never under-provision
+		out[name] = model.RateForSLO(nodeIOPS, readPercent)
+	}
+	return out
+}
+
+// registerMetrics exposes the coordinator's view on an obs registry:
+// shard_map_version, shard_moves and a per-node membership-state gauge
+// (0 alive, 1 suspect, 2 dead).
+func (c *Coordinator) registerMetrics(reg *obs.Registry) {
+	reg.GaugeFunc("shard_map_version", "coordinator's authoritative shard-map version",
+		func() float64 { return float64(c.Map().Version) })
+	reg.CounterFunc("shard_moves", "shard ownership changes pushed by the coordinator",
+		func() float64 { return float64(c.moves.Load()) })
+	reg.CounterFunc("shard_promotions", "pair backups promoted after primary death",
+		func() float64 { return float64(c.promoted.Load()) })
+	reg.CounterFunc("shard_reassigns", "dead-node shard reassignments",
+		func() float64 { return float64(c.reassigns.Load()) })
+	for _, n := range c.cfg.Nodes {
+		name := n.Name
+		reg.GaugeFunc("shard_node_state", "membership state (0 alive, 1 suspect, 2 dead)",
+			func() float64 { return float64(c.mem.State(name)) }, obs.L("node", name))
+	}
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// fakeNode is an in-memory control-plane endpoint speaking just enough
+// protocol for the coordinator: OpPing, OpShardMap, OpPromote, OpFence.
+type fakeNode struct {
+	mu        sync.Mutex
+	down      bool
+	epoch     uint16
+	role      uint32
+	pending   uint32
+	installed *Map
+	installs  int
+	promotes  int
+	fences    []uint16
+}
+
+func (f *fakeNode) setDown(d bool) {
+	f.mu.Lock()
+	f.down = d
+	f.mu.Unlock()
+}
+
+func (f *fakeNode) dial() (net.Conn, error) {
+	f.mu.Lock()
+	down := f.down
+	f.mu.Unlock()
+	if down {
+		return nil, errors.New("fake: node down")
+	}
+	c1, c2 := net.Pipe()
+	go f.serve(c2)
+	return c1, nil
+}
+
+func (f *fakeNode) serve(c net.Conn) {
+	defer c.Close()
+	br := bufio.NewReader(c)
+	for {
+		var m protocol.Message
+		if err := protocol.ReadMessageInto(br, &m, nil); err != nil {
+			return
+		}
+		h := m.Header
+		resp := protocol.Header{Opcode: h.Opcode, Flags: protocol.FlagResponse, Cookie: h.Cookie}
+		var payload []byte
+		f.mu.Lock()
+		switch h.Opcode {
+		case protocol.OpPing:
+			resp.Epoch, resp.Count, resp.LBA = f.epoch, f.role, f.pending
+		case protocol.OpShardMap:
+			if len(m.Payload) == 0 {
+				if f.installed != nil {
+					resp.LBA = f.installed.Version
+					payload = f.installed.Marshal()
+				}
+			} else if nm, err := Unmarshal(m.Payload); err != nil {
+				resp.Status = protocol.StatusBadRequest
+			} else if f.installed != nil && nm.Version <= f.installed.Version {
+				resp.LBA, resp.Status = f.installed.Version, protocol.StatusStaleEpoch
+			} else {
+				f.installed = nm
+				f.installs++
+				resp.LBA = nm.Version
+			}
+		case protocol.OpPromote:
+			f.promotes++
+			f.epoch = h.Epoch
+			f.role &^= protocol.RoleBackupBit
+			resp.Epoch = h.Epoch
+		case protocol.OpFence:
+			f.fences = append(f.fences, h.Epoch)
+			resp.Epoch = h.Epoch
+		default:
+			resp.Status = protocol.StatusBadRequest
+		}
+		f.mu.Unlock()
+		frame, err := protocol.AppendMessage(nil, &resp, payload)
+		if err != nil {
+			return
+		}
+		if _, err := c.Write(frame); err != nil {
+			return
+		}
+	}
+}
+
+// fakeCluster routes dials by address to fake nodes.
+type fakeCluster struct {
+	mu    sync.Mutex
+	nodes map[string]*fakeNode
+}
+
+func newFakeCluster() *fakeCluster {
+	return &fakeCluster{nodes: make(map[string]*fakeNode)}
+}
+
+func (fc *fakeCluster) add(addr string) *fakeNode {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	n := &fakeNode{}
+	fc.nodes[addr] = n
+	return n
+}
+
+func (fc *fakeCluster) dial(addr string) (net.Conn, error) {
+	fc.mu.Lock()
+	n := fc.nodes[addr]
+	fc.mu.Unlock()
+	if n == nil {
+		return nil, fmt.Errorf("fake: no node at %s", addr)
+	}
+	return n.dial()
+}

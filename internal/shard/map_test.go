@@ -1,0 +1,151 @@
+package shard
+
+import (
+	"testing"
+)
+
+func testMap(t *testing.T) *Map {
+	t.Helper()
+	nodes := []Node{
+		{Name: "n0", Addrs: []string{"127.0.0.1:1", "127.0.0.1:2"}},
+		{Name: "n1", Addrs: []string{"127.0.0.1:3"}, State: StateSuspect},
+		{Name: "n2", Addrs: []string{"127.0.0.1:4"}},
+	}
+	m := BuildMap(nodes, 16, 1024, 16)
+	m.Migrating[3] = 2
+	return m
+}
+
+func TestMapMarshalRoundTrip(t *testing.T) {
+	m := testMap(t)
+	m.Version = 7
+	got, err := Unmarshal(m.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != m.Version || got.ShardBlocks != m.ShardBlocks {
+		t.Fatalf("header mismatch: v%d/%d vs v%d/%d", got.Version, got.ShardBlocks, m.Version, m.ShardBlocks)
+	}
+	if len(got.Nodes) != len(m.Nodes) {
+		t.Fatalf("node count %d, want %d", len(got.Nodes), len(m.Nodes))
+	}
+	for i := range m.Nodes {
+		if got.Nodes[i].Name != m.Nodes[i].Name || got.Nodes[i].State != m.Nodes[i].State {
+			t.Fatalf("node %d mismatch: %+v vs %+v", i, got.Nodes[i], m.Nodes[i])
+		}
+		if len(got.Nodes[i].Addrs) != len(m.Nodes[i].Addrs) {
+			t.Fatalf("node %d addr count mismatch", i)
+		}
+		for j := range m.Nodes[i].Addrs {
+			if got.Nodes[i].Addrs[j] != m.Nodes[i].Addrs[j] {
+				t.Fatalf("node %d addr %d mismatch", i, j)
+			}
+		}
+	}
+	for s := range m.Assign {
+		if got.Assign[s] != m.Assign[s] || got.Migrating[s] != m.Migrating[s] {
+			t.Fatalf("shard %d mismatch: (%d,%d) vs (%d,%d)",
+				s, got.Assign[s], got.Migrating[s], m.Assign[s], m.Migrating[s])
+		}
+	}
+}
+
+func TestMapUnmarshalRejectsGarbage(t *testing.T) {
+	m := testMap(t)
+	raw := m.Marshal()
+	for _, cut := range []int{0, 1, 4, 8, len(raw) / 2, len(raw) - 1} {
+		if _, err := Unmarshal(raw[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Unmarshal(append(append([]byte(nil), raw...), 0xFF)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestMapCloneIsDeepAndBumpsVersion(t *testing.T) {
+	m := testMap(t)
+	n := m.Clone()
+	if n.Version != m.Version+1 {
+		t.Fatalf("Clone version %d, want %d", n.Version, m.Version+1)
+	}
+	n.Assign[0] = 99
+	n.Migrating[0] = 99
+	n.Nodes[0].State = StateDead
+	n.Nodes[0].Addrs[0] = "mutated"
+	if m.Assign[0] == 99 || m.Migrating[0] == 99 || m.Nodes[0].State == StateDead || m.Nodes[0].Addrs[0] == "mutated" {
+		t.Fatal("Clone shares state with the original")
+	}
+}
+
+func TestMapOwnership(t *testing.T) {
+	m := testMap(t)
+	blocks := uint64(m.ShardBlocks)
+
+	// A nil map owns everything (pre-sharding deployments).
+	var nilMap *Map
+	if !nilMap.OwnedBy("anyone", 123, 4) {
+		t.Fatal("nil map should own everything")
+	}
+
+	// The authoritative owner owns its shard; others do not.
+	ownerOf := func(s int) string { return m.Nodes[m.Assign[s]].Name }
+	for s := 0; s < m.NumShards(); s++ {
+		lba := uint64(s) * blocks
+		if !m.OwnedBy(ownerOf(s), lba, 1) {
+			t.Fatalf("shard %d: owner %s does not own its own range", s, ownerOf(s))
+		}
+		for i, n := range m.Nodes {
+			if int32(i) == m.Assign[s] || int32(i) == m.Migrating[s] {
+				continue
+			}
+			if m.OwnedBy(n.Name, lba, 1) {
+				t.Fatalf("shard %d: non-owner %s owns it", s, n.Name)
+			}
+		}
+	}
+
+	// Migration destination co-owns the migrating shard.
+	if !m.OwnedBy(m.Nodes[2].Name, 3*blocks, 1) {
+		t.Fatal("migration destination does not co-own the migrating shard")
+	}
+
+	// A range spanning into a differently-owned shard is not owned.
+	for s := 0; s < m.NumShards()-1; s++ {
+		if m.Assign[s] == m.Assign[s+1] {
+			continue
+		}
+		last := uint64(s)*blocks + blocks - 1
+		if m.OwnedBy(ownerOf(s), last, 2) {
+			t.Fatalf("shard %d: boundary-spanning range reported owned", s)
+		}
+		break
+	}
+
+	// Beyond the mapped space: unowned.
+	if m.OwnedBy(ownerOf(0), uint64(m.NumShards())*blocks, 1) {
+		t.Fatal("LBA beyond the mapped space reported owned")
+	}
+}
+
+func TestMapOwnerAddrs(t *testing.T) {
+	m := testMap(t)
+	addrs := m.OwnerAddrs(0)
+	want := m.Nodes[m.Assign[0]].Addrs
+	if len(addrs) != len(want) {
+		t.Fatalf("OwnerAddrs len %d, want %d", len(addrs), len(want))
+	}
+}
+
+func TestDedupeTargets(t *testing.T) {
+	got := dedupeTargets([]string{" a:1 ", "", "a:1", "b:2", "  ", "b:2", "c:3"})
+	want := []string{"a:1", "b:2", "c:3"}
+	if len(got) != len(want) {
+		t.Fatalf("dedupeTargets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("dedupeTargets = %v, want %v", got, want)
+		}
+	}
+}

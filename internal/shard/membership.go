@@ -1,0 +1,229 @@
+package shard
+
+import (
+	"sync"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// MembershipConfig tunes the SWIM-lite failure detector. "Lite" because
+// the cluster is a handful of pairs steered by one coordinator: direct
+// probes from the coordinator suffice, so the gossip/indirect-probe
+// machinery of full SWIM (see the consul model in /root/related) is
+// deliberately omitted — the alive → suspect → dead state machine and
+// the probe pacing are what matter here.
+type MembershipConfig struct {
+	// Interval paces probe rounds when Run drives them (default 250ms).
+	Interval time.Duration
+	// Timeout bounds one probe exchange (default 1s).
+	Timeout time.Duration
+	// SuspectAfter is how many consecutive missed probes mark an address
+	// suspect (default 1); DeadAfter marks it dead (default 3).
+	SuspectAfter int
+	DeadAfter    int
+	// OnTransition fires on every node-level state change (after the
+	// round that caused it), outside the membership lock.
+	OnTransition func(node string, from, to MemberState)
+	// Dialer is the probe dial seam (nil: net.DialTimeout).
+	Dialer dialFunc
+}
+
+func (c *MembershipConfig) fill() {
+	if c.Interval <= 0 {
+		c.Interval = 250 * time.Millisecond
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 1
+	}
+	if c.DeadAfter <= c.SuspectAfter {
+		c.DeadAfter = c.SuspectAfter + 2
+	}
+}
+
+// AddrHealth is one probed address's last-known condition.
+type AddrHealth struct {
+	Addr    string
+	Misses  int
+	State   MemberState
+	Epoch   uint16
+	Role    uint32 // RoleBackupBit / RoleFencedBit from the last answer
+	Pending uint32 // migration forwards awaiting a sink ack
+}
+
+// memberNode is one pair under observation.
+type memberNode struct {
+	name  string
+	addrs []AddrHealth
+	state MemberState
+}
+
+// Membership is the coordinator's failure detector: it probes every
+// address of every node and aggregates per-node state (a pair is as
+// healthy as its healthiest member — one answering address keeps the
+// node out of Dead, because the pair can be promoted around a dead
+// primary).
+type Membership struct {
+	cfg MembershipConfig
+
+	mu    sync.Mutex
+	nodes []*memberNode
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewMembership builds a detector over the given nodes (all initially
+// Alive). It does not start probing; call Run (goroutine) or Tick
+// (manual pacing, tests).
+func NewMembership(nodes []Node, cfg MembershipConfig) *Membership {
+	cfg.fill()
+	m := &Membership{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	for _, n := range nodes {
+		mn := &memberNode{name: n.Name, state: StateAlive}
+		for _, a := range n.Addrs {
+			mn.addrs = append(mn.addrs, AddrHealth{Addr: a, State: StateAlive})
+		}
+		m.nodes = append(m.nodes, mn)
+	}
+	return m
+}
+
+// Run drives probe rounds at the configured interval until Stop.
+func (m *Membership) Run() {
+	defer close(m.done)
+	t := time.NewTicker(m.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-t.C:
+			m.Tick()
+		}
+	}
+}
+
+// Stop halts Run (idempotent) and waits for the in-flight round.
+func (m *Membership) Stop() {
+	m.once.Do(func() { close(m.stop) })
+	<-m.done
+}
+
+// Tick runs one probe round: every address of every node, transitions
+// applied, node-level callbacks fired. Probes within a round run
+// sequentially — the cluster is small and the coordinator is the only
+// prober.
+func (m *Membership) Tick() {
+	m.mu.Lock()
+	type target struct{ node, addr int }
+	var targets []target
+	for ni, n := range m.nodes {
+		for ai := range n.addrs {
+			targets = append(targets, target{ni, ai})
+		}
+	}
+	m.mu.Unlock()
+
+	results := make([]probeResult, len(targets))
+	for i, t := range targets {
+		m.mu.Lock()
+		addr := m.nodes[t.node].addrs[t.addr].Addr
+		m.mu.Unlock()
+		results[i] = probe(m.cfg.Dialer, addr, m.cfg.Timeout)
+	}
+
+	type transition struct {
+		node     string
+		from, to MemberState
+	}
+	var fired []transition
+	m.mu.Lock()
+	for i, t := range targets {
+		ah := &m.nodes[t.node].addrs[t.addr]
+		r := results[i]
+		if r.err != nil {
+			ah.Misses++
+		} else {
+			ah.Misses = 0
+			ah.Epoch, ah.Role, ah.Pending = r.epoch, r.role, r.pending
+		}
+		switch {
+		case ah.Misses >= m.cfg.DeadAfter:
+			ah.State = StateDead
+		case ah.Misses >= m.cfg.SuspectAfter:
+			ah.State = StateSuspect
+		default:
+			ah.State = StateAlive
+		}
+	}
+	for _, n := range m.nodes {
+		best := StateDead
+		for _, ah := range n.addrs {
+			if ah.State < best {
+				best = ah.State
+			}
+		}
+		if len(n.addrs) == 0 {
+			best = StateDead
+		}
+		if best != n.state {
+			fired = append(fired, transition{n.name, n.state, best})
+			n.state = best
+		}
+	}
+	m.mu.Unlock()
+	if m.cfg.OnTransition != nil {
+		for _, tr := range fired {
+			m.cfg.OnTransition(tr.node, tr.from, tr.to)
+		}
+	}
+}
+
+// State returns a node's aggregated state (StateDead for unknown names).
+func (m *Membership) State(name string) MemberState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.nodes {
+		if n.name == name {
+			return n.state
+		}
+	}
+	return StateDead
+}
+
+// Snapshot returns every node's per-address health, for gauges and the
+// reflex-cli ring view.
+func (m *Membership) Snapshot() map[string][]AddrHealth {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string][]AddrHealth, len(m.nodes))
+	for _, n := range m.nodes {
+		out[n.name] = append([]AddrHealth(nil), n.addrs...)
+	}
+	return out
+}
+
+// AliveBackup returns an answering address of the node whose last probe
+// reported the backup role — the promotion target when the pair's
+// primary is gone — along with the epoch it reported. ok is false when
+// no such address exists.
+func (m *Membership) AliveBackup(name string) (addr string, epoch uint16, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, n := range m.nodes {
+		if n.name != name {
+			continue
+		}
+		for _, ah := range n.addrs {
+			if ah.State == StateAlive && ah.Role&protocol.RoleBackupBit != 0 {
+				return ah.Addr, ah.Epoch, true
+			}
+		}
+	}
+	return "", 0, false
+}

@@ -1,0 +1,147 @@
+package shard
+
+import (
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+func detector(t *testing.T, fc *fakeCluster, nodes []Node) (*Membership, *[]string) {
+	t.Helper()
+	var transitions []string
+	cfg := MembershipConfig{
+		Timeout:      500 * time.Millisecond,
+		SuspectAfter: 1,
+		DeadAfter:    3,
+		Dialer:       fc.dial,
+		OnTransition: func(node string, from, to MemberState) {
+			transitions = append(transitions, node+":"+from.String()+"->"+to.String())
+		},
+	}
+	return NewMembership(nodes, cfg), &transitions
+}
+
+func TestMembershipTransitions(t *testing.T) {
+	fc := newFakeCluster()
+	fa := fc.add("a:1")
+	fb := fc.add("b:1")
+	m, transitions := detector(t, fc, []Node{
+		{Name: "n0", Addrs: []string{"a:1"}},
+		{Name: "n1", Addrs: []string{"b:1"}},
+	})
+
+	m.Tick()
+	if m.State("n0") != StateAlive || m.State("n1") != StateAlive {
+		t.Fatal("healthy nodes not alive after a clean round")
+	}
+
+	fa.setDown(true)
+	m.Tick()
+	if got := m.State("n0"); got != StateSuspect {
+		t.Fatalf("n0 after 1 miss = %s, want suspect", got)
+	}
+	m.Tick()
+	m.Tick()
+	if got := m.State("n0"); got != StateDead {
+		t.Fatalf("n0 after 3 misses = %s, want dead", got)
+	}
+	if m.State("n1") != StateAlive {
+		t.Fatal("n1 dragged down by n0's death")
+	}
+
+	// Recovery: one clean probe resurrects.
+	fa.setDown(false)
+	m.Tick()
+	if got := m.State("n0"); got != StateAlive {
+		t.Fatalf("n0 after recovery = %s, want alive", got)
+	}
+
+	want := []string{
+		"n0:alive->suspect",
+		"n0:suspect->dead",
+		"n0:dead->alive",
+	}
+	if len(*transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", *transitions, want)
+	}
+	for i := range want {
+		if (*transitions)[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", *transitions, want)
+		}
+	}
+	_ = fb
+}
+
+func TestMembershipPairIsAsHealthyAsItsBestAddr(t *testing.T) {
+	fc := newFakeCluster()
+	fp := fc.add("p:1")
+	fb := fc.add("p:2")
+	fb.mu.Lock()
+	fb.role = protocol.RoleBackupBit
+	fb.epoch = 4
+	fb.mu.Unlock()
+	m, _ := detector(t, fc, []Node{{Name: "pair", Addrs: []string{"p:1", "p:2"}}})
+
+	m.Tick()
+	if m.State("pair") != StateAlive {
+		t.Fatal("pair not alive")
+	}
+
+	// Primary dies; the answering backup keeps the pair out of Dead.
+	fp.setDown(true)
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if got := m.State("pair"); got != StateAlive {
+		t.Fatalf("pair with live backup = %s, want alive", got)
+	}
+
+	addr, epoch, ok := m.AliveBackup("pair")
+	if !ok || addr != "p:2" || epoch != 4 {
+		t.Fatalf("AliveBackup = (%s,%d,%v), want (p:2,4,true)", addr, epoch, ok)
+	}
+
+	// Whole pair down: dead, and no promotion target.
+	fb.setDown(true)
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if got := m.State("pair"); got != StateDead {
+		t.Fatalf("fully-down pair = %s, want dead", got)
+	}
+	if _, _, ok := m.AliveBackup("pair"); ok {
+		t.Fatal("AliveBackup found a target on a dead pair")
+	}
+}
+
+func TestMembershipSnapshotAndUnknown(t *testing.T) {
+	fc := newFakeCluster()
+	fn := fc.add("a:1")
+	fn.mu.Lock()
+	fn.pending = 9
+	fn.mu.Unlock()
+	m, _ := detector(t, fc, []Node{{Name: "n0", Addrs: []string{"a:1"}}})
+	m.Tick()
+	snap := m.Snapshot()
+	if len(snap["n0"]) != 1 || snap["n0"][0].Pending != 9 {
+		t.Fatalf("snapshot = %+v, want pending 9 on n0", snap)
+	}
+	if m.State("nope") != StateDead {
+		t.Fatal("unknown node should read dead")
+	}
+}
+
+func TestMembershipRunStop(t *testing.T) {
+	fc := newFakeCluster()
+	fc.add("a:1")
+	m := NewMembership([]Node{{Name: "n0", Addrs: []string{"a:1"}}},
+		MembershipConfig{Interval: 5 * time.Millisecond, Dialer: fc.dial})
+	go m.Run()
+	time.Sleep(30 * time.Millisecond)
+	m.Stop()
+	m.Stop() // idempotent
+	if m.State("n0") != StateAlive {
+		t.Fatal("run loop never probed")
+	}
+}

@@ -1,0 +1,386 @@
+package shard
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// Live shard migration (DESIGN.md §13). The move reuses the replication
+// machinery end to end — no separate bulk-copy path to keep correct:
+//
+//  1. Dual-ownership map (v+1): Migrating[shard] = dest is installed on
+//     the DESTINATION FIRST, then the source, then everyone else. From
+//     here the destination accepts writes for the shard, which is what
+//     authorizes the sink's relayed traffic.
+//  2. The sink attaches to the source primary with a ranged OpJoin. The
+//     source's migration replicator streams the shard's blocks
+//     (serialized against live forwards under the session's sendMu, so
+//     a stale chunk can never overwrite a newer write) and forwards
+//     every acked write intersecting the window — each with the client
+//     ack DEFERRED until the sink has applied it at the destination and
+//     acked back. "Acked" therefore means "on both nodes" for the whole
+//     window, which is the zero-lost-acked-writes invariant.
+//  3. The catch-up marker (a non-response OpJoin echoing the window)
+//     tells the sink every block is across; the coordinator cuts over:
+//     map v+2 (Assign = dest, Migrating cleared) installs on the
+//     destination first, then the source — whose shard-map enforcement
+//     now answers StatusWrongShard for the range, fencing new I/O off
+//     the old owner exactly like an epoch fence, while clients refetch
+//     and re-route.
+//  4. Drain: writes admitted at the source before its v+2 install may
+//     still be in its scheduler; they apply locally and forward to the
+//     still-attached sink. The coordinator polls the source's OpPing
+//     pending count until it reads zero for settleRounds consecutive
+//     polls, then detaches the sink.
+//
+// A sink failure before the cutover rolls the map back (Migrating
+// cleared at v+2) and the move reports the error; acked data was never
+// only on the sink, so nothing is lost.
+
+// Migration pacing knobs.
+const (
+	// settleRounds is how many consecutive zero-pending OpPing polls end
+	// the drain (spaced settleEvery apart, comfortably longer than the
+	// source's admit→forward scheduling latency).
+	settleRounds = 3
+	settleEvery  = 50 * time.Millisecond
+	// applyRetries bounds per-write retries at the destination on
+	// transient refusals (shed/timeout) before the sink gives up.
+	applyRetries = 8
+)
+
+// MoveShard live-migrates one shard from its current owner to destName
+// with zero lost acked writes. Blocks until the move completes, the
+// sink fails, or timeout expires (0 = 60s). Concurrent MoveShard calls
+// are serialized per coordinator.
+func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	c.moveMu.Lock()
+	defer c.moveMu.Unlock()
+
+	m := c.Map()
+	if shardIdx < 0 || shardIdx >= len(m.Assign) {
+		return fmt.Errorf("shard: shard %d out of range [0,%d)", shardIdx, len(m.Assign))
+	}
+	destIdx := m.NodeIndex(destName)
+	if destIdx < 0 {
+		return fmt.Errorf("shard: unknown destination node %q", destName)
+	}
+	srcIdx := int(m.Assign[shardIdx])
+	if srcIdx == destIdx {
+		return nil // already there
+	}
+	if srcIdx < 0 || srcIdx >= len(m.Nodes) {
+		return fmt.Errorf("shard: shard %d has no live owner", shardIdx)
+	}
+	srcName := m.Nodes[srcIdx].Name
+	firstLBA := uint32(shardIdx) * m.ShardBlocks
+
+	// Phase 1: dual-ownership map, destination first.
+	m1 := m.Clone()
+	m1.Migrating[shardIdx] = int32(destIdx)
+	c.swap(m1)
+	if err := c.installOn(m1, destName); err != nil {
+		return fmt.Errorf("shard: move %d: dest install: %w", shardIdx, err)
+	}
+	if err := c.installOn(m1, srcName); err != nil {
+		c.rollbackMigrating(shardIdx, destName, srcName)
+		return fmt.Errorf("shard: move %d: source install: %w", shardIdx, err)
+	}
+	c.installRest(m1, destName, srcName)
+
+	// Phase 2: attach the sink and wait for the catch-up marker.
+	srcAddr, err := c.primaryAddr(m1, srcIdx)
+	if err != nil {
+		c.rollbackMigrating(shardIdx, destName, srcName)
+		return err
+	}
+	sink, err := c.startSink(srcAddr, m1.Nodes[destIdx].Addrs, firstLBA, m1.ShardBlocks)
+	if err != nil {
+		c.rollbackMigrating(shardIdx, destName, srcName)
+		return fmt.Errorf("shard: move %d: sink: %w", shardIdx, err)
+	}
+	deadline := time.NewTimer(timeout)
+	defer deadline.Stop()
+	select {
+	case <-sink.caught:
+	case err := <-sink.errCh:
+		sink.close()
+		c.rollbackMigrating(shardIdx, destName, srcName)
+		return fmt.Errorf("shard: move %d: catch-up: %w", shardIdx, err)
+	case <-deadline.C:
+		sink.close()
+		c.rollbackMigrating(shardIdx, destName, srcName)
+		return fmt.Errorf("shard: move %d: catch-up timed out after %v", shardIdx, timeout)
+	}
+	c.logf("shard: move %d %s->%s: caught up (%d writes relayed), cutting over",
+		shardIdx, srcName, destName, sink.applied.Load())
+
+	// Phase 3: cutover, destination first; the source install fences the
+	// range off the old owner (StatusWrongShard redirects from here on).
+	cm := c.Map()
+	m2 := cm.Clone()
+	m2.Assign[shardIdx] = int32(destIdx)
+	m2.Migrating[shardIdx] = Unassigned
+	c.swap(m2)
+	if err := c.installOn(m2, destName); err != nil {
+		sink.close()
+		return fmt.Errorf("shard: move %d: cutover dest install: %w", shardIdx, err)
+	}
+	if err := c.installOn(m2, srcName); err != nil {
+		sink.close()
+		return fmt.Errorf("shard: move %d: cutover source install: %w", shardIdx, err)
+	}
+	c.installRest(m2, destName, srcName)
+
+	// Phase 4: drain writes admitted at the source before its cutover
+	// install; they still forward to the attached sink.
+	if err := c.drainSource(srcAddr, timeout); err != nil {
+		sink.close()
+		return fmt.Errorf("shard: move %d: %w", shardIdx, err)
+	}
+	sink.close()
+	select {
+	case err := <-sink.errCh:
+		return fmt.Errorf("shard: move %d: sink failed during drain: %w", shardIdx, err)
+	default:
+	}
+	c.logf("shard: move %d %s->%s: done (map v%d, %d writes relayed)",
+		shardIdx, srcName, destName, m2.Version, sink.applied.Load())
+	return nil
+}
+
+// rollbackMigrating clears a failed move's dual-ownership window with a
+// fresh map version.
+func (c *Coordinator) rollbackMigrating(shardIdx int, destName, srcName string) {
+	cm := c.Map()
+	nm := cm.Clone()
+	nm.Migrating[shardIdx] = Unassigned
+	c.swap(nm)
+	c.installOn(nm, srcName)
+	c.installOn(nm, destName)
+	c.installRest(nm, destName, srcName)
+}
+
+// installRest pushes m to every node except the two named (best-effort;
+// stale nodes redirect their clients into a refetch anyway).
+func (c *Coordinator) installRest(m *Map, a, b string) {
+	for _, n := range m.Nodes {
+		if n.Name == a || n.Name == b || n.State == StateDead {
+			continue
+		}
+		c.installOn(m, n.Name)
+	}
+}
+
+// primaryAddr probes a node's addresses and returns the one serving as
+// unfenced primary.
+func (c *Coordinator) primaryAddr(m *Map, idx int) (string, error) {
+	for _, addr := range m.Nodes[idx].Addrs {
+		r := probe(c.cfg.Dialer, addr, c.cfg.InstallTimeout)
+		if r.err == nil && r.role&(protocol.RoleBackupBit|protocol.RoleFencedBit) == 0 {
+			return addr, nil
+		}
+	}
+	return "", fmt.Errorf("shard: node %s has no answering primary", m.Nodes[idx].Name)
+}
+
+// drainSource polls the source's migration-pending count (OpPing
+// response LBA) until it stays zero for settleRounds consecutive polls.
+func (c *Coordinator) drainSource(srcAddr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	zeros := 0
+	for zeros < settleRounds {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("drain timed out after %v", timeout)
+		}
+		r := probe(c.cfg.Dialer, srcAddr, c.cfg.InstallTimeout)
+		if r.err != nil {
+			// The source died mid-drain; its pending forwards degrade to
+			// standalone acks on teardown and the pair's backup (which saw
+			// every one of those writes over its own session) takes over.
+			return nil
+		}
+		if r.pending == 0 {
+			zeros++
+		} else {
+			zeros = 0
+		}
+		time.Sleep(settleEvery)
+	}
+	return nil
+}
+
+// migrationSink is the coordinator-side receiver of one shard's
+// migration stream: it relays every OpReplicate frame to the
+// destination as an ordinary write (authorized by the dual-ownership
+// map) and acks the source only after the destination acked — the
+// deferred-ack chain that makes migration lossless.
+type migrationSink struct {
+	src    net.Conn
+	dst    *client.Client
+	handle uint16
+
+	caught  chan struct{}
+	errCh   chan error // buffered; first terminal error wins
+	applied atomic.Uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	caughtOn sync.Once
+}
+
+// startSink dials the source, performs the ranged join handshake, and
+// starts the relay loop.
+func (c *Coordinator) startSink(srcAddr string, destAddrs []string, firstLBA, blockCount uint32) (*migrationSink, error) {
+	dst, err := client.DialCluster(destAddrs, client.Options{Timeout: c.cfg.InstallTimeout})
+	if err != nil {
+		return nil, fmt.Errorf("dial destination: %w", err)
+	}
+	handle, err := dst.Register(protocol.Registration{BestEffort: true, Writable: true})
+	if err != nil {
+		dst.Close()
+		return nil, fmt.Errorf("register at destination: %w", err)
+	}
+
+	var src net.Conn
+	if c.cfg.Dialer != nil {
+		src, err = c.cfg.Dialer(srcAddr)
+	} else {
+		src, err = net.DialTimeout("tcp", srcAddr, c.cfg.InstallTimeout)
+	}
+	if err != nil {
+		dst.Close()
+		return nil, fmt.Errorf("dial source: %w", err)
+	}
+	join := protocol.Header{Opcode: protocol.OpJoin, LBA: firstLBA, Count: blockCount}
+	frame, _ := protocol.AppendMessage(nil, &join, nil)
+	if _, err := src.Write(frame); err != nil {
+		src.Close()
+		dst.Close()
+		return nil, fmt.Errorf("ranged join: %w", err)
+	}
+	s := &migrationSink{
+		src:    src,
+		dst:    dst,
+		handle: handle,
+		caught: make(chan struct{}),
+		errCh:  make(chan error, 1),
+		stop:   make(chan struct{}),
+	}
+	go s.loop()
+	return s, nil
+}
+
+func (s *migrationSink) close() {
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		s.src.Close()
+		s.dst.Close()
+	})
+}
+
+func (s *migrationSink) fail(err error) {
+	select {
+	case s.errCh <- err:
+	default:
+	}
+}
+
+func (s *migrationSink) stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// loop reads the join channel: the handshake response, catch-up chunks
+// and live forwards (OpReplicate requests, relayed then acked), and the
+// catch-up marker (non-response OpJoin).
+func (s *migrationSink) loop() {
+	br := bufio.NewReaderSize(s.src, 256<<10)
+	var msg protocol.Message
+	var ackBuf []byte
+	first := true
+	for {
+		if err := protocol.ReadMessageInto(br, &msg, nil); err != nil {
+			if !s.stopped() {
+				s.fail(err)
+			}
+			return
+		}
+		hdr := msg.Header
+		switch {
+		case first && hdr.Opcode == protocol.OpJoin && hdr.IsResponse():
+			if hdr.Status != protocol.StatusOK {
+				s.fail(fmt.Errorf("join refused: %s", hdr.Status))
+				return
+			}
+			first = false
+		case hdr.Opcode == protocol.OpJoin && !hdr.IsResponse():
+			// Catch-up marker: every block of the window is across.
+			s.caughtOn.Do(func() { close(s.caught) })
+		case hdr.Opcode == protocol.OpReplicate && !hdr.IsResponse():
+			st := s.apply(hdr.LBA, msg.Payload)
+			ack := protocol.Header{
+				Opcode: protocol.OpReplicate,
+				Flags:  protocol.FlagResponse,
+				Cookie: hdr.Cookie,
+				Epoch:  hdr.Epoch,
+				LBA:    hdr.LBA,
+				Status: st,
+			}
+			var err error
+			ackBuf, err = protocol.AppendMessage(ackBuf[:0], &ack, nil)
+			if err == nil {
+				_, err = s.src.Write(ackBuf)
+			}
+			if err != nil {
+				if !s.stopped() {
+					s.fail(err)
+				}
+				return
+			}
+			if st != protocol.StatusOK {
+				s.fail(fmt.Errorf("apply at destination failed: %s", st))
+				return
+			}
+			s.applied.Add(1)
+		default:
+			// Tolerate anything else (keep-alives, stray responses).
+		}
+	}
+}
+
+// apply writes one relayed frame at the destination, retrying transient
+// refusals (shed, timeout) — the destination is a live server taking
+// client traffic of its own.
+func (s *migrationSink) apply(lba uint32, payload []byte) protocol.Status {
+	if len(payload) == 0 {
+		return protocol.StatusBadRequest
+	}
+	var err error
+	for attempt := 0; attempt < applyRetries; attempt++ {
+		if err = s.dst.Write(s.handle, lba, payload); err == nil {
+			return protocol.StatusOK
+		}
+		switch err {
+		case client.ErrOverloaded, client.ErrTimeout:
+			time.Sleep(time.Duration(attempt+1) * 5 * time.Millisecond)
+			continue
+		}
+		break
+	}
+	return protocol.StatusDeviceError
+}

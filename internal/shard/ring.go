@@ -1,0 +1,124 @@
+// Package shard is the cluster-wide control plane the paper leaves as
+// future work (§4.3): it turns N independent ReFlex replica pairs into one
+// logical flash target. The pieces:
+//
+//   - a consistent-hash ring with virtual nodes (Ring) that places
+//     contiguous LBA ranges ("shards") on nodes;
+//   - a versioned, immutable shard map (Map) — the routing table every
+//     node installs and every client caches — served and installed over
+//     protocol.OpShardMap;
+//   - SWIM-lite membership (Membership): direct health probes driving
+//     alive → suspect → dead transitions, plus pair-level primary
+//     promotion when a node's primary dies but its backup answers;
+//   - a coordinator (Coordinator) that assigns shards to primary/backup
+//     pairs, recomputes per-node tenant token rates from cluster-wide
+//     SLOs, and orchestrates live shard migration (MoveShard) reusing the
+//     internal/cluster OpJoin catch-up stream with an epoch-fenced
+//     cutover — zero lost acked writes during a move;
+//   - a client-side router (Router) with fetch-on-miss and
+//     redirect-driven map refresh over per-node DialCluster pools.
+//
+// See DESIGN.md §13.
+package shard
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per physical node. More virtual
+// nodes smooth the hash-space split (the classic consistent-hashing
+// variance reduction) at the cost of a larger sorted point list.
+const DefaultVNodes = 64
+
+// point is one virtual node on the ring.
+type point struct {
+	hash uint64
+	node int // index into the node list the ring was built over
+}
+
+// Ring is a consistent-hash ring over node indices. It is immutable after
+// construction; rebuilding on membership change only moves the keys that
+// hashed into the dead node's arcs — the consistent-hashing property that
+// keeps a node failure from reshuffling the whole cluster.
+type Ring struct {
+	points []point
+	nodes  int
+}
+
+// hash64 hashes b with FNV-1a and a 64-bit avalanche finalizer. Raw
+// FNV-1a disperses suffix-only variation poorly — the vnode counters and
+// shard indices this ring hashes differ only in their trailing bytes, and
+// without the finalizer every virtual node of one name lands in a tight
+// cluster (one node then captures the whole ring). The finalizer is the
+// standard MurmurHash3 fmix64; the whole function is stable across
+// processes, which the ring needs to agree between coordinator restarts.
+func hash64(b []byte) uint64 {
+	h := fnv.New64a()
+	h.Write(b)
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// NewRing builds a ring over n nodes (identified by the names given, which
+// determine vnode placement) with vnodes virtual nodes each. vnodes <= 0
+// selects DefaultVNodes.
+func NewRing(names []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{nodes: len(names)}
+	var key [8]byte
+	for i, name := range names {
+		for v := 0; v < vnodes; v++ {
+			binary.BigEndian.PutUint64(key[:], uint64(v))
+			r.points = append(r.points, point{
+				hash: hash64(append([]byte(name+"#"), key[:]...)),
+				node: i,
+			})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node // deterministic tie-break
+	})
+	return r
+}
+
+// Lookup returns the node index owning key (the first virtual node
+// clockwise from the key's hash). Returns -1 on an empty ring.
+func (r *Ring) Lookup(key uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		i = 0 // wrap: the ring is circular
+	}
+	return r.points[i].node
+}
+
+// ShardKey hashes a shard index onto the ring's key space.
+func ShardKey(shard int) uint64 {
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], uint64(shard))
+	return hash64(b[:])
+}
+
+// Assign places numShards shards over the ring, returning the node index
+// per shard.
+func (r *Ring) Assign(numShards int) []int32 {
+	out := make([]int32, numShards)
+	for s := range out {
+		out[s] = int32(r.Lookup(ShardKey(s)))
+	}
+	return out
+}

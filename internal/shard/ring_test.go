@@ -1,0 +1,90 @@
+package shard
+
+import (
+	"testing"
+)
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	names := []string{"n0", "n1", "n2", "n3"}
+	a := NewRing(names, DefaultVNodes).Assign(256)
+	b := NewRing(names, DefaultVNodes).Assign(256)
+	counts := make([]int, len(names))
+	for s := range a {
+		if a[s] != b[s] {
+			t.Fatalf("ring placement not deterministic at shard %d: %d vs %d", s, a[s], b[s])
+		}
+		if a[s] < 0 || int(a[s]) >= len(names) {
+			t.Fatalf("shard %d assigned out of range: %d", s, a[s])
+		}
+		counts[a[s]]++
+	}
+	min, max := counts[0], counts[0]
+	for _, c := range counts[1:] {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if min == 0 {
+		t.Fatalf("a node owns zero shards: %v", counts)
+	}
+	// 64 vnodes over 4 nodes keeps the split reasonably tight.
+	if max > 3*min {
+		t.Fatalf("ring badly unbalanced: %v (max > 3*min)", counts)
+	}
+}
+
+func TestRingLookupOrderInvariant(t *testing.T) {
+	// Node order must not matter: the ring hashes names.
+	a := NewRing([]string{"x", "y", "z"}, 32).Assign(64)
+	b := NewRing([]string{"z", "x", "y"}, 32).Assign(64)
+	// b's indices are into its own name order; translate both to names.
+	an := []string{"x", "y", "z"}
+	bn := []string{"z", "x", "y"}
+	for s := range a {
+		if an[a[s]] != bn[b[s]] {
+			t.Fatalf("shard %d owner differs by input order: %s vs %s", s, an[a[s]], bn[b[s]])
+		}
+	}
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(nil, 8)
+	if got := r.Lookup(12345); got != -1 {
+		t.Fatalf("empty ring Lookup = %d, want -1", got)
+	}
+}
+
+func TestReassignMovesOnlyDeadNodesShards(t *testing.T) {
+	nodes := []Node{
+		{Name: "n0", Addrs: []string{"a0"}},
+		{Name: "n1", Addrs: []string{"a1"}},
+		{Name: "n2", Addrs: []string{"a2"}},
+		{Name: "n3", Addrs: []string{"a3"}},
+	}
+	m := BuildMap(nodes, 128, 2048, DefaultVNodes)
+	dead := m.NodeIndex("n2")
+	nm := m.Reassign(dead, DefaultVNodes)
+	if nm.Version != m.Version+1 {
+		t.Fatalf("Reassign version = %d, want %d", nm.Version, m.Version+1)
+	}
+	for s := range m.Assign {
+		if int(m.Assign[s]) != dead {
+			if nm.Assign[s] != m.Assign[s] {
+				t.Fatalf("shard %d moved although its owner %d survived", s, m.Assign[s])
+			}
+			continue
+		}
+		if int(nm.Assign[s]) == dead || nm.Assign[s] == Unassigned {
+			t.Fatalf("dead node's shard %d not reassigned: %d", s, nm.Assign[s])
+		}
+	}
+	if nm.Nodes[dead].State != StateDead {
+		t.Fatal("dead node not marked StateDead in the reassigned map")
+	}
+	if moves := nm.DiffMoves(m); moves == 0 {
+		t.Fatal("DiffMoves reported zero moves across a reassignment")
+	}
+}
