@@ -107,6 +107,70 @@ func TestForwardAckCompletesOnce(t *testing.T) {
 	}
 }
 
+// TestRangedForwardClipsToWindow covers the straddling-write case: a
+// ranged session (migration sink) must receive ONLY in-window blocks —
+// the destination owns exactly the window and refuses any frame that
+// reaches past it with StatusWrongShard, which would kill the sink and
+// abort the move.
+func TestRangedForwardClipsToWindow(t *testing.T) {
+	const bs = protocol.BlockSize
+	mk := func(blocks int, first byte) []byte {
+		b := make([]byte, blocks*bs)
+		for i := range b {
+			b[i] = first + byte(i/bs)
+		}
+		return b
+	}
+	fs := &fakeSender{}
+	r, _ := newTestReplicator(nil)
+	// Window: blocks [100, 110).
+	tok := r.AttachRange(fs, 100, 10)
+	defer r.Detach(tok, protocol.StatusOK)
+
+	cases := []struct {
+		lba       uint32
+		blocks    int
+		wantLBA   uint32
+		wantBlk   int
+		wantFirst byte // expected first payload byte (block tag)
+		forwarded bool
+	}{
+		{lba: 96, blocks: 2, forwarded: false},                                        // entirely below
+		{lba: 110, blocks: 3, forwarded: false},                                       // entirely above
+		{lba: 98, blocks: 4, wantLBA: 100, wantBlk: 2, wantFirst: 2, forwarded: true}, // straddles the low edge
+		{lba: 108, blocks: 4, wantLBA: 108, wantBlk: 2, wantFirst: 0, forwarded: true},
+		{lba: 99, blocks: 12, wantLBA: 100, wantBlk: 10, wantFirst: 1, forwarded: true}, // spans the whole window
+		{lba: 103, blocks: 2, wantLBA: 103, wantBlk: 2, wantFirst: 0, forwarded: true},  // fully inside, untouched
+	}
+	sentBefore := 0
+	for i, tc := range cases {
+		fwd := r.Forward(tc.lba, mk(tc.blocks, 0), nil, func(protocol.Status) {})
+		if fwd != tc.forwarded {
+			t.Fatalf("case %d: forwarded = %v, want %v", i, fwd, tc.forwarded)
+		}
+		sent := fs.sent()
+		if !tc.forwarded {
+			if len(sent) != sentBefore {
+				t.Fatalf("case %d: out-of-window write reached the sink: %+v", i, sent[len(sent)-1])
+			}
+			continue
+		}
+		sentBefore++
+		h := sent[len(sent)-1]
+		if h.LBA != tc.wantLBA || int(h.Count) != tc.wantBlk*bs {
+			t.Fatalf("case %d: relayed [lba %d, %d bytes], want [lba %d, %d bytes]",
+				i, h.LBA, h.Count, tc.wantLBA, tc.wantBlk*bs)
+		}
+		fs.mu.Lock()
+		data := fs.data[len(fs.data)-1]
+		fs.mu.Unlock()
+		if len(data) != tc.wantBlk*bs || data[0] != tc.wantFirst {
+			t.Fatalf("case %d: payload len %d first %d, want len %d first %d",
+				i, len(data), data[0], tc.wantBlk*bs, tc.wantFirst)
+		}
+	}
+}
+
 func TestStaleAckDeposesAndFailsPending(t *testing.T) {
 	fs := &fakeSender{}
 	r, stale := newTestReplicator(nil)

@@ -253,7 +253,8 @@ func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, don
 	if s == nil {
 		return false
 	}
-	if !s.wantsWrite(lba, payload) {
+	lba, payload, ok := s.clip(lba, payload)
+	if !ok {
 		return false
 	}
 	cookie := r.cookie.Add(1)
@@ -285,17 +286,45 @@ func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, don
 	return true
 }
 
-// wantsWrite reports whether a write at lba intersects the session's
-// range filter. Unranged sessions want everything.
-func (s *session) wantsWrite(lba uint32, payload []byte) bool {
+// clip narrows a write to the session's range filter. Unranged sessions
+// (classic backups) pass everything through untouched; ranged sessions
+// (migration sinks) must not see a single out-of-window block, because
+// the sink relays frames verbatim to a destination whose shard-map
+// enforcement requires the ENTIRE range to be owned — a client write
+// legally straddling the moving shard's boundary at the source (which
+// owns both sides) would be refused whole with StatusWrongShard at the
+// destination, killing the sink and aborting the move. The trimmed-off
+// remainder is not lost: it belongs to shards the source keeps owning
+// and reaches the pair's backup via the unranged session.
+//
+// ok is false when the write misses the window entirely (nothing to
+// forward). The returned payload is a sub-slice of the input, so the
+// caller's lease still backs it.
+func (s *session) clip(lba uint32, payload []byte) (uint32, []byte, bool) {
 	if s.rangeBlocks == 0 {
-		return true
+		return lba, payload, true
 	}
 	blocks := uint32(len(payload) / protocol.BlockSize)
 	if blocks == 0 {
+		// Sub-block frame: intersection test only, nothing to trim.
 		blocks = 1
+		if lba >= s.rangeStart && lba < s.rangeStart+s.rangeBlocks {
+			return lba, payload, true
+		}
+		return 0, nil, false
 	}
-	return lba < s.rangeStart+s.rangeBlocks && lba+blocks > s.rangeStart
+	lo, hi := s.rangeStart, s.rangeStart+s.rangeBlocks
+	if lba >= hi || lba+blocks <= lo {
+		return 0, nil, false
+	}
+	if lba < lo {
+		payload = payload[(lo-lba)*protocol.BlockSize:]
+		lba = lo
+	}
+	if end := lba + uint32(len(payload))/protocol.BlockSize; end > hi {
+		payload = payload[:(hi-lba)*protocol.BlockSize]
+	}
+	return lba, payload, true
 }
 
 // Pending returns the number of forwards awaiting a backup ack on the

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/binary"
 	"errors"
@@ -105,6 +106,105 @@ func TestReplicationMirrorsAckedWrites(t *testing.T) {
 	}
 	if p.a.Metrics() == nil || p.a.ReplicaLive() != true {
 		t.Fatal("replica session not live on the primary")
+	}
+}
+
+// TestMigrationSinkFailureFailsClientWrite pins the lost-acked-write
+// fix: when the migration sink acks a forwarded write non-OK (the
+// destination refused to apply the relayed copy), the client must NOT
+// be acked StatusOK — otherwise a later cutover would make a
+// destination missing that write authoritative while the client
+// believes it durable. The forward ack status must surface in the
+// client's write response.
+func TestMigrationSinkFailureFailsClientWrite(t *testing.T) {
+	srv, cl := startServer(t, nil)
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Attach a raw migration sink via a ranged OpJoin over blocks [0, 64).
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	send := func(hdr *protocol.Header) {
+		t.Helper()
+		frame, err := protocol.AppendMessage(nil, hdr, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := conn.Write(frame); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(&protocol.Header{Opcode: protocol.OpJoin, LBA: 0, Count: 64})
+
+	br := bufio.NewReaderSize(conn, 1<<20)
+	var msg protocol.Message
+	if err := protocol.ReadMessageInto(br, &msg, nil); err != nil {
+		t.Fatal(err)
+	}
+	if msg.Header.Opcode != protocol.OpJoin || !msg.Header.IsResponse() || msg.Header.Status != protocol.StatusOK {
+		t.Fatalf("join handshake: %+v", msg.Header)
+	}
+	// Drain the catch-up (ack each chunk OK) until the marker frame.
+	for {
+		if err := protocol.ReadMessageInto(br, &msg, nil); err != nil {
+			t.Fatal(err)
+		}
+		if msg.Header.Opcode == protocol.OpJoin && !msg.Header.IsResponse() {
+			break // catch-up marker: the window is across
+		}
+		if msg.Header.Opcode == protocol.OpReplicate && !msg.Header.IsResponse() {
+			send(&protocol.Header{
+				Opcode: protocol.OpReplicate,
+				Flags:  protocol.FlagResponse,
+				Cookie: msg.Header.Cookie,
+				Epoch:  msg.Header.Epoch,
+				LBA:    msg.Header.LBA,
+				Status: protocol.StatusOK,
+			})
+		}
+	}
+
+	// Serve exactly one more forward — the client write below — and
+	// refuse it the way a destination whose apply failed would.
+	sinkDone := make(chan error, 1)
+	go func() {
+		var fwd protocol.Message
+		for {
+			if err := protocol.ReadMessageInto(br, &fwd, nil); err != nil {
+				sinkDone <- err
+				return
+			}
+			if fwd.Header.Opcode != protocol.OpReplicate || fwd.Header.IsResponse() {
+				continue
+			}
+			frame, err := protocol.AppendMessage(nil, &protocol.Header{
+				Opcode: protocol.OpReplicate,
+				Flags:  protocol.FlagResponse,
+				Cookie: fwd.Header.Cookie,
+				Epoch:  fwd.Header.Epoch,
+				LBA:    fwd.Header.LBA,
+				Status: protocol.StatusDeviceError,
+			}, nil)
+			if err == nil {
+				_, err = conn.Write(frame)
+			}
+			sinkDone <- err
+			return
+		}
+	}()
+
+	err = cl.Write(h, 8, bytes.Repeat([]byte{0x5A}, 4096))
+	if !errors.Is(err, client.ErrDevice) {
+		t.Fatalf("write with failing sink err = %v, want ErrDevice (the ack must not be StatusOK)", err)
+	}
+	if err := <-sinkDone; err != nil {
+		t.Fatalf("sink: %v", err)
 	}
 }
 

@@ -127,24 +127,38 @@ func (th *sthread) forwardWrite(ctx *reqCtx, resp *protocol.Header, finish func(
 	var (
 		remaining atomic.Int32
 		stale     atomic.Bool
+		failed    atomic.Uint32 // first non-OK, non-stale forward ack status
 	)
 	remaining.Store(3) // repl hold + migr hold + caller hold
 	release := func() bool {
 		if remaining.Add(-1) != 0 {
 			return false
 		}
-		if stale.Load() {
+		switch {
+		case stale.Load():
 			// Deposed mid-write: the local apply stands but the ack must
 			// tell the client to fail over (it will replay at the new
 			// primary).
 			resp.Status = protocol.StatusStaleEpoch
+		case failed.Load() != 0:
+			// A replica or migration sink failed to apply the forwarded
+			// copy (e.g. the destination refused the relayed write). The
+			// write is NOT on every owner, so the client must not see
+			// StatusOK — "acked" means "on both nodes", and a cutover that
+			// makes the destination authoritative must never strand a
+			// write the client believes durable. The client retries.
+			resp.Status = protocol.Status(failed.Load())
 		}
 		finish()
 		return true
 	}
 	onAck := func(st protocol.Status) {
-		if st == protocol.StatusStaleEpoch {
+		switch st {
+		case protocol.StatusOK:
+		case protocol.StatusStaleEpoch:
 			stale.Store(true)
+		default:
+			failed.CompareAndSwap(0, uint32(st))
 		}
 		release()
 	}

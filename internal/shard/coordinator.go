@@ -50,6 +50,9 @@ func (c *CoordinatorConfig) fill() error {
 	if c.InstallTimeout <= 0 {
 		c.InstallTimeout = 5 * time.Second
 	}
+	if len(c.Nodes) > maxNodes {
+		return fmt.Errorf("shard: %d nodes exceed the wire-format max %d", len(c.Nodes), maxNodes)
+	}
 	seen := map[string]bool{}
 	for _, n := range c.Nodes {
 		if n.Name == "" || seen[n.Name] {
@@ -58,6 +61,20 @@ func (c *CoordinatorConfig) fill() error {
 		seen[n.Name] = true
 		if len(n.Addrs) == 0 {
 			return fmt.Errorf("shard: node %s has no addresses", n.Name)
+		}
+		// Marshal packs these into u8/u16 fields; an oversized value would
+		// silently truncate into a payload every Unmarshal refuses (or
+		// worse, mis-parses), poisoning the whole control plane.
+		if len(n.Name) > 255 {
+			return fmt.Errorf("shard: node name %.16q… is %d bytes (max 255)", n.Name, len(n.Name))
+		}
+		if len(n.Addrs) > 255 {
+			return fmt.Errorf("shard: node %s has %d addresses (max 255)", n.Name, len(n.Addrs))
+		}
+		for _, a := range n.Addrs {
+			if len(a) > 65535 {
+				return fmt.Errorf("shard: node %s has a %d-byte address (max 65535)", n.Name, len(a))
+			}
 		}
 	}
 	return nil
@@ -76,6 +93,17 @@ type Coordinator struct {
 
 	// moveMu serializes live shard migrations (one MoveShard at a time).
 	moveMu sync.Mutex
+
+	// editMu serializes every read-modify-write of the authoritative map.
+	// MoveShard (caller goroutine) and reassignDead/noteState (membership
+	// goroutine, via onTransition) edit concurrently; without this, two
+	// editors can Clone() the same base and swap() two different maps
+	// carrying the same Version — servers adopt whichever installs first
+	// and refuse the other as stale, silently diverging from the
+	// coordinator's view. moveMu cannot serve here: it is held across the
+	// whole (possibly minutes-long) move, and the membership goroutine
+	// must not stall probing behind it.
+	editMu sync.Mutex
 
 	moves     atomic.Uint64
 	promoted  atomic.Uint64
@@ -100,6 +128,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	probe := cfg.Probe
 	probe.Dialer = firstDialer(probe.Dialer, cfg.Dialer)
 	probe.OnTransition = c.onTransition
+	probe.OnPrimaryDown = c.onPrimaryDown
 	c.mem = NewMembership(nodes, probe)
 	if cfg.Reg != nil {
 		c.registerMetrics(cfg.Reg)
@@ -143,6 +172,22 @@ func (c *Coordinator) swap(nm *Map) {
 	c.moves.Add(uint64(nm.DiffMoves(c.cur)))
 	c.cur = nm
 	c.mu.Unlock()
+}
+
+// edit atomically applies fn to the current map and installs the result
+// as authoritative. fn runs under editMu — its base cannot be cloned by
+// a concurrent editor — and may return nil to abort (the current map is
+// kept and nil is returned). Every map mutation in the coordinator goes
+// through here.
+func (c *Coordinator) edit(fn func(cur *Map) *Map) *Map {
+	c.editMu.Lock()
+	defer c.editMu.Unlock()
+	nm := fn(c.Map())
+	if nm == nil {
+		return nil
+	}
+	c.swap(nm)
+	return nm
 }
 
 // installOn pushes the current map to every address of the named nodes
@@ -210,42 +255,74 @@ func (c *Coordinator) Stop() {
 	}
 }
 
-// onTransition is the failure-reaction policy, fired by the detector.
+// onTransition is the node-level failure-reaction policy, fired by the
+// detector. Note that a pair whose primary died but whose backup still
+// answers never transitions to Dead (the node is as healthy as its
+// healthiest member) — that case is handled by onPrimaryDown, the
+// detector's address-level trigger. Reaching Dead means every address is
+// gone; a last-gasp promotion attempt is tried anyway (an address may
+// have answered with the backup role just before the pair fell over, and
+// flapping pairs recover through it), then the shards are reassigned.
 func (c *Coordinator) onTransition(name string, from, to MemberState) {
 	c.logf("shard: node %s: %s -> %s", name, from, to)
 	c.noteState(name, to)
 	if !c.cfg.AutoHeal || to != StateDead {
 		return
 	}
-	// The pair is unreachable as a whole — but an address that answered
-	// recently with the backup role may still come back; try promotion
-	// first (the cheap save), reassignment second (the real failover).
-	if addr, epoch, ok := c.mem.AliveBackup(name); ok {
-		if e, err := promote(c.cfg.Dialer, addr, c.cfg.InstallTimeout, epoch+1); err == nil {
-			c.promoted.Add(1)
-			c.logf("shard: promoted %s (%s) to primary at epoch %d", name, addr, e)
-			c.fencePeers(name, addr, e)
-			return
-		}
+	if !c.tryPromote(name) {
+		c.reassignDead(name)
 	}
-	c.reassignDead(name)
+}
+
+// onPrimaryDown is the address-level promotion trigger: the pair's
+// primary address has missed DeadAfter consecutive probes while a
+// backup-role address still answers. This — not the node-level Dead
+// transition, which requires EVERY address dead and therefore excludes
+// an alive backup — is the path that promotes in production.
+func (c *Coordinator) onPrimaryDown(name string) {
+	c.logf("shard: node %s: primary address dead, backup answering", name)
+	if !c.cfg.AutoHeal {
+		return
+	}
+	c.tryPromote(name)
+}
+
+// tryPromote promotes the named pair's answering backup to primary at
+// the next epoch, fencing its peers. Reports whether a promotion
+// happened.
+func (c *Coordinator) tryPromote(name string) bool {
+	addr, epoch, ok := c.mem.AliveBackup(name)
+	if !ok {
+		return false
+	}
+	e, err := promote(c.cfg.Dialer, addr, c.cfg.InstallTimeout, epoch+1)
+	if err != nil {
+		c.logf("shard: promote %s (%s): %v", name, addr, err)
+		return false
+	}
+	c.promoted.Add(1)
+	c.logf("shard: promoted %s (%s) to primary at epoch %d", name, addr, e)
+	c.fencePeers(name, addr, e)
+	return true
 }
 
 // noteState mirrors a node's membership state into the current map's
-// node list (a Clone at same version is not pushed — the state bits ride
-// along with the next install).
+// node list (a copy at same version is not pushed — the state bits ride
+// along with the next install). Routed through edit so a state
+// annotation cannot race a concurrent Clone-and-swap and lose either
+// side's change.
 func (c *Coordinator) noteState(name string, st MemberState) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	idx := c.cur.NodeIndex(name)
-	if idx < 0 {
-		return
-	}
-	nm := *c.cur // shallow copy, then fresh node slice: keep Map immutable
-	nm.Nodes = make([]Node, len(c.cur.Nodes))
-	copy(nm.Nodes, c.cur.Nodes)
-	nm.Nodes[idx].State = st
-	c.cur = &nm
+	c.edit(func(cur *Map) *Map {
+		idx := cur.NodeIndex(name)
+		if idx < 0 {
+			return nil
+		}
+		nm := *cur // shallow copy, then fresh node slice: keep Map immutable
+		nm.Nodes = make([]Node, len(cur.Nodes))
+		copy(nm.Nodes, cur.Nodes)
+		nm.Nodes[idx].State = st
+		return &nm
+	})
 }
 
 // fencePeers sends a best-effort OpFence at epoch e to every other
@@ -268,16 +345,22 @@ func (c *Coordinator) fencePeers(name, keep string, e uint16) {
 // reinstalls the map on the survivors. Consistent hashing means only
 // the dead node's shards move.
 func (c *Coordinator) reassignDead(name string) {
-	c.mu.Lock()
-	idx := c.cur.NodeIndex(name)
-	if idx < 0 {
-		c.mu.Unlock()
+	var (
+		idx   = -1
+		moved int
+	)
+	nm := c.edit(func(cur *Map) *Map {
+		idx = cur.NodeIndex(name)
+		if idx < 0 {
+			return nil
+		}
+		n := cur.Reassign(idx, c.cfg.VNodes)
+		moved = n.DiffMoves(cur)
+		return n
+	})
+	if nm == nil {
 		return
 	}
-	nm := c.cur.Reassign(idx, c.cfg.VNodes)
-	moved := nm.DiffMoves(c.cur)
-	c.mu.Unlock()
-	c.swap(nm)
 	c.reassigns.Add(1)
 	c.logf("shard: reassigned %d shards off dead node %s (map v%d)",
 		moved, name, nm.Version)

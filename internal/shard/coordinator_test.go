@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -77,17 +78,17 @@ func TestCoordinatorPromotesAnsweringBackup(t *testing.T) {
 	if err := c.InstallAll(); err != nil {
 		t.Fatal(err)
 	}
-	// Primary address dies; the backup keeps answering. Probe rounds feed
-	// the detector the backup's role, then the pair-level death triggers
-	// promotion rather than reassignment.
+	// Primary address dies; the backup keeps answering. The pair-level
+	// state stays Alive throughout (a pair is as healthy as its healthiest
+	// member), so promotion MUST come from the detector's address-level
+	// OnPrimaryDown trigger — no hand-driven transitions here.
 	fakes["a:1"].setDown(true)
 	for i := 0; i < 4; i++ {
 		c.Membership().Tick()
 	}
-	// Pair still alive through the backup: force the policy's dead input
-	// directly (the detector would only report Dead if both were gone, so
-	// drive the reaction path by hand the way a flapping pair would).
-	c.onTransition("na", StateAlive, StateDead)
+	if got := c.Membership().State("na"); got != StateAlive {
+		t.Fatalf("pair with live backup = %s, want alive", got)
+	}
 	fakes["a:2"].mu.Lock()
 	promotes, epoch := fakes["a:2"].promotes, fakes["a:2"].epoch
 	fakes["a:2"].mu.Unlock()
@@ -103,6 +104,91 @@ func TestCoordinatorPromotesAnsweringBackup(t *testing.T) {
 	// The shard map did not change: promotion is pair-internal.
 	if got := c.Map().Version; got != 1 {
 		t.Fatalf("map version after promotion = %d, want 1", got)
+	}
+	// The trigger is latched: further rounds with the primary still down
+	// must not re-promote (the promoted backup no longer reports the
+	// backup role anyway, but the latch guards the window in between).
+	for i := 0; i < 4; i++ {
+		c.Membership().Tick()
+	}
+	fakes["a:2"].mu.Lock()
+	promotes = fakes["a:2"].promotes
+	fakes["a:2"].mu.Unlock()
+	if promotes != 1 {
+		t.Fatalf("backup promotes after extra rounds = %d, want 1 (latch failed)", promotes)
+	}
+}
+
+// TestCoordinatorMapEditsSerialized races MoveShard-style edits against
+// membership-driven reassignment/state edits: every produced map version
+// must be unique and strictly increasing — two editors cloning the same
+// base would mint duplicate versions and diverge the installed view.
+func TestCoordinatorMapEditsSerialized(t *testing.T) {
+	c, _, _ := coordRig(t, true)
+	const editors, edits = 4, 50
+	done := make(chan struct{})
+	for g := 0; g < editors; g++ {
+		g := g
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < edits; i++ {
+				switch g % 2 {
+				case 0:
+					c.edit(func(cur *Map) *Map {
+						nm := cur.Clone()
+						nm.Migrating[i%len(nm.Migrating)] = int32(i % len(nm.Nodes))
+						return nm
+					})
+				case 1:
+					c.noteState("nb", MemberState(i%3))
+				}
+			}
+		}()
+	}
+	for g := 0; g < editors; g++ {
+		<-done
+	}
+	// Half the editors bump the version edits times each; noteState keeps
+	// it. Monotonicity plus the exact final count proves no bump was lost
+	// to a concurrent clone of the same base.
+	want := uint32(1 + (editors/2)*edits)
+	if got := c.Map().Version; got != want {
+		t.Fatalf("map version after racing edits = %d, want %d (lost edits)", got, want)
+	}
+}
+
+func TestCoordinatorRejectsUnmarshalableConfigs(t *testing.T) {
+	long := make([]byte, 300)
+	for i := range long {
+		long[i] = 'x'
+	}
+	manyAddrs := make([]string, 300)
+	for i := range manyAddrs {
+		manyAddrs[i] = fmt.Sprintf("a:%d", i)
+	}
+	manyNodes := make([]Node, maxNodes+1)
+	for i := range manyNodes {
+		manyNodes[i] = Node{Name: fmt.Sprintf("n%d", i), Addrs: []string{"a:1"}}
+	}
+	bad := []CoordinatorConfig{
+		{Nodes: []Node{{Name: string(long), Addrs: []string{"a:1"}}}, NumShards: 4, ShardBlocks: 16},
+		{Nodes: []Node{{Name: "x", Addrs: manyAddrs}}, NumShards: 4, ShardBlocks: 16},
+		{Nodes: []Node{{Name: "x", Addrs: []string{string(make([]byte, 70_000))}}}, NumShards: 4, ShardBlocks: 16},
+		{Nodes: manyNodes, NumShards: 4, ShardBlocks: 16},
+	}
+	for i, cfg := range bad {
+		if _, err := NewCoordinator(cfg); err == nil {
+			t.Fatalf("config %d accepted: its map would marshal truncated", i)
+		}
+	}
+	// Sanity: the bounds admit realistic values.
+	ok := CoordinatorConfig{
+		Nodes:       []Node{{Name: "n0", Addrs: []string{"host-1.example:9000", "host-2.example:9000"}}},
+		NumShards:   8,
+		ShardBlocks: 64,
+	}
+	if _, err := NewCoordinator(ok); err != nil {
+		t.Fatalf("valid config refused: %v", err)
 	}
 }
 

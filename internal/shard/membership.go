@@ -25,6 +25,14 @@ type MembershipConfig struct {
 	// OnTransition fires on every node-level state change (after the
 	// round that caused it), outside the membership lock.
 	OnTransition func(node string, from, to MemberState)
+	// OnPrimaryDown fires (once per outage episode, outside the lock)
+	// when a node's primary-role address has missed DeadAfter consecutive
+	// probes while a backup-role address still answers. This is the
+	// promotion trigger: the node-level state cannot express it — a pair
+	// is as healthy as its healthiest member, so an answering backup
+	// keeps the node Alive and no node-level transition ever fires for a
+	// dead primary. The latch re-arms when the dead address recovers.
+	OnPrimaryDown func(node string)
 	// Dialer is the probe dial seam (nil: net.DialTimeout).
 	Dialer dialFunc
 }
@@ -59,6 +67,28 @@ type memberNode struct {
 	name  string
 	addrs []AddrHealth
 	state MemberState
+	// primaryDownFired latches the OnPrimaryDown callback for the current
+	// outage episode; it re-arms when no primary-role address is dead.
+	primaryDownFired bool
+}
+
+// primaryDown reports whether the node currently has a dead primary-role
+// address alongside an alive backup-role address — the promotable-outage
+// condition. An address that never answered a probe has Role 0 and
+// counts as primary (addresses list the primary first by convention, and
+// a member we have never heard from must be assumed to hold the role it
+// was deployed with).
+func (n *memberNode) primaryDown() (deadPrimary, aliveBackup bool) {
+	for _, ah := range n.addrs {
+		isBackup := ah.Role&protocol.RoleBackupBit != 0
+		if ah.State == StateDead && !isBackup {
+			deadPrimary = true
+		}
+		if ah.State == StateAlive && isBackup {
+			aliveBackup = true
+		}
+	}
+	return deadPrimary, aliveBackup
 }
 
 // Membership is the coordinator's failure detector: it probes every
@@ -142,6 +172,7 @@ func (m *Membership) Tick() {
 		from, to MemberState
 	}
 	var fired []transition
+	var primaryDown []string
 	m.mu.Lock()
 	for i, t := range targets {
 		ah := &m.nodes[t.node].addrs[t.addr]
@@ -175,11 +206,24 @@ func (m *Membership) Tick() {
 			fired = append(fired, transition{n.name, n.state, best})
 			n.state = best
 		}
+		deadPrimary, aliveBackup := n.primaryDown()
+		switch {
+		case deadPrimary && aliveBackup && !n.primaryDownFired:
+			n.primaryDownFired = true
+			primaryDown = append(primaryDown, n.name)
+		case !deadPrimary:
+			n.primaryDownFired = false // episode over: re-arm
+		}
 	}
 	m.mu.Unlock()
 	if m.cfg.OnTransition != nil {
 		for _, tr := range fired {
 			m.cfg.OnTransition(tr.node, tr.from, tr.to)
+		}
+	}
+	if m.cfg.OnPrimaryDown != nil {
+		for _, name := range primaryDown {
+			m.cfg.OnPrimaryDown(name)
 		}
 	}
 }

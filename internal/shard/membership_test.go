@@ -115,6 +115,65 @@ func TestMembershipPairIsAsHealthyAsItsBestAddr(t *testing.T) {
 	}
 }
 
+func TestMembershipPrimaryDownTrigger(t *testing.T) {
+	fc := newFakeCluster()
+	fp := fc.add("p:1")
+	fb := fc.add("p:2")
+	fb.mu.Lock()
+	fb.role = protocol.RoleBackupBit
+	fb.mu.Unlock()
+	var fired []string
+	cfg := MembershipConfig{
+		Timeout:       500 * time.Millisecond,
+		SuspectAfter:  1,
+		DeadAfter:     3,
+		Dialer:        fc.dial,
+		OnPrimaryDown: func(node string) { fired = append(fired, node) },
+	}
+	m := NewMembership([]Node{{Name: "pair", Addrs: []string{"p:1", "p:2"}}}, cfg)
+
+	m.Tick() // learn roles
+	fp.setDown(true)
+	for i := 0; i < 2; i++ { // 2 misses: suspect, not yet dead
+		m.Tick()
+	}
+	if len(fired) != 0 {
+		t.Fatalf("OnPrimaryDown fired before DeadAfter: %v", fired)
+	}
+	m.Tick() // 3rd miss: primary address dead, backup alive -> fire
+	if len(fired) != 1 || fired[0] != "pair" {
+		t.Fatalf("OnPrimaryDown = %v, want [pair]", fired)
+	}
+	// Latched: further rounds in the same episode stay silent.
+	for i := 0; i < 3; i++ {
+		m.Tick()
+	}
+	if len(fired) != 1 {
+		t.Fatalf("OnPrimaryDown refired within one episode: %v", fired)
+	}
+	// Recovery re-arms; a fresh outage fires again.
+	fp.setDown(false)
+	m.Tick()
+	fp.setDown(true)
+	for i := 0; i < 3; i++ {
+		m.Tick()
+	}
+	if len(fired) != 2 {
+		t.Fatalf("OnPrimaryDown after re-arm = %v, want a second firing", fired)
+	}
+	// Both down: no alive backup, nothing to promote onto — silent.
+	fp.setDown(false)
+	m.Tick()
+	fb.setDown(true)
+	fp.setDown(true)
+	for i := 0; i < 4; i++ {
+		m.Tick()
+	}
+	if len(fired) != 2 {
+		t.Fatalf("OnPrimaryDown fired with no alive backup: %v", fired)
+	}
+}
+
 func TestMembershipSnapshotAndUnknown(t *testing.T) {
 	fc := newFakeCluster()
 	fn := fc.add("a:1")

@@ -85,10 +85,21 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 	srcName := m.Nodes[srcIdx].Name
 	firstLBA := uint32(shardIdx) * m.ShardBlocks
 
-	// Phase 1: dual-ownership map, destination first.
-	m1 := m.Clone()
-	m1.Migrating[shardIdx] = int32(destIdx)
-	c.swap(m1)
+	// Phase 1: dual-ownership map, destination first. The edit re-checks
+	// ownership under editMu: a dead-node reassignment racing in from the
+	// membership goroutine may have moved the shard off srcIdx already.
+	var m1 *Map
+	c.edit(func(cur *Map) *Map {
+		if int(cur.Assign[shardIdx]) != srcIdx {
+			return nil
+		}
+		m1 = cur.Clone()
+		m1.Migrating[shardIdx] = int32(destIdx)
+		return m1
+	})
+	if m1 == nil {
+		return fmt.Errorf("shard: move %d: owner changed under the move (was %s)", shardIdx, srcName)
+	}
 	if err := c.installOn(m1, destName); err != nil {
 		return fmt.Errorf("shard: move %d: dest install: %w", shardIdx, err)
 	}
@@ -125,13 +136,32 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 	c.logf("shard: move %d %s->%s: caught up (%d writes relayed), cutting over",
 		shardIdx, srcName, destName, sink.applied.Load())
 
+	// The sink can fail AFTER signalling caught-up — a live forward relayed
+	// to the destination may be refused there (the sink acks the source
+	// non-OK and dies). Re-check immediately before making the destination
+	// authoritative: cutting over now would install an owner that is
+	// missing a write. With forwardWrite propagating the non-OK ack, that
+	// write was never acked StatusOK to the client — so rolling back here
+	// keeps the zero-lost-acked-writes invariant airtight: either the
+	// write is on both nodes (sink healthy, cutover proceeds) or the
+	// client saw the failure and the source stays authoritative.
+	select {
+	case err := <-sink.errCh:
+		sink.close()
+		c.rollbackMigrating(shardIdx, destName, srcName)
+		return fmt.Errorf("shard: move %d: sink failed before cutover: %w", shardIdx, err)
+	default:
+	}
+
 	// Phase 3: cutover, destination first; the source install fences the
 	// range off the old owner (StatusWrongShard redirects from here on).
-	cm := c.Map()
-	m2 := cm.Clone()
-	m2.Assign[shardIdx] = int32(destIdx)
-	m2.Migrating[shardIdx] = Unassigned
-	c.swap(m2)
+	var m2 *Map
+	c.edit(func(cur *Map) *Map {
+		m2 = cur.Clone()
+		m2.Assign[shardIdx] = int32(destIdx)
+		m2.Migrating[shardIdx] = Unassigned
+		return m2
+	})
 	if err := c.installOn(m2, destName); err != nil {
 		sink.close()
 		return fmt.Errorf("shard: move %d: cutover dest install: %w", shardIdx, err)
@@ -162,10 +192,11 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 // rollbackMigrating clears a failed move's dual-ownership window with a
 // fresh map version.
 func (c *Coordinator) rollbackMigrating(shardIdx int, destName, srcName string) {
-	cm := c.Map()
-	nm := cm.Clone()
-	nm.Migrating[shardIdx] = Unassigned
-	c.swap(nm)
+	nm := c.edit(func(cur *Map) *Map {
+		n := cur.Clone()
+		n.Migrating[shardIdx] = Unassigned
+		return n
+	})
 	c.installOn(nm, srcName)
 	c.installOn(nm, destName)
 	c.installRest(nm, destName, srcName)
