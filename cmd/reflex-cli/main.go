@@ -8,18 +8,23 @@
 //	reflex-cli -addr 127.0.0.1:7700 read -handle 1 -lba 0 -len 512
 //	reflex-cli -addr 127.0.0.1:7700 bench -handle 1 -n 10000 -depth 8
 //	reflex-cli -addr 127.0.0.1:7700 ring
+//	reflex-cli top -cluster http://127.0.0.1:9090/cluster
+//	reflex-cli top -nodes node0=http://h0:9090/snapshot,node1=http://h1:9090/snapshot
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 	"time"
 
 	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 	"github.com/reflex-go/reflex/internal/shard"
 )
@@ -28,8 +33,15 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "server address")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench|ring} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench|ring|top} [flags]")
 		os.Exit(2)
+	}
+
+	// top talks HTTP to the telemetry plane, not the data-plane protocol
+	// — handle it before dialing the server.
+	if flag.Arg(0) == "top" {
+		cmdTop(flag.Args()[1:])
+		return
 	}
 
 	cl, err := client.Dial(*addr)
@@ -59,6 +71,110 @@ func main() {
 		cmdRing(cl, args)
 	default:
 		log.Fatalf("unknown command %q", cmd)
+	}
+}
+
+// cmdTop renders a live fleet dashboard from the telemetry plane:
+// either a /cluster aggregation endpoint (-cluster URL) or a set of
+// per-node /snapshot endpoints the CLI aggregates itself (-nodes).
+func cmdTop(args []string) {
+	fs := flag.NewFlagSet("top", flag.ExitOnError)
+	clusterURL := fs.String("cluster", "", "a /cluster aggregation endpoint to render")
+	nodes := fs.String("nodes", "", "comma-separated name=snapshot-URL pairs to aggregate locally")
+	interval := fs.Duration("interval", 2*time.Second, "refresh interval")
+	once := fs.Bool("once", false, "render one frame and exit (no screen clearing)")
+	fs.Parse(args)
+
+	var poll func() (*obs.ClusterView, error)
+	switch {
+	case *clusterURL != "":
+		httpc := &http.Client{Timeout: 10 * time.Second}
+		poll = func() (*obs.ClusterView, error) {
+			resp, err := httpc.Get(*clusterURL)
+			if err != nil {
+				return nil, err
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				return nil, fmt.Errorf("%s: %s", *clusterURL, resp.Status)
+			}
+			var v obs.ClusterView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				return nil, err
+			}
+			return &v, nil
+		}
+	case *nodes != "":
+		var targets []obs.FleetNode
+		for _, pair := range strings.Split(*nodes, ",") {
+			name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok || name == "" || url == "" {
+				log.Fatalf("bad -nodes entry %q (want name=url)", pair)
+			}
+			targets = append(targets, obs.FleetNode{Name: name, URL: url})
+		}
+		fleet := obs.NewFleet(targets)
+		poll = func() (*obs.ClusterView, error) { return fleet.Poll(), nil }
+	default:
+		log.Fatal("top: need -cluster URL or -nodes name=url,...")
+	}
+
+	for {
+		view, err := poll()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		renderTop(view)
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// renderTop prints one dashboard frame.
+func renderTop(v *obs.ClusterView) {
+	fmt.Printf("reflex top — %s  (rates over %.1fs)\n\n",
+		time.Now().Format("15:04:05"), float64(v.IntervalNS)/1e9)
+	fmt.Printf("%-12s %5s %4s %6s %7s %10s %10s %8s %8s %9s %6s\n",
+		"NODE", "EPOCH", "MAP", "CONNS", "TENANTS", "CLIENT/S", "INTERNAL/S",
+		"REDIR/S", "SHED/S", "ACKLAG95", "PEND")
+	for _, n := range v.Nodes {
+		if n.Err != "" {
+			fmt.Printf("%-12s DOWN: %s\n", n.Name, n.Err)
+			continue
+		}
+		role := ""
+		if n.Backup {
+			role = " (backup)"
+		}
+		if n.Fenced {
+			role = " (fenced)"
+		}
+		fmt.Printf("%-12s %5d %4d %6d %7d %10.0f %10.0f %8.1f %8.1f %9s %6d%s\n",
+			n.Name, n.Epoch, n.MapVersion, n.Conns, n.Tenants,
+			n.ClientIOPS, n.InternalIOPS, n.RedirectsPS, n.ShedPS,
+			time.Duration(n.AckLagP95NS).Round(time.Microsecond), n.MigrPending, role)
+	}
+	if len(v.Shards) > 0 {
+		fmt.Printf("\n%-8s %12s %12s  %s\n", "SHARD", "READ/S", "WRITE/S", "SERVING NODES")
+		for _, sh := range v.Shards {
+			fmt.Printf("%-8d %12.0f %12.0f  %s\n",
+				sh.Shard, sh.ReadIOPS, sh.WriteIOPS, strings.Join(sh.Nodes, ","))
+		}
+	}
+	if len(v.Tenants) > 0 {
+		fmt.Printf("\n%-12s %8s %10s\n", "NODE", "TENANT", "SLO BURN")
+		for _, t := range v.Tenants {
+			marker := ""
+			if t.Burn > 1 {
+				marker = "  << violating"
+			}
+			fmt.Printf("%-12s %8d %10.2f%s\n", t.Node, t.Tenant, t.Burn, marker)
+		}
 	}
 }
 

@@ -46,6 +46,26 @@ func parseSize(s string) (int64, error) {
 	return n * mult, nil
 }
 
+// parseFleet parses "name=url,name=url" into scrape targets.
+func parseFleet(s string) ([]obs.FleetNode, error) {
+	var nodes []obs.FleetNode
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, url, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad fleet entry %q (want name=url)", pair)
+		}
+		nodes = append(nodes, obs.FleetNode{Name: name, URL: url})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no fleet entries")
+	}
+	return nodes, nil
+}
+
 func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "TCP listen address")
 	udpAddr := flag.String("udp", "", "optional UDP listen address (e.g. :7701)")
@@ -65,6 +85,8 @@ func main() {
 	connLimit := flag.Int("conn-limit", 0, "shed best-effort work while connections exceed this (0 = unlimited)")
 	backupOf := flag.String("backup-of", "", "run as replication backup of the primary at this address (refuses client writes until promoted)")
 	epoch := flag.Uint("epoch", 0, "initial cluster epoch (0 = standalone; replicated pairs start at 1)")
+	nodeName := flag.String("node-name", "", "cluster node name (enables shard-map enforcement and names this node's trace spans)")
+	fleet := flag.String("fleet", "", "comma-separated name=snapshot-URL pairs to aggregate at /cluster (e.g. node0=http://10.0.0.1:9090/snapshot,node1=...)")
 	flag.Parse()
 
 	bytes, err := parseSize(*size)
@@ -91,6 +113,7 @@ func main() {
 		Threads:    *threads,
 		Epoch:      uint16(*epoch),
 		BackupRole: *backupOf != "",
+		NodeName:   *nodeName,
 		Model: core.CostModel{
 			ReadCost:         core.TokenUnit,
 			ReadOnlyReadCost: core.TokenUnit / 2,
@@ -134,12 +157,28 @@ func main() {
 	// slow-request log, expvar and pprof.
 	if *metricsAddr != "" {
 		obs.PublishExpvar("reflex", srv.Metrics())
-		ms, err := obs.Serve(*metricsAddr, srv.Metrics(), srv.TraceRing())
+		cfg := obs.MuxConfig{
+			Reg:     srv.Metrics(),
+			Ring:    srv.TraceRing(),
+			Journal: srv.EventJournal(),
+		}
+		if *fleet != "" {
+			nodes, err := parseFleet(*fleet)
+			if err != nil {
+				log.Fatalf("-fleet: %v", err)
+			}
+			cfg.Cluster = obs.NewFleet(nodes).Handler()
+		}
+		ms, err := obs.ServeWith(*metricsAddr, cfg)
 		if err != nil {
 			log.Fatalf("metrics endpoint: %v", err)
 		}
 		defer ms.Close()
-		log.Printf("telemetry on http://%s/metrics (also /snapshot /slow /traces /debug/pprof)", ms.Addr())
+		extra := "/snapshot /slow /traces /events /debug/pprof"
+		if cfg.Cluster != nil {
+			extra += " /cluster"
+		}
+		log.Printf("telemetry on http://%s/metrics (also %s)", ms.Addr(), extra)
 	}
 
 	// SLO time-series sampler (per-op interval p95, IOPS, queue depths,

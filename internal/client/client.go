@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/bufpool"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -131,6 +132,13 @@ type Call struct {
 	// response: the call is put back in flight and replayed at the new
 	// primary at most this many times before the error surfaces.
 	staleLeft int
+
+	// TraceID is the distributed trace id this call carries (0 =
+	// untraced). The client-side root span (ID == TraceID by convention)
+	// is pushed into Options.TraceRing when the call completes.
+	TraceID uint64
+	// startNS anchors the root span's arrival stamp (client clock).
+	startNS int64
 }
 
 // release returns the call's pooled payload lease. Every completion path
@@ -319,6 +327,18 @@ type Options struct {
 	HedgeReads    bool
 	HedgeMinDelay time.Duration
 	HedgeMaxDelay time.Duration
+
+	// Trace enables distributed tracing: every read and write carries a
+	// FlagTraced trailer (16 bytes: trace id + parent span id) that
+	// downstream hops — serving node, backup replica, migration relay —
+	// record child spans against. The client records the root span of
+	// each traced request into TraceRing. Off by default: untraced
+	// requests are bit-for-bit the pre-tracing wire image.
+	Trace bool
+	// TraceRing receives the client-side root spans (required for Trace;
+	// also used by WriteTraced). Shared rings are fine — spans carry the
+	// node name "client".
+	TraceRing *obs.Ring
 }
 
 func (o *Options) fill() {
@@ -395,6 +415,26 @@ type Client struct {
 	// that lets a sharded server see how stale its caller is. 0 =
 	// shard-unaware client (the pre-sharding wire image, bit for bit).
 	shardVer atomic.Uint32
+
+	// Tracing state: trace ids are traceBase | traceSeq, where traceBase
+	// seeds from wall-clock nanoseconds at construction — unique across
+	// clients without coordination. start anchors span stamps (ns since
+	// client creation, same convention as the server's registry clock).
+	start    time.Time
+	traceBase uint64
+	traceSeq  atomic.Uint64
+}
+
+// now returns nanoseconds since client creation (span stamp clock).
+func (cl *Client) now() int64 { return int64(time.Since(cl.start)) }
+
+// nextTrace mints a process-unique non-zero trace id.
+func (cl *Client) nextTrace() uint64 {
+	id := cl.traceBase | (cl.traceSeq.Add(1) & (1<<20 - 1))
+	if id == 0 {
+		id = 1
+	}
+	return id
 }
 
 // SetShardVersion records the client's routing-table version; subsequent
@@ -505,6 +545,8 @@ func newClient(t transport, o Options, targets []string) *Client {
 		handleMap: make(map[uint16]uint16),
 		flushKick: make(chan struct{}, 1),
 		flushStop: make(chan struct{}),
+		start:     time.Now(),
+		traceBase: uint64(time.Now().UnixNano()) << 20,
 	}
 	go cl.flushLoop()
 	return cl
@@ -655,7 +697,29 @@ func (cl *Client) deliver(m *protocol.Message) {
 			cl.consecDevice.Store(0)
 		}
 	}
+	cl.pushRootSpan(call)
 	close(call.Done)
+}
+
+// pushRootSpan records a traced call's client-side root span (the
+// timeline anchor every downstream hop parents to, directly or
+// transitively). By convention the root span's ID equals the trace id.
+func (cl *Client) pushRootSpan(call *Call) {
+	if call.TraceID == 0 || cl.opts.TraceRing == nil {
+		return
+	}
+	sp := obs.Span{
+		ID:     call.TraceID,
+		Trace:  call.TraceID,
+		Node:   "client",
+		Hop:    obs.HopClient,
+		Write:  call.hdr.Opcode == protocol.OpWrite,
+		Size:   int(call.hdr.Count),
+		Tenant: int(call.hdr.Handle),
+	}
+	sp.Mark(obs.StageArrival, call.startNS)
+	sp.Mark(obs.StageTx, cl.now())
+	cl.opts.TraceRing.Push(sp)
 }
 
 // expire completes a call with ErrTimeout when its deadline passes.
@@ -678,6 +742,7 @@ func (cl *Client) expire(call *Call) {
 			cl.forceFailover()
 		}
 	}
+	cl.pushRootSpan(call)
 	close(call.Done)
 }
 
@@ -907,7 +972,15 @@ func (cl *Client) send(hdr *protocol.Header, payload []byte) (*Call, error) {
 // (checksum-sealed write frames). Ownership of the lease transfers to the
 // call on success and is released here on every early-error path.
 func (cl *Client) sendLease(hdr *protocol.Header, payload []byte, lease *bufpool.Buf) (*Call, error) {
-	call := &Call{Done: make(chan struct{}), payload: payload, lease: lease, staleLeft: 2}
+	return cl.sendCall(hdr, payload, lease, 0)
+}
+
+// sendCall is sendLease for a traced request: trace (non-zero) is
+// recorded on the call BEFORE it enters the pending map, so the read
+// loop's deliver can never observe a half-initialized call.
+func (cl *Client) sendCall(hdr *protocol.Header, payload []byte, lease *bufpool.Buf, trace uint64) (*Call, error) {
+	call := &Call{Done: make(chan struct{}), payload: payload, lease: lease, staleLeft: 2,
+		TraceID: trace, startNS: cl.now()}
 	hdr.Cookie = cl.cookie.Add(1)
 	call.hdr = *hdr
 
@@ -1022,11 +1095,24 @@ func (cl *Client) GoRead(handle uint16, lba uint32, n int) (*Call, error) {
 		// strips the trailer, and deliver maps a mismatch to ErrChecksum.
 		hdr.Flags |= protocol.FlagChecksum
 	}
+	if cl.opts.Trace {
+		// Traced read: the request's entire payload is the 16-byte trace
+		// trailer (reads otherwise have no body to append it to).
+		trace := cl.nextTrace()
+		hdr.Flags |= protocol.FlagTraced
+		lease := bufpool.Get(protocol.TraceSize)
+		payload := protocol.AppendTrace(lease.Bytes()[:0], trace, trace)
+		return cl.sendCall(hdr, payload, lease, trace)
+	}
 	return cl.send(hdr, nil)
 }
 
 // GoWrite starts an asynchronous write of data at lba (512-byte units).
 func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error) {
+	if cl.opts.Trace {
+		trace := cl.nextTrace()
+		return cl.goWriteTraced(handle, lba, data, trace, trace)
+	}
 	max := protocol.MaxPayload
 	if cl.opts.Checksum {
 		max -= protocol.ChecksumSize
@@ -1054,6 +1140,56 @@ func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error)
 		payload = protocol.AppendChecksum(buf)
 	}
 	return cl.sendLease(hdr, payload, lease)
+}
+
+// GoWriteTraced starts an asynchronous write carrying an explicit trace
+// context (trace id + parent span id), regardless of Options.Trace. The
+// migration sink uses it to relay forwarded writes without breaking the
+// originating request's timeline; Options.Trace routes here too (with
+// parent == trace: the client root span).
+func (cl *Client) GoWriteTraced(handle uint16, lba uint32, data []byte, trace, parent uint64) (*Call, error) {
+	if trace == 0 {
+		return cl.GoWrite(handle, lba, data)
+	}
+	return cl.goWriteTraced(handle, lba, data, trace, parent)
+}
+
+func (cl *Client) goWriteTraced(handle uint16, lba uint32, data []byte, trace, parent uint64) (*Call, error) {
+	max := protocol.MaxPayload - protocol.TraceSize
+	if cl.opts.Checksum {
+		max -= protocol.ChecksumSize
+	}
+	if len(data) == 0 || len(data) > max {
+		return nil, ErrBadRequest
+	}
+	hdr := &protocol.Header{
+		Opcode: protocol.OpWrite,
+		Handle: handle,
+		LBA:    lba,
+		Count:  uint32(len(data)),
+		Flags:  protocol.FlagTraced,
+	}
+	// Seal data [+ CRC] + trace trailer into one pooled frame. Layering
+	// matters: the server strips the trace trailer before verifying the
+	// checksum, so the CRC goes on first (over data only).
+	lease := bufpool.Get(len(data) + protocol.ChecksumSize + protocol.TraceSize)
+	buf := lease.Bytes()[:len(data)]
+	copy(buf, data)
+	if cl.opts.Checksum {
+		hdr.Flags |= protocol.FlagChecksum
+		buf = protocol.AppendChecksum(buf)
+	}
+	payload := protocol.AppendTrace(buf, trace, parent)
+	return cl.sendCall(hdr, payload, lease, trace)
+}
+
+// WriteTraced is the synchronous form of GoWriteTraced.
+func (cl *Client) WriteTraced(handle uint16, lba uint32, data []byte, trace, parent uint64) error {
+	call, err := cl.GoWriteTraced(handle, lba, data, trace, parent)
+	if err != nil {
+		return err
+	}
+	return cl.wait(call)
 }
 
 // GoBarrier starts an asynchronous ordering barrier on the tenant: it

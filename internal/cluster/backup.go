@@ -30,6 +30,15 @@ type Applier interface {
 	IsBackupRole() bool
 }
 
+// TracedApplier is an optional extension of Applier: when the applier
+// implements it, replicated frames that carried a FlagTraced trailer are
+// applied through ApplyReplicateTraced so the backup can record the
+// apply as a child span in the write's cross-node trace timeline.
+// Appliers that don't implement it lose nothing but the span.
+type TracedApplier interface {
+	ApplyReplicateTraced(lba uint32, payload []byte, epoch uint16, trace, parent uint64) protocol.Status
+}
+
 // BackupOptions tune the backup join loop.
 type BackupOptions struct {
 	// RetryBase/RetryMax bound the reconnect backoff when the primary is
@@ -197,7 +206,12 @@ func (b *Backup) session() error {
 			bufpool.ReleaseIf(lease)
 			continue // tolerate anything else on the channel
 		}
-		st := b.app.ApplyReplicate(msg.Header.LBA, msg.Payload, msg.Header.Epoch)
+		var st protocol.Status
+		if ta, ok := b.app.(TracedApplier); ok && msg.TraceID != 0 {
+			st = ta.ApplyReplicateTraced(msg.Header.LBA, msg.Payload, msg.Header.Epoch, msg.TraceID, msg.ParentSpan)
+		} else {
+			st = b.app.ApplyReplicate(msg.Header.LBA, msg.Payload, msg.Header.Epoch)
+		}
 		bufpool.ReleaseIf(lease) // payload applied; the lease is done
 		if st == protocol.StatusOK {
 			b.applied.Add(1)

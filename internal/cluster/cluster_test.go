@@ -45,7 +45,7 @@ func newTestReplicator(backend storage.Backend) (*Replicator, *uint16) {
 
 func TestNilReplicatorSafe(t *testing.T) {
 	var r *Replicator
-	if r.Forward(0, []byte{1}, nil, nil) {
+	if r.Forward(0, []byte{1}, nil, 0, 0, nil) {
 		t.Fatal("nil replicator forwarded")
 	}
 	if r.Live() || r.CaughtUp() {
@@ -60,7 +60,7 @@ func TestNilReplicatorSafe(t *testing.T) {
 
 func TestForwardWithoutBackupDegrades(t *testing.T) {
 	r, _ := newTestReplicator(nil)
-	if r.Forward(1, []byte{1}, nil, func(protocol.Status) { t.Fatal("done called") }) {
+	if r.Forward(1, []byte{1}, nil, 0, 0, func(protocol.Status) { t.Fatal("done called") }) {
 		t.Fatal("Forward reported true with no session")
 	}
 }
@@ -75,7 +75,7 @@ func TestForwardAckCompletesOnce(t *testing.T) {
 	}
 
 	got := make(chan protocol.Status, 2)
-	if !r.Forward(7, []byte{0xAB}, nil, func(st protocol.Status) { got <- st }) {
+	if !r.Forward(7, []byte{0xAB}, nil, 0, 0, func(st protocol.Status) { got <- st }) {
 		t.Fatal("Forward refused with live session")
 	}
 	sent := fs.sent()
@@ -144,7 +144,7 @@ func TestRangedForwardClipsToWindow(t *testing.T) {
 	}
 	sentBefore := 0
 	for i, tc := range cases {
-		fwd := r.Forward(tc.lba, mk(tc.blocks, 0), nil, func(protocol.Status) {})
+		fwd := r.Forward(tc.lba, mk(tc.blocks, 0), nil, 0, 0, func(protocol.Status) {})
 		if fwd != tc.forwarded {
 			t.Fatalf("case %d: forwarded = %v, want %v", i, fwd, tc.forwarded)
 		}
@@ -178,8 +178,8 @@ func TestStaleAckDeposesAndFailsPending(t *testing.T) {
 
 	st1 := make(chan protocol.Status, 1)
 	st2 := make(chan protocol.Status, 1)
-	r.Forward(1, []byte{1}, nil, func(s protocol.Status) { st1 <- s })
-	r.Forward(2, []byte{2}, nil, func(s protocol.Status) { st2 <- s })
+	r.Forward(1, []byte{1}, nil, 0, 0, func(s protocol.Status) { st1 <- s })
+	r.Forward(2, []byte{2}, nil, 0, 0, func(s protocol.Status) { st2 <- s })
 
 	// Backup acks the first forward with StaleEpoch at a higher epoch.
 	ack := fs.sent()[0]
@@ -208,7 +208,7 @@ func TestStaleAckDeposesAndFailsPending(t *testing.T) {
 		t.Fatal("session still live after deposition")
 	}
 	// Post-deposition forwards degrade to standalone.
-	if r.Forward(3, []byte{3}, nil, nil) {
+	if r.Forward(3, []byte{3}, nil, 0, 0, nil) {
 		t.Fatal("forwarded after deposition")
 	}
 }
@@ -219,7 +219,7 @@ func TestDetachDegradesPendingToStandaloneAck(t *testing.T) {
 	tok := r.Attach(fs)
 
 	got := make(chan protocol.Status, 1)
-	r.Forward(1, []byte{1}, nil, func(s protocol.Status) { got <- s })
+	r.Forward(1, []byte{1}, nil, 0, 0, func(s protocol.Status) { got <- s })
 	r.Detach(tok, protocol.StatusOK)
 	if st := <-got; st != protocol.StatusOK {
 		t.Fatalf("detach completed pending with %v, want OK (degraded ack)", st)
@@ -236,7 +236,7 @@ func TestAttachSupersedesOldSession(t *testing.T) {
 	r, _ := newTestReplicator(nil)
 	tok1 := r.Attach(fs1)
 	got := make(chan protocol.Status, 1)
-	r.Forward(1, []byte{1}, nil, func(s protocol.Status) { got <- s })
+	r.Forward(1, []byte{1}, nil, 0, 0, func(s protocol.Status) { got <- s })
 
 	tok2 := r.Attach(fs2)
 	// Old session's pending forward degrades, not hangs.

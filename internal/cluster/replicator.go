@@ -243,7 +243,14 @@ func (s *session) close(st protocol.Status) {
 // releases it after the backup-bound flush), so the caller may release
 // its reference as soon as Forward returns — regardless of the return
 // value.
-func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, done func(protocol.Status)) bool {
+//
+// trace/parent, when non-zero, propagate the originating request's trace
+// context: the forwarded frame carries a FlagTraced trailer so the
+// backup (or migration sink) records its apply as a child span of the
+// primary's serve span. The trailer is appended to a private pooled copy
+// — payload may be a clip sub-slice of a shared buffer that must not be
+// grown in place.
+func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, trace, parent uint64, done func(protocol.Status)) bool {
 	if r == nil {
 		return false
 	}
@@ -273,7 +280,12 @@ func (r *Replicator) Forward(lba uint32, payload []byte, lease *bufpool.Buf, don
 		LBA:    lba,
 		Count:  uint32(len(payload)),
 	}
-	if lease != nil {
+	if trace != 0 {
+		cp := bufpool.Get(len(payload) + protocol.TraceSize)
+		payload = protocol.AppendTrace(append(cp.Bytes()[:0], payload...), trace, parent)
+		lease = cp // ownership transfers to the sender; no Retain
+		hdr.Flags = protocol.FlagTraced
+	} else if lease != nil {
 		lease.Retain()
 	}
 	s.sendMu.Lock()

@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// EventKind classifies a cluster control-plane event (DESIGN.md §14).
+type EventKind uint8
+
+const (
+	// EvPromote: a server was promoted to primary at a new epoch.
+	EvPromote EventKind = iota + 1
+	// EvFence: a server was fenced (deposed) by a higher epoch.
+	EvFence
+	// EvEpoch: a server adopted a higher cluster epoch without a role
+	// change (e.g. from a replication ack or a fence that matched).
+	EvEpoch
+	// EvMapInstall: a shard map version was installed on a node.
+	EvMapInstall
+	// EvMovePrepare: MoveShard opened the dual-ownership window (map v+1
+	// with Migrating set).
+	EvMovePrepare
+	// EvMoveCatchup: the migration sink finished the ranged catch-up
+	// stream (destination holds all pre-move data).
+	EvMoveCatchup
+	// EvMoveCutover: MoveShard installed the cutover map (v+2, destination
+	// authoritative).
+	EvMoveCutover
+	// EvMoveDrain: the source drained its pending migration forwards.
+	EvMoveDrain
+	// EvMoveDone: MoveShard completed.
+	EvMoveDone
+	// EvMoveAbort: MoveShard failed and rolled back the dual-ownership
+	// window.
+	EvMoveAbort
+	// EvShed: the server crossed into (or out of) load shedding.
+	EvShed
+	// EvReap: an idle connection was reaped.
+	EvReap
+	// EvChecksum: an inbound payload failed its CRC32C check.
+	EvChecksum
+	// EvNodeState: a membership state transition (alive/suspect/dead).
+	EvNodeState
+	// EvReassign: a dead node's shards were reassigned.
+	EvReassign
+	numEventKinds
+)
+
+var eventKindNames = [numEventKinds]string{
+	"", "promote", "fence", "epoch", "map-install",
+	"move-prepare", "move-catchup", "move-cutover", "move-drain",
+	"move-done", "move-abort",
+	"shed", "reap", "checksum-error", "node-state", "reassign",
+}
+
+// String names the event kind.
+func (k EventKind) String() string {
+	if int(k) < len(eventKindNames) && eventKindNames[k] != "" {
+		return eventKindNames[k]
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// Event is one journal entry.
+type Event struct {
+	// Seq is the journal-assigned sequence number (monotonic per
+	// journal; the /events ordering key).
+	Seq uint64 `json:"seq"`
+	// TimeNS is the journal clock's timestamp (wall ns by default).
+	TimeNS int64 `json:"time_ns"`
+	// Kind classifies the event.
+	Kind EventKind `json:"-"`
+	// Node names the process the event concerns (or was recorded by).
+	Node string `json:"node,omitempty"`
+	// Shard is the shard the event concerns (-1: not shard-scoped).
+	Shard int `json:"shard"`
+	// Detail is the human-readable specifics.
+	Detail string `json:"detail,omitempty"`
+}
+
+// MarshalJSON renders Kind by name.
+func (e Event) MarshalJSON() ([]byte, error) {
+	type alias Event
+	return json.Marshal(struct {
+		Kind string `json:"kind"`
+		alias
+	}{e.Kind.String(), alias(e)})
+}
+
+// Journal is a bounded, typed ring of cluster events: promotions,
+// fences, epoch bumps, map installs, MoveShard phase transitions, sheds,
+// reaps, checksum errors. Safe for concurrent use; recording is a mutex
+// plus a slot write, cheap enough for every control-plane transition
+// (data-path code records only state *changes*, never per-request).
+type Journal struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  uint64 // total records; buf[next%len] is the next slot
+	clock func() int64
+}
+
+// NewJournal creates a journal holding the most recent capacity events.
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	return &Journal{
+		buf:   make([]Event, capacity),
+		clock: func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// SetClock replaces the timestamp source (tests, simulated time).
+func (j *Journal) SetClock(clock func() int64) {
+	j.mu.Lock()
+	j.clock = clock
+	j.mu.Unlock()
+}
+
+// Record appends an event. Nil-safe: a nil journal drops the event, so
+// emitters don't need wiring guards.
+func (j *Journal) Record(kind EventKind, node string, shard int, format string, args ...any) {
+	if j == nil {
+		return
+	}
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	j.mu.Lock()
+	e := Event{
+		Seq:    j.next,
+		TimeNS: j.clock(),
+		Kind:   kind,
+		Node:   node,
+		Shard:  shard,
+		Detail: detail,
+	}
+	j.buf[j.next%uint64(len(j.buf))] = e
+	j.next++
+	j.mu.Unlock()
+}
+
+// Count returns the total number of events recorded (including ones the
+// ring has since overwritten).
+func (j *Journal) Count() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.next
+}
+
+// Recent returns up to n most recent events, OLDEST first (reading order:
+// the journal reads like a log).
+func (j *Journal) Recent(n int) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	have := int(j.next)
+	if have > len(j.buf) {
+		have = len(j.buf)
+	}
+	if n > have || n <= 0 {
+		n = have
+	}
+	out := make([]Event, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		out = append(out, j.buf[(j.next-1-uint64(i))%uint64(len(j.buf))])
+	}
+	return out
+}
+
+// WriteJSON renders the most recent n events (0: everything retained) as
+// a JSON array, oldest first.
+func (j *Journal) WriteJSON(w io.Writer, n int) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j.Recent(n))
+}

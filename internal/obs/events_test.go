@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestJournalConcurrentWriters hammers one journal from many goroutines
+// (run under -race) and checks the ring's accounting stays coherent.
+func TestJournalConcurrentWriters(t *testing.T) {
+	j := NewJournal(128)
+	const writers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				j.Record(EvMapInstall, "node", w, "install %d", i)
+				if i%7 == 0 {
+					j.Recent(16) // concurrent readers too
+					j.Count()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := j.Count(), uint64(writers*each); got != want {
+		t.Fatalf("journal count = %d, want %d", got, want)
+	}
+	recent := j.Recent(0)
+	if len(recent) != 128 {
+		t.Fatalf("retained %d events, want full ring of 128", len(recent))
+	}
+	// Oldest-first ordering with strictly increasing sequence numbers.
+	for i := 1; i < len(recent); i++ {
+		if recent[i].Seq != recent[i-1].Seq+1 {
+			t.Fatalf("recent[%d].Seq = %d after %d, want consecutive", i, recent[i].Seq, recent[i-1].Seq)
+		}
+	}
+	if recent[len(recent)-1].Seq != uint64(writers*each)-1 {
+		t.Fatalf("newest seq = %d, want %d", recent[len(recent)-1].Seq, writers*each-1)
+	}
+}
+
+// TestJournalJSONAndNilSafety covers the wire rendering and the nil-safe
+// emitter contract.
+func TestJournalJSONAndNilSafety(t *testing.T) {
+	var nilJ *Journal
+	nilJ.Record(EvPromote, "x", -1, "dropped") // must not panic
+	if nilJ.Count() != 0 || nilJ.Recent(5) != nil {
+		t.Fatal("nil journal should report empty")
+	}
+
+	j := NewJournal(8)
+	j.SetClock(func() int64 { return 42 })
+	j.Record(EvMoveCutover, "node1", 3, "v%d installed", 7)
+	var b strings.Builder
+	if err := j.WriteJSON(&b, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{`"kind": "move-cutover"`, `"node": "node1"`, `"shard": 3`, `"time_ns": 42`, `"detail": "v7 installed"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("journal JSON missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestRingTraceSpansConcurrent exercises the trace-filter query racing
+// pushes (run under -race).
+func TestRingTraceSpansConcurrent(t *testing.T) {
+	r := NewRing(256, 4)
+	const writers = 4
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Push(Span{ID: uint64(w*1000 + i), Trace: uint64(w + 1), Node: "n", Hop: HopServe})
+			}
+		}(w)
+	}
+	for i := 0; i < 200; i++ {
+		for _, sp := range r.TraceSpans(2) {
+			if sp.Trace != 2 {
+				t.Errorf("TraceSpans(2) returned trace %d", sp.Trace)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if len(r.TraceSpans(uint64(writers+5))) != 0 {
+		t.Fatal("unknown trace id matched spans")
+	}
+	if r.TraceSpans(0) != nil {
+		t.Fatal("trace id 0 must never match (untraced spans)")
+	}
+}

@@ -13,6 +13,12 @@ import (
 // (p95 is the SLO percentile; p50/p99/p999 bracket the tail).
 var exposedQuantiles = []float64{0.50, 0.95, 0.99, 0.999}
 
+// promEscaper escapes label values per the Prometheus text exposition
+// format: backslash, double quote and newline — and nothing else. Go's
+// %q is NOT equivalent: it escapes every non-printable (and non-ASCII)
+// rune as \xNN/\uNNNN sequences Prometheus parsers reject or mangle.
+var promEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
 // writeLabels renders {k="v",...} including an optional extra pair.
 func writeLabels(b *strings.Builder, ls []Label, extraK, extraV string) {
 	if len(ls) == 0 && extraK == "" {
@@ -25,13 +31,19 @@ func writeLabels(b *strings.Builder, ls []Label, extraK, extraV string) {
 			b.WriteByte(',')
 		}
 		first = false
-		fmt.Fprintf(b, "%s=%q", l.Key, l.Value)
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		promEscaper.WriteString(b, l.Value)
+		b.WriteByte('"')
 	}
 	if extraK != "" {
 		if !first {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(b, "%s=%q", extraK, extraV)
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		promEscaper.WriteString(b, extraV)
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 }

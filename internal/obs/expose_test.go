@@ -42,6 +42,29 @@ func TestWritePrometheusFormat(t *testing.T) {
 	}
 }
 
+// TestWritePrometheusEscapesLabelValues: the text exposition format
+// escapes exactly backslash, double quote and newline in label values.
+// The old %q rendering turned `\` into `\\` correctly but also mangled
+// non-ASCII/control runes into Go escapes Prometheus parsers reject.
+func TestWritePrometheusEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "", L("path", `C:\dir "quoted"`+"\nnext")).Inc()
+	r.Counter("utf_total", "", L("name", "café±")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if want := `esc_total{path="C:\\dir \"quoted\"\nnext"} 1`; !strings.Contains(out, want) {
+		t.Errorf("output missing properly escaped label %q\n%s", want, out)
+	}
+	// Non-ASCII label values pass through raw (UTF-8 is legal in the
+	// exposition format; %q would have written \u00e9\u00b1).
+	if want := `utf_total{name="café±"} 1`; !strings.Contains(out, want) {
+		t.Errorf("output missing raw UTF-8 label %q\n%s", want, out)
+	}
+}
+
 func TestWritePrometheusSortsLabels(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("multi_total", "", L("zone", "a"), L("app", "x")).Inc()

@@ -5,6 +5,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"sync"
 )
 
@@ -16,17 +17,38 @@ func (r *Registry) Handler() http.Handler {
 	})
 }
 
+// MuxConfig selects what an exposition mux serves beyond the registry.
+type MuxConfig struct {
+	Reg  *Registry
+	Ring *Ring // nil disables /slow and /traces
+	// Journal, when set, serves the cluster event log at /events
+	// (?n=COUNT limits to the most recent COUNT events).
+	Journal *Journal
+	// Cluster, when set, is mounted at /cluster (the fleet aggregation
+	// view; see fleet.go).
+	Cluster http.Handler
+}
+
 // Mux builds the exposition mux:
 //
 //	/metrics      Prometheus text format
 //	/snapshot     registry JSON snapshot
 //	/slow         top-K slow-request log (text breakdowns)
-//	/traces       recent spans as JSON
+//	/traces       recent spans as JSON (?trace=HEXID filters to one trace)
 //	/debug/vars   expvar
 //	/debug/pprof  runtime profiling
 //
-// ring may be nil, which disables /slow and /traces.
+// ring may be nil, which disables /slow and /traces. MuxWith adds
+// /events and /cluster on top.
 func Mux(reg *Registry, ring *Ring) *http.ServeMux {
+	return MuxWith(MuxConfig{Reg: reg, Ring: ring})
+}
+
+// MuxWith builds the exposition mux from an explicit configuration,
+// adding /events (event journal) and /cluster (fleet view) when
+// configured.
+func MuxWith(cfg MuxConfig) *http.ServeMux {
+	reg, ring := cfg.Reg, cfg.Ring
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", reg.Handler())
 	mux.HandleFunc("/snapshot", func(w http.ResponseWriter, _ *http.Request) {
@@ -40,8 +62,30 @@ func Mux(reg *Registry, ring *Ring) *http.ServeMux {
 		})
 		mux.HandleFunc("/traces", func(w http.ResponseWriter, rq *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
-			writeRecentJSON(w, ring, 64)
+			if t := rq.URL.Query().Get("trace"); t != "" {
+				id, err := strconv.ParseUint(t, 16, 64)
+				if err != nil {
+					http.Error(w, "bad trace id (want hex)", http.StatusBadRequest)
+					return
+				}
+				writeSpansJSON(w, ring.TraceSpans(id))
+				return
+			}
+			writeSpansJSON(w, ring.Recent(64))
 		})
+	}
+	if cfg.Journal != nil {
+		mux.HandleFunc("/events", func(w http.ResponseWriter, rq *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			n := 0
+			if s := rq.URL.Query().Get("n"); s != "" {
+				n, _ = strconv.Atoi(s)
+			}
+			_ = cfg.Journal.WriteJSON(w, n)
+		})
+	}
+	if cfg.Cluster != nil {
+		mux.Handle("/cluster", cfg.Cluster)
 	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -52,8 +96,7 @@ func Mux(reg *Registry, ring *Ring) *http.ServeMux {
 	return mux
 }
 
-func writeRecentJSON(w http.ResponseWriter, ring *Ring, n int) {
-	spans := ring.Recent(n)
+func writeSpansJSON(w http.ResponseWriter, spans []Span) {
 	w.Write([]byte("[\n"))
 	for i, sp := range spans {
 		if i > 0 {
@@ -81,11 +124,17 @@ type MetricsServer struct {
 // optionally a trace ring) via Mux. It returns once the listener is bound;
 // serving proceeds in a background goroutine.
 func Serve(addr string, reg *Registry, ring *Ring) (*MetricsServer, error) {
+	return ServeWith(addr, MuxConfig{Reg: reg, Ring: ring})
+}
+
+// ServeWith starts an exposition server from an explicit MuxConfig
+// (adding /events and /cluster when configured).
+func ServeWith(addr string, cfg MuxConfig) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: Mux(reg, ring)}}
+	ms := &MetricsServer{ln: ln, srv: &http.Server{Handler: MuxWith(cfg)}}
 	go func() { _ = ms.srv.Serve(ln) }()
 	return ms, nil
 }

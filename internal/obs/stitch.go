@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Stitching (DESIGN.md §14): each process keeps its own span Ring, each
+// stamped against its own clock. A collector gathers the union of
+// TraceSpans(trace) across rings and Stitch links them into one
+// cross-node timeline by span identity — Parent span ids, not
+// timestamps, define the hop order, so clock skew between nodes cannot
+// scramble the tree. Within one hop the span's own Stamps still
+// decompose its local latency (queue-wait, device, tx).
+
+// TimelineHop is one hop of a stitched trace: a span plus its depth in
+// the parent tree (root = 0).
+type TimelineHop struct {
+	Span  Span
+	Depth int
+}
+
+// Timeline is one distributed request assembled from per-node spans.
+type Timeline struct {
+	Trace uint64
+	// Hops is the parent-first (depth-first) hop sequence: client root,
+	// then each downstream hop under the span that forwarded to it.
+	Hops []TimelineHop
+	// Orphans counts spans whose Parent was not found in the collected
+	// set (ring overwrote the parent, or a ring was not collected); they
+	// are appended as extra roots rather than dropped.
+	Orphans int
+}
+
+// Stitch assembles the spans carrying the given trace id into one
+// timeline. Spans with other trace ids are ignored; duplicates (the same
+// node+hop+span id collected twice) collapse.
+func Stitch(trace uint64, spans []Span) Timeline {
+	tl := Timeline{Trace: trace}
+	if trace == 0 {
+		return tl
+	}
+	type key struct {
+		node string
+		id   uint64
+		hop  uint8
+	}
+	seen := make(map[key]bool)
+	var set []Span
+	ids := make(map[uint64]bool)
+	for _, sp := range spans {
+		if sp.Trace != trace {
+			continue
+		}
+		k := key{sp.Node, sp.ID, sp.Hop}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		set = append(set, sp)
+		ids[sp.ID] = true
+	}
+	if len(set) == 0 {
+		return tl
+	}
+
+	// children[parent span id] — order children deterministically by hop
+	// kind (serve before redirect before replica before relay), then id.
+	children := make(map[uint64][]int)
+	var roots []int
+	for i, sp := range set {
+		if sp.Parent != 0 && ids[sp.Parent] && sp.Parent != sp.ID {
+			children[sp.Parent] = append(children[sp.Parent], i)
+		} else {
+			if sp.Parent != 0 {
+				tl.Orphans++
+			}
+			roots = append(roots, i)
+		}
+	}
+	order := func(idx []int) {
+		sort.Slice(idx, func(a, b int) bool {
+			sa, sb := set[idx[a]], set[idx[b]]
+			if sa.Hop != sb.Hop {
+				return sa.Hop < sb.Hop
+			}
+			return sa.ID < sb.ID
+		})
+	}
+	order(roots)
+
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		tl.Hops = append(tl.Hops, TimelineHop{Span: set[i], Depth: depth})
+		kids := children[set[i].ID]
+		order(kids)
+		for _, k := range kids {
+			walk(k, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return tl
+}
+
+// Has reports whether the timeline contains a hop of the given kind (on
+// the given node, when node is non-empty).
+func (t *Timeline) Has(hop uint8, node string) bool {
+	for _, h := range t.Hops {
+		if h.Span.Hop == hop && (node == "" || h.Span.Node == node) {
+			return true
+		}
+	}
+	return false
+}
+
+// Nodes returns the distinct node names touched by the trace, in hop
+// order.
+func (t *Timeline) Nodes() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, h := range t.Hops {
+		if !seen[h.Span.Node] {
+			seen[h.Span.Node] = true
+			out = append(out, h.Span.Node)
+		}
+	}
+	return out
+}
+
+// WriteText renders the timeline, one hop per line, indented by depth,
+// with each hop's local latency breakdown:
+//
+//	trace 01c3… across client,node0,node1
+//	  client  client  op=write total=812.0us
+//	    node0  serve  op=write total=640.0us parse=1.0us admit=12.0us ...
+//	      node1  replica  op=write total=120.0us ...
+func (t *Timeline) WriteText(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %016x across %s (%d hops", t.Trace,
+		strings.Join(t.Nodes(), ","), len(t.Hops))
+	if t.Orphans > 0 {
+		fmt.Fprintf(&b, ", %d orphaned", t.Orphans)
+	}
+	b.WriteString(")\n")
+	for _, h := range t.Hops {
+		sp := h.Span
+		op := "read"
+		if sp.Write {
+			op = "write"
+		}
+		fmt.Fprintf(&b, "%s%-8s %-8s op=%s size=%d total=%.1fus",
+			strings.Repeat("  ", h.Depth+1), sp.Node, HopName(sp.Hop), op,
+			sp.Size, float64(sp.Total())/1000)
+		prev := sp.Stamps[StageArrival]
+		for st := StageParse; st < numStages; st++ {
+			at := sp.Stamps[st]
+			if at == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, " %s=%.1fus", st, float64(at-prev)/1000)
+			prev = at
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

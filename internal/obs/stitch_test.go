@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStitchCrossNodeTimeline assembles a write's spans as they would be
+// collected from four rings — client, primary, migration sink,
+// destination — plus a backup replica hop, and checks the stitched
+// ordering, depths and orphan accounting.
+func TestStitchCrossNodeTimeline(t *testing.T) {
+	const trace = uint64(0xABCD)
+	spans := []Span{
+		// Destination serve (relayed write), parent = sink relay span.
+		{ID: 900, Trace: trace, Parent: 500, Node: "node1", Hop: HopServe, Write: true},
+		// Client root: ID == Trace by convention.
+		{ID: trace, Trace: trace, Parent: 0, Node: "client", Hop: HopClient, Write: true},
+		// Primary serve, parent = client root.
+		{ID: 100, Trace: trace, Parent: trace, Node: "node0", Hop: HopServe, Write: true},
+		// Backup replica apply, parent = primary serve span.
+		{ID: 700, Trace: trace, Parent: 100, Node: "node0b", Hop: HopReplica, Write: true},
+		// Migration sink relay, parent = primary serve span.
+		{ID: 500, Trace: trace, Parent: 100, Node: "coord", Hop: HopRelay, Write: true},
+		// Duplicate collection of the same span (two scrapes) collapses.
+		{ID: 100, Trace: trace, Parent: trace, Node: "node0", Hop: HopServe, Write: true},
+		// A different trace id is ignored.
+		{ID: 1, Trace: trace + 1, Parent: 0, Node: "other", Hop: HopServe},
+	}
+	tl := Stitch(trace, spans)
+	if len(tl.Hops) != 5 {
+		t.Fatalf("stitched %d hops, want 5 (dedup or filter broken)", len(tl.Hops))
+	}
+	wantOrder := []struct {
+		node  string
+		hop   uint8
+		depth int
+	}{
+		{"client", HopClient, 0},
+		{"node0", HopServe, 1},
+		{"node0b", HopReplica, 2},
+		{"coord", HopRelay, 2},
+		{"node1", HopServe, 3},
+	}
+	for i, want := range wantOrder {
+		got := tl.Hops[i]
+		if got.Span.Node != want.node || got.Span.Hop != want.hop || got.Depth != want.depth {
+			t.Fatalf("hop[%d] = %s/%s depth %d, want %s/%s depth %d",
+				i, got.Span.Node, HopName(got.Span.Hop), got.Depth,
+				want.node, HopName(want.hop), want.depth)
+		}
+	}
+	if tl.Orphans != 0 {
+		t.Fatalf("orphans = %d, want 0", tl.Orphans)
+	}
+	for _, probe := range []struct {
+		hop  uint8
+		node string
+	}{{HopClient, "client"}, {HopServe, "node0"}, {HopRelay, ""}, {HopServe, "node1"}} {
+		if !tl.Has(probe.hop, probe.node) {
+			t.Fatalf("timeline missing hop %s on %q", HopName(probe.hop), probe.node)
+		}
+	}
+
+	var b strings.Builder
+	if err := tl.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	for _, want := range []string{"client", "node0", "coord", "node1", "relay", "replica"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("rendered timeline missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestStitchOrphans: a hop whose parent span fell out of its ring is
+// kept as an extra root and counted.
+func TestStitchOrphans(t *testing.T) {
+	const trace = uint64(7)
+	tl := Stitch(trace, []Span{
+		{ID: trace, Trace: trace, Parent: 0, Node: "client", Hop: HopClient},
+		{ID: 33, Trace: trace, Parent: 999 /* evicted */, Node: "node2", Hop: HopServe},
+	})
+	if len(tl.Hops) != 2 || tl.Orphans != 1 {
+		t.Fatalf("hops=%d orphans=%d, want 2/1", len(tl.Hops), tl.Orphans)
+	}
+	if tl.Hops[0].Span.Hop != HopClient {
+		t.Fatal("client root must sort before orphaned serve hop")
+	}
+}
+
+// TestStitchSelfParentNoLoop: a span whose parent id equals its own id
+// (corrupt trailer) must not recurse forever.
+func TestStitchSelfParentNoLoop(t *testing.T) {
+	const trace = uint64(9)
+	tl := Stitch(trace, []Span{{ID: 5, Trace: trace, Parent: 5, Node: "n", Hop: HopServe}})
+	if len(tl.Hops) != 1 || tl.Orphans != 1 {
+		t.Fatalf("hops=%d orphans=%d, want 1/1", len(tl.Hops), tl.Orphans)
+	}
+}

@@ -43,11 +43,48 @@ func (s Stage) String() string {
 	return fmt.Sprintf("stage%d", int(s))
 }
 
+// Hop identifies which role in the cluster a span was recorded from —
+// the cross-node dimension of a distributed trace (DESIGN.md §14). Hop
+// kinds, not clocks, order the stitched timeline: every node stamps
+// spans against its own ns-since-start clock, so absolute stamps are
+// only comparable within one node.
+const (
+	// HopClient is the origin span recorded by the issuing client (or
+	// shard router pool) around the whole operation.
+	HopClient uint8 = iota
+	// HopServe is a server serving the request on its device (the owner
+	// of the LBA range — including a migration destination applying a
+	// relayed write).
+	HopServe
+	// HopRedirect is a server refusing the request with
+	// StatusWrongShard — the request's detour through a stale map.
+	HopRedirect
+	// HopReplica is a backup applying a replication forward (OpReplicate)
+	// from its primary.
+	HopReplica
+	// HopRelay is a migration sink relaying a forwarded write into the
+	// destination node during a live shard move.
+	HopRelay
+	numHops
+)
+
+var hopNames = [numHops]string{"client", "serve", "redirect", "replica", "relay"}
+
+// HopName names a hop kind.
+func HopName(h uint8) string {
+	if int(h) < len(hopNames) {
+		return hopNames[h]
+	}
+	return fmt.Sprintf("hop%d", h)
+}
+
 // Span is one request's lifecycle record. It is embedded by value in
 // server request structs, so recording stamps allocates nothing; the span
 // is copied into the trace ring on completion.
 type Span struct {
-	// ID is a server-assigned request sequence number.
+	// ID is a server-assigned request sequence number. For HopClient
+	// roots the ID equals Trace (the client mints the trace id as its own
+	// root span id), so downstream ParentSpan links resolve.
 	ID uint64
 	// Tenant is the owning tenant's ID.
 	Tenant int
@@ -55,6 +92,17 @@ type Span struct {
 	Write bool
 	// Size is the transfer size in bytes.
 	Size int
+	// Trace is the end-to-end trace id propagated in the FlagTraced wire
+	// trailer; zero on untraced requests.
+	Trace uint64
+	// Parent is the span id of the upstream hop that forwarded this
+	// request (zero for the root).
+	Parent uint64
+	// Node names the process that recorded the span (server NodeName,
+	// "client", coordinator name).
+	Node string
+	// Hop is the HopClient/HopServe/... role this span was recorded from.
+	Hop uint8
 	// Stamps holds per-stage timestamps in nanoseconds; zero (except for
 	// a stage legitimately at t=0) means the stage was skipped — e.g.
 	// Admit is unset when QoS is disabled.
@@ -113,9 +161,13 @@ func (sp Span) MarshalJSON() ([]byte, error) {
 		Tenant  int              `json:"tenant"`
 		Op      string           `json:"op"`
 		Size    int              `json:"size"`
+		Trace   uint64           `json:"trace,omitempty"`
+		Parent  uint64           `json:"parent,omitempty"`
+		Node    string           `json:"node,omitempty"`
+		Hop     string           `json:"hop"`
 		TotalNS int64            `json:"total_ns"`
 		Stamps  map[string]int64 `json:"stamps_ns"`
-	}{sp.ID, sp.Tenant, op, sp.Size, sp.Total(), stamps})
+	}{sp.ID, sp.Tenant, op, sp.Size, sp.Trace, sp.Parent, sp.Node, HopName(sp.Hop), sp.Total(), stamps})
 }
 
 // Ring is a bounded ring buffer of completed request spans plus a top-K
@@ -193,7 +245,8 @@ func (r *Ring) Count() uint64 {
 	return r.next
 }
 
-// Recent returns up to n most recent spans, newest first.
+// Recent returns up to n most recent spans, newest first. n <= 0 means
+// "everything retained" (mirrors Journal.Recent).
 func (r *Ring) Recent(n int) []Span {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -201,12 +254,35 @@ func (r *Ring) Recent(n int) []Span {
 	if have > len(r.buf) {
 		have = len(r.buf)
 	}
-	if n > have {
+	if n > have || n <= 0 {
 		n = have
 	}
 	out := make([]Span, 0, n)
 	for i := 0; i < n; i++ {
 		out = append(out, r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))])
+	}
+	return out
+}
+
+// TraceSpans returns every span in the ring carrying the given trace id,
+// oldest first — one node's contribution to a distributed trace (feed
+// the union across nodes to Stitch).
+func (r *Ring) TraceSpans(trace uint64) []Span {
+	if trace == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	have := int(r.next)
+	if have > len(r.buf) {
+		have = len(r.buf)
+	}
+	var out []Span
+	for i := have - 1; i >= 0; i-- {
+		sp := r.buf[(r.next-1-uint64(i))%uint64(len(r.buf))]
+		if sp.Trace == trace {
+			out = append(out, sp)
+		}
 	}
 	return out
 }

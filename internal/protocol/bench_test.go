@@ -116,4 +116,12 @@ func TestProtocolRoundtripZeroAlloc(t *testing.T) {
 	if allocs := testing.AllocsPerRun(200, run); allocs > 0 {
 		t.Fatalf("protocol roundtrip allocates %.1f objects/op, want 0", allocs)
 	}
+	// Tracing off must add zero bytes to the wire: the frame is exactly
+	// header + data, no trailer slack leaks into the encoding.
+	if got, want := len(arena), HeaderSize+len(payload); got != want {
+		t.Fatalf("untraced frame is %d bytes, want %d (FlagTraced off must add 0 bytes)", got, want)
+	}
+	if m.TraceID != 0 || m.ParentSpan != 0 {
+		t.Fatalf("untraced roundtrip produced trace context %x/%x, want 0/0", m.TraceID, m.ParentSpan)
+	}
 }

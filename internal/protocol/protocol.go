@@ -150,10 +150,26 @@ const (
 	// reports a mismatch). On a read *request* (no payload) the flag asks
 	// the server to checksum the response.
 	FlagChecksum uint16 = 1 << 1
+	// FlagTraced marks a message carrying a trace-context trailer: the
+	// last TraceSize bytes of the wire payload are a big-endian trace id
+	// followed by the sender's span id (the receiver's parent span). The
+	// trailer rides OUTSIDE the checksum trailer — a traced+checksummed
+	// payload is data||crc32c(data)||trace — so the CRC still covers only
+	// the data bytes and a hop can re-parent the context without
+	// resealing. Message parsing strips the trailer into
+	// Message.TraceID/ParentSpan; Len then reflects what remains. A traced
+	// read request (which carries no data) has the trailer as its entire
+	// payload. Responses never carry the trailer — the trace id was minted
+	// by the caller, who already has it.
+	FlagTraced uint16 = 1 << 2
 )
 
 // ChecksumSize is the length of the CRC32C payload trailer.
 const ChecksumSize = 4
+
+// TraceSize is the length of the trace-context payload trailer:
+// 8-byte trace id + 8-byte parent span id, big-endian.
+const TraceSize = 16
 
 // castagnoli is the CRC32C table; hardware-accelerated on amd64/arm64.
 var castagnoli = crc32.MakeTable(crc32.Castagnoli)
@@ -177,6 +193,18 @@ func SealChecksum(data []byte) []byte {
 func AppendChecksum(data []byte) []byte {
 	var tr [ChecksumSize]byte
 	binary.BigEndian.PutUint32(tr[:], Checksum(data))
+	return append(data, tr[:]...)
+}
+
+// AppendTrace appends the trace-context trailer (trace id, parent span
+// id) to data in place and returns the extended slice. Must be applied
+// AFTER AppendChecksum when both trailers are present — the trace
+// trailer is outermost on the wire. Like AppendChecksum, sufficient
+// capacity means no copy or allocation.
+func AppendTrace(data []byte, trace, parent uint64) []byte {
+	var tr [TraceSize]byte
+	binary.BigEndian.PutUint64(tr[:8], trace)
+	binary.BigEndian.PutUint64(tr[8:], parent)
 	return append(data, tr[:]...)
 }
 
@@ -483,6 +511,12 @@ type Message struct {
 	// (stripped) payload is still delivered so callers can count/inspect,
 	// but it must not be trusted.
 	ChecksumErr bool
+	// TraceID and ParentSpan carry the stripped trace-context trailer of
+	// a FlagTraced message: the end-to-end trace id minted by the
+	// originating client, and the span id of the hop that sent this
+	// frame. Zero on untraced messages.
+	TraceID    uint64
+	ParentSpan uint64
 
 	// hb is the header read scratch, kept inside the (reusable) Message so
 	// a steady-state read loop performs zero heap allocations: a local
@@ -520,6 +554,7 @@ func ReadMessageInto(r io.Reader, m *Message, alloc Allocator) error {
 	}
 	m.Payload = nil
 	m.ChecksumErr = false
+	m.TraceID, m.ParentSpan = 0, 0
 	if err := m.Header.Unmarshal(m.hb[:]); err != nil {
 		return err
 	}
@@ -533,6 +568,7 @@ func ReadMessageInto(r io.Reader, m *Message, alloc Allocator) error {
 			return fmt.Errorf("protocol: truncated payload: %w", err)
 		}
 	}
+	m.verifyTrace()
 	m.verifyChecksum()
 	return nil
 }
@@ -544,6 +580,7 @@ func ReadMessageInto(r io.Reader, m *Message, alloc Allocator) error {
 func (m *Message) UnmarshalFrame(b []byte) error {
 	m.Payload = nil
 	m.ChecksumErr = false
+	m.TraceID, m.ParentSpan = 0, 0
 	if err := m.Header.Unmarshal(b); err != nil {
 		return err
 	}
@@ -553,8 +590,23 @@ func (m *Message) UnmarshalFrame(b []byte) error {
 	if m.Header.Len > 0 {
 		m.Payload = b[HeaderSize:]
 	}
+	m.verifyTrace()
 	m.verifyChecksum()
 	return nil
+}
+
+// verifyTrace strips the trace-context trailer when present. Runs before
+// verifyChecksum: the trace trailer is outermost on the wire, so the
+// checksum trailer (and the CRC it carries over the data bytes) is only
+// reachable once the trace context is gone.
+func (m *Message) verifyTrace() {
+	if m.Header.Flags&FlagTraced != 0 && m.Header.Len >= TraceSize {
+		n := len(m.Payload) - TraceSize
+		m.TraceID = binary.BigEndian.Uint64(m.Payload[n:])
+		m.ParentSpan = binary.BigEndian.Uint64(m.Payload[n+8:])
+		m.Payload = m.Payload[:n]
+		m.Header.Len = uint32(n)
+	}
 }
 
 // verifyChecksum strips and checks the CRC32C trailer when present.

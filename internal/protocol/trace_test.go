@@ -1,0 +1,123 @@
+package protocol
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestTraceTrailerRoundtrip covers the trace-context trailer in every
+// combination it rides the wire: alone, outside a checksum trailer, and
+// as the entire payload of a traced read request.
+func TestTraceTrailerRoundtrip(t *testing.T) {
+	const trace, parent = uint64(0xDEADBEEFCAFE0001), uint64(0x42)
+	data := []byte("twelve bytes")
+
+	t.Run("traced write", func(t *testing.T) {
+		payload := AppendTrace(append([]byte(nil), data...), trace, parent)
+		hdr := Header{Opcode: OpWrite, Flags: FlagTraced, LBA: 8, Count: uint32(len(data))}
+		frame, err := AppendMessage(nil, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Message
+		if err := ReadMessageInto(bytes.NewReader(frame), &m, nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.TraceID != trace || m.ParentSpan != parent {
+			t.Fatalf("trace context = %x/%x, want %x/%x", m.TraceID, m.ParentSpan, trace, parent)
+		}
+		if !bytes.Equal(m.Payload, data) {
+			t.Fatalf("payload = %q, want %q (trailer not stripped)", m.Payload, data)
+		}
+		if m.Header.Len != uint32(len(data)) {
+			t.Fatalf("Len = %d after strip, want %d", m.Header.Len, len(data))
+		}
+	})
+
+	t.Run("traced+checksummed write", func(t *testing.T) {
+		// Seal order: checksum first (covers data only), then trace.
+		payload := AppendChecksum(append([]byte(nil), data...))
+		payload = AppendTrace(payload, trace, parent)
+		hdr := Header{Opcode: OpWrite, Flags: FlagTraced | FlagChecksum, LBA: 8, Count: uint32(len(data))}
+		frame, err := AppendMessage(nil, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Message
+		if err := ReadMessageInto(bytes.NewReader(frame), &m, nil); err != nil {
+			t.Fatal(err)
+		}
+		if m.ChecksumErr {
+			t.Fatal("checksum failed on an intact traced payload (strip order broken)")
+		}
+		if m.TraceID != trace || m.ParentSpan != parent {
+			t.Fatalf("trace context = %x/%x, want %x/%x", m.TraceID, m.ParentSpan, trace, parent)
+		}
+		if !bytes.Equal(m.Payload, data) {
+			t.Fatalf("payload = %q, want %q", m.Payload, data)
+		}
+	})
+
+	t.Run("corruption under trace trailer still detected", func(t *testing.T) {
+		payload := AppendChecksum(append([]byte(nil), data...))
+		payload = AppendTrace(payload, trace, parent)
+		hdr := Header{Opcode: OpWrite, Flags: FlagTraced | FlagChecksum, LBA: 8, Count: uint32(len(data))}
+		frame, err := AppendMessage(nil, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame[HeaderSize] ^= 0xFF // flip a data byte, not the trailers
+		var m Message
+		if err := ReadMessageInto(bytes.NewReader(frame), &m, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !m.ChecksumErr {
+			t.Fatal("corrupted traced payload passed the checksum")
+		}
+		if m.TraceID != trace {
+			t.Fatalf("trace id lost on corrupted payload: %x", m.TraceID)
+		}
+	})
+
+	t.Run("traced read request", func(t *testing.T) {
+		payload := AppendTrace(nil, trace, parent)
+		hdr := Header{Opcode: OpRead, Flags: FlagTraced, LBA: 8, Count: 4096}
+		frame, err := AppendMessage(nil, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Message
+		if err := m.UnmarshalFrame(frame); err != nil {
+			t.Fatal(err)
+		}
+		if m.TraceID != trace || m.ParentSpan != parent {
+			t.Fatalf("trace context = %x/%x, want %x/%x", m.TraceID, m.ParentSpan, trace, parent)
+		}
+		if len(m.Payload) != 0 || m.Header.Len != 0 {
+			t.Fatalf("traced read left %d payload bytes, want 0", len(m.Payload))
+		}
+	})
+
+	t.Run("stale context cleared on reuse", func(t *testing.T) {
+		payload := AppendTrace(nil, trace, parent)
+		hdr := Header{Opcode: OpRead, Flags: FlagTraced, Count: 4096}
+		traced, err := AppendMessage(nil, &hdr, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := AppendMessage(nil, &Header{Opcode: OpRead, Count: 4096}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m Message
+		if err := m.UnmarshalFrame(traced); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.UnmarshalFrame(plain); err != nil {
+			t.Fatal(err)
+		}
+		if m.TraceID != 0 || m.ParentSpan != 0 {
+			t.Fatalf("reused Message kept stale trace context %x/%x", m.TraceID, m.ParentSpan)
+		}
+	})
+}

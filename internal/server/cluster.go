@@ -2,6 +2,7 @@ package server
 
 import (
 	"github.com/reflex-go/reflex/internal/bufpool"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -40,7 +41,12 @@ func (s *Server) IsFenced() bool { return s.fenced.Load() }
 func (s *Server) AdoptEpoch(e uint16) {
 	for {
 		cur := s.epoch.Load()
-		if uint32(e) <= cur || s.epoch.CompareAndSwap(cur, uint32(e)) {
+		if uint32(e) <= cur {
+			return
+		}
+		if s.epoch.CompareAndSwap(cur, uint32(e)) {
+			s.m.journal.Record(obs.EvEpoch, s.cfg.NodeName, -1,
+				"epoch adopted %d -> %d", cur, e)
 			return
 		}
 	}
@@ -72,6 +78,7 @@ func (s *Server) Promote(e uint16) (uint16, protocol.Status) {
 	s.backupRole.Store(false)
 	s.cmu.Unlock()
 	s.m.promotions.Inc()
+	s.m.journal.Record(obs.EvPromote, s.cfg.NodeName, -1, "promoted to primary at epoch %d", e)
 	if fn, ok := s.onPromote.Load().(func(uint16)); ok && fn != nil {
 		fn(e)
 	}
@@ -93,6 +100,7 @@ func (s *Server) Fence(e uint16) uint16 {
 	s.fenced.Store(true)
 	s.cmu.Unlock()
 	s.m.fencings.Inc()
+	s.m.journal.Record(obs.EvFence, s.cfg.NodeName, -1, "fenced at epoch %d (was %d)", e, cur)
 	return e
 }
 
@@ -135,7 +143,38 @@ func (s *Server) ApplyReplicate(lba uint32, payload []byte, epoch uint16) protoc
 		return protocol.StatusDeviceError
 	}
 	s.m.replApplied.Inc()
+	// Internal-traffic accounting (path="replicate"): replicated applies
+	// never show up in the per-tenant request counters, so without this
+	// label a backup looks idle while absorbing the primary's full write
+	// load.
+	s.m.replPathReqs.Inc()
+	s.m.replPathBytes.Add(uint64(len(payload)))
 	return protocol.StatusOK
+}
+
+// ApplyReplicateTraced is ApplyReplicate for a forward that carried a
+// trace trailer: the apply is recorded as a HopReplica child span of the
+// primary's serve span, landing the backup's ack-path latency in the
+// stitched cross-node timeline. Implements cluster.TracedApplier.
+func (s *Server) ApplyReplicateTraced(lba uint32, payload []byte, epoch uint16, trace, parent uint64) protocol.Status {
+	arrival := s.now()
+	st := s.ApplyReplicate(lba, payload, epoch)
+	if trace != 0 {
+		sp := obs.Span{
+			ID:     s.m.spanID(),
+			Trace:  trace,
+			Parent: parent,
+			Node:   s.cfg.NodeName,
+			Hop:    obs.HopReplica,
+			Write:  true,
+			Size:   len(payload),
+		}
+		sp.Mark(obs.StageArrival, arrival)
+		sp.Mark(obs.StageDevDone, s.now())
+		sp.Mark(obs.StageTx, s.now())
+		s.m.ring.Push(sp)
+	}
+	return st
 }
 
 // replicaSender adapts a srvConn to cluster.ReplicaSender. The lease (a

@@ -265,6 +265,8 @@ func (sc *srvConn) teardown(reaped bool) {
 		sc.srv.mu.Unlock()
 		if reaped {
 			sc.srv.m.reaped.Inc()
+			sc.srv.m.journal.Record(obs.EvReap, sc.srv.cfg.NodeName, -1,
+				"idle connection reaped")
 		}
 		sc.omu.Lock()
 		owned := make([]uint16, 0, len(sc.owned))
@@ -425,9 +427,10 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		// does not own is a routing error, not an I/O — redirect before
 		// fences, tenants or QoS get a say.
 		if !s.checkShard(&hdr) {
-			s.rejectWrongShard(rsp, &hdr)
+			s.rejectWrongShard(rsp, m)
 			return
 		}
+		s.m.noteShardOp(s.shardIndex(&hdr), hdr.Opcode == protocol.OpWrite)
 		if hdr.Opcode == protocol.OpWrite {
 			s.m.writes.Inc()
 			// Split-brain fence: a deposed or backup-role server refuses
@@ -441,6 +444,8 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 			// verification is refused before it can touch media.
 			if m.ChecksumErr {
 				s.m.checksumErrs.Inc()
+				s.m.journal.Record(obs.EvChecksum, s.cfg.NodeName, -1,
+					"write lba=%d len=%d failed CRC32C verification", hdr.LBA, hdr.Count)
 				reject(rsp, &hdr, protocol.StatusBadChecksum)
 				return
 			}
@@ -458,6 +463,8 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		// tenants are never shed.
 		if s.shedNow(ten) {
 			s.m.shed.Inc()
+			s.m.journal.Record(obs.EvShed, s.cfg.NodeName, -1,
+				"best-effort tenant %d shed under overload", ten.t.ID)
 			reject(rsp, &hdr, protocol.StatusOverloaded)
 			return
 		}
@@ -478,10 +485,22 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 			lease.Retain()
 			ctx.lease = lease
 		}
-		ctx.span.ID = s.m.seq.Add(1)
+		ctx.span.ID = s.m.spanID()
 		ctx.span.Tenant = ten.t.ID
 		ctx.span.Write = op == core.OpWrite
 		ctx.span.Size = int(hdr.Count)
+		// This is a serve span whether or not the caller traced it —
+		// HopClient is the zero value, so leaving Hop unset would make
+		// untraced spans masquerade as client roots in /traces.
+		ctx.span.Node = s.cfg.NodeName
+		ctx.span.Hop = obs.HopServe
+		if m.TraceID != 0 {
+			// The request carried a trace trailer: adopt the caller's
+			// trace context so this serve span stitches under the
+			// client's (or a relay's) span in the cross-node timeline.
+			ctx.span.Trace = m.TraceID
+			ctx.span.Parent = m.ParentSpan
+		}
 		ctx.span.Mark(obs.StageArrival, arrival)
 		ctx.span.Mark(obs.StageParse, s.now())
 		req := &core.Request{

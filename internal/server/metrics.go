@@ -1,7 +1,9 @@
 package server
 
 import (
+	"hash/fnv"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -39,6 +41,13 @@ type metrics struct {
 
 	spans *obs.Counter  // spans recorded into the ring
 	seq   atomic.Uint64 // span ID allocator
+	// nodeBase is folded into every span ID so two nodes' per-process
+	// sequences (both starting near zero) cannot mint the same span ID —
+	// cross-node stitching links hops by span identity, so a collision
+	// would graft one request's hop onto another request's tree.
+	nodeBase uint64
+	// journal is the structured cluster event log served at /events.
+	journal *obs.Journal
 
 	// Failure-hardening counters (the chaos-soak acceptance trio).
 	faults *obs.Counter // faults injected by the configured injector
@@ -63,6 +72,27 @@ type metrics struct {
 	migrAcked     *obs.Counter // migration sink acks received
 	migrJoins     *obs.Counter // ranged migration joins accepted
 
+	// Cluster-internal traffic, labeled by path so fleet aggregation can
+	// separate client load from replication applies and migration-relay
+	// forwards (DESIGN.md §14).
+	replPathReqs  *obs.Counter   // srv_requests_total{op=write,path=replicate}
+	replPathBytes *obs.Counter   // srv_bytes_total{op=write,path=replicate}
+	migrPathReqs  *obs.Counter   // srv_requests_total{op=write,path=migrate}
+	migrPathBytes *obs.Counter   // srv_bytes_total{op=write,path=migrate}
+	replAckLag    *obs.Histogram // primary->replica forward ack lag
+
+	// Per-shard request counters (srv_shard_requests_total{shard,op}),
+	// registered lazily as shard maps install. The slice is swapped
+	// atomically so the request path reads it without a lock.
+	shardMu  sync.Mutex
+	shardOps atomic.Value // []*shardOpCounts
+
+	// Per-tenant SLO burn gauges (srv_tenant_slo_burn{tenant}), registered
+	// once per tenant ID on first registration; the gauge func reads live
+	// tenant state so ID reuse after unregister stays correct.
+	burnMu   sync.Mutex
+	burnSeen map[int]bool
+
 	// Hot-path batching telemetry (DESIGN.md §12): how well the adaptive
 	// wire coalescer and the scheduler batch drain amortize per-message
 	// costs. flushBatch records messages per writev flush; schedBatch
@@ -72,12 +102,124 @@ type metrics struct {
 	schedBatch *obs.Histogram // requests drained per scheduler round
 }
 
+// shardOpCounts is one shard's request counters, incremented with atomics
+// on the request path and read by lazily registered CounterFuncs.
+type shardOpCounts struct {
+	reads  atomic.Uint64
+	writes atomic.Uint64
+}
+
+// spanID allocates a cluster-unique span ID: the node-name hash in the
+// high bits, the per-process sequence in the low 40 (a trillion requests
+// before wrap — and even then IDs only matter within a trace's lifetime
+// in the bounded span rings).
+func (m *metrics) spanID() uint64 {
+	return m.nodeBase | (m.seq.Add(1) & (1<<40 - 1))
+}
+
+// ensureShardSlots grows the per-shard counter table to n shards,
+// registering srv_shard_requests_total{shard,op} for each new slot.
+// Called from InstallShardMap; idempotent and monotonic (slots are never
+// removed — a shrunk map's stale slots just stop moving).
+func (m *metrics) ensureShardSlots(n int) {
+	if n <= 0 {
+		return
+	}
+	m.shardMu.Lock()
+	defer m.shardMu.Unlock()
+	cur, _ := m.shardOps.Load().([]*shardOpCounts)
+	if len(cur) >= n {
+		return
+	}
+	grown := make([]*shardOpCounts, n)
+	copy(grown, cur)
+	for i := len(cur); i < n; i++ {
+		sc := &shardOpCounts{}
+		grown[i] = sc
+		lbl := obs.L("shard", strconv.Itoa(i))
+		m.reg.CounterFunc("srv_shard_requests_total", "I/O requests received per shard",
+			func() float64 { return float64(sc.reads.Load()) }, lbl, obs.L("op", "read"))
+		m.reg.CounterFunc("srv_shard_requests_total", "",
+			func() float64 { return float64(sc.writes.Load()) }, lbl, obs.L("op", "write"))
+	}
+	m.shardOps.Store(grown)
+}
+
+// noteShardOp bumps one shard's request counter (lock-free: the slot
+// table is read through an atomic.Value).
+func (m *metrics) noteShardOp(shard int, write bool) {
+	ops, _ := m.shardOps.Load().([]*shardOpCounts)
+	if shard < 0 || shard >= len(ops) {
+		return
+	}
+	if write {
+		ops[shard].writes.Add(1)
+	} else {
+		ops[shard].reads.Add(1)
+	}
+}
+
+// burnWindow is how many recent spans the SLO burn gauge scans per read.
+const burnWindow = 512
+
+// ensureTenantBurn registers srv_tenant_slo_burn{tenant=id} on the first
+// registration of that tenant ID. The gauge computes the tenant's SLO
+// error-budget burn rate on demand: the fraction of its spans in the
+// recent ring window exceeding its p95 latency SLO, divided by the 5%
+// budget (1.0 = burning the budget exactly, >1 = violating the SLO).
+func (m *metrics) ensureTenantBurn(s *Server, id int) {
+	m.burnMu.Lock()
+	defer m.burnMu.Unlock()
+	if m.burnSeen[id] {
+		return
+	}
+	m.burnSeen[id] = true
+	m.reg.GaugeFunc("srv_tenant_slo_burn", "SLO error-budget burn rate (frac over p95 SLO / 5% budget)",
+		func() float64 {
+			slo := s.tenantSLO(id)
+			if slo <= 0 {
+				return 0
+			}
+			var n, over int
+			for _, sp := range m.ring.Recent(burnWindow) {
+				if sp.Tenant != id {
+					continue
+				}
+				n++
+				if sp.Total() > slo {
+					over++
+				}
+			}
+			if n == 0 {
+				return 0
+			}
+			return float64(over) / float64(n) / 0.05
+		}, obs.L("tenant", strconv.Itoa(id)))
+}
+
+// tenantSLO returns the tenant's p95 latency SLO in nanoseconds (0 for
+// best-effort, unknown or unregistered tenants).
+func (s *Server) tenantSLO(id int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.tenants[uint16(id)]
+	if !ok || st.t.Class != core.LatencyCritical {
+		return 0
+	}
+	return st.t.SLO.LatencyP95
+}
+
 func newMetrics(s *Server) *metrics {
 	reg := obs.NewRegistry()
 	reg.SetClock(s.now)
+	h := fnv.New64a()
+	h.Write([]byte(s.cfg.NodeName))
 	m := &metrics{
-		reg:  reg,
-		ring: obs.NewRing(4096, 16),
+		reg:      reg,
+		ring:     obs.NewRing(4096, 16),
+		journal:  obs.NewJournal(1024),
+		nodeBase: h.Sum64() << 40,
+		burnSeen: make(map[int]bool),
 	}
 	m.reads = reg.Counter("srv_requests_total", "I/O requests received", obs.L("op", "read"))
 	m.writes = reg.Counter("srv_requests_total", "", obs.L("op", "write"))
@@ -114,6 +256,13 @@ func newMetrics(s *Server) *metrics {
 	m.migrForwarded = reg.Counter("migr_forwarded", "acked writes forwarded to a migration sink")
 	m.migrAcked = reg.Counter("migr_acked", "migration sink acks received")
 	m.migrJoins = reg.Counter("migr_joins", "ranged migration join sessions accepted")
+	m.replPathReqs = reg.Counter("srv_requests_total", "", obs.L("op", "write"), obs.L("path", "replicate"))
+	m.replPathBytes = reg.Counter("srv_bytes_total", "", obs.L("op", "write"), obs.L("path", "replicate"))
+	m.migrPathReqs = reg.Counter("srv_requests_total", "", obs.L("op", "write"), obs.L("path", "migrate"))
+	m.migrPathBytes = reg.Counter("srv_bytes_total", "", obs.L("op", "write"), obs.L("path", "migrate"))
+	m.replAckLag = reg.Histogram("repl_ack_lag_ns", "forward-to-ack lag of replication/migration forwards")
+	reg.GaugeFunc("migr_pending", "migration forwards awaiting a sink ack (drain signal)",
+		func() float64 { return float64(s.migr.Pending()) })
 	reg.GaugeFunc("shard_map_version", "version of the installed shard map (0 = none)",
 		func() float64 { return float64(s.ShardMapVersion()) })
 	m.flushes = reg.Counter("srv_wire_flushes_total", "wire flushes issued by connection writers")
@@ -183,6 +332,10 @@ func (s *Server) Metrics() *obs.Registry { return s.m.reg }
 
 // TraceRing returns the per-request span ring and slow-request log.
 func (s *Server) TraceRing() *obs.Ring { return s.m.ring }
+
+// EventJournal exposes the node's structured event journal for HTTP
+// mounting (/events) and tests.
+func (s *Server) EventJournal() *obs.Journal { return s.m.journal }
 
 // StartSampler begins periodic wall-clock sampling of SLO-relevant server
 // state: per-op interval p95, throughput, queue depths and per-device

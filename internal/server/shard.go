@@ -1,6 +1,7 @@
 package server
 
 import (
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 	"github.com/reflex-go/reflex/internal/shard"
 )
@@ -43,6 +44,9 @@ func (s *Server) InstallShardMap(m *shard.Map) (uint32, protocol.Status) {
 	s.shardMap.Store(m)
 	s.m.shardInstalls.Inc()
 	s.m.shardMoves.Add(uint64(m.DiffMoves(cur)))
+	s.m.ensureShardSlots(len(m.Assign))
+	s.m.journal.Record(obs.EvMapInstall, s.cfg.NodeName, -1,
+		"shard map v%d installed (%d shards, %d moved)", m.Version, len(m.Assign), m.DiffMoves(cur))
 	return m.Version, protocol.StatusOK
 }
 
@@ -64,13 +68,45 @@ func (s *Server) checkShard(hdr *protocol.Header) bool {
 	return m.OwnedBy(s.cfg.NodeName, uint64(hdr.LBA), blocks)
 }
 
+// shardIndex maps a request header to its shard index under the
+// installed map, or -1 when sharding is off (no NodeName / no map) —
+// the per-shard request counters only exist on sharded deployments.
+func (s *Server) shardIndex(hdr *protocol.Header) int {
+	if s.cfg.NodeName == "" {
+		return -1
+	}
+	m := s.ShardMap()
+	if m == nil {
+		return -1
+	}
+	return m.Shard(uint64(hdr.LBA))
+}
+
 // rejectWrongShard refuses an I/O for a range this node does not own.
 // The response carries the node's map version in Count so the client can
 // tell whether refetching the map will actually help (its map is older)
 // or whether it raced an in-flight install (versions equal — retry after
 // the router's refresh).
-func (s *Server) rejectWrongShard(rsp responder, hdr *protocol.Header) {
+func (s *Server) rejectWrongShard(rsp responder, m *protocol.Message) {
+	hdr := &m.Header
 	s.m.wrongShard.Inc()
+	if m.TraceID != 0 {
+		// Record the bounce so the stitched timeline shows the extra hop
+		// a stale client map cost this request.
+		now := s.now()
+		sp := obs.Span{
+			ID:     s.m.spanID(),
+			Trace:  m.TraceID,
+			Parent: m.ParentSpan,
+			Node:   s.cfg.NodeName,
+			Hop:    obs.HopRedirect,
+			Write:  hdr.Opcode == protocol.OpWrite,
+			Size:   int(hdr.Count),
+		}
+		sp.Mark(obs.StageArrival, now)
+		sp.Mark(obs.StageTx, now)
+		s.m.ring.Push(sp)
+	}
 	rsp.send(&protocol.Header{
 		Opcode: hdr.Opcode,
 		Flags:  protocol.FlagResponse,

@@ -152,7 +152,9 @@ func (th *sthread) forwardWrite(ctx *reqCtx, resp *protocol.Header, finish func(
 		finish()
 		return true
 	}
+	fwdStart := th.srv.now()
 	onAck := func(st protocol.Status) {
+		th.srv.m.replAckLag.Record(th.srv.now() - fwdStart)
 		switch st {
 		case protocol.StatusOK:
 		case protocol.StatusStaleEpoch:
@@ -163,13 +165,18 @@ func (th *sthread) forwardWrite(ctx *reqCtx, resp *protocol.Header, finish func(
 		release()
 	}
 	n := 0
-	if th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease, onAck) {
+	if th.srv.repl.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease, ctx.span.Trace, ctx.span.ID, onAck) {
 		n++
 	} else {
 		release()
 	}
-	if th.srv.migr.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease, onAck) {
+	if th.srv.migr.Forward(ctx.hdr.LBA, ctx.payload, ctx.lease, ctx.span.Trace, ctx.span.ID, onAck) {
 		n++
+		// path="migrate" internal-traffic accounting happens at the
+		// source: the destination sees relayed writes as ordinary client
+		// writes and cannot tell them apart.
+		th.srv.m.migrPathReqs.Inc()
+		th.srv.m.migrPathBytes.Add(uint64(ctx.hdr.Count))
 	} else {
 		release()
 	}

@@ -34,6 +34,14 @@ type CoordinatorConfig struct {
 	// membership-state gauges, the map-version gauge and the shard_moves
 	// counter.
 	Reg *obs.Registry
+	// Journal receives control-plane events (promotions, fencings,
+	// reassignments, MoveShard phases). Auto-created when nil; read it
+	// back via Coordinator.Journal.
+	Journal *obs.Journal
+	// TraceRing receives the migration sink's relay spans, linking a
+	// traced write forwarded through a live MoveShard into its cross-node
+	// timeline. Auto-created when nil; read via Coordinator.TraceRing.
+	TraceRing *obs.Ring
 	// Logf receives control-plane decisions (nil = silent).
 	Logf func(format string, args ...any)
 	// Dialer is the control-plane dial seam (nil: net.DialTimeout).
@@ -109,7 +117,26 @@ type Coordinator struct {
 	promoted  atomic.Uint64
 	reassigns atomic.Uint64
 
+	// spanSeq mints relay span ids under the coordinator's own id-space
+	// prefix (same partitioning scheme as the servers' metrics.spanID).
+	spanSeq atomic.Uint64
+
 	memStarted bool
+}
+
+// coordSpanBase prefixes relay span ids; FNV-1a 64 of "coord" shifted
+// into the high bits, matching the per-node span-id partitioning in
+// internal/server (wrapping shift: only the prefix has to be distinct).
+const coordSpanBase = uint64(0x3ae7ae) << 40 // low 24 bits of fnv64a("coord")
+
+// Journal returns the coordinator's control-plane event journal.
+func (c *Coordinator) Journal() *obs.Journal { return c.cfg.Journal }
+
+// TraceRing returns the ring holding the migration sink's relay spans.
+func (c *Coordinator) TraceRing() *obs.Ring { return c.cfg.TraceRing }
+
+func (c *Coordinator) spanID() uint64 {
+	return coordSpanBase | (c.spanSeq.Add(1) & (1<<40 - 1))
 }
 
 // NewCoordinator builds the coordinator and its version-1 map (ring
@@ -122,6 +149,12 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	nodes := make([]Node, len(cfg.Nodes))
 	for i, n := range cfg.Nodes {
 		nodes[i] = Node{Name: n.Name, Addrs: append([]string(nil), n.Addrs...), State: StateAlive}
+	}
+	if cfg.Journal == nil {
+		cfg.Journal = obs.NewJournal(1024)
+	}
+	if cfg.TraceRing == nil {
+		cfg.TraceRing = obs.NewRing(4096, 16)
 	}
 	c := &Coordinator{cfg: cfg}
 	c.cur = BuildMap(nodes, cfg.NumShards, cfg.ShardBlocks, cfg.VNodes)
@@ -302,6 +335,8 @@ func (c *Coordinator) tryPromote(name string) bool {
 	}
 	c.promoted.Add(1)
 	c.logf("shard: promoted %s (%s) to primary at epoch %d", name, addr, e)
+	c.cfg.Journal.Record(obs.EvPromote, name, -1,
+		"backup %s promoted to primary at epoch %d", addr, e)
 	c.fencePeers(name, addr, e)
 	return true
 }
@@ -312,6 +347,7 @@ func (c *Coordinator) tryPromote(name string) bool {
 // annotation cannot race a concurrent Clone-and-swap and lose either
 // side's change.
 func (c *Coordinator) noteState(name string, st MemberState) {
+	c.cfg.Journal.Record(obs.EvNodeState, name, -1, "membership state -> %s", st)
 	c.edit(func(cur *Map) *Map {
 		idx := cur.NodeIndex(name)
 		if idx < 0 {
@@ -339,6 +375,7 @@ func (c *Coordinator) fencePeers(name, keep string, e uint16) {
 			}
 		}
 	}
+	c.cfg.Journal.Record(obs.EvFence, name, -1, "peers fenced at epoch %d (kept %s)", e, keep)
 }
 
 // reassignDead moves a dead node's shards to their ring successors and
@@ -364,6 +401,8 @@ func (c *Coordinator) reassignDead(name string) {
 	c.reassigns.Add(1)
 	c.logf("shard: reassigned %d shards off dead node %s (map v%d)",
 		moved, name, nm.Version)
+	c.cfg.Journal.Record(obs.EvReassign, name, -1,
+		"%d shards reassigned off dead node (map v%d)", moved, nm.Version)
 	survivors := make([]string, 0, len(nm.Nodes))
 	for i, n := range nm.Nodes {
 		if i != idx && n.State != StateDead {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
 )
 
@@ -108,16 +109,18 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 		return fmt.Errorf("shard: move %d: source install: %w", shardIdx, err)
 	}
 	c.installRest(m1, destName, srcName)
+	c.cfg.Journal.Record(obs.EvMovePrepare, srcName, shardIdx,
+		"dual-ownership map v%d installed, moving to %s", m1.Version, destName)
 
 	// Phase 2: attach the sink and wait for the catch-up marker.
 	srcAddr, err := c.primaryAddr(m1, srcIdx)
 	if err != nil {
-		c.rollbackMigrating(shardIdx, destName, srcName)
+		c.abortMove(shardIdx, destName, srcName, "no answering source primary: %v", err)
 		return err
 	}
 	sink, err := c.startSink(srcAddr, m1.Nodes[destIdx].Addrs, firstLBA, m1.ShardBlocks)
 	if err != nil {
-		c.rollbackMigrating(shardIdx, destName, srcName)
+		c.abortMove(shardIdx, destName, srcName, "sink attach failed: %v", err)
 		return fmt.Errorf("shard: move %d: sink: %w", shardIdx, err)
 	}
 	deadline := time.NewTimer(timeout)
@@ -126,15 +129,17 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 	case <-sink.caught:
 	case err := <-sink.errCh:
 		sink.close()
-		c.rollbackMigrating(shardIdx, destName, srcName)
+		c.abortMove(shardIdx, destName, srcName, "catch-up failed: %v", err)
 		return fmt.Errorf("shard: move %d: catch-up: %w", shardIdx, err)
 	case <-deadline.C:
 		sink.close()
-		c.rollbackMigrating(shardIdx, destName, srcName)
+		c.abortMove(shardIdx, destName, srcName, "catch-up timed out after %v", timeout)
 		return fmt.Errorf("shard: move %d: catch-up timed out after %v", shardIdx, timeout)
 	}
 	c.logf("shard: move %d %s->%s: caught up (%d writes relayed), cutting over",
 		shardIdx, srcName, destName, sink.applied.Load())
+	c.cfg.Journal.Record(obs.EvMoveCatchup, srcName, shardIdx,
+		"catch-up complete, %d writes relayed so far", sink.applied.Load())
 
 	// The sink can fail AFTER signalling caught-up — a live forward relayed
 	// to the destination may be refused there (the sink acks the source
@@ -148,7 +153,7 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 	select {
 	case err := <-sink.errCh:
 		sink.close()
-		c.rollbackMigrating(shardIdx, destName, srcName)
+		c.abortMove(shardIdx, destName, srcName, "sink failed before cutover: %v", err)
 		return fmt.Errorf("shard: move %d: sink failed before cutover: %w", shardIdx, err)
 	default:
 	}
@@ -171,13 +176,17 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 		return fmt.Errorf("shard: move %d: cutover source install: %w", shardIdx, err)
 	}
 	c.installRest(m2, destName, srcName)
+	c.cfg.Journal.Record(obs.EvMoveCutover, destName, shardIdx,
+		"cutover map v%d installed, %s now authoritative", m2.Version, destName)
 
 	// Phase 4: drain writes admitted at the source before its cutover
 	// install; they still forward to the attached sink.
 	if err := c.drainSource(srcAddr, timeout); err != nil {
 		sink.close()
+		c.cfg.Journal.Record(obs.EvMoveAbort, srcName, shardIdx, "drain failed: %v", err)
 		return fmt.Errorf("shard: move %d: %w", shardIdx, err)
 	}
+	c.cfg.Journal.Record(obs.EvMoveDrain, srcName, shardIdx, "source drained (pending quiesced)")
 	sink.close()
 	select {
 	case err := <-sink.errCh:
@@ -186,7 +195,16 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 	}
 	c.logf("shard: move %d %s->%s: done (map v%d, %d writes relayed)",
 		shardIdx, srcName, destName, m2.Version, sink.applied.Load())
+	c.cfg.Journal.Record(obs.EvMoveDone, destName, shardIdx,
+		"move %s->%s done (map v%d, %d writes relayed)", srcName, destName, m2.Version, sink.applied.Load())
 	return nil
+}
+
+// abortMove rolls back a failed move's dual-ownership window and records
+// the abort in the journal.
+func (c *Coordinator) abortMove(shardIdx int, destName, srcName, format string, args ...any) {
+	c.cfg.Journal.Record(obs.EvMoveAbort, srcName, shardIdx, format, args...)
+	c.rollbackMigrating(shardIdx, destName, srcName)
 }
 
 // rollbackMigrating clears a failed move's dual-ownership window with a
@@ -257,6 +275,7 @@ func (c *Coordinator) drainSource(srcAddr string, timeout time.Duration) error {
 // map) and acks the source only after the destination acked — the
 // deferred-ack chain that makes migration lossless.
 type migrationSink struct {
+	c      *Coordinator
 	src    net.Conn
 	dst    *client.Client
 	handle uint16
@@ -301,6 +320,7 @@ func (c *Coordinator) startSink(srcAddr string, destAddrs []string, firstLBA, bl
 		return nil, fmt.Errorf("ranged join: %w", err)
 	}
 	s := &migrationSink{
+		c:      c,
 		src:    src,
 		dst:    dst,
 		handle: handle,
@@ -363,7 +383,29 @@ func (s *migrationSink) loop() {
 			// Catch-up marker: every block of the window is across.
 			s.caughtOn.Do(func() { close(s.caught) })
 		case hdr.Opcode == protocol.OpReplicate && !hdr.IsResponse():
-			st := s.apply(hdr.LBA, msg.Payload)
+			// A traced forward parents the destination's serve span to a
+			// fresh relay span here, keeping the hop visible: client ->
+			// source serve -> sink relay -> destination serve.
+			var relayID uint64
+			relayStart := time.Now().UnixNano()
+			if msg.TraceID != 0 {
+				relayID = s.c.spanID()
+			}
+			st := s.apply(hdr.LBA, msg.Payload, msg.TraceID, relayID)
+			if msg.TraceID != 0 {
+				sp := obs.Span{
+					ID:     relayID,
+					Trace:  msg.TraceID,
+					Parent: msg.ParentSpan,
+					Node:   "coord",
+					Hop:    obs.HopRelay,
+					Write:  true,
+					Size:   len(msg.Payload),
+				}
+				sp.Mark(obs.StageArrival, relayStart)
+				sp.Mark(obs.StageTx, time.Now().UnixNano())
+				s.c.cfg.TraceRing.Push(sp)
+			}
 			ack := protocol.Header{
 				Opcode: protocol.OpReplicate,
 				Flags:  protocol.FlagResponse,
@@ -396,14 +438,20 @@ func (s *migrationSink) loop() {
 
 // apply writes one relayed frame at the destination, retrying transient
 // refusals (shed, timeout) — the destination is a live server taking
-// client traffic of its own.
-func (s *migrationSink) apply(lba uint32, payload []byte) protocol.Status {
+// client traffic of its own. A non-zero trace relays the originating
+// request's trace context, with the sink's relay span as parent.
+func (s *migrationSink) apply(lba uint32, payload []byte, trace, relayID uint64) protocol.Status {
 	if len(payload) == 0 {
 		return protocol.StatusBadRequest
 	}
 	var err error
 	for attempt := 0; attempt < applyRetries; attempt++ {
-		if err = s.dst.Write(s.handle, lba, payload); err == nil {
+		if trace != 0 {
+			err = s.dst.WriteTraced(s.handle, lba, payload, trace, relayID)
+		} else {
+			err = s.dst.Write(s.handle, lba, payload)
+		}
+		if err == nil {
 			return protocol.StatusOK
 		}
 		switch err {

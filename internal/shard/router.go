@@ -52,6 +52,11 @@ type RouterConfig struct {
 	// Metrics optionally receives router_map_version, router_redirects
 	// and router_map_refreshes.
 	Metrics *obs.Registry
+	// Trace enables distributed tracing on every per-node client pool:
+	// each routed I/O carries a trace trailer, and the pools record their
+	// root spans into TraceRing.
+	Trace     bool
+	TraceRing *obs.Ring
 	// Dialer is the map-fetch dial seam (nil: net.DialTimeout).
 	Dialer dialFunc
 }
@@ -235,7 +240,12 @@ func (r *Router) pool(m *Map, ni int) (*routerPool, error) {
 			p.err = fmt.Errorf("%w: node %s", ErrNoTargets, name)
 			return
 		}
-		cl, err := client.DialCluster(addrs, r.cfg.Opts)
+		opts := r.cfg.Opts
+		if r.cfg.Trace {
+			opts.Trace = true
+			opts.TraceRing = r.cfg.TraceRing
+		}
+		cl, err := client.DialCluster(addrs, opts)
 		if err != nil {
 			p.err = fmt.Errorf("shard: dial node %s: %w", name, err)
 			return
