@@ -1,0 +1,42 @@
+package main
+
+import "testing"
+
+// TestMatrixGates pins the scaling-gate policy: gates only bind on rungs
+// the host can parallelize, sub-linear collapse (>30% off linear at 4
+// cores) fails, and the 8-proc rung must clear 2x the shared-scheduler
+// baseline.
+func TestMatrixGates(t *testing.T) {
+	linear := []matrixEntry{
+		{GOMAXPROCS: 1, Cores: 1, MsgPerSec: 250_000, ScalingVs1: 1},
+		{GOMAXPROCS: 2, Cores: 2, MsgPerSec: 480_000, ScalingVs1: 1.92},
+		{GOMAXPROCS: 4, Cores: 4, MsgPerSec: 900_000, ScalingVs1: 3.6},
+		{GOMAXPROCS: 8, Cores: 8, MsgPerSec: 1_600_000, ScalingVs1: 6.4},
+	}
+	collapsed := []matrixEntry{
+		{GOMAXPROCS: 1, Cores: 1, MsgPerSec: 250_000, ScalingVs1: 1},
+		{GOMAXPROCS: 4, Cores: 4, MsgPerSec: 500_000, ScalingVs1: 2.0}, // 50% off linear
+	}
+	slow8 := []matrixEntry{
+		{GOMAXPROCS: 1, Cores: 1, MsgPerSec: 100_000, ScalingVs1: 1},
+		{GOMAXPROCS: 4, Cores: 4, MsgPerSec: 380_000, ScalingVs1: 3.8},
+		{GOMAXPROCS: 8, Cores: 8, MsgPerSec: 400_000, ScalingVs1: 4.0}, // < 2x 226k
+	}
+
+	if err := checkMatrixGates(linear, 8); err != nil {
+		t.Errorf("linear scaling on an 8-CPU host failed gates: %v", err)
+	}
+	if err := checkMatrixGates(collapsed, 8); err == nil {
+		t.Error("4-core collapse passed gates on an 8-CPU host")
+	}
+	if err := checkMatrixGates(slow8, 8); err == nil {
+		t.Error("sub-2x 8-proc rate passed gates on an 8-CPU host")
+	}
+	// A 1-CPU host records everything but can fail nothing.
+	if err := checkMatrixGates(collapsed, 1); err != nil {
+		t.Errorf("1-CPU host enforced a scaling gate it cannot measure: %v", err)
+	}
+	if err := checkMatrixGates(slow8, 2); err != nil {
+		t.Errorf("2-CPU host enforced the 8-proc gate: %v", err)
+	}
+}

@@ -4,7 +4,7 @@
 //
 // Example:
 //
-//	reflex-server -addr :7700 -size 1GiB -threads 4 -token-rate 420000
+//	reflex-server -addr :7700 -size 1GiB -cores 4 -token-rate 420000
 package main
 
 import (
@@ -71,7 +71,9 @@ func main() {
 	udpAddr := flag.String("udp", "", "optional UDP listen address (e.g. :7701)")
 	size := flag.String("size", "256MiB", "device size (e.g. 64MiB, 1GiB)")
 	file := flag.String("file", "", "optional backing file (default: in-memory)")
-	threads := flag.Int("threads", 2, "scheduler threads")
+	cores := flag.Int("cores", 0, "shared-nothing event-loop cores (0 = use -threads)")
+	threads := flag.Int("threads", 2, "deprecated alias of -cores")
+	busyPoll := flag.Duration("busy-poll", 0, "spin each core this long before parking (lower wakeup latency, higher CPU; 0 = park immediately)")
 	tokenRate := flag.Int64("token-rate", 420_000, "token rate (tokens/s) at the strictest SLO")
 	writeCost := flag.Int64("write-cost", 10, "write cost in tokens (device calibration)")
 	readLat := flag.Duration("read-latency", 0, "simulated device read latency (demos)")
@@ -110,7 +112,9 @@ func main() {
 	srv, err := server.New(server.Config{
 		Addr:       *addr,
 		UDPAddr:    *udpAddr,
+		Cores:      *cores,
 		Threads:    *threads,
+		BusyPoll:   *busyPoll,
 		Epoch:      uint16(*epoch),
 		BackupRole: *backupOf != "",
 		NodeName:   *nodeName,
@@ -130,8 +134,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("reflex-server listening on %s (%s device, %d threads, %d tokens/s)",
-		srv.Addr(), *size, *threads, *tokenRate)
+	log.Printf("reflex-server listening on %s (%s device, %d cores, %d tokens/s)",
+		srv.Addr(), *size, srv.Cores(), *tokenRate)
 
 	// Replicated-pair wiring: as a backup, join the primary and apply its
 	// replication stream until a failing-over client promotes us; the

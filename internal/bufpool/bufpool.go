@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Class sizes, smallest to largest.
@@ -46,13 +47,39 @@ func ClassSize(c int) int { return classSizes[c] }
 const Poison = 0xDB
 
 var (
-	pools  [NumClasses]sync.Pool
-	hits   [NumClasses]atomic.Uint64
-	misses [NumClasses]atomic.Uint64
+	pools [NumClasses]sync.Pool
 	// unpooled counts Get calls that exceeded the top class.
 	unpooled atomic.Uint64
 	poison   atomic.Bool
 )
+
+// statStripes shards the hit/miss counters so every core's Get traffic
+// lands on its own cache lines. A single global counter pair is bumped on
+// every pooled Get — with per-core event loops that one line becomes the
+// pool's only cross-core write traffic, which is exactly the coupling the
+// shared-nothing dataplane removes. Must be a power of two.
+const statStripes = 8
+
+// statStripe is one shard of the per-class counters. The counters for all
+// classes fit one 64-byte line (4 classes × 2 × 8B); the trailing pad
+// keeps adjacent stripes off each other's line.
+type statStripe struct {
+	hits   [NumClasses]atomic.Uint64
+	misses [NumClasses]atomic.Uint64
+	_      [64]byte
+}
+
+var stripes [statStripes]statStripe
+
+// stripeFor picks a stripe from the address of a stack local: goroutine
+// stacks are spread across the address space, so concurrent Gets from
+// different goroutines (≈ different cores) mostly land on different
+// stripes. This is a statistics shard, not an identity — any skew only
+// costs a little sharing, never correctness, and Stats sums all stripes.
+func stripeFor() *statStripe {
+	var probe byte
+	return &stripes[(uintptr(unsafe.Pointer(&probe))>>10)&(statStripes-1)]
+}
 
 // SetPoison enables or disables recycle-time poisoning (tests only: it
 // costs a memset per recycle).
@@ -79,11 +106,12 @@ func Get(n int) *Buf {
 		return b
 	}
 	var b *Buf
+	st := stripeFor()
 	if v := pools[c].Get(); v != nil {
-		hits[c].Add(1)
+		st.hits[c].Add(1)
 		b = v.(*Buf)
 	} else {
-		misses[c].Add(1)
+		st.misses[c].Add(1)
 		b = &Buf{p: make([]byte, classSizes[c]), class: int32(c)}
 	}
 	b.n = n
@@ -166,12 +194,17 @@ type ClassStats struct {
 	Misses uint64
 }
 
-// Stats snapshots per-class pool traffic. Hits are Gets served from the
-// pool; misses allocated fresh backing (cold pool or GC-evicted).
+// Stats snapshots per-class pool traffic, summed across the counter
+// stripes. Hits are Gets served from the pool; misses allocated fresh
+// backing (cold pool or GC-evicted).
 func Stats() [NumClasses]ClassStats {
 	var out [NumClasses]ClassStats
 	for c := range classSizes {
-		out[c] = ClassStats{Size: classSizes[c], Hits: hits[c].Load(), Misses: misses[c].Load()}
+		out[c].Size = classSizes[c]
+		for s := range stripes {
+			out[c].Hits += stripes[s].hits[c].Load()
+			out[c].Misses += stripes[s].misses[c].Load()
+		}
 	}
 	return out
 }

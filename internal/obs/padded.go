@@ -1,0 +1,29 @@
+package obs
+
+import "sync/atomic"
+
+// PaddedInt64 is a cache-line padded atomic counter for per-core
+// shared-nothing statistics (queue debt, placement counts, batch
+// telemetry). Per-core state published every scheduling round must not
+// share a cache line with its siblings: unpadded atomics laid out in an
+// array put every core's hot counter on the same line, and the resulting
+// coherence traffic is exactly the cross-core coupling a shared-nothing
+// dataplane exists to avoid.
+//
+// The pads assume 64-byte cache lines (x86-64, and the common arm64
+// configuration); on larger-line machines the padding merely shrinks the
+// benefit, never breaks correctness.
+type PaddedInt64 struct {
+	_ [64]byte
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Load returns the current value.
+func (p *PaddedInt64) Load() int64 { return p.v.Load() }
+
+// Store sets the value.
+func (p *PaddedInt64) Store(x int64) { p.v.Store(x) }
+
+// Add adjusts the value by d and returns the result.
+func (p *PaddedInt64) Add(d int64) int64 { return p.v.Add(d) }

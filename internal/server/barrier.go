@@ -42,7 +42,7 @@ func (st *stenant) submitIO(s *Server, e enqueued) bool {
 	}
 	st.outstanding++
 	st.mu.Unlock()
-	s.threads[st.thread].enqueue(e)
+	s.cores[st.coreID].enqueue(e)
 	return true
 }
 
@@ -142,12 +142,12 @@ func (st *stenant) ioDone(s *Server) {
 	if len(release) == 0 {
 		return
 	}
-	// Release off the caller's goroutine: ioDone may run on the scheduler
-	// thread itself, and enqueue blocks when the thread's queue is full.
-	th := s.threads[st.thread]
+	// Release off the caller's goroutine: ioDone may run on the core
+	// goroutine itself, and enqueue blocks when the core's ring is full.
+	pc := s.cores[st.coreID]
 	go func() {
 		for _, e := range release {
-			th.enqueue(e)
+			pc.enqueue(e)
 		}
 	}()
 }

@@ -47,17 +47,41 @@ type outMsg struct {
 	lease   *bufpool.Buf
 }
 
-// srvConn is one client TCP connection. Responses are enqueued on outCh
-// and drained by a dedicated writer goroutine that coalesces them into
-// vectored flushes (see writeLoop).
+// srvConn is one client TCP connection, pinned to one core (pc) at accept
+// time. Responses are appended to a cond-guarded out-queue; the owning
+// core's flusher goroutine swaps the queue out and writes it with
+// vectored flushes (see flush). A connection has exactly one goroutine of
+// its own (the reader) — the old per-connection writer goroutine is
+// absorbed into the core flusher, so N connections cost N+2 goroutines
+// per core instead of 2N.
 type srvConn struct {
-	srv *Server
-	c   netConn
+	srv  *Server
+	c    netConn
+	core *pcore
+	// vectored is computed once: real TCP conns take the writev path,
+	// test seams and fault-wrapped conns the flat-buffer path.
+	vectored bool
 
-	outCh chan outMsg
-	// down is closed by teardown; senders fall through instead of
-	// blocking on a dead connection's queue.
-	down chan struct{}
+	// outMu guards the response queue. Senders (core goroutines, timer
+	// goroutines, readers replying inline) append and block on outCond
+	// when the queue is full; the flusher swaps outQ with flushQ and
+	// broadcasts. downB marks teardown: senders drop instead of queueing.
+	outMu  sync.Mutex
+	outCond *sync.Cond
+	outQ    []outMsg
+	flushQ  []outMsg
+	// queued is true while the connection sits on its core's dirty list;
+	// the empty→non-empty sender arms it so the conn is listed at most
+	// once per flush cycle.
+	queued bool
+	downB  bool
+
+	// Flusher-confined batch scratch (touched only by the core flusher):
+	// header arena (never exceeds cap, so subslices stay valid), the
+	// iovec list, and the leases to release after each wire batch.
+	hdrs   []byte
+	iov    net.Buffers
+	leases []*bufpool.Buf
 
 	// owned tracks tenant handles registered over this connection; they
 	// are unregistered when the connection tears down, so a dead peer no
@@ -86,86 +110,121 @@ type netConn interface {
 	SetWriteDeadline(t time.Time) error
 }
 
-// newSrvConn builds a connection, registers it in the server's set and
-// starts its reader and writer goroutines.
+// newSrvConn builds a connection, pins it to the least-loaded core,
+// registers it in the server's set and starts its reader goroutine.
 func newSrvConn(s *Server, c netConn) *srvConn {
-	sc := &srvConn{
-		srv:   s,
-		c:     c,
-		outCh: make(chan outMsg, outQueueDepth),
-		down:  make(chan struct{}),
-		owned: make(map[uint16]struct{}),
+	// Accept-time pinning: the connection lands on the core with the
+	// fewest connections, and every tenant registered over it lands on
+	// the same core (see registerTenant), keeping the tenant's whole
+	// request path core-local.
+	pc := s.cores[0]
+	for _, cand := range s.cores[1:] {
+		if cand.nconns.Load() < pc.nconns.Load() {
+			pc = cand
+		}
 	}
-	s.mu.Lock()
+	_, vectored := c.(*net.TCPConn)
+	sc := &srvConn{
+		srv:      s,
+		c:        c,
+		core:     pc,
+		vectored: vectored,
+		outQ:     make([]outMsg, 0, outQueueDepth),
+		flushQ:   make([]outMsg, 0, outQueueDepth),
+		hdrs:     make([]byte, 0, wireBatchMsgs*protocol.HeaderSize),
+		iov:      make(net.Buffers, 0, 2*wireBatchMsgs),
+		leases:   make([]*bufpool.Buf, 0, wireBatchMsgs),
+		owned:    make(map[uint16]struct{}),
+	}
+	sc.outCond = sync.NewCond(&sc.outMu)
+	s.connMu.Lock()
+	select {
+	case <-s.done:
+		// The accept raced Close past its conn sweep: refuse instead of
+		// leaking a socket no one will ever close.
+		s.connMu.Unlock()
+		c.Close()
+		return sc
+	default:
+	}
 	s.conns[sc] = struct{}{}
-	s.mu.Unlock()
-	s.wg.Add(2)
+	s.connMu.Unlock()
+	s.connCount.Add(1)
+	pc.nconns.Add(1)
+	s.wg.Add(1)
 	go sc.readLoop()
-	go sc.writeLoop()
 	return sc
 }
 
-// send enqueues one response message. Responses may originate from
-// scheduler threads and timer goroutines concurrently; ordering is the
-// queue's FIFO order per connection. A non-nil lease transfers one
-// reference to the writer, released after the flush that carries the
-// message. Once the connection is down the message is dropped and the
-// lease released immediately.
+// send enqueues one response message. Responses may originate from core
+// goroutines and timer goroutines concurrently; ordering is the queue's
+// FIFO order per connection. A non-nil lease transfers one reference to
+// the flusher, released after the flush that carries the message. Once
+// the connection is down the message is dropped and the lease released
+// immediately. The empty→non-empty transition lists the connection on
+// its core's dirty set — one flusher wakeup covers every response queued
+// since the last flush, across all of the core's connections.
 func (sc *srvConn) send(hdr *protocol.Header, payload []byte, lease *bufpool.Buf) {
 	if hdr.Epoch == 0 {
 		hdr.Epoch = sc.srv.ClusterEpoch()
 	}
 	m := outMsg{hdr: *hdr, payload: payload, lease: lease}
 	m.hdr.Len = uint32(len(payload))
-	select {
-	case <-sc.down:
+	sc.outMu.Lock()
+	for !sc.downB && len(sc.outQ) >= outQueueDepth {
+		sc.outCond.Wait()
+	}
+	if sc.downB {
+		sc.outMu.Unlock()
 		bufpool.ReleaseIf(lease)
-	case sc.outCh <- m:
+		return
+	}
+	sc.outQ = append(sc.outQ, m)
+	kick := !sc.queued
+	sc.queued = true
+	sc.outMu.Unlock()
+	if kick {
+		sc.core.noteDirty(sc)
 	}
 }
 
-// writeLoop drains the response queue into adaptive vectored flushes: it
-// blocks for the first message, then greedily folds in whatever else is
-// already queued up to the wireBatchMsgs/wireBatchBytes caps, and writes
-// the whole batch with one writev (net.Buffers on a *net.TCPConn) or one
-// flat Write (test seams and fault-wrapped conns). This replaces the old
-// write-allocate-flush-per-message path: one syscall and zero allocations
-// per batch at steady state. A write or deadline error tears the
-// connection down fully — closed, deregistered, its tenants unregistered
-// and their unspent tokens returned to the scheduler — instead of
-// lingering half-dead.
-func (sc *srvConn) writeLoop() {
-	defer sc.srv.wg.Done()
-	_, vectored := sc.c.(*net.TCPConn)
-
-	// Reused batch state: header arena (never exceeds cap, so subslices
-	// stay valid), the iovec list, leases to release post-flush, and the
-	// flat coalescing buffer for non-vectored conns.
-	hdrs := make([]byte, 0, wireBatchMsgs*protocol.HeaderSize)
-	iov := make(net.Buffers, 0, 2*wireBatchMsgs)
-	leases := make([]*bufpool.Buf, 0, wireBatchMsgs)
-	var flat *bufpool.Buf
-	if !vectored {
-		flat = bufpool.Get(wireBatchBytes)
-		defer flat.Release()
+// flush drains the response queue into adaptive vectored flushes. Runs
+// only on the owning core's flusher goroutine: it swaps the queue out
+// under the lock, releases any blocked senders, then assembles batches of
+// up to wireBatchMsgs/wireBatchBytes and writes each with one writev
+// (net.Buffers on a *net.TCPConn) or one flat Write (test seams and
+// fault-wrapped conns) — one syscall and zero allocations per batch at
+// steady state. A write or deadline error tears the connection down
+// fully — closed, deregistered, its tenants unregistered and their
+// unspent tokens returned to the scheduler — instead of lingering
+// half-dead.
+func (sc *srvConn) flush() {
+	sc.outMu.Lock()
+	sc.outQ, sc.flushQ = sc.flushQ[:0], sc.outQ
+	sc.queued = false
+	down := sc.downB
+	sc.outMu.Unlock()
+	sc.outCond.Broadcast()
+	msgs := sc.flushQ
+	if len(msgs) == 0 {
+		return
+	}
+	if down {
+		for i := range msgs {
+			bufpool.ReleaseIf(msgs[i].lease)
+			msgs[i] = outMsg{}
+		}
+		return
 	}
 	m := sc.srv.m
-
-	for {
-		var first outMsg
-		select {
-		case <-sc.down:
-			sc.discardOut()
-			return
-		case first = <-sc.outCh:
-		}
-		batch := 0
-		bytes := 0
-		hdrs = hdrs[:0]
-		iov = iov[:0]
-		leases = leases[:0]
-		msg := first
-		for {
+	i := 0
+	for i < len(msgs) {
+		hdrs := sc.hdrs[:0]
+		iov := sc.iov[:0]
+		leases := sc.leases[:0]
+		batch, bytes := 0, 0
+		for i < len(msgs) && batch < wireBatchMsgs && bytes < wireBatchBytes {
+			msg := &msgs[i]
 			off := len(hdrs)
 			hdrs = append(hdrs, hdrSpace[:]...)
 			msg.hdr.MarshalTo(hdrs[off:])
@@ -176,33 +235,31 @@ func (sc *srvConn) writeLoop() {
 			if msg.lease != nil {
 				leases = append(leases, msg.lease)
 			}
-			batch++
 			bytes += protocol.HeaderSize + len(msg.payload)
-			if batch >= wireBatchMsgs || bytes >= wireBatchBytes {
-				break
-			}
-			more := false
-			select {
-			case msg = <-sc.outCh:
-				more = true
-			default:
-			}
-			if !more {
-				break
-			}
+			batch++
+			i++
 		}
-
-		err := sc.flushBatch(iov, flat, bytes, vectored)
+		err := sc.flushBatch(iov, bytes)
 		for _, l := range leases {
 			l.Release()
 		}
 		m.flushes.Inc()
 		m.flushBatch.Record(int64(batch))
+		sc.core.flushes.Add(1)
+		sc.core.flushMsgs.Add(int64(batch))
 		if err != nil {
+			for ; i < len(msgs); i++ {
+				bufpool.ReleaseIf(msgs[i].lease)
+			}
+			for j := range msgs {
+				msgs[j] = outMsg{}
+			}
 			sc.teardown(false)
-			sc.discardOut()
 			return
 		}
+	}
+	for j := range msgs {
+		msgs[j] = outMsg{} // drop payload/lease refs; the buffer is reused
 	}
 }
 
@@ -213,13 +270,13 @@ var hdrSpace [protocol.HeaderSize]byte
 // single flat Write otherwise. The write deadline is armed first; a
 // SetWriteDeadline failure is surfaced like a write failure (it means the
 // socket is already dead) instead of being ignored.
-func (sc *srvConn) flushBatch(iov net.Buffers, flat *bufpool.Buf, size int, vectored bool) error {
+func (sc *srvConn) flushBatch(iov net.Buffers, size int) error {
 	if wt := sc.srv.cfg.WriteTimeout; wt > 0 {
 		if err := sc.c.SetWriteDeadline(time.Now().Add(wt)); err != nil {
 			return err
 		}
 	}
-	if vectored {
+	if sc.vectored {
 		v := iov
 		_, err := v.WriteTo(sc.c.(*net.TCPConn))
 		return err
@@ -227,45 +284,52 @@ func (sc *srvConn) flushBatch(iov net.Buffers, flat *bufpool.Buf, size int, vect
 	// Flat path: coalesce into one pooled buffer and a single Write. The
 	// pooled buffer grows past its class only for oversize single
 	// messages (> wireBatchBytes), which are off the steady-state path.
+	flat := bufpool.Get(wireBatchBytes)
 	buf := flat.Bytes()[:0]
 	for _, b := range iov {
 		buf = append(buf, b...)
 	}
 	_, err := sc.c.Write(buf)
+	flat.Release()
 	return err
-}
-
-// discardOut drains and drops queued responses after teardown, releasing
-// their leases. A message enqueued concurrently with the final drain can
-// slip through; its lease is then simply garbage-collected (one pool miss
-// later, never a use-after-free).
-func (sc *srvConn) discardOut() {
-	for {
-		select {
-		case m := <-sc.outCh:
-			bufpool.ReleaseIf(m.lease)
-		default:
-			return
-		}
-	}
 }
 
 // teardown closes the connection, removes it from the server's conn set
 // and unregisters every tenant registered over it (dropping held
 // sequencer work and returning unspent token reservations to the
-// scheduler). Idempotent: send-side flush failures and the read loop's
-// exit may both arrive here.
+// scheduler). Queued responses are dropped with their leases released,
+// and blocked senders are woken to observe the down flag. Idempotent:
+// flusher-side write failures and the read loop's exit may both arrive
+// here.
 func (sc *srvConn) teardown(reaped bool) {
 	sc.downOnce.Do(func() {
-		close(sc.down)
+		sc.outMu.Lock()
+		sc.downB = true
+		drop := sc.outQ
+		sc.outQ = nil
+		sc.outMu.Unlock()
+		sc.outCond.Broadcast()
+		for i := range drop {
+			bufpool.ReleaseIf(drop[i].lease)
+			drop[i] = outMsg{}
+		}
 		sc.c.Close()
 		sc.detachReplica()
-		sc.srv.mu.Lock()
-		delete(sc.srv.conns, sc)
-		sc.srv.mu.Unlock()
+		s := sc.srv
+		s.connMu.Lock()
+		delete(s.conns, sc)
+		s.connMu.Unlock()
+		s.connCount.Add(-1)
+		sc.core.nconns.Add(-1)
+		// Wake the core flusher: its shutdown drain parks until every
+		// connection on the core is gone, and this may be the last one.
+		select {
+		case sc.core.flushKick <- struct{}{}:
+		default:
+		}
 		if reaped {
-			sc.srv.m.reaped.Inc()
-			sc.srv.m.journal.Record(obs.EvReap, sc.srv.cfg.NodeName, -1,
+			s.m.reaped.Inc()
+			s.m.journal.Record(obs.EvReap, s.cfg.NodeName, -1,
 				"idle connection reaped")
 		}
 		sc.omu.Lock()
@@ -275,12 +339,11 @@ func (sc *srvConn) teardown(reaped bool) {
 		}
 		sc.owned = nil
 		sc.omu.Unlock()
-		// Unregister off this goroutine: teardown can run on a scheduler
-		// thread (flush failure inside a response callback), and
-		// unregistration round-trips through that same thread's command
-		// channel. The work funnels through the server's single reaper
-		// goroutine instead of spawning one goroutine per torn-down
-		// connection.
+		// Unregister off this goroutine: teardown can run on a core's
+		// flusher (flush failure), and unregistration round-trips through
+		// that core's command channel. The work funnels through the
+		// server's single reaper goroutine instead of spawning one
+		// goroutine per torn-down connection.
 		sc.srv.queueUnregister(owned)
 	})
 }
@@ -395,7 +458,15 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		if err := reg.Unmarshal(m.Payload); err != nil {
 			resp.Status = protocol.StatusBadRequest
 		} else {
-			resp.Handle, resp.Status = s.registerTenant(reg)
+			// Core-affine registration: a tenant registered over a TCP
+			// connection is pinned to that connection's core, so its
+			// requests never cross a core boundary. Coreless transports
+			// (UDP) fall back to least-loaded placement.
+			pin := -1
+			if sc, ok := rsp.(*srvConn); ok {
+				pin = sc.core.id
+			}
+			resp.Handle, resp.Status = s.registerTenant(reg, pin)
 			if resp.Status == protocol.StatusOK {
 				s.m.registered.Inc()
 				if sc, ok := rsp.(*srvConn); ok {
@@ -480,7 +551,7 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		ctx := &reqCtx{conn: rsp, ten: ten, hdr: hdr, payload: m.Payload}
 		if op == core.OpWrite && lease != nil {
 			// The payload outlives dispatch (device write + replication
-			// forward run on the scheduler thread later): take a
+			// forward run on the core goroutine later): take a
 			// reference the completion path releases.
 			lease.Retain()
 			ctx.lease = lease
@@ -534,10 +605,10 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 			reject(rsp, &hdr, protocol.StatusNoTenant)
 			return
 		}
-		// Tenant scheduler state is owned by its thread; read it there.
-		th := s.threads[ten.thread]
+		// Tenant scheduler state is owned by its core; read it there.
+		pc := s.cores[ten.coreID]
 		done := make(chan protocol.TenantStats, 1)
-		th.do(func() {
+		pc.do(func() {
 			st := ten.t.Stats()
 			done <- protocol.TenantStats{
 				Enqueued:        st.Enqueued,

@@ -53,9 +53,7 @@ func TestIdleReapGoroutineRegression(t *testing.T) {
 		conns = append(conns, c)
 	}
 	waitFor(t, time.Second, "connections accepted", func() bool {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
-		return len(srv.conns) >= 8
+		return srv.connCount.Load() >= 8
 	})
 
 	// All silent connections (including the client's) are reaped.
@@ -63,9 +61,7 @@ func TestIdleReapGoroutineRegression(t *testing.T) {
 		return srv.m.reaped.Value() >= 8
 	})
 	waitFor(t, 5*time.Second, "conn set drained", func() bool {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
-		return len(srv.conns) == 0
+		return srv.connCount.Load() == 0
 	})
 	// The reaped connection's tenant is unregistered with it.
 	waitFor(t, 5*time.Second, "tenant unregistered on reap", func() bool {
@@ -107,7 +103,7 @@ func TestFlushFailureTearsDownConn(t *testing.T) {
 	fc := &flushFailConn{closed: make(chan struct{})}
 	sc := newSrvConn(srv, fc)
 
-	h, st := srv.registerTenant(beWritable())
+	h, st := srv.registerTenant(beWritable(), sc.core.id)
 	if st != protocol.StatusOK {
 		t.Fatalf("register: %v", st)
 	}
@@ -126,8 +122,8 @@ func TestFlushFailureTearsDownConn(t *testing.T) {
 		}
 	})
 	waitFor(t, 5*time.Second, "conn removed from server set", func() bool {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
+		srv.connMu.Lock()
+		defer srv.connMu.Unlock()
 		_, stillThere := srv.conns[sc]
 		return !stillThere
 	})
@@ -348,9 +344,7 @@ func TestShedBestEffortNeverLC(t *testing.T) {
 	}
 	defer extra.Close()
 	waitFor(t, time.Second, "second connection accepted", func() bool {
-		srv.mu.Lock()
-		defer srv.mu.Unlock()
-		return len(srv.conns) >= 2
+		return srv.connCount.Load() >= 2
 	})
 
 	if _, err := cl.Read(be, 0, 512); !errors.Is(err, client.ErrOverloaded) {

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"runtime"
+	"sync"
 	"testing"
 
 	"github.com/reflex-go/reflex/internal/client"
@@ -103,4 +105,89 @@ func BenchmarkHotPathUDP(b *testing.B) {
 	}
 	b.Cleanup(func() { cl.Close() })
 	benchEcho(b, cl, 4096, 16)
+}
+
+// BenchmarkHotPathTCPMulticore runs one pipelined connection per core on
+// a server with a core per available CPU: the shared-nothing scaling
+// number (aggregate msg/s across all cores). cmd/reflex-bench -hotpath
+// sweeps the same shape over the GOMAXPROCS ladder for BENCH_hotpath.json.
+func BenchmarkHotPathTCPMulticore(b *testing.B) {
+	n := runtime.GOMAXPROCS(0)
+	if n > 8 {
+		n = 8
+	}
+	srv := benchServer(b, func(c *Config) { c.Cores = n })
+	clients := make([]*client.Client, n)
+	handles := make([]uint16, n)
+	data := make([]byte, 4096)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	for i := 0; i < n; i++ {
+		cl, err := client.Dial(srv.Addr())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Cleanup(func() { cl.Close() })
+		h, err := cl.Register(beWritable())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cl.Write(h, 0, data); err != nil {
+			b.Fatal(err)
+		}
+		clients[i] = cl
+		handles[i] = h
+	}
+	const window = 128
+	per := b.N / n
+	if per == 0 {
+		per = 1
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cl, h := clients[i], handles[i]
+			calls := make([]*client.Call, 0, window)
+			for j := 0; j < per; j++ {
+				if len(calls) == window {
+					c := calls[0]
+					calls = calls[:copy(calls, calls[1:])]
+					<-c.Done
+					if c.Err != nil {
+						errs[i] = c.Err
+						return
+					}
+				}
+				c, err := cl.GoRead(h, 0, 4096)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				calls = append(calls, c)
+			}
+			for _, c := range calls {
+				<-c.Done
+				if c.Err != nil {
+					errs[i] = c.Err
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	b.StopTimer()
+	for _, err := range errs {
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(per*n)/b.Elapsed().Seconds(), "msg/s")
+	b.ReportMetric(float64(n), "cores")
 }

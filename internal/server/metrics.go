@@ -198,11 +198,10 @@ func (m *metrics) ensureTenantBurn(s *Server, id int) {
 }
 
 // tenantSLO returns the tenant's p95 latency SLO in nanoseconds (0 for
-// best-effort, unknown or unregistered tenants).
+// best-effort, unknown or unregistered tenants). Lock-free: one atomic
+// registry lookup.
 func (s *Server) tenantSLO(id int) int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.tenants[uint16(id)]
+	st, ok := s.tenants.lookup(uint16(id))
 	if !ok || st.t.Class != core.LatencyCritical {
 		return 0
 	}
@@ -296,20 +295,26 @@ func newMetrics(s *Server) *metrics {
 		})
 
 	reg.GaugeFunc("srv_tenants", "live tenants", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(len(s.tenants))
+		return float64(s.tenants.live.Load())
 	})
 	reg.GaugeFunc("srv_conns", "live TCP connections", func() float64 {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		return float64(len(s.conns))
+		return float64(s.connCount.Load())
 	})
-	for _, th := range s.threads {
-		th := th
-		reg.GaugeFunc("srv_thread_queue_depth", "requests waiting in the thread's channel",
-			func() float64 { return float64(len(th.reqCh)) },
-			obs.L("thread", strconv.Itoa(th.id)))
+	for _, pc := range s.cores {
+		pc := pc
+		lbl := obs.L("core", strconv.Itoa(pc.id))
+		reg.GaugeFunc("srv_core_queue_depth", "requests waiting in the core's request ring",
+			func() float64 { return float64(len(pc.ring)) }, lbl)
+		reg.GaugeFunc("srv_core_conns", "connections pinned to the core",
+			func() float64 { return float64(pc.nconns.Load()) }, lbl)
+		reg.GaugeFunc("srv_core_tenants", "tenants pinned to the core",
+			func() float64 { return float64(pc.ntenants.Load()) }, lbl)
+		reg.GaugeFunc("srv_core_token_debt", "aggregate token debt published by the core (mt)",
+			func() float64 { return float64(pc.debt.Load()) }, lbl)
+		reg.CounterFunc("srv_core_flushes_total", "wire flushes issued by the core's flusher",
+			func() float64 { return float64(pc.flushes.Load()) }, lbl)
+		reg.CounterFunc("srv_core_flush_msgs_total", "responses flushed by the core's flusher",
+			func() float64 { return float64(pc.flushMsgs.Load()) }, lbl)
 	}
 	for _, d := range s.devices {
 		lbl := obs.L("device", strconv.Itoa(d.idx))
@@ -349,10 +354,10 @@ func (s *Server) StartSampler(period time.Duration) (*obs.Series, func()) {
 	series.AddColumn("requests_total", func() float64 {
 		return s.m.reads.Value() + s.m.writes.Value()
 	})
-	for _, th := range s.threads {
-		th := th
-		series.AddColumn("q"+strconv.Itoa(th.id),
-			func() float64 { return float64(len(th.reqCh)) })
+	for _, pc := range s.cores {
+		pc := pc
+		series.AddColumn("q"+strconv.Itoa(pc.id),
+			func() float64 { return float64(len(pc.ring)) })
 	}
 	for _, d := range s.devices {
 		d := d

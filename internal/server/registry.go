@@ -1,0 +1,94 @@
+package server
+
+import "sync/atomic"
+
+// tenantTable is the server's atomics-only tenant registry: a
+// handle-indexed slot table whose hot-path operation — lookup on every
+// I/O — is a single atomic load. Registration claims a free slot with a
+// CAS probe and unregistration swaps the slot back to nil, so the request
+// path never takes a lock to resolve a handle (the old map + server
+// mutex pairing was the last shared lock on the per-core request path).
+//
+// Handle 0 is reserved as invalid on the wire, so slot 0 is never
+// claimed. The table is 2^16 pointers (512 KiB) — the price of O(1)
+// lockless lookup over the full handle space.
+type tenantTable struct {
+	slots [handleSpace]atomic.Pointer[stenant]
+	live  atomic.Int64
+	// next is the allocation cursor. Claims probe forward from it, so
+	// sequential registrations get sequential handles and a wrapped
+	// cursor colliding with a long-lived tenant probes past it instead of
+	// refusing (the handle-wrap starvation fix: a server with tenant
+	// churn must only report exhaustion when all 65535 handles are truly
+	// live).
+	next atomic.Uint32
+}
+
+const handleSpace = 1 << 16
+
+// reservedSlot marks a handle claimed by an in-flight registration:
+// the slot is taken (claims probe past it) but the tenant is not yet
+// visible (lookups miss) until publish stores the real entry.
+var reservedSlot = &stenant{}
+
+// lookup resolves a handle with one atomic load. Safe from any goroutine.
+func (tt *tenantTable) lookup(h uint16) (*stenant, bool) {
+	if h == 0 {
+		return nil, false
+	}
+	st := tt.slots[h].Load()
+	if st == nil || st == reservedSlot {
+		return nil, false
+	}
+	return st, true
+}
+
+// claim reserves a free handle, probing forward from the allocation
+// cursor through the entire handle space (bounded full scan: 65536
+// cursor increments visit every handle exactly once, skipping the
+// reserved handle 0). Returns false only when every live handle is
+// taken — true 65K-tenant exhaustion, not a wrap collision.
+func (tt *tenantTable) claim() (uint16, bool) {
+	for i := 0; i < handleSpace; i++ {
+		h := uint16(tt.next.Add(1))
+		if h == 0 {
+			continue // 0 is reserved as invalid on the wire
+		}
+		if tt.slots[h].CompareAndSwap(nil, reservedSlot) {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+// publish makes a claimed handle's tenant visible to lookups.
+func (tt *tenantTable) publish(h uint16, st *stenant) {
+	tt.slots[h].Store(st)
+	tt.live.Add(1)
+}
+
+// unclaim releases a claimed-but-never-published handle (registration
+// failed after the claim).
+func (tt *tenantTable) unclaim(h uint16) {
+	tt.slots[h].Store(nil)
+}
+
+// remove atomically takes a live tenant out of the table, returning it,
+// or nil when the handle is not live. The CAS makes concurrent
+// unregistrations race-free: exactly one caller wins the removal and
+// performs the teardown accounting.
+func (tt *tenantTable) remove(h uint16) *stenant {
+	if h == 0 {
+		return nil
+	}
+	for {
+		st := tt.slots[h].Load()
+		if st == nil || st == reservedSlot {
+			return nil
+		}
+		if tt.slots[h].CompareAndSwap(st, nil) {
+			tt.live.Add(-1)
+			return st
+		}
+	}
+}

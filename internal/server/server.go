@@ -2,16 +2,19 @@
 // production-path counterpart of the simulated dataplane. It speaks the
 // internal/protocol wire format, enforces per-tenant ACLs (§4.1 "Security
 // model"), supports ordering barriers, and runs the same QoS scheduler as
-// the simulator (internal/core) on a set of scheduler threads, one tenant
-// per thread (§4.1). A server may front several devices; each device gets
-// an independent scheduler instance with its own token accounting
-// (§3.2.2).
+// the simulator (internal/core) on a set of shared-nothing per-core event
+// loops, one tenant per core (§4.1). A server may front several devices;
+// each device gets an independent scheduler instance with its own token
+// accounting (§3.2.2).
 //
-// Go's runtime cannot dedicate spinning cores with exclusive NIC/NVMe
-// queues the way the paper's IX dataplane does, so this server is the
-// faithful *functional* implementation — protocol, tenants, ACLs, token
-// accounting, rate limiting — while the performance experiments run on the
-// simulated dataplane (see DESIGN.md §1).
+// Dataplane structure (DESIGN.md §15): connections are pinned to a core
+// at accept time and tenants registered over a connection land on its
+// core, so a request's whole lifecycle — decode, QoS scheduling, device
+// I/O, response flush — runs against one core's private state. The only
+// cross-core structures on the request path are atomics: the global token
+// bucket (core.SharedState), the handle-indexed tenant registry, the live
+// connection counter, and the per-core debt gauges feeding the shed
+// signal. No mutex is shared between cores per request.
 package server
 
 import (
@@ -65,8 +68,21 @@ type Config struct {
 	Addr string
 	// UDPAddr optionally enables the datagram endpoint on this address.
 	UDPAddr string
-	// Threads is the number of scheduler threads (1..64).
+	// Cores is the number of shared-nothing per-core event loops (1..64).
+	// Each core owns a request ring, one scheduler per device, and the
+	// batched response flusher for the connections pinned to it.
+	Cores int
+	// Threads is the deprecated alias of Cores (pre-§15 naming); it is
+	// used when Cores is zero.
 	Threads int
+	// RingSize is the per-core request ring capacity (default 4096). The
+	// default shed high watermark derives from it, so resizing the ring
+	// moves the backpressure-to-refusal crossover with it.
+	RingSize int
+	// BusyPoll spins each core's scheduler and flusher loops for this
+	// long before parking, trading CPU for wakeup latency like the
+	// paper's polling dataplane cores. 0 disables (park immediately).
+	BusyPoll time.Duration
 	// SchedInterval bounds the time between scheduling rounds.
 	SchedInterval time.Duration
 	// ReadLatency/WriteLatency optionally delay the device operation to
@@ -87,7 +103,7 @@ type Config struct {
 	// forever. 0 selects the 2-minute default; negative disables reaping.
 	IdleTimeout time.Duration
 	// WriteTimeout bounds each response write; a peer that stops reading
-	// tears the connection down instead of wedging a scheduler callback.
+	// tears the connection down instead of wedging a core's flusher.
 	// 0 selects the 10-second default; negative disables the deadline.
 	WriteTimeout time.Duration
 
@@ -101,8 +117,8 @@ type Config struct {
 	// aggregate token debt or connection count crosses its limit, new
 	// best-effort I/O is refused with StatusOverloaded. Latency-critical
 	// tenants are never shed. Zero-valued fields pick defaults (queue
-	// high watermark at 3/4 of the thread queue); set ShedDisabled to
-	// turn shedding off entirely.
+	// high watermark at 3/4 of the per-core ring capacity); set
+	// ShedDisabled to turn shedding off entirely.
 	Shed         ctrl.ShedConfig
 	ShedDisabled bool
 
@@ -130,12 +146,22 @@ const (
 	DefaultWriteTimeout = 10 * time.Second
 )
 
+// DefaultRingSize is the per-core request ring capacity when
+// Config.RingSize is zero.
+const DefaultRingSize = 4096
+
 func (c *Config) fill() error {
-	if c.Threads <= 0 {
-		c.Threads = 1
+	if c.Cores <= 0 {
+		c.Cores = c.Threads
 	}
-	if c.Threads > 64 {
-		return fmt.Errorf("server: at most 64 threads")
+	if c.Cores <= 0 {
+		c.Cores = 1
+	}
+	if c.Cores > 64 {
+		return fmt.Errorf("server: at most 64 cores")
+	}
+	if c.RingSize <= 0 {
+		c.RingSize = DefaultRingSize
 	}
 	if c.SchedInterval <= 0 {
 		c.SchedInterval = 200 * time.Microsecond
@@ -147,15 +173,14 @@ func (c *Config) fill() error {
 		c.WriteTimeout = DefaultWriteTimeout
 	}
 	if c.Shed.QueueHigh == 0 {
-		c.Shed.QueueHigh = 3 * reqChCapacity / 4
+		// The shed high watermark sits at 3/4 of the actual per-core ring
+		// capacity (not a fixed constant) so backpressure turns into
+		// explicit refusal before readers block — and keeps doing so when
+		// the ring is resized.
+		c.Shed.QueueHigh = 3 * c.RingSize / 4
 	}
 	return nil
 }
-
-// reqChCapacity is the per-thread request channel capacity; the default
-// shed high watermark sits at 3/4 of it so backpressure turns into
-// explicit refusal before readers block.
-const reqChCapacity = 4096
 
 // sdevice is one device's runtime state.
 type sdevice struct {
@@ -163,7 +188,8 @@ type sdevice struct {
 	backend storage.Backend
 	cfg     DeviceConfig
 	shared  *core.SharedState
-	// lcReserved is guarded by Server.mu.
+	// lcReserved is guarded by Server.regMu (registration slow path only;
+	// never touched per request).
 	lcReserved core.Tokens
 	lastWrite  atomic.Int64
 }
@@ -174,7 +200,7 @@ type Server struct {
 	devices []*sdevice
 	ln      net.Listener
 	udp     *net.UDPConn
-	threads []*sthread
+	cores   []*pcore
 	start   time.Time
 	// m is the unified telemetry layer (internal/obs): wall-clock metrics
 	// registry plus the per-request span trace ring.
@@ -202,15 +228,25 @@ type Server struct {
 	// OpShardMap). Immutable once stored; installs swap the pointer.
 	shardMap atomic.Value
 
-	mu         sync.Mutex
-	tenants    map[uint16]*stenant
-	nextHandle uint16
-	conns      map[*srvConn]struct{}
+	// tenants is the atomics-only tenant registry: lookup on the request
+	// path is one atomic load (see registry.go).
+	tenants *tenantTable
+	// regMu serializes registration admission (per-device lcReserved
+	// accounting). Registration and unregistration only — the I/O path
+	// never takes it.
+	regMu sync.Mutex
+
+	// connMu guards the connection set used by accept, teardown and
+	// Close. The request path reads only connCount (the shed signal's
+	// connection indicator), never the map.
+	connMu    sync.Mutex
+	conns     map[*srvConn]struct{}
+	connCount atomic.Int64
 
 	// Tenant-unregistration reaper: connection teardown funnels its owned
 	// handles through one server-lifetime goroutine instead of spawning a
 	// goroutine per torn-down connection. The queue is an unbounded slice
-	// (teardown must never block a scheduler thread) with a cap-1 kick
+	// (teardown must never block a core's flusher) with a cap-1 kick
 	// channel.
 	unregMu   sync.Mutex
 	unregPend []uint16
@@ -222,11 +258,11 @@ type Server struct {
 }
 
 // stenant couples a scheduler tenant with its wire registration (the ACL),
-// device binding, and barrier sequencer state.
+// core binding, and barrier sequencer state.
 type stenant struct {
 	t      *core.Tenant
 	reg    protocol.Registration
-	thread int
+	coreID int
 	device int
 	rate   core.Tokens
 
@@ -238,8 +274,8 @@ type stenant struct {
 	dead bool
 }
 
-// enqueued is a request handed from a connection reader to its scheduler
-// thread.
+// enqueued is a request handed from a connection reader to its core's
+// request ring.
 type enqueued struct {
 	ten *stenant
 	req *core.Request
@@ -283,7 +319,7 @@ func New(cfg Config, backend storage.Backend) (*Server, error) {
 
 // NewMulti starts a server fronting several devices. Registration selects
 // a device by index; each device runs an independent scheduler instance
-// with its own token rate (§3.2.2).
+// per core with its own token rate (§3.2.2).
 func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 	if err := cfg.fill(); err != nil {
 		return nil, err
@@ -304,7 +340,7 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		cfg:       cfg,
 		ln:        ln,
 		start:     time.Now(),
-		tenants:   make(map[uint16]*stenant),
+		tenants:   &tenantTable{},
 		conns:     make(map[*srvConn]struct{}),
 		unregKick: make(chan struct{}, 1),
 		done:      make(chan struct{}),
@@ -319,25 +355,26 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 			idx:     i,
 			backend: dc.Backend,
 			cfg:     dc,
-			shared:  core.NewSharedState(cfg.Threads, dc.TokenRate),
+			shared:  core.NewSharedState(cfg.Cores, dc.TokenRate),
 		})
 	}
-	for i := 0; i < cfg.Threads; i++ {
-		th := &sthread{
-			id:    i,
-			srv:   s,
-			reqCh: make(chan enqueued, reqChCapacity),
-			cmdCh: make(chan func(), 64),
+	for i := 0; i < cfg.Cores; i++ {
+		pc := &pcore{
+			id:        i,
+			srv:       s,
+			ring:      make(chan enqueued, cfg.RingSize),
+			cmdCh:     make(chan func(), 64),
+			flushKick: make(chan struct{}, 1),
 		}
 		for _, d := range s.devices {
 			d := d
 			sched := core.NewScheduler(d.cfg.Model, i, d.shared)
 			sched.ReadOnlyProbe = func() bool { return s.readOnlyProbe(d) }
-			th.scheds = append(th.scheds, sched)
+			pc.scheds = append(pc.scheds, sched)
 		}
-		s.threads = append(s.threads, th)
+		s.cores = append(s.cores, pc)
 	}
-	// Telemetry wires gauge functions over threads and devices, so it is
+	// Telemetry wires gauge functions over cores and devices, so it is
 	// built after both exist and before any goroutine can serve a request.
 	s.m = newMetrics(s)
 	// The primary-side replicator is always present (a standalone server's
@@ -362,9 +399,10 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		OnAck:      func() { s.m.migrAcked.Inc() },
 		ChunkBytes: 128 << 10,
 	})
-	for _, th := range s.threads {
-		s.wg.Add(1)
-		go th.loop()
+	for _, pc := range s.cores {
+		s.wg.Add(2)
+		go pc.loop()
+		go pc.flushLoop()
 	}
 	s.wg.Add(1)
 	go s.reaperLoop()
@@ -402,6 +440,9 @@ func (s *Server) UDPAddr() string {
 // Devices returns the number of devices this server fronts.
 func (s *Server) Devices() int { return len(s.devices) }
 
+// Cores returns the number of per-core event loops.
+func (s *Server) Cores() int { return len(s.cores) }
+
 // Shared exposes a device's scheduler shared state (tests and stats).
 func (s *Server) Shared(device int) *core.SharedState {
 	return s.devices[device].shared
@@ -419,7 +460,7 @@ func (s *Server) readOnlyProbe(d *sdevice) bool {
 }
 
 // Close shuts the server down: stops accepting, closes connections, stops
-// scheduler threads, and waits for all goroutines.
+// the core loops, and waits for all goroutines.
 func (s *Server) Close() error {
 	s.closeOnce.Do(func() {
 		close(s.done)
@@ -427,11 +468,11 @@ func (s *Server) Close() error {
 		if s.udp != nil {
 			s.udp.Close()
 		}
-		s.mu.Lock()
+		s.connMu.Lock()
 		for c := range s.conns {
 			c.c.Close()
 		}
-		s.mu.Unlock()
+		s.connMu.Unlock()
 	})
 	s.wg.Wait()
 	return nil
@@ -462,8 +503,8 @@ func (s *Server) acceptLoop() {
 }
 
 // queueUnregister hands a torn-down connection's owned tenant handles to
-// the reaper goroutine. Never blocks (teardown may run on a scheduler
-// thread).
+// the reaper goroutine. Never blocks (teardown may run on a core's
+// flusher).
 func (s *Server) queueUnregister(handles []uint16) {
 	if len(handles) == 0 {
 		return
@@ -480,8 +521,8 @@ func (s *Server) queueUnregister(handles []uint16) {
 // reaperLoop is the single server-lifetime goroutine that unregisters
 // tenants owned by torn-down connections (replacing the old
 // goroutine-per-teardown pattern). Unregistration round-trips through
-// scheduler-thread command channels, which select on server shutdown, so
-// the reaper can never wedge past Close.
+// per-core command channels, which select on server shutdown, so the
+// reaper can never wedge past Close.
 func (s *Server) reaperLoop() {
 	defer s.wg.Done()
 	for {
@@ -510,25 +551,44 @@ func (s *Server) reaperLoop() {
 // shedNow reports whether a best-effort request for ten should be refused
 // right now. Latency-critical tenants are never shed: their SLO was
 // admitted against reserved capacity. The overload indicators are the
-// tenant thread's queue backlog, the aggregate scheduler token debt
-// (published by the threads after each round), and the live connection
-// count.
+// tenant core's ring backlog, the aggregate scheduler token debt
+// (published by the cores after each round), and the live connection
+// count — all read through atomics; the shed decision takes no lock.
 func (s *Server) shedNow(ten *stenant) bool {
 	if s.shed == nil || ten.t.Class != core.BestEffort {
 		return false
 	}
 	var debt core.Tokens
-	for _, th := range s.threads {
-		debt += core.Tokens(th.debt.Load())
+	for _, pc := range s.cores {
+		debt += core.Tokens(pc.debt.Load())
 	}
-	s.mu.Lock()
-	conns := len(s.conns)
-	s.mu.Unlock()
-	return s.shed.Observe(len(s.threads[ten.thread].reqCh), conns, debt)
+	conns := int(s.connCount.Load())
+	return s.shed.Observe(len(s.cores[ten.coreID].ring), conns, debt)
 }
 
-// registerTenant performs admission control and registration.
-func (s *Server) registerTenant(reg protocol.Registration) (uint16, protocol.Status) {
+// pinCore resolves a registration's core: a pinned index (the accepting
+// connection's core) when valid, else the core with the fewest tenants.
+// Pinning a tenant to its connection's core is what keeps a tenant's
+// whole request path on one core — the connection reader, the scheduler
+// that admits its I/O, and the flusher that writes its responses never
+// cross a core boundary.
+func (s *Server) pinCore(pin int) *pcore {
+	if pin >= 0 && pin < len(s.cores) {
+		return s.cores[pin]
+	}
+	best := s.cores[0]
+	for _, pc := range s.cores[1:] {
+		if pc.ntenants.Load() < best.ntenants.Load() {
+			best = pc
+		}
+	}
+	return best
+}
+
+// registerTenant performs admission control and registration. pin is the
+// accepting connection's core (or -1 for coreless transports, which fall
+// back to least-loaded placement).
+func (s *Server) registerTenant(reg protocol.Registration, pin int) (uint16, protocol.Status) {
 	if int(reg.Device) >= len(s.devices) {
 		return 0, protocol.StatusBadRequest
 	}
@@ -544,20 +604,8 @@ func (s *Server) registerTenant(reg protocol.Registration) (uint16, protocol.Sta
 		class = core.BestEffort
 		slo = core.SLO{}
 	}
-
-	s.mu.Lock()
-	defer s.mu.Unlock()
-
-	var rate core.Tokens
-	if class == core.LatencyCritical {
-		if slo.Validate() != nil {
-			return 0, protocol.StatusBadRequest
-		}
-		rate = dev.cfg.Model.RateForSLO(slo.IOPS, slo.ReadPercent)
-		if dev.lcReserved+rate > dev.cfg.TokenRate {
-			// Table 1: "Registered tenant, or out of resources error".
-			return 0, protocol.StatusNoCapacity
-		}
+	if class == core.LatencyCritical && slo.Validate() != nil {
+		return 0, protocol.StatusBadRequest
 	}
 	if reg.LBACount != 0 {
 		end := int64(reg.FirstLBA) + int64(reg.LBACount)
@@ -566,63 +614,70 @@ func (s *Server) registerTenant(reg protocol.Registration) (uint16, protocol.Sta
 		}
 	}
 
-	s.nextHandle++
-	if s.nextHandle == 0 { // wrapped; 0 is reserved as invalid
-		s.nextHandle = 1
+	// Admission: reserve the LC rate under the registration mutex — the
+	// only lock in registration, never taken on the I/O path.
+	var rate core.Tokens
+	if class == core.LatencyCritical {
+		rate = dev.cfg.Model.RateForSLO(slo.IOPS, slo.ReadPercent)
+		s.regMu.Lock()
+		if dev.lcReserved+rate > dev.cfg.TokenRate {
+			s.regMu.Unlock()
+			// Table 1: "Registered tenant, or out of resources error".
+			return 0, protocol.StatusNoCapacity
+		}
+		dev.lcReserved += rate
+		s.regMu.Unlock()
 	}
-	h := s.nextHandle
-	if _, taken := s.tenants[h]; taken {
-		return 0, protocol.StatusNoCapacity // 65K live tenants exhausted
+
+	h, ok := s.tenants.claim()
+	if !ok {
+		s.returnReserved(dev, rate)
+		return 0, protocol.StatusNoCapacity // all 65535 handles live
 	}
 	t, err := core.NewTenant(int(h), fmt.Sprintf("tenant-%d", h), class, slo)
 	if err != nil {
+		s.tenants.unclaim(h)
+		s.returnReserved(dev, rate)
 		return 0, protocol.StatusBadRequest
 	}
 
-	// Place on the thread with the fewest tenants.
-	best := 0
-	counts := make([]int, len(s.threads))
-	for _, st := range s.tenants {
-		counts[st.thread]++
-	}
-	for i, n := range counts {
-		if n < counts[best] {
-			best = i
-		}
-	}
-	st := &stenant{t: t, reg: reg, thread: best, device: int(reg.Device), rate: rate}
-	s.tenants[h] = st
-	dev.lcReserved += rate
-	s.threads[best].do(func() { s.threads[best].scheds[st.device].Register(t) })
+	pc := s.pinCore(pin)
+	st := &stenant{t: t, reg: reg, coreID: pc.id, device: int(reg.Device), rate: rate}
+	s.tenants.publish(h, st)
+	pc.ntenants.Add(1)
+	pc.do(func() { pc.scheds[st.device].Register(t) })
 	return h, protocol.StatusOK
 }
 
-func (s *Server) unregisterTenant(h uint16) protocol.Status {
-	s.mu.Lock()
-	st, ok := s.tenants[h]
-	if ok {
-		delete(s.tenants, h)
-		s.devices[st.device].lcReserved -= st.rate
+// returnReserved undoes a registration's LC rate reservation.
+func (s *Server) returnReserved(dev *sdevice, rate core.Tokens) {
+	if rate == 0 {
+		return
 	}
-	s.mu.Unlock()
-	if !ok {
+	s.regMu.Lock()
+	dev.lcReserved -= rate
+	s.regMu.Unlock()
+}
+
+func (s *Server) unregisterTenant(h uint16) protocol.Status {
+	st := s.tenants.remove(h)
+	if st == nil {
 		return protocol.StatusNoTenant
 	}
+	s.returnReserved(s.devices[st.device], st.rate)
 	// Drop the sequencer's held work so no barrier waiter outlives the
 	// tenant, then return the tenant's unspent token reservation to the
 	// scheduler (Unregister releases the LC rate / BE share).
 	st.kill()
-	th := s.threads[st.thread]
-	th.do(func() { th.scheds[st.device].Unregister(st.t) })
+	pc := s.cores[st.coreID]
+	pc.ntenants.Add(-1)
+	pc.do(func() { pc.scheds[st.device].Unregister(st.t) })
 	return protocol.StatusOK
 }
 
-// lookup returns the tenant for a handle.
+// lookup returns the tenant for a handle: one atomic load, no lock.
 func (s *Server) lookup(h uint16) (*stenant, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	st, ok := s.tenants[h]
-	return st, ok
+	return s.tenants.lookup(h)
 }
 
 // checkACL validates an I/O against the tenant's namespace permissions.
