@@ -159,6 +159,7 @@ func renderTop(v *obs.ClusterView) {
 			n.ClientIOPS, n.InternalIOPS, n.RedirectsPS, n.ShedPS,
 			time.Duration(n.AckLagP95NS).Round(time.Microsecond), n.MigrPending, role)
 	}
+	renderCtrl(v.Ctrl)
 	if len(v.Shards) > 0 {
 		fmt.Printf("\n%-8s %12s %12s  %s\n", "SHARD", "READ/S", "WRITE/S", "SERVING NODES")
 		for _, sh := range v.Shards {
@@ -175,6 +176,39 @@ func renderTop(v *obs.ClusterView) {
 			}
 			fmt.Printf("%-12s %8d %10.2f%s\n", t.Node, t.Tenant, t.Burn, marker)
 		}
+	}
+}
+
+// renderCtrl prints the control-plane health table: who leads at what
+// term, how far the committed log reaches, and (from the leader's view)
+// how many committed entries each follower still lacks.
+func renderCtrl(ctrl []obs.CtrlView) {
+	if len(ctrl) == 0 {
+		return
+	}
+	fmt.Printf("\n%-12s %-10s %5s %6s %7s %5s %6s  %s\n",
+		"CTRL", "ROLE", "TERM", "COMMIT", "APPLIED", "MAP", "LEASE", "LEADER / FOLLOWER LAG")
+	for _, c := range ctrl {
+		lease := "-"
+		if c.LeaseValid {
+			lease = "held"
+		}
+		detail := c.Leader
+		if len(c.PeerLag) > 0 {
+			peers := make([]string, 0, len(c.PeerLag))
+			for p := range c.PeerLag {
+				peers = append(peers, p)
+			}
+			sort.Strings(peers)
+			parts := make([]string, 0, len(peers))
+			for _, p := range peers {
+				parts = append(parts, fmt.Sprintf("%s lag=%d", p, c.PeerLag[p]))
+			}
+			detail = strings.Join(parts, "  ")
+		}
+		fmt.Printf("%-12s %-10s %5d %6d %7d %5d %6s  %s\n",
+			c.Node, c.Role, c.Term, c.CommitIndex, c.LastIndex,
+			c.MapVersion, lease, detail)
 	}
 }
 
@@ -215,6 +249,7 @@ func cmdStats(cl *client.Client, args []string) {
 // windows.
 func cmdRing(cl *client.Client, args []string) {
 	fs := flag.NewFlagSet("ring", flag.ExitOnError)
+	clusterURL := fs.String("cluster", "", "also render control-plane health from this /cluster endpoint")
 	fs.Parse(args)
 
 	version, raw, err := cl.FetchShardMap()
@@ -271,6 +306,29 @@ func cmdRing(cl *client.Client, args []string) {
 	}
 	if !moving {
 		fmt.Println("migrating: none")
+	}
+
+	// With a /cluster endpoint, show who is driving this map: the elected
+	// coordinator, its term and commit index, and follower replication lag.
+	if *clusterURL != "" {
+		httpc := &http.Client{Timeout: 10 * time.Second}
+		resp, err := httpc.Get(*clusterURL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			log.Fatalf("%s: %s", *clusterURL, resp.Status)
+		}
+		var v obs.ClusterView
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			log.Fatal(err)
+		}
+		if len(v.Ctrl) == 0 {
+			fmt.Println("control plane: none (static coordinator)")
+			return
+		}
+		renderCtrl(v.Ctrl)
 	}
 }
 

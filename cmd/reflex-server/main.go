@@ -21,9 +21,11 @@ import (
 	"github.com/reflex-go/reflex/internal/cluster"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/ctrl"
+	"github.com/reflex-go/reflex/internal/ctrlplane"
 	"github.com/reflex-go/reflex/internal/faults"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/server"
+	"github.com/reflex-go/reflex/internal/shard"
 	"github.com/reflex-go/reflex/internal/storage"
 )
 
@@ -44,6 +46,27 @@ func parseSize(s string) (int64, error) {
 		return 0, fmt.Errorf("bad size %q: %w", s, err)
 	}
 	return n * mult, nil
+}
+
+// parseDataNodes parses "name=addr,name=addr" into the coordinator's
+// data-plane node set.
+func parseDataNodes(s string) ([]shard.Node, error) {
+	var nodes []shard.Node
+	for _, pair := range strings.Split(s, ",") {
+		pair = strings.TrimSpace(pair)
+		if pair == "" {
+			continue
+		}
+		name, addr, ok := strings.Cut(pair, "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad node entry %q (want name=addr)", pair)
+		}
+		nodes = append(nodes, shard.Node{Name: name, Addrs: []string{addr}})
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("no data nodes")
+	}
+	return nodes, nil
 }
 
 // parseFleet parses "name=url,name=url" into scrape targets.
@@ -89,6 +112,12 @@ func main() {
 	epoch := flag.Uint("epoch", 0, "initial cluster epoch (0 = standalone; replicated pairs start at 1)")
 	nodeName := flag.String("node-name", "", "cluster node name (enables shard-map enforcement and names this node's trace spans)")
 	fleet := flag.String("fleet", "", "comma-separated name=snapshot-URL pairs to aggregate at /cluster (e.g. node0=http://10.0.0.1:9090/snapshot,node1=...)")
+	coordinator := flag.String("coordinator", "", "run a control-plane replica listening on this address (elects a leader among -ctrl-peers; the leader drives the shard map)")
+	ctrlPeers := flag.String("ctrl-peers", "", "comma-separated control-plane replica set, including -coordinator (default: just this replica)")
+	ctrlNodes := flag.String("ctrl-nodes", "", "comma-separated name=addr data-plane nodes the coordinator places shards on (required with -coordinator)")
+	ctrlShards := flag.Int("ctrl-shards", 16, "shard count for the coordinator's placement map")
+	ctrlShardBlocks := flag.Int64("ctrl-shard-blocks", 4096, "blocks per shard in the placement map")
+	ctrlLease := flag.Duration("ctrl-lease", time.Second, "control-plane leader lease TTL (elections re-run within ~2x this on leader death)")
 	flag.Parse()
 
 	bytes, err := parseSize(*size)
@@ -149,6 +178,51 @@ func main() {
 		})
 		defer bk.Stop()
 		log.Printf("cluster: backup of %s (epoch %d)", *backupOf, srv.ClusterEpoch())
+	}
+	// Control-plane replica: quorum-elected coordinator with a replicated
+	// map-edit log. The leader seeds/owns the shard map for -ctrl-nodes;
+	// followers stay hot and re-drive any in-flight migration on failover.
+	if *coordinator != "" {
+		dataNodes, err := parseDataNodes(*ctrlNodes)
+		if err != nil {
+			log.Fatalf("-ctrl-nodes: %v", err)
+		}
+		peers := []string{*coordinator}
+		if *ctrlPeers != "" {
+			peers = peers[:0]
+			for _, p := range strings.Split(*ctrlPeers, ",") {
+				if p = strings.TrimSpace(p); p != "" {
+					peers = append(peers, p)
+				}
+			}
+		}
+		rep, err := ctrlplane.NewReplica(ctrlplane.ReplicaConfig{
+			Ctrl: ctrlplane.Config{
+				Self:     *coordinator,
+				Peers:    peers,
+				LeaseTTL: *ctrlLease,
+				Journal:  srv.EventJournal(),
+				Reg:      srv.Metrics(),
+				Logf:     log.Printf,
+			},
+			Coord: shard.CoordinatorConfig{
+				Nodes:       dataNodes,
+				NumShards:   *ctrlShards,
+				ShardBlocks: uint32(*ctrlShardBlocks),
+				AutoHeal:    true,
+				Journal:     srv.EventJournal(),
+				Logf:        log.Printf,
+			},
+		})
+		if err != nil {
+			log.Fatalf("control plane: %v", err)
+		}
+		if err := rep.Start(); err != nil {
+			log.Fatalf("control plane: %v", err)
+		}
+		defer rep.Stop()
+		log.Printf("control plane: replica %s of %v (lease %v, %d shards over %d nodes)",
+			*coordinator, peers, *ctrlLease, *ctrlShards, len(dataNodes))
 	}
 	if inj != nil {
 		log.Printf("chaos mode: fault injection armed (seed %d)", *chaosSeed)

@@ -1,0 +1,255 @@
+package ctrlplane
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/shard"
+)
+
+// ReplicaConfig binds one control-plane replica to the shard
+// coordinator it will run while leading.
+type ReplicaConfig struct {
+	// Ctrl configures the consensus replica (OnLead/OnDepose are owned by
+	// the Replica and must be left nil).
+	Ctrl Config
+	// Coord is the coordinator template: the data-plane node set, shard
+	// geometry and detector tuning. Commit is owned by the Replica (the
+	// quorum-log hook) and must be left nil. Reg should also be left nil:
+	// a fresh coordinator is built per leadership term, and gauges
+	// registered by a deposed incarnation would shadow its successor's —
+	// the ctrl_* gauges carry the control-plane view instead.
+	Coord shard.CoordinatorConfig
+	// AntiEntropyEvery paces the leader's Reconcile pass over installed
+	// maps (default 2s, 0 = default, negative = off).
+	AntiEntropyEvery time.Duration
+	// MoveTimeout bounds a resumed MoveShard's catch-up phase
+	// (default 60s).
+	MoveTimeout time.Duration
+}
+
+// Replica is one member of the replicated control plane: a consensus
+// Node plus, while this replica holds the lease, a live
+// shard.Coordinator whose every edit commits through the quorum log
+// before it swaps in. Followers run no coordinator — they hold the
+// committed state and stand by to take over.
+//
+// Leadership hand-off is the whole point: on OnLead the replica builds
+// a FRESH coordinator, seeds it from the committed state (Adopt), and
+// — when the log says a MoveShard was in flight — resumes or rolls the
+// move back before anything else happens. On OnDepose the coordinator
+// is stopped and discarded; its blocked commits fail with ErrNotLeader
+// and it can never mint another map version.
+type Replica struct {
+	cfg  ReplicaConfig
+	node *Node
+
+	mu     sync.Mutex
+	coord  *shard.Coordinator
+	aeStop chan struct{}
+}
+
+// NewReplica builds the replica (not yet started).
+func NewReplica(cfg ReplicaConfig) (*Replica, error) {
+	if cfg.Ctrl.OnLead != nil || cfg.Ctrl.OnDepose != nil {
+		return nil, fmt.Errorf("ctrlplane: Ctrl.OnLead/OnDepose are owned by the Replica")
+	}
+	if cfg.Coord.Commit != nil {
+		return nil, fmt.Errorf("ctrlplane: Coord.Commit is owned by the Replica")
+	}
+	if cfg.AntiEntropyEvery == 0 {
+		cfg.AntiEntropyEvery = 2 * time.Second
+	}
+	if cfg.MoveTimeout <= 0 {
+		cfg.MoveTimeout = 60 * time.Second
+	}
+	// The coordinator journal and the consensus journal are one stream:
+	// elections, commits, installs and move phases interleave in order.
+	if cfg.Coord.Journal == nil {
+		cfg.Coord.Journal = cfg.Ctrl.Journal
+	}
+	cfg.Coord.Reg = nil
+	r := &Replica{cfg: cfg}
+	r.cfg.Ctrl.OnLead = r.lead
+	r.cfg.Ctrl.OnDepose = r.depose
+	n, err := NewNode(r.cfg.Ctrl)
+	if err != nil {
+		return nil, err
+	}
+	r.node = n
+	return r, nil
+}
+
+// Start launches the consensus replica.
+func (r *Replica) Start() error { return r.node.Start() }
+
+// Stop tears the replica down; if it was leading, the coordinator is
+// deposed first (OnDepose runs before Stop returns).
+func (r *Replica) Stop() { r.node.Stop() }
+
+// Node exposes the consensus replica (status, metrics).
+func (r *Replica) Node() *Node { return r.node }
+
+// Coordinator returns the live coordinator while this replica leads
+// (nil on followers).
+func (r *Replica) Coordinator() *shard.Coordinator {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.coord
+}
+
+// MoveShard drives a live migration through the leading coordinator.
+// ErrNotLeader when this replica does not hold the lease.
+func (r *Replica) MoveShard(shardIdx int, destName string, timeout time.Duration) error {
+	c := r.Coordinator()
+	if c == nil {
+		return ErrNotLeader
+	}
+	return c.MoveShard(shardIdx, destName, timeout)
+}
+
+// lead activates the coordinator for one leadership term. It runs on
+// the node's notifier goroutine — strictly after the predecessor's
+// depose — once the lease is held and the term-opening entry committed,
+// so the committed state it reads is complete.
+func (r *Replica) lead(term uint64) {
+	st := r.node.StateSnapshot()
+	ccfg := r.cfg.Coord
+	ccfg.Commit = func(rec shard.EditRecord) error {
+		e, err := entryFromRecord(rec)
+		if err != nil {
+			return err
+		}
+		_, err = r.node.ProposeAt(term, e)
+		return err
+	}
+	coord, err := shard.NewCoordinator(ccfg)
+	if err != nil {
+		r.logf("ctrlplane: %s: coordinator build failed at term %d: %v",
+			r.cfg.Ctrl.Self, term, err)
+		return
+	}
+
+	if len(st.MapRaw) > 0 {
+		m, err := shard.Unmarshal(st.MapRaw)
+		if err != nil {
+			r.logf("ctrlplane: %s: committed map unreadable at term %d: %v",
+				r.cfg.Ctrl.Self, term, err)
+			coord.Stop()
+			return
+		}
+		coord.Adopt(m)
+	} else {
+		// First leader ever: commit the seed placement so followers start
+		// from the same version-1 map.
+		rec := shard.EditRecord{Kind: shard.EditSeed, Shard: -1,
+			Map: coord.Map(), Detail: "initial placement"}
+		e, _ := entryFromRecord(rec)
+		if _, err := r.node.ProposeAt(term, e); err != nil {
+			r.logf("ctrlplane: %s: seed commit failed at term %d: %v",
+				r.cfg.Ctrl.Self, term, err)
+			coord.Stop()
+			return
+		}
+	}
+
+	aeStop := make(chan struct{})
+	r.mu.Lock()
+	r.coord = coord
+	r.aeStop = aeStop
+	r.mu.Unlock()
+
+	// Converge the data plane on the committed map, then watch it.
+	if err := coord.InstallAll(); err != nil {
+		r.logf("ctrlplane: %s: install on activation: %v", r.cfg.Ctrl.Self, err)
+	}
+	coord.StartMembership()
+	if r.cfg.AntiEntropyEvery > 0 {
+		go r.antiEntropy(coord, aeStop)
+	}
+
+	// The log says a move was mid-flight when the last leader died:
+	// finish it or roll it back before anyone else edits the map. Runs
+	// off the notifier goroutine — depose must stay deliverable.
+	if st.Move != nil {
+		mv := *st.Move
+		go func() {
+			err := coord.ResumeMove(int(mv.Shard), mv.Dest, shard.MovePhase(mv.Phase), r.cfg.MoveTimeout)
+			if err != nil && !errors.Is(err, ErrNotLeader) {
+				r.logf("ctrlplane: %s: resume of shard %d move: %v",
+					r.cfg.Ctrl.Self, mv.Shard, err)
+			}
+		}()
+	}
+}
+
+// depose stops and discards the term's coordinator. Runs on the
+// notifier goroutine, before any successor's lead.
+func (r *Replica) depose() {
+	r.mu.Lock()
+	coord, aeStop := r.coord, r.aeStop
+	r.coord, r.aeStop = nil, nil
+	r.mu.Unlock()
+	if aeStop != nil {
+		close(aeStop)
+	}
+	if coord != nil {
+		// Stop aborts an in-flight move deterministically; its blocked
+		// commit (if any) was already woken with ErrNotLeader by the role
+		// change, so this cannot deadlock.
+		coord.Stop()
+	}
+}
+
+// antiEntropy periodically reconciles every live node's installed map
+// against the committed one — the repair path for installs a deposed
+// leader pushed stale or a partitioned node missed.
+func (r *Replica) antiEntropy(coord *shard.Coordinator, stop chan struct{}) {
+	t := time.NewTicker(r.cfg.AntiEntropyEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			coord.Reconcile()
+		}
+	}
+}
+
+func (r *Replica) logf(format string, args ...any) {
+	if r.cfg.Ctrl.Logf != nil {
+		r.cfg.Ctrl.Logf(format, args...)
+	}
+}
+
+// entryFromRecord maps a coordinator edit record onto its replicated
+// log entry (the shard.EditKind -> EntryKind correspondence).
+func entryFromRecord(rec shard.EditRecord) (Entry, error) {
+	var k EntryKind
+	switch rec.Kind {
+	case shard.EditSeed:
+		k = EntrySeed
+	case shard.EditState:
+		k = EntryState
+	case shard.EditReassign:
+		k = EntryReassign
+	case shard.EditMovePrepare:
+		k = EntryMovePrepare
+	case shard.EditMoveCutover:
+		k = EntryMoveCutover
+	case shard.EditMoveRollback:
+		k = EntryMoveRollback
+	case shard.EditMoveDone:
+		k = EntryMoveDone
+	default:
+		return Entry{}, fmt.Errorf("ctrlplane: unknown edit kind %d", rec.Kind)
+	}
+	e := Entry{Kind: k, Shard: int32(rec.Shard), Src: rec.Src, Dest: rec.Dest, Detail: rec.Detail}
+	if rec.Map != nil {
+		e.Map = rec.Map.Marshal()
+	}
+	return e, nil
+}

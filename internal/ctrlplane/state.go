@@ -1,0 +1,127 @@
+package ctrlplane
+
+import "encoding/binary"
+
+// MoveState is the replicated record of an in-flight MoveShard: enough
+// for a follower that wins the lease to resume or roll back the move.
+type MoveState struct {
+	Shard     int32
+	Src, Dest string
+	// Phase is how far the move's commits got: MovePhasePrepare (window
+	// committed) or MovePhaseCutover (destination authoritative).
+	Phase uint8
+}
+
+// Move phases (mirrors shard.MovePhase values).
+const (
+	MovePhasePrepare uint8 = 1
+	MovePhaseCutover uint8 = 2
+)
+
+// State is the replicated state machine: the latest committed shard
+// map, the in-flight move (nil when none) and the replica set. It is
+// deliberately tiny — snapshots ship it whole in one frame.
+type State struct {
+	// MapRaw is the latest committed shard map, marshaled (shard.Map
+	// wire format; its first 4 bytes are the version). Nil before the
+	// first seed commit.
+	MapRaw []byte
+	// Move is the in-flight MoveShard record (nil when none).
+	Move *MoveState
+	// Peers is the committed replica set (autopilot edits it).
+	Peers []string
+}
+
+// NewState builds the genesis state over the configured peer set.
+func NewState(peers []string) *State {
+	return &State{Peers: append([]string(nil), peers...)}
+}
+
+// Clone deep-copies the state (compaction snapshots).
+func (s *State) Clone() *State {
+	c := &State{
+		MapRaw: append([]byte(nil), s.MapRaw...),
+		Peers:  append([]string(nil), s.Peers...),
+	}
+	if s.Move != nil {
+		mv := *s.Move
+		c.Move = &mv
+	}
+	return c
+}
+
+// MapVersion returns the committed map's version (0 when none). The
+// shard map wire format leads with its u32 version, so no full
+// unmarshal is needed.
+func (s *State) MapVersion() uint32 {
+	if len(s.MapRaw) < 4 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(s.MapRaw)
+}
+
+// Apply advances the state machine by one committed entry. Map adoption
+// is iff-newer — the same fencing rule the data-plane servers enforce —
+// so replaying a log with interleaved stale entries (possible across
+// leader changes) converges to the newest committed map.
+func (s *State) Apply(e *Entry) {
+	if len(e.Map) >= 4 {
+		if v := binary.BigEndian.Uint32(e.Map); v > s.MapVersion() {
+			s.MapRaw = append([]byte(nil), e.Map...)
+		}
+	}
+	switch e.Kind {
+	case EntryMovePrepare:
+		s.Move = &MoveState{Shard: e.Shard, Src: e.Src, Dest: e.Dest, Phase: MovePhasePrepare}
+	case EntryMoveCutover:
+		s.Move = &MoveState{Shard: e.Shard, Src: e.Src, Dest: e.Dest, Phase: MovePhaseCutover}
+	case EntryMoveDone, EntryMoveRollback:
+		s.Move = nil
+	case EntryConfig:
+		if e.Src == "remove" {
+			peers := s.Peers[:0:0]
+			for _, p := range s.Peers {
+				if p != e.Dest {
+					peers = append(peers, p)
+				}
+			}
+			s.Peers = peers
+		}
+	}
+}
+
+// marshalState packs the state for an OpCtrlSnapshot frame.
+func marshalState(s *State) []byte {
+	b := appendBytes(nil, s.MapRaw)
+	if s.Move != nil {
+		b = appendU8(b, 1)
+		b = appendU32(b, uint32(s.Move.Shard))
+		b = appendU8(b, s.Move.Phase)
+		b = appendStr(b, s.Move.Src)
+		b = appendStr(b, s.Move.Dest)
+	} else {
+		b = appendU8(b, 0)
+	}
+	b = appendU16(b, uint16(len(s.Peers)))
+	for _, p := range s.Peers {
+		b = appendStr(b, p)
+	}
+	return b
+}
+
+// parseState unpacks an OpCtrlSnapshot frame's state.
+func parseState(p []byte) (*State, error) {
+	r := wireReader{b: p}
+	s := &State{MapRaw: r.bytes()}
+	if r.u8() != 0 {
+		s.Move = &MoveState{Shard: int32(r.u32()), Phase: r.u8(), Src: r.str(), Dest: r.str()}
+	}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		s.Peers = append(s.Peers, r.str())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return s, nil
+}

@@ -1,0 +1,323 @@
+// Package ctrlplane replicates the shard coordinator's state machine —
+// the authoritative shard map, membership verdicts and MoveShard phases
+// — across a small set of replicas (3/5) so the control plane survives
+// its leader (DESIGN.md §16). The design is Raft-lite, scoped to what
+// the coordinator needs:
+//
+//   - A compact replicated log whose entries are exactly the
+//     coordinator's edit() products (shard.EditRecord): map versions,
+//     membership verdicts, move phases. The elected leader routes every
+//     edit through Propose before swap()/installOn() — a deposed leader's
+//     commits fail, so it can never mint a map version (the data-plane
+//     servers' adopt-iff-newer install check is the second fence).
+//   - A leader lease: the leader may act only while a quorum answered
+//     its heartbeat round within LeaseTTL; followers refuse votes while
+//     they recently heard a leader. Control-plane unavailability after a
+//     leader kill is bounded by LeaseTTL + one election round.
+//   - Snapshot install for late joiners: state is tiny (one map + the
+//     in-flight move record + the peer set), so compaction snapshots at
+//     the commit index and a lagging replica gets the whole state in one
+//     OpCtrlSnapshot frame — the single-shot analogue of the data
+//     plane's OpJoin catch-up stream.
+//   - Autopilot: the leader removes a replica that has not answered for
+//     CleanupAfter via a committed config entry, one at a time.
+//
+// Replicas speak one-shot protocol exchanges (OpCtrlVote, OpCtrlAppend,
+// OpCtrlSnapshot) over short-lived TCP connections, the same idiom the
+// shard coordinator uses for installs and probes: control traffic is
+// rare and the simplicity beats connection pooling. State is in-memory;
+// a restarted replica rejoins empty and catches up by snapshot (the
+// deployment assumption, as with the data plane's pairs, is that a
+// majority does not restart simultaneously — see DESIGN.md §16's
+// failure matrix).
+package ctrlplane
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// wire encoding helpers: big-endian, length-prefixed strings/bytes —
+// the same shapes as the shard map's wire format.
+
+func appendU8(b []byte, v uint8) []byte  { return append(b, v) }
+func appendU16(b []byte, v uint16) []byte {
+	return binary.BigEndian.AppendUint16(b, v)
+}
+func appendU32(b []byte, v uint32) []byte {
+	return binary.BigEndian.AppendUint32(b, v)
+}
+func appendU64(b []byte, v uint64) []byte {
+	return binary.BigEndian.AppendUint64(b, v)
+}
+func appendStr(b []byte, s string) []byte {
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+// wireReader is a tiny cursor with sticky error handling (the shard
+// map's Unmarshal idiom).
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.b) {
+		r.err = fmt.Errorf("ctrlplane: truncated payload (%d of %d)", r.off+n, len(r.b))
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *wireReader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(p)
+}
+
+func (r *wireReader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+func (r *wireReader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+func (r *wireReader) str() string {
+	n := int(r.u16())
+	p := r.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+func (r *wireReader) bytes() []byte {
+	n := int(r.u32())
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	return append([]byte(nil), p...)
+}
+
+// dialFunc dials one replica address (test seam; nil = net.DialTimeout).
+type dialFunc func(addr string) (net.Conn, error)
+
+// ctrlRequest performs one request/response exchange on a fresh
+// connection, bounded by timeout end to end — the control plane's only
+// client-side transport.
+func ctrlRequest(dial dialFunc, addr string, timeout time.Duration, op protocol.Opcode, payload []byte) ([]byte, error) {
+	var c net.Conn
+	var err error
+	if dial != nil {
+		c, err = dial(addr)
+	} else {
+		c, err = net.DialTimeout("tcp", addr, timeout)
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(timeout))
+	hdr := protocol.Header{Opcode: op}
+	frame, err := protocol.AppendMessage(nil, &hdr, payload)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := c.Write(frame); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(c, 64<<10)
+	var m protocol.Message
+	if err := protocol.ReadMessageInto(br, &m, nil); err != nil {
+		return nil, err
+	}
+	if m.Header.Opcode != op || !m.Header.IsResponse() {
+		return nil, fmt.Errorf("ctrlplane: unexpected %s response to %s from %s",
+			m.Header.Opcode, op, addr)
+	}
+	if m.Header.Status != protocol.StatusOK {
+		return nil, fmt.Errorf("ctrlplane: %s at %s refused: %s", op, addr, m.Header.Status)
+	}
+	return append([]byte(nil), m.Payload...), nil
+}
+
+// voteReq/voteResp are the OpCtrlVote payloads.
+type voteReq struct {
+	Term      uint64
+	Candidate string
+	LastIndex uint64
+	LastTerm  uint64
+}
+
+type voteResp struct {
+	Term    uint64
+	Granted bool
+}
+
+func (v *voteReq) marshal() []byte {
+	b := appendU64(nil, v.Term)
+	b = appendStr(b, v.Candidate)
+	b = appendU64(b, v.LastIndex)
+	return appendU64(b, v.LastTerm)
+}
+
+func parseVoteReq(p []byte) (*voteReq, error) {
+	r := wireReader{b: p}
+	v := &voteReq{Term: r.u64(), Candidate: r.str(), LastIndex: r.u64(), LastTerm: r.u64()}
+	return v, r.err
+}
+
+func (v *voteResp) marshal() []byte {
+	b := appendU64(nil, v.Term)
+	g := uint8(0)
+	if v.Granted {
+		g = 1
+	}
+	return appendU8(b, g)
+}
+
+func parseVoteResp(p []byte) (*voteResp, error) {
+	r := wireReader{b: p}
+	v := &voteResp{Term: r.u64(), Granted: r.u8() != 0}
+	return v, r.err
+}
+
+// appendReq/appendResp are the OpCtrlAppend payloads: heartbeat, lease
+// renewal and log shipment in one frame.
+type appendReq struct {
+	Term      uint64
+	Leader    string
+	PrevIndex uint64
+	PrevTerm  uint64
+	Commit    uint64
+	Entries   []Entry
+}
+
+type appendResp struct {
+	Term uint64
+	OK   bool
+	// Match is the highest index known replicated on success; on a log
+	// mismatch it is the follower's lastIndex+1 hint for faster backoff.
+	Match uint64
+}
+
+func (a *appendReq) marshal() []byte {
+	b := appendU64(nil, a.Term)
+	b = appendStr(b, a.Leader)
+	b = appendU64(b, a.PrevIndex)
+	b = appendU64(b, a.PrevTerm)
+	b = appendU64(b, a.Commit)
+	b = appendU16(b, uint16(len(a.Entries)))
+	for i := range a.Entries {
+		b = a.Entries[i].marshal(b)
+	}
+	return b
+}
+
+func parseAppendReq(p []byte) (*appendReq, error) {
+	r := wireReader{b: p}
+	a := &appendReq{Term: r.u64(), Leader: r.str(), PrevIndex: r.u64(),
+		PrevTerm: r.u64(), Commit: r.u64()}
+	n := int(r.u16())
+	for i := 0; i < n && r.err == nil; i++ {
+		a.Entries = append(a.Entries, parseEntry(&r))
+	}
+	return a, r.err
+}
+
+func (a *appendResp) marshal() []byte {
+	b := appendU64(nil, a.Term)
+	ok := uint8(0)
+	if a.OK {
+		ok = 1
+	}
+	b = appendU8(b, ok)
+	return appendU64(b, a.Match)
+}
+
+func parseAppendResp(p []byte) (*appendResp, error) {
+	r := wireReader{b: p}
+	a := &appendResp{Term: r.u64(), OK: r.u8() != 0, Match: r.u64()}
+	return a, r.err
+}
+
+// snapReq/snapResp are the OpCtrlSnapshot payloads: the whole state at
+// the leader's compaction base in one frame.
+type snapReq struct {
+	Term      uint64
+	Leader    string
+	SnapIndex uint64
+	SnapTerm  uint64
+	State     []byte // marshaled State
+}
+
+type snapResp struct {
+	Term uint64
+	OK   bool
+}
+
+func (s *snapReq) marshal() []byte {
+	b := appendU64(nil, s.Term)
+	b = appendStr(b, s.Leader)
+	b = appendU64(b, s.SnapIndex)
+	b = appendU64(b, s.SnapTerm)
+	return appendBytes(b, s.State)
+}
+
+func parseSnapReq(p []byte) (*snapReq, error) {
+	r := wireReader{b: p}
+	s := &snapReq{Term: r.u64(), Leader: r.str(), SnapIndex: r.u64(),
+		SnapTerm: r.u64(), State: r.bytes()}
+	return s, r.err
+}
+
+func (s *snapResp) marshal() []byte {
+	b := appendU64(nil, s.Term)
+	ok := uint8(0)
+	if s.OK {
+		ok = 1
+	}
+	return appendU8(b, ok)
+}
+
+func parseSnapResp(p []byte) (*snapResp, error) {
+	r := wireReader{b: p}
+	s := &snapResp{Term: r.u64(), OK: r.u8() != 0}
+	return s, r.err
+}

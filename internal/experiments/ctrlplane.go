@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"net"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/ctrlplane"
+)
+
+// ExtCtrlplane measures control-plane unavailability across leader kills.
+// Like ext-failover it runs wall-clock against the real stack: three
+// ctrlplane replicas over loopback TCP, the current leader killed per
+// trial, and the outage — kill to a successor holding a valid lease —
+// tabulated against the design bound of one lease TTL (vote stickiness
+// while the dead leader's lease drains) plus one election round (the
+// randomized timeout is in [TTL, 2·TTL), plus a vote RPC exchange).
+//
+// Each trial also restarts the killed replica on its old address; since
+// control-plane state is in-memory, the rejoin exercises the catch-up
+// path (append backfill or whole-state snapshot) and the rejoin_ms
+// column bounds how long a restarted replica lags the quorum.
+func ExtCtrlplane(scale Scale) *Table {
+	const leaseTTL = 150 * time.Millisecond
+	// Bound: lease drain + max randomized election timeout + a vote round.
+	bound := leaseTTL + 2*leaseTTL + leaseTTL/2
+
+	t := &Table{
+		ID:    "ext-ctrlplane",
+		Title: "Replicated control plane: leader-kill outage vs lease+election bound",
+		Columns: []string{
+			"trial", "outage_ms", "bound_ms", "within_bound",
+			"succ_term", "commit_idx", "rejoin_ms",
+		},
+		Notes: "outage = kill -> successor lease; bound = lease TTL + one election round; " +
+			"killed replica restarts empty and catches up from the successor's log",
+	}
+	trials := int(3 * float64(scale))
+	if trials < 1 {
+		trials = 1
+	}
+
+	lns := make([]net.Listener, 3)
+	addrs := make([]string, 3)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Notes = "listen failed: " + err.Error()
+			return t
+		}
+		addrs[i] = ln.Addr().String()
+		lns[i] = ln
+	}
+	live := make(map[string]*ctrlplane.Node, 3)
+	start := func(self string, ln net.Listener) error {
+		nd, err := ctrlplane.NewNode(ctrlplane.Config{
+			Self:     self,
+			Peers:    addrs,
+			LeaseTTL: leaseTTL,
+			Listener: ln,
+		})
+		if err != nil {
+			return err
+		}
+		if err := nd.Start(); err != nil {
+			return err
+		}
+		live[self] = nd
+		return nil
+	}
+	for i := range addrs {
+		if err := start(addrs[i], lns[i]); err != nil {
+			t.Notes = "start failed: " + err.Error()
+			return t
+		}
+	}
+	defer func() {
+		for _, nd := range live {
+			nd.Stop()
+		}
+	}()
+
+	// waitLease returns the address of a replica holding a valid lease,
+	// excluding `not` (the just-killed leader), or "" on timeout.
+	waitLease := func(not string, timeout time.Duration) string {
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			for addr, nd := range live {
+				if addr == not {
+					continue
+				}
+				if st := nd.Status(); st.Role == ctrlplane.Leader && st.LeaseValid {
+					return addr
+				}
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		return ""
+	}
+
+	version := uint32(0)
+	for trial := 0; trial < trials; trial++ {
+		leader := waitLease("", 10*time.Second)
+		if leader == "" {
+			t.Add(trial, "-", ms(bound), false, 0, 0, "no leader elected")
+			return t
+		}
+		// Prove the commit pipeline live before the kill: a state entry
+		// must replicate to a quorum and apply.
+		version++
+		raw := make([]byte, 4)
+		binary.BigEndian.PutUint32(raw, version)
+		if _, err := live[leader].Propose(ctrlplane.Entry{
+			Kind:   ctrlplane.EntryState,
+			Map:    raw,
+			Detail: "trial seed",
+		}); err != nil {
+			// A lease flapped between waitLease and Propose; retry the trial.
+			trial--
+			continue
+		}
+
+		killedAt := time.Now()
+		live[leader].Stop()
+		delete(live, leader)
+		succ := waitLease(leader, 10*time.Second)
+		outage := time.Since(killedAt)
+		if succ == "" {
+			t.Add(trial, ms(outage), ms(bound), false, 0, 0, "no successor")
+			return t
+		}
+		st := live[succ].Status()
+
+		// Restart the killed replica on its old address (the listener may
+		// linger briefly after Stop).
+		var ln net.Listener
+		for i := 0; i < 200; i++ {
+			var err error
+			if ln, err = net.Listen("tcp", leader); err == nil {
+				break
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		rejoin := time.Duration(0)
+		if ln == nil {
+			t.Add(trial, ms(outage), ms(bound), outage <= bound,
+				st.Term, st.CommitIndex, "rebind failed")
+			continue
+		}
+		if err := start(leader, ln); err != nil {
+			ln.Close()
+			t.Add(trial, ms(outage), ms(bound), outage <= bound,
+				st.Term, st.CommitIndex, "restart failed")
+			continue
+		}
+		back := time.Now()
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if live[leader].Status().MapVersion >= version {
+				rejoin = time.Since(back)
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+		t.Add(trial, ms(outage), ms(bound), outage <= bound,
+			st.Term, st.CommitIndex, ms(rejoin))
+	}
+	return t
+}
+
+// ms formats a duration as fractional milliseconds.
+func ms(d time.Duration) string {
+	return time.Duration(d.Round(100 * time.Microsecond)).String()
+}

@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExtCtrlplaneShape runs the wall-clock control-plane experiment at a
+// single trial and asserts the acceptance bound: the outage from killing
+// the leader to a successor holding a valid lease stays within one lease
+// TTL plus one election round, and the restarted replica catches back up.
+func TestExtCtrlplaneShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock experiment is not short")
+	}
+	tbl := ExtCtrlplane(0.34) // one trial
+	if len(tbl.Rows) == 0 {
+		t.Fatalf("no rows (notes: %s)", tbl.Notes)
+	}
+	parseDur := func(s string) time.Duration {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			t.Fatalf("bad duration cell %q: %v", s, err)
+		}
+		return d
+	}
+	for i, row := range tbl.Rows {
+		cells := map[string]string{}
+		for c, col := range tbl.Columns {
+			cells[col] = row[c]
+		}
+		if cells["within_bound"] != "true" {
+			t.Fatalf("trial %d outage %s exceeded bound %s (row %v)",
+				i, cells["outage_ms"], cells["bound_ms"], row)
+		}
+		outage, bound := parseDur(cells["outage_ms"]), parseDur(cells["bound_ms"])
+		if outage <= 0 || outage > bound {
+			t.Fatalf("trial %d outage %v vs bound %v inconsistent with within_bound",
+				i, outage, bound)
+		}
+		if strings.Contains(cells["rejoin_ms"], "failed") {
+			t.Fatalf("trial %d rejoin: %s", i, cells["rejoin_ms"])
+		}
+		if rejoin := parseDur(cells["rejoin_ms"]); rejoin <= 0 {
+			t.Fatalf("trial %d restarted replica never caught up", i)
+		}
+	}
+}

@@ -36,6 +36,7 @@ func Registry() map[string]Runner {
 		"ext-faults":      ExtFaults,
 		"ext-failover":    ExtFailover,
 		"ext-sharding":    ExtSharding,
+		"ext-ctrlplane":   ExtCtrlplane,
 
 		"ablation-batching":  AblationBatching,
 		"ablation-twostep":   AblationTwoStep,

@@ -47,6 +47,25 @@ const (
 	EvNodeState
 	// EvReassign: a dead node's shards were reassigned.
 	EvReassign
+	// EvMoveResume: a coordinator replica that won the lease picked up an
+	// in-flight MoveShard from the replicated log and is re-driving it.
+	EvMoveResume
+	// EvCtrlElect: a control-plane replica won an election at a new term.
+	EvCtrlElect
+	// EvCtrlLease: the elected leader acquired (first renewed) its quorum
+	// lease and activated the coordinator.
+	EvCtrlLease
+	// EvCtrlDepose: a leader stepped down (higher term seen or lease
+	// expired without quorum).
+	EvCtrlDepose
+	// EvCtrlCommit: a replicated control-plane log entry was applied.
+	EvCtrlCommit
+	// EvCtrlSnapshot: a replica installed a state snapshot from the
+	// leader (late-joiner catch-up past the compaction base).
+	EvCtrlSnapshot
+	// EvCtrlPeerDead: autopilot declared a control-plane peer dead and
+	// proposed its removal from the replica set.
+	EvCtrlPeerDead
 	numEventKinds
 )
 
@@ -55,6 +74,8 @@ var eventKindNames = [numEventKinds]string{
 	"move-prepare", "move-catchup", "move-cutover", "move-drain",
 	"move-done", "move-abort",
 	"shed", "reap", "checksum-error", "node-state", "reassign",
+	"move-resume", "ctrl-elect", "ctrl-lease", "ctrl-depose",
+	"ctrl-commit", "ctrl-snapshot", "ctrl-peer-dead",
 }
 
 // String names the event kind.

@@ -54,6 +54,23 @@ type NodeView struct {
 	MigrForwardPS float64 `json:"migr_forward_ps"`
 }
 
+// CtrlView is one control-plane replica's health, parsed from its
+// ctrl_* gauges. PeerLag is only populated on the leader: commit_index
+// minus the replicated match index per follower (entries the follower
+// still has to catch up).
+type CtrlView struct {
+	Node        string `json:"node"`
+	Role        string `json:"role"`
+	Term        int    `json:"term"`
+	LeaseValid  bool   `json:"lease_valid"`
+	CommitIndex int    `json:"commit_index"`
+	LastIndex   int    `json:"last_index"`
+	MapVersion  int    `json:"map_version"`
+	// Leader is the peer address this replica believes holds the lease.
+	Leader  string         `json:"leader,omitempty"`
+	PeerLag map[string]int `json:"peer_lag,omitempty"`
+}
+
 // ShardView is one shard's aggregate load across every node that served
 // it during the poll interval (source and destination both contribute
 // during a live move).
@@ -82,6 +99,7 @@ type ClusterView struct {
 	// the first poll — rates are then zero).
 	IntervalNS int64        `json:"interval_ns"`
 	Nodes      []NodeView   `json:"nodes"`
+	Ctrl       []CtrlView   `json:"ctrl,omitempty"`
 	Shards     []ShardView  `json:"shards,omitempty"`
 	Tenants    []TenantView `json:"tenants,omitempty"`
 }
@@ -208,6 +226,14 @@ func (f *Fleet) Poll() *ClusterView {
 			}
 			return d / dt
 		}
+		var cv *CtrlView
+		ctrlMatch := map[string]int{}
+		ctrl := func() *CtrlView {
+			if cv == nil {
+				cv = &CtrlView{Node: nv.Name, Role: "follower"}
+			}
+			return cv
+		}
 		for i := range r.dump.Metrics {
 			m := &r.dump.Metrics[i]
 			key := metricKey(m)
@@ -265,6 +291,32 @@ func (f *Fleet) Poll() *ClusterView {
 					sv.ReadIOPS += r
 				}
 				shardNodes[shard][nv.Name] += r
+			case "ctrl_term":
+				ctrl().Term = int(m.Value)
+			case "ctrl_role":
+				switch int(m.Value) {
+				case 2:
+					ctrl().Role = "leader"
+				case 1:
+					ctrl().Role = "candidate"
+				default:
+					ctrl().Role = "follower"
+				}
+			case "ctrl_lease_valid":
+				ctrl().LeaseValid = m.Value != 0
+			case "ctrl_commit_index":
+				ctrl().CommitIndex = int(m.Value)
+			case "ctrl_last_index":
+				ctrl().LastIndex = int(m.Value)
+			case "ctrl_map_version":
+				ctrl().MapVersion = int(m.Value)
+			case "ctrl_leader_is":
+				if m.Value != 0 {
+					ctrl().Leader = m.Labels["peer"]
+				}
+			case "ctrl_peer_match":
+				ctrl()
+				ctrlMatch[m.Labels["peer"]] = int(m.Value)
 			case "srv_tenant_slo_burn":
 				ten, err := strconv.Atoi(m.Labels["tenant"])
 				if err != nil {
@@ -274,6 +326,21 @@ func (f *Fleet) Poll() *ClusterView {
 					Node: nv.Name, Tenant: ten, Burn: m.Value,
 				})
 			}
+		}
+		if cv != nil {
+			// Per-follower lag is a leader-side view: commit index minus
+			// the follower's replicated match (followers export zeros).
+			if cv.Role == "leader" && len(ctrlMatch) > 0 {
+				cv.PeerLag = make(map[string]int, len(ctrlMatch))
+				for peer, match := range ctrlMatch {
+					lag := cv.CommitIndex - match
+					if lag < 0 {
+						lag = 0
+					}
+					cv.PeerLag[peer] = lag
+				}
+			}
+			view.Ctrl = append(view.Ctrl, *cv)
 		}
 		f.prev[r.node.Name] = cur
 		view.Nodes = append(view.Nodes, nv)
@@ -296,6 +363,7 @@ func (f *Fleet) Poll() *ClusterView {
 		sv.Nodes = names
 		view.Shards = append(view.Shards, *sv)
 	}
+	sort.Slice(view.Ctrl, func(i, j int) bool { return view.Ctrl[i].Node < view.Ctrl[j].Node })
 	sort.Slice(view.Shards, func(i, j int) bool { return view.Shards[i].Shard < view.Shards[j].Shard })
 	sort.Slice(view.Tenants, func(i, j int) bool {
 		if view.Tenants[i].Node != view.Tenants[j].Node {

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// snapshotServer serves a fixed SnapshotDump at /snapshot.
+func snapshotServer(t *testing.T, dump SnapshotDump) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(dump)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestFleetCtrlView: the fleet scraper folds ctrl_* gauges into a
+// per-replica control-plane health view, with per-follower lag computed
+// from the leader's match indices.
+func TestFleetCtrlView(t *testing.T) {
+	leader := snapshotServer(t, SnapshotDump{Metrics: []SnapshotMetric{
+		{Name: "ctrl_term", Kind: "gauge", Value: 7},
+		{Name: "ctrl_role", Kind: "gauge", Value: 2},
+		{Name: "ctrl_lease_valid", Kind: "gauge", Value: 1},
+		{Name: "ctrl_commit_index", Kind: "gauge", Value: 42},
+		{Name: "ctrl_last_index", Kind: "gauge", Value: 43},
+		{Name: "ctrl_map_version", Kind: "gauge", Value: 9},
+		{Name: "ctrl_leader_is", Kind: "gauge", Value: 1, Labels: map[string]string{"peer": "a:1"}},
+		{Name: "ctrl_peer_match", Kind: "gauge", Value: 42, Labels: map[string]string{"peer": "b:1"}},
+		{Name: "ctrl_peer_match", Kind: "gauge", Value: 40, Labels: map[string]string{"peer": "c:1"}},
+	}})
+	follower := snapshotServer(t, SnapshotDump{Metrics: []SnapshotMetric{
+		{Name: "ctrl_term", Kind: "gauge", Value: 7},
+		{Name: "ctrl_role", Kind: "gauge", Value: 0},
+		{Name: "ctrl_lease_valid", Kind: "gauge", Value: 0},
+		{Name: "ctrl_commit_index", Kind: "gauge", Value: 40},
+		{Name: "ctrl_leader_is", Kind: "gauge", Value: 1, Labels: map[string]string{"peer": "a:1"}},
+		// Followers export zero match gauges; they must not grow PeerLag.
+		{Name: "ctrl_peer_match", Kind: "gauge", Value: 0, Labels: map[string]string{"peer": "b:1"}},
+	}})
+	plain := snapshotServer(t, SnapshotDump{Metrics: []SnapshotMetric{
+		{Name: "srv_conns", Kind: "gauge", Value: 3},
+	}})
+
+	f := NewFleet([]FleetNode{
+		{Name: "n0", URL: leader.URL},
+		{Name: "n1", URL: follower.URL},
+		{Name: "n2", URL: plain.URL},
+	})
+	view := f.Poll()
+	if len(view.Ctrl) != 2 {
+		t.Fatalf("ctrl views = %d, want 2 (data-only node must not appear)", len(view.Ctrl))
+	}
+	ld := view.Ctrl[0]
+	if ld.Node != "n0" || ld.Role != "leader" || ld.Term != 7 || !ld.LeaseValid ||
+		ld.CommitIndex != 42 || ld.LastIndex != 43 || ld.MapVersion != 9 ||
+		ld.Leader != "a:1" {
+		t.Fatalf("leader view wrong: %+v", ld)
+	}
+	if ld.PeerLag["b:1"] != 0 || ld.PeerLag["c:1"] != 2 {
+		t.Fatalf("peer lag wrong: %v", ld.PeerLag)
+	}
+	fl := view.Ctrl[1]
+	if fl.Node != "n1" || fl.Role != "follower" || fl.LeaseValid ||
+		fl.CommitIndex != 40 || fl.Leader != "a:1" {
+		t.Fatalf("follower view wrong: %+v", fl)
+	}
+	if fl.PeerLag != nil {
+		t.Fatalf("follower grew a PeerLag map: %v", fl.PeerLag)
+	}
+	if len(view.Nodes) != 3 {
+		t.Fatalf("nodes = %d, want 3", len(view.Nodes))
+	}
+}

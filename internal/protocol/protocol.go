@@ -96,6 +96,18 @@ const (
 	// resulting installed version), or StatusStaleEpoch when the offered
 	// map is older than what it already has.
 	OpShardMap Opcode = 0x0B
+	// OpCtrlVote is a control-plane (internal/ctrlplane) RequestVote
+	// exchange between coordinator replicas: the payload is the vote
+	// request/response record, opaque to the data plane.
+	OpCtrlVote Opcode = 0x0C
+	// OpCtrlAppend is a control-plane AppendEntries exchange: leader
+	// heartbeat, lease renewal and replicated-log shipment in one frame.
+	OpCtrlAppend Opcode = 0x0D
+	// OpCtrlSnapshot installs a control-plane state snapshot on a replica
+	// whose log position predates the leader's compaction base (the
+	// late-joiner catch-up path, shaped like the OpJoin catch-up stream
+	// but single-shot — control-plane state is tiny).
+	OpCtrlSnapshot Opcode = 0x0E
 )
 
 // Role bits carried in an OpPing response's Count field.
@@ -134,6 +146,12 @@ func (o Opcode) String() string {
 		return "ping"
 	case OpShardMap:
 		return "shard-map"
+	case OpCtrlVote:
+		return "ctrl-vote"
+	case OpCtrlAppend:
+		return "ctrl-append"
+	case OpCtrlSnapshot:
+		return "ctrl-snapshot"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint16(o))
 	}

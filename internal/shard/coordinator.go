@@ -10,6 +10,43 @@ import (
 	"github.com/reflex-go/reflex/internal/obs"
 )
 
+// EditKind classifies a coordinator map edit for the replicated control
+// plane (internal/ctrlplane): each kind maps onto one replicated-log
+// entry kind, so a follower that wins the lease can replay the
+// coordinator's decisions from the log alone.
+type EditKind uint8
+
+const (
+	// EditSeed is the initial placement (version-1 map) committed by the
+	// first leader so followers start from the same map.
+	EditSeed EditKind = iota + 1
+	// EditState is a membership-state annotation riding on the map.
+	EditState
+	// EditReassign moved a dead node's shards to ring successors.
+	EditReassign
+	// EditMovePrepare opened a MoveShard dual-ownership window.
+	EditMovePrepare
+	// EditMoveCutover made the move destination authoritative.
+	EditMoveCutover
+	// EditMoveRollback cleared a failed move's dual-ownership window.
+	EditMoveRollback
+	// EditMoveDone marks a completed move (no map change: the cutover
+	// already carried it; this clears the in-flight move record).
+	EditMoveDone
+)
+
+// EditRecord is one edit() product offered to CoordinatorConfig.Commit
+// before the map is swapped in and installed: the replicated control
+// plane's log entry payload. Map is nil for EditMoveDone (a pure
+// state-machine transition with no new map version).
+type EditRecord struct {
+	Kind      EditKind
+	Shard     int // -1 when not shard-scoped
+	Src, Dest string
+	Map       *Map
+	Detail    string
+}
+
 // CoordinatorConfig configures the cluster control plane (the paper's
 // §4.3 global controller, DESIGN.md §13).
 type CoordinatorConfig struct {
@@ -46,6 +83,14 @@ type CoordinatorConfig struct {
 	Logf func(format string, args ...any)
 	// Dialer is the control-plane dial seam (nil: net.DialTimeout).
 	Dialer dialFunc
+	// Commit, when set, must durably commit the edit record before the
+	// coordinator swaps the result in as authoritative and installs it —
+	// the replicated control plane routes every edit through its quorum
+	// log here. An error aborts the edit: the map is unchanged and
+	// nothing installs, which is what fences a deposed leader (its
+	// commits fail, so it can never mint a map version). Nil means
+	// standalone operation: every edit commits trivially.
+	Commit func(rec EditRecord) error
 }
 
 func (c *CoordinatorConfig) fill() error {
@@ -55,8 +100,14 @@ func (c *CoordinatorConfig) fill() error {
 	if c.NumShards <= 0 || c.ShardBlocks == 0 {
 		return fmt.Errorf("shard: NumShards and ShardBlocks must be positive")
 	}
-	if c.InstallTimeout <= 0 {
+	if c.InstallTimeout < 0 {
+		return fmt.Errorf("shard: negative InstallTimeout %v", c.InstallTimeout)
+	}
+	if c.InstallTimeout == 0 {
 		c.InstallTimeout = 5 * time.Second
+	}
+	if err := c.Probe.validate(); err != nil {
+		return err
 	}
 	if len(c.Nodes) > maxNodes {
 		return fmt.Errorf("shard: %d nodes exceed the wire-format max %d", len(c.Nodes), maxNodes)
@@ -116,10 +167,18 @@ type Coordinator struct {
 	moves     atomic.Uint64
 	promoted  atomic.Uint64
 	reassigns atomic.Uint64
+	repairs   atomic.Uint64
 
 	// spanSeq mints relay span ids under the coordinator's own id-space
 	// prefix (same partitioning scheme as the servers' metrics.spanID).
 	spanSeq atomic.Uint64
+
+	// stopCh aborts an in-flight MoveShard: phase 2's catch-up wait and
+	// phase 4's drain poll both select on it, so Stop() never leaves a
+	// dual-ownership window behind (rolled back pre-cutover, completed
+	// after).
+	stopCh   chan struct{}
+	stopOnce sync.Once
 
 	memStarted bool
 }
@@ -156,7 +215,7 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.TraceRing == nil {
 		cfg.TraceRing = obs.NewRing(4096, 16)
 	}
-	c := &Coordinator{cfg: cfg}
+	c := &Coordinator{cfg: cfg, stopCh: make(chan struct{})}
 	c.cur = BuildMap(nodes, cfg.NumShards, cfg.ShardBlocks, cfg.VNodes)
 	probe := cfg.Probe
 	probe.Dialer = firstDialer(probe.Dialer, cfg.Dialer)
@@ -207,20 +266,97 @@ func (c *Coordinator) swap(nm *Map) {
 	c.mu.Unlock()
 }
 
-// edit atomically applies fn to the current map and installs the result
-// as authoritative. fn runs under editMu — its base cannot be cloned by
-// a concurrent editor — and may return nil to abort (the current map is
-// kept and nil is returned). Every map mutation in the coordinator goes
-// through here.
-func (c *Coordinator) edit(fn func(cur *Map) *Map) *Map {
+// edit atomically applies fn to the current map, commits the result
+// through the configured Commit hook, and installs it as authoritative.
+// fn runs under editMu — its base cannot be cloned by a concurrent
+// editor — and may return nil to abort (the current map is kept and nil
+// is returned). rec describes the edit for the replicated log; its Map
+// field is filled with fn's product before the commit. A failed commit
+// (deposed leader, lost quorum) also aborts: the map is unchanged,
+// nothing installs. Every map mutation in the coordinator goes through
+// here.
+func (c *Coordinator) edit(rec EditRecord, fn func(cur *Map) *Map) *Map {
 	c.editMu.Lock()
 	defer c.editMu.Unlock()
 	nm := fn(c.Map())
 	if nm == nil {
 		return nil
 	}
+	if c.cfg.Commit != nil {
+		rec.Map = nm
+		if err := c.cfg.Commit(rec); err != nil {
+			c.logf("shard: edit %d (shard %d) commit refused: %v", rec.Kind, rec.Shard, err)
+			return nil
+		}
+	}
 	c.swap(nm)
 	return nm
+}
+
+// commit offers a map-less edit record (EditMoveDone) to the Commit
+// hook. Trivially succeeds in standalone operation.
+func (c *Coordinator) commit(rec EditRecord) error {
+	if c.cfg.Commit == nil {
+		return nil
+	}
+	return c.cfg.Commit(rec)
+}
+
+// Adopt installs m as the coordinator's authoritative map iff it is
+// newer than the current one — the replicated control plane's
+// state-seeding path on leadership change. It deliberately bypasses the
+// Commit hook: the map came OUT of the quorum-committed log, so
+// re-committing it would double-append. Reports whether the map was
+// adopted.
+func (c *Coordinator) Adopt(m *Map) bool {
+	c.editMu.Lock()
+	defer c.editMu.Unlock()
+	if m == nil || m.Version <= c.Map().Version {
+		return false
+	}
+	c.swap(m)
+	return true
+}
+
+// stopped reports whether Stop has been called.
+func (c *Coordinator) stopped() bool {
+	select {
+	case <-c.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// Reconcile is the anti-entropy pass: it compares every live node's
+// installed map version against the authoritative one and re-installs
+// where stale (a node that missed an install while partitioned, or that
+// a deposed leader fed an old version, converges here). Returns how
+// many addresses were repaired.
+func (c *Coordinator) Reconcile() int {
+	m := c.Map()
+	raw := m.Marshal()
+	repaired := 0
+	for _, n := range m.Nodes {
+		if n.State == StateDead {
+			continue
+		}
+		for _, addr := range n.Addrs {
+			v, err := fetchMapVersion(c.cfg.Dialer, addr, c.cfg.InstallTimeout)
+			if err != nil || v >= m.Version {
+				continue
+			}
+			if _, err := installMap(c.cfg.Dialer, addr, c.cfg.InstallTimeout, raw); err != nil {
+				c.logf("shard: reconcile %s (%s): %v", n.Name, addr, err)
+				continue
+			}
+			repaired++
+			c.repairs.Add(1)
+			c.cfg.Journal.Record(obs.EvMapInstall, n.Name, -1,
+				"anti-entropy repaired %s: v%d -> v%d", addr, v, m.Version)
+		}
+	}
+	return repaired
 }
 
 // installOn pushes the current map to every address of the named nodes
@@ -278,14 +414,23 @@ func (c *Coordinator) StartMembership() {
 	}
 }
 
-// Stop halts the probe loop.
+// Stop halts the probe loop and deterministically resolves any
+// in-flight MoveShard: pre-cutover the move aborts and rolls back its
+// dual-ownership window; post-cutover it is already decided and Stop
+// merely waits for the drain to exit. Stop returns only once the move
+// goroutine has left moveMu — no Migrating window survives a stop.
 func (c *Coordinator) Stop() {
+	c.stopOnce.Do(func() { close(c.stopCh) })
 	c.mu.Lock()
 	started := c.memStarted
 	c.mu.Unlock()
 	if started {
 		c.mem.Stop()
 	}
+	c.moveMu.Lock()
+	//lint:ignore SA2001 acquiring moveMu is the synchronization: it
+	// blocks until the aborted move has fully unwound.
+	c.moveMu.Unlock()
 }
 
 // onTransition is the node-level failure-reaction policy, fired by the
@@ -348,7 +493,9 @@ func (c *Coordinator) tryPromote(name string) bool {
 // side's change.
 func (c *Coordinator) noteState(name string, st MemberState) {
 	c.cfg.Journal.Record(obs.EvNodeState, name, -1, "membership state -> %s", st)
-	c.edit(func(cur *Map) *Map {
+	rec := EditRecord{Kind: EditState, Shard: -1, Src: name,
+		Detail: fmt.Sprintf("membership state -> %s", st)}
+	c.edit(rec, func(cur *Map) *Map {
 		idx := cur.NodeIndex(name)
 		if idx < 0 {
 			return nil
@@ -386,7 +533,9 @@ func (c *Coordinator) reassignDead(name string) {
 		idx   = -1
 		moved int
 	)
-	nm := c.edit(func(cur *Map) *Map {
+	rec := EditRecord{Kind: EditReassign, Shard: -1, Src: name,
+		Detail: "dead-node shard reassignment"}
+	nm := c.edit(rec, func(cur *Map) *Map {
 		idx = cur.NodeIndex(name)
 		if idx < 0 {
 			return nil
@@ -453,6 +602,8 @@ func (c *Coordinator) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(c.promoted.Load()) })
 	reg.CounterFunc("shard_reassigns", "dead-node shard reassignments",
 		func() float64 { return float64(c.reassigns.Load()) })
+	reg.CounterFunc("shard_map_repairs", "stale installed maps repaired by anti-entropy",
+		func() float64 { return float64(c.repairs.Load()) })
 	for _, n := range c.cfg.Nodes {
 		name := n.Name
 		reg.GaugeFunc("shard_node_state", "membership state (0 alive, 1 suspect, 2 dead)",

@@ -134,7 +134,7 @@ func TestCoordinatorMapEditsSerialized(t *testing.T) {
 			for i := 0; i < edits; i++ {
 				switch g % 2 {
 				case 0:
-					c.edit(func(cur *Map) *Map {
+					c.edit(EditRecord{Kind: EditMovePrepare, Shard: i % 4}, func(cur *Map) *Map {
 						nm := cur.Clone()
 						nm.Migrating[i%len(nm.Migrating)] = int32(i % len(nm.Nodes))
 						return nm

@@ -22,6 +22,7 @@ type fakeNode struct {
 	installs  int
 	promotes  int
 	fences    []uint16
+	joins     int // ranged OpJoin handshakes accepted (stream never progresses)
 }
 
 func (f *fakeNode) setDown(d bool) {
@@ -80,6 +81,13 @@ func (f *fakeNode) serve(c net.Conn) {
 		case protocol.OpFence:
 			f.fences = append(f.fences, h.Epoch)
 			resp.Epoch = h.Epoch
+		case protocol.OpJoin:
+			// Accept the ranged join but never stream: the handshake response
+			// goes out and the connection parks, leaving the caller's
+			// migration sink waiting for a catch-up marker that never comes
+			// (Stop-mid-move tests).
+			f.joins++
+			resp.LBA, resp.Count = h.LBA, h.Count
 		default:
 			resp.Status = protocol.StatusBadRequest
 		}

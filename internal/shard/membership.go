@@ -1,6 +1,7 @@
 package shard
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -50,6 +51,36 @@ func (c *MembershipConfig) fill() {
 	if c.DeadAfter <= c.SuspectAfter {
 		c.DeadAfter = c.SuspectAfter + 2
 	}
+}
+
+// validate rejects explicitly-broken probe tuning before fill() papers
+// over it with defaults. Zero values keep the documented defaults;
+// negative durations/counts, and an explicit DeadAfter at or below the
+// effective SuspectAfter (which fill would silently bump, hiding a
+// config that never reaches Dead when the operator meant it to), are
+// config bugs and refuse to start.
+func (c *MembershipConfig) validate() error {
+	if c.Interval < 0 {
+		return fmt.Errorf("shard: negative probe Interval %v", c.Interval)
+	}
+	if c.Timeout < 0 {
+		return fmt.Errorf("shard: negative probe Timeout %v", c.Timeout)
+	}
+	if c.SuspectAfter < 0 {
+		return fmt.Errorf("shard: negative SuspectAfter %d", c.SuspectAfter)
+	}
+	if c.DeadAfter < 0 {
+		return fmt.Errorf("shard: negative DeadAfter %d", c.DeadAfter)
+	}
+	effSuspect := c.SuspectAfter
+	if effSuspect == 0 {
+		effSuspect = 1
+	}
+	if c.DeadAfter != 0 && c.DeadAfter <= effSuspect {
+		return fmt.Errorf("shard: DeadAfter %d must exceed SuspectAfter %d",
+			c.DeadAfter, effSuspect)
+	}
+	return nil
 }
 
 // AddrHealth is one probed address's last-known condition.

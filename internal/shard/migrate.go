@@ -67,6 +67,9 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 	}
 	c.moveMu.Lock()
 	defer c.moveMu.Unlock()
+	if c.stopped() {
+		return fmt.Errorf("shard: move %d: coordinator stopped", shardIdx)
+	}
 
 	m := c.Map()
 	if shardIdx < 0 || shardIdx >= len(m.Assign) {
@@ -84,33 +87,124 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 		return fmt.Errorf("shard: shard %d has no live owner", shardIdx)
 	}
 	srcName := m.Nodes[srcIdx].Name
-	firstLBA := uint32(shardIdx) * m.ShardBlocks
 
 	// Phase 1: dual-ownership map, destination first. The edit re-checks
 	// ownership under editMu: a dead-node reassignment racing in from the
 	// membership goroutine may have moved the shard off srcIdx already.
-	var m1 *Map
-	c.edit(func(cur *Map) *Map {
+	rec := EditRecord{Kind: EditMovePrepare, Shard: shardIdx, Src: srcName, Dest: destName,
+		Detail: "dual-ownership window opened"}
+	m1 := c.edit(rec, func(cur *Map) *Map {
 		if int(cur.Assign[shardIdx]) != srcIdx {
 			return nil
 		}
-		m1 = cur.Clone()
-		m1.Migrating[shardIdx] = int32(destIdx)
-		return m1
+		nm := cur.Clone()
+		nm.Migrating[shardIdx] = int32(destIdx)
+		return nm
 	})
 	if m1 == nil {
-		return fmt.Errorf("shard: move %d: owner changed under the move (was %s)", shardIdx, srcName)
+		return fmt.Errorf("shard: move %d: owner changed or commit refused (was %s)", shardIdx, srcName)
 	}
 	if err := c.installOn(m1, destName); err != nil {
+		c.abortMove(shardIdx, destName, srcName, "dest install failed: %v", err)
 		return fmt.Errorf("shard: move %d: dest install: %w", shardIdx, err)
 	}
 	if err := c.installOn(m1, srcName); err != nil {
-		c.rollbackMigrating(shardIdx, destName, srcName)
+		c.abortMove(shardIdx, destName, srcName, "source install failed: %v", err)
 		return fmt.Errorf("shard: move %d: source install: %w", shardIdx, err)
 	}
 	c.installRest(m1, destName, srcName)
 	c.cfg.Journal.Record(obs.EvMovePrepare, srcName, shardIdx,
 		"dual-ownership map v%d installed, moving to %s", m1.Version, destName)
+
+	return c.driveMove(shardIdx, srcName, destName, m1, timeout)
+}
+
+// ResumeMove re-drives an in-flight move recorded in the replicated log
+// after a leadership change: a follower that wins the lease either
+// finishes the move (re-attaching a fresh sink and re-running catch-up —
+// idempotent, the stream is content-addressed by LBA) or rolls its
+// window back. phase is the replicated move phase: MovePrepared (the
+// dual-ownership window was committed but no cutover) or MoveCutover
+// (the destination is already authoritative; only reconcile + drain
+// bookkeeping remain). The committed map is re-installed first — servers
+// already holding it answer StatusStaleEpoch, which installMap treats
+// as success, so resume is idempotent against whatever the dead leader
+// managed to push.
+func (c *Coordinator) ResumeMove(shardIdx int, destName string, phase MovePhase, timeout time.Duration) error {
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	c.moveMu.Lock()
+	defer c.moveMu.Unlock()
+	if c.stopped() {
+		return fmt.Errorf("shard: resume %d: coordinator stopped", shardIdx)
+	}
+
+	m := c.Map()
+	if shardIdx < 0 || shardIdx >= len(m.Assign) {
+		return fmt.Errorf("shard: resume %d: out of range [0,%d)", shardIdx, len(m.Assign))
+	}
+	destIdx := m.NodeIndex(destName)
+	if destIdx < 0 {
+		return fmt.Errorf("shard: resume %d: unknown destination %q", shardIdx, destName)
+	}
+	c.cfg.Journal.Record(obs.EvMoveResume, destName, shardIdx,
+		"resuming move at phase %d (map v%d)", phase, m.Version)
+
+	// Cutover already committed: the destination owns the shard; the old
+	// leader just never finished reconciling/draining. Converge installs
+	// and mark the move done.
+	if phase == MoveCutover || int(m.Assign[shardIdx]) == destIdx {
+		c.installAllOf(m)
+		if err := c.commit(EditRecord{Kind: EditMoveDone, Shard: shardIdx, Dest: destName,
+			Detail: "resumed post-cutover: installs reconciled"}); err != nil {
+			return fmt.Errorf("shard: resume %d: done commit: %w", shardIdx, err)
+		}
+		c.cfg.Journal.Record(obs.EvMoveDone, destName, shardIdx,
+			"resumed move finished post-cutover (map v%d)", m.Version)
+		return nil
+	}
+
+	// The committed map no longer shows the window (a rollback or
+	// reassignment won the race): clear the stale move record and stop.
+	if int(m.Migrating[shardIdx]) != destIdx {
+		if err := c.commit(EditRecord{Kind: EditMoveDone, Shard: shardIdx, Dest: destName,
+			Detail: "stale move record: window not in committed map"}); err != nil {
+			return fmt.Errorf("shard: resume %d: stale-record commit: %w", shardIdx, err)
+		}
+		return nil
+	}
+
+	srcIdx := int(m.Assign[shardIdx])
+	if srcIdx < 0 || srcIdx >= len(m.Nodes) {
+		return fmt.Errorf("shard: resume %d: no live owner", shardIdx)
+	}
+	srcName := m.Nodes[srcIdx].Name
+
+	// Re-install the committed dual-ownership map (idempotent) before
+	// re-driving phases 2-4 with a fresh sink.
+	if err := c.installOn(m, destName); err != nil {
+		c.abortMove(shardIdx, destName, srcName, "resume dest install failed: %v", err)
+		return fmt.Errorf("shard: resume %d: dest install: %w", shardIdx, err)
+	}
+	if err := c.installOn(m, srcName); err != nil {
+		c.abortMove(shardIdx, destName, srcName, "resume source install failed: %v", err)
+		return fmt.Errorf("shard: resume %d: source install: %w", shardIdx, err)
+	}
+	c.installRest(m, destName, srcName)
+	return c.driveMove(shardIdx, srcName, destName, m, timeout)
+}
+
+// driveMove runs phases 2-4 of a move whose dual-ownership map m1 is
+// committed and installed: sink catch-up, cutover, drain. Callers hold
+// moveMu.
+func (c *Coordinator) driveMove(shardIdx int, srcName, destName string, m1 *Map, timeout time.Duration) error {
+	destIdx := m1.NodeIndex(destName)
+	srcIdx := m1.NodeIndex(srcName)
+	if destIdx < 0 || srcIdx < 0 {
+		return fmt.Errorf("shard: move %d: nodes %q/%q not in map", shardIdx, srcName, destName)
+	}
+	firstLBA := uint32(shardIdx) * m1.ShardBlocks
 
 	// Phase 2: attach the sink and wait for the catch-up marker.
 	srcAddr, err := c.primaryAddr(m1, srcIdx)
@@ -135,6 +229,10 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 		sink.close()
 		c.abortMove(shardIdx, destName, srcName, "catch-up timed out after %v", timeout)
 		return fmt.Errorf("shard: move %d: catch-up timed out after %v", shardIdx, timeout)
+	case <-c.stopCh:
+		sink.close()
+		c.abortMove(shardIdx, destName, srcName, "coordinator stopped mid-catch-up")
+		return fmt.Errorf("shard: move %d: coordinator stopped mid-catch-up", shardIdx)
 	}
 	c.logf("shard: move %d %s->%s: caught up (%d writes relayed), cutting over",
 		shardIdx, srcName, destName, sink.applied.Load())
@@ -160,13 +258,24 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 
 	// Phase 3: cutover, destination first; the source install fences the
 	// range off the old owner (StatusWrongShard redirects from here on).
-	var m2 *Map
-	c.edit(func(cur *Map) *Map {
-		m2 = cur.Clone()
-		m2.Assign[shardIdx] = int32(destIdx)
-		m2.Migrating[shardIdx] = Unassigned
-		return m2
+	// A refused commit here means we were deposed between catch-up and
+	// cutover: the source stays authoritative in the committed map, the
+	// new leader resumes or rolls back, and nothing was lost (the window
+	// map is still what every server holds).
+	cutRec := EditRecord{Kind: EditMoveCutover, Shard: shardIdx, Src: srcName, Dest: destName,
+		Detail: "destination authoritative"}
+	m2 := c.edit(cutRec, func(cur *Map) *Map {
+		nm := cur.Clone()
+		nm.Assign[shardIdx] = int32(destIdx)
+		nm.Migrating[shardIdx] = Unassigned
+		return nm
 	})
+	if m2 == nil {
+		sink.close()
+		c.cfg.Journal.Record(obs.EvMoveAbort, srcName, shardIdx,
+			"cutover commit refused (deposed?); leaving window to the next leader")
+		return fmt.Errorf("shard: move %d: cutover commit refused", shardIdx)
+	}
 	if err := c.installOn(m2, destName); err != nil {
 		sink.close()
 		return fmt.Errorf("shard: move %d: cutover dest install: %w", shardIdx, err)
@@ -193,6 +302,13 @@ func (c *Coordinator) MoveShard(shardIdx int, destName string, timeout time.Dura
 		return fmt.Errorf("shard: move %d: sink failed during drain: %w", shardIdx, err)
 	default:
 	}
+	if err := c.commit(EditRecord{Kind: EditMoveDone, Shard: shardIdx, Src: srcName, Dest: destName,
+		Detail: "move complete"}); err != nil {
+		// The data move is finished and safe (cutover committed earlier);
+		// only the in-flight-move bookkeeping failed to clear. The next
+		// leader sees phase=cutover and re-runs the trivial finish path.
+		return fmt.Errorf("shard: move %d: done commit: %w", shardIdx, err)
+	}
 	c.logf("shard: move %d %s->%s: done (map v%d, %d writes relayed)",
 		shardIdx, srcName, destName, m2.Version, sink.applied.Load())
 	c.cfg.Journal.Record(obs.EvMoveDone, destName, shardIdx,
@@ -208,16 +324,48 @@ func (c *Coordinator) abortMove(shardIdx int, destName, srcName, format string, 
 }
 
 // rollbackMigrating clears a failed move's dual-ownership window with a
-// fresh map version.
+// fresh map version. A refused commit (this coordinator was deposed)
+// leaves the window to the new leader, which resumes or rolls it back
+// from the replicated log — a deposed leader installing its own
+// rollback would be minting a map version it no longer owns.
 func (c *Coordinator) rollbackMigrating(shardIdx int, destName, srcName string) {
-	nm := c.edit(func(cur *Map) *Map {
+	rec := EditRecord{Kind: EditMoveRollback, Shard: shardIdx, Src: srcName, Dest: destName,
+		Detail: "dual-ownership window rolled back"}
+	nm := c.edit(rec, func(cur *Map) *Map {
 		n := cur.Clone()
 		n.Migrating[shardIdx] = Unassigned
 		return n
 	})
+	if nm == nil {
+		c.logf("shard: move %d: rollback commit refused; deferring to the next leader", shardIdx)
+		return
+	}
 	c.installOn(nm, srcName)
 	c.installOn(nm, destName)
 	c.installRest(nm, destName, srcName)
+}
+
+// MovePhase is the replicated control plane's record of how far an
+// in-flight MoveShard got before its leader died (ResumeMove input).
+type MovePhase uint8
+
+const (
+	// MovePrepared: the dual-ownership window was committed; catch-up
+	// and cutover still pending. Resume re-drives the whole move.
+	MovePrepared MovePhase = 1
+	// MoveCutover: the cutover map was committed; the destination is
+	// authoritative and only install reconciliation remains.
+	MoveCutover MovePhase = 2
+)
+
+// installAllOf pushes m to every non-dead node (best-effort).
+func (c *Coordinator) installAllOf(m *Map) {
+	for _, n := range m.Nodes {
+		if n.State == StateDead {
+			continue
+		}
+		c.installOn(m, n.Name)
+	}
 }
 
 // installRest pushes m to every node except the two named (best-effort;
@@ -249,6 +397,13 @@ func (c *Coordinator) drainSource(srcAddr string, timeout time.Duration) error {
 	deadline := time.Now().Add(timeout)
 	zeros := 0
 	for zeros < settleRounds {
+		if c.stopped() {
+			// The cutover is committed and installed — the move is decided;
+			// stopping here only skips the courtesy drain wait. Pending
+			// source forwards still flow to the attached sink until the
+			// caller closes it.
+			return nil
+		}
 		if time.Now().After(deadline) {
 			return fmt.Errorf("drain timed out after %v", timeout)
 		}

@@ -1,0 +1,169 @@
+// Adopt-iff-newer under a deposed leader (external package: drives real
+// servers through internal/server, on the far side of the import edge).
+//
+// The replicated control plane's second fence lives in the data plane:
+// every server adopts an offered shard map iff its version is strictly
+// newer than the installed one. A deposed leader that still manages to
+// push installs (its lease expired mid-flight, its commits fail, but a
+// frame already on the wire lands anyway) can therefore only ever
+// deliver no-ops — the authoritative version never regresses, and the
+// new leader's anti-entropy pass converges any replica the old leader
+// fed something stale.
+package shard_test
+
+import (
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/shard"
+)
+
+func TestServersRejectStaleAndDuplicateInstalls(t *testing.T) {
+	c, srvs := soloCluster(t, 2, 4, 256)
+	m1 := c.Map()
+	if got := srvs[0].ShardMapVersion(); got != m1.Version {
+		t.Fatalf("installed v%d, want v%d", got, m1.Version)
+	}
+
+	// Advance the authoritative map twice (the live leader's edits) and
+	// push each version out.
+	for i := 0; i < 2; i++ {
+		if !c.Adopt(c.Map().Clone()) {
+			t.Fatal("newer map not adopted")
+		}
+		if err := c.InstallAll(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur := c.Map()
+	if cur.Version <= m1.Version {
+		t.Fatalf("clone did not advance the version: v%d", cur.Version)
+	}
+	for _, s := range srvs {
+		if got := s.ShardMapVersion(); got != cur.Version {
+			t.Fatalf("server at v%d, want v%d", got, cur.Version)
+		}
+	}
+
+	// A deposed leader re-offers the old map: refused as stale, version
+	// unchanged — on every server, every time.
+	for _, s := range srvs {
+		v, st := s.InstallShardMap(m1)
+		if st != protocol.StatusStaleEpoch {
+			t.Fatalf("stale install status = %s, want StatusStaleEpoch", st)
+		}
+		if v != cur.Version || s.ShardMapVersion() != cur.Version {
+			t.Fatalf("stale install moved the version: %d", v)
+		}
+	}
+	// A duplicate of the CURRENT map is equally refused (iff-NEWER, not
+	// iff-newer-or-equal: re-installs are idempotent no-ops).
+	v, st := srvs[0].InstallShardMap(cur)
+	if st != protocol.StatusStaleEpoch || v != cur.Version {
+		t.Fatalf("duplicate install = (%d, %s), want (%d, StatusStaleEpoch)", v, st, cur.Version)
+	}
+}
+
+func TestAntiEntropyRepairsStaleServer(t *testing.T) {
+	c, srvs := soloCluster(t, 3, 8, 256)
+	v1 := c.Map().Version
+
+	// The coordinator advances (a committed edit a partitioned server
+	// missed): install only on two of the three.
+	adopted := c.Adopt(advanceVersion(t, c.Map()))
+	if !adopted {
+		t.Fatal("newer map not adopted")
+	}
+	cur := c.Map()
+	for _, s := range srvs[:2] {
+		if _, st := s.InstallShardMap(cur); st != protocol.StatusOK {
+			t.Fatalf("install refused: %s", st)
+		}
+	}
+	if got := srvs[2].ShardMapVersion(); got != v1 {
+		t.Fatalf("straggler at v%d, want v%d", got, v1)
+	}
+
+	// One reconcile pass finds exactly the straggler and repairs it.
+	if repaired := c.Reconcile(); repaired != 1 {
+		t.Fatalf("reconcile repaired %d addresses, want 1", repaired)
+	}
+	for i, s := range srvs {
+		if got := s.ShardMapVersion(); got != cur.Version {
+			t.Fatalf("server %d at v%d after reconcile, want v%d", i, got, cur.Version)
+		}
+	}
+	// Convergence is stable: a second pass has nothing to do.
+	if repaired := c.Reconcile(); repaired != 0 {
+		t.Fatalf("second reconcile repaired %d, want 0", repaired)
+	}
+}
+
+// TestAdoptIffNewerOnCoordinator: Adopt is the leadership-change seeding
+// path and must obey the same version fence as the servers.
+func TestAdoptIffNewerOnCoordinator(t *testing.T) {
+	c, _ := soloCluster(t, 2, 4, 256)
+	v := c.Map().Version
+	if c.Adopt(nil) {
+		t.Fatal("adopted nil")
+	}
+	if c.Adopt(c.Map()) {
+		t.Fatal("adopted an equal-version map")
+	}
+	old := c.Map().Clone() // Clone bumps: this is newer
+	if !c.Adopt(old) {
+		t.Fatal("newer map refused")
+	}
+	if c.Adopt(cloneAt(old, v)) {
+		t.Fatal("adopted a version regression")
+	}
+	if got := c.Map().Version; got != old.Version {
+		t.Fatalf("version %d after refused regressions, want %d", got, old.Version)
+	}
+}
+
+// advanceVersion returns a copy of m at the next version (Clone bumps).
+func advanceVersion(t *testing.T, m *shard.Map) *shard.Map {
+	t.Helper()
+	n := m.Clone()
+	if n.Version != m.Version+1 {
+		t.Fatalf("Clone version %d, want %d", n.Version, m.Version+1)
+	}
+	return n
+}
+
+// cloneAt forges a map claiming version v (stale-offer construction).
+func cloneAt(m *shard.Map, v uint32) *shard.Map {
+	n := m.Clone()
+	n.Version = v
+	return n
+}
+
+// TestReconcileSkipsDeadNodes: anti-entropy must not stall on (or count)
+// nodes marked dead in the map.
+func TestReconcileSkipsDeadNodes(t *testing.T) {
+	c, srvs := soloCluster(t, 2, 4, 256)
+	srvs[1].Close()
+	// Mark node1 dead in the authoritative map so Reconcile skips it
+	// rather than timing out against a closed listener.
+	m := c.Map().Clone()
+	idx := m.NodeIndex("node1")
+	if idx < 0 {
+		t.Fatal("node1 missing")
+	}
+	m.Nodes[idx].State = shard.StateDead
+	if !c.Adopt(m) {
+		t.Fatal("adopt failed")
+	}
+	if _, st := srvs[0].InstallShardMap(c.Map()); st != protocol.StatusOK {
+		t.Fatalf("install: %s", st)
+	}
+	start := time.Now()
+	if repaired := c.Reconcile(); repaired != 0 {
+		t.Fatalf("reconcile repaired %d, want 0", repaired)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Fatalf("reconcile stalled %v on a dead node", took)
+	}
+}

@@ -107,6 +107,19 @@ func fetchMap(dial dialFunc, addr string, timeout time.Duration) (*Map, error) {
 	return Unmarshal(m.Payload)
 }
 
+// fetchMapVersion retrieves just the version of addr's installed map
+// (0 when none) without parsing the payload — the anti-entropy probe.
+func fetchMapVersion(dial dialFunc, addr string, timeout time.Duration) (uint32, error) {
+	m, err := rawRequest(dial, addr, timeout, &protocol.Header{Opcode: protocol.OpShardMap}, nil)
+	if err != nil {
+		return 0, err
+	}
+	if m.Header.Status != protocol.StatusOK {
+		return 0, fmt.Errorf("shard: map fetch at %s refused: %s", addr, m.Header.Status)
+	}
+	return m.Header.LBA, nil
+}
+
 // promote asks addr to serve as primary at epoch e.
 func promote(dial dialFunc, addr string, timeout time.Duration, e uint16) (uint16, error) {
 	m, err := rawRequest(dial, addr, timeout, &protocol.Header{Opcode: protocol.OpPromote, Epoch: e}, nil)
