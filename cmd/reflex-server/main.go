@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"os/signal"
 	"strconv"
@@ -186,6 +187,9 @@ func main() {
 		dataNodes, err := parseDataNodes(*ctrlNodes)
 		if err != nil {
 			log.Fatalf("-ctrl-nodes: %v", err)
+		}
+		if *ctrlShardBlocks <= 0 || *ctrlShardBlocks > math.MaxUint32 {
+			log.Fatalf("-ctrl-shard-blocks: %d out of range (1..%d)", *ctrlShardBlocks, uint32(math.MaxUint32))
 		}
 		peers := []string{*coordinator}
 		if *ctrlPeers != "" {

@@ -174,6 +174,14 @@ type Node struct {
 	pendingConfig uint64
 
 	electionAt time.Time // follower/candidate: when to start an election
+	// voteOKAt is the end of the restart vote quarantine: state is
+	// in-memory, so a replica that restarts mid-election has forgotten any
+	// vote it cast this term; refusing all votes for the first LeaseTTL
+	// after boot keeps it from granting a second vote in the same term
+	// (which could elect two leaders in one term and silently break the
+	// log-matching invariant). The first self-campaign is already gated by
+	// electionAt >= boot + LeaseTTL, so quarantine covers self-votes too.
+	voteOKAt time.Time
 
 	notifyCond *sync.Cond
 	notifyDirt bool
@@ -188,8 +196,17 @@ type Node struct {
 }
 
 // seedSeq decorrelates election jitter between replicas created within
-// the same clock tick (tests start all three in one instant).
+// the same clock tick (tests start all three in one instant). The
+// counter is spread across all 64 bits with a splitmix-style odd
+// multiplier before mixing: math/rand reduces the seed mod 2^31-1, so a
+// plain "counter<<32" collapses to "counter*2" and replicas end up with
+// near-identical jitter streams — their election timers then fire
+// within the vote RPC's flight time and two survivors split the vote
+// round after round (draws advance in lockstep, so one close pair of
+// streams keeps colliding).
 var seedSeq atomic.Uint64
+
+const seedMix = 0x9E3779B97F4A7C15 // 2^64 / golden ratio, odd
 
 // NewNode builds a replica (not yet started).
 func NewNode(cfg Config) (*Node, error) {
@@ -205,10 +222,11 @@ func NewNode(cfg Config) (*Node, error) {
 		peerSeen: map[string]time.Time{},
 		stop:     make(chan struct{}),
 		kick:     make(chan struct{}, 1),
-		rnd:      rand.New(rand.NewSource(time.Now().UnixNano() + int64(seedSeq.Add(1))<<32)),
+		rnd:      rand.New(rand.NewSource(time.Now().UnixNano() ^ int64(seedSeq.Add(1)*seedMix))),
 	}
 	n.snapState = n.state.Clone()
 	n.notifyCond = sync.NewCond(&n.mu)
+	n.voteOKAt = time.Now().Add(cfg.LeaseTTL)
 	n.resetElectionLocked()
 	if cfg.Reg != nil {
 		n.registerMetrics(cfg.Reg)
@@ -369,10 +387,15 @@ func (n *Node) becomeFollowerLocked(t uint64, leader string) {
 }
 
 // run is the tick loop: followers watch the election deadline, leaders
-// pump heartbeat/replication rounds.
+// pump heartbeat/replication rounds. Followers wake at their exact
+// (randomized) election deadline rather than polling it on a coarse
+// ticker: replicas start their tickers near-simultaneously, so a shared
+// HeartbeatEvery grid quantizes campaign starts into the same buckets
+// and two survivors of a leader kill split the vote round after round —
+// the jitter only helps if it is honored precisely.
 func (n *Node) run() {
 	defer n.wg.Done()
-	t := time.NewTicker(n.cfg.HeartbeatEvery)
+	t := time.NewTimer(n.cfg.HeartbeatEvery)
 	defer t.Stop()
 	for {
 		select {
@@ -380,6 +403,12 @@ func (n *Node) run() {
 			return
 		case <-t.C:
 		case <-n.kick:
+			if !t.Stop() {
+				select {
+				case <-t.C:
+				default:
+				}
+			}
 		}
 		n.mu.Lock()
 		role := n.role
@@ -391,6 +420,19 @@ func (n *Node) run() {
 		case due:
 			n.runElection()
 		}
+		n.mu.Lock()
+		next := n.cfg.HeartbeatEvery
+		if n.role != Leader {
+			// Sleep to the deadline; a heartbeat moving it later just
+			// means one early wake-up and a re-arm.
+			if d := time.Until(n.electionAt); d > 0 {
+				next = d
+			} else {
+				next = time.Millisecond
+			}
+		}
+		n.mu.Unlock()
+		t.Reset(next)
 	}
 }
 
@@ -844,6 +886,26 @@ func (n *Node) propose(atTerm uint64, e Entry) (uint64, error) {
 		n.mu.Unlock()
 		left := time.Until(deadline)
 		if left <= 0 {
+			// The entry sits in our log and may STILL commit at this term
+			// later (e.g. a slow decrement backoff to a diverged follower
+			// outlasting the deadline). Reporting a definite failure here
+			// would let the caller keep editing from the pre-commit state
+			// and re-mint the same map version with different contents —
+			// version-compared installs would then diverge permanently. The
+			// outcome is unknown, so stop being leader: the coordinator is
+			// deposed with us, and a successor (possibly this replica at a
+			// later term) resyncs from whatever actually committed.
+			n.mu.Lock()
+			if n.term == term && n.role == Leader {
+				if n.commitIndex >= idx {
+					n.mu.Unlock()
+					return idx, nil
+				}
+				n.logf("ctrlplane: %s: commit of log %d timed out at term %d; outcome unknown, stepping down",
+					n.cfg.Self, idx, term)
+				n.becomeFollowerLocked(n.term, "")
+			}
+			n.mu.Unlock()
 			return 0, fmt.Errorf("ctrlplane: commit of log %d timed out: %w", idx, ErrNotLeader)
 		}
 		t := time.NewTimer(left)
@@ -959,9 +1021,9 @@ func (n *Node) handleConn(c net.Conn) {
 
 // handleVote grants a vote iff the candidate's term is current, its log
 // is at least as up to date, we have not voted for someone else this
-// term, AND we have not heard from a live leader within LeaseTTL — the
-// lease-stickiness rule that makes the lease a real mutual-exclusion
-// window rather than a hint.
+// term, we are past the restart vote quarantine, AND we have not heard
+// from a live leader within LeaseTTL — the lease-stickiness rule that
+// makes the lease a real mutual-exclusion window rather than a hint.
 func (n *Node) handleVote(p []byte) []byte {
 	req, err := parseVoteReq(p)
 	if err != nil {
@@ -969,15 +1031,27 @@ func (n *Node) handleVote(p []byte) []byte {
 	}
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	// Stickiness must be judged BEFORE adopting a higher term:
+	// becomeFollowerLocked clears n.leader, and candidates always campaign
+	// at term+1, so a check after the adoption would never fire — granting
+	// votes while a live leader's lease is still valid and breaking the
+	// lease's mutual-exclusion window.
+	heardRecently := n.leader != "" && n.leader != req.Candidate &&
+		time.Since(n.heard) < n.cfg.LeaseTTL
 	if req.Term > n.term {
 		n.becomeFollowerLocked(req.Term, "")
 	}
 	resp := voteResp{Term: n.term}
 	switch {
 	case req.Term < n.term:
-	case n.leader != "" && n.leader != req.Candidate &&
-		time.Since(n.heard) < n.cfg.LeaseTTL:
-		// A live leader's lease may still be valid: refuse.
+	case heardRecently:
+		// A live leader's lease may still be valid: refuse (the term was
+		// still adopted above, so our log/term bookkeeping stays current).
+	case time.Now().Before(n.voteOKAt):
+		// Restart quarantine: an in-memory replica that rejoined may have
+		// voted in this very term before it crashed; refusing all votes for
+		// the first LeaseTTL keeps it from double-voting in an election it
+		// no longer remembers (see the package comment's restart model).
 	case n.votedFor != "" && n.votedFor != req.Candidate:
 	case req.LastTerm < n.log.lastTerm(),
 		req.LastTerm == n.log.lastTerm() && req.LastIndex < n.log.lastIndex():

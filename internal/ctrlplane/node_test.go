@@ -357,3 +357,132 @@ func TestAutopilotRemovesSilentPeer(t *testing.T) {
 		t.Fatalf("replica set shrank to %d, floor is 2", got)
 	}
 }
+
+// Vote stickiness must be judged BEFORE the higher term is adopted:
+// becomeFollowerLocked clears the remembered leader, and candidates
+// always campaign above the leader's term, so a post-adoption check
+// never fires and the lease stops being a mutual-exclusion window.
+// White-box: the node is never started; handleVote is driven directly.
+func TestVoteStickinessJudgedBeforeTermAdoption(t *testing.T) {
+	nd, err := NewNode(Config{
+		Self:     "a:1",
+		Peers:    []string{"a:1", "b:1", "c:1"},
+		LeaseTTL: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.mu.Lock()
+	nd.voteOKAt = time.Now().Add(-time.Second) // past the restart quarantine
+	nd.term = 1
+	nd.leader = "b:1"
+	nd.heard = time.Now() // leader heartbeat just arrived: lease may be live
+	nd.mu.Unlock()
+
+	req := voteReq{Term: 2, Candidate: "c:1"}
+	resp, err := parseVoteResp(nd.handleVote(req.marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted {
+		t.Fatal("vote granted while a live leader was heard within LeaseTTL")
+	}
+	if resp.Term != 2 {
+		t.Fatalf("refusal at term %d, want the candidate's term 2 adopted", resp.Term)
+	}
+	nd.mu.Lock()
+	if nd.term != 2 {
+		nd.mu.Unlock()
+		t.Fatalf("follower term %d after refusal, want 2", nd.term)
+	}
+	// Re-arm with the leader silent past the stickiness window: the same
+	// candidate at the next term must now be granted.
+	nd.leader = "b:1"
+	nd.heard = time.Now().Add(-time.Second)
+	nd.mu.Unlock()
+
+	req = voteReq{Term: 3, Candidate: "c:1"}
+	resp, err = parseVoteResp(nd.handleVote(req.marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Granted {
+		t.Fatal("vote refused after the leader fell silent past LeaseTTL")
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.votedFor != "c:1" {
+		t.Fatalf("votedFor = %q, want c:1", nd.votedFor)
+	}
+}
+
+// A replica's vote state is in-memory: freshly (re)started, it may have
+// voted in the current term before the crash, so it must refuse ALL
+// votes for its first LeaseTTL (the restart quarantine) — otherwise one
+// bounce during a contested election yields two grants in one term.
+func TestRestartVoteQuarantine(t *testing.T) {
+	nd, err := NewNode(Config{
+		Self:     "a:1",
+		Peers:    []string{"a:1", "b:1", "c:1"},
+		LeaseTTL: 200 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := voteReq{Term: 1, Candidate: "b:1"}
+	resp, err := parseVoteResp(nd.handleVote(req.marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Granted {
+		t.Fatal("freshly booted replica granted a vote inside its quarantine window")
+	}
+	nd.mu.Lock()
+	if nd.votedFor != "" {
+		nd.mu.Unlock()
+		t.Fatalf("votedFor = %q during quarantine, want none recorded", nd.votedFor)
+	}
+	nd.voteOKAt = time.Now() // quarantine elapsed
+	nd.mu.Unlock()
+
+	resp, err = parseVoteResp(nd.handleVote(req.marshal()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Granted {
+		t.Fatal("vote refused after the quarantine window elapsed")
+	}
+}
+
+// A Propose whose commit deadline expires has an UNKNOWN outcome — the
+// entry may still commit at this term later. The leader must step down
+// (deposing the coordinator with it) rather than let the caller keep
+// editing from pre-commit state and re-mint a map version. White-box:
+// an unstarted node is forced leader with a valid lease and unreachable
+// peers, so the commit can never arrive.
+func TestProposeTimeoutStepsDown(t *testing.T) {
+	nd, err := NewNode(Config{
+		Self:     "a:1",
+		Peers:    []string{"a:1", "b:1", "c:1"},
+		LeaseTTL: 60 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd.mu.Lock()
+	nd.role = Leader
+	nd.term = 1
+	nd.hasLease = true
+	nd.lease = time.Now().Add(time.Hour) // lease stays valid throughout
+	nd.mu.Unlock()
+
+	_, err = nd.Propose(Entry{Kind: EntryState, Shard: -1, Map: rawMap(1), Detail: "doomed"})
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("timed-out propose error = %v, want ErrNotLeader", err)
+	}
+	nd.mu.Lock()
+	defer nd.mu.Unlock()
+	if nd.role != Follower {
+		t.Fatalf("role = %s after ambiguous commit timeout, want follower (stepped down)", nd.role)
+	}
+}

@@ -26,10 +26,15 @@
 // OpCtrlSnapshot) over short-lived TCP connections, the same idiom the
 // shard coordinator uses for installs and probes: control traffic is
 // rare and the simplicity beats connection pooling. State is in-memory;
-// a restarted replica rejoins empty and catches up by snapshot (the
-// deployment assumption, as with the data plane's pairs, is that a
-// majority does not restart simultaneously — see DESIGN.md §16's
-// failure matrix).
+// a restarted replica rejoins empty and catches up by snapshot. Because
+// term and votedFor are not persisted either, a replica that restarts
+// mid-election has forgotten any vote it cast this term — so for its
+// first LeaseTTL after boot it refuses ALL votes (the restart
+// quarantine, mirroring the lease-stickiness window), which keeps a
+// single bounce during a contested election from granting two votes in
+// one term and electing two leaders. The deployment assumption, as with
+// the data plane's pairs, is that a majority does not restart
+// simultaneously — see DESIGN.md §16's failure matrix.
 package ctrlplane
 
 import (

@@ -13,8 +13,13 @@ import (
 // ctrlplane replicas over loopback TCP, the current leader killed per
 // trial, and the outage — kill to a successor holding a valid lease —
 // tabulated against the design bound of one lease TTL (vote stickiness
-// while the dead leader's lease drains) plus one election round (the
-// randomized timeout is in [TTL, 2·TTL), plus a vote RPC exchange).
+// while the dead leader's lease drains) plus up to two election rounds
+// (the randomized timeout is in [TTL, 2·TTL) per round, plus a vote RPC
+// exchange). Two rounds, not one: the dead leader's final heartbeat can
+// reach one survivor but not the other, so the staler survivor's first
+// campaign may be legitimately refused by stickiness — the voter's
+// refusal window outlives the candidate's election timeout by the
+// heartbeat skew — and the election then completes on the next round.
 //
 // Each trial also restarts the killed replica on its old address; since
 // control-plane state is in-memory, the rejoin exercises the catch-up
@@ -22,8 +27,9 @@ import (
 // column bounds how long a restarted replica lags the quorum.
 func ExtCtrlplane(scale Scale) *Table {
 	const leaseTTL = 150 * time.Millisecond
-	// Bound: lease drain + max randomized election timeout + a vote round.
-	bound := leaseTTL + 2*leaseTTL + leaseTTL/2
+	// Bound: lease drain + two max randomized election timeouts (the
+	// first round may be refused by vote stickiness) + a vote round.
+	bound := leaseTTL + 2*(2*leaseTTL) + leaseTTL/2
 
 	t := &Table{
 		ID:    "ext-ctrlplane",
@@ -32,7 +38,8 @@ func ExtCtrlplane(scale Scale) *Table {
 			"trial", "outage_ms", "bound_ms", "within_bound",
 			"succ_term", "commit_idx", "rejoin_ms",
 		},
-		Notes: "outage = kill -> successor lease; bound = lease TTL + one election round; " +
+		Notes: "outage = kill -> successor lease; bound = lease TTL + two election rounds " +
+			"(stickiness may refuse the first) + vote RPC; " +
 			"killed replica restarts empty and catches up from the successor's log",
 	}
 	trials := int(3 * float64(scale))

@@ -332,8 +332,17 @@ func (c *Coordinator) stopped() bool {
 // installed map version against the authoritative one and re-installs
 // where stale (a node that missed an install while partitioned, or that
 // a deposed leader fed an old version, converges here). Returns how
-// many addresses were repaired.
+// many addresses were repaired. While a MoveShard is in flight the pass
+// is skipped entirely: the move installs its maps in a deliberate
+// destination-first order, and a concurrent Reconcile pushing the
+// authoritative map to arbitrary addresses could e.g. fence writes off
+// the source with the cutover map before the destination's install
+// landed, briefly inverting that ordering.
 func (c *Coordinator) Reconcile() int {
+	if !c.moveMu.TryLock() {
+		return 0 // a live move owns install ordering; next tick retries
+	}
+	defer c.moveMu.Unlock()
 	m := c.Map()
 	raw := m.Marshal()
 	repaired := 0

@@ -279,3 +279,42 @@ func TestRatesForSLOSplitsProportionally(t *testing.T) {
 		t.Fatalf("per-node IOPS sum %d under-provisions the cluster SLO %d", sumIOPS, iops)
 	}
 }
+
+// While a MoveShard holds moveMu, the anti-entropy pass must yield: the
+// move installs maps destination-first, and a concurrent Reconcile
+// pushing the authoritative map to arbitrary addresses could fence
+// writes off the source before the destination's install landed.
+func TestReconcileSkipsDuringLiveMove(t *testing.T) {
+	c, _, fakes := coordRig(t, false)
+	if err := c.InstallAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Stage stragglers a free-running pass would repair: advance the
+	// authoritative map without installing it anywhere.
+	m2 := c.Map().Clone()
+	m2.Version++
+	if !c.Adopt(m2) {
+		t.Fatal("newer map not adopted")
+	}
+
+	// A live move owns moveMu across its install sequence.
+	c.moveMu.Lock()
+	repaired := c.Reconcile()
+	c.moveMu.Unlock()
+	if repaired != 0 {
+		t.Fatalf("reconcile during a live move repaired %d addresses, want 0 (skipped)", repaired)
+	}
+
+	// The next tick, move finished, repairs every straggler.
+	if repaired := c.Reconcile(); repaired != 4 {
+		t.Fatalf("reconcile after the move repaired %d addresses, want 4", repaired)
+	}
+	for addr, f := range fakes {
+		f.mu.Lock()
+		inst := f.installed
+		f.mu.Unlock()
+		if inst == nil || inst.Version != m2.Version {
+			t.Fatalf("%s still stale after the post-move reconcile", addr)
+		}
+	}
+}
