@@ -1,0 +1,102 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/experiments"
+)
+
+// Tiered-cache acceptance measurement (-cache <file>): runs ext-cache at
+// the given scale and writes BENCH_cache.json with every gate's verdict.
+// Unlike the hotpath gates these are simulation results, so no gate ever
+// depends on host CPUs — each is judged on every run.
+const (
+	// cacheSpeedupFloor: the cache must buy best-effort tenants at least
+	// this multiple of cache-off throughput at identical token budgets.
+	cacheSpeedupFloor = 1.5
+	// cacheHitFloor: and it must do so from real locality, not a
+	// degenerate single-block workload.
+	cacheHitFloor = 0.5
+)
+
+type cacheResultJSON struct {
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go_version"`
+	Scale     float64 `json:"scale"`
+
+	BEIOPSOff          float64 `json:"be_iops_cache_off"`
+	BEIOPSOn           float64 `json:"be_iops_cache_on"`
+	BESpeedup          float64 `json:"be_speedup"`
+	HitRatio           float64 `json:"hit_ratio"`
+	LCReadP99OffUs     float64 `json:"lc_read_p99_us_cache_off"`
+	LCReadP99OnUs      float64 `json:"lc_read_p99_us_cache_on"`
+	WriteAmpMixed      float64 `json:"write_amp_mixed"`
+	WriteAmpSegregated float64 `json:"write_amp_segregated"`
+
+	Gates []gateStatus `json:"gates"`
+}
+
+// cacheGates judges the ext-cache acceptance criteria.
+func cacheGates(r experiments.CacheBenchResult) []gateStatus {
+	judge := func(name string, ok bool, reason string) gateStatus {
+		st := "passed"
+		if !ok {
+			st = "failed"
+		}
+		return gateStatus{Name: name, Status: st, Reason: reason}
+	}
+	return []gateStatus{
+		judge("be_speedup", r.BESpeedup() >= cacheSpeedupFloor,
+			fmt.Sprintf("best-effort %.2fx with cache on (floor %.1fx)", r.BESpeedup(), cacheSpeedupFloor)),
+		judge("hit_ratio", r.HitRatio >= cacheHitFloor,
+			fmt.Sprintf("hit ratio %.2f (floor %.2f)", r.HitRatio, cacheHitFloor)),
+		judge("lc_p99_not_worse", r.LCReadP99On <= r.LCReadP99Off,
+			fmt.Sprintf("LC read p99 %.0fus on vs %.0fus off", float64(r.LCReadP99On)/1e3, float64(r.LCReadP99Off)/1e3)),
+		judge("write_amp_segregation", r.WriteAmpSegregated < r.WriteAmpMixed,
+			fmt.Sprintf("write amp %.3f segregated vs %.3f mixed", r.WriteAmpSegregated, r.WriteAmpMixed)),
+	}
+}
+
+// runCacheBench performs the measurement and writes the JSON artifact.
+func runCacheBench(path string, scale float64) error {
+	res, tbl := experiments.CacheBench(experiments.Scale(scale))
+	fmt.Print(tbl.Format())
+
+	gates := cacheGates(res)
+	out := cacheResultJSON{
+		Generated:          time.Now().UTC().Format(time.RFC3339),
+		GoVersion:          runtime.Version(),
+		Scale:              scale,
+		BEIOPSOff:          res.BEIOPSOff,
+		BEIOPSOn:           res.BEIOPSOn,
+		BESpeedup:          res.BESpeedup(),
+		HitRatio:           res.HitRatio,
+		LCReadP99OffUs:     float64(res.LCReadP99Off) / 1e3,
+		LCReadP99OnUs:      float64(res.LCReadP99On) / 1e3,
+		WriteAmpMixed:      res.WriteAmpMixed,
+		WriteAmpSegregated: res.WriteAmpSegregated,
+		Gates:              gates,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, g := range gates {
+		fmt.Printf("cache gate %s: %s (%s)\n", g.Name, g.Status, g.Reason)
+	}
+	fmt.Printf("cache: %s\n", path)
+	for _, g := range gates {
+		if g.Status == "failed" {
+			return fmt.Errorf("cache: %s", g.Reason)
+		}
+	}
+	return nil
+}

@@ -40,3 +40,49 @@ func TestMatrixGates(t *testing.T) {
 		t.Errorf("2-CPU host enforced the 8-proc gate: %v", err)
 	}
 }
+
+// TestMatrixGateStatuses pins the artifact honesty rule: a gate the host
+// cannot measure is recorded as "skipped" with a reason, never "passed".
+func TestMatrixGateStatuses(t *testing.T) {
+	linear := []matrixEntry{
+		{GOMAXPROCS: 1, Cores: 1, MsgPerSec: 250_000, ScalingVs1: 1},
+		{GOMAXPROCS: 4, Cores: 4, MsgPerSec: 900_000, ScalingVs1: 3.6},
+		{GOMAXPROCS: 8, Cores: 8, MsgPerSec: 1_600_000, ScalingVs1: 6.4},
+	}
+	want := func(gates []gateStatus, name, status string) {
+		t.Helper()
+		for _, g := range gates {
+			if g.Name != name {
+				continue
+			}
+			if g.Status != status {
+				t.Errorf("gate %s = %q (%s), want %q", name, g.Status, g.Reason, status)
+			}
+			if g.Reason == "" {
+				t.Errorf("gate %s has no reason", name)
+			}
+			return
+		}
+		t.Errorf("gate %s missing", name)
+	}
+
+	g8 := matrixGates(linear, 8)
+	want(g8, "scaling_4core_linearity", "passed")
+	want(g8, "multicore_8proc_speedup", "passed")
+
+	// Same matrix, 1-CPU host: both gates skipped, not passed.
+	g1 := matrixGates(linear, 1)
+	want(g1, "scaling_4core_linearity", "skipped")
+	want(g1, "multicore_8proc_speedup", "skipped")
+
+	// A 4-CPU host judges linearity but must still skip the 8-proc gate.
+	g4 := matrixGates(linear, 4)
+	want(g4, "scaling_4core_linearity", "passed")
+	want(g4, "multicore_8proc_speedup", "skipped")
+
+	collapsed := []matrixEntry{
+		{GOMAXPROCS: 1, Cores: 1, MsgPerSec: 250_000, ScalingVs1: 1},
+		{GOMAXPROCS: 4, Cores: 4, MsgPerSec: 500_000, ScalingVs1: 2.0},
+	}
+	want(matrixGates(collapsed, 8), "scaling_4core_linearity", "failed")
+}

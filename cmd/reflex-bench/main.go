@@ -9,6 +9,7 @@
 //	reflex-bench [-scale 1.0] fig1 tab2 fig5 ...
 //	reflex-bench -all
 //	reflex-bench -hotpath BENCH_hotpath.json   (hot-path acceptance run)
+//	reflex-bench -cache BENCH_cache.json       (tiered-cache acceptance run)
 package main
 
 import (
@@ -28,10 +29,19 @@ func main() {
 	csvDir := flag.String("csv-dir", "", "also write each experiment's table as <dir>/<id>.csv")
 	hotpath := flag.String("hotpath", "", "run the hot-path throughput/allocation measurement and write results JSON to this file")
 	hotWindow := flag.Duration("hotpath-window", 3*time.Second, "per-transport measurement window for -hotpath")
+	cache := flag.String("cache", "", "run the tiered-cache/placement acceptance measurement (ext-cache) and write results JSON to this file")
 	flag.Parse()
 
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath, *hotWindow); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *cache != "" {
+		if err := runCacheBench(*cache, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -24,6 +24,8 @@ import (
 func main() {
 	device := flag.String("device", "deviceA", "device profile to calibrate")
 	verbose := flag.Bool("v", false, "print the raw sweep curves")
+	placeStreams := flag.Int("placement-streams", 0,
+		"also measure GC write amplification with this many FDP-style placement streams (hot/cold writer mix on an explicit erase-unit geometry of the device); 1 = everything mixed")
 	flag.Parse()
 
 	profiles := flashsim.Profiles()
@@ -68,4 +70,59 @@ func main() {
 		fmt.Printf("  %6dus: %7.0fK tokens/s\n", slo/sim.Microsecond,
 			float64(rate)/float64(core.TokenUnit)/1000)
 	}
+
+	if *placeStreams > 0 {
+		fmt.Printf("\nGC write amplification (hot 64-block overwriter + cold 400-block writer, erase-unit geometry):\n")
+		for _, n := range []int{1, *placeStreams} {
+			wa := measureWriteAmp(spec, n)
+			label := "mixed"
+			if n > 1 {
+				label = "segregated"
+			}
+			fmt.Printf("  %d stream(s) (%s): %.3f\n", n, label, wa)
+			if n == *placeStreams {
+				break
+			}
+		}
+	}
+}
+
+// measureWriteAmp drives a hot overwriter and a cold writer against the
+// device under the explicit erase-unit placement model with the given
+// number of streams, and returns the measured device-wide write
+// amplification. The geometry is shrunk so a short run wraps the physical
+// space many times and GC reaches steady state.
+func measureWriteAmp(spec flashsim.Spec, streams int) float64 {
+	s := spec
+	s.Channels = 4
+	s.EraseUnitPages = 32
+	s.UnitsPerChannel = 10
+	s.PlacementStreams = streams
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, s, 42)
+
+	const dur = 300 * sim.Millisecond
+	coldStream := 0
+	if streams > 1 {
+		coldStream = 1
+	}
+	// Hot: 20K writes/s over 64 blocks (stream 0). Cold: 5K writes/s
+	// over 400 blocks at an offset (coldStream). Unthrottled (no token
+	// scheduler in front), so the rates sit below the 4-channel program
+	// bandwidth and GC keeps pace.
+	submit := func(period sim.Time, blocks, base uint64, stream int, seed uint64) {
+		rng := seed
+		for t := sim.Time(0); t < dur; t += period {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			blk := base + (rng>>33)%blocks
+			st := stream
+			eng.At(t, func() {
+				dev.Submit(&flashsim.Request{Op: flashsim.OpWrite, Block: blk, Size: flashsim.PageSize, Stream: st})
+			})
+		}
+	}
+	submit(dur/6000, 64, 0, 0, 7)
+	submit(dur/1500, 400, 1024, coldStream, 11)
+	eng.RunUntil(dur + 5*sim.Millisecond)
+	return dev.WriteAmp()
 }

@@ -107,6 +107,8 @@ func main() {
 	sampleCSV := flag.String("sample-csv", "", "write the sampled time series to this CSV file on shutdown")
 	chaos := flag.Bool("chaos", false, "inject faults on every accepted connection and on the device path (soak testing)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (reproducible chaos runs)")
+	cacheMB := flag.Int64("cache-mb", 0, "DRAM read-cache size in MiB (0 = no cache)")
+	cacheAdmit := flag.String("cache-admit", "cost", "read-cache admission policy: cost (cost-model hurdle) or always")
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = default 2m, negative = never)")
 	connLimit := flag.Int("conn-limit", 0, "shed best-effort work while connections exceed this (0 = unlimited)")
 	backupOf := flag.String("backup-of", "", "run as replication backup of the primary at this address (refuses client writes until promoted)")
@@ -158,6 +160,8 @@ func main() {
 		WriteLatency:   *writeLat,
 		ReadOnlyWindow: 10 * time.Millisecond,
 		IdleTimeout:    *idleTimeout,
+		CacheBytes:     *cacheMB << 20,
+		CacheAdmit:     *cacheAdmit,
 		Faults:         inj,
 		Shed:           ctrl.ShedConfig{ConnLimit: *connLimit},
 	}, backend)

@@ -420,7 +420,7 @@ type Client struct {
 	// seeds from wall-clock nanoseconds at construction — unique across
 	// clients without coordination. start anchors span stamps (ns since
 	// client creation, same convention as the server's registry clock).
-	start    time.Time
+	start     time.Time
 	traceBase uint64
 	traceSeq  atomic.Uint64
 }
@@ -1109,6 +1109,36 @@ func (cl *Client) GoRead(handle uint16, lba uint32, n int) (*Call, error) {
 
 // GoWrite starts an asynchronous write of data at lba (512-byte units).
 func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error) {
+	return cl.goWriteFlags(handle, lba, data, 0)
+}
+
+// GoWriteHinted starts an asynchronous write carrying an FDP-style data
+// lifetime hint (protocol.HintShort or protocol.HintLong). The hint is
+// advisory: placement-aware servers segregate hinted writes into
+// separate streams/erase units to cut write amplification; others count
+// and ignore it. Traced clients drop the hint (the trace trailer owns
+// that path today).
+func (cl *Client) GoWriteHinted(handle uint16, lba uint32, data []byte, hint int) (*Call, error) {
+	var flags uint16
+	switch hint {
+	case protocol.HintShort:
+		flags = protocol.FlagHintShort
+	case protocol.HintLong:
+		flags = protocol.FlagHintLong
+	}
+	return cl.goWriteFlags(handle, lba, data, flags)
+}
+
+// WriteHinted is the synchronous form of GoWriteHinted.
+func (cl *Client) WriteHinted(handle uint16, lba uint32, data []byte, hint int) error {
+	call, err := cl.GoWriteHinted(handle, lba, data, hint)
+	if err != nil {
+		return err
+	}
+	return cl.wait(call)
+}
+
+func (cl *Client) goWriteFlags(handle uint16, lba uint32, data []byte, flags uint16) (*Call, error) {
 	if cl.opts.Trace {
 		trace := cl.nextTrace()
 		return cl.goWriteTraced(handle, lba, data, trace, trace)
@@ -1125,6 +1155,7 @@ func (cl *Client) GoWrite(handle uint16, lba uint32, data []byte) (*Call, error)
 		Handle: handle,
 		LBA:    lba,
 		Count:  uint32(len(data)),
+		Flags:  flags,
 	}
 	payload := data
 	var lease *bufpool.Buf

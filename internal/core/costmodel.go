@@ -94,6 +94,23 @@ func (m CostModel) Cost(op OpType, sizeBytes int, readOnly bool) Tokens {
 	}
 }
 
+// CacheServeCost returns the millitoken charge for a request served from
+// a DRAM read cache in front of the device. A hit consumes no device
+// time, only a memory copy and dispatch work, priced at 1/16 of a device
+// read (floor 1 mt so hits are never free: a tenant hammering the cache
+// still shows up in token accounting and cannot starve the dispatch
+// path). The same figure is the admission hurdle's per-hit saving: a
+// block earns admission only when its observed re-reference traffic,
+// valued at ReadCost - CacheServeCost per future hit, exceeds the
+// fill/eviction overhead (see internal/readcache).
+func (m CostModel) CacheServeCost() Tokens {
+	c := m.ReadCost / 16
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
 // RateForSLO returns the token generation rate (millitokens/second) that
 // guarantees an SLO of the given IOPS at the given read percentage,
 // assuming 4KB requests — the paper's §3.2.2 example: 100K IOPS at 80%

@@ -21,6 +21,13 @@ type Request struct {
 	// account queueing delay into end-to-end latency.
 	Arrival int64
 
+	// CostOverride, when positive, replaces the cost-model charge fixed at
+	// enqueue time. Servers use it for requests that will not reach the
+	// device — a DRAM read-cache hit is charged the cache-service cost
+	// (CostModel.CacheServeCost) instead of a device read, so hits free
+	// device tokens for everyone else while misses keep full QoS pricing.
+	CostOverride Tokens
+
 	// cost is the millitoken cost charged for the request, fixed at
 	// enqueue time from the then-current device mode.
 	cost Tokens

@@ -128,8 +128,12 @@ func (s *Scheduler) Submitted() uint64 { return s.submitted }
 // be registered with this scheduler.
 func (s *Scheduler) Enqueue(t *Tenant, r *Request) {
 	r.Tenant = t
-	readOnly := s.ReadOnlyProbe != nil && s.ReadOnlyProbe()
-	r.cost = s.Model.Cost(r.Op, r.Size, readOnly)
+	if r.CostOverride > 0 {
+		r.cost = r.CostOverride
+	} else {
+		readOnly := s.ReadOnlyProbe != nil && s.ReadOnlyProbe()
+		r.cost = s.Model.Cost(r.Op, r.Size, readOnly)
+	}
 	t.queue.push(r)
 	t.demand += r.cost
 	t.stats.Enqueued++

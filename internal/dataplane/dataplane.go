@@ -18,6 +18,7 @@ import (
 	"github.com/reflex-go/reflex/internal/flashsim"
 	"github.com/reflex-go/reflex/internal/netsim"
 	"github.com/reflex-go/reflex/internal/obs"
+	"github.com/reflex-go/reflex/internal/readcache"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -67,6 +68,25 @@ type Config struct {
 	// TokenRate is the device's total token generation rate (mt/s) at the
 	// strictest latency SLO; the control plane computes it (§4.3).
 	TokenRate core.Tokens
+
+	// CacheBlocks enables a DRAM read cache of this many 4KB blocks
+	// (0 = no cache). The simulator caches presence only (readcache
+	// NoData mode): a hit skips the device and is charged the cost
+	// model's CacheServeCost instead of a device read, which is the
+	// token-accounting effect the ext-cache experiment measures.
+	CacheBlocks int
+	// CacheAdmit selects the cache admission policy: "cost" (default,
+	// the cost-model re-reference hurdle) or "always".
+	CacheAdmit string
+	// CacheHitService is the simulated DRAM+copy service time of a hit
+	// (it replaces the device access entirely).
+	CacheHitService sim.Time
+
+	// StreamByClass tags writes with an FDP-style placement stream by
+	// tenant class (LC=0, BE=1) so the device's GC segregates their
+	// lifetimes. Requires a device in placement mode (EraseUnitPages>0)
+	// with PlacementStreams >= 2 to have any effect.
+	StreamByClass bool
 
 	// DisableQoS bypasses the scheduler and submits requests directly —
 	// the "I/O sched disabled" configuration of Figure 5.
@@ -129,6 +149,7 @@ type Server struct {
 	dev      *flashsim.Device
 	model    core.CostModel
 	cfg      Config
+	cache    *readcache.Cache
 	shared   *core.SharedState
 	threads  []*thread
 	tenantAt map[*core.Tenant]int
@@ -186,6 +207,23 @@ func NewServerOn(eng *sim.Engine, net *netsim.Network, endpoint *netsim.Endpoint
 	if cfg.Shed != (ctrl.ShedConfig{}) {
 		s.shedder = ctrl.NewShedder(cfg.Shed)
 	}
+	if cfg.CacheBlocks > 0 {
+		mode, err := readcache.ParseMode(cfg.CacheAdmit)
+		if err != nil {
+			panic(fmt.Errorf("dataplane: %w", err))
+		}
+		c, err := readcache.New(readcache.Config{
+			Blocks:   cfg.CacheBlocks,
+			Mode:     mode,
+			ReadCost: int64(s.model.ReadCost),
+			HitCost:  int64(s.model.CacheServeCost()),
+			NoData:   true,
+		})
+		if err != nil {
+			panic(fmt.Errorf("dataplane: %w", err))
+		}
+		s.cache = c
+	}
 	for i := 0; i < cfg.Threads; i++ {
 		th := &thread{
 			srv:  s,
@@ -211,6 +249,9 @@ func (s *Server) Model() core.CostModel { return s.model }
 
 // Device returns the backing flash device.
 func (s *Server) Device() *flashsim.Device { return s.dev }
+
+// Cache returns the DRAM read cache, or nil when Config.CacheBlocks is 0.
+func (s *Server) Cache() *readcache.Cache { return s.cache }
 
 // Threads returns the number of dataplane threads.
 func (s *Server) Threads() int { return len(s.threads) }

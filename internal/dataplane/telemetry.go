@@ -51,6 +51,9 @@ func (s *Server) initTelemetry() {
 		core.RegisterSchedulerMetrics(reg, th.sched, lbl)
 	}
 	core.RegisterSharedMetrics(reg, s.shared)
+	if s.cache != nil {
+		s.cache.RegisterMetrics(reg)
+	}
 	s.dev.RegisterMetrics(reg, obs.L("device", s.dev.Spec().Name))
 	s.endpoint.RegisterMetrics(reg, obs.L("endpoint", "server"))
 }

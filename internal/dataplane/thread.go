@@ -4,6 +4,7 @@ import (
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/flashsim"
 	"github.com/reflex-go/reflex/internal/obs"
+	"github.com/reflex-go/reflex/internal/readcache"
 	"github.com/reflex-go/reflex/internal/sim"
 )
 
@@ -17,6 +18,13 @@ type ioRequest struct {
 	// answered immediately (header only, no payload) without touching the
 	// scheduler or the device.
 	shed bool
+	// hit marks a read found in the DRAM cache at parse time: it is
+	// charged the cache-service cost and never touches the device.
+	hit bool
+	// fill marks an admitted read miss: its completion commits the block
+	// into the cache, fenced by fillEpoch against racing writes.
+	fill      bool
+	fillEpoch uint64
 	// span is the request's lifecycle record (embedded by value: stamping
 	// stages allocates nothing). It is copied into the server's trace ring
 	// when the response is transmitted.
@@ -161,6 +169,20 @@ func (th *thread) pass() {
 					})
 					return
 				}
+				if c := th.srv.cache; c != nil {
+					switch {
+					case r.op == core.OpRead && r.size <= readcache.BlockSize:
+						hit, admit, epoch := c.Probe(readcache.Key(0, r.blk), 0, nil)
+						if hit {
+							r.hit = true
+						} else if admit {
+							r.fill, r.fillEpoch = true, epoch
+						}
+					case r.op == core.OpWrite:
+						blocks := uint64((r.size + readcache.BlockSize - 1) / readcache.BlockSize)
+						c.Invalidate(readcache.Key(0, r.blk), blocks)
+					}
+				}
 				if cfg.DisableQoS {
 					if cfg.BlockingModel {
 						// Park until the single outstanding Flash slot
@@ -175,13 +197,19 @@ func (th *thread) pass() {
 					})
 					return
 				}
-				th.sched.Enqueue(r.conn.tenant, &core.Request{
+				req := &core.Request{
 					Op:      r.op,
 					Block:   r.blk,
 					Size:    r.size,
 					Arrival: th.srv.eng.Now(),
 					Context: r,
-				})
+				}
+				if r.hit {
+					// A DRAM hit never reaches the device: charge the
+					// cache-service cost, not a device read's tokens.
+					req.CostOverride = th.srv.model.CacheServeCost()
+				}
+				th.sched.Enqueue(r.conn.tenant, req)
 			})
 		}
 	}
@@ -257,9 +285,18 @@ func (th *thread) armTick() {
 	})
 }
 
-// submit issues the I/O to the NVMe device.
+// submit issues the I/O to the NVMe device, or serves a cache hit from
+// DRAM without touching it.
 func (th *thread) submit(r *ioRequest) {
 	r.span.Mark(obs.StageSubmit, th.srv.eng.Now())
+	if r.hit {
+		// DRAM hit: the device — and its token-paced queues — are never
+		// involved. Completion arrives after the DRAM service time.
+		th.srv.eng.After(th.srv.cfg.CacheHitService, func() {
+			th.complete(r)
+		})
+		return
+	}
 	if th.srv.cfg.BlockingModel {
 		th.blocked = true
 	}
@@ -267,11 +304,20 @@ func (th *thread) submit(r *ioRequest) {
 	if r.op == core.OpWrite {
 		op = flashsim.OpWrite
 	}
+	stream := 0
+	if th.srv.cfg.StreamByClass && r.op == core.OpWrite &&
+		r.conn.tenant.Class == core.BestEffort {
+		stream = 1
+	}
 	th.srv.dev.Submit(&flashsim.Request{
-		Op:    op,
-		Block: r.blk,
-		Size:  r.size,
+		Op:     op,
+		Block:  r.blk,
+		Size:   r.size,
+		Stream: stream,
 		OnComplete: func(sim.Time) {
+			if r.fill {
+				th.srv.cache.CommitFill(readcache.Key(0, r.blk), r.fillEpoch, nil)
+			}
 			th.complete(r)
 		},
 	})

@@ -152,6 +152,35 @@ func (r *rig) openLoopOpt(tgt workload.Target, iops float64, readPct, size int, 
 	}.Start(r.eng, tgt)
 }
 
+// zipfLoop runs an open-loop generator whose block addresses cover a
+// bounded working set, Zipf-skewed when skew > 1 (the hot-spot pattern
+// the DRAM read cache exploits) and uniform otherwise. paced selects the
+// fixed-rate LC pacing of pacedLoop.
+func (r *rig) zipfLoop(tgt workload.Target, iops float64, readPct, size int,
+	blocks uint64, skew float64, warm, dur sim.Time, seed int64, paced bool) *workload.Result {
+	if end := r.eng.Now() + warm + dur; end > r.stopAt {
+		r.stopAt = end
+	}
+	return workload.OpenLoop{
+		IOPS:     iops,
+		Mix:      workload.Mix{ReadPercent: readPct, Size: size, Blocks: blocks, ZipfSkew: skew},
+		Uniform:  paced,
+		EvenMix:  paced,
+		Warmup:   warm,
+		Duration: dur,
+		Seed:     seed,
+	}.Start(r.eng, tgt)
+}
+
+// offsetTarget shifts a target's block addresses by base, letting two
+// generators with independent [0, Blocks) ranges occupy disjoint regions
+// of one device (hot/cold lifetime separation in ext-cache part 2).
+func offsetTarget(tgt workload.Target, base uint64) workload.Target {
+	return workload.TargetFunc(func(op core.OpType, block uint64, size int, done func(lat sim.Time)) {
+		tgt.Issue(op, block+base, size, done)
+	})
+}
+
 // qd1 runs a queue-depth-1 closed loop against a target.
 func (r *rig) qd1(tgt workload.Target, readPct, size int, dur sim.Time, seed int64) *workload.Result {
 	if end := r.eng.Now() + dur; end > r.stopAt {

@@ -59,6 +59,7 @@ func TestRegistryRunsEverything(t *testing.T) {
 		"fig1": true, "fig3a": true, "fig3b": true, "fig3c": true,
 		"fig4": true, "fig6a": true, "fig6b": true, "fig6c": true,
 		"fig7a": true, "fig7b": true, "fig7c": true, "fig5": true,
+		"ext-cache":     true, // fig5-weight; has its own dedicated test
 		"ext-failover":  true, // wall-clock; has its own dedicated test
 		"ext-sharding":  true, // wall-clock; has its own dedicated test
 		"ext-ctrlplane": true, // wall-clock; has its own dedicated test

@@ -37,6 +37,7 @@ func Registry() map[string]Runner {
 		"ext-failover":    ExtFailover,
 		"ext-sharding":    ExtSharding,
 		"ext-ctrlplane":   ExtCtrlplane,
+		"ext-cache":       ExtCache,
 
 		"ablation-batching":  AblationBatching,
 		"ablation-twostep":   AblationTwoStep,

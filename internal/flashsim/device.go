@@ -66,6 +66,11 @@ type Request struct {
 	// request (media error / controller reset pulse). When nil, injected
 	// errors fall back to OnComplete so legacy callers never hang.
 	OnError func(at sim.Time)
+	// Stream is the FDP-style placement stream tag for writes, used only
+	// when the device runs the erase-unit placement model
+	// (Spec.EraseUnitPages > 0). Callers tag by tenant class or client
+	// lifetime hint; out-of-range tags clamp. Ignored for reads.
+	Stream int
 
 	submitAt sim.Time
 	// extra is injected per-request stall (timeout pulse), added to the
@@ -113,13 +118,27 @@ type Spec struct {
 	// WriteCost is the cost of a 4KB write in tokens (§3.2.1: 10, 20 and 16
 	// for devices A, B and C).
 	WriteCost int
-	// EraseProb is the per-written-page probability of a GC/erase pulse.
+	// EraseProb is the per-written-page probability of a GC/erase pulse
+	// (legacy GC model; ignored when EraseUnitPages > 0).
 	EraseProb float64
-	// EraseDuration is the channel occupancy of one erase pulse. The
-	// steady-state background cost of a write page is kept equal to
-	// WriteCost tokens: the per-page program occupancy is reduced by the
-	// expected erase contribution.
+	// EraseDuration is the channel occupancy of one erase pulse. In the
+	// legacy model the steady-state background cost of a write page is
+	// kept equal to WriteCost tokens: the per-page program occupancy is
+	// reduced by the expected erase contribution. In the placement model
+	// it is the cost of reclaiming one erase unit.
 	EraseDuration sim.Time
+
+	// EraseUnitPages switches the device from the per-page erase coin
+	// flip to explicit erase units of this many pages with FDP-style
+	// placement streams (see placement.go). Zero keeps the legacy model.
+	EraseUnitPages int
+	// PlacementStreams is the number of placement streams writes may be
+	// tagged with (Request.Stream); 0 defaults to 1 when placement is on.
+	PlacementStreams int
+	// UnitsPerChannel is the physical erase-unit count per channel; the
+	// device's physical capacity is Channels × UnitsPerChannel ×
+	// EraseUnitPages pages. 0 defaults to 8 when placement is on.
+	UnitsPerChannel int
 
 	// WearPagesScale models flash wear-out: every WearPagesScale pages
 	// written slow the device's service times by another 100% (§3.2.1:
@@ -151,11 +170,19 @@ func (s *Spec) TokenCapacityPerSec() float64 {
 }
 
 // programOccupancy returns the background channel occupancy of one written
-// page, net of the expected erase-pulse contribution.
+// page. In the legacy GC model it is net of the expected erase-pulse
+// contribution (so program + amortized erase = WriteCost tokens); in the
+// placement model erases are explicit events charged when a unit is
+// reclaimed, so the full program cost applies.
 func (s *Spec) programOccupancy() sim.Time {
 	total := sim.Time(s.WriteCost) * s.UnitService
+	if s.EraseUnitPages > 0 {
+		return total
+	}
 	erase := sim.Time(s.EraseProb * float64(s.EraseDuration))
 	if erase >= total {
+		// Validate rejects this spec (the device would write for free);
+		// kept only as a floor for specs built without New.
 		return 0
 	}
 	return total - erase
@@ -174,6 +201,30 @@ func (s *Spec) Validate() error {
 		return fmt.Errorf("flashsim: %s: EraseProb out of range", s.Name)
 	case s.Blocks == 0:
 		return fmt.Errorf("flashsim: %s: Blocks must be positive", s.Name)
+	case s.EraseUnitPages < 0:
+		return fmt.Errorf("flashsim: %s: EraseUnitPages must be non-negative", s.Name)
+	}
+	if s.EraseUnitPages == 0 {
+		// Legacy GC model: the expected erase contribution must leave real
+		// program work, or writes cost nothing in the background and the
+		// device "writes for free" — a silently miscalibrated spec.
+		if erase := sim.Time(s.EraseProb * float64(s.EraseDuration)); s.EraseProb > 0 && erase >= sim.Time(s.WriteCost)*s.UnitService {
+			return fmt.Errorf(
+				"flashsim: %s: EraseProb×EraseDuration (%v) >= WriteCost×UnitService (%v): expected erase work swallows the whole program budget, writes would cost nothing in the background; lower EraseProb/EraseDuration or raise WriteCost",
+				s.Name, erase, sim.Time(s.WriteCost)*s.UnitService)
+		}
+		return nil
+	}
+	switch {
+	case s.PlacementStreams < 1 || s.PlacementStreams > 16:
+		return fmt.Errorf("flashsim: %s: PlacementStreams must be in [1,16]", s.Name)
+	case s.UnitsPerChannel < 3:
+		return fmt.Errorf("flashsim: %s: UnitsPerChannel must be at least 3 (open + spare + GC victim)", s.Name)
+	case s.PlacementStreams > s.UnitsPerChannel-2:
+		return fmt.Errorf("flashsim: %s: PlacementStreams (%d) needs UnitsPerChannel >= streams+2 (got %d)",
+			s.Name, s.PlacementStreams, s.UnitsPerChannel)
+	case s.EraseDuration <= 0:
+		return fmt.Errorf("flashsim: %s: placement model needs a positive EraseDuration", s.Name)
 	}
 	return nil
 }
@@ -205,6 +256,8 @@ type Device struct {
 	stats       Stats
 	// inj optionally injects per-request I/O errors and timeout pulses.
 	inj *faults.Injector
+	// pl is the erase-unit placement state; nil in the legacy GC model.
+	pl *placer
 }
 
 // SetFaults installs a fault injector: per-request I/O errors (OnError)
@@ -214,6 +267,14 @@ func (d *Device) SetFaults(in *faults.Injector) { d.inj = in }
 // New creates a device from spec. It panics on an invalid spec; device
 // specs are program constants, not user input.
 func New(eng *sim.Engine, spec Spec, seed int64) *Device {
+	if spec.EraseUnitPages > 0 {
+		if spec.PlacementStreams == 0 {
+			spec.PlacementStreams = 1
+		}
+		if spec.UnitsPerChannel == 0 {
+			spec.UnitsPerChannel = 8
+		}
+	}
 	if err := spec.Validate(); err != nil {
 		panic(err)
 	}
@@ -226,6 +287,9 @@ func New(eng *sim.Engine, spec Spec, seed int64) *Device {
 	d.stats.WritePages = spec.PreAgedPages
 	for i := 0; i < spec.Channels; i++ {
 		d.channels = append(d.channels, sim.NewResource(eng, fmt.Sprintf("%s/ch%d", spec.Name, i)))
+	}
+	if spec.EraseUnitPages > 0 {
+		d.pl = newPlacer(d)
 	}
 	return d
 }
@@ -351,13 +415,17 @@ func (d *Device) submitWrite(r *Request) {
 		d.eng.After(lat, func() { r.OnComplete(d.eng.Now()) })
 	}
 
-	// Background program work per page, plus occasional erase pulses.
+	// Background program work per page, plus GC: explicit erase-unit
+	// bookkeeping under the placement model, the legacy per-page erase
+	// coin flip otherwise.
 	occ := sim.Time(float64(d.spec.programOccupancy()) * d.wearMultiplier())
 	for p := 0; p < pages; p++ {
 		ch := d.channelOf(r.Block + uint64(p))
 		d.pendingProg += occ
 		d.program(ch, occ)
-		if d.spec.EraseProb > 0 && d.rng.Float64() < d.spec.EraseProb {
+		if d.pl != nil {
+			d.pl.hostWrite(r.Block+uint64(p), r.Stream)
+		} else if d.spec.EraseProb > 0 && d.rng.Float64() < d.spec.EraseProb {
 			d.stats.Erases++
 			ch.Occupy(d.spec.EraseDuration)
 		}

@@ -215,7 +215,10 @@ func TestSubPageRequestCostsFullPage(t *testing.T) {
 func TestStats(t *testing.T) {
 	eng := sim.NewEngine()
 	spec := DeviceA()
-	spec.EraseProb = 1 // every write page erases
+	spec.EraseProb = 1 // every write page erases...
+	// ...which is only a valid spec while the expected erase work stays
+	// under the program budget (Validate's writes-for-free check).
+	spec.EraseDuration = spec.UnitService * sim.Time(spec.WriteCost) / 2
 	dev := New(eng, spec, 1)
 	eng.At(0, func() {
 		dev.Submit(&Request{Op: OpRead, Block: 0, Size: 8 * 1024})

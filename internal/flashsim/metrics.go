@@ -1,6 +1,10 @@
 package flashsim
 
-import "github.com/reflex-go/reflex/internal/obs"
+import (
+	"strconv"
+
+	"github.com/reflex-go/reflex/internal/obs"
+)
 
 // RegisterMetrics exposes the device's counters and instantaneous state on
 // a telemetry registry. All values are read-side functions evaluated at
@@ -35,4 +39,23 @@ func (d *Device) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
 			}
 			return 0
 		}, labels...)
+	if d.pl == nil {
+		return
+	}
+	reg.GaugeFunc("flash_write_amp", "measured device-wide write amplification (host+reloc)/host",
+		d.WriteAmp, labels...)
+	reg.GaugeFunc("flash_free_erase_units", "free erase units across channels",
+		func() float64 { f, _, _ := d.LiveUnits(); return float64(f) }, labels...)
+	for s := range d.pl.streams {
+		s := s
+		slbl := append(append([]obs.Label(nil), labels...), obs.L("stream", strconv.Itoa(s)))
+		reg.CounterFunc("flash_stream_host_pages_total", "host pages written via this placement stream",
+			func() float64 { return float64(d.pl.streams[s].HostPages) }, slbl...)
+		reg.CounterFunc("flash_stream_reloc_pages_total", "pages GC relocated out of this stream's erase units",
+			func() float64 { return float64(d.pl.streams[s].RelocPages) }, slbl...)
+		reg.CounterFunc("flash_stream_erases_total", "erase-unit reclaims charged to this stream",
+			func() float64 { return float64(d.pl.streams[s].Erases) }, slbl...)
+		reg.GaugeFunc("flash_stream_write_amp", "measured per-stream write amplification",
+			func() float64 { return d.pl.streams[s].WriteAmp() }, slbl...)
+	}
 }

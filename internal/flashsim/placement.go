@@ -1,0 +1,284 @@
+package flashsim
+
+import (
+	"fmt"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// GC-aware placement (FDP-style): when Spec.EraseUnitPages > 0 the device
+// replaces the per-page erase coin flip with explicit erase units. Each
+// channel owns UnitsPerChannel erase units of EraseUnitPages pages;
+// writes carry a placement stream tag (Request.Stream) and are appended
+// to the tagged stream's open unit on their channel. When a channel runs
+// low on free units it garbage-collects: the sealed unit with the fewest
+// valid pages is picked (stream-agnostic greedy — this is what makes
+// segregation pay: a stream of short-lived data leaves near-empty units
+// that GC reclaims for free), its surviving pages are relocated into
+// their stream's open unit (each relocation is a real program, charged as
+// channel occupancy), and the unit is erased (EraseDuration channel
+// occupancy — the GC pulse, now caused by actual fill instead of a
+// probability).
+//
+// Per-stream accounting exposes measured write amplification:
+// WA(stream) = (host pages + relocated pages) / host pages.
+
+// StreamStats are cumulative per-placement-stream counters.
+type StreamStats struct {
+	// HostPages counts pages written by host requests tagged with this
+	// stream.
+	HostPages uint64
+	// RelocPages counts pages GC relocated out of this stream's victims.
+	RelocPages uint64
+	// Erases counts erase-unit reclaims whose victim belonged to this
+	// stream.
+	Erases uint64
+}
+
+// WriteAmp returns the stream's measured write amplification, or 1 when
+// it has absorbed no host writes.
+func (s StreamStats) WriteAmp() float64 {
+	if s.HostPages == 0 {
+		return 1
+	}
+	return float64(s.HostPages+s.RelocPages) / float64(s.HostPages)
+}
+
+// eraseUnit is one physical erase block: an append-only run of pages.
+// blocks records every page programmed into the unit since its last
+// erase; entries whose current location moved elsewhere are stale and
+// counted out of valid.
+type eraseUnit struct {
+	ch     int
+	stream int
+	blocks []uint64
+	valid  int
+	sealed bool
+}
+
+type chanUnits struct {
+	units  []*eraseUnit
+	free   []int32 // indexes into units
+	open   []int32 // per stream; noUnit when none open
+	sealed []int32 // GC victim candidates
+}
+
+const noUnit = int32(-1)
+
+type placer struct {
+	d       *Device
+	chans   []chanUnits
+	loc     map[uint64]*eraseUnit // logical page -> current unit
+	streams []StreamStats
+	// gcDepth guards against pathological recursion when relocations
+	// themselves force GC on an over-subscribed device.
+	gcDepth int
+}
+
+func newPlacer(d *Device) *placer {
+	p := &placer{
+		d:       d,
+		chans:   make([]chanUnits, d.spec.Channels),
+		loc:     make(map[uint64]*eraseUnit),
+		streams: make([]StreamStats, d.spec.PlacementStreams),
+	}
+	for c := range p.chans {
+		cu := &p.chans[c]
+		cu.units = make([]*eraseUnit, d.spec.UnitsPerChannel)
+		cu.free = make([]int32, 0, d.spec.UnitsPerChannel)
+		cu.open = make([]int32, d.spec.PlacementStreams)
+		cu.sealed = make([]int32, 0, d.spec.UnitsPerChannel)
+		for u := range cu.units {
+			cu.units[u] = &eraseUnit{ch: c, blocks: make([]uint64, 0, d.spec.EraseUnitPages)}
+			cu.free = append(cu.free, int32(u))
+		}
+		for s := range cu.open {
+			cu.open[s] = noUnit
+		}
+	}
+	return p
+}
+
+// clampStream folds an out-of-range tag onto the last stream so untagged
+// callers on a placement device still work.
+func (p *placer) clampStream(s int) int {
+	if s < 0 {
+		return 0
+	}
+	if s >= len(p.streams) {
+		return len(p.streams) - 1
+	}
+	return s
+}
+
+// hostWrite places one host-written page and charges its stream.
+func (p *placer) hostWrite(block uint64, stream int) {
+	stream = p.clampStream(stream)
+	p.streams[stream].HostPages++
+	p.place(block, stream)
+}
+
+// place appends block to stream's open unit on the block's channel,
+// invalidating the page's previous location.
+func (p *placer) place(block uint64, stream int) {
+	ch := int(block % uint64(len(p.chans)))
+	if old, ok := p.loc[block]; ok {
+		old.valid--
+	}
+	u := p.openUnit(ch, stream)
+	u.blocks = append(u.blocks, block)
+	u.valid++
+	p.loc[block] = u
+}
+
+// openUnit returns the open erase unit for (ch, stream), sealing a full
+// one and allocating (GC-ing first if the channel is down to its spare)
+// as needed.
+func (p *placer) openUnit(ch, stream int) *eraseUnit {
+	cu := &p.chans[ch]
+	// spins bounds GC thrash: when every victim is fully valid each
+	// reclaim refills exactly what it freed, so looping is futile — the
+	// live working set no longer fits and the device is genuinely full.
+	for spins := 0; ; spins++ {
+		if spins > 2*p.d.spec.UnitsPerChannel+4 {
+			panic(fmt.Sprintf(
+				"flashsim: %s: channel %d out of erase units (live working set exceeds physical capacity: %d units × %d pages; widen UnitsPerChannel/EraseUnitPages or shrink the workload's footprint)",
+				p.d.spec.Name, ch, p.d.spec.UnitsPerChannel, p.d.spec.EraseUnitPages))
+		}
+		// Re-read the open slot on every pass: a GC below relocates pages
+		// through place → openUnit for this same (ch, stream), which may
+		// itself open a unit. Allocating blindly after GC would orphan it.
+		if oi := cu.open[stream]; oi != noUnit {
+			u := cu.units[oi]
+			if len(u.blocks) < p.d.spec.EraseUnitPages {
+				return u
+			}
+			u.sealed = true
+			cu.sealed = append(cu.sealed, oi)
+			cu.open[stream] = noUnit
+		}
+		// Keep one spare free unit per channel so GC always has a landing
+		// zone; reclaim ahead of exhaustion.
+		if p.gcDepth == 0 && len(cu.free) <= 1 && len(cu.sealed) > 0 {
+			p.gc(ch)
+			if cu.open[stream] != noUnit {
+				continue
+			}
+		}
+		// Reclaim until a unit is free. Bounded: if a full sweep of
+		// victims frees nothing (every victim fully valid, so relocation
+		// refills what the erase freed), the live working set has
+		// outgrown the device.
+		for attempts := 0; len(cu.free) == 0 && len(cu.sealed) > 0 && attempts < p.d.spec.UnitsPerChannel; attempts++ {
+			p.gc(ch)
+		}
+		if cu.open[stream] != noUnit {
+			continue
+		}
+		if len(cu.free) == 0 {
+			panic(fmt.Sprintf(
+				"flashsim: %s: channel %d out of erase units (live working set exceeds physical capacity: %d units × %d pages; widen UnitsPerChannel/EraseUnitPages or shrink the workload's footprint)",
+				p.d.spec.Name, ch, p.d.spec.UnitsPerChannel, p.d.spec.EraseUnitPages))
+		}
+		ui := cu.free[len(cu.free)-1]
+		cu.free = cu.free[:len(cu.free)-1]
+		u := cu.units[ui]
+		u.stream = stream
+		cu.open[stream] = ui
+		return u
+	}
+}
+
+// gc reclaims the sealed unit with the fewest valid pages on channel ch:
+// erase-pulse occupancy, relocation programs for surviving pages, unit
+// back on the free list.
+func (p *placer) gc(ch int) {
+	cu := &p.chans[ch]
+	best, bestIdx := -1, -1
+	for i, ui := range cu.sealed {
+		if v := cu.units[ui].valid; best == -1 || v < best {
+			best, bestIdx = v, i
+		}
+	}
+	if bestIdx == -1 {
+		return
+	}
+	victimIdx := cu.sealed[bestIdx]
+	cu.sealed = append(cu.sealed[:bestIdx], cu.sealed[bestIdx+1:]...)
+	victim := cu.units[victimIdx]
+
+	// Snapshot survivors, then free the unit first so relocations have a
+	// unit to land in.
+	var live []uint64
+	for _, b := range victim.blocks {
+		if p.loc[b] == victim {
+			live = append(live, b)
+		}
+	}
+	d := p.d
+	d.stats.Erases++
+	p.streams[victim.stream].Erases++
+	d.channels[ch].Occupy(d.spec.EraseDuration)
+
+	victimStream := victim.stream
+	victim.blocks = victim.blocks[:0]
+	victim.valid = 0
+	victim.sealed = false
+	cu.free = append(cu.free, victimIdx)
+
+	p.gcDepth++
+	occ := sim.Time(float64(d.spec.programOccupancy()) * d.wearMultiplier())
+	for _, b := range live {
+		delete(p.loc, b) // drop the stale mapping before re-placing
+		p.streams[victimStream].RelocPages++
+		d.pendingProg += occ
+		d.program(d.channels[ch], occ)
+		p.place(b, victimStream)
+	}
+	p.gcDepth--
+}
+
+// StreamStats returns a copy of the per-stream counters; nil when the
+// device runs the legacy (coin-flip) GC model.
+func (d *Device) StreamStats() []StreamStats {
+	if d.pl == nil {
+		return nil
+	}
+	out := make([]StreamStats, len(d.pl.streams))
+	copy(out, d.pl.streams)
+	return out
+}
+
+// WriteAmp returns the device-wide measured write amplification
+// (host + relocated pages over host pages), or 1 when placement is off
+// or nothing was written.
+func (d *Device) WriteAmp() float64 {
+	if d.pl == nil {
+		return 1
+	}
+	var host, reloc uint64
+	for _, s := range d.pl.streams {
+		host += s.HostPages
+		reloc += s.RelocPages
+	}
+	return StreamStats{HostPages: host, RelocPages: reloc}.WriteAmp()
+}
+
+// LiveUnits returns (free, sealed, open) erase-unit counts summed across
+// channels; zeros when placement is off.
+func (d *Device) LiveUnits() (free, sealed, open int) {
+	if d.pl == nil {
+		return 0, 0, 0
+	}
+	for c := range d.pl.chans {
+		cu := &d.pl.chans[c]
+		free += len(cu.free)
+		sealed += len(cu.sealed)
+		for _, oi := range cu.open {
+			if oi != noUnit {
+				open++
+			}
+		}
+	}
+	return free, sealed, open
+}

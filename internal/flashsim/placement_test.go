@@ -1,0 +1,197 @@
+package flashsim
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/sim"
+)
+
+// placementSpec is a small placement-model device: 4 channels × 6 units ×
+// 32 pages = 768 physical pages.
+func placementSpec(streams int) Spec {
+	s := DeviceA()
+	s.Name = "placed"
+	s.Channels = 4
+	s.EraseUnitPages = 32
+	s.UnitsPerChannel = 6
+	s.PlacementStreams = streams
+	return s
+}
+
+// churn drives a hot/cold write mix: the hot writer overwrites a small
+// set of blocks (short-lived data), the cold writer walks a wide range
+// once (long-lived data). hotStream/coldStream pick the placement tags.
+func churn(t *testing.T, spec Spec, hotStream, coldStream int) *Device {
+	t.Helper()
+	eng := sim.NewEngine()
+	dev := New(eng, spec, 42)
+	rng := sim.NewRNG(7)
+	const (
+		hotBlocks  = 64
+		coldBlocks = 400
+		hotWrites  = 2400
+		coldWrites = 600
+		gap        = 50 * sim.Microsecond
+	)
+	for i := 0; i < hotWrites; i++ {
+		b := uint64(rng.Intn(hotBlocks))
+		s := hotStream
+		eng.At(sim.Time(i)*gap, func() {
+			dev.Submit(&Request{Op: OpWrite, Block: b, Size: PageSize, Stream: s})
+		})
+	}
+	for i := 0; i < coldWrites; i++ {
+		b := uint64(1024 + rng.Intn(coldBlocks))
+		s := coldStream
+		eng.At(sim.Time(i*4)*gap, func() {
+			dev.Submit(&Request{Op: OpWrite, Block: b, Size: PageSize, Stream: s})
+		})
+	}
+	eng.Run()
+	return dev
+}
+
+// TestPlacementSegregationCutsWriteAmp is the headline property: tagging
+// short-lived and long-lived writes into separate streams must yield
+// strictly lower measured write amplification than mixing them, because
+// GC victims from the hot stream are near-empty while mixed units always
+// carry live cold pages that must be relocated.
+func TestPlacementSegregationCutsWriteAmp(t *testing.T) {
+	mixed := churn(t, placementSpec(1), 0, 0)
+	seg := churn(t, placementSpec(2), 1, 0)
+
+	waM, waS := mixed.WriteAmp(), seg.WriteAmp()
+	t.Logf("write-amp mixed=%.3f segregated=%.3f (streams: %+v)", waM, waS, seg.StreamStats())
+	if waM <= 1 {
+		t.Fatalf("mixed run never triggered GC (WA=%.3f); workload too small for the spec", waM)
+	}
+	if waS >= waM {
+		t.Fatalf("segregated write-amp %.3f not below mixed %.3f", waS, waM)
+	}
+}
+
+func TestPlacementEraseAccounting(t *testing.T) {
+	dev := churn(t, placementSpec(2), 1, 0)
+	st := dev.Stats()
+	if st.Erases == 0 {
+		t.Fatal("no erases despite writing several times the physical capacity")
+	}
+	var perStream uint64
+	for _, s := range dev.StreamStats() {
+		perStream += s.Erases
+	}
+	if perStream != st.Erases {
+		t.Fatalf("per-stream erases %d != device erases %d", perStream, st.Erases)
+	}
+	free, sealed, open := dev.LiveUnits()
+	if total := free + sealed + open; total != 4*6 {
+		t.Fatalf("units leak: free=%d sealed=%d open=%d, want total %d", free, sealed, open, 24)
+	}
+}
+
+// TestPlacementLocTracksLatestWrite checks the valid-page bookkeeping:
+// overwriting one block forever must keep exactly one live page, so GC
+// victims are empty and write-amp stays 1 (no relocations).
+func TestPlacementOverwriteOnlyHasUnitWriteAmp(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := New(eng, placementSpec(1), 1)
+	for i := 0; i < 1500; i++ {
+		eng.At(sim.Time(i)*sim.Microsecond, func() {
+			dev.Submit(&Request{Op: OpWrite, Block: 5, Size: PageSize})
+		})
+	}
+	eng.Run()
+	if wa := dev.WriteAmp(); wa != 1 {
+		t.Fatalf("pure-overwrite write-amp = %.3f, want exactly 1 (GC victims hold no live pages)", wa)
+	}
+	if dev.Stats().Erases == 0 {
+		t.Fatal("expected GC activity after 1500 single-page writes into 6×32-page units on the block's channel")
+	}
+}
+
+func TestPlacementDeviceFullPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	spec := placementSpec(1)
+	dev := New(eng, spec, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("writing more live blocks than physical pages did not panic")
+		}
+		if !strings.Contains(r.(string), "out of erase units") {
+			t.Fatalf("unexpected panic: %v", r)
+		}
+	}()
+	// 4 channels × 6 units × 32 pages = 768 physical pages; write 2000
+	// distinct live blocks on one channel's stripe (block % 4 == 0).
+	eng.At(0, func() {
+		for b := uint64(0); b < 2000; b++ {
+			dev.Submit(&Request{Op: OpWrite, Block: b * 4, Size: PageSize})
+		}
+	})
+	eng.Run()
+}
+
+func TestPlacementStreamClamp(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := New(eng, placementSpec(2), 1)
+	eng.At(0, func() {
+		dev.Submit(&Request{Op: OpWrite, Block: 1, Size: PageSize, Stream: -3})
+		dev.Submit(&Request{Op: OpWrite, Block: 2, Size: PageSize, Stream: 99})
+	})
+	eng.Run()
+	st := dev.StreamStats()
+	if st[0].HostPages != 1 || st[1].HostPages != 1 {
+		t.Fatalf("clamped stream accounting wrong: %+v", st)
+	}
+}
+
+func TestPlacementSpecValidation(t *testing.T) {
+	cases := []func(*Spec){
+		func(s *Spec) { s.PlacementStreams = 0 },
+		func(s *Spec) { s.PlacementStreams = 17 },
+		func(s *Spec) { s.UnitsPerChannel = 2 },
+		func(s *Spec) { s.PlacementStreams = 5 }, // > UnitsPerChannel-2
+		func(s *Spec) { s.EraseDuration = 0 },
+	}
+	for i, mutate := range cases {
+		spec := placementSpec(1)
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("case %d: invalid placement spec passed validation", i)
+		}
+	}
+	spec := placementSpec(2)
+	if err := spec.Validate(); err != nil {
+		t.Errorf("valid placement spec rejected: %v", err)
+	}
+}
+
+// TestWritesForFreeSpecRejected is the regression test for the
+// programOccupancy clamp: a legacy-GC spec whose expected erase work
+// swallows the whole program budget used to silently produce a device
+// whose writes cost nothing in the background; it must now fail Validate.
+func TestWritesForFreeSpecRejected(t *testing.T) {
+	spec := DeviceA()
+	spec.EraseProb = 1 // expected erase work 2ms/page >> 133µs program budget
+	err := spec.Validate()
+	if err == nil {
+		t.Fatal("spec with EraseProb×EraseDuration >= WriteCost×UnitService passed validation")
+	}
+	if !strings.Contains(err.Error(), "cost nothing") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Exactly at the boundary is still free writing (occupancy 0).
+	spec = DeviceA()
+	spec.EraseProb = 1
+	spec.EraseDuration = sim.Time(spec.WriteCost) * spec.UnitService
+	if spec.Validate() == nil {
+		t.Fatal("boundary spec (erase == program budget) passed validation")
+	}
+	// Strictly under the budget is fine.
+	spec.EraseDuration--
+	if err := spec.Validate(); err != nil {
+		t.Fatalf("spec with erase work under the budget rejected: %v", err)
+	}
+}

@@ -180,7 +180,42 @@ const (
 	// payload. Responses never carry the trailer — the trace id was minted
 	// by the caller, who already has it.
 	FlagTraced uint16 = 1 << 2
+	// FlagHintShort marks an OpWrite whose data the client expects to be
+	// short-lived (soon overwritten or trimmed — journals, spill files,
+	// compaction input). FDP-style lifetime hints: servers map hints to
+	// placement streams so short-lived data never shares an erase unit
+	// with long-lived data, which cuts device write amplification. A
+	// hint is advisory; servers without placement support count and
+	// ignore it.
+	FlagHintShort uint16 = 1 << 3
+	// FlagHintLong marks an OpWrite whose data the client expects to be
+	// long-lived (cold objects, base images). See FlagHintShort.
+	FlagHintLong uint16 = 1 << 4
+	// FlagHintMask covers the lifetime-hint bits.
+	FlagHintMask = FlagHintShort | FlagHintLong
 )
+
+// Lifetime hint values decoded from the flag bits (LifetimeHint).
+const (
+	// HintNone is an unhinted write.
+	HintNone = 0
+	// HintShort is short-lived data (FlagHintShort).
+	HintShort = 1
+	// HintLong is long-lived data (FlagHintLong).
+	HintLong = 2
+)
+
+// LifetimeHint decodes the write lifetime-hint flag bits. Both bits set
+// is treated as no hint (the client contradicted itself).
+func (h *Header) LifetimeHint() int {
+	switch h.Flags & FlagHintMask {
+	case FlagHintShort:
+		return HintShort
+	case FlagHintLong:
+		return HintLong
+	}
+	return HintNone
+}
 
 // ChecksumSize is the length of the CRC32C payload trailer.
 const ChecksumSize = 4

@@ -1,0 +1,581 @@
+// Package readcache is a sharded, bounded DRAM read cache that sits in
+// front of a Flash device (real backend or flashsim) and turns the QoS
+// cost model (§3.2.1) into an admission policy.
+//
+// The cache holds whole 4KB device blocks — the costing granularity — in
+// buffers leased once from internal/bufpool at construction and owned for
+// the cache's lifetime, so the steady-state hot path performs no
+// allocation and no pool traffic. Capacity is split across lock-striped
+// segments (each with its own mutex, index, and intrusive LRU over a
+// preallocated slot array) so per-core server loops never contend on a
+// shared cache-wide lock.
+//
+// Admission is cost-model-driven: a miss is only worth filling when the
+// device tokens its future hits will save exceed the token cost of the
+// fill itself (one device read) plus the eviction it forces. Each segment
+// keeps a small fixed "ghost" table of recently missed keys with a
+// re-reference count; a block is admitted once
+//
+//	(refs-1) × (ReadCost - HitCost) ≥ AdmitCost
+//
+// i.e. the re-reference traffic actually observed, valued at the per-hit
+// token saving, has paid for the admission overhead. With the defaults
+// (AdmitCost = ReadCost) this admits on the second miss — one observed
+// re-reference proves the block is not a streaming scan.
+//
+// Consistency contract: writers must call Invalidate after the backend
+// write applies and before the write is acknowledged. Fills are fenced
+// per key: Probe samples the segment's invalidation clock as the fill
+// epoch, Invalidate stamps the written key's ghost entry with the clock,
+// and CommitFill aborts when the key was stamped after the fill's epoch
+// (or when the fence bookkeeping itself was lost — ghost eviction or
+// FlushAll — tracked by the segment's lostInval/flushed watermarks).
+// Writes to other keys in the segment never abort a fill, so slow fills
+// survive unrelated write traffic. Under that ordering a read issued
+// after a write's ack can never observe pre-write data (see DESIGN.md §17
+// for the interleaving argument).
+package readcache
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/reflex-go/reflex/internal/bufpool"
+	"github.com/reflex-go/reflex/internal/obs"
+)
+
+// BlockSize is the cache line: one 4KB device block, the cost model's
+// pricing unit.
+const BlockSize = 4096
+
+// Mode selects the admission policy.
+type Mode int
+
+const (
+	// ModeCost admits a block only when its ghost-table re-reference
+	// count has paid the admission hurdle in saved device tokens.
+	ModeCost Mode = iota
+	// ModeAlways admits every miss (classic LRU; useful as a baseline
+	// and in experiments isolating the admission policy's effect).
+	ModeAlways
+	// ModeNever disables fills: the cache serves existing entries until
+	// they are invalidated but never admits new ones.
+	ModeNever
+)
+
+// ParseMode maps the -cache-admit flag values to a Mode.
+func ParseMode(s string) (Mode, error) {
+	switch s {
+	case "", "cost":
+		return ModeCost, nil
+	case "always":
+		return ModeAlways, nil
+	case "never":
+		return ModeNever, nil
+	}
+	return 0, fmt.Errorf("readcache: unknown admission mode %q (want cost, always or never)", s)
+}
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAlways:
+		return "always"
+	case ModeNever:
+		return "never"
+	default:
+		return "cost"
+	}
+}
+
+// Config sizes and parameterizes a Cache.
+type Config struct {
+	// Blocks is the capacity in 4KB entries (the DRAM budget is
+	// Blocks × 4KB plus index overhead). Must be positive.
+	Blocks int
+	// Segments is the lock-stripe count, rounded up to a power of two;
+	// 0 means min(16, Blocks).
+	Segments int
+	// Mode selects the admission policy (default ModeCost).
+	Mode Mode
+	// ReadCost is the device's per-4KB read price in millitokens — what
+	// one future hit saves. Used only by ModeCost; 0 means 1000.
+	ReadCost int64
+	// HitCost is the millitoken price of serving a hit
+	// (CostModel.CacheServeCost); subtracted from the per-hit saving.
+	HitCost int64
+	// AdmitCost is the admission overhead hurdle in millitokens: the
+	// device read that fills the entry plus eviction bookkeeping. 0
+	// means ReadCost (fill price), which admits on the second miss.
+	AdmitCost int64
+	// NoData runs the cache presence-only: entries carry no payload
+	// buffers. The simulated dataplane uses this — flashsim models time,
+	// not data, so the cache only needs to decide hit/miss.
+	NoData bool
+}
+
+// Stats is a point-in-time snapshot of cache counters.
+type Stats struct {
+	Hits          uint64 // probes served from cache
+	Misses        uint64 // probes that fell through to the device
+	Admits        uint64 // misses the admission policy asked to fill
+	Fills         uint64 // fills committed into the cache
+	FillAborts    uint64 // fills dropped by the invalidation fence
+	Evictions     uint64 // entries evicted to make room
+	Invalidations uint64 // entries dropped by Invalidate/FlushAll
+	Entries       int    // resident entries now
+	CapBlocks     int    // capacity in entries
+}
+
+// Cache is a sharded read cache. All methods are safe for concurrent use.
+type Cache struct {
+	segs    []segment
+	segMask uint64
+	mode    Mode
+	// minRefs is the ghost count at which ModeCost admits: smallest r
+	// with (r-1)*(ReadCost-HitCost) >= AdmitCost.
+	minRefs uint32
+	noData  bool
+	capBlk  int
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	admits     atomic.Uint64
+	fills      atomic.Uint64
+	fillAborts atomic.Uint64
+	evictions  atomic.Uint64
+	invals     atomic.Uint64
+	entries    atomic.Int64
+}
+
+const (
+	noSlot     = int32(-1)
+	ghostProbe = 4 // linear-probe window in the ghost table
+)
+
+type slot struct {
+	key        uint64
+	buf        *bufpool.Buf // nil in NoData mode
+	prev, next int32        // intrusive LRU links (index into slots)
+}
+
+type ghostEnt struct {
+	key  uint64
+	refs uint32
+	// inval is the segment version at the key's last invalidation: the
+	// per-key fill fence. A fill whose epoch predates it raced a write.
+	inval uint64
+}
+
+type segment struct {
+	mu sync.Mutex
+	// version is the segment's invalidation clock: bumped by every
+	// invalidation or flush that touches this segment. Probes sample it
+	// as the fill epoch; the fence itself is per-key (ghostEnt.inval),
+	// so an unrelated write in the segment does not abort a fill.
+	version uint64
+	// flushed is the version at the last FlushAll: a wholesale fence
+	// (fills probed before the flush abort even though their key's ghost
+	// entry may have been re-created since).
+	flushed uint64
+	// lostInval is the version at the last eviction of a ghost entry
+	// that could have carried fence state (a stamped entry, or one with
+	// enough refs that a fill may be in flight for it). Fills probed
+	// before that point can no longer prove their key unwritten, so they
+	// abort. Evicting one-touch unstamped entries — the overwhelmingly
+	// common case — does not advance it.
+	lostInval uint64
+	idx       map[uint64]int32
+	slots     []slot
+	free      int32 // free-list head threaded through slot.next
+	lruHead   int32 // most recently used
+	lruTail   int32 // least recently used
+	ghost     []ghostEnt
+	gmask     uint64
+	// pad keeps neighbouring segments' mutexes off one cache line.
+	_ [64]byte
+}
+
+// New builds a cache. In data mode every slot's 4KB buffer is leased from
+// bufpool up front and held for the cache's lifetime, so the hot path
+// never touches the pool.
+func New(cfg Config) (*Cache, error) {
+	if cfg.Blocks <= 0 {
+		return nil, fmt.Errorf("readcache: Blocks must be positive (got %d)", cfg.Blocks)
+	}
+	if cfg.ReadCost <= 0 {
+		cfg.ReadCost = 1000
+	}
+	if cfg.AdmitCost <= 0 {
+		cfg.AdmitCost = cfg.ReadCost
+	}
+	if cfg.HitCost < 0 || cfg.HitCost >= cfg.ReadCost {
+		return nil, fmt.Errorf("readcache: HitCost %d must be in [0, ReadCost)", cfg.HitCost)
+	}
+	nseg := cfg.Segments
+	if nseg <= 0 {
+		nseg = 16
+		if nseg > cfg.Blocks {
+			nseg = cfg.Blocks
+		}
+	}
+	nseg = ceilPow2(nseg)
+
+	saving := cfg.ReadCost - cfg.HitCost
+	minRefs := uint32(1 + (cfg.AdmitCost+saving-1)/saving)
+
+	c := &Cache{
+		segs:    make([]segment, nseg),
+		segMask: uint64(nseg - 1),
+		mode:    cfg.Mode,
+		minRefs: minRefs,
+		noData:  cfg.NoData,
+		capBlk:  0,
+	}
+	perSeg := (cfg.Blocks + nseg - 1) / nseg
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.idx = make(map[uint64]int32, perSeg)
+		s.slots = make([]slot, perSeg)
+		s.lruHead, s.lruTail = noSlot, noSlot
+		// Thread the free list through next links.
+		for j := range s.slots {
+			s.slots[j].next = int32(j) + 1
+			if !cfg.NoData {
+				s.slots[j].buf = bufpool.Get(BlockSize)
+			}
+		}
+		s.slots[perSeg-1].next = noSlot
+		s.free = 0
+		ng := ceilPow2(2 * perSeg)
+		s.ghost = make([]ghostEnt, ng)
+		s.gmask = uint64(ng - 1)
+		c.capBlk += perSeg
+	}
+	return c, nil
+}
+
+// Key composes a cache key from a device index and a 4KB block index.
+// Device bits live in the top byte so per-device block spaces never
+// collide.
+func Key(dev int, block uint64) uint64 {
+	return uint64(dev)<<56 | (block & (1<<56 - 1))
+}
+
+// mix is Fibonacci hashing; segment choice and ghost slots use disjoint
+// bit ranges of the mixed key.
+func mix(key uint64) uint64 { return key * 0x9E3779B97F4A7C15 }
+
+func ceilPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func (c *Cache) seg(key uint64) *segment { return &c.segs[(mix(key)>>32)&c.segMask] }
+
+// Probe looks up one 4KB block. On a hit it copies len(dst) bytes
+// starting at off within the cached block into dst (both ignored in
+// NoData mode, where dst is nil) and refreshes the entry's recency. On a
+// miss it bumps the block's ghost re-reference count; admit reports
+// whether the admission policy wants the block filled and epoch is the
+// fence to hand back to CommitFill. The copy happens under the segment
+// lock, so a concurrent Invalidate can never expose a torn entry.
+func (c *Cache) Probe(key uint64, off int, dst []byte) (hit, admit bool, epoch uint64) {
+	s := c.seg(key)
+	s.mu.Lock()
+	if i, ok := s.idx[key]; ok {
+		sl := &s.slots[i]
+		if !c.noData && dst != nil {
+			copy(dst, sl.buf.Bytes()[off:off+len(dst)])
+		}
+		s.lruTouch(i)
+		s.mu.Unlock()
+		c.hits.Add(1)
+		return true, false, 0
+	}
+	epoch = s.version
+	admit = c.admitMiss(s, key)
+	s.mu.Unlock()
+	c.misses.Add(1)
+	if admit {
+		c.admits.Add(1)
+	}
+	return false, admit, epoch
+}
+
+// admitMiss records a miss in the segment's ghost table and applies the
+// admission policy. The ghost entry is maintained in every mode — it
+// doubles as the per-key fill fence — so even ModeAlways records the
+// miss before admitting. Caller holds s.mu.
+func (c *Cache) admitMiss(s *segment, key uint64) bool {
+	h := mix(key) & s.gmask
+	victim := h
+	var victimRefs uint32 = ^uint32(0)
+	tracked := false
+	var refs uint32
+	for p := uint64(0); p < ghostProbe; p++ {
+		g := &s.ghost[(h+p)&s.gmask]
+		if g.key == key && g.refs > 0 {
+			g.refs++
+			tracked, refs = true, g.refs
+			break
+		}
+		if g.refs < victimRefs {
+			victimRefs = g.refs
+			victim = (h + p) & s.gmask
+		}
+	}
+	if !tracked {
+		// Not tracked: claim the coldest probed entry. Evicting the
+		// smallest refs decays stale history and keeps one-touch scans
+		// from displacing blocks that are accumulating evidence.
+		ev := &s.ghost[victim]
+		if ev.inval > 0 || ev.refs >= c.fillRefs() {
+			// The displaced entry could have fenced an in-flight fill;
+			// without it, fills probed before now can't be proven safe.
+			s.lostInval = s.version
+		}
+		*ev = ghostEnt{key: key, refs: 1}
+		refs = 1
+	}
+	switch c.mode {
+	case ModeAlways:
+		return true
+	case ModeNever:
+		return false
+	}
+	return refs >= c.minRefs
+}
+
+// fillRefs is the smallest ghost refcount a key with an in-flight fill
+// can have: fills launch only on admitted misses, so in ModeCost that is
+// minRefs and in ModeAlways a single touch. Ghost evictions below this
+// cannot orphan a fill and so don't advance the lostInval watermark.
+func (c *Cache) fillRefs() uint32 {
+	if c.mode == ModeCost {
+		return c.minRefs
+	}
+	return 1
+}
+
+// ghostOf returns the key's ghost entry, or nil if it has been evicted.
+// Caller holds s.mu.
+func (s *segment) ghostOf(key uint64) *ghostEnt {
+	h := mix(key) & s.gmask
+	for p := uint64(0); p < ghostProbe; p++ {
+		g := &s.ghost[(h+p)&s.gmask]
+		if g.key == key && g.refs > 0 {
+			return g
+		}
+	}
+	return nil
+}
+
+// CommitFill inserts a block read from the device. epoch must come from
+// the Probe that missed; if this key was invalidated since (or its fence
+// bookkeeping was evicted, or the whole cache was flushed), the fill is
+// stale and is dropped (returns false). Writes to other keys in the
+// segment do not abort it — the fence is per key, which is what lets
+// slow fills survive an unrelated write-heavy tenant. data must be the
+// full 4KB block in data mode and is ignored in NoData mode. Filling an
+// already-resident key just refreshes it.
+func (c *Cache) CommitFill(key, epoch uint64, data []byte) bool {
+	if !c.noData && len(data) != BlockSize {
+		return false
+	}
+	s := c.seg(key)
+	s.mu.Lock()
+	g := s.ghostOf(key)
+	if epoch < s.flushed || epoch < s.lostInval || g == nil || g.inval > epoch {
+		s.mu.Unlock()
+		c.fillAborts.Add(1)
+		return false
+	}
+	if i, ok := s.idx[key]; ok {
+		// Another filler won the race; its data is as fresh as ours
+		// (both postdate the last invalidation in this epoch).
+		s.lruTouch(i)
+		s.mu.Unlock()
+		return true
+	}
+	i := s.free
+	if i != noSlot {
+		s.free = s.slots[i].next
+	} else {
+		i = s.evictLRU()
+		if i == noSlot { // zero-capacity segment (can't happen: perSeg ≥ 1)
+			s.mu.Unlock()
+			return false
+		}
+		c.evictions.Add(1)
+		c.entries.Add(-1)
+	}
+	sl := &s.slots[i]
+	sl.key = key
+	if !c.noData {
+		copy(sl.buf.Bytes()[:BlockSize], data)
+	}
+	s.idx[key] = i
+	s.lruPushFront(i)
+	s.mu.Unlock()
+	c.fills.Add(1)
+	c.entries.Add(1)
+	return true
+}
+
+// Invalidate drops n consecutive blocks starting at key. Writers call it
+// after the backend write applies and before acking the client; it also
+// stamps each key's per-key fill fence, so a fill racing the write can
+// never resurrect pre-write data. A written key with no ghost entry
+// needs no stamp: a fill can only be in flight for a key whose admitted
+// ghost entry existed at probe time, and evicting such an entry advances
+// the segment's lostInval watermark, which aborts those fills wholesale.
+func (c *Cache) Invalidate(key uint64, n uint64) {
+	for i := uint64(0); i < n; i++ {
+		k := key + i
+		s := c.seg(k)
+		s.mu.Lock()
+		s.version++
+		if g := s.ghostOf(k); g != nil {
+			g.inval = s.version
+		}
+		if si, ok := s.idx[k]; ok {
+			s.dropSlot(k, si)
+			c.invals.Add(1)
+			c.entries.Add(-1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// FlushAll empties the cache and fences every in-flight fill. Shard-map
+// cutovers use it: after a MoveShard the destination may have accepted
+// writes this replica never saw, so everything cached here is suspect —
+// including ghost history, which is wiped too.
+func (c *Cache) FlushAll() {
+	for i := range c.segs {
+		s := &c.segs[i]
+		s.mu.Lock()
+		s.version++
+		s.flushed = s.version
+		for j := range s.ghost {
+			s.ghost[j] = ghostEnt{}
+		}
+		for k, si := range s.idx {
+			s.dropSlot(k, si)
+			c.invals.Add(1)
+			c.entries.Add(-1)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// dropSlot unlinks a resident entry and returns its slot to the free
+// list. Caller holds s.mu.
+func (s *segment) dropSlot(key uint64, i int32) {
+	s.lruUnlink(i)
+	delete(s.idx, key)
+	sl := &s.slots[i]
+	sl.next = s.free
+	s.free = i
+}
+
+// evictLRU removes the least recently used entry and returns its slot
+// index, or noSlot if the segment is empty. Caller holds s.mu.
+func (s *segment) evictLRU() int32 {
+	i := s.lruTail
+	if i == noSlot {
+		return noSlot
+	}
+	s.lruUnlink(i)
+	delete(s.idx, s.slots[i].key)
+	return i
+}
+
+func (s *segment) lruPushFront(i int32) {
+	sl := &s.slots[i]
+	sl.prev = noSlot
+	sl.next = s.lruHead
+	if s.lruHead != noSlot {
+		s.slots[s.lruHead].prev = i
+	}
+	s.lruHead = i
+	if s.lruTail == noSlot {
+		s.lruTail = i
+	}
+}
+
+func (s *segment) lruUnlink(i int32) {
+	sl := &s.slots[i]
+	if sl.prev != noSlot {
+		s.slots[sl.prev].next = sl.next
+	} else {
+		s.lruHead = sl.next
+	}
+	if sl.next != noSlot {
+		s.slots[sl.next].prev = sl.prev
+	} else {
+		s.lruTail = sl.prev
+	}
+}
+
+func (s *segment) lruTouch(i int32) {
+	if s.lruHead == i {
+		return
+	}
+	s.lruUnlink(i)
+	s.lruPushFront(i)
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:          c.hits.Load(),
+		Misses:        c.misses.Load(),
+		Admits:        c.admits.Load(),
+		Fills:         c.fills.Load(),
+		FillAborts:    c.fillAborts.Load(),
+		Evictions:     c.evictions.Load(),
+		Invalidations: c.invals.Load(),
+		Entries:       int(c.entries.Load()),
+		CapBlocks:     c.capBlk,
+	}
+}
+
+// HitRatio returns hits/(hits+misses), or 0 before any probe.
+func (c *Cache) HitRatio() float64 {
+	h, m := float64(c.hits.Load()), float64(c.misses.Load())
+	if h+m == 0 {
+		return 0
+	}
+	return h / (h + m)
+}
+
+// CapBlocks returns the capacity in 4KB entries.
+func (c *Cache) CapBlocks() int { return c.capBlk }
+
+// RegisterMetrics exposes the cache through an obs registry.
+func (c *Cache) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	reg.CounterFunc("cache_hits_total", "read probes served from the DRAM read cache",
+		func() float64 { return float64(c.hits.Load()) }, labels...)
+	reg.CounterFunc("cache_misses_total", "read probes that fell through to the device",
+		func() float64 { return float64(c.misses.Load()) }, labels...)
+	reg.CounterFunc("cache_admits_total", "misses the cost-model admission asked to fill",
+		func() float64 { return float64(c.admits.Load()) }, labels...)
+	reg.CounterFunc("cache_fills_total", "fills committed into the cache",
+		func() float64 { return float64(c.fills.Load()) }, labels...)
+	reg.CounterFunc("cache_fill_aborts_total", "fills dropped by the write-invalidation fence",
+		func() float64 { return float64(c.fillAborts.Load()) }, labels...)
+	reg.CounterFunc("cache_evictions_total", "entries evicted to admit new blocks",
+		func() float64 { return float64(c.evictions.Load()) }, labels...)
+	reg.CounterFunc("cache_invalidations_total", "entries dropped by write invalidation or flush",
+		func() float64 { return float64(c.invals.Load()) }, labels...)
+	reg.GaugeFunc("cache_entries", "resident 4KB entries (capacity "+strconv.Itoa(c.capBlk)+")",
+		func() float64 { return float64(c.entries.Load()) }, labels...)
+	reg.GaugeFunc("cache_hit_ratio", "hits / (hits+misses) since start",
+		c.HitRatio, labels...)
+}

@@ -1,0 +1,321 @@
+package readcache
+
+import (
+	"bytes"
+	"encoding/binary"
+	"sync"
+	"testing"
+)
+
+func block(v byte) []byte {
+	b := make([]byte, BlockSize)
+	for i := range b {
+		b[i] = v
+	}
+	return b
+}
+
+// fillKey drives key through miss → admit → fill and fails the test if
+// any step refuses.
+func fillKey(t *testing.T, c *Cache, key uint64, data []byte) {
+	t.Helper()
+	for tries := 0; tries < 8; tries++ {
+		hit, admit, epoch := c.Probe(key, 0, nil)
+		if hit {
+			return
+		}
+		if admit {
+			if !c.CommitFill(key, epoch, data) {
+				t.Fatalf("CommitFill(%d) aborted with no concurrent invalidation", key)
+			}
+			return
+		}
+	}
+	t.Fatalf("key %d never admitted", key)
+}
+
+func TestCostAdmissionSecondMiss(t *testing.T) {
+	c, err := New(Config{Blocks: 64, Segments: 1, ReadCost: 1000, HitCost: 62})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First touch: miss, not admitted (no observed re-reference yet).
+	hit, admit, _ := c.Probe(7, 0, nil)
+	if hit || admit {
+		t.Fatalf("first miss: hit=%v admit=%v, want false/false", hit, admit)
+	}
+	// Second touch: one re-reference observed; (2-1)*(1000-62) >= 1000 is
+	// false... 938 < 1000, so a third touch is needed.
+	_, admit, _ = c.Probe(7, 0, nil)
+	if admit {
+		t.Fatalf("second miss admitted: saving 938 has not covered hurdle 1000")
+	}
+	_, admit, epoch := c.Probe(7, 0, nil)
+	if !admit {
+		t.Fatalf("third miss not admitted: 2*938 >= 1000")
+	}
+	if !c.CommitFill(7, epoch, block(0xAB)) {
+		t.Fatal("fill aborted")
+	}
+	dst := make([]byte, 16)
+	hit, _, _ = c.Probe(7, 8, dst)
+	if !hit {
+		t.Fatal("expected hit after fill")
+	}
+	if dst[0] != 0xAB {
+		t.Fatalf("hit returned %x, want ab", dst[0])
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 3 || st.Fills != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestAdmitModes(t *testing.T) {
+	always, _ := New(Config{Blocks: 8, Mode: ModeAlways})
+	if _, admit, _ := always.Probe(1, 0, nil); !admit {
+		t.Fatal("ModeAlways refused a miss")
+	}
+	never, _ := New(Config{Blocks: 8, Mode: ModeNever})
+	for i := 0; i < 4; i++ {
+		if _, admit, _ := never.Probe(1, 0, nil); admit {
+			t.Fatal("ModeNever admitted")
+		}
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for in, want := range map[string]Mode{"": ModeCost, "cost": ModeCost, "always": ModeAlways, "never": ModeNever} {
+		got, err := ParseMode(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseMode(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseMode("sometimes"); err == nil {
+		t.Fatal("ParseMode accepted garbage")
+	}
+}
+
+func TestInvalidateDropsAndFences(t *testing.T) {
+	c, _ := New(Config{Blocks: 32, Segments: 1, Mode: ModeAlways})
+	fillKey(t, c, 5, block(1))
+
+	// Resident entry dropped.
+	c.Invalidate(5, 1)
+	if hit, _, _ := c.Probe(5, 0, nil); hit {
+		t.Fatal("hit after Invalidate")
+	}
+
+	// In-flight fill fenced: epoch sampled before the invalidation.
+	_, admit, epoch := c.Probe(9, 0, nil)
+	if !admit {
+		t.Fatal("ModeAlways must admit")
+	}
+	c.Invalidate(9, 1) // write lands between the miss and the fill
+	if c.CommitFill(9, epoch, block(2)) {
+		t.Fatal("stale fill committed across an invalidation")
+	}
+	if hit, _, _ := c.Probe(9, 0, nil); hit {
+		t.Fatal("fenced fill became visible")
+	}
+	if st := c.Stats(); st.FillAborts != 1 {
+		t.Fatalf("FillAborts = %d, want 1", st.FillAborts)
+	}
+}
+
+func TestInvalidateRange(t *testing.T) {
+	c, _ := New(Config{Blocks: 64, Mode: ModeAlways})
+	for b := uint64(0); b < 8; b++ {
+		fillKey(t, c, Key(0, 100+b), block(byte(b)))
+	}
+	c.Invalidate(Key(0, 102), 3)
+	for b := uint64(0); b < 8; b++ {
+		hit, _, _ := c.Probe(Key(0, 100+b), 0, nil)
+		want := b < 2 || b > 4
+		if hit != want {
+			t.Fatalf("block %d: hit=%v want %v", 100+b, hit, want)
+		}
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c, _ := New(Config{Blocks: 4, Segments: 1, Mode: ModeAlways})
+	for k := uint64(0); k < 4; k++ {
+		fillKey(t, c, k, block(byte(k)))
+	}
+	// Touch 0 so 1 is the LRU victim.
+	if hit, _, _ := c.Probe(0, 0, nil); !hit {
+		t.Fatal("warm entry missing")
+	}
+	fillKey(t, c, 99, block(99))
+	if hit, _, _ := c.Probe(1, 0, nil); hit {
+		t.Fatal("LRU victim still resident")
+	}
+	for _, k := range []uint64{0, 2, 3, 99} {
+		if hit, _, _ := c.Probe(k, 0, nil); !hit {
+			t.Fatalf("key %d evicted, want resident", k)
+		}
+	}
+	if st := c.Stats(); st.Evictions != 1 || st.Entries != 4 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestFlushAll(t *testing.T) {
+	c, _ := New(Config{Blocks: 64, Mode: ModeAlways})
+	for k := uint64(0); k < 32; k++ {
+		fillKey(t, c, k, block(byte(k)))
+	}
+	// Sample a fill epoch before the flush: the flush must fence it.
+	_, _, epoch := c.Probe(1000, 0, nil)
+	c.FlushAll()
+	if st := c.Stats(); st.Entries != 0 {
+		t.Fatalf("entries after flush: %d", st.Entries)
+	}
+	for k := uint64(0); k < 32; k++ {
+		if hit, _, _ := c.Probe(k, 0, nil); hit {
+			t.Fatalf("key %d survived FlushAll", k)
+		}
+	}
+	if c.CommitFill(1000, epoch, block(1)) {
+		t.Fatal("fill crossed a FlushAll fence")
+	}
+}
+
+func TestNoDataMode(t *testing.T) {
+	c, _ := New(Config{Blocks: 16, Mode: ModeAlways, NoData: true})
+	_, admit, epoch := c.Probe(3, 0, nil)
+	if !admit {
+		t.Fatal("not admitted")
+	}
+	if !c.CommitFill(3, epoch, nil) {
+		t.Fatal("presence-only fill refused")
+	}
+	if hit, _, _ := c.Probe(3, 0, nil); !hit {
+		t.Fatal("presence-only hit missing")
+	}
+}
+
+func TestKeySpacesDisjoint(t *testing.T) {
+	if Key(0, 42) == Key(1, 42) {
+		t.Fatal("device keyspaces collide")
+	}
+	if Key(3, 42)&(1<<56-1) != 42 {
+		t.Fatal("block bits mangled")
+	}
+}
+
+func TestSubBlockCopy(t *testing.T) {
+	c, _ := New(Config{Blocks: 8, Mode: ModeAlways})
+	data := make([]byte, BlockSize)
+	for i := 0; i < BlockSize; i += 8 {
+		binary.LittleEndian.PutUint64(data[i:], uint64(i))
+	}
+	fillKey(t, c, 1, data)
+	dst := make([]byte, 512)
+	if hit, _, _ := c.Probe(1, 1024, dst); !hit {
+		t.Fatal("miss")
+	}
+	if !bytes.Equal(dst, data[1024:1536]) {
+		t.Fatal("sub-block copy window wrong")
+	}
+}
+
+// TestProbeHitZeroAlloc is the cache-hit alloc gate: the pcore hot path
+// leans on Probe/Invalidate/CommitFill staying allocation-free over a
+// steady-state working set (entries preallocated, ghost table fixed,
+// index churn confined to existing map cells).
+func TestProbeHitZeroAlloc(t *testing.T) {
+	c, _ := New(Config{Blocks: 256, Mode: ModeAlways})
+	keys := make([]uint64, 64)
+	data := block(7)
+	for i := range keys {
+		keys[i] = Key(0, uint64(i*3))
+		fillKey(t, c, keys[i], data)
+	}
+	dst := make([]byte, 512)
+
+	i := 0
+	if n := testing.AllocsPerRun(500, func() {
+		hit, _, _ := c.Probe(keys[i%len(keys)], 128, dst)
+		if !hit {
+			t.Fatal("steady-state probe missed")
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("Probe hit allocates %.1f/op, want 0", n)
+	}
+
+	// Misses on an untracked key (ghost bookkeeping only).
+	if n := testing.AllocsPerRun(500, func() {
+		c.Probe(Key(2, uint64(i%1024)), 0, nil)
+		i++
+	}); n != 0 {
+		t.Fatalf("Probe miss allocates %.1f/op, want 0", n)
+	}
+
+	// Write-invalidate + refill cycle on a stable working set.
+	if n := testing.AllocsPerRun(500, func() {
+		k := keys[i%len(keys)]
+		c.Invalidate(k, 1)
+		_, _, epoch := c.Probe(k, 0, nil)
+		if !c.CommitFill(k, epoch, data) {
+			t.Fatal("refill aborted")
+		}
+		i++
+	}); n != 0 {
+		t.Fatalf("invalidate+refill allocates %.1f/op, want 0", n)
+	}
+}
+
+// TestConcurrentChurn hammers one segment set from probing, filling and
+// invalidating goroutines; run under -race it checks the locking and the
+// invariant that a hit never returns torn data (a block is stamped with
+// one repeated byte; any mix means a copy raced an overwrite).
+func TestConcurrentChurn(t *testing.T) {
+	c, _ := New(Config{Blocks: 128, Segments: 4, Mode: ModeAlways})
+	const keys = 32
+	stop := make(chan struct{})
+	var writers, readers sync.WaitGroup
+
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed byte) {
+			defer writers.Done()
+			v := seed
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := uint64(v) % keys
+				c.Invalidate(k, 1)
+				_, _, epoch := c.Probe(k, 0, nil)
+				c.CommitFill(k, epoch, block(v))
+				v++
+			}
+		}(byte(w * 100))
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			dst := make([]byte, BlockSize)
+			for n := 0; n < 20000; n++ {
+				k := uint64(n) % keys
+				if hit, _, _ := c.Probe(k, 0, dst); hit {
+					v := dst[0]
+					for i := 1; i < BlockSize; i += 977 {
+						if dst[i] != v {
+							t.Errorf("torn read: dst[0]=%d dst[%d]=%d", v, i, dst[i])
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+}

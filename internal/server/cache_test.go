@@ -1,0 +1,397 @@
+package server
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/readcache"
+	"github.com/reflex-go/reflex/internal/shard"
+)
+
+// Cache consistency tests. The property under test throughout: once a
+// write is acknowledged, no later read may observe the pre-write bytes —
+// through the cache or around it (DESIGN.md §17). "Versioned block" here
+// means a 4KB page carrying a u64 version header with every remaining
+// byte equal to byte(version), so a reader can detect both staleness and
+// torn mixes of two writes.
+
+// cacheLBAStride spaces test blocks one cache line (8 LBAs = 4KB) apart.
+const cacheLBAStride = readcache.BlockSize / protocol.BlockSize
+
+func startCacheServer(t *testing.T, mutate func(*Config)) (*Server, *client.Client) {
+	t.Helper()
+	return startServer(t, func(cfg *Config) {
+		cfg.CacheBytes = 4 << 20
+		cfg.CacheAdmit = "always" // deterministic warm-up: first miss fills
+		if mutate != nil {
+			mutate(cfg)
+		}
+	})
+}
+
+func versionedBlock(v uint64) []byte {
+	b := bytes.Repeat([]byte{byte(v)}, readcache.BlockSize)
+	binary.BigEndian.PutUint64(b, v)
+	return b
+}
+
+// checkVersioned decodes a versioned block, failing on a torn mix.
+func checkVersioned(p []byte) (uint64, error) {
+	if len(p) != readcache.BlockSize {
+		return 0, fmt.Errorf("read %d bytes, want %d", len(p), readcache.BlockSize)
+	}
+	v := binary.BigEndian.Uint64(p)
+	for i := 8; i < len(p); i++ {
+		if p[i] != byte(v) {
+			return 0, fmt.Errorf("torn block: header v%d but byte %d is %#x", v, i, p[i])
+		}
+	}
+	return v, nil
+}
+
+// TestCacheHitServesFreshData: the smoke version of the consistency
+// argument — a cached block must vanish the moment it is overwritten.
+func TestCacheHitServesFreshData(t *testing.T) {
+	srv, cl := startCacheServer(t, nil)
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write(h, 0, versionedBlock(1)); err != nil {
+		t.Fatal(err)
+	}
+	// First read fills, second must hit.
+	for i := 0; i < 2; i++ {
+		got, err := cl.Read(h, 0, readcache.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := checkVersioned(got); err != nil || v != 1 {
+			t.Fatalf("read %d: v=%d err=%v", i, v, err)
+		}
+	}
+	st := srv.cache.Stats()
+	if st.Hits == 0 {
+		t.Fatalf("no cache hit after repeated read: %+v", st)
+	}
+	// Overwrite, then read: the acknowledged write must win.
+	if err := cl.Write(h, 0, versionedBlock(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.Read(h, 0, readcache.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := checkVersioned(got); err != nil || v != 2 {
+		t.Fatalf("post-write read served stale data: v=%d err=%v", v, err)
+	}
+}
+
+// TestCacheReadHitWriteInvalidateRace hammers one hot block with a
+// versioned writer while readers race it through the cache (run under
+// -race in CI). Two invariants: no reader ever sees a torn block, and no
+// reader's successive reads go backwards in version — a stale fill
+// committing after an invalidation would violate the second.
+func TestCacheReadHitWriteInvalidateRace(t *testing.T) {
+	srv, wcl := startCacheServer(t, nil)
+	h, err := wcl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wcl.Write(h, 0, versionedBlock(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	const writes = 400
+	const readers = 4
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, readers+1)
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for v := uint64(2); v <= writes; v++ {
+			if err := wcl.Write(h, 0, versionedBlock(v)); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rcl, err := client.Dial(srv.Addr())
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer rcl.Close()
+			rh, err := rcl.Register(beWritable())
+			if err != nil {
+				errc <- err
+				return
+			}
+			last := uint64(0)
+			for !done.Load() {
+				got, err := rcl.Read(rh, 0, readcache.BlockSize)
+				if err != nil {
+					errc <- err
+					return
+				}
+				v, err := checkVersioned(got)
+				if err != nil {
+					errc <- err
+					return
+				}
+				if v < last {
+					errc <- fmt.Errorf("reader went back in time: v%d after v%d", v, last)
+					return
+				}
+				last = v
+			}
+		}()
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	// The cache must have been in the fight, not bypassed.
+	st := srv.cache.Stats()
+	if st.Hits == 0 || st.Invalidations == 0 {
+		t.Fatalf("race ran around the cache: %+v", st)
+	}
+	got, err := wcl.Read(h, 0, readcache.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := checkVersioned(got); err != nil || v != writes {
+		t.Fatalf("final read: v=%d err=%v, want v=%d", v, err, writes)
+	}
+}
+
+// cacheTestMap builds a 4-shard map owned entirely by "n1".
+func cacheTestMap(addr string) *shard.Map {
+	return &shard.Map{
+		Version:     1,
+		ShardBlocks: 64,
+		Nodes: []shard.Node{
+			{Name: "n1", Addrs: []string{addr}, State: shard.StateAlive},
+			{Name: "n2", Addrs: []string{"127.0.0.1:1"}, State: shard.StateAlive},
+		},
+		Assign:    []int32{0, 0, 0, 0},
+		Migrating: []int32{shard.Unassigned, shard.Unassigned, shard.Unassigned, shard.Unassigned},
+	}
+}
+
+// TestCacheMoveShardInterleave pins the shard-map/cache interlock: a map
+// install that moves ownership flushes the whole cache (blocks this node
+// cached may be rewritten elsewhere while unowned), while a no-move
+// version bump keeps the working set warm.
+func TestCacheMoveShardInterleave(t *testing.T) {
+	srv, cl := startCacheServer(t, func(cfg *Config) { cfg.NodeName = "n1" })
+	m1 := cacheTestMap(srv.Addr())
+	if _, st := srv.InstallShardMap(m1); st != protocol.StatusOK {
+		t.Fatalf("install v1: %s", st)
+	}
+	h, err := cl.Register(beWritable())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Write(h, 0, versionedBlock(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Read(h, 0, readcache.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if e := srv.cache.Stats().Entries; e == 0 {
+		t.Fatal("read did not fill the cache")
+	}
+
+	// Version bump, same assignment: zero moves, cache stays warm.
+	m2 := m1.Clone()
+	if _, st := srv.InstallShardMap(m2); st != protocol.StatusOK {
+		t.Fatalf("install v2: %s", st)
+	}
+	if e := srv.cache.Stats().Entries; e == 0 {
+		t.Fatal("no-move install flushed the cache")
+	}
+
+	// Shard 3 moves to n2 (our test block lives in shard 0): the cache
+	// must be dropped wholesale anyway — flush-on-move is conservative.
+	m3 := m2.Clone()
+	m3.Assign[3] = 1
+	if _, st := srv.InstallShardMap(m3); st != protocol.StatusOK {
+		t.Fatalf("install v3: %s", st)
+	}
+	if e := srv.cache.Stats().Entries; e != 0 {
+		t.Fatalf("move install left %d cached entries", e)
+	}
+
+	// Still-owned blocks keep serving correct data and re-warm.
+	got, err := cl.Read(h, 0, readcache.BlockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, err := checkVersioned(got); err != nil || v != 7 {
+		t.Fatalf("post-move read: v=%d err=%v", v, err)
+	}
+	if _, err := cl.Read(h, 0, readcache.BlockSize); err != nil {
+		t.Fatal(err)
+	}
+	if e := srv.cache.Stats().Entries; e == 0 {
+		t.Fatal("cache did not re-warm after the move flush")
+	}
+}
+
+// TestCacheChurnSoak runs ledgered writers over a small block set with
+// readers verifying strict read-back: every read must return a version at
+// least as new as the last acknowledged write to that block at the moment
+// the read was issued.
+func TestCacheChurnSoak(t *testing.T) {
+	srv, _ := startCacheServer(t, nil)
+	const (
+		blocks  = 8
+		writers = 4
+		readers = 4
+	)
+	var acked [blocks]atomic.Uint64
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readers)
+
+	newClient := func() (*client.Client, uint16, error) {
+		cl, err := client.Dial(srv.Addr())
+		if err != nil {
+			return nil, 0, err
+		}
+		h, err := cl.Register(beWritable())
+		if err != nil {
+			cl.Close()
+			return nil, 0, err
+		}
+		return cl, h, nil
+	}
+
+	// Seed every block at v1 so readers never see the zero page.
+	{
+		cl, h, err := newClient()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for b := 0; b < blocks; b++ {
+			if err := cl.Write(h, uint32(b*cacheLBAStride), versionedBlock(1)); err != nil {
+				t.Fatal(err)
+			}
+			acked[b].Store(1)
+		}
+		cl.Close()
+	}
+
+	deadline := time.Now().Add(400 * time.Millisecond)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, h, err := newClient()
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer cl.Close()
+			// Each writer owns blocks ≡ w (mod writers): versions per
+			// block stay monotone without cross-writer coordination.
+			v := uint64(1)
+			for time.Now().Before(deadline) {
+				v++
+				for b := w; b < blocks; b += writers {
+					if err := cl.Write(h, uint32(b*cacheLBAStride), versionedBlock(v)); err != nil {
+						errc <- err
+						return
+					}
+					acked[b].Store(v)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			cl, h, err := newClient()
+			if err != nil {
+				errc <- err
+				return
+			}
+			defer cl.Close()
+			for i := 0; !done.Load(); i++ {
+				b := (i*7 + r) % blocks
+				floor := acked[b].Load()
+				got, err := cl.Read(h, uint32(b*cacheLBAStride), readcache.BlockSize)
+				if err != nil {
+					errc <- err
+					return
+				}
+				v, err := checkVersioned(got)
+				if err != nil {
+					errc <- fmt.Errorf("block %d: %v", b, err)
+					return
+				}
+				if v < floor {
+					errc <- fmt.Errorf("block %d: read v%d, but v%d was already acked", b, v, floor)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// Writers finish first; readers stop after, so the tail of the run
+	// reads a quiescent ledger.
+	go func() {
+		for time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		time.Sleep(20 * time.Millisecond)
+		done.Store(true)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+
+	// Quiescent read-back: every block at exactly its last acked version.
+	cl, h, err := newClient()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	for b := 0; b < blocks; b++ {
+		got, err := cl.Read(h, uint32(b*cacheLBAStride), readcache.BlockSize)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := checkVersioned(got)
+		if err != nil {
+			t.Fatalf("block %d: %v", b, err)
+		}
+		if want := acked[b].Load(); v != want {
+			t.Fatalf("block %d: final v%d, want v%d", b, v, want)
+		}
+	}
+	if st := srv.cache.Stats(); st.Hits == 0 || st.Fills == 0 {
+		t.Fatalf("soak never exercised the cache: %+v", st)
+	}
+}

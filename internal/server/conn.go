@@ -66,7 +66,7 @@ type srvConn struct {
 	// goroutines, readers replying inline) append and block on outCond
 	// when the queue is full; the flusher swaps outQ with flushQ and
 	// broadcasts. downB marks teardown: senders drop instead of queueing.
-	outMu  sync.Mutex
+	outMu   sync.Mutex
 	outCond *sync.Cond
 	outQ    []outMsg
 	flushQ  []outMsg
@@ -556,6 +556,18 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 			lease.Retain()
 			ctx.lease = lease
 		}
+		var costOverride core.Tokens
+		if s.cache != nil {
+			if op == core.OpRead {
+				costOverride = s.probeCache(ctx, ten)
+			}
+		}
+		if op == core.OpWrite {
+			// FDP-style lifetime hints: real backends have no placement
+			// streams, so the hint is counted (capacity planning signal),
+			// not acted on — the simulator carries the placement model.
+			s.m.hintWrites[hdr.LifetimeHint()].Inc()
+		}
 		ctx.span.ID = s.m.spanID()
 		ctx.span.Tenant = ten.t.ID
 		ctx.span.Write = op == core.OpWrite
@@ -575,12 +587,13 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		ctx.span.Mark(obs.StageArrival, arrival)
 		ctx.span.Mark(obs.StageParse, s.now())
 		req := &core.Request{
-			Op:      op,
-			Block:   uint64(hdr.LBA) * protocol.BlockSize / 4096,
-			Size:    int(hdr.Count),
-			Cookie:  hdr.Cookie,
-			Arrival: arrival,
-			Context: ctx,
+			Op:           op,
+			Block:        uint64(hdr.LBA) * protocol.BlockSize / 4096,
+			Size:         int(hdr.Count),
+			Cookie:       hdr.Cookie,
+			Arrival:      arrival,
+			Context:      ctx,
+			CostOverride: costOverride,
 		}
 		if !ten.submitIO(s, enqueued{ten: ten, req: req}) {
 			ctx.releaseLease()

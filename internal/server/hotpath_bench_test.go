@@ -95,6 +95,33 @@ func BenchmarkHotPathTCP(b *testing.B) {
 	benchEcho(b, cl, 4096, 256)
 }
 
+// BenchmarkHotPathTCPCacheHit is BenchmarkHotPathTCP with the DRAM read
+// cache on and a single hot block, so steady state serves ~100% hits: the
+// pcore's cache-hit service path (pooled copy-out, no backend access).
+// Run with -benchmem; hits must not add steady-state allocations over the
+// plain hot path.
+func BenchmarkHotPathTCPCacheHit(b *testing.B) {
+	srv := benchServer(b, func(c *Config) {
+		c.CacheBytes = 4 << 20
+		c.CacheAdmit = "always"
+	})
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	benchEcho(b, cl, 4096, 256)
+	// The framework's small calibration runs can finish before the single
+	// fill commits; only a real measurement run must be hit-dominated.
+	st := srv.cache.Stats()
+	if b.N > 1024 && st.Hits == 0 {
+		b.Fatalf("cache-hit benchmark never hit: %+v", st)
+	}
+	if st.Hits+st.Misses > 0 {
+		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses)*100, "hit%")
+	}
+}
+
 // BenchmarkHotPathUDP measures pipelined 4KB reads over loopback UDP with
 // a small window (datagram sockets have shallow kernel buffers).
 func BenchmarkHotPathUDP(b *testing.B) {

@@ -10,6 +10,7 @@ import (
 	"github.com/reflex-go/reflex/internal/bufpool"
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/obs"
+	"github.com/reflex-go/reflex/internal/protocol"
 )
 
 // metrics is the real server's telemetry: atomic counters and histograms
@@ -92,6 +93,11 @@ type metrics struct {
 	// tenant state so ID reuse after unregister stays correct.
 	burnMu   sync.Mutex
 	burnSeen map[int]bool
+
+	// Write lifetime hints carried on the wire (DESIGN.md §17), indexed by
+	// protocol.HintNone/HintShort/HintLong. These count what clients
+	// declared, whether or not the backend does placement with them.
+	hintWrites [3]*obs.Counter
 
 	// Hot-path batching telemetry (DESIGN.md §12): how well the adaptive
 	// wire coalescer and the scheduler batch drain amortize per-message
@@ -264,6 +270,12 @@ func newMetrics(s *Server) *metrics {
 		func() float64 { return float64(s.migr.Pending()) })
 	reg.GaugeFunc("shard_map_version", "version of the installed shard map (0 = none)",
 		func() float64 { return float64(s.ShardMapVersion()) })
+	m.hintWrites[protocol.HintNone] = reg.Counter("srv_hinted_writes_total", "writes by declared lifetime hint", obs.L("hint", "none"))
+	m.hintWrites[protocol.HintShort] = reg.Counter("srv_hinted_writes_total", "", obs.L("hint", "short"))
+	m.hintWrites[protocol.HintLong] = reg.Counter("srv_hinted_writes_total", "", obs.L("hint", "long"))
+	if s.cache != nil {
+		s.cache.RegisterMetrics(reg)
+	}
 	m.flushes = reg.Counter("srv_wire_flushes_total", "wire flushes issued by connection writers")
 	m.flushBatch = reg.Histogram("srv_flush_batch_msgs", "responses coalesced per wire flush")
 	m.schedBatch = reg.Histogram("srv_sched_batch", "requests drained per scheduler round")

@@ -404,6 +404,11 @@ func (pc *pcore) submit(req *core.Request) {
 	if ctx.hdr.Opcode == protocol.OpWrite {
 		delay = pc.srv.cfg.WriteLatency
 	}
+	if ctx.cbuf != nil {
+		// Read-cache hit: served from DRAM, so the simulated device
+		// latency does not apply (that gap is the point of the cache).
+		delay = 0
+	}
 	// Injected device timeout pulse: the device goes away for a while
 	// (GC stall, controller reset) but the request still completes.
 	inj := pc.srv.cfg.Faults
@@ -448,6 +453,22 @@ func (pc *pcore) submit(req *core.Request) {
 			ctx.ten.ioDone(pc.srv)
 		}
 		switch {
+		case ctx.cbuf != nil && ctx.hdr.Opcode == protocol.OpRead:
+			// Read-cache hit: the payload was copied out of the cache at
+			// dispatch (under the segment lock, after any invalidating
+			// write acked). The backend — and injected device faults —
+			// are never touched; the tenant was charged CacheServeCost.
+			buf := ctx.cbuf.Bytes()[:ctx.hdr.Count]
+			m.bytesRead.Add(uint64(len(buf)))
+			if ctx.hdr.Flags&protocol.FlagChecksum != 0 {
+				buf = protocol.AppendChecksum(buf)
+				resp.Flags |= protocol.FlagChecksum
+			}
+			payload = buf
+			// Ownership of the lease moves to send via please;
+			// releaseLease must not see it again.
+			please = ctx.cbuf
+			ctx.cbuf = nil
 		case inj.DeviceError():
 			// Injected per-request device error: the op fails with a
 			// typed, retryable status; the tenant and connection live on.
@@ -465,6 +486,14 @@ func (pc *pcore) submit(req *core.Request) {
 				m.errored.Inc()
 			} else {
 				m.bytesRead.Add(uint64(len(buf)))
+				if ctx.fill {
+					// Admitted miss on an aligned 4KB read: buf is the
+					// whole block image — commit it before anything
+					// (checksum trailer, injected corruption) touches the
+					// wire copy. The fence epoch drops the fill if a write
+					// invalidated the block since dispatch.
+					pc.srv.cache.CommitFill(ctx.fillKey, ctx.fillEpoch, buf)
+				}
 				if ctx.hdr.Flags&protocol.FlagChecksum != 0 {
 					// Seal first, then let the injector corrupt the wire
 					// image: the flip is exactly what the client-side

@@ -32,6 +32,7 @@ import (
 	"github.com/reflex-go/reflex/internal/faults"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/readcache"
 	"github.com/reflex-go/reflex/internal/storage"
 )
 
@@ -122,6 +123,18 @@ type Config struct {
 	Shed         ctrl.ShedConfig
 	ShedDisabled bool
 
+	// CacheBytes enables the tiered DRAM read cache (internal/readcache,
+	// DESIGN.md §17) in front of every device: capacity in bytes, rounded
+	// down to 4KB blocks. Hits are served from DRAM on the pcore, charged
+	// the cache-service cost instead of a device read; every write path
+	// (client, replication, migration) invalidates through the backend
+	// wrapper before the write is acknowledged. 0 disables the cache.
+	CacheBytes int64
+	// CacheAdmit selects the cache admission policy: "cost" (default —
+	// admit a block only when its observed re-reference traffic, priced
+	// by the device cost model, pays for the fill), "always", or "never".
+	CacheAdmit string
+
 	// NodeName identifies this server (pair) in a sharded cluster's shard
 	// map (DESIGN.md §13). Empty disables shard enforcement entirely: the
 	// server serves its whole device like a pre-sharding node even if a
@@ -208,6 +221,10 @@ type Server struct {
 	// shed is the graceful load-shed signal consulted on every
 	// best-effort I/O; nil when shedding is disabled.
 	shed *ctrl.Shedder
+	// cache is the tiered DRAM read cache (nil when disabled). Probed at
+	// dispatch, filled on aligned 4KB read completions, invalidated by
+	// the cachedBackend wrapper around every device backend.
+	cache *readcache.Cache
 
 	// Cluster robustness state (internal/cluster; DESIGN.md §11). cmu
 	// serializes epoch transitions (promote/fence) so role and epoch move
@@ -295,14 +312,30 @@ type reqCtx struct {
 	// span is the request's lifecycle record; stamped along the pipeline
 	// and pushed into the trace ring when the response is sent.
 	span obs.Span
+	// cbuf carries a read-cache hit's response payload (copied out of the
+	// cache at dispatch, under the segment lock). The pcore serves it
+	// without touching the backend; drop paths release it via
+	// releaseLease like the write lease.
+	cbuf *bufpool.Buf
+	// fill marks an admitted read miss: on a successful aligned-4KB
+	// backend read the pcore commits the block under fillKey unless the
+	// fence epoch moved (a write invalidated the range in flight).
+	fill      bool
+	fillKey   uint64
+	fillEpoch uint64
 }
 
-// releaseLease drops the request-payload lease (idempotent: the pointer
-// is cleared so drop paths and the completion path cannot double-release).
+// releaseLease drops the request-payload lease and any cache-hit payload
+// (idempotent: pointers are cleared so drop paths and the completion path
+// cannot double-release).
 func (ctx *reqCtx) releaseLease() {
 	if ctx.lease != nil {
 		ctx.lease.Release()
 		ctx.lease = nil
+	}
+	if ctx.cbuf != nil {
+		ctx.cbuf.Release()
+		ctx.cbuf = nil
 	}
 }
 
@@ -357,6 +390,33 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 			cfg:     dc,
 			shared:  core.NewSharedState(cfg.Cores, dc.TokenRate),
 		})
+	}
+	if cfg.CacheBytes >= readcache.BlockSize {
+		mode, err := readcache.ParseMode(cfg.CacheAdmit)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		// Admission prices hits by device 0's model (multi-device servers
+		// share one cache; per-device pricing only shifts the hurdle).
+		model := s.devices[0].cfg.Model
+		s.cache, err = readcache.New(readcache.Config{
+			Blocks:   int(cfg.CacheBytes / readcache.BlockSize),
+			Mode:     mode,
+			ReadCost: model.ReadCost,
+			HitCost:  model.CacheServeCost(),
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		// Wrap every backend so each write — client dispatch, replication
+		// apply, migration apply — invalidates before it is acknowledged.
+		// Wrapping precedes the replicator construction below on purpose:
+		// the replicators capture the wrapped backend.
+		for _, d := range s.devices {
+			d.backend = &cachedBackend{Backend: d.backend, cache: s.cache, dev: d.idx}
+		}
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		pc := &pcore{

@@ -43,10 +43,18 @@ func (s *Server) InstallShardMap(m *shard.Map) (uint32, protocol.Status) {
 	}
 	s.shardMap.Store(m)
 	s.m.shardInstalls.Inc()
-	s.m.shardMoves.Add(uint64(m.DiffMoves(cur)))
+	moves := m.DiffMoves(cur)
+	s.m.shardMoves.Add(uint64(moves))
+	if moves > 0 && s.cache != nil {
+		// Ownership changed: blocks this node cached may now be written
+		// by their new owner without passing through our invalidation
+		// path. Dropping everything is coarse but the only safe fence —
+		// admission will re-fill the genuinely hot residue.
+		s.cache.FlushAll()
+	}
 	s.m.ensureShardSlots(len(m.Assign))
 	s.m.journal.Record(obs.EvMapInstall, s.cfg.NodeName, -1,
-		"shard map v%d installed (%d shards, %d moved)", m.Version, len(m.Assign), m.DiffMoves(cur))
+		"shard map v%d installed (%d shards, %d moved)", m.Version, len(m.Assign), moves)
 	return m.Version, protocol.StatusOK
 }
 
