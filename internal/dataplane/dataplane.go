@@ -79,7 +79,9 @@ type Config struct {
 	// the cost-model re-reference hurdle) or "always".
 	CacheAdmit string
 	// CacheHitService is the simulated DRAM+copy service time of a hit
-	// (it replaces the device access entirely).
+	// (it replaces the device access entirely). 0 with CacheBlocks > 0
+	// defaults to 2µs — a hit must cost some time, or the simulation
+	// silently overstates the cache's benefit.
 	CacheHitService sim.Time
 
 	// StreamByClass tags writes with an FDP-style placement stream by
@@ -208,6 +210,9 @@ func NewServerOn(eng *sim.Engine, net *netsim.Network, endpoint *netsim.Endpoint
 		s.shedder = ctrl.NewShedder(cfg.Shed)
 	}
 	if cfg.CacheBlocks > 0 {
+		if s.cfg.CacheHitService <= 0 {
+			s.cfg.CacheHitService = 2 * sim.Microsecond
+		}
 		mode, err := readcache.ParseMode(cfg.CacheAdmit)
 		if err != nil {
 			panic(fmt.Errorf("dataplane: %w", err))

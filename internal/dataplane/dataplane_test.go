@@ -392,3 +392,23 @@ func TestTokenAccounting(t *testing.T) {
 		t.Errorf("SubmittedTokens = %d, want positive", got)
 	}
 }
+
+func TestCacheHitServiceDefault(t *testing.T) {
+	// A cache-enabled server must never serve hits in zero simulated
+	// time: leaving CacheHitService unset defaults it to 2us.
+	eng := sim.NewEngine()
+	net := netsim.New(eng, netsim.TenGbE())
+	dev := flashsim.New(eng, flashsim.DeviceA(), 1)
+	cfg := DefaultConfig(1, 600_000*core.TokenUnit)
+	cfg.CacheBlocks = 64
+	srv := NewServer(eng, net, dev, cfg)
+	if srv.cfg.CacheHitService != 2*sim.Microsecond {
+		t.Fatalf("CacheHitService default = %v, want 2us", srv.cfg.CacheHitService)
+	}
+	// An explicit value is preserved.
+	cfg.CacheHitService = 5 * sim.Microsecond
+	srv2 := NewServerOn(eng, net, net.NewEndpoint("reflex2", netsim.NullStack(), 7002), dev, cfg)
+	if srv2.cfg.CacheHitService != 5*sim.Microsecond {
+		t.Fatalf("explicit CacheHitService overridden: %v", srv2.cfg.CacheHitService)
+	}
+}

@@ -19,9 +19,13 @@
 //	(refs-1) × (ReadCost - HitCost) ≥ AdmitCost
 //
 // i.e. the re-reference traffic actually observed, valued at the per-hit
-// token saving, has paid for the admission overhead. With the defaults
-// (AdmitCost = ReadCost) this admits on the second miss — one observed
-// re-reference proves the block is not a streaming scan.
+// token saving, has paid for the admission overhead. The default
+// AdmitCost is one per-hit saving (ReadCost - HitCost), so whatever the
+// HitCost the cache admits on the second miss — one observed
+// re-reference proves the block is not a streaming scan and has already
+// paid the hurdle. Pricing AdmitCost higher raises the bar: at
+// AdmitCost = ReadCost a nonzero HitCost pushes admission to the third
+// miss.
 //
 // Consistency contract: writers must call Invalidate after the backend
 // write applies and before the write is acknowledged. Fills are fenced
@@ -105,9 +109,10 @@ type Config struct {
 	// HitCost is the millitoken price of serving a hit
 	// (CostModel.CacheServeCost); subtracted from the per-hit saving.
 	HitCost int64
-	// AdmitCost is the admission overhead hurdle in millitokens: the
-	// device read that fills the entry plus eviction bookkeeping. 0
-	// means ReadCost (fill price), which admits on the second miss.
+	// AdmitCost is the admission overhead hurdle in millitokens. 0 means
+	// ReadCost-HitCost (one per-hit saving), which admits on the second
+	// miss regardless of HitCost: fills piggyback on the miss read that
+	// happens anyway, so one proven re-reference covers the bookkeeping.
 	AdmitCost int64
 	// NoData runs the cache presence-only: entries carry no payload
 	// buffers. The simulated dataplane uses this — flashsim models time,
@@ -181,10 +186,13 @@ type segment struct {
 	flushed uint64
 	// lostInval is the version at the last eviction of a ghost entry
 	// that could have carried fence state (a stamped entry, or one with
-	// enough refs that a fill may be in flight for it). Fills probed
-	// before that point can no longer prove their key unwritten, so they
-	// abort. Evicting one-touch unstamped entries — the overwhelmingly
-	// common case — does not advance it.
+	// enough refs that a fill may be in flight for it). The eviction
+	// bumps version first and then records it here, so every fill probed
+	// at an earlier epoch — including fills probed at the pre-eviction
+	// version, which can no longer prove their key unwritten — aborts,
+	// while the evicting probe itself samples the post-bump clock and is
+	// not self-fenced. Evicting one-touch unstamped entries — the
+	// overwhelmingly common case — does not advance it.
 	lostInval uint64
 	idx       map[uint64]int32
 	slots     []slot
@@ -207,11 +215,11 @@ func New(cfg Config) (*Cache, error) {
 	if cfg.ReadCost <= 0 {
 		cfg.ReadCost = 1000
 	}
-	if cfg.AdmitCost <= 0 {
-		cfg.AdmitCost = cfg.ReadCost
-	}
 	if cfg.HitCost < 0 || cfg.HitCost >= cfg.ReadCost {
 		return nil, fmt.Errorf("readcache: HitCost %d must be in [0, ReadCost)", cfg.HitCost)
+	}
+	if cfg.AdmitCost <= 0 {
+		cfg.AdmitCost = cfg.ReadCost - cfg.HitCost
 	}
 	nseg := cfg.Segments
 	if nseg <= 0 {
@@ -297,8 +305,12 @@ func (c *Cache) Probe(key uint64, off int, dst []byte) (hit, admit bool, epoch u
 		c.hits.Add(1)
 		return true, false, 0
 	}
-	epoch = s.version
+	// The epoch is sampled after admitMiss: if recording this miss
+	// evicts a fence-carrying ghost entry, admitMiss advances the clock
+	// and this probe's own fill must postdate the bump, not be aborted
+	// by it.
 	admit = c.admitMiss(s, key)
+	epoch = s.version
 	s.mu.Unlock()
 	c.misses.Add(1)
 	if admit {
@@ -336,7 +348,13 @@ func (c *Cache) admitMiss(s *segment, key uint64) bool {
 		ev := &s.ghost[victim]
 		if ev.inval > 0 || ev.refs >= c.fillRefs() {
 			// The displaced entry could have fenced an in-flight fill;
-			// without it, fills probed before now can't be proven safe.
+			// without it, fills probed up to now can't be proven safe.
+			// Advance the clock before recording the watermark so those
+			// fills (probed at versions < the new one) all abort — a
+			// later write to the displaced key would otherwise find no
+			// ghost entry to stamp and the fill would resurrect
+			// pre-write data.
+			s.version++
 			s.lostInval = s.version
 		}
 		*ev = ghostEnt{key: key, refs: 1}

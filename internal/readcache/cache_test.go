@@ -35,6 +35,8 @@ func fillKey(t *testing.T, c *Cache, key uint64, data []byte) {
 }
 
 func TestCostAdmissionSecondMiss(t *testing.T) {
+	// Default AdmitCost is one per-hit saving (ReadCost-HitCost), so the
+	// second miss admits even with the server's nonzero HitCost.
 	c, err := New(Config{Blocks: 64, Segments: 1, ReadCost: 1000, HitCost: 62})
 	if err != nil {
 		t.Fatal(err)
@@ -44,15 +46,10 @@ func TestCostAdmissionSecondMiss(t *testing.T) {
 	if hit || admit {
 		t.Fatalf("first miss: hit=%v admit=%v, want false/false", hit, admit)
 	}
-	// Second touch: one re-reference observed; (2-1)*(1000-62) >= 1000 is
-	// false... 938 < 1000, so a third touch is needed.
-	_, admit, _ = c.Probe(7, 0, nil)
-	if admit {
-		t.Fatalf("second miss admitted: saving 938 has not covered hurdle 1000")
-	}
+	// Second touch: one re-reference observed; (2-1)*(1000-62) >= 938.
 	_, admit, epoch := c.Probe(7, 0, nil)
 	if !admit {
-		t.Fatalf("third miss not admitted: 2*938 >= 1000")
+		t.Fatal("second miss not admitted: saving 938 covers default hurdle 938")
 	}
 	if !c.CommitFill(7, epoch, block(0xAB)) {
 		t.Fatal("fill aborted")
@@ -65,8 +62,26 @@ func TestCostAdmissionSecondMiss(t *testing.T) {
 	if dst[0] != 0xAB {
 		t.Fatalf("hit returned %x, want ab", dst[0])
 	}
-	if st := c.Stats(); st.Hits != 1 || st.Misses != 3 || st.Fills != 1 {
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 2 || st.Fills != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestCostAdmissionExplicitHurdle(t *testing.T) {
+	// An explicit AdmitCost above one saving raises the bar: at
+	// AdmitCost=ReadCost with HitCost=62 the saving per re-reference is
+	// 938, so two re-references (the third miss) are needed.
+	c, err := New(Config{Blocks: 64, Segments: 1, ReadCost: 1000, HitCost: 62, AdmitCost: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, admit, _ := c.Probe(7, 0, nil); admit {
+			t.Fatalf("miss %d admitted below the 1000 hurdle", i+1)
+		}
+	}
+	if _, admit, _ := c.Probe(7, 0, nil); !admit {
+		t.Fatal("third miss not admitted: 2*938 >= 1000")
 	}
 }
 
@@ -119,6 +134,85 @@ func TestInvalidateDropsAndFences(t *testing.T) {
 	}
 	if st := c.Stats(); st.FillAborts != 1 {
 		t.Fatalf("FillAborts = %d, want 1", st.FillAborts)
+	}
+}
+
+// TestLostFenceAbortsInFlightFill reproduces the fence-loss interleave:
+// a fill is probed, its key's ghost entry (the only per-key fence state)
+// is displaced by ghost-table churn, a write to the key lands — finding
+// no entry to stamp — and a fresh miss re-creates a clean entry. The
+// lostInval watermark must still abort the original fill, or it would
+// commit pre-write data after the write was acked.
+func TestLostFenceAbortsInFlightFill(t *testing.T) {
+	// ModeCost with defaults: minRefs = 2, so one-touch ghost entries
+	// are not fence-carrying and evicting them advances nothing — the
+	// property the interleave below exploits.
+	c, _ := New(Config{Blocks: 2, Segments: 1})
+	const K = uint64(12345)
+	// Admit K on the second miss; the fill is now "in flight" at epoch.
+	c.Probe(K, 0, nil)
+	_, admit, epoch := c.Probe(K, 0, nil)
+	if !admit {
+		t.Fatal("second miss not admitted")
+	}
+	// Churn the ghost table (4 entries at this size) with double-probed
+	// keys until K's entry — the fill's only per-key fence — is
+	// displaced by a min-refs tie.
+	s := c.seg(K)
+	evicted := false
+	for j := uint64(1); j <= 256 && !evicted; j++ {
+		c.Probe(K+j*7919, 0, nil)
+		c.Probe(K+j*7919, 0, nil)
+		s.mu.Lock()
+		evicted = s.ghostOf(K) == nil
+		s.mu.Unlock()
+	}
+	if !evicted {
+		t.Fatal("ghost churn never displaced the fill's fence entry")
+	}
+	// Leave a one-touch entry for the later re-creation of K to evict,
+	// so that re-creation cannot itself re-arm the fence.
+	c.Probe(K+(1<<40), 0, nil)
+	// The write lands and is acked: nothing resident, no ghost to stamp.
+	c.Invalidate(K, 1)
+	// A fresh miss re-creates K's ghost entry with a clean fence,
+	// displacing only the one-touch entry above.
+	c.Probe(K, 0, nil)
+	// The fill probed before the write must not commit pre-write data.
+	if c.CommitFill(K, epoch, block(0xEE)) {
+		t.Fatal("stale fill committed after its fence entry was evicted")
+	}
+	if hit, _, _ := c.Probe(K, 0, nil); hit {
+		t.Fatal("pre-write data visible after an acked write")
+	}
+}
+
+// TestFenceLosingEvictionNotSelfFencing: the probe whose own miss
+// displaces a fence-carrying ghost entry samples its epoch after the
+// clock bump, so its fill still commits.
+func TestFenceLosingEvictionNotSelfFencing(t *testing.T) {
+	c, _ := New(Config{Blocks: 2, Segments: 1, Mode: ModeAlways})
+	// Fill the 4-entry ghost table; in ModeAlways every entry could be
+	// fencing a fill.
+	for k := uint64(1); k <= 4; k++ {
+		c.Probe(k, 0, nil)
+	}
+	_, admit, epoch := c.Probe(99, 0, nil)
+	if !admit {
+		t.Fatal("ModeAlways must admit")
+	}
+	s := c.seg(99)
+	s.mu.Lock()
+	lost := s.lostInval
+	s.mu.Unlock()
+	if lost == 0 {
+		t.Fatal("probe did not displace a fence-carrying ghost entry")
+	}
+	if !c.CommitFill(99, epoch, block(1)) {
+		t.Fatal("evicting probe fenced its own fill")
+	}
+	if hit, _, _ := c.Probe(99, 0, nil); !hit {
+		t.Fatal("fill not resident")
 	}
 }
 
