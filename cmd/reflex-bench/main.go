@@ -10,6 +10,8 @@
 //	reflex-bench -all
 //	reflex-bench -hotpath BENCH_hotpath.json   (hot-path acceptance run)
 //	reflex-bench -cache BENCH_cache.json       (tiered-cache acceptance run)
+//	reflex-bench -volume BENCH_volume.json     (volume-layer acceptance run)
+//	reflex-bench -summary .                    (aggregate all BENCH_*.json artifacts)
 package main
 
 import (
@@ -30,7 +32,17 @@ func main() {
 	hotpath := flag.String("hotpath", "", "run the hot-path throughput/allocation measurement and write results JSON to this file")
 	hotWindow := flag.Duration("hotpath-window", 3*time.Second, "per-transport measurement window for -hotpath")
 	cache := flag.String("cache", "", "run the tiered-cache/placement acceptance measurement (ext-cache) and write results JSON to this file")
+	volume := flag.String("volume", "", "run the volume-layer acceptance measurement (ext-volume) and write results JSON to this file")
+	summary := flag.String("summary", "", "aggregate the BENCH_*.json artifacts in this directory into one trajectory table (use . for the repo root)")
 	flag.Parse()
+
+	if *summary != "" {
+		if err := runSummary(*summary); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *hotpath != "" {
 		if err := runHotpath(*hotpath, *hotWindow); err != nil {
@@ -42,6 +54,14 @@ func main() {
 
 	if *cache != "" {
 		if err := runCacheBench(*cache, *scale); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if *volume != "" {
+		if err := runVolumeBench(*volume, *scale); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

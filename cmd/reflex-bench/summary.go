@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// -summary: aggregate every BENCH_*.json acceptance artifact in a
+// directory into one trajectory table — when each was generated, which
+// gates passed/failed/skipped, and the artifact's headline numbers. The
+// artifacts are the repo's performance ledger (each acceptance run
+// overwrites its own file), so this is the one-screen answer to "where
+// does the build stand".
+
+// summaryGate mirrors gateStatus for decoding foreign artifacts.
+type summaryGate struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Reason string `json:"reason"`
+}
+
+// summaryRow is one artifact's digest.
+type summaryRow struct {
+	file      string
+	generated string
+	passed    int
+	skipped   int
+	failed    []string
+	headline  string
+}
+
+// runSummary scans dir for BENCH_*.json and prints the trajectory table.
+// Any artifact without a gates array still gets a row (headline only).
+func runSummary(dir string) error {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return err
+	}
+	if len(paths) == 0 {
+		return fmt.Errorf("summary: no BENCH_*.json artifacts under %s (generate them with -hotpath/-cache/-volume)", dir)
+	}
+	sort.Strings(paths)
+
+	rows := make([]summaryRow, 0, len(paths))
+	for _, p := range paths {
+		row, err := summarize(p)
+		if err != nil {
+			rows = append(rows, summaryRow{file: filepath.Base(p), headline: "unreadable: " + err.Error()})
+			continue
+		}
+		rows = append(rows, row)
+	}
+
+	fmt.Printf("%-22s %-20s %-14s %s\n", "ARTIFACT", "GENERATED", "GATES", "HEADLINE")
+	anyFailed := false
+	for _, r := range rows {
+		gates := "-"
+		if r.passed+r.skipped+len(r.failed) > 0 {
+			gates = fmt.Sprintf("%d ok", r.passed)
+			if r.skipped > 0 {
+				gates += fmt.Sprintf(", %d skip", r.skipped)
+			}
+			if len(r.failed) > 0 {
+				gates += fmt.Sprintf(", %d FAIL", len(r.failed))
+				anyFailed = true
+			}
+		}
+		fmt.Printf("%-22s %-20s %-14s %s\n", r.file, r.generated, gates, r.headline)
+		for _, f := range r.failed {
+			fmt.Printf("%-22s %-20s %-14s failed: %s\n", "", "", "", f)
+		}
+	}
+	if anyFailed {
+		return fmt.Errorf("summary: at least one artifact has failed gates")
+	}
+	return nil
+}
+
+// summarize digests one artifact: generic gate counting plus a
+// per-artifact headline drawn from the fields that matter for that
+// measurement.
+func summarize(path string) (summaryRow, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return summaryRow{}, err
+	}
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return summaryRow{}, err
+	}
+	row := summaryRow{file: filepath.Base(path)}
+	if g, ok := doc["generated"]; ok {
+		json.Unmarshal(g, &row.generated)
+	}
+	var gates []summaryGate
+	if g, ok := doc["gates"]; ok {
+		json.Unmarshal(g, &gates)
+	}
+	for _, g := range gates {
+		switch g.Status {
+		case "passed":
+			row.passed++
+		case "skipped":
+			row.skipped++
+		default:
+			row.failed = append(row.failed, fmt.Sprintf("%s (%s)", g.Name, g.Reason))
+		}
+	}
+
+	num := func(key string) (float64, bool) {
+		r, ok := doc[key]
+		if !ok {
+			return 0, false
+		}
+		var v float64
+		if json.Unmarshal(r, &v) != nil {
+			return 0, false
+		}
+		return v, true
+	}
+	var parts []string
+	add := func(format string, args ...any) { parts = append(parts, fmt.Sprintf(format, args...)) }
+	switch {
+	case strings.Contains(row.file, "hotpath"):
+		var tcp, udp struct {
+			MsgPerSec float64 `json:"msg_per_sec"`
+			Speedup   float64 `json:"speedup"`
+		}
+		if r, ok := doc["tcp"]; ok && json.Unmarshal(r, &tcp) == nil && tcp.MsgPerSec > 0 {
+			add("tcp %.0fK msg/s (%.1fx)", tcp.MsgPerSec/1000, tcp.Speedup)
+		}
+		if r, ok := doc["udp"]; ok && json.Unmarshal(r, &udp) == nil && udp.MsgPerSec > 0 {
+			add("udp %.0fK msg/s (%.1fx)", udp.MsgPerSec/1000, udp.Speedup)
+		}
+		if v, ok := num("protocol_roundtrip_allocs_per_op"); ok {
+			add("proto %.0f allocs/op", v)
+		}
+	case strings.Contains(row.file, "cache"):
+		if v, ok := num("be_speedup"); ok {
+			add("BE %.2fx with cache", v)
+		}
+		if v, ok := num("hit_ratio"); ok {
+			add("hits %.0f%%", v*100)
+		}
+		if m, ok := num("write_amp_mixed"); ok {
+			if s, ok := num("write_amp_segregated"); ok {
+				add("WA %.2f->%.2f", m, s)
+			}
+		}
+	case strings.Contains(row.file, "volume"):
+		if v, ok := num("p95_ratio"); ok {
+			add("snap-phase p95 %.2fx", v)
+		}
+		if v, ok := num("snapshot_us"); ok {
+			add("snap %.0fus", v)
+		}
+		if v, ok := num("restored_mib"); ok {
+			add("restored %.1fMiB", v)
+		}
+		if v, ok := num("lost_acked"); ok {
+			add("lost %d", int(v))
+		}
+	default:
+		// Unknown artifact kind: the gate verdicts are the digest.
+	}
+	row.headline = strings.Join(parts, "  ")
+	return row, nil
+}

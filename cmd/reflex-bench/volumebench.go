@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/experiments"
+)
+
+// Volume-layer acceptance measurement (-volume <file>): runs ext-volume
+// at the given scale and writes BENCH_volume.json with every gate's
+// verdict. The run uses the real TCP server wall-clock, so the tail
+// gate is judged against the phase pair measured on the same host in
+// the same process.
+const (
+	// volumeP95Ceiling: taking a snapshot, cutting a clone and pulling
+	// the full diff stream mid-run may cost the LC reader at most this
+	// multiple of its no-snapshot p95.
+	volumeP95Ceiling = 2.0
+)
+
+type volumeResultJSON struct {
+	Generated string  `json:"generated"`
+	GoVersion string  `json:"go_version"`
+	Scale     float64 `json:"scale"`
+
+	LCReadP95BaseUs float64 `json:"lc_read_p95_us_baseline"`
+	LCReadP95SnapUs float64 `json:"lc_read_p95_us_snapshot"`
+	P95Ratio        float64 `json:"p95_ratio"`
+	SnapshotUs      float64 `json:"snapshot_us"`
+	RestoredMiB     float64 `json:"restored_mib"`
+	RestoredGen     uint64  `json:"restored_gen"`
+	TornBlocks      int     `json:"torn_blocks"`
+	StaleSlots      int     `json:"stale_slots"`
+	LostAcked       int     `json:"lost_acked"`
+
+	Gates []gateStatus `json:"gates"`
+}
+
+// volumeGates judges the ext-volume acceptance criteria.
+func volumeGates(r experiments.VolumeBenchResult) []gateStatus {
+	judge := func(name string, ok bool, reason string) gateStatus {
+		st := "passed"
+		if !ok {
+			st = "failed"
+		}
+		return gateStatus{Name: name, Status: st, Reason: reason}
+	}
+	return []gateStatus{
+		judge("crash_consistent_restore", r.TornBlocks == 0 && r.StaleSlots == 0,
+			fmt.Sprintf("%d torn records, %d outside the ledger bracket in the diff-restored image",
+				r.TornBlocks, r.StaleSlots)),
+		judge("zero_lost_acked", r.LostAcked == 0,
+			fmt.Sprintf("%d acked writes missing from the live volume", r.LostAcked)),
+		judge("lc_p95_bounded", r.P95Ratio() > 0 && r.P95Ratio() <= volumeP95Ceiling,
+			fmt.Sprintf("snapshot-phase LC p95 %.2fx baseline (%.0fus vs %.0fus, ceiling %.1fx)",
+				r.P95Ratio(), float64(r.LCReadP95Snap)/1e3, float64(r.LCReadP95Base)/1e3, volumeP95Ceiling)),
+		judge("diff_shipped_data", r.RestoredMiB > 0 && r.RestoredGen > 0,
+			fmt.Sprintf("diff stream shipped %.2f MiB up to gen %d", r.RestoredMiB, r.RestoredGen)),
+	}
+}
+
+// runVolumeBench performs the measurement and writes the JSON artifact.
+func runVolumeBench(path string, scale float64) error {
+	res, tbl := experiments.VolumeBench(experiments.Scale(scale))
+	fmt.Print(tbl.Format())
+
+	gates := volumeGates(res)
+	out := volumeResultJSON{
+		Generated:       time.Now().UTC().Format(time.RFC3339),
+		GoVersion:       runtime.Version(),
+		Scale:           scale,
+		LCReadP95BaseUs: float64(res.LCReadP95Base) / 1e3,
+		LCReadP95SnapUs: float64(res.LCReadP95Snap) / 1e3,
+		P95Ratio:        res.P95Ratio(),
+		SnapshotUs:      float64(res.SnapshotLat) / 1e3,
+		RestoredMiB:     res.RestoredMiB,
+		RestoredGen:     res.RestoredGen,
+		TornBlocks:      res.TornBlocks,
+		StaleSlots:      res.StaleSlots,
+		LostAcked:       res.LostAcked,
+		Gates:           gates,
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		return err
+	}
+	for _, g := range gates {
+		fmt.Printf("volume gate %s: %s (%s)\n", g.Name, g.Status, g.Reason)
+	}
+	fmt.Printf("volume: %s\n", path)
+	for _, g := range gates {
+		if g.Status == "failed" {
+			return fmt.Errorf("volume: %s", g.Reason)
+		}
+	}
+	return nil
+}

@@ -26,6 +26,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print the raw sweep curves")
 	placeStreams := flag.Int("placement-streams", 0,
 		"also measure GC write amplification with this many FDP-style placement streams (hot/cold writer mix on an explicit erase-unit geometry of the device); 1 = everything mixed")
+	trim := flag.Bool("trim", false,
+		"also measure the discard (OpTrim) effect on GC write amplification: a delete-heavy workload run with and without trimming the deleted data")
 	flag.Parse()
 
 	profiles := flashsim.Profiles()
@@ -69,6 +71,14 @@ func main() {
 		rate := res.TokenRateForP95(slo)
 		fmt.Printf("  %6dus: %7.0fK tokens/s\n", slo/sim.Microsecond,
 			float64(rate)/float64(core.TokenUnit)/1000)
+	}
+
+	if *trim {
+		fmt.Printf("\ndiscard (trim) effect on GC write amplification (cold fill deleted mid-run, hot overwriter continues):\n")
+		waOff, _ := measureTrimWA(spec, false)
+		waOn, trimmed := measureTrimWA(spec, true)
+		fmt.Printf("  without trim: %.3f\n", waOff)
+		fmt.Printf("  with trim:    %.3f  (%d pages discarded)\n", waOn, trimmed)
 	}
 
 	if *placeStreams > 0 {
@@ -125,4 +135,54 @@ func measureWriteAmp(spec flashsim.Spec, streams int) float64 {
 	submit(dur/1500, 400, 1024, coldStream, 11)
 	eng.RunUntil(dur + 5*sim.Millisecond)
 	return dev.WriteAmp()
+}
+
+// measureTrimWA measures how discard changes GC write amplification on
+// a delete-heavy workload: a cold data set is written once and then
+// logically deleted mid-run while a hot overwriter keeps the device
+// busy. Without trim the FTL still sees every cold page as live, so GC
+// relocates dead-to-the-host data over and over; with trim the deleted
+// pages are invalid and their units reclaim for free. Returns the
+// device-wide write amplification and the number of pages the trim
+// actually invalidated.
+func measureTrimWA(spec flashsim.Spec, trim bool) (float64, int) {
+	s := spec
+	s.Channels = 4
+	s.EraseUnitPages = 32
+	s.UnitsPerChannel = 10 // 1280 pages physical
+	s.PlacementStreams = 1
+	eng := sim.NewEngine()
+	dev := flashsim.New(eng, s, 42)
+
+	const (
+		coldBlocks = 800 // ~62% of physical capacity, written once
+		hotBlocks  = 64
+		hotBase    = 4096
+		fillEnd    = 50 * sim.Millisecond
+		deleteAt   = 60 * sim.Millisecond
+		dur        = 300 * sim.Millisecond
+	)
+	// Cold fill: sequential, once.
+	for i := 0; i < coldBlocks; i++ {
+		blk := uint64(i)
+		eng.At(fillEnd*sim.Time(i)/coldBlocks, func() {
+			dev.Submit(&flashsim.Request{Op: flashsim.OpWrite, Block: blk, Size: flashsim.PageSize})
+		})
+	}
+	// Mid-run delete of the cold set; only the trim variant tells the FTL.
+	trimmed := 0
+	if trim {
+		eng.At(deleteAt, func() { trimmed = dev.Trim(0, coldBlocks) })
+	}
+	// Hot overwriter: 20K writes/s over a small set, forcing GC.
+	rng := uint64(7)
+	for t := deleteAt; t < dur; t += dur / 6000 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		blk := hotBase + (rng>>33)%hotBlocks
+		eng.At(t, func() {
+			dev.Submit(&flashsim.Request{Op: flashsim.OpWrite, Block: blk, Size: flashsim.PageSize})
+		})
+	}
+	eng.RunUntil(dur + 5*sim.Millisecond)
+	return dev.WriteAmp(), trimmed
 }

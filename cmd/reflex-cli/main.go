@@ -33,7 +33,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:7700", "server address")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench|ring|top} [flags]")
+		fmt.Fprintln(os.Stderr, "usage: reflex-cli -addr HOST:PORT {register|unregister|read|write|barrier|stats|bench|ring|vol|top} [flags]")
 		os.Exit(2)
 	}
 
@@ -69,6 +69,8 @@ func main() {
 		cmdStats(cl, args)
 	case "ring":
 		cmdRing(cl, args)
+	case "vol":
+		cmdVol(cl, *addr, args)
 	default:
 		log.Fatalf("unknown command %q", cmd)
 	}

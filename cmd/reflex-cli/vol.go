@@ -1,0 +1,198 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"github.com/reflex-go/reflex/internal/client"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// cmdVol dispatches the volume-management subcommands (DESIGN.md §18):
+//
+//	reflex-cli vol list
+//	reflex-cli vol create -name tenants/alpha -blocks 1048576
+//	reflex-cli vol snap -name tenants/alpha
+//	reflex-cli vol clone -source tenants/alpha -gen 3 -name tenants/alpha-restore
+//	reflex-cli vol diff -name tenants/alpha -from 3
+//	reflex-cli vol delete -name tenants/alpha-restore
+//	reflex-cli vol restore -name tenants/alpha -from 0 -out image.bin
+func cmdVol(cl *client.Client, addr string, args []string) {
+	if len(args) < 1 {
+		fmt.Fprintln(os.Stderr, "usage: reflex-cli vol {list|create|snap|clone|diff|delete|restore} [flags]")
+		os.Exit(2)
+	}
+	sub, args := args[0], args[1:]
+	switch sub {
+	case "list":
+		cmdVolList(cl, args)
+	case "create":
+		cmdVolCreate(cl, args)
+	case "snap":
+		cmdVolSnap(cl, args)
+	case "clone":
+		cmdVolClone(cl, args)
+	case "diff":
+		cmdVolDiff(cl, args)
+	case "delete":
+		cmdVolDelete(cl, args)
+	case "restore":
+		cmdVolRestore(addr, args)
+	default:
+		log.Fatalf("unknown vol subcommand %q", sub)
+	}
+}
+
+func cmdVolList(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("vol list", flag.ExitOnError)
+	fs.Parse(args)
+	vols, err := cl.VolList()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(vols) == 0 {
+		fmt.Println("no volumes (create one with: reflex-cli vol create -name NAME -blocks N)")
+		return
+	}
+	fmt.Printf("%-24s %6s %10s %12s %12s %6s  %s\n",
+		"NAME", "HANDLE", "GEN", "LOGICAL", "ALLOCATED", "SNAPS", "SNAPSHOT GENS")
+	for _, v := range vols {
+		snaps := "-"
+		if len(v.Snaps) > 0 {
+			snaps = fmt.Sprint(v.Snaps)
+		}
+		fmt.Printf("%-24s %6d %10d %9.1fMiB %9.1fMiB %6d  %s\n",
+			v.Name, v.Handle, v.Gen,
+			float64(v.Blocks)*protocol.BlockSize/(1<<20),
+			float64(v.Extents)*float64(v.ExtentBlocks)*protocol.BlockSize/(1<<20),
+			len(v.Snaps), snaps)
+	}
+}
+
+func cmdVolCreate(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("vol create", flag.ExitOnError)
+	name := fs.String("name", "", "volume name")
+	blocks := fs.Uint64("blocks", 0, "logical size in 512B blocks")
+	fs.Parse(args)
+	if *name == "" || *blocks == 0 {
+		log.Fatal("vol create: need -name and -blocks")
+	}
+	h, err := cl.VolCreate(*name, *blocks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("created volume %q handle=%d (%.1f MiB logical, thin)\n",
+		*name, h, float64(*blocks)*protocol.BlockSize/(1<<20))
+	fmt.Printf("bind a tenant with: reflex-cli register ... then OpenVolume(reg, %d) from the client library\n", h)
+}
+
+func cmdVolSnap(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("vol snap", flag.ExitOnError)
+	name := fs.String("name", "", "volume name")
+	fs.Parse(args)
+	if *name == "" {
+		log.Fatal("vol snap: need -name")
+	}
+	start := time.Now()
+	gen, err := cl.VolSnapshot(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot %s@%d taken in %v\n", *name, gen,
+		time.Since(start).Round(time.Microsecond))
+}
+
+func cmdVolClone(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("vol clone", flag.ExitOnError)
+	source := fs.String("source", "", "source volume name")
+	gen := fs.Uint64("gen", 0, "source snapshot generation (from vol snap)")
+	name := fs.String("name", "", "clone volume name")
+	fs.Parse(args)
+	if *source == "" || *name == "" || *gen == 0 {
+		log.Fatal("vol clone: need -source, -gen and -name")
+	}
+	h, err := cl.VolClone(*source, *gen, *name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cloned %s@%d -> %q handle=%d (writable, CoW-shared extents)\n",
+		*source, *gen, *name, h)
+}
+
+func cmdVolDiff(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("vol diff", flag.ExitOnError)
+	name := fs.String("name", "", "volume name")
+	from := fs.Uint64("from", 0, "lower generation, exclusive (0 = everything ever written)")
+	to := fs.Uint64("to", 0, "upper generation, inclusive (0 = current)")
+	fs.Parse(args)
+	if *name == "" {
+		log.Fatal("vol diff: need -name")
+	}
+	d, gen, err := cl.VolDiff(*name, *from, *to)
+	if err != nil {
+		log.Fatal(err)
+	}
+	blocks := uint64(len(d.Extents)) * uint64(d.ExtentBlocks)
+	fmt.Printf("diff %s (%d, %d]: %d extents x %d blocks, %.1f MiB to ship\n",
+		*name, *from, gen, len(d.Extents), d.ExtentBlocks,
+		float64(blocks)*protocol.BlockSize/(1<<20))
+	for _, e := range d.Extents {
+		fmt.Printf("  lba %10d  +%d\n", uint64(e)*uint64(d.ExtentBlocks), d.ExtentBlocks)
+	}
+}
+
+func cmdVolDelete(cl *client.Client, args []string) {
+	fs := flag.NewFlagSet("vol delete", flag.ExitOnError)
+	name := fs.String("name", "", "volume name")
+	gen := fs.Uint64("gen", 0, "snapshot generation to delete (0 = the volume itself)")
+	fs.Parse(args)
+	if *name == "" {
+		log.Fatal("vol delete: need -name")
+	}
+	freed, err := cl.VolDelete(*name, *gen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	what := fmt.Sprintf("volume %q", *name)
+	if *gen != 0 {
+		what = fmt.Sprintf("snapshot %s@%d", *name, *gen)
+	}
+	fmt.Printf("deleted %s, reclaimed %d extents\n", what, freed)
+}
+
+// cmdVolRestore pulls an incremental snapshot-diff stream over a
+// dedicated connection and writes it into a local image file: the
+// receiving half of volume replication.
+func cmdVolRestore(addr string, args []string) {
+	fs := flag.NewFlagSet("vol restore", flag.ExitOnError)
+	name := fs.String("name", "", "volume name")
+	from := fs.Uint64("from", 0, "base generation the local image already holds (0 = full restore)")
+	to := fs.Uint64("to", 0, "upper generation, inclusive (0 = current)")
+	out := fs.String("out", "", "image file to apply the diff into (created if missing)")
+	fs.Parse(args)
+	if *name == "" || *out == "" {
+		log.Fatal("vol restore: need -name and -out")
+	}
+	f, err := os.OpenFile(*out, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	var bytes, chunks int64
+	start := time.Now()
+	gen, err := client.VolRestore(addr, *name, *from, *to, func(off int64, data []byte) error {
+		_, werr := f.WriteAt(data, off)
+		bytes += int64(len(data))
+		chunks++
+		return werr
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %s (%d, %d] into %s: %d chunks, %.1f MiB in %v\n",
+		*name, *from, gen, *out, chunks, float64(bytes)/(1<<20),
+		time.Since(start).Round(time.Millisecond))
+}

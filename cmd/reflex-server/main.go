@@ -107,6 +107,8 @@ func main() {
 	sampleCSV := flag.String("sample-csv", "", "write the sampled time series to this CSV file on shutdown")
 	chaos := flag.Bool("chaos", false, "inject faults on every accepted connection and on the device path (soak testing)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "fault-injection PRNG seed (reproducible chaos runs)")
+	volumes := flag.String("volumes", "", "reserve this much of the device for thin-provisioned volumes (e.g. 64MiB; empty = volume layer off; manage with reflex-cli vol)")
+	volExtent := flag.Int("volume-extent", 0, "volume extent size in 512B blocks (0 = default 128 = 64KiB)")
 	cacheMB := flag.Int64("cache-mb", 0, "DRAM read-cache size in MiB (0 = no cache)")
 	cacheAdmit := flag.String("cache-admit", "cost", "read-cache admission policy: cost (cost-model hurdle) or always")
 	idleTimeout := flag.Duration("idle-timeout", 0, "reap connections idle longer than this (0 = default 2m, negative = never)")
@@ -137,6 +139,13 @@ func main() {
 		backend = storage.NewMem(bytes)
 	}
 
+	var volBytes int64
+	if *volumes != "" {
+		if volBytes, err = parseSize(*volumes); err != nil {
+			log.Fatalf("-volumes: %v", err)
+		}
+	}
+
 	var inj *faults.Injector
 	if *chaos {
 		inj = faults.New(faults.Chaos(*chaosSeed))
@@ -155,21 +164,26 @@ func main() {
 			ReadOnlyReadCost: core.TokenUnit / 2,
 			WriteCost:        core.Tokens(*writeCost) * core.TokenUnit,
 		},
-		TokenRate:      core.Tokens(*tokenRate) * core.TokenUnit,
-		ReadLatency:    *readLat,
-		WriteLatency:   *writeLat,
-		ReadOnlyWindow: 10 * time.Millisecond,
-		IdleTimeout:    *idleTimeout,
-		CacheBytes:     *cacheMB << 20,
-		CacheAdmit:     *cacheAdmit,
-		Faults:         inj,
-		Shed:           ctrl.ShedConfig{ConnLimit: *connLimit},
+		TokenRate:          core.Tokens(*tokenRate) * core.TokenUnit,
+		ReadLatency:        *readLat,
+		WriteLatency:       *writeLat,
+		ReadOnlyWindow:     10 * time.Millisecond,
+		IdleTimeout:        *idleTimeout,
+		CacheBytes:         *cacheMB << 20,
+		CacheAdmit:         *cacheAdmit,
+		VolumeBytes:        volBytes,
+		VolumeExtentBlocks: *volExtent,
+		Faults:             inj,
+		Shed:               ctrl.ShedConfig{ConnLimit: *connLimit},
 	}, backend)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("reflex-server listening on %s (%s device, %d cores, %d tokens/s)",
 		srv.Addr(), *size, srv.Cores(), *tokenRate)
+	if volBytes > 0 {
+		log.Printf("volume layer: %s thin pool (reflex-cli vol create/snap/clone/diff)", *volumes)
+	}
 
 	// Replicated-pair wiring: as a backup, join the primary and apply its
 	// replication stream until a failing-over client promotes us; the

@@ -153,12 +153,13 @@ func (c *Call) release() {
 }
 
 // replayable reports whether the call is safe to re-issue on a fresh
-// connection: reads, writes (idempotent at fixed LBA), barriers and stats
-// are; register/unregister are not (their effects are not idempotent and
-// a lost response loses the handle).
+// connection: reads, writes (idempotent at fixed LBA), trims (freeing a
+// freed extent is a no-op), barriers and stats are; register/unregister
+// are not (their effects are not idempotent and a lost response loses
+// the handle).
 func (c *Call) replayable() bool {
 	switch c.hdr.Opcode {
-	case protocol.OpRead, protocol.OpWrite, protocol.OpBarrier, protocol.OpStats:
+	case protocol.OpRead, protocol.OpWrite, protocol.OpTrim, protocol.OpBarrier, protocol.OpStats:
 		return true
 	default:
 		return false

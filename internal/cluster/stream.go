@@ -1,0 +1,198 @@
+// Diff streams: the OpJoin self-paced catch-up machinery generalized to
+// arbitrary byte ranges, used by OpVolStream to ship a snapshot diff
+// (DESIGN.md §18) to a backup/restore receiver. The shape is identical to
+// session.catchup — chunked reads sent one-at-a-time, each waiting for
+// the receiver's ack before the next read, ending with a zero-length
+// marker frame — but the source is a volume generation image instead of
+// the raw device, and the ranges are the diff's extents instead of the
+// whole LBA space. Because every chunk waits out a full round trip, the
+// stream is self-paced: it can never build a queue in front of
+// latency-critical traffic, which is what keeps it best-effort without
+// touching the QoS scheduler.
+package cluster
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// StreamRange is one contiguous byte range to ship.
+type StreamRange struct {
+	Off int64 // byte offset in the stream's logical space (block-aligned)
+	Len int64
+}
+
+// StreamConfig configures a diff stream.
+type StreamConfig struct {
+	// Op stamps every chunk and the final marker (OpVolStream).
+	Op protocol.Opcode
+	// Handle is echoed in every chunk's Header.Handle (the receiver's
+	// request tag, so one connection can multiplex streams).
+	Handle uint16
+	// Epoch stamps chunks so a deposed server's stream is fenced like any
+	// other replication traffic.
+	Epoch func() uint16
+	// ReadAt reads the source image (e.g. Volume.ReadAtGen at the diff's
+	// upper generation).
+	ReadAt func(p []byte, off int64) error
+	// Sender delivers frames to the receiver's connection.
+	Sender ReplicaSender
+	// ChunkBytes bounds chunk payloads (default 256 KiB, clamped to
+	// protocol.MaxPayload).
+	ChunkBytes int
+	// OnChunk observes shipped bytes (may be nil).
+	OnChunk func(bytes int)
+	// OnDone is called exactly once when the stream finishes or dies;
+	// complete is true only if every range was acked and the end marker
+	// sent (may be nil).
+	OnDone func(complete bool)
+}
+
+// Stream ships a fixed list of ranges, self-paced by receiver acks.
+type Stream struct {
+	cfg    StreamConfig
+	cookie atomic.Uint64
+
+	pmu     sync.Mutex
+	pending map[uint64]func(protocol.Status)
+	closed  bool
+
+	stop chan struct{}
+	done atomic.Bool
+	sent atomic.Uint64 // bytes acked so far
+}
+
+// NewStream builds a stream; Run starts shipping.
+func NewStream(cfg StreamConfig) *Stream {
+	if cfg.ChunkBytes <= 0 || cfg.ChunkBytes > protocol.MaxPayload {
+		cfg.ChunkBytes = 256 << 10
+	}
+	return &Stream{
+		cfg:     cfg,
+		pending: make(map[uint64]func(protocol.Status)),
+		stop:    make(chan struct{}),
+	}
+}
+
+// SentBytes reports acked stream progress.
+func (s *Stream) SentBytes() uint64 { return s.sent.Load() }
+
+// Done reports whether the stream has finished (completely or not).
+func (s *Stream) Done() bool { return s.done.Load() }
+
+// Close tears the stream down (receiver connection died). Idempotent.
+func (s *Stream) Close() {
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		return
+	}
+	s.closed = true
+	s.pending = nil
+	s.pmu.Unlock()
+	close(s.stop)
+}
+
+// HandleAck routes a receiver ack (a FlagResponse frame of the stream's
+// opcode) to the chunk waiting on it.
+func (s *Stream) HandleAck(hdr *protocol.Header) {
+	s.pmu.Lock()
+	cb := s.pending[hdr.Cookie]
+	if cb != nil {
+		delete(s.pending, hdr.Cookie)
+	}
+	s.pmu.Unlock()
+	if cb != nil {
+		cb(protocol.Status(hdr.Status))
+	}
+}
+
+// Run ships every range in order, one chunk in flight at a time, then the
+// end marker (a non-response frame with Len == 0 and Count == 0 — the
+// OpJoin marker shape). Blocks until complete or Closed; call from a
+// dedicated goroutine.
+func (s *Stream) Run(ranges []StreamRange) {
+	complete := s.run(ranges)
+	s.done.Store(true)
+	if s.cfg.OnDone != nil {
+		s.cfg.OnDone(complete)
+	}
+}
+
+func (s *Stream) run(ranges []StreamRange) bool {
+	buf := make([]byte, s.cfg.ChunkBytes)
+	for _, rg := range ranges {
+		off, left := rg.Off, rg.Len
+		for left > 0 {
+			n := int64(len(buf))
+			if n > left {
+				n = left
+			}
+			if !s.ship(buf[:n], off) {
+				return false
+			}
+			off += n
+			left -= n
+		}
+	}
+	return s.marker()
+}
+
+// ship reads one chunk and sends it, waiting for the receiver's ack.
+func (s *Stream) ship(p []byte, off int64) bool {
+	if err := s.cfg.ReadAt(p, off); err != nil {
+		return false
+	}
+	cookie := s.cookie.Add(1)
+	ack := make(chan protocol.Status, 1)
+	s.pmu.Lock()
+	if s.closed {
+		s.pmu.Unlock()
+		return false
+	}
+	s.pending[cookie] = func(st protocol.Status) { ack <- st }
+	s.pmu.Unlock()
+
+	hdr := protocol.Header{
+		Opcode: s.cfg.Op,
+		Handle: s.cfg.Handle,
+		Epoch:  s.cfg.Epoch(),
+		Cookie: cookie,
+		LBA:    uint32(off / protocol.BlockSize),
+		Count:  uint32(len(p)),
+		Len:    uint32(len(p)),
+	}
+	s.cfg.Sender.SendToReplica(&hdr, p, nil)
+	select {
+	case st := <-ack:
+		if st != protocol.StatusOK {
+			return false
+		}
+		s.sent.Add(uint64(len(p)))
+		if s.cfg.OnChunk != nil {
+			s.cfg.OnChunk(len(p))
+		}
+		return true
+	case <-s.stop:
+		return false
+	}
+}
+
+// marker sends the completion frame; it is not acked.
+func (s *Stream) marker() bool {
+	s.pmu.Lock()
+	closed := s.closed
+	s.pmu.Unlock()
+	if closed {
+		return false
+	}
+	hdr := protocol.Header{
+		Opcode: s.cfg.Op,
+		Handle: s.cfg.Handle,
+		Epoch:  s.cfg.Epoch(),
+	}
+	s.cfg.Sender.SendToReplica(&hdr, nil, nil)
+	return true
+}

@@ -38,6 +38,7 @@ func Registry() map[string]Runner {
 		"ext-sharding":    ExtSharding,
 		"ext-ctrlplane":   ExtCtrlplane,
 		"ext-cache":       ExtCache,
+		"ext-volume":      ExtVolume,
 
 		"ablation-batching":  AblationBatching,
 		"ablation-twostep":   AblationTwoStep,

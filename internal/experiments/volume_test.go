@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestExtVolumeShape runs ext-volume at test scale and checks structure
+// plus the correctness gates that must hold at any window length: the
+// diff-restored image is crash-consistent (no torn records, nothing
+// outside the write-ledger bracket), no acked write is lost from the
+// live volume, and the snapshot phase actually ran the snapshot. The
+// quantitative tail gate (snapshot-phase LC p95 <= 2x baseline) runs at
+// full scale in cmd/reflex-bench; short noisy windows only get a sanity
+// ceiling here.
+func TestExtVolumeShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	res, tbl := VolumeBench(quick)
+	if tbl.ID != "ext-volume" {
+		t.Fatalf("table ID = %q", tbl.ID)
+	}
+	if got, want := len(tbl.Rows), 2; got != want {
+		t.Fatalf("rows = %d, want %d:\n%s", got, want, tbl.Format())
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != len(tbl.Columns) {
+			t.Fatalf("row width %d != %d columns", len(row), len(tbl.Columns))
+		}
+	}
+	if res.LCReadP95Base <= 0 || res.LCReadP95Snap <= 0 {
+		t.Fatalf("LC reader completed no work: %+v", res)
+	}
+	if res.RestoredGen == 0 {
+		t.Fatalf("snapshot phase never snapshotted: %+v", res)
+	}
+	if res.SnapshotLat <= 0 || res.SnapshotLat > time.Second {
+		t.Errorf("snapshot latency %v implausible for an instant CoW snapshot", res.SnapshotLat)
+	}
+	if res.TornBlocks != 0 {
+		t.Errorf("restored image holds %d torn records", res.TornBlocks)
+	}
+	if res.StaleSlots != 0 {
+		t.Errorf("restored image holds %d records outside the ledger bracket", res.StaleSlots)
+	}
+	if res.LostAcked != 0 {
+		t.Errorf("%d acked writes lost from the live volume", res.LostAcked)
+	}
+	if res.RestoredMiB <= 0 {
+		t.Errorf("diff restore shipped no data: %+v", res)
+	}
+}

@@ -236,6 +236,8 @@ type Stats struct {
 	ReadPages  uint64
 	WritePages uint64
 	Erases     uint64
+	// TrimmedPages counts pages invalidated by Trim (placement model).
+	TrimmedPages uint64
 	// Errors counts requests failed by the fault injector.
 	Errors uint64
 	// Stalls counts requests delayed by an injected timeout pulse.
@@ -446,6 +448,27 @@ func (d *Device) program(ch *sim.Resource, remaining sim.Time) {
 		d.pendingProg -= chunk
 		d.program(ch, remaining-chunk)
 	})
+}
+
+// Trim discards pages [block, block+pages): each page's current flash
+// location is marked invalid, so GC stops relocating it — a trimmed page
+// costs zero program operations when its erase unit is reclaimed, which
+// is exactly how discard lowers write amplification. Only meaningful
+// under the placement model (EraseUnitPages > 0); the legacy coin-flip
+// GC has no notion of page liveness, so Trim is a no-op there. Returns
+// the number of pages that were actually mapped.
+func (d *Device) Trim(block uint64, pages int) int {
+	if d.pl == nil {
+		return 0
+	}
+	n := 0
+	for p := 0; p < pages; p++ {
+		if d.pl.trim(block + uint64(p)) {
+			n++
+		}
+	}
+	d.stats.TrimmedPages += uint64(n)
+	return n
 }
 
 // BusyChannels returns how many channels are occupied right now — the

@@ -131,6 +131,20 @@ func (p *placer) place(block uint64, stream int) {
 	p.loc[block] = u
 }
 
+// trim drops a page's current flash location without programming a
+// replacement: the page stops being live, its unit's valid count falls,
+// and GC relocates one page fewer when that unit is reclaimed. This is
+// the whole mechanism by which discard reduces write amplification.
+func (p *placer) trim(block uint64) bool {
+	old, ok := p.loc[block]
+	if !ok {
+		return false
+	}
+	old.valid--
+	delete(p.loc, block)
+	return true
+}
+
 // openUnit returns the open erase unit for (ch, stream), sealing a full
 // one and allocating (GC-ing first if the channel is down to its spare)
 // as needed.

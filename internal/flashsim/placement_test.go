@@ -110,6 +110,73 @@ func TestPlacementOverwriteOnlyHasUnitWriteAmp(t *testing.T) {
 	}
 }
 
+// TestTrimCutsWriteAmp: deleting a cold data set with Trim must drop
+// write amplification versus leaving it dead-but-valid, because GC stops
+// relocating pages the host will never read again. Also checks the
+// mapped-page accounting and that a second trim of the same range is a
+// no-op.
+func TestTrimCutsWriteAmp(t *testing.T) {
+	run := func(trim bool) (*Device, int) {
+		eng := sim.NewEngine()
+		dev := New(eng, placementSpec(1), 42)
+		// Cold fill: 400 distinct pages (~52% of the 768-page device).
+		for i := 0; i < 400; i++ {
+			b := uint64(i)
+			eng.At(sim.Time(i)*sim.Microsecond, func() {
+				dev.Submit(&Request{Op: OpWrite, Block: b, Size: PageSize})
+			})
+		}
+		trimmed := 0
+		if trim {
+			eng.At(600*sim.Microsecond, func() { trimmed = dev.Trim(0, 400) })
+		}
+		// Hot overwriter drives GC after the delete point.
+		rng := sim.NewRNG(7)
+		for i := 0; i < 2000; i++ {
+			b := uint64(1024 + rng.Intn(32))
+			eng.At(700*sim.Microsecond+sim.Time(i)*sim.Microsecond, func() {
+				dev.Submit(&Request{Op: OpWrite, Block: b, Size: PageSize})
+			})
+		}
+		eng.Run()
+		return dev, trimmed
+	}
+	noTrim, _ := run(false)
+	withTrim, trimmed := run(true)
+	if trimmed != 400 {
+		t.Fatalf("trimmed %d mapped pages, want 400", trimmed)
+	}
+	if got := withTrim.Stats().TrimmedPages; got != 400 {
+		t.Fatalf("TrimmedPages = %d, want 400", got)
+	}
+	waOff, waOn := noTrim.WriteAmp(), withTrim.WriteAmp()
+	t.Logf("write-amp without trim=%.3f with trim=%.3f", waOff, waOn)
+	if waOff <= 1 {
+		t.Fatalf("no-trim run never relocated (WA=%.3f); workload too small", waOff)
+	}
+	if waOn >= waOff {
+		t.Fatalf("trim did not reduce write-amp: %.3f vs %.3f", waOn, waOff)
+	}
+	// Re-trimming an already-trimmed (now unmapped) range frees nothing.
+	if n := withTrim.Trim(0, 400); n != 0 {
+		t.Fatalf("second trim freed %d pages, want 0", n)
+	}
+}
+
+// TestTrimLegacyModelNoop: the coin-flip GC model has no liveness map,
+// so Trim must be a harmless no-op there.
+func TestTrimLegacyModelNoop(t *testing.T) {
+	eng := sim.NewEngine()
+	dev := New(eng, DeviceA(), 1)
+	eng.At(0, func() {
+		dev.Submit(&Request{Op: OpWrite, Block: 9, Size: PageSize})
+	})
+	eng.Run()
+	if n := dev.Trim(9, 1); n != 0 {
+		t.Fatalf("legacy-model trim freed %d pages, want 0", n)
+	}
+}
+
 func TestPlacementDeviceFullPanics(t *testing.T) {
 	eng := sim.NewEngine()
 	spec := placementSpec(1)

@@ -66,6 +66,9 @@ const (
 	// EvCtrlPeerDead: autopilot declared a control-plane peer dead and
 	// proposed its removal from the replica set.
 	EvCtrlPeerDead
+	// EvVolume: a volume-layer lifecycle operation (create, delete,
+	// snapshot, clone, diff stream).
+	EvVolume
 	numEventKinds
 )
 
@@ -75,7 +78,7 @@ var eventKindNames = [numEventKinds]string{
 	"move-done", "move-abort",
 	"shed", "reap", "checksum-error", "node-state", "reassign",
 	"move-resume", "ctrl-elect", "ctrl-lease", "ctrl-depose",
-	"ctrl-commit", "ctrl-snapshot", "ctrl-peer-dead",
+	"ctrl-commit", "ctrl-snapshot", "ctrl-peer-dead", "volume",
 }
 
 // String names the event kind.

@@ -1,0 +1,151 @@
+package protocol
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// TestOpcodeStringCoverage fails when an opcode is added without a name
+// (the recurring "new opcode, stale String()" drift): every defined
+// opcode in [0, opcodeEnd) must have a real name, and opcodeEnd itself
+// must not — so adding 0x17 without bumping opcodeEnd (or naming it)
+// breaks one of the two assertions.
+func TestOpcodeStringCoverage(t *testing.T) {
+	for op := Opcode(0); op < opcodeEnd; op++ {
+		name := op.String()
+		if strings.HasPrefix(name, "opcode(") {
+			t.Errorf("opcode %#04x has no String() name", uint16(op))
+		}
+	}
+	if name := opcodeEnd.String(); !strings.HasPrefix(name, "opcode(") {
+		t.Errorf("opcode %#04x (= opcodeEnd) is named %q — bump opcodeEnd past it", uint16(opcodeEnd), name)
+	}
+}
+
+func TestVolumeReqRoundtrip(t *testing.T) {
+	cases := []VolumeReq{
+		{Name: "v", Blocks: 1 << 30},
+		{Name: "clone-7", Source: "base", Gen: 42},
+		{Name: "backup", GenA: 3, GenB: 9},
+		{Name: strings.Repeat("n", 255), Source: strings.Repeat("s", 255), Blocks: 1, Gen: 2, GenA: 3, GenB: 4},
+	}
+	for i, want := range cases {
+		b := want.Marshal()
+		var got VolumeReq
+		if err := got.Unmarshal(b); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("case %d: %+v != %+v", i, got, want)
+		}
+	}
+}
+
+func TestVolumeReqStrict(t *testing.T) {
+	good := (&VolumeReq{Name: "vol", Source: "src", Blocks: 7, Gen: 1, GenA: 2, GenB: 3}).Marshal()
+	var v VolumeReq
+	for i := 0; i < len(good); i++ {
+		if err := v.Unmarshal(good[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", i)
+		}
+	}
+	if err := v.Unmarshal(append(append([]byte{}, good...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	empty := (&VolumeReq{Name: "x"}).Marshal()
+	empty[volumeReqFixed] = 0 // zero the name length
+	if err := v.Unmarshal(empty[:volumeReqFixed+2]); err == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestVolumeListRoundtrip(t *testing.T) {
+	want := []VolumeInfo{
+		{Name: "a", Handle: 1, Blocks: 100, Gen: 3, Extents: 2, ExtentBlocks: 128, Snaps: []uint64{1, 2}},
+		{Name: "b-clone", Handle: 9, Blocks: 1 << 40, Gen: 11, ExtentBlocks: 128},
+	}
+	var b []byte
+	for i := range want {
+		b = want[i].AppendMarshal(b)
+	}
+	got, err := UnmarshalVolumeList(b, len(want))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i].Name != want[i].Name || got[i].Handle != want[i].Handle ||
+			got[i].Blocks != want[i].Blocks || got[i].Gen != want[i].Gen ||
+			got[i].Extents != want[i].Extents || len(got[i].Snaps) != len(want[i].Snaps) {
+			t.Fatalf("entry %d: %+v != %+v", i, got[i], want[i])
+		}
+	}
+	// Strict: truncation anywhere fails; trailing bytes fail.
+	for i := 0; i < len(b); i++ {
+		if _, err := UnmarshalVolumeList(b[:i], len(want)); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", i)
+		}
+	}
+	if _, err := UnmarshalVolumeList(append(append([]byte{}, b...), 0), len(want)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestVolDiffRoundtripStrict(t *testing.T) {
+	want := VolDiff{ExtentBlocks: 128, Extents: []uint32{0, 5, 6, 1000}}
+	b := want.Marshal()
+	var got VolDiff
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.ExtentBlocks != want.ExtentBlocks || len(got.Extents) != len(want.Extents) {
+		t.Fatalf("%+v != %+v", got, want)
+	}
+	for i := range want.Extents {
+		if got.Extents[i] != want.Extents[i] {
+			t.Fatalf("extent %d mismatch", i)
+		}
+	}
+	for i := 0; i < len(b); i++ {
+		if err := got.Unmarshal(b[:i]); err == nil {
+			t.Fatalf("prefix of %d bytes decoded", i)
+		}
+	}
+	if err := got.Unmarshal(append(append([]byte{}, b...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+	unsorted := (&VolDiff{ExtentBlocks: 8, Extents: []uint32{5, 5}}).Marshal()
+	if err := got.Unmarshal(unsorted); err == nil {
+		t.Fatal("duplicate extents accepted")
+	}
+	// An empty diff (no extents changed) is valid.
+	if err := got.Unmarshal((&VolDiff{ExtentBlocks: 8}).Marshal()); err != nil {
+		t.Fatalf("empty diff rejected: %v", err)
+	}
+}
+
+// TestRegistrationVolumeByte pins the wire position of the volume-handle
+// byte (the old reserved byte 3) so raw-device clients stay compatible.
+func TestRegistrationVolumeByte(t *testing.T) {
+	r := Registration{Volume: 7, Writable: true, LBACount: 100}
+	b := r.Marshal()
+	if b[3] != 7 {
+		t.Fatalf("volume handle at byte %d, want byte 3 = 7, got %v", 3, b[:4])
+	}
+	var got Registration
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Volume != 7 {
+		t.Fatalf("Volume = %d after roundtrip, want 7", got.Volume)
+	}
+	// A pre-volume client's record (byte 3 zero) still means raw device.
+	b[3] = 0
+	if err := got.Unmarshal(b); err != nil {
+		t.Fatal(err)
+	}
+	if got.Volume != 0 {
+		t.Fatal("zero byte 3 must mean no volume")
+	}
+	var _ = fmt.Sprintf // keep fmt if assertions trimmed later
+}

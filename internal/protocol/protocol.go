@@ -108,6 +108,48 @@ const (
 	// late-joiner catch-up path, shaped like the OpJoin catch-up stream
 	// but single-shot — control-plane state is tiny).
 	OpCtrlSnapshot Opcode = 0x0E
+	// OpVolCreate creates a thin-provisioned logical volume (DESIGN.md
+	// §18). Payload: a VolumeReq with Name and Blocks. The response
+	// carries the volume's wire handle in Header.Handle; clients bind a
+	// tenant to it via Registration.Volume.
+	OpVolCreate Opcode = 0x0F
+	// OpVolDelete deletes a volume (VolumeReq.Gen == 0) or unregisters
+	// one snapshot generation (Gen != 0), returning freed extents to the
+	// pool once no clone chain references them.
+	OpVolDelete Opcode = 0x10
+	// OpVolSnapshot freezes the named volume's live extent map under its
+	// current generation — O(1), no data copied. The response returns the
+	// frozen generation in Header.LBA.
+	OpVolSnapshot Opcode = 0x11
+	// OpVolClone creates a writable volume rooted at a source volume's
+	// snapshot generation (VolumeReq: Name = new volume, Source, Gen).
+	// The response carries the clone's handle in Header.Handle.
+	OpVolClone Opcode = 0x12
+	// OpVolDiff enumerates the logical extents written between two
+	// generations (VolumeReq.GenA, GenB]; the response payload is a
+	// VolDiff record — the incremental backup set.
+	OpVolDiff Opcode = 0x13
+	// OpVolList fetches the volume directory; the response payload is a
+	// sequence of VolumeInfo records, Header.Count holding how many.
+	OpVolList Opcode = 0x14
+	// OpVolStream is the snapshot-diff replication stream. The request
+	// (VolumeReq: Name, GenA, GenB) asks the server to stream every
+	// extent in Diff(GenA, GenB] as of generation GenB; after the OK
+	// response, the server sends self-paced non-response OpVolStream
+	// chunks (LBA = volume-logical block, Len = bytes) that the receiver
+	// acks like OpReplicate, ending with a zero-length, zero-count
+	// OpVolStream marker — the OpJoin catch-up shape applied to backup.
+	OpVolStream Opcode = 0x15
+	// OpTrim discards a volume-logical (or raw, for unbound tenants)
+	// block range: Header.LBA/Count name the range like a write with no
+	// payload. Thin extents wholly inside the range return to the pool
+	// and the flash layer may drop the blocks from their erase units.
+	OpTrim Opcode = 0x16
+
+	// opcodeEnd is one past the last defined opcode. The table-driven
+	// String() coverage test walks [0, opcodeEnd) and fails when a new
+	// opcode lands without a name — keep it in sync when adding opcodes.
+	opcodeEnd Opcode = 0x17
 )
 
 // Role bits carried in an OpPing response's Count field.
@@ -152,6 +194,22 @@ func (o Opcode) String() string {
 		return "ctrl-append"
 	case OpCtrlSnapshot:
 		return "ctrl-snapshot"
+	case OpVolCreate:
+		return "vol-create"
+	case OpVolDelete:
+		return "vol-delete"
+	case OpVolSnapshot:
+		return "vol-snapshot"
+	case OpVolClone:
+		return "vol-clone"
+	case OpVolDiff:
+		return "vol-diff"
+	case OpVolList:
+		return "vol-list"
+	case OpVolStream:
+		return "vol-stream"
+	case OpTrim:
+		return "trim"
 	default:
 		return fmt.Sprintf("opcode(%d)", uint16(o))
 	}
@@ -438,7 +496,7 @@ func (h *Header) Unmarshal(b []byte) error {
 //	  0    1 class (0 = latency-critical, 1 = best-effort)
 //	  1    1 readPercent
 //	  2    1 device (NVMe device index on multi-device servers)
-//	  3    1 reserved
+//	  3    1 volume (wire handle of a logical volume, 0 = raw device)
 //	  4    4 iops
 //	  8    8 latencyP95 (ns)
 //	 16    4 firstLBA   (ACL range start, BlockSize units)
@@ -448,7 +506,13 @@ type Registration struct {
 	ReadPercent uint8
 	// Device selects the NVMe device on a multi-device server; each
 	// device runs its own scheduler instance (§3.2.2).
-	Device     uint8
+	Device uint8
+	// Volume binds the tenant to a logical volume by wire handle
+	// (OpVolCreate's response Handle); 0 keeps the raw-device addressing
+	// every pre-volume client uses. When set, the tenant's OpRead/
+	// OpWrite/OpTrim LBAs are volume-logical and the ACL range is checked
+	// against the volume's logical size.
+	Volume     uint8
 	IOPS       uint32
 	LatencyP95 uint64
 	// FirstLBA and LBACount define the namespace (logical block range)
@@ -470,6 +534,7 @@ func (r *Registration) Marshal() []byte {
 	}
 	b[1] = r.ReadPercent
 	b[2] = r.Device
+	b[3] = r.Volume
 	binary.BigEndian.PutUint32(b[4:], r.IOPS)
 	binary.BigEndian.PutUint64(b[8:], r.LatencyP95)
 	binary.BigEndian.PutUint32(b[16:], r.FirstLBA)
@@ -490,6 +555,7 @@ func (r *Registration) Unmarshal(b []byte) error {
 	r.BestEffort = b[0] == 1
 	r.ReadPercent = b[1]
 	r.Device = b[2]
+	r.Volume = b[3]
 	r.IOPS = binary.BigEndian.Uint32(b[4:])
 	r.LatencyP95 = binary.BigEndian.Uint64(b[8:])
 	r.FirstLBA = binary.BigEndian.Uint32(b[16:])

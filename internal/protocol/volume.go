@@ -1,0 +1,203 @@
+package protocol
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// VolumeReq is the request payload of the volume-management opcodes
+// (OpVolCreate/Delete/Snapshot/Clone/Diff/Stream). One record serves all
+// of them; unused fields are zero:
+//
+//	OpVolCreate:   Name, Blocks
+//	OpVolDelete:   Name, Gen (0 = the volume itself, else one snapshot)
+//	OpVolSnapshot: Name
+//	OpVolClone:    Name (new volume), Source, Gen (source snapshot)
+//	OpVolDiff:     Name, GenA, GenB (GenB 0 = current generation)
+//	OpVolStream:   Name, GenA, GenB (stream Diff(GenA, GenB] at GenB)
+//
+// Layout: blocks u64 | gen u64 | genA u64 | genB u64 |
+// nameLen u8 | name | srcLen u8 | source. Strict decode: exact length,
+// non-empty Name, both names ≤255 bytes (the u8 length).
+type VolumeReq struct {
+	Name   string
+	Source string
+	Blocks uint64
+	Gen    uint64
+	GenA   uint64
+	GenB   uint64
+}
+
+// volumeReqFixed is the fixed-field prefix before the two names.
+const volumeReqFixed = 8 * 4
+
+// Marshal encodes the request.
+func (v *VolumeReq) Marshal() []byte {
+	b := make([]byte, 0, volumeReqFixed+2+len(v.Name)+len(v.Source))
+	b = binary.BigEndian.AppendUint64(b, v.Blocks)
+	b = binary.BigEndian.AppendUint64(b, v.Gen)
+	b = binary.BigEndian.AppendUint64(b, v.GenA)
+	b = binary.BigEndian.AppendUint64(b, v.GenB)
+	b = append(b, uint8(len(v.Name)))
+	b = append(b, v.Name...)
+	b = append(b, uint8(len(v.Source)))
+	b = append(b, v.Source...)
+	return b
+}
+
+// Unmarshal strictly decodes the request.
+func (v *VolumeReq) Unmarshal(b []byte) error {
+	if len(b) < volumeReqFixed+2 {
+		return fmt.Errorf("protocol: short volume request: %d bytes", len(b))
+	}
+	v.Blocks = binary.BigEndian.Uint64(b[0:])
+	v.Gen = binary.BigEndian.Uint64(b[8:])
+	v.GenA = binary.BigEndian.Uint64(b[16:])
+	v.GenB = binary.BigEndian.Uint64(b[24:])
+	b = b[volumeReqFixed:]
+	nameLen := int(b[0])
+	if nameLen == 0 {
+		return fmt.Errorf("protocol: empty volume name")
+	}
+	if len(b) < 1+nameLen+1 {
+		return fmt.Errorf("protocol: truncated volume name")
+	}
+	v.Name = string(b[1 : 1+nameLen])
+	b = b[1+nameLen:]
+	srcLen := int(b[0])
+	if len(b) != 1+srcLen {
+		return fmt.Errorf("protocol: volume request length mismatch (%d trailing)", len(b)-1-srcLen)
+	}
+	v.Source = string(b[1 : 1+srcLen])
+	return nil
+}
+
+// VolumeInfo is one OpVolList directory entry.
+//
+// Layout: handle u16 | snapCount u16 | blocks u64 | gen u64 |
+// extents u32 | extentBlocks u32 | nameLen u8 | name | snaps u64 each.
+type VolumeInfo struct {
+	Name         string
+	Handle       uint16
+	Blocks       uint64
+	Gen          uint64
+	Extents      uint32 // live-mapped extents (thin occupancy)
+	ExtentBlocks uint32
+	Snaps        []uint64
+}
+
+const volumeInfoFixed = 2 + 2 + 8 + 8 + 4 + 4
+
+// AppendMarshal appends the encoded entry to b (list responses pack many).
+func (vi *VolumeInfo) AppendMarshal(b []byte) []byte {
+	b = binary.BigEndian.AppendUint16(b, vi.Handle)
+	b = binary.BigEndian.AppendUint16(b, uint16(len(vi.Snaps)))
+	b = binary.BigEndian.AppendUint64(b, vi.Blocks)
+	b = binary.BigEndian.AppendUint64(b, vi.Gen)
+	b = binary.BigEndian.AppendUint32(b, vi.Extents)
+	b = binary.BigEndian.AppendUint32(b, vi.ExtentBlocks)
+	b = append(b, uint8(len(vi.Name)))
+	b = append(b, vi.Name...)
+	for _, g := range vi.Snaps {
+		b = binary.BigEndian.AppendUint64(b, g)
+	}
+	return b
+}
+
+// UnmarshalNext decodes one entry off the front of b, returning the rest.
+func (vi *VolumeInfo) UnmarshalNext(b []byte) ([]byte, error) {
+	if len(b) < volumeInfoFixed+1 {
+		return nil, fmt.Errorf("protocol: short volume info: %d bytes", len(b))
+	}
+	vi.Handle = binary.BigEndian.Uint16(b[0:])
+	nSnaps := int(binary.BigEndian.Uint16(b[2:]))
+	vi.Blocks = binary.BigEndian.Uint64(b[4:])
+	vi.Gen = binary.BigEndian.Uint64(b[12:])
+	vi.Extents = binary.BigEndian.Uint32(b[20:])
+	vi.ExtentBlocks = binary.BigEndian.Uint32(b[24:])
+	b = b[volumeInfoFixed:]
+	nameLen := int(b[0])
+	if nameLen == 0 {
+		return nil, fmt.Errorf("protocol: empty volume info name")
+	}
+	if len(b) < 1+nameLen+8*nSnaps {
+		return nil, fmt.Errorf("protocol: truncated volume info")
+	}
+	vi.Name = string(b[1 : 1+nameLen])
+	b = b[1+nameLen:]
+	vi.Snaps = vi.Snaps[:0]
+	for i := 0; i < nSnaps; i++ {
+		vi.Snaps = append(vi.Snaps, binary.BigEndian.Uint64(b[8*i:]))
+	}
+	return b[8*nSnaps:], nil
+}
+
+// UnmarshalVolumeList strictly decodes an OpVolList response payload of
+// count entries.
+func UnmarshalVolumeList(b []byte, count int) ([]VolumeInfo, error) {
+	if count < 0 || count > 1<<16 {
+		return nil, fmt.Errorf("protocol: bad volume list count %d", count)
+	}
+	out := make([]VolumeInfo, 0, count)
+	for i := 0; i < count; i++ {
+		var vi VolumeInfo
+		rest, err := vi.UnmarshalNext(b)
+		if err != nil {
+			return nil, err
+		}
+		b = rest
+		out = append(out, vi)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("protocol: %d trailing bytes after volume list", len(b))
+	}
+	return out, nil
+}
+
+// VolDiff is the OpVolDiff response payload: the extents written in
+// (GenA, GenB], ascending, with the extent size so the receiver can turn
+// indexes into byte ranges.
+//
+// Layout: extentBlocks u32 | count u32 | extents u32 each, strictly
+// ascending.
+type VolDiff struct {
+	ExtentBlocks uint32
+	Extents      []uint32
+}
+
+// Marshal encodes the diff.
+func (d *VolDiff) Marshal() []byte {
+	b := make([]byte, 0, 8+4*len(d.Extents))
+	b = binary.BigEndian.AppendUint32(b, d.ExtentBlocks)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(d.Extents)))
+	for _, e := range d.Extents {
+		b = binary.BigEndian.AppendUint32(b, e)
+	}
+	return b
+}
+
+// Unmarshal strictly decodes the diff (exact length, ascending extents).
+func (d *VolDiff) Unmarshal(b []byte) error {
+	if len(b) < 8 {
+		return fmt.Errorf("protocol: short volume diff: %d bytes", len(b))
+	}
+	d.ExtentBlocks = binary.BigEndian.Uint32(b[0:])
+	n := int(binary.BigEndian.Uint32(b[4:]))
+	if d.ExtentBlocks == 0 {
+		return fmt.Errorf("protocol: zero extent size in diff")
+	}
+	if len(b) != 8+4*n {
+		return fmt.Errorf("protocol: volume diff length %d != %d entries", len(b), n)
+	}
+	d.Extents = make([]uint32, n)
+	prev := int64(-1)
+	for i := 0; i < n; i++ {
+		e := binary.BigEndian.Uint32(b[8+4*i:])
+		if int64(e) <= prev {
+			return fmt.Errorf("protocol: volume diff extents not ascending at %d", e)
+		}
+		prev = int64(e)
+		d.Extents[i] = e
+	}
+	return nil
+}

@@ -46,6 +46,18 @@ func (s *Server) probeCache(ctx *reqCtx, ten *stenant) core.Tokens {
 	if n == 0 || off%readcache.BlockSize+n > readcache.BlockSize {
 		return 0
 	}
+	if ten.vol != nil {
+		// Volume tenants cache at PHYSICAL blocks: a CoW break remaps the
+		// logical block to a fresh extent, which changes the cache key, so
+		// a snapshot-then-overwrite can never serve pre-snapshot bytes to a
+		// live read (or vice versa). Unmapped and hole blocks skip the
+		// cache — they read as zeros straight from the chain walk.
+		poff, ok := ten.vol.Translate(int64(off), int(n))
+		if !ok {
+			return 0
+		}
+		off = uint64(poff)
+	}
 	key := readcache.Key(ten.device, off/readcache.BlockSize)
 	lease := bufpool.Get(int(n) + protocol.ChecksumSize)
 	hit, admit, epoch := s.cache.Probe(key, int(off%readcache.BlockSize), lease.Bytes()[:n])

@@ -98,6 +98,12 @@ type srvConn struct {
 	replica   any
 	replicaOf *cluster.Replicator
 
+	// vstream is the active snapshot-diff stream (OpVolStream) riding
+	// this connection, nil otherwise. One at a time per connection: acks
+	// route to it by opcode, teardown closes it.
+	vsMu    sync.Mutex
+	vstream *cluster.Stream
+
 	downOnce sync.Once
 }
 
@@ -315,6 +321,7 @@ func (sc *srvConn) teardown(reaped bool) {
 		}
 		sc.c.Close()
 		sc.detachReplica()
+		sc.detachVolStream()
 		s := sc.srv
 		s.connMu.Lock()
 		delete(s.conns, sc)
@@ -429,7 +436,8 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 	// requests out and acks back in); they route to whichever replicator
 	// owns this connection's session. Anything else is dropped.
 	if hdr.IsResponse() {
-		if hdr.Opcode == protocol.OpReplicate {
+		switch hdr.Opcode {
+		case protocol.OpReplicate:
 			r := s.repl
 			if sc, ok := rsp.(*srvConn); ok {
 				sc.rmu.Lock()
@@ -439,6 +447,17 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 				sc.rmu.Unlock()
 			}
 			r.HandleAck(&hdr)
+		case protocol.OpVolStream:
+			// Snapshot-diff stream chunk ack from the restore receiver:
+			// route to the stream attached to this connection.
+			if sc, ok := rsp.(*srvConn); ok {
+				sc.vsMu.Lock()
+				vs := sc.vstream
+				sc.vsMu.Unlock()
+				if vs != nil {
+					vs.HandleAck(&hdr)
+				}
+			}
 		}
 		return
 	}
@@ -496,8 +515,15 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		arrival := s.now()
 		// Shard-map enforcement first: a request for a range this node
 		// does not own is a routing error, not an I/O — redirect before
-		// fences, tenants or QoS get a say.
-		if !s.checkShard(&hdr) {
+		// fences, tenants or QoS get a say. Volume-bound tenants are
+		// exempt: their LBAs are volume-logical, and a volume lives
+		// wholly on the node that created it (volume DR is the
+		// snapshot-diff stream, not shard routing). The tenant lookup is
+		// hoisted for that test only — unknown handles still take the
+		// shard check first so a stale client is redirected, not told
+		// NoTenant.
+		vten, vok := s.lookup(hdr.Handle)
+		if !(vok && vten.vol != nil) && !s.checkShard(&hdr) {
 			s.rejectWrongShard(rsp, m)
 			return
 		}
@@ -523,7 +549,7 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 		} else {
 			s.m.reads.Inc()
 		}
-		ten, ok := s.lookup(hdr.Handle)
+		ten, ok := vten, vok
 		if !ok {
 			s.m.rejected.Inc()
 			reject(rsp, &hdr, protocol.StatusNoTenant)
@@ -539,7 +565,13 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 			reject(rsp, &hdr, protocol.StatusOverloaded)
 			return
 		}
-		if st := checkACL(&ten.reg, &hdr, s.devices[ten.device].backend.Size()); st != protocol.StatusOK {
+		// Volume-bound tenants are bounded by the volume's logical size;
+		// raw tenants by the device.
+		aclSize := s.devices[ten.device].backend.Size()
+		if ten.vol != nil {
+			aclSize = ten.vol.LogicalBytes()
+		}
+		if st := checkACL(&ten.reg, &hdr, aclSize); st != protocol.StatusOK {
 			s.m.rejected.Inc()
 			reject(rsp, &hdr, st)
 			return
@@ -713,6 +745,16 @@ func (s *Server) dispatch(rsp responder, m *protocol.Message, lease *bufpool.Buf
 
 	case protocol.OpShardMap:
 		s.handleShardMap(rsp, &hdr, m.Payload)
+
+	case protocol.OpVolCreate, protocol.OpVolDelete, protocol.OpVolSnapshot,
+		protocol.OpVolClone, protocol.OpVolDiff, protocol.OpVolList:
+		s.handleVolOp(rsp, &hdr, m.Payload)
+
+	case protocol.OpVolStream:
+		s.handleVolStream(rsp, &hdr, m.Payload)
+
+	case protocol.OpTrim:
+		s.handleTrim(rsp, &hdr)
 
 	default:
 		reject(rsp, &hdr, protocol.StatusBadRequest)

@@ -47,6 +47,12 @@ func benchEcho(b *testing.B, cl *client.Client, size, window int) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	benchEchoHandle(b, cl, h, size, window)
+}
+
+// benchEchoHandle is benchEcho on an already-registered tenant handle.
+func benchEchoHandle(b *testing.B, cl *client.Client, h uint16, size, window int) {
+	b.Helper()
 	// Prime the block range so reads return real data.
 	data := make([]byte, size)
 	for i := range data {
@@ -120,6 +126,30 @@ func BenchmarkHotPathTCPCacheHit(b *testing.B) {
 	if st.Hits+st.Misses > 0 {
 		b.ReportMetric(float64(st.Hits)/float64(st.Hits+st.Misses)*100, "hit%")
 	}
+}
+
+// BenchmarkHotPathTCPVolume is BenchmarkHotPathTCP through a
+// thin-provisioned volume: every read translates a logical LBA through
+// the volume's extent map before hitting the backend. Run with -benchmem;
+// the volume path must not add steady-state allocations over the raw
+// device path (Translate and the in-place overwrite path are
+// allocation-free by construction).
+func BenchmarkHotPathTCPVolume(b *testing.B) {
+	srv := benchServer(b, func(c *Config) { c.VolumeBytes = 16 << 20 })
+	cl, err := client.Dial(srv.Addr())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { cl.Close() })
+	vol, err := cl.VolCreate("bench", 8192)
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := cl.OpenVolume(beWritable(), vol)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchEchoHandle(b, cl, h, 4096, 256)
 }
 
 // BenchmarkHotPathUDP measures pipelined 4KB reads over loopback UDP with

@@ -73,6 +73,11 @@ type metrics struct {
 	migrAcked     *obs.Counter // migration sink acks received
 	migrJoins     *obs.Counter // ranged migration joins accepted
 
+	// Volume-layer counters (DESIGN.md §18).
+	volOps         *obs.Counter // volume lifecycle ops (create/delete/snap/clone/stream)
+	volStreamBytes *obs.Counter // snapshot-diff stream bytes acked by receivers
+	trims          *obs.Counter // OpTrim requests served
+
 	// Cluster-internal traffic, labeled by path so fleet aggregation can
 	// separate client load from replication applies and migration-relay
 	// forwards (DESIGN.md §14).
@@ -255,6 +260,9 @@ func newMetrics(s *Server) *metrics {
 	m.replAcked = reg.Counter("repl_acked", "backup replication acks received")
 	m.replApplied = reg.Counter("repl_applied", "replicated writes applied (backup role)")
 	m.replJoins = reg.Counter("repl_joins", "backup join sessions accepted")
+	m.volOps = reg.Counter("vol_ops", "volume lifecycle operations (create/delete/snapshot/clone/stream)")
+	m.volStreamBytes = reg.Counter("vol_stream_bytes", "snapshot-diff stream bytes acked by receivers")
+	m.trims = reg.Counter("trims", "OpTrim discard requests served")
 	m.wrongShard = reg.Counter("wrong_shard_redirects", "I/Os refused with StatusWrongShard (stale client routing)")
 	m.shardInstalls = reg.Counter("shard_map_installs", "shard-map installs adopted over OpShardMap")
 	m.shardMoves = reg.Counter("shard_moves", "shards whose authoritative owner changed across map installs")

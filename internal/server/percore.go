@@ -10,6 +10,8 @@ import (
 	"github.com/reflex-go/reflex/internal/core"
 	"github.com/reflex-go/reflex/internal/obs"
 	"github.com/reflex-go/reflex/internal/protocol"
+	"github.com/reflex-go/reflex/internal/readcache"
+	"github.com/reflex-go/reflex/internal/volume"
 )
 
 // schedBatchMax caps how many enqueued requests one select round absorbs
@@ -480,19 +482,44 @@ func (pc *pcore) submit(req *core.Request) {
 			// no second allocation, no second copy.
 			lease := bufpool.Get(int(ctx.hdr.Count) + protocol.ChecksumSize)
 			buf := lease.Bytes()[:ctx.hdr.Count]
-			if _, err := dev.backend.ReadAt(buf, off); err != nil {
+			var err error
+			if ctx.ten.vol != nil {
+				// Volume-addressed read: the LBA is logical; the extent map
+				// walk resolves each piece against the chain (holes read as
+				// zeros). No allocation — the chain walk reuses buf.
+				err = ctx.ten.vol.ReadAt(buf, off)
+			} else {
+				_, err = dev.backend.ReadAt(buf, off)
+			}
+			if err != nil {
 				lease.Release()
 				resp.Status = protocol.StatusDeviceError
 				m.errored.Inc()
 			} else {
 				m.bytesRead.Add(uint64(len(buf)))
 				if ctx.fill {
+					commit := true
+					if ctx.ten.vol != nil {
+						// A CoW break between dispatch and here moves the
+						// logical block to a fresh extent without ever
+						// writing the old physical block, so the epoch
+						// fence alone cannot catch the remap. Re-verify
+						// the translation; if the mapping moved, drop the
+						// fill. (Reuse of the old extent always rewrites
+						// its full image first, which the epoch fence DOES
+						// catch.)
+						poff, ok := ctx.ten.vol.Translate(off, len(buf))
+						commit = ok && readcache.Key(ctx.ten.device,
+							uint64(poff)/readcache.BlockSize) == ctx.fillKey
+					}
 					// Admitted miss on an aligned 4KB read: buf is the
 					// whole block image — commit it before anything
 					// (checksum trailer, injected corruption) touches the
 					// wire copy. The fence epoch drops the fill if a write
 					// invalidated the block since dispatch.
-					pc.srv.cache.CommitFill(ctx.fillKey, ctx.fillEpoch, buf)
+					if commit {
+						pc.srv.cache.CommitFill(ctx.fillKey, ctx.fillEpoch, buf)
+					}
 				}
 				if ctx.hdr.Flags&protocol.FlagChecksum != 0 {
 					// Seal first, then let the injector corrupt the wire
@@ -507,8 +534,23 @@ func (pc *pcore) submit(req *core.Request) {
 			}
 		case ctx.hdr.Opcode == protocol.OpWrite:
 			dev.lastWrite.Store(pc.srv.now())
-			if _, err := dev.backend.WriteAt(ctx.payload, off); err != nil {
-				resp.Status = protocol.StatusDeviceError
+			var err error
+			if ctx.ten.vol != nil {
+				// Volume-addressed write: first touch of an extent allocates
+				// it (thin provisioning); a write below a snapshot breaks
+				// CoW. Steady-state overwrites hit the in-place fast path.
+				err = ctx.ten.vol.WriteAt(ctx.payload, off)
+			} else {
+				_, err = dev.backend.WriteAt(ctx.payload, off)
+			}
+			if err != nil {
+				if err == volume.ErrNoSpace {
+					// Thin pool exhausted: typed, retryable after a trim or
+					// delete — not a device fault.
+					resp.Status = protocol.StatusNoCapacity
+				} else {
+					resp.Status = protocol.StatusDeviceError
+				}
 				m.errored.Inc()
 			} else {
 				m.bytesWrite.Add(uint64(ctx.hdr.Count))
@@ -518,7 +560,10 @@ func (pc *pcore) submit(req *core.Request) {
 				// what makes "acked" mean "survives a primary kill" and
 				// "survives the cutover". Covers device 0 (the clustered
 				// device).
-				if dev.idx == 0 && pc.forwardWrite(ctx, &resp, finish) {
+				// Volume writes are not raw-LBA replicated: the logical LBA
+				// is meaningless on the backup's device, and volume DR is
+				// the snapshot-diff stream (DESIGN.md §18).
+				if dev.idx == 0 && ctx.ten.vol == nil && pc.forwardWrite(ctx, &resp, finish) {
 					return // finish runs on the last forward's ack
 				}
 			}

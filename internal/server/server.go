@@ -34,6 +34,7 @@ import (
 	"github.com/reflex-go/reflex/internal/protocol"
 	"github.com/reflex-go/reflex/internal/readcache"
 	"github.com/reflex-go/reflex/internal/storage"
+	"github.com/reflex-go/reflex/internal/volume"
 )
 
 // DeviceConfig describes one flash device behind the server.
@@ -135,6 +136,18 @@ type Config struct {
 	// by the device cost model, pays for the fill), "always", or "never".
 	CacheAdmit string
 
+	// VolumeBytes reserves this many bytes at the top of device 0 as the
+	// logical-volume extent pool (internal/volume, DESIGN.md §18),
+	// enabling the OpVol* opcodes: thin-provisioned volumes, CoW
+	// snapshots, clones and snapshot-diff streams. 0 disables volumes.
+	// The pool range is carved out of the device; raw-LBA tenants should
+	// be ACL-bounded below it.
+	VolumeBytes int64
+	// VolumeExtentBlocks sets the extent size in 512B blocks (default
+	// volume.DefaultExtentBlocks = 128 → 64 KiB extents). Must be a
+	// multiple of 8 so extents stay 4KiB-aligned for the read cache.
+	VolumeExtentBlocks int
+
 	// NodeName identifies this server (pair) in a sharded cluster's shard
 	// map (DESIGN.md §13). Empty disables shard enforcement entirely: the
 	// server serves its whole device like a pre-sharding node even if a
@@ -225,6 +238,12 @@ type Server struct {
 	// dispatch, filled on aligned 4KB read completions, invalidated by
 	// the cachedBackend wrapper around every device backend.
 	cache *readcache.Cache
+	// vols is the logical-volume manager (nil when Config.VolumeBytes is
+	// zero). Built over device 0's *wrapped* backend so every volume
+	// write — in-place or CoW — invalidates the read cache at its
+	// physical blocks before the ack, which is what makes physical cache
+	// keys safe across CoW remaps.
+	vols *volume.Manager
 
 	// Cluster robustness state (internal/cluster; DESIGN.md §11). cmu
 	// serializes epoch transitions (promote/fence) so role and epoch move
@@ -282,6 +301,11 @@ type stenant struct {
 	coreID int
 	device int
 	rate   core.Tokens
+	// vol binds the tenant to a logical volume (Registration.Volume != 0):
+	// its OpRead/OpWrite/OpTrim LBAs are volume-logical and the pcore
+	// routes its I/O through the extent map instead of raw device offsets.
+	// Immutable after registration — the hot path reads it without locks.
+	vol *volume.Volume
 
 	mu          sync.Mutex
 	outstanding int
@@ -417,6 +441,27 @@ func NewMulti(cfg Config, devices []DeviceConfig) (*Server, error) {
 		for _, d := range s.devices {
 			d.backend = &cachedBackend{Backend: d.backend, cache: s.cache, dev: d.idx}
 		}
+	}
+	if cfg.VolumeBytes > 0 {
+		devBytes := s.devices[0].backend.Size()
+		if cfg.VolumeBytes > devBytes {
+			ln.Close()
+			return nil, fmt.Errorf("server: volume pool %d bytes exceeds device 0 (%d)", cfg.VolumeBytes, devBytes)
+		}
+		poolBlocks := uint64(cfg.VolumeBytes) / protocol.BlockSize
+		// Built after the cache wrap above so volume writes invalidate
+		// physically; the pool sits at the top of device 0.
+		mgr, err := volume.NewManager(volume.Config{
+			Backend:      s.devices[0].backend,
+			FirstBlock:   uint64(devBytes)/protocol.BlockSize - poolBlocks,
+			Blocks:       poolBlocks,
+			ExtentBlocks: uint32(cfg.VolumeExtentBlocks),
+		})
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		s.vols = mgr
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		pc := &pcore{
@@ -667,9 +712,28 @@ func (s *Server) registerTenant(reg protocol.Registration, pin int) (uint16, pro
 	if class == core.LatencyCritical && slo.Validate() != nil {
 		return 0, protocol.StatusBadRequest
 	}
+	// A volume-bound tenant addresses volume-logical LBAs: resolve the
+	// volume handle now (one pointer on the stenant; the hot path never
+	// looks it up again) and check the ACL range against the volume's
+	// logical size instead of the raw device.
+	var vol *volume.Volume
+	if reg.Volume != 0 {
+		if s.vols == nil || reg.Device != 0 {
+			return 0, protocol.StatusBadRequest
+		}
+		v, ok := s.vols.ByHandle(uint16(reg.Volume))
+		if !ok {
+			return 0, protocol.StatusBadRequest
+		}
+		vol = v
+	}
 	if reg.LBACount != 0 {
+		limit := dev.backend.Size()
+		if vol != nil {
+			limit = vol.LogicalBytes()
+		}
 		end := int64(reg.FirstLBA) + int64(reg.LBACount)
-		if end*protocol.BlockSize > dev.backend.Size() {
+		if end*protocol.BlockSize > limit {
 			return 0, protocol.StatusBadRequest
 		}
 	}
@@ -702,7 +766,7 @@ func (s *Server) registerTenant(reg protocol.Registration, pin int) (uint16, pro
 	}
 
 	pc := s.pinCore(pin)
-	st := &stenant{t: t, reg: reg, coreID: pc.id, device: int(reg.Device), rate: rate}
+	st := &stenant{t: t, reg: reg, coreID: pc.id, device: int(reg.Device), rate: rate, vol: vol}
 	s.tenants.publish(h, st)
 	pc.ntenants.Add(1)
 	pc.do(func() { pc.scheds[st.device].Register(t) })
@@ -741,9 +805,12 @@ func (s *Server) lookup(h uint16) (*stenant, bool) {
 }
 
 // checkACL validates an I/O against the tenant's namespace permissions.
-// hdr.Count must already be normalized to the I/O length.
+// hdr.Count must already be normalized to the I/O length. For
+// volume-bound tenants backendSize is the volume's logical size. OpTrim
+// carries no payload, so its Count (the discard length in bytes) is
+// exempt from the MaxPayload bound.
 func checkACL(reg *protocol.Registration, hdr *protocol.Header, backendSize int64) protocol.Status {
-	if hdr.Count == 0 || hdr.Count > protocol.MaxPayload {
+	if hdr.Count == 0 || (hdr.Count > protocol.MaxPayload && hdr.Opcode != protocol.OpTrim) {
 		return protocol.StatusBadRequest
 	}
 	if hdr.Opcode == protocol.OpWrite && hdr.Count != hdr.Len {
@@ -754,7 +821,7 @@ func checkACL(reg *protocol.Registration, hdr *protocol.Header, backendSize int6
 	if end > backendSize {
 		return protocol.StatusBadRequest
 	}
-	if hdr.Opcode == protocol.OpWrite && !reg.Writable {
+	if (hdr.Opcode == protocol.OpWrite || hdr.Opcode == protocol.OpTrim) && !reg.Writable {
 		return protocol.StatusDenied
 	}
 	if reg.LBACount != 0 {
