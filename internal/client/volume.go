@@ -58,7 +58,8 @@ func (cl *Client) VolSnapshot(name string) (uint64, error) {
 	if err := cl.wait(call); err != nil {
 		return 0, err
 	}
-	return uint64(call.respLBA), nil
+	// The generation rides the payload full-width (Header.LBA is 32-bit).
+	return protocol.UnmarshalGen(call.Data)
 }
 
 // VolClone creates a writable clone named name from source@gen (a
@@ -92,7 +93,7 @@ func (cl *Client) VolDiff(name string, genA, genB uint64) (protocol.VolDiff, uin
 	if err := d.Unmarshal(call.Data); err != nil {
 		return d, 0, err
 	}
-	return d, uint64(call.respLBA), nil
+	return d, d.Gen, nil
 }
 
 // VolList fetches the server's volume directory.
@@ -193,8 +194,19 @@ func VolRestore(addr, name string, genA, genB uint64, apply func(off int64, data
 		return 0, err
 	}
 
+	// Self-paced chunks arrive one round trip apart, so a healthy stream
+	// is never silent for long: an idle read deadline turns a dead or
+	// wedged source into an error instead of a forever-blocked receiver.
+	const idle = 30 * time.Second
+	readFrame := func(msg *protocol.Message) error {
+		if err := c.SetReadDeadline(time.Now().Add(idle)); err != nil {
+			return err
+		}
+		return protocol.ReadMessageInto(br, msg, nil)
+	}
+
 	var msg protocol.Message
-	if err := protocol.ReadMessageInto(br, &msg, nil); err != nil {
+	if err := readFrame(&msg); err != nil {
 		return 0, err
 	}
 	if msg.Header.Opcode != protocol.OpVolStream || msg.Header.Flags&protocol.FlagResponse == 0 {
@@ -203,10 +215,13 @@ func VolRestore(addr, name string, genA, genB uint64, apply func(off int64, data
 	if err := statusErr(msg.Header.Status); err != nil {
 		return 0, err
 	}
-	gen := uint64(msg.Header.LBA)
+	gen, err := protocol.UnmarshalGen(msg.Payload)
+	if err != nil {
+		return 0, err
+	}
 
 	for {
-		if err := protocol.ReadMessageInto(br, &msg, nil); err != nil {
+		if err := readFrame(&msg); err != nil {
 			return 0, err
 		}
 		hdr := msg.Header
@@ -214,7 +229,13 @@ func VolRestore(addr, name string, genA, genB uint64, apply func(off int64, data
 			return 0, fmt.Errorf("reflex: unexpected %s frame in volume stream", hdr.Opcode)
 		}
 		if hdr.Len == 0 && hdr.Count == 0 {
-			return gen, nil // end marker: every chunk before it was acked
+			// Terminal marker: StatusOK means every chunk before it was
+			// acked; a non-OK status is the source's abort signal (backend
+			// read failure) — the partial image must not pass as a restore.
+			if err := statusErr(hdr.Status); err != nil {
+				return 0, fmt.Errorf("reflex: volume stream aborted by source: %w", err)
+			}
+			return gen, nil
 		}
 		off := int64(hdr.LBA) * protocol.BlockSize
 		if err := apply(off, msg.Payload); err != nil {

@@ -111,11 +111,17 @@ func (s *Stream) HandleAck(hdr *protocol.Header) {
 
 // Run ships every range in order, one chunk in flight at a time, then the
 // end marker (a non-response frame with Len == 0 and Count == 0 — the
-// OpJoin marker shape). Blocks until complete or Closed; call from a
-// dedicated goroutine.
+// OpJoin marker shape). If the stream dies while the receiver is still
+// connected (source read error, refused ack), a marker with a non-OK
+// Status is sent instead so the receiver fails fast rather than blocking
+// forever on chunks that will never come. Blocks until complete or
+// Closed; call from a dedicated goroutine.
 func (s *Stream) Run(ranges []StreamRange) {
 	complete := s.run(ranges)
 	s.done.Store(true)
+	if !complete {
+		s.marker(protocol.StatusError)
+	}
 	if s.cfg.OnDone != nil {
 		s.cfg.OnDone(complete)
 	}
@@ -137,7 +143,7 @@ func (s *Stream) run(ranges []StreamRange) bool {
 			left -= n
 		}
 	}
-	return s.marker()
+	return s.marker(protocol.StatusOK)
 }
 
 // ship reads one chunk and sends it, waiting for the receiver's ack.
@@ -180,18 +186,25 @@ func (s *Stream) ship(p []byte, off int64) bool {
 	}
 }
 
-// marker sends the completion frame; it is not acked.
-func (s *Stream) marker() bool {
+// marker sends the terminal frame — StatusOK for a complete stream,
+// non-OK for an abort; it is not acked. Skipped when the stream was
+// Closed: the connection is gone and the frame would go nowhere. done is
+// published before the frame so that by the time the receiver reads the
+// marker, the sender side already counts as finished (a back-to-back
+// stream request on the same connection must not see a busy slot).
+func (s *Stream) marker(st protocol.Status) bool {
 	s.pmu.Lock()
 	closed := s.closed
 	s.pmu.Unlock()
 	if closed {
 		return false
 	}
+	s.done.Store(true)
 	hdr := protocol.Header{
 		Opcode: s.cfg.Op,
 		Handle: s.cfg.Handle,
 		Epoch:  s.cfg.Epoch(),
+		Status: st,
 	}
 	s.cfg.Sender.SendToReplica(&hdr, nil, nil)
 	return true

@@ -1,0 +1,128 @@
+package cluster
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"github.com/reflex-go/reflex/internal/bufpool"
+	"github.com/reflex-go/reflex/internal/protocol"
+)
+
+// streamAckSender records every frame a diff stream sends and acks data
+// chunks (Len > 0) back into the stream, playing the restore receiver.
+type streamAckSender struct {
+	s    *Stream
+	mu   sync.Mutex
+	hdrs []protocol.Header
+}
+
+func (a *streamAckSender) SendToReplica(hdr *protocol.Header, payload []byte, lease *bufpool.Buf) {
+	bufpool.ReleaseIf(lease)
+	a.mu.Lock()
+	a.hdrs = append(a.hdrs, *hdr)
+	a.mu.Unlock()
+	if hdr.Len > 0 {
+		ack := *hdr
+		ack.Flags = protocol.FlagResponse
+		ack.Status = protocol.StatusOK
+		go a.s.HandleAck(&ack)
+	}
+}
+
+func (a *streamAckSender) frames() []protocol.Header {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return append([]protocol.Header(nil), a.hdrs...)
+}
+
+// TestStreamCompleteMarker: a healthy stream ships every range and ends
+// with a zero-length, zero-count StatusOK marker.
+func TestStreamCompleteMarker(t *testing.T) {
+	sender := &streamAckSender{}
+	var complete bool
+	s := NewStream(StreamConfig{
+		Op:     protocol.OpVolStream,
+		Epoch:  func() uint16 { return 3 },
+		ReadAt: func(p []byte, off int64) error { return nil },
+		Sender: sender,
+		OnDone: func(c bool) { complete = c },
+	})
+	sender.s = s
+	s.Run([]StreamRange{{Off: 0, Len: 2 * protocol.BlockSize}})
+	if !complete {
+		t.Fatal("OnDone(complete) not true for a fully acked stream")
+	}
+	fr := sender.frames()
+	if len(fr) == 0 {
+		t.Fatal("no frames sent")
+	}
+	last := fr[len(fr)-1]
+	if last.Len != 0 || last.Count != 0 || last.Status != protocol.StatusOK {
+		t.Fatalf("terminal frame = %+v, want OK marker", last)
+	}
+	if s.SentBytes() != 2*protocol.BlockSize {
+		t.Fatalf("SentBytes = %d, want %d", s.SentBytes(), 2*protocol.BlockSize)
+	}
+}
+
+// TestStreamAbortMarker: when the source read fails mid-stream while the
+// receiver is still connected, the stream must send a terminal marker
+// with a non-OK status — otherwise the receiver blocks forever waiting
+// for chunks that will never come.
+func TestStreamAbortMarker(t *testing.T) {
+	sender := &streamAckSender{}
+	reads := 0
+	var complete = true
+	s := NewStream(StreamConfig{
+		Op:    protocol.OpVolStream,
+		Epoch: func() uint16 { return 3 },
+		ReadAt: func(p []byte, off int64) error {
+			reads++
+			if reads > 1 {
+				return errors.New("backend died")
+			}
+			return nil
+		},
+		Sender:     sender,
+		ChunkBytes: protocol.BlockSize,
+		OnDone:     func(c bool) { complete = c },
+	})
+	sender.s = s
+	s.Run([]StreamRange{{Off: 0, Len: 3 * protocol.BlockSize}})
+	if complete {
+		t.Fatal("OnDone(complete) true for an aborted stream")
+	}
+	if !s.Done() {
+		t.Fatal("aborted stream not Done")
+	}
+	fr := sender.frames()
+	if len(fr) != 2 {
+		t.Fatalf("sent %d frames, want chunk + abort marker", len(fr))
+	}
+	last := fr[len(fr)-1]
+	if last.Len != 0 || last.Count != 0 {
+		t.Fatalf("terminal frame = %+v, want marker shape", last)
+	}
+	if last.Status == protocol.StatusOK {
+		t.Fatal("abort marker carries StatusOK — receiver would treat the partial image as complete")
+	}
+}
+
+// TestStreamClosedSendsNoMarker: a stream torn down by Close (receiver
+// connection died) must not write anything more to the sender.
+func TestStreamClosedSendsNoMarker(t *testing.T) {
+	sender := &streamAckSender{}
+	s := NewStream(StreamConfig{
+		Op:     protocol.OpVolStream,
+		Epoch:  func() uint16 { return 1 },
+		ReadAt: func(p []byte, off int64) error { return nil },
+		Sender: sender,
+	})
+	sender.s = s
+	s.Close()
+	s.Run([]StreamRange{{Off: 0, Len: protocol.BlockSize}})
+	if n := len(sender.frames()); n != 0 {
+		t.Fatalf("closed stream sent %d frames, want 0", n)
+	}
+}

@@ -92,13 +92,15 @@ func TestVolumeListRoundtrip(t *testing.T) {
 }
 
 func TestVolDiffRoundtripStrict(t *testing.T) {
-	want := VolDiff{ExtentBlocks: 128, Extents: []uint32{0, 5, 6, 1000}}
+	// Gen over 2^32 pins that generations survive the wire full-width
+	// (they ride the payload — Header.LBA would truncate them).
+	want := VolDiff{Gen: 1<<40 + 7, ExtentBlocks: 128, Extents: []uint32{0, 5, 6, 1000}}
 	b := want.Marshal()
 	var got VolDiff
 	if err := got.Unmarshal(b); err != nil {
 		t.Fatal(err)
 	}
-	if got.ExtentBlocks != want.ExtentBlocks || len(got.Extents) != len(want.Extents) {
+	if got.Gen != want.Gen || got.ExtentBlocks != want.ExtentBlocks || len(got.Extents) != len(want.Extents) {
 		t.Fatalf("%+v != %+v", got, want)
 	}
 	for i := range want.Extents {
@@ -121,6 +123,26 @@ func TestVolDiffRoundtripStrict(t *testing.T) {
 	// An empty diff (no extents changed) is valid.
 	if err := got.Unmarshal((&VolDiff{ExtentBlocks: 8}).Marshal()); err != nil {
 		t.Fatalf("empty diff rejected: %v", err)
+	}
+}
+
+// TestGenPayload pins the 8-byte generation payload: full 64-bit
+// roundtrip, strict length.
+func TestGenPayload(t *testing.T) {
+	for _, gen := range []uint64{0, 1, 1 << 32, 1<<64 - 1} {
+		got, err := UnmarshalGen(MarshalGen(gen))
+		if err != nil {
+			t.Fatalf("gen %d: %v", gen, err)
+		}
+		if got != gen {
+			t.Fatalf("gen roundtrip: got %d, want %d", got, gen)
+		}
+	}
+	if _, err := UnmarshalGen(nil); err == nil {
+		t.Fatal("empty generation payload accepted")
+	}
+	if _, err := UnmarshalGen(make([]byte, 9)); err == nil {
+		t.Fatal("oversized generation payload accepted")
 	}
 }
 

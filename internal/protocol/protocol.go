@@ -118,8 +118,9 @@ const (
 	// pool once no clone chain references them.
 	OpVolDelete Opcode = 0x10
 	// OpVolSnapshot freezes the named volume's live extent map under its
-	// current generation — O(1), no data copied. The response returns the
-	// frozen generation in Header.LBA.
+	// current generation — O(1), no data copied. The response payload is
+	// the frozen generation (8 bytes big-endian; see MarshalGen —
+	// generations are 64-bit and would wrap in the 32-bit Header.LBA).
 	OpVolSnapshot Opcode = 0x11
 	// OpVolClone creates a writable volume rooted at a source volume's
 	// snapshot generation (VolumeReq: Name = new volume, Source, Gen).
@@ -127,18 +128,23 @@ const (
 	OpVolClone Opcode = 0x12
 	// OpVolDiff enumerates the logical extents written between two
 	// generations (VolumeReq.GenA, GenB]; the response payload is a
-	// VolDiff record — the incremental backup set.
+	// VolDiff record — the incremental backup set plus the resolved
+	// upper generation.
 	OpVolDiff Opcode = 0x13
 	// OpVolList fetches the volume directory; the response payload is a
 	// sequence of VolumeInfo records, Header.Count holding how many.
 	OpVolList Opcode = 0x14
 	// OpVolStream is the snapshot-diff replication stream. The request
 	// (VolumeReq: Name, GenA, GenB) asks the server to stream every
-	// extent in Diff(GenA, GenB] as of generation GenB; after the OK
-	// response, the server sends self-paced non-response OpVolStream
-	// chunks (LBA = volume-logical block, Len = bytes) that the receiver
-	// acks like OpReplicate, ending with a zero-length, zero-count
-	// OpVolStream marker — the OpJoin catch-up shape applied to backup.
+	// extent in Diff(GenA, GenB] as of generation GenB; the OK response
+	// carries the resolved upper generation as its payload (MarshalGen).
+	// Then the server sends self-paced non-response OpVolStream chunks
+	// (LBA = volume-logical block, Len = bytes) that the receiver acks
+	// like OpReplicate, ending with a zero-length, zero-count OpVolStream
+	// marker — the OpJoin catch-up shape applied to backup. A marker with
+	// a non-OK Status means the source aborted (backend read failure,
+	// refused ack): the receiver must treat the restore as failed, not
+	// complete.
 	OpVolStream Opcode = 0x15
 	// OpTrim discards a volume-logical (or raw, for unbound tenants)
 	// block range: Header.LBA/Count name the range like a write with no

@@ -156,18 +156,25 @@ func UnmarshalVolumeList(b []byte, count int) ([]VolumeInfo, error) {
 
 // VolDiff is the OpVolDiff response payload: the extents written in
 // (GenA, GenB], ascending, with the extent size so the receiver can turn
-// indexes into byte ranges.
+// indexes into byte ranges, and the resolved upper generation (GenB 0 in
+// the request means "current"; Gen is what it resolved to). Generations
+// are 64-bit and ride the payload — Header.LBA is 32-bit and would wrap.
 //
-// Layout: extentBlocks u32 | count u32 | extents u32 each, strictly
-// ascending.
+// Layout: gen u64 | extentBlocks u32 | count u32 | extents u32 each,
+// strictly ascending.
 type VolDiff struct {
+	Gen          uint64
 	ExtentBlocks uint32
 	Extents      []uint32
 }
 
+// volDiffFixed is the fixed prefix before the extent list.
+const volDiffFixed = 8 + 4 + 4
+
 // Marshal encodes the diff.
 func (d *VolDiff) Marshal() []byte {
-	b := make([]byte, 0, 8+4*len(d.Extents))
+	b := make([]byte, 0, volDiffFixed+4*len(d.Extents))
+	b = binary.BigEndian.AppendUint64(b, d.Gen)
 	b = binary.BigEndian.AppendUint32(b, d.ExtentBlocks)
 	b = binary.BigEndian.AppendUint32(b, uint32(len(d.Extents)))
 	for _, e := range d.Extents {
@@ -178,21 +185,22 @@ func (d *VolDiff) Marshal() []byte {
 
 // Unmarshal strictly decodes the diff (exact length, ascending extents).
 func (d *VolDiff) Unmarshal(b []byte) error {
-	if len(b) < 8 {
+	if len(b) < volDiffFixed {
 		return fmt.Errorf("protocol: short volume diff: %d bytes", len(b))
 	}
-	d.ExtentBlocks = binary.BigEndian.Uint32(b[0:])
-	n := int(binary.BigEndian.Uint32(b[4:]))
+	d.Gen = binary.BigEndian.Uint64(b[0:])
+	d.ExtentBlocks = binary.BigEndian.Uint32(b[8:])
+	n := int(binary.BigEndian.Uint32(b[12:]))
 	if d.ExtentBlocks == 0 {
 		return fmt.Errorf("protocol: zero extent size in diff")
 	}
-	if len(b) != 8+4*n {
+	if len(b) != volDiffFixed+4*n {
 		return fmt.Errorf("protocol: volume diff length %d != %d entries", len(b), n)
 	}
 	d.Extents = make([]uint32, n)
 	prev := int64(-1)
 	for i := 0; i < n; i++ {
-		e := binary.BigEndian.Uint32(b[8+4*i:])
+		e := binary.BigEndian.Uint32(b[volDiffFixed+4*i:])
 		if int64(e) <= prev {
 			return fmt.Errorf("protocol: volume diff extents not ascending at %d", e)
 		}
@@ -200,4 +208,21 @@ func (d *VolDiff) Unmarshal(b []byte) error {
 		d.Extents[i] = e
 	}
 	return nil
+}
+
+// MarshalGen encodes a generation number as the 8-byte payload of the
+// OpVolSnapshot response and the OpVolStream OK response. Header.LBA is
+// 32-bit, so generations ride the payload to stay full-width.
+func MarshalGen(gen uint64) []byte {
+	b := make([]byte, 8)
+	binary.BigEndian.PutUint64(b, gen)
+	return b
+}
+
+// UnmarshalGen strictly decodes an 8-byte generation payload.
+func UnmarshalGen(b []byte) (uint64, error) {
+	if len(b) != 8 {
+		return 0, fmt.Errorf("protocol: generation payload %d bytes, want 8", len(b))
+	}
+	return binary.BigEndian.Uint64(b), nil
 }

@@ -90,13 +90,16 @@ func (s *Server) handleVolOp(rsp responder, hdr *protocol.Header, payload []byte
 	case protocol.OpVolSnapshot:
 		gen, err := s.vols.Snapshot(req.Name)
 		resp.Status = volStatus(err)
-		resp.LBA = uint32(gen)
+		// Generations are 64-bit: they ride the payload, not the 32-bit
+		// Header.LBA, so they can never silently wrap on the wire.
+		var pay []byte
 		if err == nil {
+			pay = protocol.MarshalGen(gen)
 			s.m.volOps.Inc()
 			s.m.journal.Record(obsVolEv, s.cfg.NodeName, -1,
 				"volume %s snapshotted at gen %d", req.Name, gen)
 		}
-		rsp.send(&resp, nil, nil)
+		rsp.send(&resp, pay, nil)
 
 	case protocol.OpVolClone:
 		v, err := s.vols.Clone(req.Source, req.Gen, req.Name)
@@ -126,9 +129,8 @@ func (s *Server) handleVolOp(rsp responder, hdr *protocol.Header, payload []byte
 			rsp.send(&resp, nil, nil)
 			return
 		}
-		d := protocol.VolDiff{ExtentBlocks: v.ExtentBlocks(), Extents: exts}
+		d := protocol.VolDiff{Gen: genB, ExtentBlocks: v.ExtentBlocks(), Extents: exts}
 		resp.Count = uint32(len(exts))
-		resp.LBA = uint32(genB)
 		rsp.send(&resp, d.Marshal(), nil)
 
 	case protocol.OpVolList:
@@ -190,18 +192,30 @@ func (s *Server) handleVolStream(rsp responder, hdr *protocol.Header, payload []
 		return
 	}
 	extBytes := int64(v.ExtentBlocks()) * protocol.BlockSize
+	logical := v.LogicalBytes()
 	ranges := make([]cluster.StreamRange, 0, len(exts))
 	for _, e := range exts {
 		// Coalesce adjacent extents into one range so chunking is not
-		// bounded by the extent size.
+		// bounded by the extent size. The tail extent of a volume whose
+		// size is not an extent multiple is clamped to the logical size:
+		// ReadAtGen refuses reads past LogicalBytes, so an unclamped
+		// range would abort the stream mid-flight.
 		off := int64(e) * extBytes
-		if n := len(ranges); n > 0 && ranges[n-1].Off+ranges[n-1].Len == off {
-			ranges[n-1].Len += extBytes
+		l := extBytes
+		if off+l > logical {
+			l = logical - off
+		}
+		if l <= 0 {
 			continue
 		}
-		ranges = append(ranges, cluster.StreamRange{Off: off, Len: extBytes})
+		if n := len(ranges); n > 0 && ranges[n-1].Off+ranges[n-1].Len == off {
+			ranges[n-1].Len += l
+			continue
+		}
+		ranges = append(ranges, cluster.StreamRange{Off: off, Len: l})
 	}
-	vs := cluster.NewStream(cluster.StreamConfig{
+	var vs *cluster.Stream
+	vs = cluster.NewStream(cluster.StreamConfig{
 		Op:     protocol.OpVolStream,
 		Handle: hdr.Handle,
 		Epoch:  s.ClusterEpoch,
@@ -211,15 +225,21 @@ func (s *Server) handleVolStream(rsp responder, hdr *protocol.Header, payload []
 			s.m.volStreamBytes.Add(uint64(n))
 		},
 		OnDone: func(complete bool) {
+			// Only clear our own slot: a finished stream's callback must
+			// not tear down a successor already installed on the
+			// connection.
 			sc.vsMu.Lock()
-			if sc.vstream != nil {
+			if sc.vstream == vs {
 				sc.vstream = nil
 			}
 			sc.vsMu.Unlock()
 		},
 	})
 	sc.vsMu.Lock()
-	if sc.vstream != nil {
+	// One *running* stream per connection: a finished slot whose OnDone
+	// has not fired yet (the receiver reads the end marker before the
+	// sender goroutine unwinds) counts as free.
+	if sc.vstream != nil && !sc.vstream.Done() {
 		sc.vsMu.Unlock()
 		resp.Status = protocol.StatusBadRequest // one stream per connection
 		rsp.send(&resp, nil, nil)
@@ -228,9 +248,9 @@ func (s *Server) handleVolStream(rsp responder, hdr *protocol.Header, payload []
 	sc.vstream = vs
 	sc.vsMu.Unlock()
 	resp.Count = uint32(len(exts))
-	resp.LBA = uint32(genB)
-	// FIFO: the receiver reads this OK before the first chunk.
-	rsp.send(&resp, nil, nil)
+	// FIFO: the receiver reads this OK (payload = resolved generation,
+	// 64-bit so it rides the payload) before the first chunk.
+	rsp.send(&resp, protocol.MarshalGen(genB), nil)
 	s.m.volOps.Inc()
 	s.m.journal.Record(obsVolEv, s.cfg.NodeName, -1,
 		"volume %s diff stream (%d,%d]: %d extents", req.Name, req.GenA, genB, len(exts))

@@ -305,6 +305,61 @@ func TestVolRestoreStream(t *testing.T) {
 	}
 }
 
+// TestVolRestoreUnalignedVolume: a volume whose size is not an extent
+// multiple streams its tail extent clamped to the logical size instead of
+// aborting mid-stream (the stream would otherwise read past LogicalBytes
+// and die without an end marker, hanging the receiver).
+func TestVolRestoreUnalignedVolume(t *testing.T) {
+	srv, cl := startVolServer(t, nil)
+	const blocks = 3*128 + 37 // deliberately not a multiple of the 128-block extent
+	vh, err := cl.VolCreate("odd", blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cl.OpenVolume(beWritable(), vh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Data in the tail extent, reaching the very last logical block.
+	tail := make([]byte, 8*protocol.BlockSize)
+	for i := range tail {
+		tail[i] = byte(i*13 + 1)
+	}
+	if err := cl.Write(h, blocks-8, tail); err != nil {
+		t.Fatal(err)
+	}
+	head := bytes.Repeat([]byte{0xAB}, 4096)
+	if err := cl.Write(h, 0, head); err != nil {
+		t.Fatal(err)
+	}
+	gen, err := cl.VolSnapshot("odd")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	logical := int64(blocks) * protocol.BlockSize
+	image := make([]byte, logical)
+	got, err := client.VolRestore(srv.Addr(), "odd", 0, gen, func(off int64, p []byte) error {
+		if off+int64(len(p)) > logical {
+			return fmt.Errorf("chunk [%d, %d) past logical size %d", off, off+int64(len(p)), logical)
+		}
+		copy(image[off:], p)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != gen {
+		t.Fatalf("stream resolved gen %d, want %d", got, gen)
+	}
+	if !bytes.Equal(image[:len(head)], head) {
+		t.Fatal("restored head extent mismatch")
+	}
+	if !bytes.Equal(image[logical-int64(len(tail)):], tail) {
+		t.Fatal("restored tail extent mismatch")
+	}
+}
+
 // record stamps a 4KB write payload so the soak's verifier can identify
 // which acked write a block holds: slot and sequence number repeated
 // through the block.
